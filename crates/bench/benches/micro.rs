@@ -1,0 +1,200 @@
+//! Criterion micro-benchmarks over the substrate layers.
+//!
+//! These are not paper figures; they pin the costs the figure-level
+//! harnesses (`src/bin/*`) are built from: page ops, B-tree ops, tuple
+//! codec, tokenizer, upmarkers, XPath, and the end-to-end single-document
+//! paths (ingest, the three query shapes).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use netmark::{NetMark, XdbQuery};
+use netmark_corpus::{mixed, proposals, CorpusConfig};
+use netmark_relstore::page::{PageType, SlottedPage, PAGE_SIZE};
+use netmark_relstore::tuple::{decode_row, encode_row, Value};
+use netmark_relstore::RowId;
+use netmark_sgml::{parse_html, parse_xml, NodeTypeConfig};
+use netmark_textindex::{tokenize_text, InvertedIndex, TextQuery};
+use netmark_xslt::select;
+use std::path::PathBuf;
+
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("netmark-micro-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn bench_page(c: &mut Criterion) {
+    c.bench_function("page/insert_100_cells", |b| {
+        let cell = vec![7u8; 64];
+        b.iter_batched(
+            || vec![0u8; PAGE_SIZE],
+            |mut buf| {
+                let mut p = SlottedPage::init(&mut buf, PageType::Heap);
+                for _ in 0..100 {
+                    p.insert(&cell).unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("page/get", |b| {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        let mut p = SlottedPage::init(&mut buf, PageType::Heap);
+        for _ in 0..100 {
+            p.insert(&[9u8; 64]).unwrap();
+        }
+        b.iter(|| {
+            for s in 0..100u16 {
+                std::hint::black_box(p.get(s));
+            }
+        })
+    });
+}
+
+fn bench_tuple(c: &mut Criterion) {
+    let row = vec![
+        Value::Int(42),
+        Value::Int(7),
+        Value::Int(3),
+        Value::Text("Context".into()),
+        Value::Text("Technology Gap".into()),
+        Value::Text("technology gap".into()),
+        Value::Rowid(RowId { page: 3, slot: 9 }),
+        Value::Int(41),
+        Value::Rowid(RowId { page: 3, slot: 10 }),
+        Value::Rowid(RowId { page: 4, slot: 0 }),
+        Value::Text(String::new()),
+    ];
+    c.bench_function("tuple/encode_xml_row", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(96);
+            encode_row(&row, &mut buf);
+            std::hint::black_box(buf)
+        })
+    });
+    let mut buf = Vec::new();
+    encode_row(&row, &mut buf);
+    c.bench_function("tuple/decode_xml_row", |b| {
+        b.iter(|| std::hint::black_box(decode_row(&buf).unwrap()))
+    });
+}
+
+fn bench_btree(c: &mut Criterion) {
+    use netmark_relstore::btree::BTree;
+    use netmark_relstore::buffer::BufferPool;
+    use netmark_relstore::disk::FileManager;
+    use std::sync::Arc;
+    let dir = scratch("btree");
+    let fm = Arc::new(FileManager::open(&dir).unwrap());
+    let pool = Arc::new(BufferPool::new(Arc::clone(&fm), 512));
+    let f = fm.open_file("bench.idx").unwrap();
+    let tree = BTree::open(pool, f).unwrap();
+    for i in 0..10_000u32 {
+        tree.insert(format!("key{i:06}").as_bytes(), &i.to_le_bytes())
+            .unwrap();
+    }
+    c.bench_function("btree/get_hot_10k", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 37) % 10_000;
+            std::hint::black_box(tree.get(format!("key{i:06}").as_bytes()).unwrap())
+        })
+    });
+    c.bench_function("btree/insert_sequential", |b| {
+        let mut i = 10_000u32;
+        b.iter(|| {
+            i += 1;
+            tree.insert(format!("key{i:06}").as_bytes(), &i.to_le_bytes())
+                .unwrap()
+        })
+    });
+}
+
+fn bench_text(c: &mut Criterion) {
+    let text = "The space shuttle engine controller faulted during ascent and \
+                the technology gap is shrinking across the aeronautics program";
+    c.bench_function("textindex/tokenize_20_words", |b| {
+        b.iter(|| std::hint::black_box(tokenize_text(text)))
+    });
+    let mut ix = InvertedIndex::new();
+    for i in 0..20_000u64 {
+        ix.add(i + 1, text);
+        // Vary a term so queries have selectivity.
+        if i % 10 == 0 {
+            // ids ascend; nothing else needed
+        }
+    }
+    c.bench_function("textindex/term_query_dense", |b| {
+        b.iter(|| std::hint::black_box(ix.execute(&TextQuery::Term("shuttle".into()))))
+    });
+    c.bench_function("textindex/phrase_query", |b| {
+        b.iter(|| std::hint::black_box(ix.execute(&TextQuery::phrase("technology gap"))))
+    });
+}
+
+fn bench_parsers(c: &mut Criterion) {
+    let xml_cfg = NodeTypeConfig::xml_default();
+    let html_cfg = NodeTypeConfig::html_default();
+    let xml = "<doc><Context>Budget</Context><Content><p>two <b>million</b> dollars</p></Content></doc>";
+    let html = "<html><body><h1>Budget</h1><p>two <b>million</b> dollars<p>next</body></html>";
+    c.bench_function("sgml/parse_xml_small", |b| {
+        b.iter(|| std::hint::black_box(parse_xml(xml, &xml_cfg).unwrap()))
+    });
+    c.bench_function("sgml/parse_html_small", |b| {
+        b.iter(|| std::hint::black_box(parse_html(html, &html_cfg)))
+    });
+    let wdoc = &proposals(&CorpusConfig::sized(1))[0];
+    c.bench_function("docformats/upmark_proposal", |b| {
+        b.iter(|| std::hint::black_box(netmark_docformats::upmark(&wdoc.name, &wdoc.content)))
+    });
+}
+
+fn bench_xpath(c: &mut Criterion) {
+    let cfg = NodeTypeConfig::xml_default();
+    let doc = parse_xml(
+        "<results><hit doc='a'><Context>Budget</Context><Content>x</Content></hit>\
+         <hit doc='b'><Context>Risks</Context><Content>y</Content></hit></results>",
+        &cfg,
+    )
+    .unwrap();
+    c.bench_function("xslt/xpath_descendant", |b| {
+        b.iter(|| std::hint::black_box(select("//Content", &doc).unwrap()))
+    });
+    c.bench_function("xslt/xpath_predicate", |b| {
+        b.iter(|| std::hint::black_box(select("hit[@doc='b']/Context", &doc).unwrap()))
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let dir = scratch("engine");
+    let nm = NetMark::open(&dir).unwrap();
+    for d in mixed(&CorpusConfig::sized(400)) {
+        nm.insert_file(&d.name, &d.content).unwrap();
+    }
+    c.bench_function("netmark/context_query_400docs", |b| {
+        let q = XdbQuery::context("Budget");
+        b.iter(|| std::hint::black_box(nm.query(&q).unwrap()))
+    });
+    c.bench_function("netmark/content_query_400docs", |b| {
+        let q = XdbQuery::content("shuttle");
+        b.iter(|| std::hint::black_box(nm.query(&q).unwrap()))
+    });
+    c.bench_function("netmark/combined_query_400docs", |b| {
+        let q = XdbQuery::context_content("Budget", "telemetry");
+        b.iter(|| std::hint::black_box(nm.query(&q).unwrap()))
+    });
+    let doc = &proposals(&CorpusConfig::sized(1))[0];
+    let mut i = 0usize;
+    c.bench_function("netmark/ingest_proposal", |b| {
+        b.iter(|| {
+            i += 1;
+            nm.insert_file(&format!("p{i}.wdoc"), &doc.content).unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_page, bench_tuple, bench_btree, bench_text, bench_parsers, bench_xpath, bench_engine
+}
+criterion_main!(benches);

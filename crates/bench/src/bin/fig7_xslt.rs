@@ -1,0 +1,72 @@
+//! FIG7 — Fig 7: the XDB Query search + XSLT transformation process.
+//!
+//! "In this URL we may also specify an XSLT stylesheet which specifies how
+//! the results are to be formatted and composed into a new document …
+//! XSLT transformation is done using the Xalan XSLT processor." This
+//! harness measures the two stages of Fig 7 separately — query execution
+//! and stylesheet application — as the result set grows, for two
+//! stylesheets (flat report; sorted composition).
+
+use netmark::XdbQuery;
+use netmark_bench::{banner, fmt_dur, load_netmark, median_of, TableWriter, TempDir};
+use netmark_corpus::{task_plans, CorpusConfig};
+
+const FLAT: &str = r#"<xsl:stylesheet>
+  <xsl:template match="/">
+    <report><xsl:for-each select="hit">
+      <section doc="{@doc}"><xsl:value-of select="Content"/></section>
+    </xsl:for-each></report>
+  </xsl:template>
+</xsl:stylesheet>"#;
+
+const SORTED: &str = r#"<xsl:stylesheet>
+  <xsl:template match="/">
+    <report><xsl:for-each select="hit">
+      <xsl:sort select="@doc" order="descending"/>
+      <section doc="{@doc}" heading="{Context}"><xsl:value-of select="Content"/></section>
+    </xsl:for-each></report>
+  </xsl:template>
+</xsl:stylesheet>"#;
+
+fn main() {
+    banner(
+        "FIG7",
+        "Fig 7 — XDB Query search and transformation process",
+        "query results compose into new documents via client-named XSLT; \
+         composition cost is linear in the result size, not the corpus",
+    );
+    // One corpus large enough to produce the biggest result set.
+    let docs = task_plans(&CorpusConfig::sized(1000));
+    let scratch = TempDir::new("fig7");
+    let nm = load_netmark(scratch.path(), &docs);
+    nm.register_stylesheet("flat", FLAT).expect("flat");
+    nm.register_stylesheet("sorted", SORTED).expect("sorted");
+
+    let mut t = TableWriter::new(&[
+        "result sections",
+        "query latency",
+        "xslt=flat latency",
+        "xslt=sorted latency",
+        "composed bytes",
+    ]);
+    for &limit in &[10usize, 100, 1000] {
+        let q = XdbQuery::context("Budget").with_limit(limit);
+        let (rs, q_lat) = median_of(5, || nm.query(&q).expect("query"));
+        let (flat_node, flat_lat) = median_of(5, || nm.compose(&rs, "flat").expect("compose"));
+        let (_, sorted_lat) = median_of(5, || nm.compose(&rs, "sorted").expect("compose"));
+        t.row(&[
+            rs.len().to_string(),
+            fmt_dur(q_lat),
+            fmt_dur(flat_lat),
+            fmt_dur(sorted_lat),
+            flat_node.to_xml().len().to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nreading: both Fig-7 stages scale with the result set; the sorted \
+         stylesheet pays an extra (n log n) but remains milliseconds at \
+         1000 sections — on-the-fly composition is cheap enough to live at \
+         the client, as the lean-middleware thesis requires."
+    );
+}

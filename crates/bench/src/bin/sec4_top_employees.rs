@@ -1,0 +1,188 @@
+//! SEC4 — the §4 related-work comparison, quantified.
+//!
+//! "Mediation frameworks such as MIX provide for defining such virtual
+//! views and then simply querying the Top Employees (virtual) view. In
+//! NETMARK we will end up asking three different queries … Note however
+//! that the approach in MIX/Nimble absolutely requires us to formally
+//! define schemas (source views) for the three information sources, define
+//! a virtual 'Top Employees' view and specify the relationships."
+//!
+//! Measured: artifacts to set up, queries per question, latency per
+//! question, and the same-answer check, on growing personnel data.
+
+use netmark::{NetMark, XdbQuery};
+use netmark_bench::{banner, fmt_dur, median_of, time, TableWriter, TempDir};
+use netmark_corpus::personnel_csv;
+use netmark_gav::{
+    CmpOp, GValue, GlobalView, Mapping, Mediator, Predicate, RelationSchema, Source, ViewQuery,
+};
+
+const CENTERS: [&str; 3] = ["ames", "johnson", "kennedy"];
+
+fn build_gav(csvs: &[netmark_corpus::RawDoc]) -> Mediator {
+    let mut med = Mediator::new();
+    med.register_source(
+        Source::new("ames").with_relation(RelationSchema::new("personnel", &["name", "rating"])),
+    )
+    .expect("source");
+    med.register_source(
+        Source::new("johnson").with_relation(RelationSchema::new("staff", &["employee", "score"])),
+    )
+    .expect("source");
+    med.register_source(
+        Source::new("kennedy").with_relation(RelationSchema::new("people", &["who", "grade"])),
+    )
+    .expect("source");
+    for (center, csv) in CENTERS.iter().zip(csvs) {
+        let rows: Vec<Vec<GValue>> = csv
+            .content
+            .lines()
+            .skip(1)
+            .map(|l| {
+                let (name, rating) = l.split_once(',').expect("two columns");
+                let rating = rating
+                    .parse::<f64>()
+                    .map(GValue::Num)
+                    .unwrap_or_else(|_| GValue::Text(rating.to_string()));
+                vec![GValue::Text(name.to_string()), rating]
+            })
+            .collect();
+        let rel = match *center {
+            "johnson" => "staff",
+            "kennedy" => "people",
+            _ => "personnel",
+        };
+        med.load_rows(center, rel, rows).expect("load");
+    }
+    med.define_view(GlobalView {
+        name: "TopEmployees".into(),
+        columns: vec!["name".into()],
+        mappings: vec![
+            Mapping {
+                source: "ames".into(),
+                relation: "personnel".into(),
+                selections: vec![Predicate::new("rating", CmpOp::Eq, "excellent")],
+                projection: vec![Some("name".into())],
+            },
+            Mapping {
+                source: "johnson".into(),
+                relation: "staff".into(),
+                selections: vec![Predicate::new("score", CmpOp::Le, 2.0)],
+                projection: vec![Some("employee".into())],
+            },
+            Mapping {
+                source: "kennedy".into(),
+                relation: "people".into(),
+                selections: vec![Predicate::new("grade", CmpOp::Eq, "very good")],
+                projection: vec![Some("who".into())],
+            },
+        ],
+    })
+    .expect("view");
+    med
+}
+
+type RowFilter = fn(&str) -> bool;
+
+fn netmark_top(nm: &NetMark) -> Vec<String> {
+    let mut names = Vec::new();
+    let specs: Vec<(XdbQuery, RowFilter)> = vec![
+        (
+            XdbQuery::context_content("ames-personnel", "excellent"),
+            |row| row.contains("excellent"),
+        ),
+        (XdbQuery::context("johnson-personnel"), |row| {
+            matches!(row.rsplit(' ').next(), Some("1" | "2"))
+        }),
+        (
+            XdbQuery::context_content("kennedy-personnel", "very good"),
+            |row| row.contains("very good"),
+        ),
+    ];
+    for (q, keep) in &specs {
+        for hit in &nm.query(q).expect("query").hits {
+            for row in hit.content.find_all("row") {
+                let text = row.text_content();
+                if keep(&text) {
+                    names.push(text.split_whitespace().next().unwrap_or("").to_string());
+                }
+            }
+        }
+    }
+    names
+}
+
+fn main() {
+    banner(
+        "SEC4",
+        "§4 — 'Top Employees of NASA': GAV mediation vs NETMARK",
+        "GAV: 1 virtual-view query but schemas+view+mappings must exist; \
+         NETMARK: zero mapping artifacts but 3 queries (one per center); \
+         both give the same answer",
+    );
+    let mut t = TableWriter::new(&[
+        "employees/center",
+        "approach",
+        "setup artifacts",
+        "setup time",
+        "queries/question",
+        "question latency",
+        "answers",
+    ]);
+    for &n in &[30usize, 300, 3000] {
+        let csvs: Vec<_> = CENTERS.iter().map(|c| personnel_csv(c, n, 99)).collect();
+
+        // GAV side.
+        let (med, setup_gav) = time(|| build_gav(&csvs));
+        let (rows, gav_lat) = median_of(5, || {
+            med.query(&ViewQuery {
+                view: "TopEmployees".into(),
+                predicates: vec![],
+                projection: vec![],
+            })
+            .expect("query")
+            .1
+        });
+        t.row(&[
+            n.to_string(),
+            "GAV mediator".to_string(),
+            format!("{} (3 schemas+3 mappings+1 view)", med.cost().total()),
+            fmt_dur(setup_gav),
+            "1".to_string(),
+            fmt_dur(gav_lat),
+            rows.len().to_string(),
+        ]);
+
+        // NETMARK side.
+        let scratch = TempDir::new("sec4");
+        let (nm, setup_nm) = time(|| {
+            let nm = NetMark::open(scratch.path()).expect("open");
+            for csv in &csvs {
+                nm.insert_file(&csv.name, &csv.content).expect("ingest");
+            }
+            nm
+        });
+        let (mut nm_names, nm_lat) = median_of(5, || netmark_top(&nm));
+        let mut gav_names: Vec<String> = rows.iter().map(|r| r[0].to_string()).collect();
+        gav_names.sort();
+        nm_names.sort();
+        assert_eq!(gav_names, nm_names, "both approaches agree");
+        t.row(&[
+            n.to_string(),
+            "NETMARK".to_string(),
+            "0 (documents dropped in as-is)".to_string(),
+            fmt_dur(setup_nm),
+            "3".to_string(),
+            fmt_dur(nm_lat),
+            nm_names.len().to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nreading: the paper's stated trade-off reproduces exactly — GAV \
+         answers with one query over its virtual view but carries 7 \
+         schema/mapping artifacts that must exist (and be maintained) \
+         beforehand; NETMARK carries zero artifacts and pays three queries \
+         per question. Answers agree at every scale."
+    );
+}

@@ -1,0 +1,13 @@
+//! The `netmark` binary: thin shim over [`netmark_cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    match netmark_cli::parse_args(&args) {
+        Ok(inv) => std::process::exit(netmark_cli::run(&inv, &mut stdout)),
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{}", netmark_cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type for the NETMARK engine.
+
+use netmark_relstore::StoreError;
+use netmark_xdb::QueryParseError;
+use netmark_xslt::XsltError;
+use std::fmt;
+
+/// Errors surfaced by the NETMARK engine.
+#[derive(Debug)]
+pub enum NetmarkError {
+    /// Underlying storage failure.
+    Store(StoreError),
+    /// Malformed XDB query string.
+    Query(QueryParseError),
+    /// Stylesheet parse/apply failure.
+    Xslt(XsltError),
+    /// A named stylesheet is not registered.
+    NoSuchStylesheet(String),
+    /// A document name or id did not resolve.
+    NoSuchDocument(String),
+    /// Stored data failed to decode.
+    Corrupt(String),
+}
+
+impl fmt::Display for NetmarkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetmarkError::Store(e) => write!(f, "storage: {e}"),
+            NetmarkError::Query(e) => write!(f, "{e}"),
+            NetmarkError::Xslt(e) => write!(f, "{e}"),
+            NetmarkError::NoSuchStylesheet(n) => write!(f, "no stylesheet named '{n}'"),
+            NetmarkError::NoSuchDocument(n) => write!(f, "no document '{n}'"),
+            NetmarkError::Corrupt(m) => write!(f, "corrupt store: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetmarkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetmarkError::Store(e) => Some(e),
+            NetmarkError::Query(e) => Some(e),
+            NetmarkError::Xslt(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for NetmarkError {
+    fn from(e: StoreError) -> Self {
+        NetmarkError::Store(e)
+    }
+}
+
+impl From<QueryParseError> for NetmarkError {
+    fn from(e: QueryParseError) -> Self {
+        NetmarkError::Query(e)
+    }
+}
+
+impl From<XsltError> for NetmarkError {
+    fn from(e: XsltError) -> Self {
+        NetmarkError::Xslt(e)
+    }
+}
+
+/// Result alias for the engine.
+pub type Result<T> = std::result::Result<T, NetmarkError>;

@@ -1,0 +1,571 @@
+//! The `NetMark` facade: one handle for ingest, query, composition.
+
+use crate::error::{NetmarkError, Result};
+use crate::search::Searcher;
+use crate::store::{DocId, DocInfo, IngestReport, NodeStore};
+use netmark_docformats::upmark;
+use netmark_model::{Document, Node};
+use netmark_relstore::{Database, DbOptions};
+use netmark_textindex::InvertedIndex;
+use netmark_xdb::{ResultSet, XdbQuery};
+use netmark_xslt::Stylesheet;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Tuning knobs for [`NetMark::open_with`].
+#[derive(Debug, Clone)]
+pub struct NetMarkOptions {
+    /// Storage-engine options.
+    pub db: DbOptions,
+    /// Persist the full-text index on every [`NetMark::flush`].
+    pub persist_text_index: bool,
+}
+
+impl Default for NetMarkOptions {
+    fn default() -> Self {
+        NetMarkOptions {
+            db: DbOptions::default(),
+            persist_text_index: true,
+        }
+    }
+}
+
+/// What a URL query returned: raw results, or a stylesheet-composed
+/// document (when the URL named an `xslt=`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutput {
+    /// The raw result set.
+    Results(ResultSet),
+    /// The composed document produced by the named stylesheet.
+    Composed(Node),
+}
+
+impl QueryOutput {
+    /// The result set, if this output is raw results.
+    pub fn results(self) -> Option<ResultSet> {
+        match self {
+            QueryOutput::Results(r) => Some(r),
+            QueryOutput::Composed(_) => None,
+        }
+    }
+
+    /// The composed node, if a stylesheet ran.
+    pub fn composed(self) -> Option<Node> {
+        match self {
+            QueryOutput::Composed(n) => Some(n),
+            QueryOutput::Results(_) => None,
+        }
+    }
+}
+
+/// Aggregate statistics (for benches and ops).
+#[derive(Debug, Clone)]
+pub struct NetMarkStats {
+    /// Stored documents.
+    pub documents: usize,
+    /// Stored `XML` rows.
+    pub nodes: usize,
+    /// Distinct indexed terms.
+    pub terms: usize,
+    /// Compressed text-index bytes.
+    pub index_bytes: usize,
+}
+
+/// An open NETMARK instance: schema-less store + text index + stylesheets.
+pub struct NetMark {
+    store: NodeStore,
+    index: RwLock<InvertedIndex>,
+    stylesheets: RwLock<HashMap<String, Stylesheet>>,
+    index_path: PathBuf,
+    options: NetMarkOptions,
+}
+
+impl NetMark {
+    /// Opens (or creates) a NETMARK instance in `dir`.
+    pub fn open(dir: &Path) -> Result<NetMark> {
+        NetMark::open_with(dir, NetMarkOptions::default())
+    }
+
+    /// Opens with explicit options.
+    pub fn open_with(dir: &Path, options: NetMarkOptions) -> Result<NetMark> {
+        let db = Database::open_with(dir, options.db.clone())?;
+        let store = NodeStore::open(db)?;
+        let index_path = dir.join("text.idx");
+        // Load the persisted index; rebuild from the store when missing,
+        // corrupt, or stale (fewer entries than the store holds).
+        let index = match InvertedIndex::load(&index_path) {
+            Some(ix) => ix,
+            None => {
+                let mut ix = InvertedIndex::new();
+                for (id, text) in store.all_text_entries()? {
+                    ix.add(id, &text);
+                }
+                ix
+            }
+        };
+        Ok(NetMark {
+            store,
+            index: RwLock::new(index),
+            stylesheets: RwLock::new(HashMap::new()),
+            index_path,
+            options,
+        })
+    }
+
+    /// The underlying node store (exposed for benches and ablations).
+    pub fn store(&self) -> &NodeStore {
+        &self.store
+    }
+
+    /// Ingests an already-upmarked document.
+    pub fn insert_document(&self, doc: &Document) -> Result<IngestReport> {
+        let report = self.store.ingest(doc)?;
+        let mut ix = self.index.write();
+        for (id, text) in &report.index_entries {
+            ix.add(*id, text);
+        }
+        Ok(report)
+    }
+
+    /// Ingests a raw file: format detection + upmarking + storage — the
+    /// paper's drop-a-file-in-the-folder pathway.
+    pub fn insert_file(&self, name: &str, content: &str) -> Result<IngestReport> {
+        self.insert_document(&upmark(name, content))
+    }
+
+    /// Deletes a document by id.
+    pub fn remove_document(&self, doc_id: DocId) -> Result<()> {
+        let node_ids = self.store.remove_document(doc_id)?;
+        let mut ix = self.index.write();
+        for id in node_ids {
+            ix.remove(id);
+        }
+        Ok(())
+    }
+
+    /// Stored document list.
+    pub fn list_documents(&self) -> Result<Vec<DocInfo>> {
+        self.store.list_docs()
+    }
+
+    /// Document metadata by name.
+    pub fn document_by_name(&self, name: &str) -> Result<Option<DocInfo>> {
+        self.store.doc_by_name(name)
+    }
+
+    /// Reconstructs a full stored document.
+    pub fn reconstruct_document(&self, doc_id: DocId) -> Result<Document> {
+        self.store.reconstruct_document(doc_id)
+    }
+
+    /// Runs a parsed XDB query.
+    pub fn query(&self, q: &XdbQuery) -> Result<ResultSet> {
+        let ix = self.index.read();
+        Searcher::new(&self.store, &ix).execute(q)
+    }
+
+    /// Runs an XDB URL — "simple HTTP requests … an extremely simple yet
+    /// powerful mechanism" (paper §2.1.2). When the URL names `xslt=`, the
+    /// registered stylesheet composes the result.
+    pub fn query_url(&self, url: &str) -> Result<QueryOutput> {
+        let q = XdbQuery::parse(url)?;
+        let results = self.query(&q)?;
+        match &q.xslt {
+            None => Ok(QueryOutput::Results(results)),
+            Some(name) => Ok(QueryOutput::Composed(self.compose(&results, name)?)),
+        }
+    }
+
+    /// Evaluates an XPath-lite expression over one stored document — the
+    /// paper's "or even full-fledged XML querying, over any information
+    /// repository" capability. Returns the matched subtrees (cloned).
+    pub fn select_xpath(&self, doc_name: &str, path: &str) -> Result<Vec<Node>> {
+        let info = self
+            .document_by_name(doc_name)?
+            .ok_or_else(|| NetmarkError::NoSuchDocument(doc_name.to_string()))?;
+        let doc = self.reconstruct_document(info.doc_id)?;
+        let value = netmark_xslt::select(path, &doc.root)
+            .map_err(|e| NetmarkError::Xslt(netmark_xslt::XsltError::BadExpr(e)))?;
+        Ok(match value {
+            netmark_xslt::XPathValue::Nodes(ns) => ns.into_iter().cloned().collect(),
+            netmark_xslt::XPathValue::Strings(ss) => {
+                ss.into_iter().map(|s| Node::text(&s)).collect()
+            }
+        })
+    }
+
+    /// Registers (or replaces) a named stylesheet.
+    pub fn register_stylesheet(&self, name: &str, source: &str) -> Result<()> {
+        let ss = Stylesheet::parse(source)?;
+        self.stylesheets.write().insert(name.to_string(), ss);
+        Ok(())
+    }
+
+    /// Names of registered stylesheets.
+    pub fn stylesheet_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.stylesheets.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Composes `results` with the named stylesheet (Fig 7's search → XSLT
+    /// transformation pipeline).
+    pub fn compose(&self, results: &ResultSet, stylesheet: &str) -> Result<Node> {
+        let guard = self.stylesheets.read();
+        let ss = guard
+            .get(stylesheet)
+            .ok_or_else(|| NetmarkError::NoSuchStylesheet(stylesheet.to_string()))?;
+        Ok(ss.apply(&results.to_node())?)
+    }
+
+    /// Persists the text index and checkpoints the store.
+    pub fn flush(&self) -> Result<()> {
+        if self.options.persist_text_index {
+            self.index
+                .read()
+                .save(&self.index_path)
+                .map_err(netmark_relstore::StoreError::Io)?;
+        }
+        self.store.database().checkpoint()?;
+        Ok(())
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> Result<NetMarkStats> {
+        let ix = self.index.read();
+        Ok(NetMarkStats {
+            documents: self.store.list_docs()?.len(),
+            nodes: self.store.node_count()?,
+            terms: ix.term_count(),
+            index_bytes: ix.byte_size(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn setup(tag: &str) -> (NetMark, PathBuf) {
+        let dir = std::env::temp_dir().join(format!("netmark-nm-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let nm = NetMark::open(&dir).unwrap();
+        (nm, dir)
+    }
+
+    fn load_samples(nm: &NetMark) {
+        nm.insert_file(
+            "plan-a.wdoc",
+            "<<Title>> Plan A\n<<Heading1>> Budget\n<<Normal>> two million dollars\n<<Heading1>> Technology Gap\n<<Normal>> the gap is shrinking\n",
+        )
+        .unwrap();
+        nm.insert_file(
+            "plan-b.txt",
+            "# Budget\none million dollars\n# Technology Gap\nthe gap is growing\n",
+        )
+        .unwrap();
+        nm.insert_file(
+            "ll-0424.html",
+            "<html><body><h1>Summary</h1><p>The shuttle engine faulted.</p></body></html>",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn context_search_returns_sections_across_documents() {
+        let (nm, dir) = setup("ctx");
+        load_samples(&nm);
+        let rs = nm.query(&XdbQuery::context("Budget")).unwrap();
+        assert_eq!(rs.len(), 2);
+        let texts: Vec<String> = rs.hits.iter().map(|h| h.content_text()).collect();
+        assert!(texts.iter().any(|t| t.contains("two million")));
+        assert!(texts.iter().any(|t| t.contains("one million")));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn content_search_paper_example() {
+        let (nm, dir) = setup("content");
+        load_samples(&nm);
+        // Content=Shuttle returns documents containing 'Shuttle' anywhere.
+        let rs = nm.query(&XdbQuery::content("Shuttle")).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.hits[0].doc, "ll-0424.html");
+        assert_eq!(rs.hits[0].context, "Summary");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn combined_context_content_paper_example() {
+        let (nm, dir) = setup("combined");
+        load_samples(&nm);
+        // Context=Technology Gap & Content=Shrinking: only plan-a matches.
+        let rs = nm
+            .query(&XdbQuery::context_content("Technology Gap", "Shrinking"))
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.hits[0].doc, "plan-a.wdoc");
+        assert!(rs.hits[0].content_text().contains("shrinking"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn url_query_with_xslt_composition() {
+        let (nm, dir) = setup("url");
+        load_samples(&nm);
+        nm.register_stylesheet(
+            "report",
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/">
+                   <report>
+                     <xsl:for-each select="hit">
+                       <section doc="{@doc}"><xsl:value-of select="Content"/></section>
+                     </xsl:for-each>
+                   </report>
+                 </xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        let out = nm
+            .query_url("Context=Budget&xslt=report")
+            .unwrap()
+            .composed()
+            .unwrap();
+        assert_eq!(out.name, "report");
+        assert_eq!(out.find_all("section").len(), 2);
+        // Raw results when no stylesheet is named.
+        let raw = nm.query_url("Context=Budget").unwrap().results().unwrap();
+        assert_eq!(raw.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_stylesheet_errors() {
+        let (nm, dir) = setup("noss");
+        load_samples(&nm);
+        assert!(matches!(
+            nm.query_url("Context=Budget&xslt=missing"),
+            Err(NetmarkError::NoSuchStylesheet(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn remove_document_hides_hits() {
+        let (nm, dir) = setup("rm");
+        load_samples(&nm);
+        let info = nm.document_by_name("plan-a.wdoc").unwrap().unwrap();
+        nm.remove_document(info.doc_id).unwrap();
+        let rs = nm.query(&XdbQuery::context("Budget")).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(
+            nm.query(&XdbQuery::content("shrinking")).unwrap().len(),
+            0
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flush_and_reopen_with_persisted_index() {
+        let dir = std::env::temp_dir().join(format!("netmark-nm-reopen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let nm = NetMark::open(&dir).unwrap();
+            load_samples(&nm);
+            nm.flush().unwrap();
+        }
+        let nm = NetMark::open(&dir).unwrap();
+        let rs = nm.query(&XdbQuery::content("shuttle")).unwrap();
+        assert_eq!(rs.len(), 1);
+        // Index file exists on disk.
+        assert!(dir.join("text.idx").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_without_index_file_rebuilds() {
+        let dir = std::env::temp_dir().join(format!("netmark-nm-rebuild-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let nm = NetMark::open(&dir).unwrap();
+            load_samples(&nm);
+            nm.flush().unwrap();
+        }
+        std::fs::remove_file(dir.join("text.idx")).unwrap();
+        let nm = NetMark::open(&dir).unwrap();
+        assert_eq!(nm.query(&XdbQuery::content("shuttle")).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn doc_filter_and_limit() {
+        let (nm, dir) = setup("filter");
+        load_samples(&nm);
+        let mut q = XdbQuery::context("Budget");
+        q.doc = Some("plan-b.txt".to_string());
+        let rs = nm.query(&q).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.hits[0].doc, "plan-b.txt");
+
+        let q = XdbQuery::context("Budget").with_limit(1);
+        let rs = nm.query(&q).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert!(rs.truncated);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unconstrained_query_lists_all_sections() {
+        let (nm, dir) = setup("all");
+        load_samples(&nm);
+        let rs = nm.query(&XdbQuery::default()).unwrap();
+        assert!(rs.len() >= 5, "every section of every doc, got {}", rs.len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_reflect_content() {
+        let (nm, dir) = setup("stats");
+        load_samples(&nm);
+        let st = nm.stats().unwrap();
+        assert_eq!(st.documents, 3);
+        assert!(st.nodes > 20);
+        assert!(st.terms > 10);
+        assert!(st.index_bytes > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn phrase_match_mode() {
+        let (nm, dir) = setup("phrase");
+        load_samples(&nm);
+        let rs = nm
+            .query(&XdbQuery::content("gap is shrinking").with_phrase_match())
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.hits[0].doc, "plan-a.wdoc");
+        // Keywords mode matches both plans ("gap is" + either verb).
+        let rs = nm.query(&XdbQuery::content("the gap is")).unwrap();
+        assert_eq!(rs.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod xpath_tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn setup(tag: &str) -> (NetMark, PathBuf) {
+        let dir = std::env::temp_dir().join(format!("netmark-xp-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        (NetMark::open(&dir).unwrap(), dir)
+    }
+
+    #[test]
+    fn xpath_over_stored_document() {
+        let (nm, dir) = setup("sel");
+        nm.insert_file(
+            "sheet.csv",
+            "Task,Center,Amount\nT-1,ames,100\nT-2,johnson,200\n",
+        )
+        .unwrap();
+        // Structured query over a spreadsheet, no schema declared anywhere.
+        let rows = nm.select_xpath("sheet.csv", "//row").unwrap();
+        assert_eq!(rows.len(), 2);
+        let amounts = nm
+            .select_xpath("sheet.csv", "//row[Center='johnson']/Amount")
+            .unwrap();
+        assert_eq!(amounts.len(), 1);
+        assert_eq!(amounts[0].text_content(), "200");
+        // Attribute steps return text nodes.
+        let names = nm.select_xpath("sheet.csv", "//table/@sheet").unwrap();
+        assert_eq!(names[0].text_content(), "sheet");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn xpath_errors() {
+        let (nm, dir) = setup("err");
+        nm.insert_file("a.txt", "# S\nx\n").unwrap();
+        assert!(matches!(
+            nm.select_xpath("missing.txt", "//p"),
+            Err(NetmarkError::NoSuchDocument(_))
+        ));
+        assert!(nm.select_xpath("a.txt", "a[").is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod union_context_tests {
+    use super::*;
+
+    #[test]
+    fn union_context_labels() {
+        let dir = std::env::temp_dir().join(format!("netmark-union-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let nm = NetMark::open(&dir).unwrap();
+        // The §4 example: one source says "Budget", another "Cost Details".
+        nm.insert_file("a.txt", "# Budget\ntwo million\n").unwrap();
+        nm.insert_file("b.txt", "# Cost Details\nitemized spend\n").unwrap();
+        let rs = nm.query(&XdbQuery::context("Budget|Cost Details")).unwrap();
+        assert_eq!(rs.len(), 2);
+        let labels: Vec<&str> = rs.hits.iter().map(|h| h.context.as_str()).collect();
+        assert!(labels.contains(&"Budget"));
+        assert!(labels.contains(&"Cost Details"));
+        // Union composes with content filtering.
+        let rs = nm
+            .query(&XdbQuery::context_content("Budget|Cost Details", "itemized"))
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.hits[0].context, "Cost Details");
+        // Stray separators are harmless.
+        let rs = nm.query(&XdbQuery::context("|Budget|")).unwrap();
+        assert_eq!(rs.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod fallback_tests {
+    use super::*;
+
+    #[test]
+    fn context_label_phrase_fallback() {
+        // No heading is exactly "Budget", but one contains the phrase; the
+        // searcher falls back to a phrase match over indexed labels.
+        let dir = std::env::temp_dir().join(format!("netmark-fb-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let nm = NetMark::open(&dir).unwrap();
+        nm.insert_file("a.txt", "# Budget Overview FY05\nthe money\n")
+            .unwrap();
+        nm.insert_file("b.txt", "# Schedule\nthe dates\n").unwrap();
+        let rs = nm.query(&XdbQuery::context("Budget")).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.hits[0].context, "Budget Overview FY05");
+        // Exact matches still win over the fallback when both exist.
+        nm.insert_file("c.txt", "# Budget\nexact money\n").unwrap();
+        let rs = nm.query(&XdbQuery::context("Budget")).unwrap();
+        assert_eq!(rs.len(), 1, "exact label match suppresses the fallback");
+        assert_eq!(rs.hits[0].doc, "c.txt");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn content_hits_in_headings_count() {
+        // Content=X matches terms appearing only in a heading, because
+        // context labels are indexed too.
+        let dir = std::env::temp_dir().join(format!("netmark-fb2-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let nm = NetMark::open(&dir).unwrap();
+        nm.insert_file("a.txt", "# Shuttle Readiness\nall systems go\n")
+            .unwrap();
+        let rs = nm.query(&XdbQuery::content("shuttle")).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.hits[0].context, "Shuttle Readiness");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

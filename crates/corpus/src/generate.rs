@@ -1,0 +1,433 @@
+//! Seeded document generators, one per NASA corpus the paper's
+//! applications draw on.
+//!
+//! Each generator emits *raw format text* (`.wdoc`, `.pdoc`, `.sdoc`,
+//! `.html`, `.txt`, `.csv`) — the same bytes a user would drop in the
+//! NETMARK folder — so ingestion benches exercise the full upmark pipeline.
+//! Everything is deterministic in the seed.
+
+use crate::words::{body_text, pick, title_text, SECTION_NAMES};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated raw file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawDoc {
+    /// File name (extension selects the upmarker).
+    pub name: String,
+    /// Raw file contents.
+    pub content: String,
+}
+
+/// Knobs shared by the generators.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusConfig {
+    /// RNG seed; same seed → same corpus.
+    pub seed: u64,
+    /// Number of documents.
+    pub docs: usize,
+    /// Sections per document (inclusive range).
+    pub sections: (usize, usize),
+    /// Paragraphs per section (inclusive range).
+    pub paragraphs: (usize, usize),
+    /// Words per paragraph (inclusive range).
+    pub words: (usize, usize),
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            seed: 42,
+            docs: 100,
+            sections: (3, 8),
+            paragraphs: (1, 4),
+            words: (15, 60),
+        }
+    }
+}
+
+impl CorpusConfig {
+    /// Convenience: `docs` documents with everything else default.
+    pub fn sized(docs: usize) -> CorpusConfig {
+        CorpusConfig {
+            docs,
+            ..Default::default()
+        }
+    }
+
+    /// Convenience: change the seed.
+    pub fn with_seed(mut self, seed: u64) -> CorpusConfig {
+        self.seed = seed;
+        self
+    }
+
+    fn range(&self, rng: &mut SmallRng, r: (usize, usize)) -> usize {
+        if r.0 >= r.1 {
+            r.0
+        } else {
+            rng.gen_range(r.0..=r.1)
+        }
+    }
+}
+
+fn doc_rng(cfg: &CorpusConfig, kind: u64, i: usize) -> SmallRng {
+    SmallRng::seed_from_u64(cfg.seed ^ (kind << 32) ^ i as u64)
+}
+
+fn sections_for<'a>(cfg: &CorpusConfig, rng: &mut SmallRng) -> Vec<&'a str> {
+    let n = cfg.range(rng, cfg.sections).max(1);
+    // Always lead with a paper-example heading so the canonical queries
+    // (`Context=Budget`, `Context=Technology Gap`) have targets.
+    let mut out = vec!["Budget"];
+    while out.len() < n {
+        let s = pick(rng, SECTION_NAMES);
+        if !out.contains(&s) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// NASA proposals as simulated Word files (`.wdoc`) — the input of the
+/// Proposal Financial Management application.
+pub fn proposals(cfg: &CorpusConfig) -> Vec<RawDoc> {
+    (0..cfg.docs)
+        .map(|i| {
+            let mut rng = doc_rng(cfg, 1, i);
+            let mut s = format!("<<Title>> Proposal P-{:04}: {}\n", i, title_text(&mut rng, 4));
+            s.push_str(&format!(
+                "<<Normal>> Submitted by the {} division requesting **${}K**.\n",
+                pick(&mut rng, &["aeronautics", "space science", "exploration", "technology"]),
+                rng.gen_range(100..5000)
+            ));
+            for sec in sections_for(cfg, &mut rng) {
+                s.push_str(&format!("<<Heading1>> {sec}\n"));
+                for _ in 0..cfg.range(&mut rng, cfg.paragraphs) {
+                    let words = cfg.range(&mut rng, cfg.words);
+                    s.push_str(&format!("<<Normal>> {}\n", body_text(&mut rng, words)));
+                }
+            }
+            s.push_str("<<Heading1>> Cost Details\n<<Table>> Year | Amount\n");
+            for year in 2005..2008 {
+                s.push_str(&format!(
+                    "<<Table>> {year} | {}K\n",
+                    rng.gen_range(100..2000)
+                ));
+            }
+            RawDoc {
+                name: format!("proposal-{i:04}.wdoc"),
+                content: s,
+            }
+        })
+        .collect()
+}
+
+/// NASA task plans (`.wdoc`) — the thousands of inputs the IBPD example
+/// integrates ("extract and integrate information from thousands of NASA
+/// task plans containing the required budget information").
+pub fn task_plans(cfg: &CorpusConfig) -> Vec<RawDoc> {
+    (0..cfg.docs)
+        .map(|i| {
+            let mut rng = doc_rng(cfg, 2, i);
+            let center = pick(&mut rng, &["ames", "johnson", "kennedy", "goddard", "langley"]);
+            let mut s = format!("<<Title>> Task Plan TP-{i:05} ({center})\n");
+            s.push_str("<<Heading1>> Budget\n");
+            s.push_str(&format!(
+                "<<Normal>> FY05 request **${}K** for {}.\n",
+                rng.gen_range(50..900),
+                body_text(&mut rng, 6),
+            ));
+            s.push_str("<<Heading1>> Milestones\n");
+            for q in 1..=rng.gen_range(2..=4) {
+                s.push_str(&format!(
+                    "<<Normal>> Q{q}: {}\n",
+                    body_text(&mut rng, 10)
+                ));
+            }
+            RawDoc {
+                name: format!("taskplan-{i:05}.wdoc"),
+                content: s,
+            }
+        })
+        .collect()
+}
+
+/// Anomaly reports as simulated PDFs (`.pdoc`) — the Anomaly Tracking
+/// application's two web-accessible anomaly databases.
+pub fn anomaly_reports(cfg: &CorpusConfig) -> Vec<RawDoc> {
+    (0..cfg.docs)
+        .map(|i| {
+            let mut rng = doc_rng(cfg, 3, i);
+            let mut s = String::from("PAGE 1\n");
+            s.push_str(&format!(
+                "SPAN 72 720 18 bold | Anomaly Report AR-{:05}\n",
+                i
+            ));
+            s.push_str(&format!(
+                "SPAN 72 690 11 regular | During {} the {} {}.\n",
+                pick(&mut rng, &["ascent", "descent", "orbit", "ground test"]),
+                pick(&mut rng, &["engine", "valve", "sensor", "controller", "harness"]),
+                pick(&mut rng, &["faulted", "overheated", "stalled", "leaked"]),
+            ));
+            for sec in ["Corrective Action", "Disposition"] {
+                s.push_str(&format!("SPAN 72 650 14 bold | {sec}\n"));
+                let words = cfg.range(&mut rng, cfg.words).min(30);
+                s.push_str(&format!(
+                    "SPAN 72 620 11 regular | {}\n",
+                    body_text(&mut rng, words)
+                ));
+            }
+            RawDoc {
+                name: format!("anomaly-{i:05}.pdoc"),
+                content: s,
+            }
+        })
+        .collect()
+}
+
+/// Lessons-learned pages (`.html`) — the paper's content-search-only NASA
+/// Lessons Learned Information Server.
+pub fn lessons_learned(cfg: &CorpusConfig) -> Vec<RawDoc> {
+    (0..cfg.docs)
+        .map(|i| {
+            let mut rng = doc_rng(cfg, 4, i);
+            let mut s = format!(
+                "<html><head><title>Lesson {i:04}: {}</title></head><body>",
+                title_text(&mut rng, 3)
+            );
+            for sec in ["Summary", "Recommendation"] {
+                let words = cfg.range(&mut rng, cfg.words).min(40);
+                s.push_str(&format!(
+                    "<h1>{sec}</h1><p>{}</p>",
+                    body_text(&mut rng, words)
+                ));
+            }
+            s.push_str("</body></html>");
+            RawDoc {
+                name: format!("lesson-{i:04}.html"),
+                content: s,
+            }
+        })
+        .collect()
+}
+
+/// Risk-assessment slide decks (`.sdoc`) — the Risk Assessment application.
+pub fn risk_decks(cfg: &CorpusConfig) -> Vec<RawDoc> {
+    (0..cfg.docs)
+        .map(|i| {
+            let mut rng = doc_rng(cfg, 5, i);
+            let mut s = format!("=== Slide: Risk Review RR-{i:04} ===\n");
+            s.push_str(&format!("- program: {}\n", title_text(&mut rng, 2)));
+            s.push_str("=== Slide: Risks ===\n");
+            for _ in 0..rng.gen_range(2..=5) {
+                s.push_str(&format!(
+                    "- {} ({} likelihood)\n",
+                    body_text(&mut rng, 6),
+                    pick(&mut rng, &["low", "medium", "high"]),
+                ));
+            }
+            s.push_str("=== Slide: Budget ===\n");
+            s.push_str(&format!(
+                "- mitigation reserve **${}K**\n",
+                rng.gen_range(10..500)
+            ));
+            RawDoc {
+                name: format!("risk-{i:04}.sdoc"),
+                content: s,
+            }
+        })
+        .collect()
+}
+
+/// Budget spreadsheets (`.csv`).
+pub fn spreadsheets(cfg: &CorpusConfig) -> Vec<RawDoc> {
+    (0..cfg.docs)
+        .map(|i| {
+            let mut rng = doc_rng(cfg, 6, i);
+            let mut s = String::from("Task,Center,FY05 Amount,Status\n");
+            for t in 0..rng.gen_range(3..=10) {
+                s.push_str(&format!(
+                    "T-{i:03}-{t},{},{}000,{}\n",
+                    pick(&mut rng, &["ames", "johnson", "kennedy"]),
+                    rng.gen_range(10..900),
+                    pick(&mut rng, &["open", "closed", "at risk"]),
+                ));
+            }
+            RawDoc {
+                name: format!("budget-{i:04}.csv"),
+                content: s,
+            }
+        })
+        .collect()
+}
+
+/// Personnel ratings for one NASA center, as CSV — the §4 Top-Employees
+/// scenario. Each center uses its own rating vocabulary, which is exactly
+/// what makes the GAV mappings necessary.
+pub fn personnel_csv(center: &str, n: usize, seed: u64) -> RawDoc {
+    let mut rng = SmallRng::seed_from_u64(seed ^ hash_name(center));
+    let mut s = match center {
+        "johnson" => String::from("employee,score\n"),
+        "kennedy" => String::from("who,grade\n"),
+        _ => String::from("name,rating\n"),
+    };
+    for i in 0..n {
+        let name = format!("{}-{}", pick(&mut rng, &["ada", "bob", "carol", "dan", "eve", "frank", "grace", "heidi"]), i);
+        match center {
+            "johnson" => s.push_str(&format!("{name},{}\n", rng.gen_range(1..=5))),
+            "kennedy" => s.push_str(&format!(
+                "{name},{}\n",
+                pick(&mut rng, &["excellent", "very good", "good", "fair"]),
+            )),
+            _ => s.push_str(&format!(
+                "{name},{}\n",
+                pick(&mut rng, &["excellent", "good", "satisfactory"]),
+            )),
+        }
+    }
+    RawDoc {
+        name: format!("{center}-personnel.csv"),
+        content: s,
+    }
+}
+
+fn hash_name(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A mixed corpus interleaving all formats — the general ingestion
+/// workload. `cfg.docs` is the *total* count.
+pub fn mixed(cfg: &CorpusConfig) -> Vec<RawDoc> {
+    let per = (cfg.docs / 6).max(1);
+    let sub = CorpusConfig {
+        docs: per,
+        ..*cfg
+    };
+    let mut all = Vec::with_capacity(cfg.docs);
+    let sets = [
+        proposals(&sub),
+        task_plans(&sub),
+        anomaly_reports(&sub),
+        lessons_learned(&sub),
+        risk_decks(&sub),
+        spreadsheets(&sub),
+    ];
+    // Interleave round-robin, truncate to the requested total.
+    for i in 0..per {
+        for set in &sets {
+            if let Some(d) = set.get(i) {
+                all.push(d.clone());
+            }
+        }
+    }
+    all.truncate(cfg.docs.max(sets.len().min(all.len())));
+    all
+}
+
+/// Query workload: `(context label, content terms)` pairs drawn from the
+/// generation vocabulary, deterministic in the seed.
+pub fn query_workload(seed: u64, n: usize) -> Vec<(String, String)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            (
+                pick(&mut rng, SECTION_NAMES).to_string(),
+                crate::words::body_text(&mut rng, 1)
+                    .trim_end_matches('.')
+                    .to_string(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmark_docformats::upmark;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = CorpusConfig::sized(5);
+        assert_eq!(proposals(&cfg), proposals(&cfg));
+        assert_ne!(
+            proposals(&cfg),
+            proposals(&CorpusConfig::sized(5).with_seed(7))
+        );
+    }
+
+    #[test]
+    fn every_generator_upmarks_with_budget_targets() {
+        let cfg = CorpusConfig::sized(3);
+        for docs in [
+            proposals(&cfg),
+            task_plans(&cfg),
+            risk_decks(&cfg),
+        ] {
+            for d in docs {
+                let doc = upmark(&d.name, &d.content);
+                let labels: Vec<String> = doc
+                    .context_content_pairs()
+                    .into_iter()
+                    .map(|(l, _)| l)
+                    .collect();
+                assert!(
+                    labels.iter().any(|l| l == "Budget"),
+                    "{} lacks Budget among {:?}",
+                    d.name,
+                    labels
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn anomaly_and_lessons_have_expected_sections() {
+        let cfg = CorpusConfig::sized(2);
+        let d = upmark(&anomaly_reports(&cfg)[0].name, &anomaly_reports(&cfg)[0].content);
+        let labels: Vec<String> = d.context_content_pairs().into_iter().map(|(l, _)| l).collect();
+        assert!(labels.iter().any(|l| l.starts_with("Anomaly Report")));
+        assert!(labels.contains(&"Corrective Action".to_string()));
+        let d = upmark(&lessons_learned(&cfg)[0].name, &lessons_learned(&cfg)[0].content);
+        let labels: Vec<String> = d.context_content_pairs().into_iter().map(|(l, _)| l).collect();
+        assert!(labels.contains(&"Recommendation".to_string()));
+    }
+
+    #[test]
+    fn spreadsheets_parse_as_tables() {
+        let cfg = CorpusConfig::sized(1);
+        let d = &spreadsheets(&cfg)[0];
+        let doc = upmark(&d.name, &d.content);
+        assert!(doc.root.find("table").is_some());
+        assert!(!doc.root.find_all("row").is_empty());
+    }
+
+    #[test]
+    fn personnel_vocabularies_differ_by_center() {
+        let a = personnel_csv("ames", 10, 1);
+        let j = personnel_csv("johnson", 10, 1);
+        let k = personnel_csv("kennedy", 10, 1);
+        assert!(a.content.starts_with("name,rating"));
+        assert!(j.content.starts_with("employee,score"));
+        assert!(k.content.starts_with("who,grade"));
+    }
+
+    #[test]
+    fn mixed_covers_formats() {
+        let all = mixed(&CorpusConfig::sized(24));
+        let exts: std::collections::HashSet<&str> =
+            all.iter().filter_map(|d| d.name.rsplit('.').next()).collect();
+        assert!(exts.len() >= 5, "formats present: {exts:?}");
+        assert_eq!(all.len(), 24);
+    }
+
+    #[test]
+    fn query_workload_deterministic() {
+        assert_eq!(query_workload(3, 5), query_workload(3, 5));
+        assert_eq!(query_workload(3, 5).len(), 5);
+    }
+}

@@ -1,0 +1,111 @@
+//! Vocabulary and text generation.
+//!
+//! Section names and terms mirror the paper's running examples (Budget,
+//! Technology Gap, Introduction, Shuttle, Engine, …) so generated corpora
+//! exercise exactly the queries the paper illustrates.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Section headings that appear across generated documents. The first few
+/// are the paper's own examples.
+pub const SECTION_NAMES: &[&str] = &[
+    "Introduction",
+    "Budget",
+    "Technology Gap",
+    "Abstract",
+    "Summary",
+    "Schedule",
+    "Risks",
+    "Approach",
+    "Staffing",
+    "Facilities",
+    "Milestones",
+    "Deliverables",
+    "Corrective Action",
+    "Recommendation",
+    "Lessons Learned",
+    "Cost Details",
+    "Background",
+    "Objectives",
+    "Evaluation",
+    "Conclusion",
+];
+
+/// Body vocabulary (NASA-flavoured).
+pub const BODY_WORDS: &[&str] = &[
+    "shuttle", "engine", "controller", "ascent", "orbit", "payload", "harness", "anomaly",
+    "mission", "launch", "propulsion", "thermal", "avionics", "telemetry", "sensor", "valve",
+    "test", "review", "analysis", "design", "budget", "cost", "schedule", "milestone",
+    "proposal", "research", "flight", "crew", "safety", "system", "integration", "module",
+    "spacecraft", "trajectory", "fuel", "oxidizer", "nozzle", "turbine", "inspection",
+    "procedure", "requirement", "verification", "assembly", "component", "interface",
+    "shrinking", "growing", "funding", "division", "aeronautics", "science", "technology",
+    "gap", "program", "project", "task", "plan", "report", "document", "center", "ames",
+    "johnson", "kennedy", "goddard", "langley", "marshall", "dryden", "glenn", "stennis",
+];
+
+/// Deterministically picks one item.
+pub fn pick<'a>(rng: &mut SmallRng, items: &'a [&'a str]) -> &'a str {
+    items[rng.gen_range(0..items.len())]
+}
+
+/// Generates `n` space-separated body words.
+pub fn body_text(rng: &mut SmallRng, n: usize) -> String {
+    let mut out = String::with_capacity(n * 8);
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(pick(rng, BODY_WORDS));
+    }
+    if !out.is_empty() {
+        out.push('.');
+    }
+    out
+}
+
+/// Generates a sentence-cased phrase of `n` words (for titles).
+pub fn title_text(rng: &mut SmallRng, n: usize) -> String {
+    let mut out = String::new();
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        let w = pick(rng, BODY_WORDS);
+        if i == 0 {
+            let mut cs = w.chars();
+            if let Some(first) = cs.next() {
+                out.extend(first.to_uppercase());
+                out.push_str(cs.as_str());
+            }
+        } else {
+            out.push_str(w);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        assert_eq!(body_text(&mut a, 20), body_text(&mut b, 20));
+    }
+
+    #[test]
+    fn lengths_and_shapes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let t = body_text(&mut rng, 5);
+        assert_eq!(t.split_whitespace().count(), 5);
+        assert!(t.ends_with('.'));
+        assert_eq!(body_text(&mut rng, 0), "");
+        let title = title_text(&mut rng, 3);
+        assert!(title.chars().next().unwrap().is_uppercase());
+    }
+}

@@ -1,0 +1,214 @@
+//! The canonical upmarked form every format parser produces.
+//!
+//! Fig 4 of the paper shows what upmarking yields: a flat alternation of
+//! `<Context>heading</Context>` and `<Content>...</Content>` elements under
+//! a document root. The query processor depends on contexts and their
+//! content being *siblings* (it walks up from a text hit to the nearest
+//! preceding context — §2.1.4), so every parser emits this shape.
+
+use netmark_model::{Document, Node, NodeType};
+
+/// Incrementally builds a canonical upmarked document.
+pub struct UpmarkBuilder {
+    name: String,
+    format: String,
+    nodes: Vec<Node>,
+    /// Children of the currently open `<Content>`.
+    pending: Vec<Node>,
+}
+
+impl UpmarkBuilder {
+    /// Starts a document named `name` of source format `format`.
+    pub fn new(name: &str, format: &str) -> UpmarkBuilder {
+        UpmarkBuilder {
+            name: name.to_string(),
+            format: format.to_string(),
+            nodes: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    fn flush_content(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let mut content = Node::element("Content");
+        content.children = std::mem::take(&mut self.pending);
+        self.nodes.push(content);
+    }
+
+    /// Opens a new section with the given heading text and level (1 = top).
+    pub fn context(&mut self, label: &str, level: u32) {
+        self.flush_content();
+        let node = Node::context("Context", label).with_attr("level", &level.to_string());
+        self.nodes.push(node);
+    }
+
+    /// Appends a paragraph of plain text to the open section.
+    pub fn paragraph(&mut self, text: &str) {
+        let t = text.trim();
+        if t.is_empty() {
+            return;
+        }
+        self.pending
+            .push(Node::element("p").with_child(Node::text(t)));
+    }
+
+    /// Appends an arbitrary node (tables, styled runs…) to the open section.
+    pub fn node(&mut self, node: Node) {
+        self.pending.push(node);
+    }
+
+    /// Appends a paragraph built from mixed runs (text + intense spans).
+    pub fn runs(&mut self, runs: Vec<Node>) {
+        if runs.is_empty() {
+            return;
+        }
+        let mut p = Node::element("p");
+        p.children = runs;
+        self.pending.push(p);
+    }
+
+    /// Finishes the document. Content with no preceding heading gets an
+    /// implied `Body` context, synthesized by the upmarker and flagged
+    /// `simulated="true"`.
+    pub fn finish(mut self) -> Document {
+        self.flush_content();
+        let mut root = Node::element("document")
+            .with_attr("name", &self.name)
+            .with_attr("format", &self.format);
+        // If actual content appears before any context (or there is content
+        // but no context at all), synthesize one so every content node is
+        // reachable. Non-content markers (page breaks) don't count.
+        let first_ctx = self
+            .nodes
+            .iter()
+            .position(|n| n.ntype == NodeType::Context);
+        let has_text = |n: &Node| {
+            n.iter()
+                .any(|d| d.ntype == NodeType::Text && !d.text.trim().is_empty())
+        };
+        let needs_leading = match first_ctx {
+            Some(i) => self.nodes[..i].iter().any(|n| n.name == "Content" && has_text(n)),
+            None => self.nodes.iter().any(has_text),
+        };
+        if needs_leading {
+            // A context the source never contained: still a CONTEXT node
+            // (the query processor must find it), flagged as synthesized.
+            let sim = Node::context("Context", "Body")
+                .with_attr("level", "1")
+                .with_attr("simulated", "true");
+            root.children.push(sim);
+        }
+        root.children.extend(self.nodes);
+        Document::new(&self.name, &self.format, root)
+    }
+}
+
+/// Splits inline `**bold**` emphasis into text / intense runs.
+pub fn parse_inline_runs(text: &str) -> Vec<Node> {
+    let mut runs = Vec::new();
+    let mut rest = text;
+    loop {
+        match rest.find("**") {
+            None => {
+                if !rest.trim().is_empty() {
+                    runs.push(Node::text(rest));
+                }
+                return runs;
+            }
+            Some(open) => {
+                let after = &rest[open + 2..];
+                match after.find("**") {
+                    None => {
+                        // Unclosed marker: literal.
+                        if !rest.trim().is_empty() {
+                            runs.push(Node::text(rest));
+                        }
+                        return runs;
+                    }
+                    Some(close) => {
+                        if !rest[..open].trim().is_empty() {
+                            runs.push(Node::text(&rest[..open]));
+                        }
+                        let inner = &after[..close];
+                        if !inner.is_empty() {
+                            runs.push(Node::intense("b").with_child(Node::text(inner)));
+                        }
+                        rest = &after[close + 2..];
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alternating_context_content() {
+        let mut b = UpmarkBuilder::new("d.txt", "text");
+        b.context("Introduction", 1);
+        b.paragraph("first");
+        b.paragraph("second");
+        b.context("Budget", 1);
+        b.paragraph("dollars");
+        let d = b.finish();
+        let pairs = d.context_content_pairs();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0], ("Introduction".to_string(), "first second".to_string()));
+        assert_eq!(pairs[1].0, "Budget");
+    }
+
+    #[test]
+    fn leading_content_gets_simulated_body() {
+        let mut b = UpmarkBuilder::new("d.txt", "text");
+        b.paragraph("orphan text");
+        b.context("Later", 1);
+        b.paragraph("x");
+        let d = b.finish();
+        let pairs = d.context_content_pairs();
+        assert_eq!(pairs[0].0, "Body");
+        assert_eq!(pairs[0].1, "orphan text");
+        // The synthesized context is flagged.
+        let first_ctx = d
+            .root
+            .children
+            .iter()
+            .find(|n| n.ntype == NodeType::Context)
+            .unwrap();
+        assert_eq!(first_ctx.text_content(), "Body");
+        assert_eq!(first_ctx.attr("simulated"), Some("true"));
+    }
+
+    #[test]
+    fn no_context_at_all() {
+        let mut b = UpmarkBuilder::new("d.txt", "text");
+        b.paragraph("just text");
+        let d = b.finish();
+        let pairs = d.context_content_pairs();
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].0, "Body");
+    }
+
+    #[test]
+    fn empty_document() {
+        let d = UpmarkBuilder::new("e.txt", "text").finish();
+        assert!(d.context_content_pairs().is_empty());
+        assert!(d.root.children.is_empty());
+    }
+
+    #[test]
+    fn inline_runs() {
+        let runs = parse_inline_runs("plain **bold** tail");
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[1].ntype, NodeType::Intense);
+        assert_eq!(runs[1].text_content(), "bold");
+        // Unclosed marker is literal.
+        let runs = parse_inline_runs("a ** b");
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].text, "a ** b");
+    }
+}

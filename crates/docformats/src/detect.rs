@@ -1,0 +1,167 @@
+//! Format detection and the one-call upmark entry point.
+//!
+//! "Users insert new documents (in any format such as Word, PDF, HTML, XML
+//! or others) into NETMARK by simply dragging the documents into a desktop
+//! folder" (paper §2.1.2) — so the daemon must decide per file how to
+//! upmark it. Extension first, content sniffing as fallback.
+
+use crate::{parse_csv, parse_html_doc, parse_pdoc, parse_plaintext, parse_sdoc, parse_wdoc, parse_xml_doc};
+use netmark_model::Document;
+
+/// Source formats the upmarkers understand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Format {
+    /// Plain text (Markdown-ish cues).
+    Text,
+    /// HTML page.
+    Html,
+    /// Already-structured XML.
+    Xml,
+    /// Simulated word-processor document (`.wdoc`).
+    Wdoc,
+    /// Simulated PDF span list (`.pdoc`).
+    Pdoc,
+    /// Simulated slide deck (`.sdoc`).
+    Sdoc,
+    /// CSV spreadsheet.
+    Csv,
+}
+
+impl Format {
+    /// Short lowercase tag (matches [`Document::format`]).
+    pub fn tag(self) -> &'static str {
+        match self {
+            Format::Text => "text",
+            Format::Html => "html",
+            Format::Xml => "xml",
+            Format::Wdoc => "wdoc",
+            Format::Pdoc => "pdoc",
+            Format::Sdoc => "sdoc",
+            Format::Csv => "csv",
+        }
+    }
+}
+
+fn by_extension(name: &str) -> Option<Format> {
+    let ext = name.rsplit('.').next()?.to_ascii_lowercase();
+    Some(match ext.as_str() {
+        "txt" | "md" | "text" => Format::Text,
+        "html" | "htm" => Format::Html,
+        "xml" => Format::Xml,
+        "wdoc" | "doc" | "docx" => Format::Wdoc,
+        "pdoc" | "pdf" => Format::Pdoc,
+        "sdoc" | "ppt" | "pptx" => Format::Sdoc,
+        "csv" | "xls" | "xlsx" => Format::Csv,
+        _ => return None,
+    })
+}
+
+fn sniff(content: &str) -> Format {
+    let head: String = content.chars().take(512).collect::<String>().to_ascii_lowercase();
+    let trimmed = head.trim_start();
+    if trimmed.starts_with("<?xml") {
+        return Format::Xml;
+    }
+    if trimmed.starts_with("<!doctype html") || trimmed.contains("<html") || trimmed.contains("<body") {
+        return Format::Html;
+    }
+    if trimmed.starts_with('<') && !trimmed.starts_with("<<") {
+        // Generic markup: try XML (it degrades to text on failure).
+        return Format::Xml;
+    }
+    if trimmed.starts_with("<<") {
+        return Format::Wdoc;
+    }
+    if trimmed.starts_with("span ") || trimmed.starts_with("page ") {
+        return Format::Pdoc;
+    }
+    if trimmed.starts_with("=== slide:") {
+        return Format::Sdoc;
+    }
+    // CSV: first two lines have the same comma count (> 0).
+    let mut lines = content.lines().filter(|l| !l.trim().is_empty());
+    if let (Some(a), Some(b)) = (lines.next(), lines.next()) {
+        let ca = a.matches(',').count();
+        if ca > 0 && ca == b.matches(',').count() {
+            return Format::Csv;
+        }
+    }
+    Format::Text
+}
+
+/// Decides a document's format from its name and contents.
+pub fn detect_format(name: &str, content: &str) -> Format {
+    by_extension(name).unwrap_or_else(|| sniff(content))
+}
+
+/// The one-call ingestion front end: detect, then upmark.
+pub fn upmark(name: &str, content: &str) -> Document {
+    upmark_as(name, content, detect_format(name, content))
+}
+
+/// Upmarks with an explicit format.
+pub fn upmark_as(name: &str, content: &str, format: Format) -> Document {
+    match format {
+        Format::Text => parse_plaintext(name, content),
+        Format::Html => parse_html_doc(name, content),
+        Format::Xml => parse_xml_doc(name, content),
+        Format::Wdoc => parse_wdoc(name, content),
+        Format::Pdoc => parse_pdoc(name, content),
+        Format::Sdoc => parse_sdoc(name, content),
+        Format::Csv => parse_csv(name, content),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extension_wins() {
+        assert_eq!(detect_format("a.wdoc", ""), Format::Wdoc);
+        assert_eq!(detect_format("a.html", ""), Format::Html);
+        assert_eq!(detect_format("a.csv", ""), Format::Csv);
+        assert_eq!(detect_format("report.pdf", ""), Format::Pdoc);
+        assert_eq!(detect_format("deck.pptx", ""), Format::Sdoc);
+        assert_eq!(detect_format("memo.docx", ""), Format::Wdoc);
+    }
+
+    #[test]
+    fn sniffing_without_extension() {
+        assert_eq!(detect_format("noext", "<?xml version='1.0'?><a/>"), Format::Xml);
+        assert_eq!(detect_format("noext", "<html><body>x"), Format::Html);
+        assert_eq!(detect_format("noext", "<<Heading1>> T"), Format::Wdoc);
+        assert_eq!(detect_format("noext", "SPAN 0 0 12 bold | t"), Format::Pdoc);
+        assert_eq!(detect_format("noext", "=== Slide: T ==="), Format::Sdoc);
+        assert_eq!(detect_format("noext", "a,b,c\n1,2,3\n"), Format::Csv);
+        assert_eq!(detect_format("noext", "plain prose here"), Format::Text);
+    }
+
+    #[test]
+    fn upmark_dispatches() {
+        let d = upmark("x.wdoc", "<<Heading1>> Budget\n<<Normal>> money\n");
+        assert_eq!(d.format, "wdoc");
+        assert_eq!(d.context_content_pairs()[0].0, "Budget");
+
+        let d = upmark("x.csv", "a,b\n1,2\n");
+        assert_eq!(d.format, "csv");
+
+        let d = upmark("unknown.bin", "free text with no cues at all");
+        assert_eq!(d.format, "text");
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        for f in [
+            Format::Text,
+            Format::Html,
+            Format::Xml,
+            Format::Wdoc,
+            Format::Pdoc,
+            Format::Sdoc,
+            Format::Csv,
+        ] {
+            assert!(!f.tag().is_empty());
+        }
+    }
+}

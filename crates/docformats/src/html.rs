@@ -1,0 +1,211 @@
+//! HTML and XML upmarkers.
+//!
+//! HTML: parse leniently (via `netmark-sgml`), then linearize into the
+//! canonical Context/Content alternation — headings (`h1`–`h6`, `title`)
+//! open sections "similar to the `<H1>` and `<H2>` header tags commonly
+//! found within HTML pages" (paper §2.1.4); tables are kept as subtrees;
+//! `script`/`style` are dropped.
+//!
+//! XML: documents that are *already* structured (e.g. produced by another
+//! NETMARK) are stored as parsed — upmarking is the identity on them.
+
+use crate::canonical::UpmarkBuilder;
+use netmark_model::{Document, Node, NodeType};
+use netmark_sgml::{parse_html as sgml_parse_html, parse_xml as sgml_parse_xml, NodeTypeConfig};
+
+fn heading_level(name: &str) -> u32 {
+    match name {
+        "title" => 1,
+        "h1" => 1,
+        "h2" => 2,
+        "h3" => 3,
+        "h4" => 4,
+        "h5" => 5,
+        "h6" => 6,
+        _ => 1,
+    }
+}
+
+const PARA_BREAKERS: &[&str] = &["p", "div", "li", "tr", "br", "section", "article", "td"];
+const SKIP: &[&str] = &["script", "style", "head"];
+
+struct HtmlWalk<'a> {
+    b: &'a mut UpmarkBuilder,
+    para: Vec<Node>,
+}
+
+impl HtmlWalk<'_> {
+    fn flush(&mut self) {
+        if !self.para.is_empty() {
+            let runs = std::mem::take(&mut self.para);
+            self.b.runs(runs);
+        }
+    }
+
+    fn walk(&mut self, node: &Node) {
+        match node.ntype {
+            NodeType::Text => {
+                let t = node.text.trim();
+                if !t.is_empty() {
+                    self.para.push(Node::text(t));
+                }
+            }
+            NodeType::Context => {
+                self.flush();
+                self.b
+                    .context(&node.text_content(), heading_level(&node.name));
+            }
+            NodeType::Intense => {
+                let t = node.text_content();
+                if !t.is_empty() {
+                    self.para
+                        .push(Node::intense(&node.name).with_child(Node::text(&t)));
+                }
+            }
+            _ => {
+                if SKIP.contains(&node.name.as_str()) {
+                    // `<title>` lives in `<head>` but is a context.
+                    for c in &node.children {
+                        if c.ntype == NodeType::Context {
+                            self.flush();
+                            self.b.context(&c.text_content(), heading_level(&c.name));
+                        }
+                    }
+                    return;
+                }
+                if node.name == "table" {
+                    self.flush();
+                    self.b.node(node.clone());
+                    return;
+                }
+                let breaks = PARA_BREAKERS.contains(&node.name.as_str());
+                if breaks {
+                    self.flush();
+                }
+                for c in &node.children {
+                    self.walk(c);
+                }
+                if breaks {
+                    self.flush();
+                }
+            }
+        }
+    }
+}
+
+/// Upmarks an HTML page.
+pub fn parse_html_doc(name: &str, content: &str) -> Document {
+    let cfg = NodeTypeConfig::html_default();
+    let tree = sgml_parse_html(content, &cfg);
+    let mut b = UpmarkBuilder::new(name, "html");
+    {
+        let mut w = HtmlWalk {
+            b: &mut b,
+            para: Vec::new(),
+        };
+        w.walk(&tree);
+        w.flush();
+    }
+    b.finish().with_source_size(content.len() as u64)
+}
+
+/// Parses an already-structured XML document (identity upmark). Falls back
+/// to plain-text upmarking when the XML is malformed, so ingest never
+/// rejects a document.
+pub fn parse_xml_doc(name: &str, content: &str) -> Document {
+    let cfg = NodeTypeConfig::xml_default();
+    match sgml_parse_xml(content, &cfg) {
+        Ok(root) => {
+            Document::new(name, "xml", root).with_source_size(content.len() as u64)
+        }
+        Err(_) => crate::plaintext::parse_plaintext(name, content),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAGE: &str = r#"<html><head><title>Lessons Learned 0424</title>
+<style>p { color: red }</style></head>
+<body>
+<h1>Summary</h1>
+<p>The <b>engine</b> controller faulted during ascent.</p>
+<h2>Recommendation</h2>
+<p>Replace the harness.</p><p>Re-inspect before flight.</p>
+<table><tr><td>Code</td><td>E-42</td></tr></table>
+</body></html>"#;
+
+    #[test]
+    fn headings_become_contexts() {
+        let d = parse_html_doc("l.html", PAGE);
+        let labels: Vec<String> = d
+            .context_content_pairs()
+            .into_iter()
+            .map(|(l, _)| l)
+            .collect();
+        assert_eq!(
+            labels,
+            vec!["Lessons Learned 0424", "Summary", "Recommendation"]
+        );
+    }
+
+    #[test]
+    fn levels_follow_tags() {
+        let d = parse_html_doc("l.html", PAGE);
+        let ctxs = d.root.find_all("Context");
+        assert_eq!(ctxs[1].attr("level"), Some("1"));
+        assert_eq!(ctxs[2].attr("level"), Some("2"));
+    }
+
+    #[test]
+    fn style_dropped_bold_kept() {
+        let d = parse_html_doc("l.html", PAGE);
+        let text = d.root.text_content();
+        assert!(!text.contains("color: red"));
+        assert_eq!(d.root.find("b").unwrap().text_content(), "engine");
+    }
+
+    #[test]
+    fn paragraph_boundaries() {
+        let d = parse_html_doc("l.html", PAGE);
+        let pairs = d.context_content_pairs();
+        let rec = &pairs[2].1;
+        assert!(rec.contains("Replace the harness"));
+        assert!(rec.contains("Re-inspect"));
+    }
+
+    #[test]
+    fn table_preserved_as_subtree() {
+        let d = parse_html_doc("l.html", PAGE);
+        let table = d.root.find("table").unwrap();
+        assert_eq!(table.find_all("td").len(), 2);
+    }
+
+    #[test]
+    fn xml_identity() {
+        let src = "<doc><Context>Budget</Context><Content>money</Content></doc>";
+        let d = parse_xml_doc("d.xml", src);
+        assert_eq!(d.format, "xml");
+        assert_eq!(
+            d.context_content_pairs(),
+            vec![("Budget".to_string(), "money".to_string())]
+        );
+    }
+
+    #[test]
+    fn malformed_xml_degrades_to_text() {
+        let d = parse_xml_doc("bad.xml", "<unclosed>\nplain fallback text");
+        assert_eq!(d.format, "text");
+        assert!(d.root.text_content().contains("plain fallback text"));
+    }
+
+    #[test]
+    fn messy_html_still_upmarks() {
+        let d = parse_html_doc("m.html", "<h1>Top<p>one<p>two");
+        let pairs = d.context_content_pairs();
+        assert_eq!(pairs[0].0, "Top");
+        assert!(pairs[0].1.contains("one"));
+        assert!(pairs[0].1.contains("two"));
+    }
+}

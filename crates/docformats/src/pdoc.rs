@@ -1,0 +1,212 @@
+//! `.pdoc` upmarker — the simulated PDF format.
+//!
+//! PDFs carry no logical structure; extractors recover it from *layout*:
+//! font sizes, positions, page breaks. `.pdoc` (the DESIGN.md substitution
+//! for real PDF) is a span list exposing exactly those cues:
+//!
+//! ```text
+//! PAGE 1
+//! SPAN 72 720 18 bold | Anomaly Report AR-2005-113
+//! SPAN 72 690 11 regular | During ascent the engine controller ...
+//! SPAN 72 650 14 bold | Corrective Action
+//! ```
+//!
+//! `SPAN x y size style | text`. Heading detection mirrors real PDF
+//! upmarking: a span is a context when its font size is at least 1.25× the
+//! body size (the median span size), or when it is `bold` and short.
+//! Heading levels are assigned by descending distinct heading sizes.
+
+use crate::canonical::UpmarkBuilder;
+use netmark_model::{Document, Node};
+
+#[derive(Debug, Clone)]
+struct Span {
+    size: f64,
+    bold: bool,
+    text: String,
+}
+
+#[derive(Debug, Clone)]
+enum Item {
+    Page(u32),
+    Span(Span),
+}
+
+fn parse_line(line: &str) -> Option<Item> {
+    let t = line.trim();
+    if t.is_empty() {
+        return None;
+    }
+    if let Some(rest) = t.strip_prefix("PAGE") {
+        return rest.trim().parse::<u32>().ok().map(Item::Page);
+    }
+    let rest = t.strip_prefix("SPAN")?;
+    let (head, text) = rest.split_once('|')?;
+    let fields: Vec<&str> = head.split_whitespace().collect();
+    if fields.len() < 4 {
+        return None;
+    }
+    let size: f64 = fields[2].parse().ok()?;
+    let bold = fields[3].eq_ignore_ascii_case("bold");
+    Some(Item::Span(Span {
+        size,
+        bold,
+        text: text.trim().to_string(),
+    }))
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted[sorted.len() / 2]
+}
+
+/// Upmarks a `.pdoc` file.
+pub fn parse_pdoc(name: &str, content: &str) -> Document {
+    let items: Vec<Item> = content.lines().filter_map(parse_line).collect();
+    let mut sizes: Vec<f64> = items
+        .iter()
+        .filter_map(|i| match i {
+            Item::Span(s) => Some(s.size),
+            _ => None,
+        })
+        .collect();
+    sizes.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let body_size = median(&sizes);
+
+    let is_heading = |s: &Span| -> bool {
+        if body_size <= 0.0 {
+            return false;
+        }
+        s.size >= body_size * 1.25 || (s.bold && s.text.len() <= 60 && s.size >= body_size)
+    };
+
+    // Distinct heading sizes, descending → levels 1, 2, 3…
+    let mut heading_sizes: Vec<f64> = items
+        .iter()
+        .filter_map(|i| match i {
+            Item::Span(s) if is_heading(s) => Some(s.size),
+            _ => None,
+        })
+        .collect();
+    heading_sizes.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    heading_sizes.dedup_by(|a, b| (*a - *b).abs() < 0.01);
+    let level_of = |size: f64| -> u32 {
+        heading_sizes
+            .iter()
+            .position(|&s| (s - size).abs() < 0.01)
+            .map(|p| p as u32 + 1)
+            .unwrap_or(1)
+    };
+
+    let mut b = UpmarkBuilder::new(name, "pdoc");
+    let mut para = String::new();
+    for item in &items {
+        match item {
+            Item::Page(n) => {
+                if !para.trim().is_empty() {
+                    b.paragraph(&para);
+                    para.clear();
+                }
+                b.node(Node::simulation("page-break").with_attr("page", &n.to_string()));
+            }
+            Item::Span(s) => {
+                if is_heading(s) {
+                    if !para.trim().is_empty() {
+                        b.paragraph(&para);
+                        para.clear();
+                    }
+                    b.context(&s.text, level_of(s.size));
+                } else {
+                    if !para.is_empty() {
+                        para.push(' ');
+                    }
+                    para.push_str(&s.text);
+                    if s.text.ends_with('.') {
+                        b.paragraph(&para);
+                        para.clear();
+                    }
+                }
+            }
+        }
+    }
+    if !para.trim().is_empty() {
+        b.paragraph(&para);
+    }
+    b.finish().with_source_size(content.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "PAGE 1\n\
+SPAN 72 720 18 bold | Anomaly Report AR-113\n\
+SPAN 72 690 11 regular | During ascent the controller faulted.\n\
+SPAN 72 660 14 bold | Corrective Action\n\
+SPAN 72 630 11 regular | Replace the harness\n\
+SPAN 72 610 11 regular | before next flight.\n\
+PAGE 2\n\
+SPAN 72 720 14 bold | Disposition\n\
+SPAN 72 690 11 regular | Closed.\n";
+
+    #[test]
+    fn size_based_contexts() {
+        let d = parse_pdoc("a.pdoc", SAMPLE);
+        let labels: Vec<String> = d
+            .context_content_pairs()
+            .into_iter()
+            .map(|(l, _)| l)
+            .collect();
+        assert_eq!(
+            labels,
+            vec!["Anomaly Report AR-113", "Corrective Action", "Disposition"]
+        );
+    }
+
+    #[test]
+    fn heading_levels_follow_sizes() {
+        let d = parse_pdoc("a.pdoc", SAMPLE);
+        let ctxs = d.root.find_all("Context");
+        assert_eq!(ctxs[0].attr("level"), Some("1"), "18pt is level 1");
+        assert_eq!(ctxs[1].attr("level"), Some("2"), "14pt is level 2");
+    }
+
+    #[test]
+    fn spans_join_until_sentence_end() {
+        let d = parse_pdoc("a.pdoc", SAMPLE);
+        let pairs = d.context_content_pairs();
+        assert_eq!(pairs[1].1, "Replace the harness before next flight.");
+    }
+
+    #[test]
+    fn page_breaks_recorded() {
+        let d = parse_pdoc("a.pdoc", SAMPLE);
+        let breaks = d.root.find_all("page-break");
+        assert_eq!(breaks.len(), 2);
+        assert_eq!(breaks[1].attr("page"), Some("2"));
+    }
+
+    #[test]
+    fn malformed_lines_skipped() {
+        let d = parse_pdoc("m.pdoc", "SPAN garbage\nnot a span\nSPAN 1 2 11 regular | ok.\n");
+        let pairs = d.context_content_pairs();
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].1, "ok.");
+    }
+
+    #[test]
+    fn empty_input() {
+        let d = parse_pdoc("e.pdoc", "");
+        assert!(d.context_content_pairs().is_empty());
+    }
+
+    #[test]
+    fn uniform_size_no_headings() {
+        let src = "SPAN 0 0 11 regular | a.\nSPAN 0 0 11 regular | b.\n";
+        let d = parse_pdoc("u.pdoc", src);
+        let pairs = d.context_content_pairs();
+        assert_eq!(pairs[0].0, "Body");
+    }
+}

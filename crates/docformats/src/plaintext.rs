@@ -1,0 +1,226 @@
+//! Plain-text upmarker.
+//!
+//! Recovers section structure from the cues people actually leave in text
+//! files: Markdown-style `#` headings, numbered headings (`3.2 Results`),
+//! underlined headings (`====`/`----`), and ALL-CAPS lines.
+
+use crate::canonical::{parse_inline_runs, UpmarkBuilder};
+use netmark_model::Document;
+
+fn is_underline(line: &str) -> Option<u32> {
+    let t = line.trim();
+    if t.len() >= 3 && t.chars().all(|c| c == '=') {
+        return Some(1);
+    }
+    if t.len() >= 3 && t.chars().all(|c| c == '-') {
+        return Some(2);
+    }
+    None
+}
+
+fn hash_heading(line: &str) -> Option<(u32, &str)> {
+    let t = line.trim_start();
+    let hashes = t.chars().take_while(|&c| c == '#').count();
+    if hashes == 0 || hashes > 6 {
+        return None;
+    }
+    let rest = t[hashes..].trim();
+    if rest.is_empty() {
+        return None;
+    }
+    Some((hashes as u32, rest))
+}
+
+fn numbered_heading(line: &str) -> Option<(u32, &str)> {
+    // "1. Introduction", "2.3 Cost Model", "IV." is out of scope.
+    let t = line.trim();
+    let mut dots = 0u32;
+    let mut idx = 0usize;
+    let bytes = t.as_bytes();
+    let mut saw_digit = false;
+    while idx < bytes.len() {
+        match bytes[idx] {
+            b'0'..=b'9' => {
+                saw_digit = true;
+                idx += 1;
+            }
+            b'.' => {
+                dots += 1;
+                idx += 1;
+            }
+            b' ' => break,
+            _ => return None,
+        }
+    }
+    if !saw_digit || dots == 0 || idx >= bytes.len() {
+        return None;
+    }
+    let title = t[idx..].trim();
+    // Headings are short and don't end in sentence punctuation.
+    if title.is_empty() || title.len() > 80 || title.ends_with('.') {
+        return None;
+    }
+    // Require the title to start with an uppercase letter to avoid
+    // swallowing numbered list items ("1. buy milk" stays content).
+    if !title.chars().next().map(char::is_uppercase).unwrap_or(false) {
+        return None;
+    }
+    Some((dots.min(6), title))
+}
+
+fn all_caps_heading(line: &str) -> Option<&str> {
+    let t = line.trim();
+    if t.len() < 3 || t.len() > 60 {
+        return None;
+    }
+    let letters: Vec<char> = t.chars().filter(|c| c.is_alphabetic()).collect();
+    if letters.len() < 3 {
+        return None;
+    }
+    if letters.iter().all(|c| c.is_uppercase()) {
+        Some(t)
+    } else {
+        None
+    }
+}
+
+/// Upmarks a plain-text file.
+pub fn parse_plaintext(name: &str, content: &str) -> Document {
+    let mut b = UpmarkBuilder::new(name, "text");
+    let lines: Vec<&str> = content.lines().collect();
+    let mut para = String::new();
+    let mut i = 0usize;
+
+    macro_rules! flush_para {
+        ($b:expr) => {
+            if !para.trim().is_empty() {
+                $b.runs(parse_inline_runs(para.trim()));
+                para.clear();
+            } else {
+                para.clear();
+            }
+        };
+    }
+
+    while i < lines.len() {
+        let line = lines[i];
+        // Underlined heading: a short line followed by ===/---.
+        if i + 1 < lines.len() {
+            if let Some(level) = is_underline(lines[i + 1]) {
+                let t = line.trim();
+                if !t.is_empty() && t.len() <= 80 {
+                    flush_para!(b);
+                    b.context(t, level);
+                    i += 2;
+                    continue;
+                }
+            }
+        }
+        if let Some((level, title)) = hash_heading(line) {
+            flush_para!(b);
+            b.context(title, level);
+            i += 1;
+            continue;
+        }
+        if let Some((level, title)) = numbered_heading(line) {
+            flush_para!(b);
+            b.context(title, level);
+            i += 1;
+            continue;
+        }
+        if let Some(title) = all_caps_heading(line) {
+            flush_para!(b);
+            b.context(title, 1);
+            i += 1;
+            continue;
+        }
+        if line.trim().is_empty() {
+            flush_para!(b);
+        } else {
+            if !para.is_empty() {
+                para.push(' ');
+            }
+            para.push_str(line.trim());
+        }
+        i += 1;
+    }
+    flush_para!(b);
+    b.finish().with_source_size(content.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_headings() {
+        let d = parse_plaintext(
+            "m.txt",
+            "# Introduction\nsome text\n\n## Details\nmore text\n",
+        );
+        let pairs = d.context_content_pairs();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0], ("Introduction".into(), "some text".into()));
+        assert_eq!(pairs[1].0, "Details");
+    }
+
+    #[test]
+    fn numbered_headings() {
+        let d = parse_plaintext(
+            "n.txt",
+            "1. Introduction\nalpha beta\n2.1 Cost Model\ngamma\n",
+        );
+        let labels: Vec<String> = d
+            .context_content_pairs()
+            .into_iter()
+            .map(|(l, _)| l)
+            .collect();
+        assert_eq!(labels, vec!["Introduction", "Cost Model"]);
+    }
+
+    #[test]
+    fn numbered_list_items_stay_content() {
+        let d = parse_plaintext("l.txt", "# Tasks\n1. buy milk\n2. fix engine\n");
+        let pairs = d.context_content_pairs();
+        assert_eq!(pairs.len(), 1);
+        assert!(pairs[0].1.contains("buy milk"));
+    }
+
+    #[test]
+    fn underlined_headings() {
+        let d = parse_plaintext(
+            "u.txt",
+            "Budget\n======\ncosts here\n\nSchedule\n--------\ndates here\n",
+        );
+        let pairs = d.context_content_pairs();
+        assert_eq!(pairs[0].0, "Budget");
+        assert_eq!(pairs[1].0, "Schedule");
+        assert_eq!(pairs[1].1, "dates here");
+    }
+
+    #[test]
+    fn all_caps_headings() {
+        let d = parse_plaintext("c.txt", "EXECUTIVE SUMMARY\nwe did things\n");
+        assert_eq!(d.context_content_pairs()[0].0, "EXECUTIVE SUMMARY");
+    }
+
+    #[test]
+    fn paragraphs_join_across_linebreaks() {
+        let d = parse_plaintext("p.txt", "# A\nline one\nline two\n\nsecond para\n");
+        let pairs = d.context_content_pairs();
+        assert_eq!(pairs[0].1, "line one line two second para");
+    }
+
+    #[test]
+    fn bold_runs_become_intense() {
+        let d = parse_plaintext("b.txt", "# A\nthis is **important** stuff\n");
+        assert!(d.root.find("b").is_some());
+        assert_eq!(d.root.find("b").unwrap().text_content(), "important");
+    }
+
+    #[test]
+    fn headingless_text_gets_body() {
+        let d = parse_plaintext("x.txt", "just some prose\n");
+        assert_eq!(d.context_content_pairs()[0].0, "Body");
+    }
+}

@@ -1,0 +1,141 @@
+//! `.sdoc` upmarker — the simulated presentation (slide deck) format.
+//!
+//! The DESIGN.md substitution for PowerPoint. Slide titles carry the
+//! structure; bullets are content:
+//!
+//! ```text
+//! === Slide: FY05 Budget Overview ===
+//! - Total request: $2.4M
+//! - Breakdown by year
+//!   - 2005: $800K
+//! Speaker notes are free text.
+//! ```
+
+use crate::canonical::{parse_inline_runs, UpmarkBuilder};
+use netmark_model::{Document, Node};
+
+fn slide_title(line: &str) -> Option<&str> {
+    let t = line.trim();
+    let rest = t.strip_prefix("===")?;
+    let rest = rest.trim_start();
+    let rest = rest
+        .strip_prefix("Slide:")
+        .or_else(|| rest.strip_prefix("slide:"))?;
+    let rest = rest.trim();
+    Some(rest.strip_suffix("===").map(str::trim_end).unwrap_or(rest))
+}
+
+fn bullet(line: &str) -> Option<(u32, &str)> {
+    let stripped = line.trim_start();
+    let indent = line.len() - stripped.len();
+    let text = stripped
+        .strip_prefix("- ")
+        .or_else(|| stripped.strip_prefix("* "))?;
+    Some(((indent / 2) as u32 + 1, text.trim()))
+}
+
+/// Upmarks an `.sdoc` slide deck. Each slide title opens a context; bullets
+/// become a nested list; free lines become notes paragraphs.
+pub fn parse_sdoc(name: &str, content: &str) -> Document {
+    let mut b = UpmarkBuilder::new(name, "sdoc");
+    let mut bullets: Vec<Node> = Vec::new();
+    let mut slide_no = 0u32;
+
+    let flush_bullets = |b: &mut UpmarkBuilder, bullets: &mut Vec<Node>| {
+        if bullets.is_empty() {
+            return;
+        }
+        let mut list = Node::element("list");
+        list.children = std::mem::take(bullets);
+        b.node(list);
+    };
+
+    for line in content.lines() {
+        if let Some(title) = slide_title(line) {
+            flush_bullets(&mut b, &mut bullets);
+            slide_no += 1;
+            b.context(title, 1);
+            b.node(
+                Node::simulation("slide-marker").with_attr("number", &slide_no.to_string()),
+            );
+            continue;
+        }
+        if let Some((depth, text)) = bullet(line) {
+            let mut item = Node::element("item").with_attr("depth", &depth.to_string());
+            item.children = parse_inline_runs(text);
+            bullets.push(item);
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        flush_bullets(&mut b, &mut bullets);
+        let mut notes = Node::element("notes");
+        notes.children = parse_inline_runs(line.trim());
+        b.node(notes);
+    }
+    flush_bullets(&mut b, &mut bullets);
+    b.finish().with_source_size(content.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = concat!(
+        "=== Slide: FY05 Budget ===\n",
+        "- Total request: **$2.4M**\n",
+        "- Breakdown\n",
+        "  - 2005: $800K\n",
+        "note for the speaker\n",
+        "=== Slide: Risks ===\n",
+        "- schedule slip\n",
+    );
+
+    #[test]
+    fn slides_become_contexts() {
+        let d = parse_sdoc("s.sdoc", SAMPLE);
+        let labels: Vec<String> = d
+            .context_content_pairs()
+            .into_iter()
+            .map(|(l, _)| l)
+            .collect();
+        assert_eq!(labels, vec!["FY05 Budget", "Risks"]);
+    }
+
+    #[test]
+    fn bullets_nest_by_indent() {
+        let d = parse_sdoc("s.sdoc", SAMPLE);
+        let items = d.root.find_all("item");
+        assert_eq!(items.len(), 4);
+        assert_eq!(items[0].attr("depth"), Some("1"));
+        assert_eq!(items[2].attr("depth"), Some("2"));
+    }
+
+    #[test]
+    fn notes_and_bold() {
+        let d = parse_sdoc("s.sdoc", SAMPLE);
+        assert_eq!(d.root.find("notes").unwrap().text_content(), "note for the speaker");
+        assert_eq!(d.root.find("b").unwrap().text_content(), "$2.4M");
+    }
+
+    #[test]
+    fn slide_markers_numbered() {
+        let d = parse_sdoc("s.sdoc", SAMPLE);
+        let markers = d.root.find_all("slide-marker");
+        assert_eq!(markers.len(), 2);
+        assert_eq!(markers[1].attr("number"), Some("2"));
+    }
+
+    #[test]
+    fn title_without_closing_fence() {
+        let d = parse_sdoc("t.sdoc", "=== Slide: Open Ended\n- x\n");
+        assert_eq!(d.context_content_pairs()[0].0, "Open Ended");
+    }
+
+    #[test]
+    fn content_before_first_slide_is_body() {
+        let d = parse_sdoc("b.sdoc", "- stray bullet\n=== Slide: One ===\n");
+        assert_eq!(d.context_content_pairs()[0].0, "Body");
+    }
+}

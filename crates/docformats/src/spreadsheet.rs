@@ -1,0 +1,158 @@
+//! CSV spreadsheet upmarker.
+//!
+//! "The data in any source could range from a few tables that could well be
+//! stored in a spreadsheet ..." (paper §1). A CSV sheet upmarks into one
+//! context (the sheet name) whose content is a table of records: the first
+//! row supplies column names, and each subsequent row becomes a `row`
+//! element with one child element per column — giving spreadsheet data the
+//! same queryable shape as document sections without declaring any schema.
+
+use crate::canonical::UpmarkBuilder;
+use netmark_model::{Document, Node};
+
+/// Minimal RFC-4180-ish CSV field splitter (quotes, embedded commas,
+/// doubled quotes).
+pub fn split_csv_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if cur.is_empty() => in_quotes = true,
+            ',' if !in_quotes => fields.push(std::mem::take(&mut cur)),
+            c => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Sanitizes a header cell into an element name.
+fn element_name(header: &str, index: usize) -> String {
+    let mut name: String = header
+        .trim()
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect();
+    while name.contains("__") {
+        name = name.replace("__", "_");
+    }
+    let name = name.trim_matches('_').to_string();
+    if name.is_empty() || !name.chars().next().map(char::is_alphabetic).unwrap_or(false) {
+        format!("col{}", index + 1)
+    } else {
+        name
+    }
+}
+
+/// Upmarks a CSV file. The sheet name (file stem) becomes the context.
+pub fn parse_csv(name: &str, content: &str) -> Document {
+    let sheet = name
+        .rsplit('/')
+        .next()
+        .unwrap_or(name)
+        .rsplit_once('.')
+        .map(|(stem, _)| stem)
+        .unwrap_or(name);
+    let mut b = UpmarkBuilder::new(name, "csv");
+    let mut lines = content.lines().filter(|l| !l.trim().is_empty());
+    let Some(header_line) = lines.next() else {
+        return b.finish();
+    };
+    b.context(sheet, 1);
+    let headers: Vec<String> = split_csv_line(header_line)
+        .iter()
+        .enumerate()
+        .map(|(i, h)| element_name(h, i))
+        .collect();
+    let mut table = Node::element("table").with_attr("sheet", sheet);
+    for line in lines {
+        let cells = split_csv_line(line);
+        let mut row = Node::element("row");
+        for (i, cell) in cells.iter().enumerate() {
+            let col = headers
+                .get(i)
+                .cloned()
+                .unwrap_or_else(|| format!("col{}", i + 1));
+            let mut el = Node::element(&col);
+            if !cell.trim().is_empty() {
+                el.children.push(Node::text(cell.trim()));
+            }
+            row.children.push(el);
+        }
+        table.children.push(row);
+    }
+    b.node(table);
+    b.finish().with_source_size(content.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "Proposal Number,Division,Amount Requested\n\
+P-001,Aeronautics,\"1,200,000\"\n\
+P-002,Space Science,800000\n";
+
+    #[test]
+    fn header_row_names_columns() {
+        let d = parse_csv("proposals.csv", SAMPLE);
+        let rows = d.root.find_all("row");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].children[0].name, "Proposal_Number");
+        assert_eq!(rows[0].children[2].name, "Amount_Requested");
+        assert_eq!(rows[0].children[2].text_content(), "1,200,000");
+    }
+
+    #[test]
+    fn sheet_name_is_context() {
+        let d = parse_csv("data/proposals.csv", SAMPLE);
+        assert_eq!(d.context_content_pairs()[0].0, "proposals");
+        assert_eq!(d.root.find("table").unwrap().attr("sheet"), Some("proposals"));
+    }
+
+    #[test]
+    fn quoted_fields_and_doubled_quotes() {
+        let fields = split_csv_line(r#"a,"b,c","d""e",f"#);
+        assert_eq!(fields, vec!["a", "b,c", "d\"e", "f"]);
+    }
+
+    #[test]
+    fn ragged_rows_get_generic_columns() {
+        let d = parse_csv("r.csv", "a,b\n1,2,3\n");
+        let row = &d.root.find_all("row")[0];
+        assert_eq!(row.children.len(), 3);
+        assert_eq!(row.children[2].name, "col3");
+    }
+
+    #[test]
+    fn weird_headers_sanitized() {
+        let d = parse_csv("w.csv", "Amount ($),%%,123\nx,y,z\n");
+        let row = &d.root.find_all("row")[0];
+        assert_eq!(row.children[0].name, "Amount");
+        assert_eq!(row.children[1].name, "col2");
+        assert_eq!(row.children[2].name, "col3");
+    }
+
+    #[test]
+    fn empty_file() {
+        let d = parse_csv("e.csv", "");
+        assert!(d.context_content_pairs().is_empty());
+    }
+
+    #[test]
+    fn empty_cells_are_empty_elements() {
+        let d = parse_csv("c.csv", "a,b\n1,\n");
+        let row = &d.root.find_all("row")[0];
+        assert_eq!(row.children[1].text_content(), "");
+    }
+}

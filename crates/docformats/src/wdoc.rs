@@ -1,0 +1,167 @@
+//! `.wdoc` upmarker — the simulated word-processor format.
+//!
+//! Real Word binaries are unavailable offline; `.wdoc` is the substitution
+//! documented in DESIGN.md. It preserves exactly the signal the paper's
+//! Word parser keys on: *named paragraph styles*. Each paragraph is one
+//! line, optionally prefixed with its style:
+//!
+//! ```text
+//! <<Title>> Proposal for Ion Engine Research
+//! <<Heading1>> Budget
+//! <<Normal>> We request **$2.4M** over three years.
+//! plain lines default to Normal
+//! <<Table>> cell1 | cell2 | cell3
+//! ```
+//!
+//! Styles `Title` and `Heading1`–`Heading9` open contexts (level 1 for
+//! Title/Heading1, 2 for Heading2, …); `Table` rows aggregate into a table
+//! node; everything else is body content with `**bold**` runs.
+
+use crate::canonical::{parse_inline_runs, UpmarkBuilder};
+use netmark_model::{Document, Node};
+
+fn style_of(line: &str) -> (String, &str) {
+    let t = line.trim_start();
+    if let Some(rest) = t.strip_prefix("<<") {
+        if let Some(close) = rest.find(">>") {
+            let style = rest[..close].trim().to_string();
+            return (style, rest[close + 2..].trim_start());
+        }
+    }
+    ("Normal".to_string(), line)
+}
+
+fn heading_level(style: &str) -> Option<u32> {
+    if style.eq_ignore_ascii_case("title") {
+        return Some(1);
+    }
+    let rest = style
+        .strip_prefix("Heading")
+        .or_else(|| style.strip_prefix("heading"))?;
+    let n: u32 = rest.trim().parse().ok()?;
+    (1..=9).contains(&n).then_some(n)
+}
+
+/// Upmarks a `.wdoc` file.
+pub fn parse_wdoc(name: &str, content: &str) -> Document {
+    let mut b = UpmarkBuilder::new(name, "wdoc");
+    let mut table_rows: Vec<Node> = Vec::new();
+
+    let flush_table = |b: &mut UpmarkBuilder, rows: &mut Vec<Node>| {
+        if rows.is_empty() {
+            return;
+        }
+        let mut table = Node::element("table");
+        table.children = std::mem::take(rows);
+        b.node(table);
+    };
+
+    for line in content.lines() {
+        if line.trim().is_empty() {
+            flush_table(&mut b, &mut table_rows);
+            continue;
+        }
+        let (style, text) = style_of(line);
+        if style == "Table" {
+            let mut row = Node::element("row");
+            for cell in text.split('|') {
+                row.children
+                    .push(Node::element("cell").with_child(Node::text(cell.trim())));
+            }
+            table_rows.push(row);
+            continue;
+        }
+        flush_table(&mut b, &mut table_rows);
+        if let Some(level) = heading_level(&style) {
+            b.context(text, level);
+        } else if text.trim().is_empty() {
+            // Style with no text: skip.
+        } else {
+            let mut runs = parse_inline_runs(text);
+            // Unknown non-Normal styles are preserved as an attribute so
+            // clients can impose their own semantics (the paper's thesis).
+            if style != "Normal" {
+                let mut p = Node::element("p").with_attr("style", &style);
+                p.children = std::mem::take(&mut runs);
+                b.node(p);
+            } else {
+                b.runs(runs);
+            }
+        }
+    }
+    flush_table(&mut b, &mut table_rows);
+    b.finish().with_source_size(content.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "<<Title>> Ion Engine Proposal\n\
+<<Normal>> Submitted to NASA Ames.\n\
+<<Heading1>> Budget\n\
+<<Normal>> We request **$2.4M**.\n\
+<<Table>> Year | Amount\n\
+<<Table>> 2005 | 800K\n\
+<<Heading2>> Travel\n\
+plain paragraph\n";
+
+    #[test]
+    fn title_and_headings_open_contexts() {
+        let d = parse_wdoc("p.wdoc", SAMPLE);
+        let labels: Vec<String> = d
+            .context_content_pairs()
+            .into_iter()
+            .map(|(l, _)| l)
+            .collect();
+        assert_eq!(labels, vec!["Ion Engine Proposal", "Budget", "Travel"]);
+    }
+
+    #[test]
+    fn heading_levels() {
+        let d = parse_wdoc("p.wdoc", SAMPLE);
+        let contexts = d.root.find_all("Context");
+        assert_eq!(contexts[0].attr("level"), Some("1"));
+        assert_eq!(contexts[2].attr("level"), Some("2"));
+    }
+
+    #[test]
+    fn tables_aggregate() {
+        let d = parse_wdoc("p.wdoc", SAMPLE);
+        let table = d.root.find("table").unwrap();
+        assert_eq!(table.find_all("row").len(), 2);
+        assert_eq!(table.find_all("cell").len(), 4);
+        assert_eq!(table.find_all("cell")[3].text_content(), "800K");
+    }
+
+    #[test]
+    fn bold_runs_and_default_style() {
+        let d = parse_wdoc("p.wdoc", SAMPLE);
+        assert_eq!(d.root.find("b").unwrap().text_content(), "$2.4M");
+        let pairs = d.context_content_pairs();
+        assert!(pairs.last().unwrap().1.contains("plain paragraph"));
+    }
+
+    #[test]
+    fn unknown_style_preserved_as_attr() {
+        let d = parse_wdoc("q.wdoc", "<<Heading1>> A\n<<Quote>> wise words\n");
+        let p = d.root.find_all("p").into_iter().find(|p| p.attr("style").is_some()).unwrap();
+        assert_eq!(p.attr("style"), Some("Quote"));
+        assert_eq!(p.text_content(), "wise words");
+    }
+
+    #[test]
+    fn malformed_style_marker_is_text() {
+        let d = parse_wdoc("m.wdoc", "<<Unclosed text here\n");
+        assert!(d
+            .context_content_pairs()
+            .iter()
+            .any(|(_, c)| c.contains("Unclosed text here")));
+    }
+
+    #[test]
+    fn heading_out_of_range_is_content() {
+        let d = parse_wdoc("r.wdoc", "<<Heading12>> not a heading really\n");
+        assert_eq!(d.context_content_pairs()[0].0, "Body");
+    }
+}

@@ -1,0 +1,466 @@
+//! Databanks and the thin router.
+//!
+//! "This is done through a simple declarative process where an
+//! administrator creates a 'Databank' for an application. The databank
+//! specifies what sources are to be queried when a user fires a query to
+//! that application" (§2.1.5). The router is the entirety of the
+//! middleware — "middleware requirements are reduced to needing just a thin
+//! router capability across the various information sources" — it holds no
+//! schemas and no mappings, only the source lists.
+
+use crate::adapter::{Capabilities, SourceAdapter};
+use crate::matcher::match_document;
+use netmark_xdb::{Hit, ResultSet, XdbQuery};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A declared databank: an application's source list. This — a name and a
+/// list of source names — is the *complete* integration specification; its
+/// size is what the Fig 1 experiment measures on the NETMARK side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Databank {
+    /// Application name.
+    pub name: String,
+    /// Sources queried when a query names this databank.
+    pub sources: Vec<String>,
+}
+
+impl Databank {
+    /// The declarative spec text (one line per field — the artifact whose
+    /// line count is the NETMARK integration cost).
+    pub fn spec(&self) -> String {
+        let mut s = format!("databank {}\n", self.name);
+        for src in &self.sources {
+            s.push_str("  source ");
+            s.push_str(src);
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Parses a spec produced by [`Databank::spec`].
+    pub fn parse(text: &str) -> Option<Databank> {
+        let mut name = None;
+        let mut sources = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if let Some(n) = line.strip_prefix("databank ") {
+                name = Some(n.trim().to_string());
+            } else if let Some(s) = line.strip_prefix("source ") {
+                sources.push(s.trim().to_string());
+            }
+        }
+        Some(Databank {
+            name: name?,
+            sources,
+        })
+    }
+
+    /// Number of spec lines — the integration-cost unit for Fig 1.
+    pub fn spec_lines(&self) -> usize {
+        1 + self.sources.len()
+    }
+}
+
+/// Router errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouterError {
+    /// Databank name not declared.
+    NoSuchDatabank(String),
+    /// Source name not registered.
+    NoSuchSource(String),
+    /// Name collision on registration.
+    Duplicate(String),
+}
+
+impl fmt::Display for RouterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouterError::NoSuchDatabank(n) => write!(f, "no databank '{n}'"),
+            RouterError::NoSuchSource(n) => write!(f, "no source '{n}'"),
+            RouterError::Duplicate(n) => write!(f, "'{n}' already registered"),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+/// What happened at one source during a federated query.
+#[derive(Debug, Clone)]
+pub struct SourceOutcome {
+    /// Source name.
+    pub source: String,
+    /// The (possibly weakened) query actually pushed to the source.
+    pub pushed: XdbQuery,
+    /// Whether the router had to augment (re-evaluate the residual).
+    pub augmented: bool,
+    /// Hits contributed after augmentation.
+    pub hits: usize,
+    /// Documents fetched back for augmentation.
+    pub documents_fetched: usize,
+    /// Error, if the source failed (the query continues without it).
+    pub error: Option<String>,
+}
+
+/// A federated answer: merged results + per-source diagnostics.
+#[derive(Debug, Clone)]
+pub struct FederatedResult {
+    /// Merged hits, tagged with their source.
+    pub results: ResultSet,
+    /// Per-source report, in databank order.
+    pub outcomes: Vec<SourceOutcome>,
+}
+
+impl FederatedResult {
+    /// True if at least one source failed.
+    pub fn degraded(&self) -> bool {
+        self.outcomes.iter().any(|o| o.error.is_some())
+    }
+}
+
+/// The thin router: source registry + databank registry. No schemas, no
+/// mappings, no view definitions — *that is the point*.
+#[derive(Default)]
+pub struct Router {
+    adapters: BTreeMap<String, Arc<dyn SourceAdapter>>,
+    databanks: BTreeMap<String, Databank>,
+}
+
+impl Router {
+    /// Empty router.
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Registers a source adapter.
+    pub fn register_source(&mut self, adapter: Arc<dyn SourceAdapter>) -> Result<(), RouterError> {
+        let name = adapter.name().to_string();
+        if self.adapters.contains_key(&name) {
+            return Err(RouterError::Duplicate(name));
+        }
+        self.adapters.insert(name, adapter);
+        Ok(())
+    }
+
+    /// Declares a databank over registered sources.
+    pub fn define_databank(&mut self, name: &str, sources: &[&str]) -> Result<(), RouterError> {
+        if self.databanks.contains_key(name) {
+            return Err(RouterError::Duplicate(name.to_string()));
+        }
+        for s in sources {
+            if !self.adapters.contains_key(*s) {
+                return Err(RouterError::NoSuchSource(s.to_string()));
+            }
+        }
+        self.databanks.insert(
+            name.to_string(),
+            Databank {
+                name: name.to_string(),
+                sources: sources.iter().map(|s| s.to_string()).collect(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Declared databank by name.
+    pub fn databank(&self, name: &str) -> Option<&Databank> {
+        self.databanks.get(name)
+    }
+
+    /// Total spec lines across all databanks (NETMARK's Fig 1 cost).
+    pub fn total_spec_lines(&self) -> usize {
+        self.databanks.values().map(Databank::spec_lines).sum()
+    }
+
+    /// Weakens `q` to what `caps` supports; returns `(pushed, residual)`.
+    /// `residual = true` means the router must augment locally.
+    fn decompose(q: &XdbQuery, caps: Capabilities) -> (XdbQuery, bool) {
+        let mut pushed = q.clone();
+        let mut residual = false;
+        if q.context.is_some() && !caps.context_search {
+            pushed.context = None;
+            residual = true;
+        }
+        if q.content.is_some() && !caps.content_search {
+            pushed.content = None;
+            residual = true;
+        }
+        if !caps.structured_results && (q.context.is_some() || q.content.is_some()) {
+            // Unsectioned answers always need local sectioning.
+            residual = true;
+        }
+        // Never push a limit when we post-process; the residual filter may
+        // discard pushed hits.
+        if residual {
+            pushed.limit = None;
+        }
+        pushed.xslt = None; // composition happens at the client, once
+        pushed.databank = None;
+        (pushed, residual)
+    }
+
+    /// Queries one source, augmenting as needed.
+    fn query_source(
+        &self,
+        adapter: &dyn SourceAdapter,
+        q: &XdbQuery,
+    ) -> (SourceOutcome, Vec<Hit>) {
+        let caps = adapter.capabilities();
+        let (pushed, residual) = Router::decompose(q, caps);
+        let mut outcome = SourceOutcome {
+            source: adapter.name().to_string(),
+            pushed: pushed.clone(),
+            augmented: residual,
+            hits: 0,
+            documents_fetched: 0,
+            error: None,
+        };
+        let initial = match adapter.search(&pushed) {
+            Ok(rs) => rs,
+            Err(e) => {
+                outcome.error = Some(e.to_string());
+                return (outcome, Vec::new());
+            }
+        };
+        let hits: Vec<Hit> = if residual {
+            // Fetch each candidate document once; re-evaluate the full
+            // query over it locally.
+            let mut doc_names: Vec<&str> = Vec::new();
+            for h in &initial.hits {
+                if !doc_names.contains(&h.doc.as_str()) {
+                    doc_names.push(&h.doc);
+                }
+            }
+            let mut out = Vec::new();
+            for name in doc_names {
+                match adapter.fetch_document(name) {
+                    Ok(doc) => {
+                        outcome.documents_fetched += 1;
+                        for mut hit in match_document(&doc, q) {
+                            hit.source = adapter.name().to_string();
+                            out.push(hit);
+                        }
+                    }
+                    Err(e) => {
+                        // Keep going; record the first fetch failure.
+                        if outcome.error.is_none() {
+                            outcome.error = Some(format!("fetch {name}: {e}"));
+                        }
+                    }
+                }
+            }
+            out
+        } else {
+            initial
+                .hits
+                .into_iter()
+                .map(|mut h| {
+                    h.source = adapter.name().to_string();
+                    h
+                })
+                .collect()
+        };
+        outcome.hits = hits.len();
+        outcome.pushed = pushed;
+        (outcome, hits)
+    }
+
+    /// Runs `q` against every source of `databank`, in parallel, merging
+    /// the answers "on the fly". Failed sources degrade the answer rather
+    /// than failing it.
+    pub fn query(&self, databank: &str, q: &XdbQuery) -> Result<FederatedResult, RouterError> {
+        let bank = self
+            .databanks
+            .get(databank)
+            .ok_or_else(|| RouterError::NoSuchDatabank(databank.to_string()))?;
+        let adapters: Vec<Arc<dyn SourceAdapter>> = bank
+            .sources
+            .iter()
+            .map(|s| {
+                self.adapters
+                    .get(s)
+                    .cloned()
+                    .ok_or_else(|| RouterError::NoSuchSource(s.clone()))
+            })
+            .collect::<Result<_, _>>()?;
+        // Fan out in parallel ("We can access multiple distributed
+        // information sources simultaneously").
+        let per_source: Vec<(SourceOutcome, Vec<Hit>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = adapters
+                .iter()
+                .map(|a| scope.spawn(|| self.query_source(a.as_ref(), q)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("source query panicked"))
+                .collect()
+        });
+        // Merge in databank order; apply the limit once, globally.
+        let mut results = ResultSet::new();
+        let mut outcomes = Vec::with_capacity(per_source.len());
+        for (o, mut hits) in per_source {
+            results.hits.append(&mut hits);
+            outcomes.push(o);
+        }
+        results.candidates = results.hits.len();
+        if let Some(limit) = q.limit {
+            if results.hits.len() > limit {
+                results.hits.truncate(limit);
+                results.truncated = true;
+            }
+        }
+        Ok(FederatedResult { results, outcomes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapter::{ContentOnlySource, FlakySource, NetmarkSource};
+    use netmark::NetMark;
+    use std::path::PathBuf;
+
+    fn temp_nm(tag: &str) -> (Arc<NetMark>, PathBuf) {
+        let dir = std::env::temp_dir().join(format!("netmark-fed-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        (Arc::new(NetMark::open(&dir).unwrap()), dir)
+    }
+
+    fn build_router(tag: &str) -> (Router, Vec<PathBuf>) {
+        let (nm1, d1) = temp_nm(&format!("{tag}-a"));
+        nm1.insert_file(
+            "plan-a.wdoc",
+            "<<Heading1>> Budget\n<<Normal>> two million dollars\n<<Heading1>> Risks\n<<Normal>> engine schedule slip\n",
+        )
+        .unwrap();
+        let (nm2, d2) = temp_nm(&format!("{tag}-b"));
+        nm2.insert_file("plan-b.txt", "# Budget\none million dollars\n").unwrap();
+        let llis = ContentOnlySource::new(
+            "llis",
+            vec![(
+                "ll-1.txt".to_string(),
+                "# Title\nEngine anomaly\n# Lesson\nInspect the harness\n".to_string(),
+            )],
+        );
+        let mut router = Router::new();
+        router.register_source(Arc::new(NetmarkSource::new("ames", nm1))).unwrap();
+        router.register_source(Arc::new(NetmarkSource::new("jsc", nm2))).unwrap();
+        router.register_source(Arc::new(llis)).unwrap();
+        router.define_databank("apps", &["ames", "jsc", "llis"]).unwrap();
+        (router, vec![d1, d2])
+    }
+
+    fn cleanup(dirs: Vec<PathBuf>) {
+        for d in dirs {
+            let _ = std::fs::remove_dir_all(&d);
+        }
+    }
+
+    #[test]
+    fn fans_out_to_all_sources() {
+        let (router, dirs) = build_router("fan");
+        let fr = router.query("apps", &XdbQuery::context("Budget")).unwrap();
+        assert_eq!(fr.results.len(), 2, "both NETMARK peers answer");
+        let sources: Vec<&str> = fr.results.hits.iter().map(|h| h.source.as_str()).collect();
+        assert!(sources.contains(&"ames"));
+        assert!(sources.contains(&"jsc"));
+        assert!(!fr.degraded());
+        assert_eq!(fr.outcomes.len(), 3);
+        cleanup(dirs);
+    }
+
+    #[test]
+    fn paper_llis_augmentation() {
+        let (router, dirs) = build_router("aug");
+        // Context=Title & Content=Engine: llis can only evaluate the
+        // content part; the router augments the Title extraction.
+        let fr = router
+            .query("apps", &XdbQuery::context_content("Title", "Engine"))
+            .unwrap();
+        let llis_hits: Vec<_> = fr.results.hits.iter().filter(|h| h.source == "llis").collect();
+        assert_eq!(llis_hits.len(), 1);
+        assert_eq!(llis_hits[0].context, "Title");
+        assert!(llis_hits[0].content_text().contains("Engine anomaly"));
+        let o = fr.outcomes.iter().find(|o| o.source == "llis").unwrap();
+        assert!(o.augmented);
+        assert!(o.pushed.context.is_none(), "context was not pushed down");
+        assert_eq!(o.pushed.content.as_deref(), Some("Engine"));
+        assert_eq!(o.documents_fetched, 1);
+        // The full NETMARK peers got the whole query pushed.
+        let o = fr.outcomes.iter().find(|o| o.source == "ames").unwrap();
+        assert!(!o.augmented);
+        assert!(o.pushed.context.is_some());
+        cleanup(dirs);
+    }
+
+    #[test]
+    fn failed_source_degrades_gracefully() {
+        let (nm1, d1) = temp_nm("deg-a");
+        nm1.insert_file("p.txt", "# Budget\nmoney\n").unwrap();
+        let (nm2, d2) = temp_nm("deg-b");
+        nm2.insert_file("q.txt", "# Budget\nmore money\n").unwrap();
+        let mut router = Router::new();
+        router.register_source(Arc::new(NetmarkSource::new("up", nm1))).unwrap();
+        router
+            .register_source(Arc::new(FlakySource::down(NetmarkSource::new("down", nm2))))
+            .unwrap();
+        router.define_databank("apps", &["up", "down"]).unwrap();
+        let fr = router.query("apps", &XdbQuery::context("Budget")).unwrap();
+        assert_eq!(fr.results.len(), 1, "the live source still answers");
+        assert!(fr.degraded());
+        let o = fr.outcomes.iter().find(|o| o.source == "down").unwrap();
+        assert!(o.error.is_some());
+        cleanup(vec![d1, d2]);
+    }
+
+    #[test]
+    fn limit_applies_globally() {
+        let (router, dirs) = build_router("limit");
+        let fr = router
+            .query("apps", &XdbQuery::context("Budget").with_limit(1))
+            .unwrap();
+        assert_eq!(fr.results.len(), 1);
+        assert!(fr.results.truncated);
+        cleanup(dirs);
+    }
+
+    #[test]
+    fn registry_errors() {
+        let (mut router, dirs) = build_router("err");
+        assert!(matches!(
+            router.query("nope", &XdbQuery::context("x")),
+            Err(RouterError::NoSuchDatabank(_))
+        ));
+        assert!(matches!(
+            router.define_databank("x", &["ghost"]),
+            Err(RouterError::NoSuchSource(_))
+        ));
+        assert!(matches!(
+            router.define_databank("apps", &["ames"]),
+            Err(RouterError::Duplicate(_))
+        ));
+        cleanup(dirs);
+    }
+
+    #[test]
+    fn databank_spec_round_trip() {
+        let bank = Databank {
+            name: "anomaly".into(),
+            sources: vec!["ames".into(), "llis".into()],
+        };
+        let spec = bank.spec();
+        assert_eq!(bank.spec_lines(), 3);
+        assert_eq!(Databank::parse(&spec), Some(bank));
+        assert!(Databank::parse("no header").is_none());
+    }
+
+    #[test]
+    fn total_spec_lines_counts_all_banks() {
+        let (mut router, dirs) = build_router("lines");
+        router.define_databank("more", &["ames"]).unwrap();
+        // apps: 1 + 3 sources; more: 1 + 1 source.
+        assert_eq!(router.total_spec_lines(), 6);
+        cleanup(dirs);
+    }
+}

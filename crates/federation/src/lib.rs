@@ -1,0 +1,29 @@
+//! `netmark-federation`: databanks and the thin router (paper §2.1.5,
+//! Fig 8).
+//!
+//! Integration in NETMARK is *declared, not programmed*: an administrator
+//! lists the sources of an application in a [`Databank`]; queries fan out
+//! to all of them simultaneously; sources that only support a fragment of
+//! the query language get the supported fragment pushed down and the rest
+//! **augmented** by the router (fetch candidate documents, re-evaluate the
+//! full query locally via [`matcher`]). The router holds no schemas and no
+//! mappings — "middleware requirements are reduced to needing just a thin
+//! router capability across the various information sources".
+//!
+//! Failure injection ([`adapter::FlakySource`]) lets tests and benches
+//! exercise graceful degradation: a downed source is reported in the
+//! [`SourceOutcome`], never fails the query.
+
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod databank;
+pub mod matcher;
+pub mod serve;
+
+pub use adapter::{
+    Capabilities, ContentOnlySource, FlakySource, NetmarkSource, SourceAdapter, SourceError,
+};
+pub use databank::{Databank, FederatedResult, Router, RouterError, SourceOutcome};
+pub use matcher::{match_document, sections, Section};
+pub use serve::{handle_federated, serve_router, FederatedServerHandle};

@@ -1,0 +1,176 @@
+//! HTTP serving for databanks — the deployed shape of Fig 8.
+//!
+//! Applications reach the thin router the same way they reach a single
+//! NETMARK: an XDB URL. A query naming `databank=` fans out through the
+//! [`Router`]; queries without one fall through to the local engine (when
+//! there is one). The router adds *no* other middleware surface — no
+//! schema endpoints, no mapping admin — because there are no schemas and
+//! no mappings.
+
+use crate::databank::Router;
+use netmark::NetMark;
+use netmark_webdav::{handle as local_handle, read_request, Request, Response};
+use netmark_xdb::XdbQuery;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A running federated server; dropping the handle stops it.
+pub struct FederatedServerHandle {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FederatedServerHandle {
+    /// Bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for FederatedServerHandle {
+    fn drop(&mut self) {
+        if self.join.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+/// Dispatches one request against the router (+ optional local engine).
+pub fn handle_federated(
+    router: &Router,
+    local: Option<&NetMark>,
+    req: &Request,
+) -> Response {
+    if req.method == "GET" && req.path == "/xdb" {
+        let qs = req.query.as_deref().unwrap_or("");
+        match XdbQuery::parse(qs) {
+            Ok(q) if q.databank.is_some() => {
+                let bank = q.databank.clone().expect("checked");
+                return match router.query(&bank, &q) {
+                    Ok(fr) => {
+                        let mut resp = Response::new(200).with_xml(&fr.results.to_xml());
+                        if fr.degraded() {
+                            resp = resp.with_header("X-Netmark-Degraded", "true");
+                        }
+                        resp
+                    }
+                    Err(e) => Response::new(404).with_text(&e.to_string()),
+                };
+            }
+            Err(e) => return Response::new(400).with_text(&e.to_string()),
+            Ok(_) => {} // no databank: fall through to the local engine
+        }
+    }
+    match local {
+        Some(nm) => local_handle(nm, req),
+        None => Response::new(404).with_text("no databank named and no local store"),
+    }
+}
+
+/// Starts the federated server on `bind`.
+pub fn serve_router(
+    router: Arc<Router>,
+    local: Option<Arc<NetMark>>,
+    bind: &str,
+) -> std::io::Result<FederatedServerHandle> {
+    let listener = TcpListener::bind(bind)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let join = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if stop2.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(mut conn) = conn else { continue };
+            let router = Arc::clone(&router);
+            let local = local.clone();
+            std::thread::spawn(move || {
+                if let Some(req) = read_request(&mut conn) {
+                    let resp = handle_federated(&router, local.as_deref(), &req);
+                    let _ = resp.write_to(&mut conn);
+                }
+            });
+        }
+    });
+    Ok(FederatedServerHandle {
+        addr,
+        stop,
+        join: Some(join),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapter::{ContentOnlySource, NetmarkSource};
+    use std::io::{Read, Write};
+
+    fn request(addr: std::net::SocketAddr, raw: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn federated_url_query_over_http() {
+        let base = std::env::temp_dir().join(format!("netmark-fsrv-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let nm = Arc::new(NetMark::open(&base.join("local")).unwrap());
+        nm.insert_file("local.txt", "# Budget\nlocal money\n").unwrap();
+        let llis = ContentOnlySource::new(
+            "llis",
+            vec![("remote.txt".to_string(), "# Budget\nremote money\n".to_string())],
+        );
+        let mut router = Router::new();
+        router
+            .register_source(Arc::new(NetmarkSource::new("local", Arc::clone(&nm))))
+            .unwrap();
+        router.register_source(Arc::new(llis)).unwrap();
+        router.define_databank("apps", &["local", "llis"]).unwrap();
+
+        let h = serve_router(Arc::new(router), Some(Arc::clone(&nm)), "127.0.0.1:0").unwrap();
+
+        // Federated query: both sources answer.
+        let resp = request(
+            h.addr(),
+            "GET /xdb?databank=apps&Context=Budget HTTP/1.1\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        assert!(resp.contains("local money"));
+        assert!(resp.contains("remote money"));
+        assert!(resp.contains("source=\"llis\""));
+
+        // No databank: served by the local engine only.
+        let resp = request(h.addr(), "GET /xdb?Context=Budget HTTP/1.1\r\n\r\n");
+        assert!(resp.contains("local money"));
+        assert!(!resp.contains("remote money"));
+
+        // Unknown databank → 404.
+        let resp = request(
+            h.addr(),
+            "GET /xdb?databank=ghost&Context=Budget HTTP/1.1\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
+
+        h.stop();
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+}

@@ -1,0 +1,596 @@
+//! The Global-as-View mediator.
+//!
+//! Each global view is defined as a **union of select-project mappings**
+//! over source relations ("Each information source is viewed as exporting
+//! a view of the data it contains. An integrated (global) view of the data
+//! is formed by defining an integrated view over the individual data source
+//! views" — paper §4, describing MIX/Tukwila/Nimble/Enosys). Queries over a
+//! global view are answered by **unfolding**: rewrite into one query per
+//! mapping, push the compatible predicates to the source, and union.
+//!
+//! The mediator also does the bookkeeping the paper's Fig 1 argument is
+//! about: every source schema declared, every mapping written, and every
+//! mapping *revised* after a source change is counted as integration
+//! engineering cost.
+
+use crate::model::{GRow, GValue, Predicate, RelationSchema, Source};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from definition or query time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GavError(pub String);
+
+impl fmt::Display for GavError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gav error: {}", self.0)
+    }
+}
+
+impl std::error::Error for GavError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, GavError> {
+    Err(GavError(msg.into()))
+}
+
+/// One GAV mapping: global view tuples contributed by a select-project
+/// query over a single source relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mapping {
+    /// Source name.
+    pub source: String,
+    /// Source relation name.
+    pub relation: String,
+    /// Selections applied at the source.
+    pub selections: Vec<Predicate>,
+    /// For each *global* column, the source column providing it (`None`
+    /// pads with NULL — sources need not cover every global column).
+    pub projection: Vec<Option<String>>,
+}
+
+/// A global (integrated) view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalView {
+    /// View name.
+    pub name: String,
+    /// Global column names.
+    pub columns: Vec<String>,
+    /// Union of source mappings.
+    pub mappings: Vec<Mapping>,
+}
+
+/// A query over one global view: conjunctive predicates + projection.
+#[derive(Debug, Clone, Default)]
+pub struct ViewQuery {
+    /// View to query.
+    pub view: String,
+    /// Conjunctive predicates over global columns.
+    pub predicates: Vec<Predicate>,
+    /// Columns to return (empty = all).
+    pub projection: Vec<String>,
+}
+
+/// Integration-cost bookkeeping (drives the Fig 1 reproduction).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GavCost {
+    /// Source relations whose schemas had to be declared.
+    pub source_relations: usize,
+    /// Mapping rules written.
+    pub mapping_rules: usize,
+    /// Global views defined.
+    pub views: usize,
+    /// Mapping revisions forced by source-schema changes.
+    pub revisions: usize,
+}
+
+impl GavCost {
+    /// Total artifacts — the "IT cost" proxy for Fig 1.
+    pub fn total(&self) -> usize {
+        self.source_relations + self.mapping_rules + self.views + self.revisions
+    }
+}
+
+/// The mediator: registered sources, defined views, cost counters.
+#[derive(Debug, Default)]
+pub struct Mediator {
+    sources: BTreeMap<String, Source>,
+    views: BTreeMap<String, GlobalView>,
+    cost: GavCost,
+}
+
+impl Mediator {
+    /// Empty mediator.
+    pub fn new() -> Mediator {
+        Mediator::default()
+    }
+
+    /// Registers a source (schema declaration is charged to cost).
+    pub fn register_source(&mut self, source: Source) -> Result<(), GavError> {
+        if self.sources.contains_key(&source.name) {
+            return err(format!("source {} already registered", source.name));
+        }
+        self.cost.source_relations += source.relations.len();
+        self.sources.insert(source.name.clone(), source);
+        Ok(())
+    }
+
+    /// Loads instance data into a registered source.
+    pub fn load_rows(
+        &mut self,
+        source: &str,
+        relation: &str,
+        rows: Vec<GRow>,
+    ) -> Result<(), GavError> {
+        let s = self
+            .sources
+            .get_mut(source)
+            .ok_or_else(|| GavError(format!("no source {source}")))?;
+        if s.relation(relation).is_none() {
+            return err(format!("no relation {relation} in source {source}"));
+        }
+        s.load(relation, rows);
+        Ok(())
+    }
+
+    /// Defines a global view; every mapping is validated against the
+    /// declared source schemas (this validation *is* the schema coupling
+    /// NETMARK avoids).
+    pub fn define_view(&mut self, view: GlobalView) -> Result<(), GavError> {
+        if self.views.contains_key(&view.name) {
+            return err(format!("view {} already defined", view.name));
+        }
+        for m in &view.mappings {
+            let src = self
+                .sources
+                .get(&m.source)
+                .ok_or_else(|| GavError(format!("mapping references unknown source {}", m.source)))?;
+            let rel = src.relation(&m.relation).ok_or_else(|| {
+                GavError(format!(
+                    "mapping references unknown relation {}.{}",
+                    m.source, m.relation
+                ))
+            })?;
+            if m.projection.len() != view.columns.len() {
+                return err(format!(
+                    "mapping over {}.{} projects {} columns, view has {}",
+                    m.source,
+                    m.relation,
+                    m.projection.len(),
+                    view.columns.len()
+                ));
+            }
+            for col in m.projection.iter().flatten() {
+                if rel.position(col).is_none() {
+                    return err(format!("no column {col} in {}.{}", m.source, m.relation));
+                }
+            }
+            for p in &m.selections {
+                if rel.position(&p.column).is_none() {
+                    return err(format!(
+                        "selection on missing column {} in {}.{}",
+                        p.column, m.source, m.relation
+                    ));
+                }
+            }
+        }
+        self.cost.mapping_rules += view.mappings.len();
+        self.cost.views += 1;
+        self.views.insert(view.name.clone(), view);
+        Ok(())
+    }
+
+    /// Simulates a source schema change: relation renamed / restructured.
+    /// Every mapping touching it must be revised — the maintenance cost the
+    /// paper's "schema-chaos" point is about. Returns how many mappings
+    /// were revised.
+    pub fn source_schema_changed(
+        &mut self,
+        source: &str,
+        relation: &str,
+        new_schema: RelationSchema,
+        column_renames: &[(&str, &str)],
+    ) -> Result<usize, GavError> {
+        let src = self
+            .sources
+            .get_mut(source)
+            .ok_or_else(|| GavError(format!("no source {source}")))?;
+        let Some(pos) = src.relations.iter().position(|r| r.name == relation) else {
+            return err(format!("no relation {relation} in source {source}"));
+        };
+        // Rename data and schema.
+        let old_rows = src.data.remove(relation).unwrap_or_default();
+        src.data.insert(new_schema.name.clone(), old_rows);
+        let new_name = new_schema.name.clone();
+        src.relations[pos] = new_schema;
+        // Revise every mapping that referenced the old relation.
+        let mut revised = 0usize;
+        for view in self.views.values_mut() {
+            for m in &mut view.mappings {
+                if m.source == source && m.relation == relation {
+                    m.relation = new_name.clone();
+                    for slot in m.projection.iter_mut().flatten() {
+                        if let Some((_, to)) =
+                            column_renames.iter().find(|(from, _)| from == slot)
+                        {
+                            *slot = to.to_string();
+                        }
+                    }
+                    for p in &mut m.selections {
+                        if let Some((_, to)) =
+                            column_renames.iter().find(|(from, _)| *from == p.column)
+                        {
+                            p.column = to.to_string();
+                        }
+                    }
+                    revised += 1;
+                }
+            }
+        }
+        self.cost.revisions += revised;
+        Ok(revised)
+    }
+
+    /// Current cost counters.
+    pub fn cost(&self) -> &GavCost {
+        &self.cost
+    }
+
+    /// Names of defined views.
+    pub fn view_names(&self) -> Vec<&str> {
+        self.views.keys().map(String::as_str).collect()
+    }
+
+    /// Answers a query by view unfolding. Returns `(header, rows)`.
+    pub fn query(&self, q: &ViewQuery) -> Result<(Vec<String>, Vec<GRow>), GavError> {
+        let view = self
+            .views
+            .get(&q.view)
+            .ok_or_else(|| GavError(format!("no view {}", q.view)))?;
+        // Validate the query's columns against the view.
+        for p in &q.predicates {
+            if !view.columns.contains(&p.column) {
+                return err(format!("no column {} in view {}", p.column, q.view));
+            }
+        }
+        let out_columns: Vec<String> = if q.projection.is_empty() {
+            view.columns.clone()
+        } else {
+            for c in &q.projection {
+                if !view.columns.contains(c) {
+                    return err(format!("no column {c} in view {}", q.view));
+                }
+            }
+            q.projection.clone()
+        };
+        let mut out_rows: Vec<GRow> = Vec::new();
+        for m in &view.mappings {
+            let src = self
+                .sources
+                .get(&m.source)
+                .ok_or_else(|| GavError(format!("source {} vanished", m.source)))?;
+            let rel = src
+                .relation(&m.relation)
+                .ok_or_else(|| GavError(format!("relation {} vanished", m.relation)))?;
+            // Unfold: translate view predicates into source predicates where
+            // the mapping covers the column; predicates on uncovered
+            // columns make this mapping contribute nothing (NULL never
+            // matches).
+            let mut pushed: Vec<(usize, &Predicate)> = Vec::new();
+            let mut applicable = true;
+            for p in &q.predicates {
+                let gpos = view
+                    .columns
+                    .iter()
+                    .position(|c| c == &p.column)
+                    .expect("validated above");
+                match &m.projection[gpos] {
+                    Some(src_col) => {
+                        let spos = rel.position(src_col).expect("validated at define");
+                        pushed.push((spos, p));
+                    }
+                    None => {
+                        applicable = false;
+                        break;
+                    }
+                }
+            }
+            if !applicable {
+                continue;
+            }
+            'rows: for row in src.rows(&m.relation) {
+                // Source-side selections from the mapping definition.
+                for sel in &m.selections {
+                    let spos = rel.position(&sel.column).expect("validated");
+                    if !sel.matches(row.get(spos).unwrap_or(&GValue::Null)) {
+                        continue 'rows;
+                    }
+                }
+                // Pushed query predicates.
+                for (spos, p) in &pushed {
+                    if !p.matches(row.get(*spos).unwrap_or(&GValue::Null)) {
+                        continue 'rows;
+                    }
+                }
+                // Project to global then to the query's output columns.
+                let global_row: GRow = m
+                    .projection
+                    .iter()
+                    .map(|slot| match slot {
+                        Some(src_col) => {
+                            let spos = rel.position(src_col).expect("validated");
+                            row.get(spos).cloned().unwrap_or(GValue::Null)
+                        }
+                        None => GValue::Null,
+                    })
+                    .collect();
+                let out_row: GRow = out_columns
+                    .iter()
+                    .map(|c| {
+                        let gpos = view.columns.iter().position(|vc| vc == c).expect("checked");
+                        global_row[gpos].clone()
+                    })
+                    .collect();
+                out_rows.push(out_row);
+            }
+        }
+        Ok((out_columns, out_rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CmpOp;
+
+    /// Builds the paper's §4 "Top Employees of NASA" scenario: three
+    /// centers with three different rating vocabularies.
+    pub fn top_employees_mediator() -> Mediator {
+        let mut med = Mediator::new();
+        med.register_source(
+            Source::new("ames")
+                .with_relation(RelationSchema::new("personnel", &["name", "rating"])),
+        )
+        .unwrap();
+        med.register_source(
+            Source::new("johnson")
+                .with_relation(RelationSchema::new("staff", &["employee", "score"])),
+        )
+        .unwrap();
+        med.register_source(
+            Source::new("kennedy")
+                .with_relation(RelationSchema::new("people", &["who", "grade"])),
+        )
+        .unwrap();
+        med.load_rows(
+            "ames",
+            "personnel",
+            vec![
+                vec!["ada".into(), "excellent".into()],
+                vec!["bob".into(), "good".into()],
+            ],
+        )
+        .unwrap();
+        med.load_rows(
+            "johnson",
+            "staff",
+            vec![
+                vec!["carol".into(), GValue::Num(1.0)],
+                vec!["dan".into(), GValue::Num(3.0)],
+            ],
+        )
+        .unwrap();
+        med.load_rows(
+            "kennedy",
+            "people",
+            vec![
+                vec!["eve".into(), "very good".into()],
+                vec!["frank".into(), "fair".into()],
+            ],
+        )
+        .unwrap();
+        // "Top Employees could be defined as say employees at NASA Ames
+        // with a performance rating of excellent, personnel at NASA Johnson
+        // with a performance score of 2 or better, and employees of NASA
+        // Kennedy with a rating of very good or better."
+        med.define_view(GlobalView {
+            name: "TopEmployees".into(),
+            columns: vec!["name".into(), "center".into()],
+            mappings: vec![
+                Mapping {
+                    source: "ames".into(),
+                    relation: "personnel".into(),
+                    selections: vec![Predicate::new("rating", CmpOp::Eq, "excellent")],
+                    projection: vec![Some("name".into()), None],
+                },
+                Mapping {
+                    source: "johnson".into(),
+                    relation: "staff".into(),
+                    selections: vec![Predicate::new("score", CmpOp::Le, 2.0)],
+                    projection: vec![Some("employee".into()), None],
+                },
+                Mapping {
+                    source: "kennedy".into(),
+                    relation: "people".into(),
+                    selections: vec![Predicate::new("grade", CmpOp::Eq, "very good")],
+                    projection: vec![Some("who".into()), None],
+                },
+            ],
+        })
+        .unwrap();
+        med
+    }
+
+    #[test]
+    fn top_employees_unfolds_across_sources() {
+        let med = top_employees_mediator();
+        let (cols, rows) = med
+            .query(&ViewQuery {
+                view: "TopEmployees".into(),
+                predicates: vec![],
+                projection: vec!["name".into()],
+            })
+            .unwrap();
+        assert_eq!(cols, vec!["name"]);
+        let names: Vec<String> = rows.iter().map(|r| r[0].to_string()).collect();
+        assert_eq!(names, vec!["ada", "carol", "eve"]);
+    }
+
+    #[test]
+    fn query_predicates_push_through_mappings() {
+        let med = top_employees_mediator();
+        let (_, rows) = med
+            .query(&ViewQuery {
+                view: "TopEmployees".into(),
+                predicates: vec![Predicate::new("name", CmpOp::Contains, "a")],
+                projection: vec![],
+            })
+            .unwrap();
+        let names: Vec<String> = rows.iter().map(|r| r[0].to_string()).collect();
+        assert_eq!(names, vec!["ada", "carol"]);
+    }
+
+    #[test]
+    fn predicates_on_unmapped_columns_drop_the_mapping() {
+        let med = top_employees_mediator();
+        // 'center' is never mapped (always NULL) — a predicate on it can
+        // match nothing.
+        let (_, rows) = med
+            .query(&ViewQuery {
+                view: "TopEmployees".into(),
+                predicates: vec![Predicate::new("center", CmpOp::Eq, "ames")],
+                projection: vec![],
+            })
+            .unwrap();
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn cost_accounting() {
+        let med = top_employees_mediator();
+        let c = med.cost();
+        assert_eq!(c.source_relations, 3);
+        assert_eq!(c.mapping_rules, 3);
+        assert_eq!(c.views, 1);
+        assert_eq!(c.total(), 7);
+    }
+
+    #[test]
+    fn schema_change_forces_revisions() {
+        let mut med = top_employees_mediator();
+        let before = med.cost().revisions;
+        let revised = med
+            .source_schema_changed(
+                "ames",
+                "personnel",
+                RelationSchema::new("employees", &["full_name", "rating"]),
+                &[("name", "full_name")],
+            )
+            .unwrap();
+        assert_eq!(revised, 1);
+        assert_eq!(med.cost().revisions, before + 1);
+        // Queries still work after the revision.
+        let (_, rows) = med
+            .query(&ViewQuery {
+                view: "TopEmployees".into(),
+                predicates: vec![],
+                projection: vec!["name".into()],
+            })
+            .unwrap();
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn definition_errors() {
+        let mut med = Mediator::new();
+        med.register_source(
+            Source::new("s").with_relation(RelationSchema::new("r", &["a"])),
+        )
+        .unwrap();
+        assert!(med.register_source(Source::new("s")).is_err());
+        assert!(med.load_rows("nope", "r", vec![]).is_err());
+        assert!(med.load_rows("s", "nope", vec![]).is_err());
+        // Mapping with wrong arity.
+        assert!(med
+            .define_view(GlobalView {
+                name: "v".into(),
+                columns: vec!["x".into(), "y".into()],
+                mappings: vec![Mapping {
+                    source: "s".into(),
+                    relation: "r".into(),
+                    selections: vec![],
+                    projection: vec![Some("a".into())],
+                }],
+            })
+            .is_err());
+        // Mapping referencing a missing column.
+        assert!(med
+            .define_view(GlobalView {
+                name: "v".into(),
+                columns: vec!["x".into()],
+                mappings: vec![Mapping {
+                    source: "s".into(),
+                    relation: "r".into(),
+                    selections: vec![],
+                    projection: vec![Some("missing".into())],
+                }],
+            })
+            .is_err());
+        // Query against undefined view / column.
+        assert!(med.query(&ViewQuery::default()).is_err());
+    }
+}
+
+#[cfg(test)]
+mod more_mediator_tests {
+    use super::*;
+    use crate::model::CmpOp;
+
+    #[test]
+    fn projection_selects_and_orders_columns() {
+        let med = tests::top_employees_mediator();
+        let (cols, rows) = med
+            .query(&ViewQuery {
+                view: "TopEmployees".into(),
+                predicates: vec![],
+                projection: vec!["center".into(), "name".into()],
+            })
+            .unwrap();
+        assert_eq!(cols, vec!["center", "name"]);
+        assert_eq!(rows[0].len(), 2);
+        assert!(rows[0][0].to_string() == "NULL");
+        // Unknown projection column errors.
+        assert!(med
+            .query(&ViewQuery {
+                view: "TopEmployees".into(),
+                predicates: vec![],
+                projection: vec!["nope".into()],
+            })
+            .is_err());
+        // Unknown predicate column errors.
+        assert!(med
+            .query(&ViewQuery {
+                view: "TopEmployees".into(),
+                predicates: vec![Predicate::new("nope", CmpOp::Eq, "x")],
+                projection: vec![],
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn view_names_listed() {
+        let med = tests::top_employees_mediator();
+        assert_eq!(med.view_names(), vec!["TopEmployees"]);
+    }
+
+    #[test]
+    fn duplicate_view_rejected() {
+        let mut med = tests::top_employees_mediator();
+        assert!(med
+            .define_view(GlobalView {
+                name: "TopEmployees".into(),
+                columns: vec!["x".into()],
+                mappings: vec![],
+            })
+            .is_err());
+    }
+}

@@ -1,0 +1,274 @@
+//! Relational model for the GAV baseline: values, schemas, instances.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A value in the mediated relational model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GValue {
+    /// Text.
+    Text(String),
+    /// Number (all numerics are f64, as in the mediator literature's
+    /// untyped view definitions).
+    Num(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Null / missing.
+    Null,
+}
+
+impl GValue {
+    /// Text content, if text.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            GValue::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric content, if a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            GValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for GValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GValue::Text(s) => write!(f, "{s}"),
+            GValue::Num(n) => write!(f, "{n}"),
+            GValue::Bool(b) => write!(f, "{b}"),
+            GValue::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl From<&str> for GValue {
+    fn from(s: &str) -> Self {
+        GValue::Text(s.to_string())
+    }
+}
+impl From<f64> for GValue {
+    fn from(n: f64) -> Self {
+        GValue::Num(n)
+    }
+}
+impl From<i64> for GValue {
+    fn from(n: i64) -> Self {
+        GValue::Num(n as f64)
+    }
+}
+impl From<bool> for GValue {
+    fn from(b: bool) -> Self {
+        GValue::Bool(b)
+    }
+}
+
+/// A tuple.
+pub type GRow = Vec<GValue>;
+
+/// Schema of one source relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationSchema {
+    /// Relation name (unique within its source).
+    pub name: String,
+    /// Column names.
+    pub columns: Vec<String>,
+}
+
+impl RelationSchema {
+    /// Builds a schema.
+    pub fn new(name: &str, columns: &[&str]) -> RelationSchema {
+        RelationSchema {
+            name: name.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+        }
+    }
+
+    /// Position of a column.
+    pub fn position(&self, col: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == col)
+    }
+}
+
+/// A source: its exported schema ("source views") and its data.
+///
+/// In MIX/Tukwila each source *must* export a schema before anything can be
+/// integrated — exactly the investment NETMARK's schema-less design
+/// eliminates. The mediator's cost accounting counts these.
+#[derive(Debug, Clone, Default)]
+pub struct Source {
+    /// Source name.
+    pub name: String,
+    /// Declared relations.
+    pub relations: Vec<RelationSchema>,
+    /// Instance data per relation.
+    pub data: BTreeMap<String, Vec<GRow>>,
+}
+
+impl Source {
+    /// New empty source.
+    pub fn new(name: &str) -> Source {
+        Source {
+            name: name.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Declares a relation.
+    pub fn with_relation(mut self, schema: RelationSchema) -> Source {
+        self.relations.push(schema);
+        self
+    }
+
+    /// Schema of a relation.
+    pub fn relation(&self, name: &str) -> Option<&RelationSchema> {
+        self.relations.iter().find(|r| r.name == name)
+    }
+
+    /// Loads rows into a relation (appends).
+    pub fn load(&mut self, relation: &str, rows: Vec<GRow>) {
+        self.data.entry(relation.to_string()).or_default().extend(rows);
+    }
+
+    /// Rows of a relation.
+    pub fn rows(&self, relation: &str) -> &[GRow] {
+        self.data.get(relation).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// Comparison operators in selection predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equality (text: exact; numbers: ==).
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-than (numbers; texts lexicographic).
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Case-insensitive substring containment (text only).
+    Contains,
+}
+
+/// One selection predicate: `column op constant`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Column name.
+    pub column: String,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right-hand constant.
+    pub value: GValue,
+}
+
+impl Predicate {
+    /// Builds a predicate.
+    pub fn new(column: &str, op: CmpOp, value: impl Into<GValue>) -> Predicate {
+        Predicate {
+            column: column.to_string(),
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// Evaluates against a value.
+    pub fn matches(&self, v: &GValue) -> bool {
+        use std::cmp::Ordering;
+        let ord: Option<Ordering> = match (v, &self.value) {
+            (GValue::Num(a), GValue::Num(b)) => a.partial_cmp(b),
+            (GValue::Text(a), GValue::Text(b)) => Some(a.as_str().cmp(b.as_str())),
+            (GValue::Bool(a), GValue::Bool(b)) => Some(a.cmp(b)),
+            _ => None,
+        };
+        match self.op {
+            CmpOp::Eq => ord == Some(Ordering::Equal),
+            CmpOp::Ne => ord.is_some() && ord != Some(Ordering::Equal),
+            CmpOp::Lt => ord == Some(Ordering::Less),
+            CmpOp::Le => matches!(ord, Some(Ordering::Less | Ordering::Equal)),
+            CmpOp::Gt => ord == Some(Ordering::Greater),
+            CmpOp::Ge => matches!(ord, Some(Ordering::Greater | Ordering::Equal)),
+            CmpOp::Contains => match (v, &self.value) {
+                (GValue::Text(a), GValue::Text(b)) => {
+                    a.to_lowercase().contains(&b.to_lowercase())
+                }
+                _ => false,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_schema_and_data() {
+        let mut s = Source::new("ames").with_relation(RelationSchema::new(
+            "personnel",
+            &["name", "rating"],
+        ));
+        s.load(
+            "personnel",
+            vec![vec!["ada".into(), "excellent".into()]],
+        );
+        assert_eq!(s.relation("personnel").unwrap().position("rating"), Some(1));
+        assert_eq!(s.rows("personnel").len(), 1);
+        assert!(s.rows("missing").is_empty());
+    }
+
+    #[test]
+    fn predicate_semantics() {
+        assert!(Predicate::new("x", CmpOp::Eq, "a").matches(&"a".into()));
+        assert!(!Predicate::new("x", CmpOp::Eq, "a").matches(&"b".into()));
+        assert!(Predicate::new("x", CmpOp::Ge, 2.0).matches(&GValue::Num(2.0)));
+        assert!(Predicate::new("x", CmpOp::Lt, 2.0).matches(&GValue::Num(1.0)));
+        assert!(Predicate::new("x", CmpOp::Contains, "gap").matches(&"Technology GAP".into()));
+        // Type mismatches never match (and never panic).
+        assert!(!Predicate::new("x", CmpOp::Eq, 1.0).matches(&"1".into()));
+        assert!(!Predicate::new("x", CmpOp::Lt, "a").matches(&GValue::Null));
+        assert!(!Predicate::new("x", CmpOp::Ne, "a").matches(&GValue::Null));
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        assert_eq!(GValue::from("x"), GValue::Text("x".into()));
+        assert_eq!(GValue::from(2i64), GValue::Num(2.0));
+        assert_eq!(GValue::from(2.5), GValue::Num(2.5));
+        assert_eq!(GValue::from(true), GValue::Bool(true));
+        assert_eq!(GValue::Null.to_string(), "NULL");
+        assert_eq!(GValue::Num(1.5).to_string(), "1.5");
+        assert_eq!(GValue::Bool(false).to_string(), "false");
+        assert_eq!(GValue::Text("t".into()).as_text(), Some("t"));
+        assert_eq!(GValue::Num(3.0).as_num(), Some(3.0));
+        assert_eq!(GValue::Text("t".into()).as_num(), None);
+    }
+
+    #[test]
+    fn text_predicates_are_lexicographic() {
+        assert!(Predicate::new("x", CmpOp::Lt, "b").matches(&"a".into()));
+        assert!(Predicate::new("x", CmpOp::Ge, "b").matches(&"c".into()));
+        assert!(!Predicate::new("x", CmpOp::Gt, "b").matches(&"b".into()));
+        assert!(Predicate::new("x", CmpOp::Le, "b").matches(&"b".into()));
+    }
+
+    #[test]
+    fn bool_predicates() {
+        assert!(Predicate::new("x", CmpOp::Eq, false).matches(&GValue::Bool(false)));
+        assert!(Predicate::new("x", CmpOp::Ne, false).matches(&GValue::Bool(true)));
+        assert!(!Predicate::new("x", CmpOp::Contains, "t").matches(&GValue::Bool(true)));
+    }
+}

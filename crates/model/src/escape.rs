@@ -1,0 +1,137 @@
+//! XML text escaping.
+
+/// Escapes character data for element content (`&`, `<`, `>`).
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes an attribute value (adds quote escaping on top of text escaping).
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Resolves the five predefined entities plus decimal/hex character
+/// references. Unknown entities are preserved verbatim (lenient, as the
+/// paper's parser must cope with real-world HTML).
+pub fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] != b'&' {
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&s[i..i + ch_len]);
+            i += ch_len;
+            continue;
+        }
+        // Find the terminating ';' within a sane distance.
+        let end = s[i + 1..]
+            .char_indices()
+            .take(12)
+            .find(|(_, c)| *c == ';')
+            .map(|(off, _)| i + 1 + off);
+        let Some(end) = end else {
+            out.push('&');
+            i += 1;
+            continue;
+        };
+        let entity = &s[i + 1..end];
+        let resolved: Option<String> = match entity {
+            "amp" => Some("&".into()),
+            "lt" => Some("<".into()),
+            "gt" => Some(">".into()),
+            "quot" => Some("\"".into()),
+            "apos" => Some("'".into()),
+            "nbsp" => Some("\u{a0}".into()),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                u32::from_str_radix(&entity[2..], 16)
+                    .ok()
+                    .and_then(char::from_u32)
+                    .map(|c| c.to_string())
+            }
+            _ if entity.starts_with('#') => entity[1..]
+                .parse::<u32>()
+                .ok()
+                .and_then(char::from_u32)
+                .map(|c| c.to_string()),
+            _ => None,
+        };
+        match resolved {
+            Some(r) => {
+                out.push_str(&r);
+                i = end + 1;
+            }
+            None => {
+                out.push('&');
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b < 0xE0 => 2,
+        b if b < 0xF0 => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_escape_round_trip() {
+        let s = "a < b && c > d";
+        assert_eq!(unescape(&escape_text(s)), s);
+        assert_eq!(escape_text(s), "a &lt; b &amp;&amp; c &gt; d");
+    }
+
+    #[test]
+    fn attr_escape_quotes() {
+        assert_eq!(escape_attr(r#"say "hi""#), "say &quot;hi&quot;");
+        assert_eq!(unescape("say &quot;hi&quot;"), r#"say "hi""#);
+    }
+
+    #[test]
+    fn numeric_references() {
+        assert_eq!(unescape("&#65;&#x42;&#X43;"), "ABC");
+        assert_eq!(unescape("caf&#233;"), "café");
+    }
+
+    #[test]
+    fn unknown_entities_preserved() {
+        assert_eq!(unescape("&bogus; & x"), "&bogus; & x");
+        assert_eq!(unescape("dangling &"), "dangling &");
+        assert_eq!(unescape("&;"), "&;");
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        let s = "NASA — Ames ✓ émission";
+        assert_eq!(unescape(&escape_text(s)), s);
+    }
+}

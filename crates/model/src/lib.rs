@@ -1,0 +1,16 @@
+//! `netmark-model`: the document/node model shared by every layer of the
+//! NETMARK reproduction.
+//!
+//! Defines the paper's five node data types (`ELEMENT`, `TEXT`, `CONTEXT`,
+//! `INTENSE`, `SIMULATION` — Fig 5), the upmarked document tree
+//! ([`Node`] / [`Document`]), XML escaping, and serialization. Parsers
+//! (`netmark-sgml`) produce this model; the store flattens it into the
+//! `XML`/`DOC` tables; the XSLT engine transforms it.
+
+#![warn(missing_docs)]
+
+pub mod escape;
+pub mod node;
+
+pub use escape::{escape_attr, escape_text, unescape};
+pub use node::{Document, Node, NodeIter, NodeType};

@@ -1,0 +1,567 @@
+//! Paged B+ tree over byte-string keys.
+//!
+//! Index files hold one tree each. Page 0 is a meta page whose `aux` field
+//! stores the root page number. Leaves chain through their `aux` field
+//! (0 = end of chain; page 0 is always the meta page, never a leaf).
+//! Internal pages store their leftmost child in `aux` and cells of
+//! `(separator key, right child)` pairs; a separator `s` divides keys
+//! `< s` (left) from keys `>= s` (right).
+//!
+//! Modifications rewrite whole pages (read-modify-write over the slotted
+//! layout); with ≤ a few hundred cells per page this is simple and fast
+//! enough, and it keeps cells physically sorted so lookups binary-search.
+//!
+//! Deletion is lazy: cells are removed but pages never merge. Indexes are
+//! secondary structures here — they are *not* WAL-logged and are rebuilt
+//! from the owning heap after a crash (see [`crate::db`]).
+
+use crate::buffer::BufferPool;
+use crate::disk::FileId;
+use crate::error::{Result, StoreError};
+use crate::page::{PageType, SlottedPage, SlottedPageRef, PAGE_SIZE};
+use crate::tuple::{read_varint, write_varint};
+use std::sync::Arc;
+
+/// Largest key+value a single cell may hold; beyond this the page math
+/// cannot guarantee a split produces fitting halves.
+pub const MAX_ENTRY: usize = 2000;
+
+const META_PAGE: u32 = 0;
+
+fn leaf_cell(key: &[u8], val: &[u8]) -> Vec<u8> {
+    let mut c = Vec::with_capacity(key.len() + val.len() + 6);
+    write_varint(&mut c, key.len() as u64);
+    c.extend_from_slice(key);
+    write_varint(&mut c, val.len() as u64);
+    c.extend_from_slice(val);
+    c
+}
+
+fn parse_leaf_cell(cell: &[u8]) -> Result<(Vec<u8>, Vec<u8>)> {
+    let mut pos = 0usize;
+    let klen = read_varint(cell, &mut pos)? as usize;
+    let kend = pos + klen;
+    if kend > cell.len() {
+        return Err(StoreError::Corrupt("leaf cell key truncated".into()));
+    }
+    let key = cell[pos..kend].to_vec();
+    pos = kend;
+    let vlen = read_varint(cell, &mut pos)? as usize;
+    let vend = pos + vlen;
+    if vend > cell.len() {
+        return Err(StoreError::Corrupt("leaf cell value truncated".into()));
+    }
+    Ok((key, cell[pos..vend].to_vec()))
+}
+
+fn internal_cell(key: &[u8], child: u32) -> Vec<u8> {
+    let mut c = Vec::with_capacity(key.len() + 8);
+    write_varint(&mut c, key.len() as u64);
+    c.extend_from_slice(key);
+    c.extend_from_slice(&child.to_le_bytes());
+    c
+}
+
+fn parse_internal_cell(cell: &[u8]) -> Result<(Vec<u8>, u32)> {
+    let mut pos = 0usize;
+    let klen = read_varint(cell, &mut pos)? as usize;
+    let kend = pos + klen;
+    if kend + 4 > cell.len() {
+        return Err(StoreError::Corrupt("internal cell truncated".into()));
+    }
+    let key = cell[pos..kend].to_vec();
+    let child = u32::from_le_bytes(cell[kend..kend + 4].try_into().unwrap());
+    Ok((key, child))
+}
+
+/// Bytes the slotted layout charges for `cells`.
+fn cells_size(cells: &[Vec<u8>]) -> usize {
+    20 + cells.iter().map(|c| c.len() + 4).sum::<usize>()
+}
+
+/// A B+ tree over one index file.
+pub struct BTree {
+    pool: Arc<BufferPool>,
+    file: FileId,
+}
+
+impl BTree {
+    /// Opens (initializing if empty) the tree in `file`.
+    pub fn open(pool: Arc<BufferPool>, file: FileId) -> Result<BTree> {
+        let t = BTree { pool, file };
+        if t.pool.file_manager().page_count(file) == 0 {
+            // Meta page + empty root leaf.
+            let (meta_no, meta) = t.pool.allocate(file)?;
+            debug_assert_eq!(meta_no, META_PAGE);
+            let (root_no, root) = t.pool.allocate(file)?;
+            {
+                let mut data = root.write();
+                SlottedPage::init(&mut data, PageType::BtreeLeaf);
+            }
+            let mut data = meta.write();
+            let mut sp = SlottedPage::init(&mut data, PageType::Meta);
+            sp.set_aux(root_no);
+        }
+        Ok(t)
+    }
+
+    /// The underlying file id.
+    pub fn file_id(&self) -> FileId {
+        self.file
+    }
+
+    fn root(&self) -> Result<u32> {
+        let g = self.pool.fetch(self.file, META_PAGE)?;
+        let data = g.read();
+        Ok(SlottedPageRef::new(&data).aux())
+    }
+
+    fn set_root(&self, root: u32) -> Result<()> {
+        let g = self.pool.fetch(self.file, META_PAGE)?;
+        let mut data = g.write();
+        SlottedPage::new(&mut data).set_aux(root);
+        Ok(())
+    }
+
+    fn load(&self, page: u32) -> Result<(PageType, u32, Vec<Vec<u8>>)> {
+        let g = self.pool.fetch(self.file, page)?;
+        let data = g.read();
+        let sp = SlottedPageRef::new(&data);
+        let cells = sp.iter_live().map(|(_, c)| c.to_vec()).collect();
+        Ok((sp.page_type(), sp.aux(), cells))
+    }
+
+    fn store(&self, page: u32, ptype: PageType, aux: u32, cells: &[Vec<u8>]) -> Result<()> {
+        debug_assert!(cells_size(cells) <= PAGE_SIZE, "page overflow at store");
+        let g = self.pool.fetch(self.file, page)?;
+        let mut data = g.write();
+        let mut sp = SlottedPage::init(&mut data, ptype);
+        sp.set_aux(aux);
+        sp.insert_bulk(cells);
+        Ok(())
+    }
+
+    fn new_page(&self) -> Result<u32> {
+        let (no, g) = self.pool.allocate(self.file)?;
+        let mut data = g.write();
+        SlottedPage::init(&mut data, PageType::BtreeLeaf);
+        Ok(no)
+    }
+
+    /// Inserts (or replaces) `key → val`.
+    pub fn insert(&self, key: &[u8], val: &[u8]) -> Result<()> {
+        if key.len() + val.len() > MAX_ENTRY {
+            return Err(StoreError::TupleTooLarge {
+                size: key.len() + val.len(),
+                max: MAX_ENTRY,
+            });
+        }
+        let root = self.root()?;
+        if let Some((sep, right)) = self.insert_rec(root, key, val)? {
+            // Root split: create a new internal root.
+            let new_root = self.new_page()?;
+            self.store(
+                new_root,
+                PageType::BtreeInternal,
+                root,
+                &[internal_cell(&sep, right)],
+            )?;
+            self.set_root(new_root)?;
+        }
+        Ok(())
+    }
+
+    fn insert_rec(&self, page: u32, key: &[u8], val: &[u8]) -> Result<Option<(Vec<u8>, u32)>> {
+        let (ptype, aux, mut cells) = self.load(page)?;
+        match ptype {
+            PageType::BtreeLeaf => {
+                // Cells are sorted by key; binary search for position.
+                let pos = cells.binary_search_by(|c| {
+                    let (k, _) = parse_leaf_cell(c).expect("cell parses");
+                    k.as_slice().cmp(key)
+                });
+                let new_cell = leaf_cell(key, val);
+                match pos {
+                    Ok(i) => cells[i] = new_cell,
+                    Err(i) => cells.insert(i, new_cell),
+                }
+                if cells_size(&cells) <= PAGE_SIZE {
+                    self.store(page, PageType::BtreeLeaf, aux, &cells)?;
+                    return Ok(None);
+                }
+                // Split at the byte midpoint.
+                let split = split_point(&cells);
+                let right_cells: Vec<Vec<u8>> = cells.split_off(split);
+                let right_page = self.new_page()?;
+                let (sep, _) = parse_leaf_cell(&right_cells[0])?;
+                self.store(right_page, PageType::BtreeLeaf, aux, &right_cells)?;
+                self.store(page, PageType::BtreeLeaf, right_page, &cells)?;
+                Ok(Some((sep, right_page)))
+            }
+            PageType::BtreeInternal => {
+                let (idx, child) = self.descend(&cells, aux, key)?;
+                let split = self.insert_rec(child, key, val)?;
+                let Some((sep, right)) = split else {
+                    return Ok(None);
+                };
+                // Insert the new separator just after the descended slot.
+                let at = match idx {
+                    None => 0,
+                    Some(i) => i + 1,
+                };
+                cells.insert(at, internal_cell(&sep, right));
+                if cells_size(&cells) <= PAGE_SIZE {
+                    self.store(page, PageType::BtreeInternal, aux, &cells)?;
+                    return Ok(None);
+                }
+                let mid = split_point(&cells).clamp(1, cells.len() - 1);
+                let mut right_cells = cells.split_off(mid);
+                let (promote, right_leftmost) = parse_internal_cell(&right_cells[0])?;
+                right_cells.remove(0);
+                let right_page = self.new_page()?;
+                self.store(
+                    right_page,
+                    PageType::BtreeInternal,
+                    right_leftmost,
+                    &right_cells,
+                )?;
+                self.store(page, PageType::BtreeInternal, aux, &cells)?;
+                Ok(Some((promote, right_page)))
+            }
+            t => Err(StoreError::Corrupt(format!(
+                "unexpected page type {t:?} in btree descent"
+            ))),
+        }
+    }
+
+    /// Picks the child for `key`: returns `(separator index descended
+    /// through, child page)`, where index `None` means the leftmost child.
+    fn descend(&self, cells: &[Vec<u8>], leftmost: u32, key: &[u8]) -> Result<(Option<usize>, u32)> {
+        let mut lo = 0usize;
+        let mut hi = cells.len();
+        // Find the last separator <= key.
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let (sep, _) = parse_internal_cell(&cells[mid])?;
+            if sep.as_slice() <= key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo == 0 {
+            Ok((None, leftmost))
+        } else {
+            let (_, child) = parse_internal_cell(&cells[lo - 1])?;
+            Ok((Some(lo - 1), child))
+        }
+    }
+
+    /// Descends without materializing cells: B-tree pages always pass
+    /// through [`BTree::store`], which writes cells in sorted slot order,
+    /// so slots can be binary-searched in place.
+    fn find_leaf(&self, key: &[u8]) -> Result<u32> {
+        let mut page = self.root()?;
+        loop {
+            let g = self.pool.fetch(self.file, page)?;
+            let data = g.read();
+            let sp = SlottedPageRef::new(&data);
+            match sp.page_type() {
+                PageType::BtreeLeaf => return Ok(page),
+                PageType::BtreeInternal => {
+                    // Last separator <= key, else the leftmost child.
+                    let n = sp.slot_count();
+                    let (mut lo, mut hi) = (0u16, n);
+                    while lo < hi {
+                        let mid = (lo + hi) / 2;
+                        let cell = sp
+                            .get(mid)
+                            .ok_or_else(|| StoreError::Corrupt("btree slot gap".into()))?;
+                        let (k, _) = parse_internal_cell(cell)?;
+                        if k.as_slice() <= key {
+                            lo = mid + 1;
+                        } else {
+                            hi = mid;
+                        }
+                    }
+                    let next = if lo == 0 {
+                        sp.aux()
+                    } else {
+                        let cell = sp
+                            .get(lo - 1)
+                            .ok_or_else(|| StoreError::Corrupt("btree slot gap".into()))?;
+                        parse_internal_cell(cell)?.1
+                    };
+                    drop(data);
+                    page = next;
+                }
+                t => {
+                    return Err(StoreError::Corrupt(format!(
+                        "unexpected page type {t:?} in btree descent"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Point lookup (in-place binary search; no page materialization).
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let leaf = self.find_leaf(key)?;
+        let g = self.pool.fetch(self.file, leaf)?;
+        let data = g.read();
+        let sp = SlottedPageRef::new(&data);
+        let n = sp.slot_count();
+        let (mut lo, mut hi) = (0u16, n);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let cell = sp
+                .get(mid)
+                .ok_or_else(|| StoreError::Corrupt("btree slot gap".into()))?;
+            let (k, v) = parse_leaf_cell(cell)?;
+            match k.as_slice().cmp(key) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Ok(Some(v)),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Removes `key`. Returns whether it was present.
+    pub fn delete(&self, key: &[u8]) -> Result<bool> {
+        let leaf = self.find_leaf(key)?;
+        let (_, aux, mut cells) = self.load(leaf)?;
+        let before = cells.len();
+        cells.retain(|c| {
+            parse_leaf_cell(c)
+                .map(|(k, _)| k.as_slice() != key)
+                .unwrap_or(true)
+        });
+        if cells.len() == before {
+            return Ok(false);
+        }
+        self.store(leaf, PageType::BtreeLeaf, aux, &cells)?;
+        Ok(true)
+    }
+
+    /// Range scan over `lo <= key < hi`, yielding `(key, value)` pairs in
+    /// key order.
+    pub fn range(&self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut out = Vec::new();
+        let mut page = self.find_leaf(lo)?;
+        loop {
+            let (_, next, cells) = self.load(page)?;
+            for c in &cells {
+                let (k, v) = parse_leaf_cell(c)?;
+                if k.as_slice() >= hi {
+                    return Ok(out);
+                }
+                if k.as_slice() >= lo {
+                    out.push((k, v));
+                }
+            }
+            if next == 0 {
+                return Ok(out);
+            }
+            page = next;
+        }
+    }
+
+    /// Iterates the whole tree in key order.
+    pub fn scan_all(&self) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.range(&[], &[0xFFu8; MAX_ENTRY / 64])
+    }
+
+    /// Number of entries (walks the leaf chain).
+    pub fn len(&self) -> Result<usize> {
+        // Find the leftmost leaf then follow the chain.
+        let mut page = self.find_leaf(&[])?;
+        let mut n = 0usize;
+        loop {
+            let (_, next, cells) = self.load(page)?;
+            n += cells.len();
+            if next == 0 {
+                return Ok(n);
+            }
+            page = next;
+        }
+    }
+
+    /// True when the tree holds no entries.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Tree height (1 = a single leaf root). Exposed for tests and the
+    /// storage ablation bench.
+    pub fn height(&self) -> Result<usize> {
+        let mut page = self.root()?;
+        let mut h = 1usize;
+        loop {
+            let (ptype, aux, _cells) = self.load(page)?;
+            match ptype {
+                PageType::BtreeLeaf => return Ok(h),
+                PageType::BtreeInternal => {
+                    page = aux;
+                    h += 1;
+                }
+                t => {
+                    return Err(StoreError::Corrupt(format!(
+                        "unexpected page type {t:?} walking height"
+                    )))
+                }
+            }
+        }
+    }
+}
+
+/// Index into `cells` that splits total bytes roughly in half, always
+/// leaving at least one cell on each side.
+fn split_point(cells: &[Vec<u8>]) -> usize {
+    let total: usize = cells.iter().map(|c| c.len() + 4).sum();
+    let mut acc = 0usize;
+    for (i, c) in cells.iter().enumerate() {
+        acc += c.len() + 4;
+        if acc >= total / 2 {
+            return (i + 1).min(cells.len() - 1).max(1);
+        }
+    }
+    cells.len() / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::FileManager;
+    use std::collections::BTreeMap;
+    use std::path::PathBuf;
+
+    fn setup(tag: &str) -> (BTree, PathBuf) {
+        let dir = std::env::temp_dir().join(format!("netmark-bt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fm = Arc::new(FileManager::open(&dir).unwrap());
+        let pool = Arc::new(BufferPool::new(Arc::clone(&fm), 256));
+        let f = fm.open_file("i.idx").unwrap();
+        (BTree::open(pool, f).unwrap(), dir)
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let (t, dir) = setup("small");
+        t.insert(b"b", b"2").unwrap();
+        t.insert(b"a", b"1").unwrap();
+        t.insert(b"c", b"3").unwrap();
+        assert_eq!(t.get(b"a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(t.get(b"b").unwrap(), Some(b"2".to_vec()));
+        assert_eq!(t.get(b"z").unwrap(), None);
+        assert_eq!(t.len().unwrap(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replace_existing_key() {
+        let (t, dir) = setup("replace");
+        t.insert(b"k", b"old").unwrap();
+        t.insert(b"k", b"new").unwrap();
+        assert_eq!(t.get(b"k").unwrap(), Some(b"new".to_vec()));
+        assert_eq!(t.len().unwrap(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn thousands_of_keys_splits_and_orders() {
+        let (t, dir) = setup("bulk");
+        let mut model = BTreeMap::new();
+        // Insert in a scrambled but deterministic order.
+        for i in 0u32..5000 {
+            let k = format!("key{:08}", (i.wrapping_mul(2654435761)) % 100000);
+            let v = format!("val{i}");
+            t.insert(k.as_bytes(), v.as_bytes()).unwrap();
+            model.insert(k.into_bytes(), v.into_bytes());
+        }
+        assert!(t.height().unwrap() >= 2, "bulk load should split the root");
+        assert_eq!(t.len().unwrap(), model.len());
+        // Full scan matches the model in order.
+        let scanned = t.scan_all().unwrap();
+        let expect: Vec<_> = model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        assert_eq!(scanned, expect);
+        // Point lookups.
+        for (k, v) in model.iter().take(200) {
+            assert_eq!(t.get(k).unwrap().as_deref(), Some(v.as_slice()));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn range_scan_bounds() {
+        let (t, dir) = setup("range");
+        for i in 0..100u32 {
+            t.insert(format!("k{i:03}").as_bytes(), &i.to_le_bytes())
+                .unwrap();
+        }
+        let r = t.range(b"k010", b"k020").unwrap();
+        assert_eq!(r.len(), 10);
+        assert_eq!(r[0].0, b"k010".to_vec());
+        assert_eq!(r[9].0, b"k019".to_vec());
+        assert!(t.range(b"zzz", b"zzzz").unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delete_then_absent() {
+        let (t, dir) = setup("delete");
+        for i in 0..500u32 {
+            t.insert(format!("k{i:03}").as_bytes(), b"v").unwrap();
+        }
+        assert!(t.delete(b"k250").unwrap());
+        assert!(!t.delete(b"k250").unwrap());
+        assert_eq!(t.get(b"k250").unwrap(), None);
+        assert_eq!(t.len().unwrap(), 499);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn large_values_split_correctly() {
+        let (t, dir) = setup("largeval");
+        let big = vec![7u8; 1500];
+        for i in 0..50u32 {
+            t.insert(format!("k{i:02}").as_bytes(), &big).unwrap();
+        }
+        for i in 0..50u32 {
+            assert_eq!(
+                t.get(format!("k{i:02}").as_bytes()).unwrap(),
+                Some(big.clone())
+            );
+        }
+        let too_big = vec![0u8; MAX_ENTRY + 1];
+        assert!(t.insert(b"k", &too_big).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn persists_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("netmark-bt-reopen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let fm = Arc::new(FileManager::open(&dir).unwrap());
+            let pool = Arc::new(BufferPool::new(Arc::clone(&fm), 64));
+            let f = fm.open_file("i.idx").unwrap();
+            let t = BTree::open(Arc::clone(&pool), f).unwrap();
+            for i in 0..1000u32 {
+                t.insert(format!("k{i:04}").as_bytes(), &i.to_le_bytes())
+                    .unwrap();
+            }
+            pool.flush_all().unwrap();
+        }
+        let fm = Arc::new(FileManager::open(&dir).unwrap());
+        let pool = Arc::new(BufferPool::new(Arc::clone(&fm), 64));
+        let f = fm.open_file("i.idx").unwrap();
+        let t = BTree::open(pool, f).unwrap();
+        assert_eq!(t.len().unwrap(), 1000);
+        assert_eq!(
+            t.get(b"k0500").unwrap(),
+            Some(500u32.to_le_bytes().to_vec())
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

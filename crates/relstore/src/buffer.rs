@@ -1,0 +1,338 @@
+//! Buffer pool with CLOCK eviction.
+//!
+//! Frames cache `(FileId, page_no)` pages. Eviction only ever selects
+//! **clean, unpinned** frames: dirty pages are written back exclusively by
+//! explicit flush calls (transaction commit and checkpoints). Together with
+//! redo-only WAL this gives the engine a *no-steal* policy — an uncommitted
+//! transaction's changes never reach disk — so crash recovery never needs
+//! undo. If every frame is dirty or pinned, the pool grows past its nominal
+//! capacity rather than blocking (transactions are expected to fit in
+//! memory; the growth is bounded by the active transaction's write set).
+
+use crate::disk::{FileId, FileManager};
+use crate::error::Result;
+use crate::page::PAGE_SIZE;
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Cache key of one page.
+pub type PageKey = (FileId, u32);
+
+struct Frame {
+    key: PageKey,
+    data: RwLock<Box<[u8]>>,
+    dirty: AtomicBool,
+    pins: AtomicU32,
+    referenced: AtomicBool,
+}
+
+/// Counters exposed for the buffer-pool ablation benchmark.
+#[derive(Debug, Default, Clone)]
+pub struct PoolStats {
+    /// Page requests served from the cache.
+    pub hits: u64,
+    /// Page requests that had to read from disk.
+    pub misses: u64,
+    /// Clean frames recycled by the CLOCK hand.
+    pub evictions: u64,
+}
+
+/// A shared, thread-safe pool of page frames.
+pub struct BufferPool {
+    fm: Arc<FileManager>,
+    capacity: usize,
+    inner: Mutex<PoolInner>,
+}
+
+struct PoolInner {
+    frames: HashMap<PageKey, Arc<Frame>>,
+    /// CLOCK order; entries may be stale (frame since removed).
+    clock: Vec<PageKey>,
+    hand: usize,
+    stats: PoolStats,
+}
+
+/// A pinned page. The page stays in the pool while any guard exists.
+/// Obtain read or write access via [`PageGuard::read`] / [`PageGuard::write`].
+pub struct PageGuard {
+    frame: Arc<Frame>,
+}
+
+impl Clone for PageGuard {
+    fn clone(&self) -> Self {
+        self.frame.pins.fetch_add(1, Ordering::Relaxed);
+        PageGuard {
+            frame: Arc::clone(&self.frame),
+        }
+    }
+}
+
+impl Drop for PageGuard {
+    fn drop(&mut self) {
+        self.frame.pins.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+impl PageGuard {
+    /// Shared access to the page bytes.
+    pub fn read(&self) -> RwLockReadGuard<'_, Box<[u8]>> {
+        self.frame.data.read()
+    }
+
+    /// Exclusive access to the page bytes; marks the page dirty.
+    pub fn write(&self) -> RwLockWriteGuard<'_, Box<[u8]>> {
+        self.frame.dirty.store(true, Ordering::Relaxed);
+        self.frame.data.write()
+    }
+
+    /// The `(file, page)` this guard pins.
+    pub fn key(&self) -> PageKey {
+        self.frame.key
+    }
+}
+
+impl BufferPool {
+    /// Creates a pool of `capacity` frames over `fm`.
+    pub fn new(fm: Arc<FileManager>, capacity: usize) -> BufferPool {
+        BufferPool {
+            fm,
+            capacity: capacity.max(4),
+            inner: Mutex::new(PoolInner {
+                frames: HashMap::new(),
+                clock: Vec::new(),
+                hand: 0,
+                stats: PoolStats::default(),
+            }),
+        }
+    }
+
+    /// The underlying file manager.
+    pub fn file_manager(&self) -> &Arc<FileManager> {
+        &self.fm
+    }
+
+    /// Snapshot of hit/miss/eviction counters.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.lock().stats.clone()
+    }
+
+    /// Pins page `(file, page_no)`, reading it from disk on a miss.
+    pub fn fetch(&self, file: FileId, page_no: u32) -> Result<PageGuard> {
+        let mut inner = self.inner.lock();
+        if let Some(frame) = inner.frames.get(&(file, page_no)).cloned() {
+            inner.stats.hits += 1;
+            frame.referenced.store(true, Ordering::Relaxed);
+            frame.pins.fetch_add(1, Ordering::Relaxed);
+            return Ok(PageGuard { frame });
+        }
+        inner.stats.misses += 1;
+        self.make_room(&mut inner);
+        // Read outside would be nicer, but a single mutex keeps the pool
+        // simple and the engine is single-writer by design.
+        let mut buf = vec![0u8; PAGE_SIZE].into_boxed_slice();
+        self.fm.read_page(file, page_no, &mut buf)?;
+        Ok(self.install(&mut inner, (file, page_no), buf))
+    }
+
+    /// Allocates a brand-new page in `file` and pins it (zero-filled; the
+    /// caller formats it). Returns the page number and guard.
+    pub fn allocate(&self, file: FileId) -> Result<(u32, PageGuard)> {
+        let page_no = self.fm.allocate_page(file)?;
+        let mut inner = self.inner.lock();
+        self.make_room(&mut inner);
+        let buf = vec![0u8; PAGE_SIZE].into_boxed_slice();
+        Ok((page_no, self.install(&mut inner, (file, page_no), buf)))
+    }
+
+    fn install(&self, inner: &mut PoolInner, key: PageKey, buf: Box<[u8]>) -> PageGuard {
+        let frame = Arc::new(Frame {
+            key,
+            data: RwLock::new(buf),
+            dirty: AtomicBool::new(false),
+            pins: AtomicU32::new(1),
+            referenced: AtomicBool::new(true),
+        });
+        inner.frames.insert(key, Arc::clone(&frame));
+        inner.clock.push(key);
+        PageGuard { frame }
+    }
+
+    /// CLOCK sweep: recycle one clean, unpinned frame if the pool is full.
+    fn make_room(&self, inner: &mut PoolInner) {
+        if inner.frames.len() < self.capacity {
+            return;
+        }
+        let n = inner.clock.len();
+        // Two full sweeps: the first clears reference bits, the second picks
+        // the first clean victim.
+        for _ in 0..2 * n {
+            if inner.clock.is_empty() {
+                return;
+            }
+            let hand = inner.hand % inner.clock.len();
+            inner.hand = (hand + 1) % inner.clock.len().max(1);
+            let key = inner.clock[hand];
+            let Some(frame) = inner.frames.get(&key) else {
+                inner.clock.swap_remove(hand);
+                inner.hand = if inner.clock.is_empty() { 0 } else { hand % inner.clock.len() };
+                continue;
+            };
+            if frame.pins.load(Ordering::Relaxed) > 0
+                || frame.dirty.load(Ordering::Relaxed)
+            {
+                continue;
+            }
+            if frame.referenced.swap(false, Ordering::Relaxed) {
+                continue;
+            }
+            inner.frames.remove(&key);
+            inner.clock.swap_remove(hand);
+            inner.hand = if inner.clock.is_empty() { 0 } else { hand % inner.clock.len() };
+            inner.stats.evictions += 1;
+            return;
+        }
+        // No clean victim: grow (no-steal — dirty pages stay in memory).
+    }
+
+    /// Writes one dirty page back to disk and marks it clean.
+    pub fn flush_page(&self, file: FileId, page_no: u32) -> Result<()> {
+        let frame = {
+            let inner = self.inner.lock();
+            inner.frames.get(&(file, page_no)).cloned()
+        };
+        if let Some(frame) = frame {
+            if frame.dirty.load(Ordering::Relaxed) {
+                let data = frame.data.read();
+                self.fm.write_page(file, page_no, &data)?;
+                frame.dirty.store(false, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes every dirty page (checkpoint). Returns how many were written.
+    pub fn flush_all(&self) -> Result<usize> {
+        let frames: Vec<Arc<Frame>> = {
+            let inner = self.inner.lock();
+            inner.frames.values().cloned().collect()
+        };
+        let mut written = 0;
+        let mut files: Vec<FileId> = Vec::new();
+        for frame in frames {
+            if frame.dirty.load(Ordering::Relaxed) {
+                let data = frame.data.read();
+                self.fm.write_page(frame.key.0, frame.key.1, &data)?;
+                frame.dirty.store(false, Ordering::Relaxed);
+                written += 1;
+                if !files.contains(&frame.key.0) {
+                    files.push(frame.key.0);
+                }
+            }
+        }
+        for f in files {
+            self.fm.sync(f)?;
+        }
+        Ok(written)
+    }
+
+    /// Drops every cached frame for `file` without writing (used when a
+    /// file is truncated for rebuild).
+    pub fn discard_file(&self, file: FileId) {
+        let mut inner = self.inner.lock();
+        inner.frames.retain(|k, _| k.0 != file);
+        inner.clock.retain(|k| k.0 != file);
+        inner.hand = 0;
+    }
+
+    /// Reverts an in-memory page to the given bytes (transaction abort under
+    /// no-steal: disk was never touched, only the cached copy).
+    pub fn overwrite_in_memory(&self, file: FileId, page_no: u32, bytes: &[u8]) {
+        let inner = self.inner.lock();
+        if let Some(frame) = inner.frames.get(&(file, page_no)) {
+            frame.data.write().copy_from_slice(bytes);
+            frame.dirty.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn setup(tag: &str, cap: usize) -> (BufferPool, FileId, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "netmark-buf-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fm = Arc::new(FileManager::open(&dir).unwrap());
+        let pool = BufferPool::new(Arc::clone(&fm), cap);
+        let f = fm.open_file("t.tbl").unwrap();
+        (pool, f, dir)
+    }
+
+    #[test]
+    fn fetch_caches_pages() {
+        let (pool, f, dir) = setup("cache", 8);
+        let (p, g) = pool.allocate(f).unwrap();
+        g.write()[0] = 42;
+        drop(g);
+        let g2 = pool.fetch(f, p).unwrap();
+        assert_eq!(g2.read()[0], 42, "hit returns the cached copy");
+        let st = pool.stats();
+        assert_eq!(st.misses, 0, "allocate + hit, no disk read");
+        assert!(st.hits >= 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn eviction_only_recycles_clean_frames() {
+        let (pool, f, dir) = setup("evict", 4);
+        // Dirty page that must survive any eviction pressure.
+        let (p0, g0) = pool.allocate(f).unwrap();
+        g0.write()[0] = 7;
+        drop(g0);
+        // Clean pages to create pressure.
+        for _ in 0..16 {
+            let (p, g) = pool.allocate(f).unwrap();
+            g.write()[1] = 1;
+            drop(g);
+            pool.flush_page(f, p).unwrap();
+        }
+        // The dirty page is still resident with its uncommitted bytes.
+        let g = pool.fetch(f, p0).unwrap();
+        assert_eq!(g.read()[0], 7);
+        assert!(pool.stats().evictions > 0, "clean frames were recycled");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flush_all_persists_and_cleans() {
+        let (pool, f, dir) = setup("flush", 8);
+        let (p, g) = pool.allocate(f).unwrap();
+        g.write()[5] = 55;
+        drop(g);
+        assert_eq!(pool.flush_all().unwrap(), 1);
+        assert_eq!(pool.flush_all().unwrap(), 0, "second flush writes nothing");
+        let mut buf = vec![0u8; PAGE_SIZE];
+        pool.file_manager().read_page(f, p, &mut buf).unwrap();
+        assert_eq!(buf[5], 55);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn overwrite_in_memory_reverts_page() {
+        let (pool, f, dir) = setup("revert", 8);
+        let (p, g) = pool.allocate(f).unwrap();
+        let before = g.read().to_vec();
+        g.write()[9] = 99;
+        drop(g);
+        pool.overwrite_in_memory(f, p, &before);
+        let g = pool.fetch(f, p).unwrap();
+        assert_eq!(g.read()[9], 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,370 @@
+//! The catalog: durable metadata about tables and indexes.
+//!
+//! Stored as a line-oriented text file (`catalog.nmk`), rewritten atomically
+//! (temp file + rename) on every DDL operation and at checkpoints. Keeping
+//! it human-readable costs nothing at this scale and makes databases easy to
+//! inspect — in the spirit of the paper's "the database is nothing more than
+//! intelligent storage".
+
+use crate::error::{Result, StoreError};
+use crate::tuple::{Column, ColumnType, Schema};
+use crate::wal::{Lsn, ObjectId};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Metadata for one table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableMeta {
+    /// Stable id referenced by WAL records.
+    pub id: ObjectId,
+    /// Table name.
+    pub name: String,
+    /// Column metadata (informational; rows are self-describing).
+    pub schema: Schema,
+}
+
+/// Metadata for one secondary index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexMeta {
+    /// Stable id (shares the ObjectId space with tables).
+    pub id: ObjectId,
+    /// Index name (unique per database).
+    pub name: String,
+    /// Owning table.
+    pub table: String,
+    /// Indexed column names, in key order.
+    pub key_columns: Vec<String>,
+    /// Whether keys are unique (otherwise entries are disambiguated by a
+    /// RowId suffix).
+    pub unique: bool,
+}
+
+/// In-memory catalog image.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    /// Tables by name.
+    pub tables: BTreeMap<String, TableMeta>,
+    /// Indexes by name.
+    pub indexes: BTreeMap<String, IndexMeta>,
+    /// Highest WAL LSN made obsolete by the last checkpoint; WAL LSNs
+    /// continue above this after a log reset.
+    pub last_lsn: Lsn,
+    /// Next ObjectId to assign.
+    pub next_object: u32,
+}
+
+fn ctype_str(t: ColumnType) -> &'static str {
+    match t {
+        ColumnType::Int => "int",
+        ColumnType::Float => "float",
+        ColumnType::Text => "text",
+        ColumnType::Bytes => "bytes",
+        ColumnType::Bool => "bool",
+        ColumnType::Rowid => "rowid",
+    }
+}
+
+fn parse_ctype(s: &str) -> Result<ColumnType> {
+    Ok(match s {
+        "int" => ColumnType::Int,
+        "float" => ColumnType::Float,
+        "text" => ColumnType::Text,
+        "bytes" => ColumnType::Bytes,
+        "bool" => ColumnType::Bool,
+        "rowid" => ColumnType::Rowid,
+        _ => return Err(StoreError::Corrupt(format!("bad column type {s}"))),
+    })
+}
+
+/// Percent-encodes spaces/newlines/percents so names survive the
+/// line-oriented format.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            ' ' => out.push_str("%20"),
+            '\n' => out.push_str("%0A"),
+            '%' => out.push_str("%25"),
+            ':' => out.push_str("%3A"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '%' {
+            let h1 = chars.next();
+            let h2 = chars.next();
+            if let (Some(h1), Some(h2)) = (h1, h2) {
+                if let Ok(b) = u8::from_str_radix(&format!("{h1}{h2}"), 16) {
+                    out.push(b as char);
+                    continue;
+                }
+            }
+            out.push('%');
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+impl Catalog {
+    /// Loads the catalog from `dir/catalog.nmk`; missing file = empty
+    /// catalog (fresh database).
+    pub fn load(dir: &Path) -> Result<Catalog> {
+        let path = dir.join("catalog.nmk");
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(Catalog::default())
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let mut cat = Catalog::default();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let kind = parts.next().unwrap_or("");
+            let bad = |what: &str| {
+                StoreError::Corrupt(format!("catalog line {}: {what}", lineno + 1))
+            };
+            match kind {
+                "lastlsn" => {
+                    cat.last_lsn = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| bad("missing lsn"))?;
+                }
+                "nextobject" => {
+                    cat.next_object = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| bad("missing next object id"))?;
+                }
+                "table" => {
+                    let id = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .map(ObjectId)
+                        .ok_or_else(|| bad("missing table id"))?;
+                    let name = unesc(parts.next().ok_or_else(|| bad("missing table name"))?);
+                    let mut columns = Vec::new();
+                    for col in parts {
+                        let (n, t) = col
+                            .rsplit_once(':')
+                            .ok_or_else(|| bad("bad column spec"))?;
+                        columns.push(Column {
+                            name: unesc(n),
+                            ctype: parse_ctype(t)?,
+                        });
+                    }
+                    cat.tables.insert(
+                        name.clone(),
+                        TableMeta {
+                            id,
+                            name,
+                            schema: Schema { columns },
+                        },
+                    );
+                }
+                "index" => {
+                    let id = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .map(ObjectId)
+                        .ok_or_else(|| bad("missing index id"))?;
+                    let name = unesc(parts.next().ok_or_else(|| bad("missing index name"))?);
+                    let table = unesc(parts.next().ok_or_else(|| bad("missing index table"))?);
+                    let unique = match parts.next() {
+                        Some("unique") => true,
+                        Some("multi") => false,
+                        _ => return Err(bad("missing uniqueness")),
+                    };
+                    let key_columns: Vec<String> = parts.map(unesc).collect();
+                    if key_columns.is_empty() {
+                        return Err(bad("index with no key columns"));
+                    }
+                    cat.indexes.insert(
+                        name.clone(),
+                        IndexMeta {
+                            id,
+                            name,
+                            table,
+                            key_columns,
+                            unique,
+                        },
+                    );
+                }
+                _ => return Err(bad("unknown record kind")),
+            }
+        }
+        Ok(cat)
+    }
+
+    /// Atomically persists the catalog to `dir/catalog.nmk`.
+    pub fn save(&self, dir: &Path) -> Result<()> {
+        let tmp: PathBuf = dir.join("catalog.nmk.tmp");
+        let path = dir.join("catalog.nmk");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            writeln!(f, "# netmark relstore catalog v1")?;
+            writeln!(f, "lastlsn {}", self.last_lsn)?;
+            writeln!(f, "nextobject {}", self.next_object)?;
+            for t in self.tables.values() {
+                write!(f, "table {} {}", t.id.0, esc(&t.name))?;
+                for c in &t.schema.columns {
+                    write!(f, " {}:{}", esc(&c.name), ctype_str(c.ctype))?;
+                }
+                writeln!(f)?;
+            }
+            for i in self.indexes.values() {
+                write!(
+                    f,
+                    "index {} {} {} {}",
+                    i.id.0,
+                    esc(&i.name),
+                    esc(&i.table),
+                    if i.unique { "unique" } else { "multi" }
+                )?;
+                for k in &i.key_columns {
+                    write!(f, " {}", esc(k))?;
+                }
+                writeln!(f)?;
+            }
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    /// Allocates the next stable object id.
+    pub fn allocate_object(&mut self) -> ObjectId {
+        let id = ObjectId(self.next_object);
+        self.next_object += 1;
+        id
+    }
+
+    /// Table metadata by WAL object id.
+    pub fn table_by_id(&self, id: ObjectId) -> Option<&TableMeta> {
+        self.tables.values().find(|t| t.id == id)
+    }
+
+    /// Indexes declared over `table`.
+    pub fn indexes_of(&self, table: &str) -> Vec<&IndexMeta> {
+        self.indexes.values().filter(|i| i.table == table).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Catalog {
+        let mut cat = Catalog {
+            last_lsn: 99,
+            next_object: 5,
+            ..Catalog::default()
+        };
+        cat.tables.insert(
+            "XML".into(),
+            TableMeta {
+                id: ObjectId(0),
+                name: "XML".into(),
+                schema: Schema::new(&[
+                    ("NODEID", ColumnType::Int),
+                    ("NODENAME", ColumnType::Text),
+                    ("PARENTROWID", ColumnType::Rowid),
+                ]),
+            },
+        );
+        cat.tables.insert(
+            "DOC table".into(),
+            TableMeta {
+                id: ObjectId(1),
+                name: "DOC table".into(),
+                schema: Schema::new(&[("FILE_NAME", ColumnType::Text)]),
+            },
+        );
+        cat.indexes.insert(
+            "xml_by_name".into(),
+            IndexMeta {
+                id: ObjectId(2),
+                name: "xml_by_name".into(),
+                table: "XML".into(),
+                key_columns: vec!["NODENAME".into()],
+                unique: false,
+            },
+        );
+        cat
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("netmark-cat-rt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cat = sample();
+        cat.save(&dir).unwrap();
+        let loaded = Catalog::load(&dir).unwrap();
+        assert_eq!(loaded.last_lsn, 99);
+        assert_eq!(loaded.next_object, 5);
+        assert_eq!(loaded.tables, cat.tables);
+        assert_eq!(loaded.indexes, cat.indexes);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_empty_catalog() {
+        let dir = std::env::temp_dir().join(format!("netmark-cat-miss-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cat = Catalog::load(&dir).unwrap();
+        assert!(cat.tables.is_empty());
+        assert_eq!(cat.next_object, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn names_with_spaces_and_colons_survive() {
+        let dir = std::env::temp_dir().join(format!("netmark-cat-esc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut cat = Catalog::default();
+        cat.tables.insert(
+            "weird: name%".into(),
+            TableMeta {
+                id: ObjectId(0),
+                name: "weird: name%".into(),
+                schema: Schema::new(&[("a b", ColumnType::Text)]),
+            },
+        );
+        cat.save(&dir).unwrap();
+        let loaded = Catalog::load(&dir).unwrap();
+        assert!(loaded.tables.contains_key("weird: name%"));
+        assert_eq!(
+            loaded.tables["weird: name%"].schema.columns[0].name,
+            "a b"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn helpers() {
+        let cat = sample();
+        assert_eq!(cat.table_by_id(ObjectId(1)).unwrap().name, "DOC table");
+        assert_eq!(cat.indexes_of("XML").len(), 1);
+        assert!(cat.indexes_of("DOC table").is_empty());
+        let mut cat = cat;
+        assert_eq!(cat.allocate_object(), ObjectId(5));
+        assert_eq!(cat.allocate_object(), ObjectId(6));
+    }
+}

@@ -1,0 +1,1006 @@
+//! The database facade: tables, indexes, transactions, recovery.
+//!
+//! Concurrency model: **single writer, many readers**. A write transaction
+//! (explicit [`Txn`] or the auto-commit wrappers on [`Table`]) holds the
+//! database write lock; readers go straight to the buffer pool. This is
+//! deliberately modest — NETMARK's store is ingest-then-query — and keeps
+//! the recovery story airtight (no-steal/no-force, redo-only WAL; see
+//! [`crate::wal`]).
+//!
+//! Secondary indexes are not WAL-logged. A clean shutdown checkpoints
+//! (flushing index pages with everything else); after a crash the WAL is
+//! non-empty and every index is rebuilt from its table's heap.
+
+use crate::buffer::{BufferPool, PoolStats};
+use crate::catalog::{Catalog, IndexMeta, TableMeta};
+use crate::disk::FileManager;
+use crate::error::{Result, StoreError};
+use crate::heap::{HeapFile, HeapOp};
+use crate::btree::BTree;
+use crate::keyenc;
+use crate::tuple::{decode_row, encode_row, Row, Schema, Value};
+use crate::wal::{ObjectId, TxId, Wal, WalRecord};
+use crate::RowId;
+use parking_lot::{Mutex, MutexGuard, RwLock};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Tuning knobs for [`Database::open_with`].
+#[derive(Debug, Clone)]
+pub struct DbOptions {
+    /// Buffer pool capacity in pages (8 KiB each).
+    pub pool_pages: usize,
+    /// Fsync the WAL on every commit (durability) or only at checkpoints
+    /// (throughput; used by benchmarks).
+    pub sync_commits: bool,
+    /// Checkpoint automatically once the WAL exceeds this many bytes.
+    pub checkpoint_wal_bytes: u64,
+}
+
+impl Default for DbOptions {
+    fn default() -> Self {
+        DbOptions {
+            pool_pages: 2048, // 16 MiB
+            sync_commits: true,
+            checkpoint_wal_bytes: 32 << 20,
+        }
+    }
+}
+
+struct TableInner {
+    meta: TableMeta,
+    heap: HeapFile,
+    /// `(meta, open tree)` for every index on this table.
+    indexes: RwLock<Vec<(IndexMeta, Arc<BTree>)>>,
+}
+
+struct DbInner {
+    fm: Arc<FileManager>,
+    pool: Arc<BufferPool>,
+    wal: Mutex<Wal>,
+    catalog: RwLock<Catalog>,
+    tables: RwLock<HashMap<String, Arc<TableInner>>>,
+    write_lock: Mutex<()>,
+    next_tx: AtomicU64,
+    opts: DbOptions,
+}
+
+/// An open database directory.
+#[derive(Clone)]
+pub struct Database {
+    inner: Arc<DbInner>,
+}
+
+/// Handle to one table. Cheap to clone; all methods are `&self`.
+#[derive(Clone)]
+pub struct Table {
+    db: Arc<DbInner>,
+    t: Arc<TableInner>,
+}
+
+fn table_file(id: ObjectId) -> String {
+    format!("t{}.tbl", id.0)
+}
+
+fn index_file(id: ObjectId) -> String {
+    format!("i{}.idx", id.0)
+}
+
+impl Database {
+    /// Opens (or creates) the database in `dir` with default options.
+    pub fn open(dir: &Path) -> Result<Database> {
+        Database::open_with(dir, DbOptions::default())
+    }
+
+    /// Opens (or creates) the database in `dir`.
+    pub fn open_with(dir: &Path, opts: DbOptions) -> Result<Database> {
+        let fm = Arc::new(FileManager::open(dir)?);
+        let pool = Arc::new(BufferPool::new(Arc::clone(&fm), opts.pool_pages));
+        let catalog = Catalog::load(dir)?;
+        let (wal, pending) = Wal::open(&dir.join("wal.log"), catalog.last_lsn)?;
+        let inner = Arc::new(DbInner {
+            fm,
+            pool,
+            wal: Mutex::new(wal),
+            catalog: RwLock::new(catalog),
+            tables: RwLock::new(HashMap::new()),
+            write_lock: Mutex::new(()),
+            next_tx: AtomicU64::new(1),
+            opts,
+        });
+        let db = Database { inner };
+        // Open every catalogued table so handles and indexes are live.
+        let names: Vec<String> = db.inner.catalog.read().tables.keys().cloned().collect();
+        for name in names {
+            db.open_table(&name)?;
+        }
+        if !pending.is_empty() {
+            db.recover(pending)?;
+        }
+        Ok(db)
+    }
+
+    /// Root directory.
+    pub fn dir(&self) -> &Path {
+        self.inner.fm.dir()
+    }
+
+    /// Buffer pool counters (for the ablation bench).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.inner.pool.stats()
+    }
+
+    fn open_table(&self, name: &str) -> Result<Arc<TableInner>> {
+        if let Some(t) = self.inner.tables.read().get(name) {
+            return Ok(Arc::clone(t));
+        }
+        let cat = self.inner.catalog.read();
+        let meta = cat
+            .tables
+            .get(name)
+            .ok_or_else(|| StoreError::NoSuchObject(name.to_string()))?
+            .clone();
+        let file = self.inner.fm.open_file(&table_file(meta.id))?;
+        let heap = HeapFile::open(Arc::clone(&self.inner.pool), file)?;
+        let mut indexes = Vec::new();
+        for im in cat.indexes_of(name) {
+            let f = self.inner.fm.open_file(&index_file(im.id))?;
+            let tree = BTree::open(Arc::clone(&self.inner.pool), f)?;
+            indexes.push((im.clone(), Arc::new(tree)));
+        }
+        drop(cat);
+        let t = Arc::new(TableInner {
+            meta,
+            heap,
+            indexes: RwLock::new(indexes),
+        });
+        self.inner
+            .tables
+            .write()
+            .insert(name.to_string(), Arc::clone(&t));
+        Ok(t)
+    }
+
+    /// Creates a table. Errors if the name is taken.
+    pub fn create_table(&self, name: &str, schema: Schema) -> Result<Table> {
+        let _w = self.inner.write_lock.lock();
+        {
+            let mut cat = self.inner.catalog.write();
+            if cat.tables.contains_key(name) {
+                return Err(StoreError::AlreadyExists(name.to_string()));
+            }
+            let id = cat.allocate_object();
+            cat.tables.insert(
+                name.to_string(),
+                TableMeta {
+                    id,
+                    name: name.to_string(),
+                    schema,
+                },
+            );
+            cat.save(self.inner.fm.dir())?;
+        }
+        drop(_w);
+        self.table(name)
+    }
+
+    /// Returns a handle to an existing table.
+    pub fn table(&self, name: &str) -> Result<Table> {
+        let t = self.open_table(name)?;
+        Ok(Table {
+            db: Arc::clone(&self.inner),
+            t,
+        })
+    }
+
+    /// True if `name` is a catalogued table.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.inner.catalog.read().tables.contains_key(name)
+    }
+
+    /// Names of all catalogued tables.
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner.catalog.read().tables.keys().cloned().collect()
+    }
+
+    /// Creates a secondary index over `key_columns` of `table` and builds
+    /// it from existing rows.
+    pub fn create_index(
+        &self,
+        table: &str,
+        name: &str,
+        key_columns: &[&str],
+        unique: bool,
+    ) -> Result<()> {
+        let t = self.open_table(table)?;
+        let _w = self.inner.write_lock.lock();
+        let meta = {
+            let mut cat = self.inner.catalog.write();
+            if cat.indexes.contains_key(name) {
+                return Err(StoreError::AlreadyExists(name.to_string()));
+            }
+            for k in key_columns {
+                if t.meta.schema.position(k).is_none() {
+                    return Err(StoreError::Invalid(format!(
+                        "no column {k} in table {table}"
+                    )));
+                }
+            }
+            let id = cat.allocate_object();
+            let meta = IndexMeta {
+                id,
+                name: name.to_string(),
+                table: table.to_string(),
+                key_columns: key_columns.iter().map(|s| s.to_string()).collect(),
+                unique,
+            };
+            cat.indexes.insert(name.to_string(), meta.clone());
+            cat.save(self.inner.fm.dir())?;
+            meta
+        };
+        let f = self.inner.fm.open_file(&index_file(meta.id))?;
+        let tree = Arc::new(BTree::open(Arc::clone(&self.inner.pool), f)?);
+        // Backfill from existing rows.
+        for (rid, bytes) in t.heap.scan()? {
+            let row = decode_row(&bytes)?;
+            let key = index_key(&t.meta.schema, &meta, &row, rid)?;
+            tree.insert(&key, &rowid_bytes(rid))?;
+        }
+        t.indexes.write().push((meta, tree));
+        Ok(())
+    }
+
+    /// Begins an explicit write transaction. Holds the database write lock
+    /// until commit/abort/drop (drop aborts).
+    pub fn begin(&self) -> Txn<'_> {
+        let guard = self.inner.write_lock.lock();
+        let tx = self.inner.next_tx.fetch_add(1, Ordering::Relaxed);
+        Txn {
+            db: &self.inner,
+            _guard: guard,
+            tx,
+            ops: Vec::new(),
+            began: false,
+            finished: false,
+        }
+    }
+
+    /// Flushes all dirty pages, truncates the WAL, and persists the
+    /// catalog. Called automatically when the WAL grows large.
+    pub fn checkpoint(&self) -> Result<()> {
+        let _w = self.inner.write_lock.lock();
+        self.checkpoint_locked()
+    }
+
+    fn checkpoint_locked(&self) -> Result<()> {
+        self.inner.pool.flush_all()?;
+        let mut wal = self.inner.wal.lock();
+        wal.append(&WalRecord::Checkpoint)?;
+        let last = wal.reset()?;
+        let mut cat = self.inner.catalog.write();
+        cat.last_lsn = last;
+        cat.save(self.inner.fm.dir())?;
+        Ok(())
+    }
+
+    /// Crash recovery: redo committed WAL operations, checkpoint, rebuild
+    /// all indexes.
+    fn recover(&self, records: Vec<(u64, WalRecord)>) -> Result<()> {
+        let committed: std::collections::HashSet<TxId> = records
+            .iter()
+            .filter_map(|(_, r)| match r {
+                WalRecord::Commit { tx } => Some(*tx),
+                _ => None,
+            })
+            .collect();
+        for (lsn, rec) in &records {
+            let (obj, page, slot, cell) = match rec {
+                WalRecord::Insert {
+                    tx,
+                    obj,
+                    page,
+                    slot,
+                    data,
+                } if committed.contains(tx) => (*obj, *page, *slot, Some(data.clone())),
+                WalRecord::Update {
+                    tx,
+                    obj,
+                    page,
+                    slot,
+                    new,
+                    ..
+                } if committed.contains(tx) => (*obj, *page, *slot, Some(new.clone())),
+                WalRecord::Delete {
+                    tx, obj, page, slot, ..
+                } if committed.contains(tx) => (*obj, *page, *slot, None),
+                _ => continue,
+            };
+            let name = {
+                let cat = self.inner.catalog.read();
+                cat.table_by_id(obj).map(|t| t.name.clone())
+            };
+            // A table dropped after the logged op: skip.
+            let Some(name) = name else { continue };
+            let t = self.open_table(&name)?;
+            t.heap.redo(page, slot, cell.as_deref(), *lsn)?;
+        }
+        self.checkpoint_locked()?;
+        self.rebuild_indexes()?;
+        self.inner.pool.flush_all()?;
+        Ok(())
+    }
+
+    /// Drops and rebuilds every index from its table's heap.
+    pub fn rebuild_indexes(&self) -> Result<()> {
+        let names = self.table_names();
+        for name in names {
+            let t = self.open_table(&name)?;
+            let metas: Vec<IndexMeta> =
+                t.indexes.read().iter().map(|(m, _)| m.clone()).collect();
+            let mut rebuilt = Vec::new();
+            for m in metas {
+                let fname = index_file(m.id);
+                let f = self.inner.fm.open_file(&fname)?;
+                self.inner.pool.discard_file(f);
+                self.inner.fm.truncate(f)?;
+                let tree = Arc::new(BTree::open(Arc::clone(&self.inner.pool), f)?);
+                for (rid, bytes) in t.heap.scan()? {
+                    let row = decode_row(&bytes)?;
+                    let key = index_key(&t.meta.schema, &m, &row, rid)?;
+                    tree.insert(&key, &rowid_bytes(rid))?;
+                }
+                rebuilt.push((m, tree));
+            }
+            *t.indexes.write() = rebuilt;
+        }
+        Ok(())
+    }
+}
+
+fn rowid_bytes(rid: RowId) -> [u8; 6] {
+    let mut b = [0u8; 6];
+    b[0..4].copy_from_slice(&rid.page.to_le_bytes());
+    b[4..6].copy_from_slice(&rid.slot.to_le_bytes());
+    b
+}
+
+fn rowid_from_bytes(b: &[u8]) -> Result<RowId> {
+    if b.len() < 6 {
+        return Err(StoreError::Corrupt("short rowid in index".into()));
+    }
+    Ok(RowId {
+        page: u32::from_le_bytes(b[0..4].try_into().unwrap()),
+        slot: u16::from_le_bytes(b[4..6].try_into().unwrap()),
+    })
+}
+
+/// Builds the memcomparable index key for `row` under `meta`, appending the
+/// RowId for non-unique indexes.
+fn index_key(schema: &Schema, meta: &IndexMeta, row: &Row, rid: RowId) -> Result<Vec<u8>> {
+    let mut vals: Vec<Value> = Vec::with_capacity(meta.key_columns.len());
+    for col in &meta.key_columns {
+        let pos = schema
+            .position(col)
+            .ok_or_else(|| StoreError::Invalid(format!("index column {col} missing")))?;
+        vals.push(row.get(pos).cloned().unwrap_or(Value::Null));
+    }
+    let mut key = keyenc::encode_key(&vals);
+    if !meta.unique {
+        keyenc::append_rowid(&mut key, rid);
+    }
+    Ok(key)
+}
+
+enum TxOp {
+    Heap(ObjectId, HeapOp),
+    IndexInsert {
+        tree: Arc<BTree>,
+        key: Vec<u8>,
+    },
+    IndexDelete {
+        tree: Arc<BTree>,
+        key: Vec<u8>,
+        val: Vec<u8>,
+    },
+}
+
+/// An explicit write transaction. Commit with [`Txn::commit`]; dropping an
+/// uncommitted transaction aborts it.
+pub struct Txn<'a> {
+    db: &'a DbInner,
+    _guard: MutexGuard<'a, ()>,
+    tx: TxId,
+    ops: Vec<TxOp>,
+    began: bool,
+    finished: bool,
+}
+
+impl<'a> Txn<'a> {
+    fn ensure_begun(&mut self) -> Result<()> {
+        if self.finished {
+            return Err(StoreError::TxnFinished);
+        }
+        if !self.began {
+            self.db.wal.lock().append(&WalRecord::Begin { tx: self.tx })?;
+            self.began = true;
+        }
+        Ok(())
+    }
+
+    fn log_heap(&mut self, obj: ObjectId, op: &HeapOp) -> Result<()> {
+        let rec = match op {
+            HeapOp::Insert { rid, cell } => WalRecord::Insert {
+                tx: self.tx,
+                obj,
+                page: rid.page,
+                slot: rid.slot,
+                data: cell.clone(),
+            },
+            HeapOp::Delete { rid, old } => WalRecord::Delete {
+                tx: self.tx,
+                obj,
+                page: rid.page,
+                slot: rid.slot,
+                old: old.clone(),
+            },
+            HeapOp::Update { rid, old, new } => WalRecord::Update {
+                tx: self.tx,
+                obj,
+                page: rid.page,
+                slot: rid.slot,
+                old: old.clone(),
+                new: new.clone(),
+            },
+        };
+        let lsn = self.db.wal.lock().append(&rec)?;
+        // Stamp the page so redo is idempotent.
+        {
+            let (HeapOp::Insert { rid, .. }
+            | HeapOp::Delete { rid, .. }
+            | HeapOp::Update { rid, .. }) = op;
+            if let Some(t) = self
+                .db
+                .catalog
+                .read()
+                .table_by_id(obj)
+                .map(|m| m.name.clone())
+                .and_then(|n| self.db.tables.read().get(&n).cloned())
+            {
+                let guard = self.db.pool.fetch(t.heap.file_id(), rid.page)?;
+                let mut data = guard.write();
+                crate::page::SlottedPage::new(&mut data).set_lsn(lsn);
+            }
+        }
+        Ok(())
+    }
+
+    /// Inserts `row` into `table`, returning its RowId.
+    pub fn insert(&mut self, table: &Table, row: &Row) -> Result<RowId> {
+        self.ensure_begun()?;
+        // Unique index pre-checks.
+        for (im, tree) in table.t.indexes.read().iter() {
+            if im.unique {
+                let key = index_key(&table.t.meta.schema, im, row, RowId::ZERO)?;
+                if tree.get(&key)?.is_some() {
+                    return Err(StoreError::Invalid(format!(
+                        "unique index {} violated",
+                        im.name
+                    )));
+                }
+            }
+        }
+        let mut bytes = Vec::with_capacity(64);
+        encode_row(row, &mut bytes);
+        let (rid, op) = table.t.heap.insert(&bytes)?;
+        self.log_heap(table.t.meta.id, &op)?;
+        self.ops.push(TxOp::Heap(table.t.meta.id, op));
+        for (im, tree) in table.t.indexes.read().iter() {
+            let key = index_key(&table.t.meta.schema, im, row, rid)?;
+            tree.insert(&key, &rowid_bytes(rid))?;
+            self.ops.push(TxOp::IndexInsert {
+                tree: Arc::clone(tree),
+                key,
+            });
+        }
+        Ok(rid)
+    }
+
+    /// Deletes the row at `rid` from `table`.
+    pub fn delete(&mut self, table: &Table, rid: RowId) -> Result<()> {
+        self.ensure_begun()?;
+        let old_row = table.get(rid)?;
+        for op in table.t.heap.delete(rid)? {
+            self.log_heap(table.t.meta.id, &op)?;
+            self.ops.push(TxOp::Heap(table.t.meta.id, op));
+        }
+        for (im, tree) in table.t.indexes.read().iter() {
+            let key = index_key(&table.t.meta.schema, im, &old_row, rid)?;
+            tree.delete(&key)?;
+            self.ops.push(TxOp::IndexDelete {
+                tree: Arc::clone(tree),
+                key,
+                val: rowid_bytes(rid).to_vec(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Replaces the row at `rid`; the RowId remains valid.
+    pub fn update(&mut self, table: &Table, rid: RowId, row: &Row) -> Result<()> {
+        self.ensure_begun()?;
+        let old_row = table.get(rid)?;
+        let mut bytes = Vec::with_capacity(64);
+        encode_row(row, &mut bytes);
+        for op in table.t.heap.update(rid, &bytes)? {
+            self.log_heap(table.t.meta.id, &op)?;
+            self.ops.push(TxOp::Heap(table.t.meta.id, op));
+        }
+        for (im, tree) in table.t.indexes.read().iter() {
+            let old_key = index_key(&table.t.meta.schema, im, &old_row, rid)?;
+            let new_key = index_key(&table.t.meta.schema, im, row, rid)?;
+            if old_key != new_key {
+                tree.delete(&old_key)?;
+                self.ops.push(TxOp::IndexDelete {
+                    tree: Arc::clone(tree),
+                    key: old_key,
+                    val: rowid_bytes(rid).to_vec(),
+                });
+                tree.insert(&new_key, &rowid_bytes(rid))?;
+                self.ops.push(TxOp::IndexInsert {
+                    tree: Arc::clone(tree),
+                    key: new_key,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Commits: appends and (optionally) fsyncs the commit record.
+    pub fn commit(mut self) -> Result<()> {
+        if self.finished {
+            return Err(StoreError::TxnFinished);
+        }
+        self.finished = true;
+        if self.began {
+            let mut wal = self.db.wal.lock();
+            wal.append(&WalRecord::Commit { tx: self.tx })?;
+            if self.db.opts.sync_commits {
+                wal.sync()?;
+            }
+            let big = wal.size()? > self.db.opts.checkpoint_wal_bytes;
+            drop(wal);
+            if big {
+                // We already hold the write lock.
+                self.db.pool.flush_all()?;
+                let mut wal = self.db.wal.lock();
+                wal.append(&WalRecord::Checkpoint)?;
+                let last = wal.reset()?;
+                drop(wal);
+                let mut cat = self.db.catalog.write();
+                cat.last_lsn = last;
+                cat.save(self.db.fm.dir())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Rolls back every operation (in-memory; disk never saw them).
+    pub fn abort(mut self) -> Result<()> {
+        self.abort_inner()
+    }
+
+    fn abort_inner(&mut self) -> Result<()> {
+        if self.finished {
+            return Ok(());
+        }
+        self.finished = true;
+        for op in self.ops.drain(..).rev() {
+            match op {
+                TxOp::Heap(obj, hop) => {
+                    let name = self
+                        .db
+                        .catalog
+                        .read()
+                        .table_by_id(obj)
+                        .map(|t| t.name.clone());
+                    if let Some(t) = name.and_then(|n| self.db.tables.read().get(&n).cloned()) {
+                        t.heap.undo(&hop)?;
+                    }
+                }
+                TxOp::IndexInsert { tree, key } => {
+                    tree.delete(&key)?;
+                }
+                TxOp::IndexDelete { tree, key, val } => {
+                    tree.insert(&key, &val)?;
+                }
+            }
+        }
+        if self.began {
+            self.db.wal.lock().append(&WalRecord::Abort { tx: self.tx })?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Txn<'_> {
+    fn drop(&mut self) {
+        let _ = self.abort_inner();
+    }
+}
+
+impl Table {
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.t.meta.name
+    }
+
+    /// Declared schema.
+    pub fn schema(&self) -> &Schema {
+        &self.t.meta.schema
+    }
+
+    /// Auto-commit insert.
+    pub fn insert(&self, row: &Row) -> Result<RowId> {
+        let db = Database {
+            inner: Arc::clone(&self.db),
+        };
+        let mut tx = db.begin();
+        let rid = tx.insert(self, row)?;
+        tx.commit()?;
+        Ok(rid)
+    }
+
+    /// Auto-commit delete.
+    pub fn delete(&self, rid: RowId) -> Result<()> {
+        let db = Database {
+            inner: Arc::clone(&self.db),
+        };
+        let mut tx = db.begin();
+        tx.delete(self, rid)?;
+        tx.commit()
+    }
+
+    /// Auto-commit update.
+    pub fn update(&self, rid: RowId, row: &Row) -> Result<()> {
+        let db = Database {
+            inner: Arc::clone(&self.db),
+        };
+        let mut tx = db.begin();
+        tx.update(self, rid, row)?;
+        tx.commit()
+    }
+
+    /// Fetches the row at `rid`.
+    pub fn get(&self, rid: RowId) -> Result<Row> {
+        decode_row(&self.t.heap.get(rid)?)
+    }
+
+    /// True if `rid` is live.
+    pub fn exists(&self, rid: RowId) -> bool {
+        self.t.heap.exists(rid)
+    }
+
+    /// Full scan.
+    pub fn scan(&self) -> Result<Vec<(RowId, Row)>> {
+        self.t
+            .heap
+            .scan()?
+            .into_iter()
+            .map(|(rid, b)| Ok((rid, decode_row(&b)?)))
+            .collect()
+    }
+
+    /// Number of live rows (scans).
+    pub fn count(&self) -> Result<usize> {
+        Ok(self.t.heap.scan()?.len())
+    }
+
+    /// Number of heap pages.
+    pub fn page_count(&self) -> u32 {
+        self.t.heap.page_count()
+    }
+
+    fn find_index(&self, name: &str) -> Result<(IndexMeta, Arc<BTree>)> {
+        self.t
+            .indexes
+            .read()
+            .iter()
+            .find(|(m, _)| m.name == name)
+            .map(|(m, t)| (m.clone(), Arc::clone(t)))
+            .ok_or_else(|| StoreError::NoSuchObject(name.to_string()))
+    }
+
+    /// Exact-match index lookup: RowIds of rows whose key columns equal
+    /// `key` (all rows for non-unique indexes).
+    pub fn index_lookup(&self, index: &str, key: &[Value]) -> Result<Vec<RowId>> {
+        let (meta, tree) = self.find_index(index)?;
+        if key.len() != meta.key_columns.len() {
+            return Err(StoreError::Invalid(format!(
+                "index {index} expects {} key values, got {}",
+                meta.key_columns.len(),
+                key.len()
+            )));
+        }
+        if meta.unique {
+            let k = keyenc::encode_key(key);
+            return Ok(match tree.get(&k)? {
+                Some(v) => vec![rowid_from_bytes(&v)?],
+                None => vec![],
+            });
+        }
+        let (lo, hi) = keyenc::prefix_range(key);
+        tree.range(&lo, &hi)?
+            .into_iter()
+            .map(|(_, v)| rowid_from_bytes(&v))
+            .collect()
+    }
+
+    /// Prefix index scan: RowIds of rows whose leading key columns equal
+    /// `prefix`.
+    pub fn index_prefix(&self, index: &str, prefix: &[Value]) -> Result<Vec<RowId>> {
+        let (_, tree) = self.find_index(index)?;
+        let (lo, hi) = keyenc::prefix_range(prefix);
+        tree.range(&lo, &hi)?
+            .into_iter()
+            .map(|(_, v)| rowid_from_bytes(&v))
+            .collect()
+    }
+
+    /// Ordered range scan over the index: rows with `lo <= key < hi`.
+    pub fn index_range(&self, index: &str, lo: &[Value], hi: &[Value]) -> Result<Vec<RowId>> {
+        let (_, tree) = self.find_index(index)?;
+        let lo = keyenc::encode_key(lo);
+        let (_, hi) = keyenc::prefix_range(hi);
+        tree.range(&lo, &hi)?
+            .into_iter()
+            .map(|(_, v)| rowid_from_bytes(&v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::ColumnType;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("netmark-db-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn people_schema() -> Schema {
+        Schema::new(&[
+            ("id", ColumnType::Int),
+            ("name", ColumnType::Text),
+            ("score", ColumnType::Float),
+        ])
+    }
+
+    #[test]
+    fn create_insert_get() {
+        let dir = tmpdir("basic");
+        let db = Database::open(&dir).unwrap();
+        let t = db.create_table("people", people_schema()).unwrap();
+        let rid = t
+            .insert(&vec![Value::Int(1), Value::from("ada"), Value::Float(9.5)])
+            .unwrap();
+        let row = t.get(rid).unwrap();
+        assert_eq!(row[1], Value::from("ada"));
+        assert_eq!(t.count().unwrap(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let dir = tmpdir("dup");
+        let db = Database::open(&dir).unwrap();
+        db.create_table("t", people_schema()).unwrap();
+        assert!(matches!(
+            db.create_table("t", people_schema()),
+            Err(StoreError::AlreadyExists(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn index_lookup_unique_and_multi() {
+        let dir = tmpdir("idx");
+        let db = Database::open(&dir).unwrap();
+        let t = db.create_table("people", people_schema()).unwrap();
+        db.create_index("people", "by_id", &["id"], true).unwrap();
+        db.create_index("people", "by_name", &["name"], false)
+            .unwrap();
+        for i in 0..50i64 {
+            t.insert(&vec![
+                Value::Int(i),
+                Value::from(if i % 2 == 0 { "even" } else { "odd" }),
+                Value::Float(i as f64),
+            ])
+            .unwrap();
+        }
+        let hit = t.index_lookup("by_id", &[Value::Int(7)]).unwrap();
+        assert_eq!(hit.len(), 1);
+        assert_eq!(t.get(hit[0]).unwrap()[0], Value::Int(7));
+        let evens = t.index_lookup("by_name", &[Value::from("even")]).unwrap();
+        assert_eq!(evens.len(), 25);
+        // Unique violation.
+        assert!(t
+            .insert(&vec![Value::Int(7), Value::from("x"), Value::Null])
+            .is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn index_backfill_on_create() {
+        let dir = tmpdir("backfill");
+        let db = Database::open(&dir).unwrap();
+        let t = db.create_table("people", people_schema()).unwrap();
+        for i in 0..20i64 {
+            t.insert(&vec![Value::Int(i), Value::from("n"), Value::Null])
+                .unwrap();
+        }
+        db.create_index("people", "by_id", &["id"], true).unwrap();
+        assert_eq!(t.index_lookup("by_id", &[Value::Int(19)]).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delete_and_update_maintain_indexes() {
+        let dir = tmpdir("maint");
+        let db = Database::open(&dir).unwrap();
+        let t = db.create_table("people", people_schema()).unwrap();
+        db.create_index("people", "by_name", &["name"], false)
+            .unwrap();
+        let rid = t
+            .insert(&vec![Value::Int(1), Value::from("old"), Value::Null])
+            .unwrap();
+        t.update(rid, &vec![Value::Int(1), Value::from("new"), Value::Null])
+            .unwrap();
+        assert!(t
+            .index_lookup("by_name", &[Value::from("old")])
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            t.index_lookup("by_name", &[Value::from("new")]).unwrap(),
+            vec![rid]
+        );
+        t.delete(rid).unwrap();
+        assert!(t
+            .index_lookup("by_name", &[Value::from("new")])
+            .unwrap()
+            .is_empty());
+        assert!(!t.exists(rid));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn abort_rolls_back_heap_and_indexes() {
+        let dir = tmpdir("abort");
+        let db = Database::open(&dir).unwrap();
+        let t = db.create_table("people", people_schema()).unwrap();
+        db.create_index("people", "by_id", &["id"], true).unwrap();
+        let keep = t
+            .insert(&vec![Value::Int(1), Value::from("keep"), Value::Null])
+            .unwrap();
+        {
+            let mut tx = db.begin();
+            tx.insert(&t, &vec![Value::Int(2), Value::from("bye"), Value::Null])
+                .unwrap();
+            tx.delete(&t, keep).unwrap();
+            tx.abort().unwrap();
+        }
+        assert_eq!(t.count().unwrap(), 1);
+        assert_eq!(t.get(keep).unwrap()[1], Value::from("keep"));
+        assert_eq!(t.index_lookup("by_id", &[Value::Int(1)]).unwrap(), vec![keep]);
+        assert!(t.index_lookup("by_id", &[Value::Int(2)]).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn drop_without_commit_aborts() {
+        let dir = tmpdir("dropabort");
+        let db = Database::open(&dir).unwrap();
+        let t = db.create_table("t", people_schema()).unwrap();
+        {
+            let mut tx = db.begin();
+            tx.insert(&t, &vec![Value::Int(1), Value::Null, Value::Null])
+                .unwrap();
+            // dropped here
+        }
+        assert_eq!(t.count().unwrap(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_after_clean_shutdown() {
+        let dir = tmpdir("clean");
+        {
+            let db = Database::open(&dir).unwrap();
+            let t = db.create_table("people", people_schema()).unwrap();
+            db.create_index("people", "by_id", &["id"], true).unwrap();
+            for i in 0..100i64 {
+                t.insert(&vec![Value::Int(i), Value::from("p"), Value::Null])
+                    .unwrap();
+            }
+            db.checkpoint().unwrap();
+        }
+        let db = Database::open(&dir).unwrap();
+        let t = db.table("people").unwrap();
+        assert_eq!(t.count().unwrap(), 100);
+        assert_eq!(t.index_lookup("by_id", &[Value::Int(42)]).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_replays_committed_only() {
+        let dir = tmpdir("recover");
+        {
+            let db = Database::open(&dir).unwrap();
+            let t = db.create_table("people", people_schema()).unwrap();
+            db.create_index("people", "by_id", &["id"], true).unwrap();
+            for i in 0..50i64 {
+                t.insert(&vec![Value::Int(i), Value::from("p"), Value::Null])
+                    .unwrap();
+            }
+            // Simulate a crash: the WAL is synced (commits), data pages are
+            // NOT checkpointed, and the process "dies" (drop without
+            // checkpoint).
+        }
+        let db = Database::open(&dir).unwrap();
+        let t = db.table("people").unwrap();
+        assert_eq!(t.count().unwrap(), 50, "committed rows survive the crash");
+        // Indexes were rebuilt.
+        assert_eq!(t.index_lookup("by_id", &[Value::Int(25)]).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_ignores_uncommitted() {
+        let dir = tmpdir("uncommitted");
+        {
+            let db = Database::open(&dir).unwrap();
+            let t = db.create_table("people", people_schema()).unwrap();
+            t.insert(&vec![Value::Int(1), Value::from("committed"), Value::Null])
+                .unwrap();
+            let mut tx = db.begin();
+            tx.insert(&t, &vec![Value::Int(2), Value::from("dirty"), Value::Null])
+                .unwrap();
+            // Force the WAL to disk so the uncommitted op is present in the
+            // log, then leak the txn (no commit record).
+            db.inner.wal.lock().sync().unwrap();
+            std::mem::forget(tx);
+        }
+        let db = Database::open(&dir).unwrap();
+        let t = db.table("people").unwrap();
+        let rows = t.scan().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1[1], Value::from("committed"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn explicit_txn_multi_op_commit() {
+        let dir = tmpdir("multi");
+        let db = Database::open(&dir).unwrap();
+        let t = db.create_table("t", people_schema()).unwrap();
+        let mut tx = db.begin();
+        let a = tx
+            .insert(&t, &vec![Value::Int(1), Value::from("a"), Value::Null])
+            .unwrap();
+        let b = tx
+            .insert(&t, &vec![Value::Int(2), Value::from("b"), Value::Null])
+            .unwrap();
+        tx.update(&t, a, &vec![Value::Int(1), Value::from("a2"), Value::Null])
+            .unwrap();
+        tx.delete(&t, b).unwrap();
+        tx.commit().unwrap();
+        let rows = t.scan().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1[1], Value::from("a2"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,222 @@
+//! Page-granular file I/O.
+//!
+//! A database is a directory of page files: one per heap table, one per
+//! B-tree index, plus the write-ahead log and the catalog. The
+//! [`FileManager`] owns every open file and hands out stable [`FileId`]s the
+//! buffer pool uses as cache keys.
+
+use crate::error::Result;
+use crate::page::PAGE_SIZE;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Identifies one open page file within a [`FileManager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u32);
+
+struct OpenFile {
+    file: File,
+    path: PathBuf,
+    /// Number of allocated pages; page numbers are `0..page_count`.
+    page_count: u32,
+}
+
+/// Owns the open page files of one database directory.
+pub struct FileManager {
+    dir: PathBuf,
+    inner: Mutex<FmInner>,
+}
+
+struct FmInner {
+    files: HashMap<FileId, OpenFile>,
+    by_name: HashMap<String, FileId>,
+    next_id: u32,
+}
+
+impl FileManager {
+    /// Opens (creating if needed) a database directory.
+    pub fn open(dir: &Path) -> Result<FileManager> {
+        std::fs::create_dir_all(dir)?;
+        Ok(FileManager {
+            dir: dir.to_path_buf(),
+            inner: Mutex::new(FmInner {
+                files: HashMap::new(),
+                by_name: HashMap::new(),
+                next_id: 0,
+            }),
+        })
+    }
+
+    /// Root directory of the database.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Opens (creating if needed) the page file `name` inside the database
+    /// directory, returning its id. Re-opening the same name returns the
+    /// same id.
+    pub fn open_file(&self, name: &str) -> Result<FileId> {
+        let mut inner = self.inner.lock();
+        if let Some(&id) = inner.by_name.get(name) {
+            return Ok(id);
+        }
+        let path = self.dir.join(name);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let len = file.metadata()?.len();
+        let id = FileId(inner.next_id);
+        inner.next_id += 1;
+        inner.files.insert(
+            id,
+            OpenFile {
+                file,
+                path,
+                page_count: (len / PAGE_SIZE as u64) as u32,
+            },
+        );
+        inner.by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Deletes a page file from disk and forgets its id.
+    pub fn remove_file(&self, name: &str) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if let Some(id) = inner.by_name.remove(name) {
+            if let Some(of) = inner.files.remove(&id) {
+                drop(of.file);
+                std::fs::remove_file(&of.path)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of allocated pages in `file`.
+    pub fn page_count(&self, file: FileId) -> u32 {
+        self.inner.lock().files.get(&file).map_or(0, |f| f.page_count)
+    }
+
+    /// Appends a zeroed page, returning its page number.
+    pub fn allocate_page(&self, file: FileId) -> Result<u32> {
+        let mut inner = self.inner.lock();
+        let of = inner.files.get_mut(&file).expect("file id is valid");
+        let page_no = of.page_count;
+        of.page_count += 1;
+        of.file
+            .seek(SeekFrom::Start(page_no as u64 * PAGE_SIZE as u64))?;
+        of.file.write_all(&[0u8; PAGE_SIZE])?;
+        Ok(page_no)
+    }
+
+    /// Reads one page into `buf`.
+    pub fn read_page(&self, file: FileId, page_no: u32, buf: &mut [u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        let mut inner = self.inner.lock();
+        let of = inner.files.get_mut(&file).expect("file id is valid");
+        of.file
+            .seek(SeekFrom::Start(page_no as u64 * PAGE_SIZE as u64))?;
+        of.file.read_exact(buf)?;
+        Ok(())
+    }
+
+    /// Writes one page from `buf`.
+    pub fn write_page(&self, file: FileId, page_no: u32, buf: &[u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        let mut inner = self.inner.lock();
+        let of = inner.files.get_mut(&file).expect("file id is valid");
+        of.file
+            .seek(SeekFrom::Start(page_no as u64 * PAGE_SIZE as u64))?;
+        of.file.write_all(buf)?;
+        Ok(())
+    }
+
+    /// Durably flushes a file's data to disk.
+    pub fn sync(&self, file: FileId) -> Result<()> {
+        let inner = self.inner.lock();
+        if let Some(of) = inner.files.get(&file) {
+            of.file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Truncates a file back to zero pages (used when rebuilding indexes).
+    pub fn truncate(&self, file: FileId) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let of = inner.files.get_mut(&file).expect("file id is valid");
+        of.file.set_len(0)?;
+        of.page_count = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "netmark-disk-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn allocate_write_read_round_trip() {
+        let dir = tmpdir("rt");
+        let fm = FileManager::open(&dir).unwrap();
+        let f = fm.open_file("t.tbl").unwrap();
+        assert_eq!(fm.page_count(f), 0);
+        let p0 = fm.allocate_page(f).unwrap();
+        let p1 = fm.allocate_page(f).unwrap();
+        assert_eq!((p0, p1), (0, 1));
+        let mut w = vec![0u8; PAGE_SIZE];
+        w[0] = 0xAB;
+        w[PAGE_SIZE - 1] = 0xCD;
+        fm.write_page(f, 1, &w).unwrap();
+        let mut r = vec![0u8; PAGE_SIZE];
+        fm.read_page(f, 1, &mut r).unwrap();
+        assert_eq!(w, r);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_preserves_page_count_and_contents() {
+        let dir = tmpdir("reopen");
+        {
+            let fm = FileManager::open(&dir).unwrap();
+            let f = fm.open_file("t.tbl").unwrap();
+            fm.allocate_page(f).unwrap();
+            let mut w = vec![3u8; PAGE_SIZE];
+            w[7] = 99;
+            fm.write_page(f, 0, &w).unwrap();
+            fm.sync(f).unwrap();
+        }
+        let fm = FileManager::open(&dir).unwrap();
+        let f = fm.open_file("t.tbl").unwrap();
+        assert_eq!(fm.page_count(f), 1);
+        let mut r = vec![0u8; PAGE_SIZE];
+        fm.read_page(f, 0, &mut r).unwrap();
+        assert_eq!(r[7], 99);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn same_name_same_id() {
+        let dir = tmpdir("sameid");
+        let fm = FileManager::open(&dir).unwrap();
+        let a = fm.open_file("x.tbl").unwrap();
+        let b = fm.open_file("x.tbl").unwrap();
+        assert_eq!(a, b);
+        let c = fm.open_file("y.tbl").unwrap();
+        assert_ne!(a, c);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type shared by every layer of the storage engine.
+
+use std::fmt;
+
+/// Errors surfaced by the storage engine.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An operating-system level I/O failure.
+    Io(std::io::Error),
+    /// A tuple or key did not fit in a page even after compaction.
+    TupleTooLarge {
+        /// Offending size in bytes.
+        size: usize,
+        /// Maximum supported size.
+        max: usize,
+    },
+    /// A [`crate::RowId`] did not resolve to a live tuple.
+    RowNotFound(crate::RowId),
+    /// A named table or index does not exist.
+    NoSuchObject(String),
+    /// A named table or index already exists.
+    AlreadyExists(String),
+    /// On-disk bytes failed to decode (corruption or version mismatch).
+    Corrupt(String),
+    /// An operation was attempted on a finished (committed/aborted) transaction.
+    TxnFinished,
+    /// A second write transaction was requested while one is active.
+    TxnBusy,
+    /// Catch-all for invalid arguments (e.g. mismatched key arity).
+    Invalid(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::TupleTooLarge { size, max } => {
+                write!(f, "tuple of {size} bytes exceeds page capacity {max}")
+            }
+            StoreError::RowNotFound(rid) => write!(f, "row {rid} not found"),
+            StoreError::NoSuchObject(name) => write!(f, "no such table or index: {name}"),
+            StoreError::AlreadyExists(name) => write!(f, "table or index already exists: {name}"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            StoreError::TxnFinished => write!(f, "transaction already finished"),
+            StoreError::TxnBusy => write!(f, "another write transaction is active"),
+            StoreError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,214 @@
+//! Order-preserving ("memcomparable") key encoding.
+//!
+//! B-tree keys are byte strings compared with `memcmp`. This module encodes
+//! single values and composite keys such that byte order equals the natural
+//! order of the values: `encode(a) < encode(b)  ⇔  a < b`.
+//!
+//! Encoding per value (1 tag byte, tags ordered Null < Bool < numeric < Text
+//! < Bytes < Rowid):
+//! - `Int`/`Float` share the numeric tag and are encoded as a total order
+//!   over f64/i64 (big-endian with sign-flip).
+//! - `Text`/`Bytes` are escaped (`0x00 → 0x00 0xFF`) and terminated with
+//!   `0x00 0x00` so that prefixes sort before extensions and composite keys
+//!   cannot bleed across components.
+
+use crate::error::{Result, StoreError};
+use crate::tuple::Value;
+use crate::RowId;
+
+const TAG_NULL: u8 = 0x01;
+const TAG_BOOL: u8 = 0x02;
+const TAG_NUM: u8 = 0x03;
+const TAG_TEXT: u8 = 0x04;
+const TAG_BYTES: u8 = 0x05;
+const TAG_ROWID: u8 = 0x06;
+
+fn push_escaped(out: &mut Vec<u8>, bytes: &[u8]) {
+    for &b in bytes {
+        out.push(b);
+        if b == 0x00 {
+            out.push(0xFF);
+        }
+    }
+    out.push(0x00);
+    out.push(0x00);
+}
+
+fn encode_f64(out: &mut Vec<u8>, f: f64) {
+    // IEEE-754 total order trick: flip all bits for negatives, flip the sign
+    // bit for non-negatives.
+    let bits = f.to_bits();
+    let ordered = if bits & (1 << 63) != 0 {
+        !bits
+    } else {
+        bits ^ (1 << 63)
+    };
+    out.extend_from_slice(&ordered.to_be_bytes());
+}
+
+/// Appends the order-preserving encoding of one value.
+pub fn encode_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(b) => {
+            out.push(TAG_BOOL);
+            out.push(*b as u8);
+        }
+        Value::Int(i) => {
+            out.push(TAG_NUM);
+            // Ints and floats must interleave consistently; encode the int
+            // exactly when it fits in f64, otherwise fall back to a widened
+            // i64 ordering (we accept the standard f64 rounding for the
+            // pathological |i| > 2^53 range — keys in this engine are node
+            // ids and names, far below that).
+            encode_f64(out, *i as f64);
+            // Disambiguate equal-f64 ints from floats deterministically.
+            out.extend_from_slice(&(*i as u64 ^ (1 << 63)).to_be_bytes());
+        }
+        Value::Float(f) => {
+            out.push(TAG_NUM);
+            encode_f64(out, *f);
+            // Floats sort after an int of identical numeric value; this
+            // keeps the encoding injective. Lookups always use the same
+            // Value variant they inserted with.
+            out.extend_from_slice(&u64::MAX.to_be_bytes());
+        }
+        Value::Text(s) => {
+            out.push(TAG_TEXT);
+            push_escaped(out, s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            out.push(TAG_BYTES);
+            push_escaped(out, b);
+        }
+        Value::Rowid(r) => {
+            out.push(TAG_ROWID);
+            out.extend_from_slice(&r.page.to_be_bytes());
+            out.extend_from_slice(&r.slot.to_be_bytes());
+        }
+    }
+}
+
+/// Encodes a composite key.
+pub fn encode_key(values: &[Value]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 12);
+    for v in values {
+        encode_value(&mut out, v);
+    }
+    out
+}
+
+/// Encodes a key prefix and returns `(lo, hi)` bounds such that every
+/// composite key starting with `values` satisfies `lo <= k < hi`.
+pub fn prefix_range(values: &[Value]) -> (Vec<u8>, Vec<u8>) {
+    let lo = encode_key(values);
+    let mut hi = lo.clone();
+    // Successor of the prefix in byte order.
+    loop {
+        match hi.last_mut() {
+            None => {
+                // Empty prefix: full range.
+                return (lo, vec![0xFF; 16]);
+            }
+            Some(255) => {
+                hi.pop();
+            }
+            Some(b) => {
+                *b += 1;
+                break;
+            }
+        }
+    }
+    (lo, hi)
+}
+
+/// Appends a [`RowId`] suffix, making non-unique index entries unique.
+pub fn append_rowid(key: &mut Vec<u8>, rid: RowId) {
+    key.extend_from_slice(&rid.page.to_be_bytes());
+    key.extend_from_slice(&rid.slot.to_be_bytes());
+}
+
+/// Strips and decodes a [`RowId`] suffix added by [`append_rowid`].
+pub fn split_rowid(key: &[u8]) -> Result<(&[u8], RowId)> {
+    if key.len() < 6 {
+        return Err(StoreError::Corrupt("index key too short for rowid".into()));
+    }
+    let at = key.len() - 6;
+    let page = u32::from_be_bytes(key[at..at + 4].try_into().unwrap());
+    let slot = u16::from_be_bytes(key[at + 4..].try_into().unwrap());
+    Ok((&key[..at], RowId { page, slot }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enc1(v: Value) -> Vec<u8> {
+        encode_key(std::slice::from_ref(&v))
+    }
+
+    #[test]
+    fn int_order_preserved() {
+        let vals = [-1000i64, -1, 0, 1, 2, 500, 1 << 40];
+        for w in vals.windows(2) {
+            assert!(
+                enc1(Value::Int(w[0])) < enc1(Value::Int(w[1])),
+                "{} !< {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn float_order_preserved() {
+        let vals = [-1e9, -1.5, -0.0, 0.0, 1e-9, 1.5, 1e9];
+        for w in vals.windows(2) {
+            assert!(enc1(Value::Float(w[0])) <= enc1(Value::Float(w[1])));
+        }
+    }
+
+    #[test]
+    fn text_order_and_prefix() {
+        assert!(enc1(Value::from("a")) < enc1(Value::from("ab")));
+        assert!(enc1(Value::from("ab")) < enc1(Value::from("b")));
+        // Embedded NULs don't break component boundaries.
+        assert!(enc1(Value::from("a\0z")) < enc1(Value::from("ab")));
+    }
+
+    #[test]
+    fn composite_component_isolation() {
+        // ("ab", "c") vs ("a", "bc") must not compare equal.
+        let k1 = encode_key(&[Value::from("ab"), Value::from("c")]);
+        let k2 = encode_key(&[Value::from("a"), Value::from("bc")]);
+        assert_ne!(k1, k2);
+        assert!(k2 < k1, "shorter first component sorts first");
+    }
+
+    #[test]
+    fn prefix_range_covers_extensions() {
+        let (lo, hi) = prefix_range(&[Value::from("Context")]);
+        let inside = encode_key(&[Value::from("Context"), Value::Int(5)]);
+        assert!(lo <= inside && inside < hi);
+        let outside = encode_key(&[Value::from("Contexu")]);
+        assert!(outside >= hi);
+    }
+
+    #[test]
+    fn rowid_suffix_round_trip() {
+        let mut k = encode_key(&[Value::from("x")]);
+        let base = k.clone();
+        let rid = RowId { page: 9, slot: 4 };
+        append_rowid(&mut k, rid);
+        let (prefix, got) = split_rowid(&k).unwrap();
+        assert_eq!(prefix, &base[..]);
+        assert_eq!(got, rid);
+    }
+
+    #[test]
+    fn tags_separate_types() {
+        assert!(enc1(Value::Null) < enc1(Value::Bool(false)));
+        assert!(enc1(Value::Bool(true)) < enc1(Value::Int(i64::MIN)));
+        assert!(enc1(Value::Int(i64::MAX)) < enc1(Value::from("")));
+    }
+}

@@ -1,0 +1,234 @@
+//! Node-typing configuration.
+//!
+//! The paper: *"The SGML parser is governed by five different node data
+//! types, which are specified in the HTML or XML configuration files passed
+//! by the daemon."* A [`NodeTypeConfig`] is that configuration file: it maps
+//! element names to `CONTEXT` / `INTENSE` / `SIMULATION`, everything else
+//! defaulting to `ELEMENT`.
+//!
+//! File format (one directive per line, `#` comments):
+//!
+//! ```text
+//! # which elements open a section
+//! context h1 h2 h3 h4 h5 h6 title Context heading
+//! intense b i em strong u
+//! simulation generated
+//! case-insensitive
+//! ```
+
+use netmark_model::NodeType;
+use std::collections::HashMap;
+
+/// Maps element names to NETMARK node types.
+#[derive(Debug, Clone)]
+pub struct NodeTypeConfig {
+    map: HashMap<String, NodeType>,
+    /// Lowercase names before lookup (HTML mode).
+    pub case_insensitive: bool,
+}
+
+impl NodeTypeConfig {
+    /// An empty config: every element is `ELEMENT`.
+    pub fn empty() -> NodeTypeConfig {
+        NodeTypeConfig {
+            map: HashMap::new(),
+            case_insensitive: false,
+        }
+    }
+
+    /// The stock HTML configuration: `h1`–`h6`, `title`, `caption` open
+    /// contexts; `b`/`i`/`em`/`strong`/`u` are intense.
+    pub fn html_default() -> NodeTypeConfig {
+        let mut c = NodeTypeConfig::empty();
+        c.case_insensitive = true;
+        for h in ["h1", "h2", "h3", "h4", "h5", "h6", "title", "caption"] {
+            c.set(h, NodeType::Context);
+        }
+        for e in ["b", "i", "em", "strong", "u", "mark"] {
+            c.set(e, NodeType::Intense);
+        }
+        c
+    }
+
+    /// The stock XML configuration for upmarked documents: `Context`
+    /// elements (any case) plus common heading names open contexts.
+    pub fn xml_default() -> NodeTypeConfig {
+        let mut c = NodeTypeConfig::empty();
+        for n in ["Context", "context", "CONTEXT", "heading", "Heading", "title", "Title"] {
+            c.set(n, NodeType::Context);
+        }
+        for n in ["Intense", "intense", "em", "b", "strong"] {
+            c.set(n, NodeType::Intense);
+        }
+        for n in ["Simulation", "simulation", "generated"] {
+            c.set(n, NodeType::Simulation);
+        }
+        c
+    }
+
+    /// Assigns `name` the given type.
+    pub fn set(&mut self, name: &str, t: NodeType) {
+        let key = if self.case_insensitive {
+            name.to_ascii_lowercase()
+        } else {
+            name.to_string()
+        };
+        self.map.insert(key, t);
+    }
+
+    /// Classifies an element name.
+    pub fn classify(&self, name: &str) -> NodeType {
+        let key = if self.case_insensitive {
+            name.to_ascii_lowercase()
+        } else {
+            name.to_string()
+        };
+        self.map.get(&key).copied().unwrap_or(NodeType::Element)
+    }
+
+    /// Element names currently classified as `CONTEXT`.
+    pub fn context_names(&self) -> Vec<&str> {
+        self.map
+            .iter()
+            .filter(|(_, t)| **t == NodeType::Context)
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+
+    /// Parses the configuration-file format described in the module docs.
+    pub fn parse(text: &str) -> NodeTypeConfig {
+        let mut c = NodeTypeConfig::empty();
+        // Two passes so `case-insensitive` applies regardless of position.
+        if text
+            .lines()
+            .any(|l| l.trim().eq_ignore_ascii_case("case-insensitive"))
+        {
+            c.case_insensitive = true;
+        }
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let t = match parts.next() {
+                Some("context") => NodeType::Context,
+                Some("intense") => NodeType::Intense,
+                Some("simulation") => NodeType::Simulation,
+                Some("element") => NodeType::Element,
+                _ => continue, // including "case-insensitive"
+            };
+            for name in parts {
+                c.set(name, t);
+            }
+        }
+        c
+    }
+
+    /// Loads a configuration file from disk ("the HTML or XML
+    /// configuration files passed by the daemon" — paper §2.1.1).
+    pub fn load_file(path: &std::path::Path) -> std::io::Result<NodeTypeConfig> {
+        Ok(NodeTypeConfig::parse(&std::fs::read_to_string(path)?))
+    }
+
+    /// Persists the configuration to disk.
+    pub fn save_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_config_file())
+    }
+
+    /// Serializes back to the configuration-file format.
+    pub fn to_config_file(&self) -> String {
+        let mut out = String::from("# netmark node-type configuration\n");
+        if self.case_insensitive {
+            out.push_str("case-insensitive\n");
+        }
+        for t in [NodeType::Context, NodeType::Intense, NodeType::Simulation] {
+            let mut names: Vec<&str> = self
+                .map
+                .iter()
+                .filter(|(_, v)| **v == t)
+                .map(|(n, _)| n.as_str())
+                .collect();
+            if names.is_empty() {
+                continue;
+            }
+            names.sort_unstable();
+            out.push_str(match t {
+                NodeType::Context => "context",
+                NodeType::Intense => "intense",
+                _ => "simulation",
+            });
+            for n in names {
+                out.push(' ');
+                out.push_str(n);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn html_default_classification() {
+        let c = NodeTypeConfig::html_default();
+        assert_eq!(c.classify("h1"), NodeType::Context);
+        assert_eq!(c.classify("H2"), NodeType::Context, "case-insensitive");
+        assert_eq!(c.classify("B"), NodeType::Intense);
+        assert_eq!(c.classify("div"), NodeType::Element);
+    }
+
+    #[test]
+    fn xml_default_is_case_sensitive() {
+        let c = NodeTypeConfig::xml_default();
+        assert_eq!(c.classify("Context"), NodeType::Context);
+        assert_eq!(c.classify("CoNtExT"), NodeType::Element);
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let src = "# comment\ncase-insensitive\ncontext h1 sect\nintense b\nsimulation gen\n";
+        let c = NodeTypeConfig::parse(src);
+        assert!(c.case_insensitive);
+        assert_eq!(c.classify("SECT"), NodeType::Context);
+        assert_eq!(c.classify("gen"), NodeType::Simulation);
+        let reparsed = NodeTypeConfig::parse(&c.to_config_file());
+        assert_eq!(reparsed.classify("h1"), NodeType::Context);
+        assert_eq!(reparsed.classify("b"), NodeType::Intense);
+        assert!(reparsed.case_insensitive);
+    }
+
+    #[test]
+    fn case_insensitive_directive_applies_to_earlier_lines() {
+        let c = NodeTypeConfig::parse("context H1\ncase-insensitive\n");
+        assert_eq!(c.classify("h1"), NodeType::Context);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("netmark-cfg-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("html.cfg");
+        let mut c = NodeTypeConfig::html_default();
+        c.set("aside", NodeType::Context);
+        c.save_file(&path).unwrap();
+        let back = NodeTypeConfig::load_file(&path).unwrap();
+        assert_eq!(back.classify("ASIDE"), NodeType::Context);
+        assert_eq!(back.classify("h1"), NodeType::Context);
+        assert_eq!(back.classify("b"), NodeType::Intense);
+        assert!(NodeTypeConfig::load_file(&dir.join("missing.cfg")).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn context_names_lists() {
+        let c = NodeTypeConfig::parse("context a b\nintense c\n");
+        let mut names = c.context_names();
+        names.sort_unstable();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,381 @@
+//! Tree construction: strict XML and lenient HTML parsing.
+//!
+//! Both parsers classify each element through a [`NodeTypeConfig`] as they
+//! build — the tree arrives already typed, ready to be decomposed into the
+//! store's `XML` table.
+
+use crate::config::NodeTypeConfig;
+use crate::tokenizer::{tokenize, Token};
+use netmark_model::{unescape, Node};
+use std::fmt;
+
+/// XML parse error with a human-readable reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xml parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(message: impl Into<String>) -> ParseError {
+    ParseError {
+        message: message.into(),
+    }
+}
+
+fn make_element(name: &str, attrs: Vec<(String, String)>, config: &NodeTypeConfig) -> Node {
+    Node {
+        ntype: config.classify(name),
+        name: name.to_string(),
+        text: String::new(),
+        attrs: attrs
+            .into_iter()
+            .map(|(k, v)| (k, unescape(&v)))
+            .collect(),
+        children: Vec::new(),
+    }
+}
+
+/// Parses a well-formed XML document into a typed tree.
+///
+/// Strictness: exactly one root element, every start tag matched by its end
+/// tag, no non-whitespace text outside the root. Comments, processing
+/// instructions and declarations are skipped; CDATA becomes text.
+pub fn parse_xml(input: &str, config: &NodeTypeConfig) -> Result<Node, ParseError> {
+    let tokens = tokenize(input);
+    let mut stack: Vec<Node> = Vec::new();
+    let mut root: Option<Node> = None;
+
+    let attach = |stack: &mut Vec<Node>, root: &mut Option<Node>, node: Node| -> Result<(), ParseError> {
+        if let Some(parent) = stack.last_mut() {
+            parent.children.push(node);
+            Ok(())
+        } else if root.is_none() {
+            *root = Some(node);
+            Ok(())
+        } else {
+            Err(err("multiple root elements"))
+        }
+    };
+
+    for tok in tokens {
+        match tok {
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => {
+                let node = make_element(&name, attrs, config);
+                if self_closing {
+                    attach(&mut stack, &mut root, node)?;
+                } else {
+                    stack.push(node);
+                }
+            }
+            Token::EndTag(name) => {
+                let node = stack
+                    .pop()
+                    .ok_or_else(|| err(format!("unmatched end tag </{name}>")))?;
+                if node.name != name {
+                    return Err(err(format!(
+                        "mismatched end tag: expected </{}>, found </{}>",
+                        node.name, name
+                    )));
+                }
+                attach(&mut stack, &mut root, node)?;
+            }
+            Token::Text(t) => {
+                let resolved = unescape(&t);
+                if stack.is_empty() {
+                    if !resolved.trim().is_empty() {
+                        return Err(err("text outside the root element"));
+                    }
+                } else if !resolved.trim().is_empty() {
+                    stack
+                        .last_mut()
+                        .expect("non-empty stack")
+                        .children
+                        .push(Node::text(&resolved));
+                }
+            }
+            Token::CData(t) => {
+                if let Some(parent) = stack.last_mut() {
+                    parent.children.push(Node::text(&t));
+                } else if !t.trim().is_empty() {
+                    return Err(err("CDATA outside the root element"));
+                }
+            }
+            Token::Comment(_) | Token::Decl(_) | Token::Pi(_) => {}
+        }
+    }
+    if let Some(open) = stack.last() {
+        return Err(err(format!("unclosed element <{}>", open.name)));
+    }
+    root.ok_or_else(|| err("no root element"))
+}
+
+/// Elements that never have children in HTML.
+const VOID_ELEMENTS: &[&str] = &[
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param",
+    "source", "track", "wbr",
+];
+
+/// `(incoming tag, tags it implicitly closes)` — the minimal HTML5-ish
+/// auto-close table needed for real-world pages.
+const AUTO_CLOSE: &[(&str, &[&str])] = &[
+    ("p", &["p", "h1", "h2", "h3", "h4", "h5", "h6"]),
+    ("h1", &["p", "h1", "h2", "h3", "h4", "h5", "h6"]),
+    ("h2", &["p", "h1", "h2", "h3", "h4", "h5", "h6"]),
+    ("h3", &["p", "h1", "h2", "h3", "h4", "h5", "h6"]),
+    ("h4", &["p", "h1", "h2", "h3", "h4", "h5", "h6"]),
+    ("h5", &["p", "h1", "h2", "h3", "h4", "h5", "h6"]),
+    ("h6", &["p", "h1", "h2", "h3", "h4", "h5", "h6"]),
+    ("div", &["p", "h1", "h2", "h3", "h4", "h5", "h6"]),
+    ("table", &["p", "h1", "h2", "h3", "h4", "h5", "h6"]),
+    ("li", &["li"]),
+    ("dt", &["dt", "dd"]),
+    ("dd", &["dt", "dd"]),
+    ("tr", &["tr", "td", "th"]),
+    ("td", &["td", "th"]),
+    ("th", &["td", "th"]),
+    ("option", &["option"]),
+    ("thead", &["tr", "td", "th"]),
+    ("tbody", &["tr", "td", "th", "thead"]),
+];
+
+/// Parses arbitrary HTML into a typed tree. Never fails: tags are
+/// lowercased, void elements close themselves, unmatched end tags are
+/// dropped, unclosed elements close at the end. If the markup does not have
+/// a single `html` root, one is synthesized (a `SIMULATION` node).
+pub fn parse_html(input: &str, config: &NodeTypeConfig) -> Node {
+    let tokens = tokenize(input);
+    // The bottom of the stack is a synthetic holder for top-level nodes.
+    let mut holder = Node::simulation("#document");
+    let mut stack: Vec<Node> = Vec::new();
+
+    fn close_one(stack: &mut Vec<Node>, holder: &mut Node) {
+        if let Some(done) = stack.pop() {
+            match stack.last_mut() {
+                Some(parent) => parent.children.push(done),
+                None => holder.children.push(done),
+            }
+        }
+    }
+
+    for tok in tokens {
+        match tok {
+            Token::StartTag {
+                name,
+                attrs,
+                mut self_closing,
+            } => {
+                let name = name.to_ascii_lowercase();
+                if VOID_ELEMENTS.contains(&name.as_str()) {
+                    self_closing = true;
+                }
+                // Implicit closes.
+                if let Some((_, closes)) =
+                    AUTO_CLOSE.iter().find(|(tag, _)| *tag == name.as_str())
+                {
+                    while let Some(open) = stack.last() {
+                        if closes.contains(&open.name.as_str()) {
+                            close_one(&mut stack, &mut holder);
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                let node = make_element(&name, attrs, config);
+                if self_closing {
+                    match stack.last_mut() {
+                        Some(parent) => parent.children.push(node),
+                        None => holder.children.push(node),
+                    }
+                } else {
+                    stack.push(node);
+                }
+            }
+            Token::EndTag(name) => {
+                let name = name.to_ascii_lowercase();
+                // Only act if the tag is actually open somewhere.
+                if stack.iter().any(|n| n.name == name) {
+                    while let Some(open) = stack.last() {
+                        let found = open.name == name;
+                        close_one(&mut stack, &mut holder);
+                        if found {
+                            break;
+                        }
+                    }
+                }
+            }
+            Token::Text(t) => {
+                let resolved = unescape(&t);
+                if resolved.trim().is_empty() {
+                    continue;
+                }
+                let node = Node::text(&resolved);
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(node),
+                    None => holder.children.push(node),
+                }
+            }
+            Token::CData(t) => {
+                let node = Node::text(&t);
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(node),
+                    None => holder.children.push(node),
+                }
+            }
+            Token::Comment(_) | Token::Decl(_) | Token::Pi(_) => {}
+        }
+    }
+    while !stack.is_empty() {
+        close_one(&mut stack, &mut holder);
+    }
+    // Collapse to a natural root.
+    if holder.children.len() == 1 && holder.children[0].name == "html" {
+        holder.children.pop().expect("checked length")
+    } else {
+        holder.name = "html".to_string();
+        holder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmark_model::NodeType;
+
+    fn xmlc() -> NodeTypeConfig {
+        NodeTypeConfig::xml_default()
+    }
+
+    fn htmlc() -> NodeTypeConfig {
+        NodeTypeConfig::html_default()
+    }
+
+    #[test]
+    fn xml_basic_tree() {
+        let n = parse_xml("<doc><a>1</a><b x=\"2\">t</b></doc>", &xmlc()).unwrap();
+        assert_eq!(n.name, "doc");
+        assert_eq!(n.children.len(), 2);
+        assert_eq!(n.children[1].attr("x"), Some("2"));
+        assert_eq!(n.children[1].text_content(), "t");
+    }
+
+    #[test]
+    fn xml_classifies_context() {
+        let n = parse_xml("<doc><Context>Abstract</Context><p>body</p></doc>", &xmlc()).unwrap();
+        assert_eq!(n.children[0].ntype, NodeType::Context);
+        assert_eq!(n.children[1].ntype, NodeType::Element);
+    }
+
+    #[test]
+    fn xml_entities_resolved() {
+        let n = parse_xml("<a t=\"&lt;x&gt;\">&amp;&#65;</a>", &xmlc()).unwrap();
+        assert_eq!(n.attr("t"), Some("<x>"));
+        assert_eq!(n.text_content(), "&A");
+    }
+
+    #[test]
+    fn xml_cdata_is_raw_text() {
+        let n = parse_xml("<a><![CDATA[1 < 2 & raw]]></a>", &xmlc()).unwrap();
+        assert_eq!(n.children[0].text, "1 < 2 & raw");
+    }
+
+    #[test]
+    fn xml_errors() {
+        assert!(parse_xml("<a><b></a></b>", &xmlc()).is_err());
+        assert!(parse_xml("<a>", &xmlc()).is_err());
+        assert!(parse_xml("</a>", &xmlc()).is_err());
+        assert!(parse_xml("<a/><b/>", &xmlc()).is_err());
+        assert!(parse_xml("text only", &xmlc()).is_err());
+        assert!(parse_xml("", &xmlc()).is_err());
+    }
+
+    #[test]
+    fn xml_round_trip_through_serializer() {
+        let src = "<doc><Context>Intro</Context><p a=\"1\">hello <b>world</b></p></doc>";
+        let n = parse_xml(src, &xmlc()).unwrap();
+        let n2 = parse_xml(&n.to_xml(), &xmlc()).unwrap();
+        assert_eq!(n, n2);
+    }
+
+    #[test]
+    fn html_messy_input_survives() {
+        let n = parse_html(
+            "<HTML><Body><H1>Title<p>para one<p>para two<br><li>item",
+            &htmlc(),
+        );
+        assert_eq!(n.name, "html");
+        let h1 = n.find("h1").unwrap();
+        assert_eq!(h1.ntype, NodeType::Context);
+        // The two <p>s are siblings (auto-closed), not nested.
+        let body = n.find("body").unwrap();
+        let ps = body.find_all("p");
+        assert_eq!(ps.len(), 2);
+        assert!(ps[0].find("p").is_none() || ps[0].find_all("p").len() == 1);
+    }
+
+    #[test]
+    fn html_void_elements_do_not_nest() {
+        let n = parse_html("<div><br><img src=\"x\"><span>s</span></div>", &htmlc());
+        let div = n.find("div").unwrap();
+        assert_eq!(div.children.len(), 3);
+        assert_eq!(div.children[2].text_content(), "s");
+    }
+
+    #[test]
+    fn html_unmatched_end_tags_dropped() {
+        let n = parse_html("<div>a</span></div>b", &htmlc());
+        assert_eq!(n.find("div").unwrap().text_content(), "a");
+        assert!(n.text_content().contains('b'));
+    }
+
+    #[test]
+    fn html_synthesizes_root_when_needed() {
+        let n = parse_html("<p>one</p><p>two</p>", &htmlc());
+        assert_eq!(n.name, "html");
+        assert_eq!(n.ntype, NodeType::Simulation, "synthesized root");
+        assert_eq!(n.find_all("p").len(), 2);
+    }
+
+    #[test]
+    fn html_single_html_root_not_wrapped() {
+        let n = parse_html("<html><body>x</body></html>", &htmlc());
+        assert_eq!(n.name, "html");
+        assert_eq!(n.ntype, NodeType::Element);
+    }
+
+    #[test]
+    fn html_intense_classification() {
+        let n = parse_html("<p><b>bold</b> and <em>em</em></p>", &htmlc());
+        assert_eq!(n.find("b").unwrap().ntype, NodeType::Intense);
+        assert_eq!(n.find("em").unwrap().ntype, NodeType::Intense);
+    }
+
+    #[test]
+    fn html_table_auto_close() {
+        let n = parse_html(
+            "<table><tr><td>a<td>b<tr><td>c</table>",
+            &htmlc(),
+        );
+        let table = n.find("table").unwrap();
+        assert_eq!(table.find_all("tr").len(), 2);
+        assert_eq!(table.find_all("td").len(), 3);
+    }
+
+    #[test]
+    fn html_empty_input() {
+        let n = parse_html("", &htmlc());
+        assert_eq!(n.name, "html");
+        assert!(n.children.is_empty());
+    }
+}

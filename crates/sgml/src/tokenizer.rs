@@ -1,0 +1,323 @@
+//! Lenient SGML/XML/HTML tokenizer.
+//!
+//! Produces a flat token stream; tree building and node typing happen in
+//! [`crate::parser`]. The tokenizer never fails: malformed markup degrades
+//! to text, as the paper's parser must survive arbitrary enterprise HTML.
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `<name a="v" ...>` (or `<name ... />` with `self_closing`).
+    StartTag {
+        /// Element name (case preserved; HTML parsing lowercases later).
+        name: String,
+        /// Attributes in order of appearance.
+        attrs: Vec<(String, String)>,
+        /// Ends with `/>`.
+        self_closing: bool,
+    },
+    /// `</name>`.
+    EndTag(String),
+    /// Character data (entity references *not* yet resolved).
+    Text(String),
+    /// `<!-- ... -->`.
+    Comment(String),
+    /// `<![CDATA[ ... ]]>`.
+    CData(String),
+    /// `<!DOCTYPE ...>` or other `<!...>` declaration.
+    Decl(String),
+    /// `<? ... ?>` processing instruction.
+    Pi(String),
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == ':'
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '_' | ':' | '-' | '.')
+}
+
+/// Tokenizes `input` completely.
+pub fn tokenize(input: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+    let mut text_start = 0usize;
+
+    macro_rules! flush_text {
+        ($upto:expr) => {
+            if text_start < $upto {
+                out.push(Token::Text(input[text_start..$upto].to_string()));
+            }
+        };
+    }
+
+    while i < bytes.len() {
+        if bytes[i] != b'<' {
+            i += 1;
+            continue;
+        }
+        // Peek at what follows '<'.
+        let rest = &input[i..];
+        if rest.starts_with("<!--") {
+            flush_text!(i);
+            let end = rest.find("-->").map(|e| i + e + 3).unwrap_or(input.len());
+            let body_end = end.saturating_sub(3).max(i + 4);
+            out.push(Token::Comment(input[i + 4..body_end].to_string()));
+            i = end;
+            text_start = i;
+            continue;
+        }
+        if rest.starts_with("<![CDATA[") {
+            flush_text!(i);
+            let end = rest.find("]]>").map(|e| i + e + 3).unwrap_or(input.len());
+            let body_end = end.saturating_sub(3).max(i + 9);
+            out.push(Token::CData(input[i + 9..body_end].to_string()));
+            i = end;
+            text_start = i;
+            continue;
+        }
+        if rest.starts_with("<!") {
+            flush_text!(i);
+            let end = rest.find('>').map(|e| i + e + 1).unwrap_or(input.len());
+            out.push(Token::Decl(input[i + 2..end.saturating_sub(1).max(i + 2)].to_string()));
+            i = end;
+            text_start = i;
+            continue;
+        }
+        if rest.starts_with("<?") {
+            flush_text!(i);
+            let end = rest.find("?>").map(|e| i + e + 2).unwrap_or(input.len());
+            let body_end = end.saturating_sub(2).max(i + 2);
+            out.push(Token::Pi(input[i + 2..body_end].to_string()));
+            i = end;
+            text_start = i;
+            continue;
+        }
+        if rest.starts_with("</") {
+            // End tag.
+            let after = &input[i + 2..];
+            let mut chars = after.char_indices();
+            match chars.next() {
+                Some((_, c)) if is_name_start(c) => {
+                    let name_end = after
+                        .char_indices()
+                        .find(|(_, c)| !is_name_char(*c))
+                        .map(|(j, _)| j)
+                        .unwrap_or(after.len());
+                    let name = after[..name_end].to_string();
+                    let close = after[name_end..]
+                        .find('>')
+                        .map(|j| i + 2 + name_end + j + 1)
+                        .unwrap_or(input.len());
+                    flush_text!(i);
+                    out.push(Token::EndTag(name));
+                    i = close;
+                    text_start = i;
+                    continue;
+                }
+                _ => {
+                    // "</ " — not a tag; treat '<' as text.
+                    i += 1;
+                    continue;
+                }
+            }
+        }
+        // Start tag?
+        let after = &input[i + 1..];
+        let starts_name = after.chars().next().map(is_name_start).unwrap_or(false);
+        if !starts_name {
+            // Bare '<' in text.
+            i += 1;
+            continue;
+        }
+        let name_end = after
+            .char_indices()
+            .find(|(_, c)| !is_name_char(*c))
+            .map(|(j, _)| j)
+            .unwrap_or(after.len());
+        let name = after[..name_end].to_string();
+        // Scan attributes up to '>' (respecting quotes).
+        let mut j = i + 1 + name_end;
+        let mut attrs = Vec::new();
+        let mut self_closing = false;
+        let mut closed = false;
+        while j < bytes.len() {
+            // Skip whitespace.
+            while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+                j += 1;
+            }
+            if j >= bytes.len() {
+                break;
+            }
+            match bytes[j] {
+                b'>' => {
+                    j += 1;
+                    closed = true;
+                    break;
+                }
+                b'/' => {
+                    if j + 1 < bytes.len() && bytes[j + 1] == b'>' {
+                        self_closing = true;
+                        j += 2;
+                        closed = true;
+                        break;
+                    }
+                    j += 1;
+                }
+                _ => {
+                    // Attribute name.
+                    let astart = j;
+                    while j < bytes.len()
+                        && !matches!(bytes[j], b'=' | b'>' | b'/')
+                        && !(bytes[j] as char).is_whitespace()
+                    {
+                        j += 1;
+                    }
+                    let aname = input[astart..j].to_string();
+                    while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+                        j += 1;
+                    }
+                    let mut aval = String::new();
+                    if j < bytes.len() && bytes[j] == b'=' {
+                        j += 1;
+                        while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+                            j += 1;
+                        }
+                        if j < bytes.len() && (bytes[j] == b'"' || bytes[j] == b'\'') {
+                            let quote = bytes[j];
+                            j += 1;
+                            let vstart = j;
+                            while j < bytes.len() && bytes[j] != quote {
+                                j += 1;
+                            }
+                            aval = input[vstart..j].to_string();
+                            if j < bytes.len() {
+                                j += 1; // closing quote
+                            }
+                        } else {
+                            let vstart = j;
+                            while j < bytes.len()
+                                && !matches!(bytes[j], b'>' | b'/')
+                                && !(bytes[j] as char).is_whitespace()
+                            {
+                                j += 1;
+                            }
+                            aval = input[vstart..j].to_string();
+                        }
+                    }
+                    if !aname.is_empty() {
+                        attrs.push((aname, aval));
+                    }
+                }
+            }
+        }
+        if !closed && j >= bytes.len() {
+            // Unterminated tag at EOF: accept it anyway.
+        }
+        flush_text!(i);
+        out.push(Token::StartTag {
+            name,
+            attrs,
+            self_closing,
+        });
+        i = j;
+        text_start = i;
+    }
+    if text_start < input.len() {
+        out.push(Token::Text(input[text_start..].to_string()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(name: &str) -> Token {
+        Token::StartTag {
+            name: name.into(),
+            attrs: vec![],
+            self_closing: false,
+        }
+    }
+
+    #[test]
+    fn simple_element() {
+        let t = tokenize("<a>hi</a>");
+        assert_eq!(
+            t,
+            vec![start("a"), Token::Text("hi".into()), Token::EndTag("a".into())]
+        );
+    }
+
+    #[test]
+    fn attributes_all_quote_styles() {
+        let t = tokenize(r#"<a x="1" y='2' z=3 w>"#);
+        let Token::StartTag { name, attrs, .. } = &t[0] else {
+            panic!("expected start tag");
+        };
+        assert_eq!(name, "a");
+        assert_eq!(
+            attrs,
+            &vec![
+                ("x".to_string(), "1".to_string()),
+                ("y".to_string(), "2".to_string()),
+                ("z".to_string(), "3".to_string()),
+                ("w".to_string(), "".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn self_closing() {
+        let t = tokenize("<br/><img src=x/>");
+        assert!(matches!(&t[0], Token::StartTag { self_closing: true, .. }));
+        assert!(matches!(&t[1], Token::StartTag { self_closing: true, .. }));
+    }
+
+    #[test]
+    fn comments_cdata_decl_pi() {
+        let t = tokenize("<!-- c --><![CDATA[<raw>]]><!DOCTYPE html><?xml version=\"1.0\"?>");
+        assert_eq!(t[0], Token::Comment(" c ".into()));
+        assert_eq!(t[1], Token::CData("<raw>".into()));
+        assert_eq!(t[2], Token::Decl("DOCTYPE html".into()));
+        assert!(matches!(&t[3], Token::Pi(p) if p.starts_with("xml")));
+    }
+
+    #[test]
+    fn bare_angle_brackets_are_text() {
+        let t = tokenize("1 < 2 and 3 > 2");
+        assert_eq!(t, vec![Token::Text("1 < 2 and 3 > 2".into())]);
+    }
+
+    #[test]
+    fn unterminated_tag_at_eof() {
+        let t = tokenize("<a href=\"x");
+        assert!(matches!(&t[0], Token::StartTag { name, .. } if name == "a"));
+    }
+
+    #[test]
+    fn quoted_gt_inside_attr() {
+        let t = tokenize(r#"<a title="a > b">t</a>"#);
+        let Token::StartTag { attrs, .. } = &t[0] else {
+            panic!("expected start tag");
+        };
+        assert_eq!(attrs[0].1, "a > b");
+        assert_eq!(t[1], Token::Text("t".into()));
+    }
+
+    #[test]
+    fn unicode_text_survives() {
+        let t = tokenize("<p>café — ✓</p>");
+        assert_eq!(t[1], Token::Text("café — ✓".into()));
+    }
+
+    #[test]
+    fn stray_end_tag_noise() {
+        let t = tokenize("x </ y>");
+        // "</ " is not a tag: the whole thing is text.
+        assert_eq!(t, vec![Token::Text("x </ y>".into())]);
+    }
+}

@@ -1,0 +1,483 @@
+//! The inverted index.
+//!
+//! Node-granular: the unit of indexing is one *node* of the store (not a
+//! whole document). This is what lets NETMARK's combined
+//! `Context=X & Content=Y` search check "does Y occur *within* section X"
+//! without rescanning document text (see the index-granularity ablation in
+//! the bench crate).
+
+use crate::postings::{difference, intersect, union, PostingList};
+use crate::tokenize::{query_terms, tokenize_text};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::io::Write;
+use std::path::Path;
+
+/// A boolean / phrase / prefix query over the index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TextQuery {
+    /// Single term (tokenized form).
+    Term(String),
+    /// All sub-queries must match.
+    And(Vec<TextQuery>),
+    /// Any sub-query matches.
+    Or(Vec<TextQuery>),
+    /// Matches of the first minus matches of the second.
+    Not(Box<TextQuery>, Box<TextQuery>),
+    /// Terms must occur consecutively.
+    Phrase(Vec<String>),
+    /// Any term starting with the prefix.
+    Prefix(String),
+    /// Matches every indexed node (identity for `And`).
+    All,
+}
+
+impl TextQuery {
+    /// Parses free text into a query: multiple words become a phrase-or-AND
+    /// query — the phrase match is preferred but NETMARK's keyword search
+    /// ANDs terms (paper: `Content=Shuttle` returns docs *containing* the
+    /// term).
+    pub fn keywords(text: &str) -> TextQuery {
+        let terms = query_terms(text);
+        match terms.len() {
+            0 => TextQuery::All,
+            1 => TextQuery::Term(terms.into_iter().next().expect("len checked")),
+            _ => TextQuery::And(terms.into_iter().map(TextQuery::Term).collect()),
+        }
+    }
+
+    /// Parses free text into an exact phrase query.
+    pub fn phrase(text: &str) -> TextQuery {
+        let terms = query_terms(text);
+        match terms.len() {
+            0 => TextQuery::All,
+            1 => TextQuery::Term(terms.into_iter().next().expect("len checked")),
+            _ => TextQuery::Phrase(terms),
+        }
+    }
+}
+
+/// An inverted index over `(node id → text)` pairs.
+#[derive(Debug, Default)]
+pub struct InvertedIndex {
+    /// Ordered so prefix queries can range-scan.
+    terms: BTreeMap<String, PostingList>,
+    /// Ids whose postings must be ignored (lazy deletion).
+    tombstones: HashSet<u64>,
+    /// All indexed ids, ascending (for `All` and `Not`).
+    ids: Vec<u64>,
+    /// Total postings (stats).
+    postings: usize,
+}
+
+impl InvertedIndex {
+    /// Empty index.
+    pub fn new() -> InvertedIndex {
+        InvertedIndex::default()
+    }
+
+    /// Indexes `text` under `id`. Ids must be added in ascending order
+    /// (the store's node-id allocator guarantees this); violations are
+    /// reported as `false` and skipped.
+    pub fn add(&mut self, id: u64, text: &str) -> bool {
+        if let Some(&last) = self.ids.last() {
+            if id <= last {
+                return false;
+            }
+        }
+        let mut per_term: HashMap<String, Vec<u32>> = HashMap::new();
+        for tok in tokenize_text(text) {
+            per_term.entry(tok.term).or_default().push(tok.position);
+        }
+        self.ids.push(id);
+        for (term, positions) in per_term {
+            let pl = self.terms.entry(term).or_default();
+            pl.push(id, &positions);
+            self.postings += 1;
+        }
+        true
+    }
+
+    /// Tombstones `id`; its postings stop matching immediately.
+    pub fn remove(&mut self, id: u64) {
+        self.tombstones.insert(id);
+    }
+
+    /// Number of live indexed nodes.
+    pub fn len(&self) -> usize {
+        self.ids.len() - self.tombstones.len()
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of distinct terms.
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Total compressed bytes across posting lists.
+    pub fn byte_size(&self) -> usize {
+        self.terms.values().map(|p| p.byte_size()).sum()
+    }
+
+    fn live(&self, ids: Vec<u64>) -> Vec<u64> {
+        if self.tombstones.is_empty() {
+            return ids;
+        }
+        ids.into_iter()
+            .filter(|id| !self.tombstones.contains(id))
+            .collect()
+    }
+
+    fn term_ids(&self, term: &str) -> Vec<u64> {
+        self.terms.get(term).map(|p| p.ids()).unwrap_or_default()
+    }
+
+    /// Evaluates `query`, returning live node ids ascending.
+    pub fn execute(&self, query: &TextQuery) -> Vec<u64> {
+        let raw = self.eval(query);
+        self.live(raw)
+    }
+
+    fn eval(&self, query: &TextQuery) -> Vec<u64> {
+        match query {
+            TextQuery::Term(t) => self.term_ids(t),
+            TextQuery::All => self.ids.clone(),
+            TextQuery::And(qs) => {
+                if qs.is_empty() {
+                    return self.ids.clone();
+                }
+                let mut acc = self.eval(&qs[0]);
+                for q in &qs[1..] {
+                    if acc.is_empty() {
+                        break;
+                    }
+                    acc = intersect(&acc, &self.eval(q));
+                }
+                acc
+            }
+            TextQuery::Or(qs) => {
+                let mut acc = Vec::new();
+                for q in qs {
+                    acc = union(&acc, &self.eval(q));
+                }
+                acc
+            }
+            TextQuery::Not(a, b) => difference(&self.eval(a), &self.eval(b)),
+            TextQuery::Prefix(p) => {
+                let mut acc = Vec::new();
+                for (_, pl) in self
+                    .terms
+                    .range::<str, _>((
+                        std::ops::Bound::Included(p.as_str()),
+                        std::ops::Bound::Unbounded,
+                    ))
+                    .take_while(|(t, _)| t.starts_with(p.as_str()))
+                {
+                    acc = union(&acc, &pl.ids());
+                }
+                acc
+            }
+            TextQuery::Phrase(terms) => self.eval_phrase(terms),
+        }
+    }
+
+    fn eval_phrase(&self, terms: &[String]) -> Vec<u64> {
+        if terms.is_empty() {
+            return self.ids.clone();
+        }
+        if terms.len() == 1 {
+            return self.term_ids(&terms[0]);
+        }
+        // Decode positions for candidate ids only.
+        let lists: Vec<&PostingList> = match terms
+            .iter()
+            .map(|t| self.terms.get(t))
+            .collect::<Option<Vec<_>>>()
+        {
+            Some(l) => l,
+            None => return Vec::new(),
+        };
+        let mut candidates = lists[0].ids();
+        for l in &lists[1..] {
+            candidates = intersect(&candidates, &l.ids());
+            if candidates.is_empty() {
+                return candidates;
+            }
+        }
+        let cand: HashSet<u64> = candidates.iter().copied().collect();
+        // id → per-term position sets.
+        let positions_init: HashMap<u64, Vec<Vec<u32>>> = cand
+            .iter()
+            .map(|&id| (id, vec![Vec::new(); terms.len()]))
+            .collect();
+        let mut positions = positions_init;
+        for (ti, l) in lists.iter().enumerate() {
+            for p in l.iter() {
+                if let Some(slot) = positions.get_mut(&p.id) {
+                    slot[ti] = p.positions;
+                }
+            }
+        }
+        let mut out: Vec<u64> = positions
+            .into_iter()
+            .filter(|(_, per_term)| {
+                // A phrase match: p0 in term0 with p0+i in term_i for all i.
+                let rest: Vec<&Vec<u32>> = per_term[1..].iter().collect();
+                per_term[0].iter().any(|&p0| {
+                    rest.iter()
+                        .enumerate()
+                        .all(|(i, ps)| ps.binary_search(&(p0 + i as u32 + 1)).is_ok())
+                })
+            })
+            .map(|(id, _)| id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Ranked search: ids scored by total term frequency, descending.
+    pub fn search_ranked(&self, text: &str) -> Vec<(u64, u32)> {
+        let terms = query_terms(text);
+        let mut scores: HashMap<u64, u32> = HashMap::new();
+        for t in &terms {
+            if let Some(pl) = self.terms.get(t) {
+                for p in pl.iter() {
+                    if !self.tombstones.contains(&p.id) {
+                        *scores.entry(p.id).or_default() += p.positions.len() as u32;
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(u64, u32)> = scores.into_iter().collect();
+        out.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Persists the index to `path` (binary, versioned).
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut buf = Vec::with_capacity(self.byte_size() + 1024);
+        buf.extend_from_slice(b"NMTXIDX1");
+        let put = |v: u64, buf: &mut Vec<u8>| {
+            let mut v = v;
+            loop {
+                let b = (v & 0x7f) as u8;
+                v >>= 7;
+                if v == 0 {
+                    buf.push(b);
+                    return;
+                }
+                buf.push(b | 0x80);
+            }
+        };
+        put(self.terms.len() as u64, &mut buf);
+        for (term, pl) in &self.terms {
+            put(term.len() as u64, &mut buf);
+            buf.extend_from_slice(term.as_bytes());
+            pl.serialize(&mut buf);
+        }
+        put(self.ids.len() as u64, &mut buf);
+        let mut prev = 0u64;
+        for (i, &id) in self.ids.iter().enumerate() {
+            put(if i == 0 { id } else { id - prev }, &mut buf);
+            prev = id;
+        }
+        put(self.tombstones.len() as u64, &mut buf);
+        let mut tombs: Vec<u64> = self.tombstones.iter().copied().collect();
+        tombs.sort_unstable();
+        let mut prev = 0u64;
+        for (i, &id) in tombs.iter().enumerate() {
+            put(if i == 0 { id } else { id - prev }, &mut buf);
+            prev = id;
+        }
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&buf)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads an index previously written by [`InvertedIndex::save`].
+    /// Returns `None` for missing or corrupt files (callers rebuild).
+    pub fn load(path: &Path) -> Option<InvertedIndex> {
+        let buf = std::fs::read(path).ok()?;
+        if buf.len() < 8 || &buf[..8] != b"NMTXIDX1" {
+            return None;
+        }
+        let mut pos = 8usize;
+        let get = |buf: &[u8], pos: &mut usize| -> Option<u64> {
+            let mut v = 0u64;
+            let mut shift = 0u32;
+            loop {
+                let b = *buf.get(*pos)?;
+                *pos += 1;
+                v |= ((b & 0x7f) as u64) << shift;
+                if b & 0x80 == 0 {
+                    return Some(v);
+                }
+                shift += 7;
+                if shift >= 64 {
+                    return None;
+                }
+            }
+        };
+        let nterms = get(&buf, &mut pos)? as usize;
+        let mut terms = BTreeMap::new();
+        let mut postings = 0usize;
+        for _ in 0..nterms {
+            let tlen = get(&buf, &mut pos)? as usize;
+            let end = pos.checked_add(tlen).filter(|&e| e <= buf.len())?;
+            let term = std::str::from_utf8(&buf[pos..end]).ok()?.to_string();
+            pos = end;
+            let pl = PostingList::deserialize(&buf, &mut pos)?;
+            postings += pl.len();
+            terms.insert(term, pl);
+        }
+        let nids = get(&buf, &mut pos)? as usize;
+        let mut ids = Vec::with_capacity(nids);
+        let mut prev = 0u64;
+        for i in 0..nids {
+            let gap = get(&buf, &mut pos)?;
+            let id = if i == 0 { gap } else { prev + gap };
+            ids.push(id);
+            prev = id;
+        }
+        let ntombs = get(&buf, &mut pos)? as usize;
+        let mut tombstones = HashSet::with_capacity(ntombs);
+        let mut prev = 0u64;
+        for i in 0..ntombs {
+            let gap = get(&buf, &mut pos)?;
+            let id = if i == 0 { gap } else { prev + gap };
+            tombstones.insert(id);
+            prev = id;
+        }
+        Some(InvertedIndex {
+            terms,
+            tombstones,
+            ids,
+            postings,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> InvertedIndex {
+        let mut ix = InvertedIndex::new();
+        ix.add(1, "The space shuttle program");
+        ix.add(2, "Shuttle engine anomaly report");
+        ix.add(3, "Budget overview for the technology gap");
+        ix.add(4, "The technology gap is shrinking fast");
+        ix
+    }
+
+    #[test]
+    fn term_query() {
+        let ix = sample();
+        assert_eq!(ix.execute(&TextQuery::keywords("shuttle")), vec![1, 2]);
+        assert_eq!(ix.execute(&TextQuery::keywords("SHUTTLE")), vec![1, 2]);
+        assert!(ix.execute(&TextQuery::keywords("mars")).is_empty());
+    }
+
+    #[test]
+    fn and_or_not() {
+        let ix = sample();
+        assert_eq!(ix.execute(&TextQuery::keywords("technology gap")), vec![3, 4]);
+        let or = TextQuery::Or(vec![
+            TextQuery::Term("budget".into()),
+            TextQuery::Term("engine".into()),
+        ]);
+        assert_eq!(ix.execute(&or), vec![2, 3]);
+        let not = TextQuery::Not(
+            Box::new(TextQuery::Term("the".into())),
+            Box::new(TextQuery::Term("shuttle".into())),
+        );
+        assert_eq!(ix.execute(&not), vec![3, 4]);
+    }
+
+    #[test]
+    fn phrase_query() {
+        let ix = sample();
+        assert_eq!(
+            ix.execute(&TextQuery::phrase("technology gap")),
+            vec![3, 4]
+        );
+        assert!(
+            ix.execute(&TextQuery::phrase("gap technology")).is_empty(),
+            "order matters for phrases"
+        );
+        assert_eq!(
+            ix.execute(&TextQuery::phrase("the technology gap is")),
+            vec![4]
+        );
+    }
+
+    #[test]
+    fn prefix_query() {
+        let ix = sample();
+        assert_eq!(ix.execute(&TextQuery::Prefix("shut".into())), vec![1, 2]);
+        assert_eq!(ix.execute(&TextQuery::Prefix("t".into())), vec![1, 3, 4]);
+        assert!(ix.execute(&TextQuery::Prefix("zz".into())).is_empty());
+    }
+
+    #[test]
+    fn all_and_empty_keywords() {
+        let ix = sample();
+        assert_eq!(ix.execute(&TextQuery::All), vec![1, 2, 3, 4]);
+        assert_eq!(ix.execute(&TextQuery::keywords("")), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn tombstones_hide_results() {
+        let mut ix = sample();
+        ix.remove(2);
+        assert_eq!(ix.execute(&TextQuery::keywords("shuttle")), vec![1]);
+        assert_eq!(ix.len(), 3);
+    }
+
+    #[test]
+    fn out_of_order_add_rejected() {
+        let mut ix = sample();
+        assert!(!ix.add(2, "late"));
+        assert!(ix.add(10, "fine"));
+    }
+
+    #[test]
+    fn ranked_search_orders_by_tf() {
+        let mut ix = InvertedIndex::new();
+        ix.add(1, "budget");
+        ix.add(2, "budget budget budget");
+        let r = ix.search_ranked("budget");
+        assert_eq!(r[0], (2, 3));
+        assert_eq!(r[1], (1, 1));
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("netmark-tix-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut ix = sample();
+        ix.remove(3);
+        let path = dir.join("text.idx");
+        ix.save(&path).unwrap();
+        let back = InvertedIndex::load(&path).unwrap();
+        assert_eq!(back.len(), ix.len());
+        assert_eq!(
+            back.execute(&TextQuery::keywords("technology gap")),
+            vec![4]
+        );
+        assert_eq!(back.term_count(), ix.term_count());
+        // Corrupt file → None.
+        std::fs::write(&path, b"garbage").unwrap();
+        assert!(InvertedIndex::load(&path).is_none());
+        assert!(InvertedIndex::load(&dir.join("missing.idx")).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,18 @@
+//! `netmark-textindex`: the full-text index substrate (the paper's stand-in
+//! for Oracle Text).
+//!
+//! "The keyword-based context and content search is performed by first
+//! querying the text index for the search key" (paper §2.1.4). This crate
+//! provides that index: node-granular inverted lists with delta-varint
+//! compression, boolean / phrase / prefix queries, tombstone deletion, and
+//! a save/load binary format.
+
+#![warn(missing_docs)]
+
+pub mod index;
+pub mod postings;
+pub mod tokenize;
+
+pub use index::{InvertedIndex, TextQuery};
+pub use postings::{Posting, PostingList};
+pub use tokenize::{query_terms, tokenize_text, TextToken};

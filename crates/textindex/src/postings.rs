@@ -1,0 +1,312 @@
+//! Delta-varint-compressed posting lists.
+//!
+//! A posting list holds, per term, the ascending sequence of node ids the
+//! term occurs in plus the word positions inside each node (for phrase
+//! queries). Ids are delta-encoded and everything is LEB128 varints, so a
+//! dense list costs ~1–2 bytes per posting.
+//!
+//! Entry layout in the packed buffer:
+//! `id_gap, n_positions, pos_gap*` — all varints; position gaps are deltas
+//! within the entry.
+//!
+//! Appends must be in ascending id order (node ids are assigned
+//! monotonically by the store; re-ingesting a document creates fresh ids,
+//! and deletions are tombstoned at the index level).
+
+/// Appends `v` as LEB128.
+fn put(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint; `None` on truncation.
+fn get(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *buf.get(*pos)?;
+        *pos += 1;
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None;
+        }
+    }
+}
+
+/// One decoded posting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Posting {
+    /// Node id the term occurs in.
+    pub id: u64,
+    /// Ascending word positions of the term within the node text.
+    pub positions: Vec<u32>,
+}
+
+/// A compressed, append-only posting list.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PostingList {
+    packed: Vec<u8>,
+    last_id: u64,
+    len: usize,
+}
+
+impl PostingList {
+    /// Empty list.
+    pub fn new() -> PostingList {
+        PostingList::default()
+    }
+
+    /// Number of postings.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no postings are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Compressed size in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.packed.len()
+    }
+
+    /// Appends a posting. `id` must exceed every previously appended id;
+    /// `positions` must be ascending. Returns `false` (and stores nothing)
+    /// if the ordering contract is violated.
+    pub fn push(&mut self, id: u64, positions: &[u32]) -> bool {
+        if (self.len > 0 && id <= self.last_id) || positions.is_empty() {
+            return false;
+        }
+        // Positions come from the tokenizer (always ascending); validate
+        // before writing so a bad call cannot corrupt the buffer.
+        if positions.windows(2).any(|w| w[1] <= w[0]) {
+            return false;
+        }
+        let gap = if self.len == 0 { id } else { id - self.last_id };
+        put(&mut self.packed, gap);
+        put(&mut self.packed, positions.len() as u64);
+        let mut prev = 0u32;
+        for (i, &p) in positions.iter().enumerate() {
+            put(&mut self.packed, (p - if i == 0 { 0 } else { prev }) as u64);
+            prev = p;
+        }
+        self.last_id = id;
+        self.len += 1;
+        true
+    }
+
+    /// Iterates decoded postings.
+    pub fn iter(&self) -> PostingIter<'_> {
+        PostingIter {
+            buf: &self.packed,
+            pos: 0,
+            prev_id: 0,
+            first: true,
+        }
+    }
+
+    /// Decodes just the node ids.
+    pub fn ids(&self) -> Vec<u64> {
+        self.iter().map(|p| p.id).collect()
+    }
+
+    /// Serializes into `out` (length-prefixed packed bytes + metadata).
+    pub fn serialize(&self, out: &mut Vec<u8>) {
+        put(out, self.len as u64);
+        put(out, self.last_id);
+        put(out, self.packed.len() as u64);
+        out.extend_from_slice(&self.packed);
+    }
+
+    /// Inverse of [`PostingList::serialize`]; `None` on corrupt input.
+    pub fn deserialize(buf: &[u8], pos: &mut usize) -> Option<PostingList> {
+        let len = get(buf, pos)? as usize;
+        let last_id = get(buf, pos)?;
+        let nbytes = get(buf, pos)? as usize;
+        let end = pos.checked_add(nbytes).filter(|&e| e <= buf.len())?;
+        let packed = buf[*pos..end].to_vec();
+        *pos = end;
+        Some(PostingList {
+            packed,
+            last_id,
+            len,
+        })
+    }
+}
+
+/// Decoding iterator over a [`PostingList`].
+pub struct PostingIter<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    prev_id: u64,
+    first: bool,
+}
+
+impl Iterator for PostingIter<'_> {
+    type Item = Posting;
+
+    fn next(&mut self) -> Option<Posting> {
+        if self.pos >= self.buf.len() {
+            return None;
+        }
+        let gap = get(self.buf, &mut self.pos)?;
+        let id = if self.first { gap } else { self.prev_id + gap };
+        self.first = false;
+        self.prev_id = id;
+        let n = get(self.buf, &mut self.pos)? as usize;
+        let mut positions = Vec::with_capacity(n);
+        let mut prev = 0u32;
+        for i in 0..n {
+            let g = get(self.buf, &mut self.pos)? as u32;
+            let p = if i == 0 { g } else { prev + g };
+            positions.push(p);
+            prev = p;
+        }
+        Some(Posting { id, positions })
+    }
+}
+
+/// Intersects two ascending id lists.
+pub fn intersect(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Unions two ascending id lists.
+pub fn union(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() || j < b.len() {
+        match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) if x == y => {
+                out.push(x);
+                i += 1;
+                j += 1;
+            }
+            (Some(&x), Some(&y)) if x < y => {
+                out.push(x);
+                i += 1;
+            }
+            (Some(_), Some(&y)) => {
+                out.push(y);
+                j += 1;
+            }
+            (Some(&x), None) => {
+                out.push(x);
+                i += 1;
+            }
+            (None, Some(&y)) => {
+                out.push(y);
+                j += 1;
+            }
+            (None, None) => unreachable!("loop condition"),
+        }
+    }
+    out
+}
+
+/// `a \ b` over ascending id lists.
+pub fn difference(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut j = 0usize;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != x {
+            out.push(x);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_iter_round_trip() {
+        let mut pl = PostingList::new();
+        assert!(pl.push(3, &[0, 5, 9]));
+        assert!(pl.push(10, &[2]));
+        assert!(pl.push(1000000, &[7, 8]));
+        let decoded: Vec<Posting> = pl.iter().collect();
+        assert_eq!(decoded.len(), 3);
+        assert_eq!(decoded[0].id, 3);
+        assert_eq!(decoded[0].positions, vec![0, 5, 9]);
+        assert_eq!(decoded[2].id, 1000000);
+        assert_eq!(decoded[2].positions, vec![7, 8]);
+        assert_eq!(pl.ids(), vec![3, 10, 1000000]);
+    }
+
+    #[test]
+    fn ordering_contract_enforced() {
+        let mut pl = PostingList::new();
+        assert!(pl.push(5, &[1]));
+        assert!(!pl.push(5, &[2]), "duplicate id rejected");
+        assert!(!pl.push(4, &[2]), "descending id rejected");
+        assert!(!pl.push(9, &[]), "empty positions rejected");
+        assert_eq!(pl.len(), 1);
+    }
+
+    #[test]
+    fn compression_is_compact_for_dense_ids() {
+        let mut pl = PostingList::new();
+        for id in 0..1000u64 {
+            pl.push(id + 1, &[0]);
+        }
+        // gap=1 (1 byte) + n=1 (1) + pos=0 (1) → 3 bytes/posting.
+        assert!(pl.byte_size() <= 3000, "got {}", pl.byte_size());
+    }
+
+    #[test]
+    fn serialize_round_trip() {
+        let mut pl = PostingList::new();
+        pl.push(7, &[0, 3]);
+        pl.push(900, &[12]);
+        let mut buf = Vec::new();
+        pl.serialize(&mut buf);
+        let mut pos = 0;
+        let back = PostingList::deserialize(&buf, &mut pos).unwrap();
+        assert_eq!(back, pl);
+        assert_eq!(pos, buf.len());
+        // Truncated input fails cleanly.
+        assert!(PostingList::deserialize(&buf[..buf.len() - 1], &mut 0).is_none());
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = vec![1, 3, 5, 7, 9];
+        let b = vec![3, 4, 5, 10];
+        assert_eq!(intersect(&a, &b), vec![3, 5]);
+        assert_eq!(union(&a, &b), vec![1, 3, 4, 5, 7, 9, 10]);
+        assert_eq!(difference(&a, &b), vec![1, 7, 9]);
+        assert_eq!(intersect(&a, &[]), Vec::<u64>::new());
+        assert_eq!(union(&a, &[]), a);
+        assert_eq!(difference(&a, &[]), a);
+    }
+}

@@ -1,0 +1,83 @@
+//! Text tokenization for indexing and querying.
+//!
+//! Terms are maximal runs of alphanumeric characters, lowercased. The same
+//! tokenizer is applied on both the indexing and the query path so that
+//! `Content=Shuttle` matches "shuttle", "Shuttle," and "SHUTTLE".
+
+/// One token with its word position (for phrase queries).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextToken {
+    /// Lowercased term.
+    pub term: String,
+    /// 0-based word position within the input.
+    pub position: u32,
+}
+
+/// Splits `text` into lowercase alphanumeric terms with word positions.
+pub fn tokenize_text(text: &str) -> Vec<TextToken> {
+    let mut out = Vec::new();
+    let mut pos = 0u32;
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            current.extend(ch.to_lowercase());
+        } else if !current.is_empty() {
+            out.push(TextToken {
+                term: std::mem::take(&mut current),
+                position: pos,
+            });
+            pos += 1;
+        }
+    }
+    if !current.is_empty() {
+        out.push(TextToken {
+            term: current,
+            position: pos,
+        });
+    }
+    out
+}
+
+/// Terms only, for queries.
+pub fn query_terms(text: &str) -> Vec<String> {
+    tokenize_text(text).into_iter().map(|t| t.term).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_split_and_lowercase() {
+        let toks = tokenize_text("The Technology Gap, shrinking!");
+        let terms: Vec<&str> = toks.iter().map(|t| t.term.as_str()).collect();
+        assert_eq!(terms, vec!["the", "technology", "gap", "shrinking"]);
+        let positions: Vec<u32> = toks.iter().map(|t| t.position).collect();
+        assert_eq!(positions, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn numbers_are_terms() {
+        let terms = query_terms("Apollo 13 budget FY2005");
+        assert_eq!(terms, vec!["apollo", "13", "budget", "fy2005"]);
+    }
+
+    #[test]
+    fn unicode_words() {
+        let terms = query_terms("café naïve Ärger");
+        assert_eq!(terms, vec!["café", "naïve", "ärger"]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(tokenize_text("").is_empty());
+        assert!(tokenize_text("...---!!!").is_empty());
+    }
+
+    #[test]
+    fn positions_skip_punctuation_not_words() {
+        let toks = tokenize_text("a - b -- c");
+        assert_eq!(toks[2].term, "c");
+        assert_eq!(toks[2].position, 2);
+    }
+}

@@ -1,0 +1,218 @@
+//! The NETMARK DAEMON: drop-folder ingestion.
+//!
+//! "Users insert new documents (in any format such as Word, PDF, HTML, XML
+//! or others) into NETMARK by simply dragging the documents into a
+//! (NETMARK) desktop folder. The 'NETMARK DAEMON' periodically picks up
+//! these documents, passes them onto the 'SGML Parser', which converts the
+//! documents into XML" (§2.1.2, Fig 3).
+//!
+//! The daemon polls a folder; new files are ingested, modified files are
+//! re-ingested (old version removed first). Files stay in place — the
+//! folder *is* the user's working directory.
+
+use netmark::NetMark;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Ingestion counters.
+#[derive(Debug, Default, Clone)]
+pub struct DaemonStats {
+    /// Files ingested for the first time.
+    pub ingested: u64,
+    /// Files re-ingested after modification.
+    pub reingested: u64,
+    /// Files that failed to read or ingest.
+    pub errors: u64,
+}
+
+/// A running drop-folder daemon. Dropping the handle stops it.
+pub struct DaemonHandle {
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+    stats: Arc<Counters>,
+}
+
+#[derive(Default)]
+struct Counters {
+    ingested: AtomicU64,
+    reingested: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl DaemonHandle {
+    /// Snapshot of ingestion counters.
+    pub fn stats(&self) -> DaemonStats {
+        DaemonStats {
+            ingested: self.stats.ingested.load(Ordering::Relaxed),
+            reingested: self.stats.reingested.load(Ordering::Relaxed),
+            errors: self.stats.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops the polling loop and joins the thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for DaemonHandle {
+    fn drop(&mut self) {
+        if self.join.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+type Seen = HashMap<PathBuf, (u64, std::time::SystemTime)>;
+
+fn sweep(nm: &NetMark, folder: &Path, seen: &Mutex<Seen>, counters: &Counters) {
+    let Ok(entries) = std::fs::read_dir(folder) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if !path.is_file() {
+            continue;
+        }
+        let Ok(meta) = entry.metadata() else { continue };
+        let size = meta.len();
+        let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+        let state = (size, mtime);
+        let prior = seen.lock().get(&path).copied();
+        if prior == Some(state) {
+            continue;
+        }
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let Ok(content) = std::fs::read_to_string(&path) else {
+            counters.errors.fetch_add(1, Ordering::Relaxed);
+            seen.lock().insert(path, state);
+            continue;
+        };
+        // Re-ingest: drop the stale version first.
+        let is_reingest = prior.is_some();
+        if is_reingest {
+            if let Ok(Some(info)) = nm.document_by_name(&name) {
+                let _ = nm.remove_document(info.doc_id);
+            }
+        }
+        match nm.insert_file(&name, &content) {
+            Ok(_) => {
+                if is_reingest {
+                    counters.reingested.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    counters.ingested.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(_) => {
+                counters.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        seen.lock().insert(path, state);
+    }
+}
+
+/// Starts the daemon polling `folder` every `interval`.
+pub fn watch_folder(nm: Arc<NetMark>, folder: &Path, interval: Duration) -> DaemonHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(Counters::default());
+    let stop2 = Arc::clone(&stop);
+    let stats2 = Arc::clone(&stats);
+    let folder = folder.to_path_buf();
+    let join = std::thread::spawn(move || {
+        let seen = Mutex::new(Seen::new());
+        while !stop2.load(Ordering::SeqCst) {
+            sweep(&nm, &folder, &seen, &stats2);
+            // Sleep in small slices so stop() is responsive.
+            let mut remaining = interval;
+            while !stop2.load(Ordering::SeqCst) && remaining > Duration::ZERO {
+                let step = remaining.min(Duration::from_millis(20));
+                std::thread::sleep(step);
+                remaining = remaining.saturating_sub(step);
+            }
+        }
+    });
+    DaemonHandle {
+        stop,
+        join: Some(join),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmark_xdb::XdbQuery;
+
+    fn wait_until(mut cond: impl FnMut() -> bool, max_ms: u64) -> bool {
+        for _ in 0..max_ms / 10 {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        cond()
+    }
+
+    #[test]
+    fn picks_up_dropped_files() {
+        let base = std::env::temp_dir().join(format!("netmark-daemon-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let drop_dir = base.join("dropbox");
+        std::fs::create_dir_all(&drop_dir).unwrap();
+        let nm = Arc::new(NetMark::open(&base.join("store")).unwrap());
+
+        let handle = watch_folder(Arc::clone(&nm), &drop_dir, Duration::from_millis(30));
+        std::fs::write(drop_dir.join("plan.txt"), "# Budget\ntwo million\n").unwrap();
+        assert!(
+            wait_until(|| handle.stats().ingested >= 1, 3000),
+            "daemon ingested the dropped file"
+        );
+        let rs = nm.query(&XdbQuery::context("Budget")).unwrap();
+        assert_eq!(rs.len(), 1);
+
+        // Modify the file → re-ingest replaces the old version.
+        std::thread::sleep(Duration::from_millis(50));
+        std::fs::write(drop_dir.join("plan.txt"), "# Budget\nthree million\n").unwrap();
+        assert!(
+            wait_until(|| handle.stats().reingested >= 1, 3000),
+            "daemon re-ingested the modified file"
+        );
+        assert!(wait_until(
+            || {
+                let rs = nm.query(&XdbQuery::context("Budget")).unwrap();
+                rs.len() == 1 && rs.hits[0].content_text().contains("three")
+            },
+            3000
+        ));
+
+        handle.stop();
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn unreadable_folder_is_harmless() {
+        let base = std::env::temp_dir().join(format!("netmark-daemon2-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let nm = Arc::new(NetMark::open(&base.join("store")).unwrap());
+        // Watch a folder that doesn't exist.
+        let handle = watch_folder(nm, &base.join("ghost"), Duration::from_millis(10));
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(handle.stats().ingested, 0);
+        handle.stop();
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+}

@@ -1,0 +1,241 @@
+//! Minimal HTTP/1.1 framing (request parse, response write).
+//!
+//! "Communication between the user folders and the NETMARK server is done
+//! using WebDAV which is a set of extensions to the HTTP protocol" (§2.1.2).
+//! This module is the protocol substrate: just enough HTTP/1.1 to carry
+//! the WebDAV verbs and XDB query URLs, over std TCP, no dependencies.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Maximum accepted body (64 MiB) — guards against hostile Content-Length.
+const MAX_BODY: usize = 64 << 20;
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// HTTP method (uppercased).
+    pub method: String,
+    /// Path portion (percent-decoded is the handler's business; query kept
+    /// raw in `query`).
+    pub path: String,
+    /// Raw query string (after `?`), if any.
+    pub query: Option<String>,
+    /// Headers, keys lowercased.
+    pub headers: BTreeMap<String, String>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Header value by (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(&name.to_ascii_lowercase()).map(String::as_str)
+    }
+
+    /// Body as UTF-8 (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: &'static str,
+    /// Headers in insertion order.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Builds a response with a status.
+    pub fn new(status: u16) -> Response {
+        let reason = match status {
+            200 => "OK",
+            201 => "Created",
+            204 => "No Content",
+            207 => "Multi-Status",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        };
+        Response {
+            status,
+            reason,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Builder: adds a header.
+    pub fn with_header(mut self, k: &str, v: &str) -> Response {
+        self.headers.push((k.to_string(), v.to_string()));
+        self
+    }
+
+    /// Builder: sets an XML body.
+    pub fn with_xml(mut self, xml: &str) -> Response {
+        self.headers
+            .push(("Content-Type".into(), "text/xml; charset=utf-8".into()));
+        self.body = xml.as_bytes().to_vec();
+        self
+    }
+
+    /// Builder: sets a plain-text body.
+    pub fn with_text(mut self, text: &str) -> Response {
+        self.headers
+            .push(("Content-Type".into(), "text/plain; charset=utf-8".into()));
+        self.body = text.as_bytes().to_vec();
+        self
+    }
+
+    /// Serializes onto the wire.
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason);
+        let mut has_len = false;
+        for (k, v) in &self.headers {
+            if k.eq_ignore_ascii_case("content-length") {
+                has_len = true;
+            }
+            head.push_str(k);
+            head.push_str(": ");
+            head.push_str(v);
+            head.push_str("\r\n");
+        }
+        if !has_len {
+            head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        }
+        head.push_str("Connection: close\r\n\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Reads one request from the stream. `None` for a cleanly closed or
+/// unparseable connection.
+pub fn read_request(stream: &mut TcpStream) -> Option<Request> {
+    let mut reader = BufReader::new(stream.try_clone().ok()?);
+    let mut line = String::new();
+    if reader.read_line(&mut line).ok()? == 0 {
+        return None;
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?.to_ascii_uppercase();
+    let target = parts.next()?.to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target, None),
+    };
+    let mut headers = BTreeMap::new();
+    loop {
+        let mut h = String::new();
+        if reader.read_line(&mut h).ok()? == 0 {
+            break;
+        }
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = h.split_once(':') {
+            headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
+        }
+    }
+    let len: usize = headers
+        .get("content-length")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    if len > MAX_BODY {
+        return None;
+    }
+    let mut body = vec![0u8; len];
+    if len > 0 {
+        reader.read_exact(&mut body).ok()?;
+    }
+    Some(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn round_trip(raw: &str) -> Option<Request> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_string();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(raw.as_bytes()).unwrap();
+            s.flush().unwrap();
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let req = read_request(&mut conn);
+        client.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let req = round_trip("GET /xdb?Context=Budget&limit=3 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/xdb");
+        assert_eq!(req.query.as_deref(), Some("Context=Budget&limit=3"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+    }
+
+    #[test]
+    fn parses_put_with_body() {
+        let req = round_trip(
+            "PUT /docs/a.txt HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello",
+        )
+        .unwrap();
+        assert_eq!(req.method, "PUT");
+        assert_eq!(req.body_text(), "hello");
+    }
+
+    #[test]
+    fn empty_connection_is_none() {
+        assert!(round_trip("").is_none());
+    }
+
+    #[test]
+    fn response_serialization() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            Response::new(207)
+                .with_header("DAV", "1")
+                .with_xml("<multistatus/>")
+                .write_to(&mut conn)
+                .unwrap();
+        });
+        let mut s = TcpStream::connect(addr).unwrap();
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).unwrap();
+        server.join().unwrap();
+        assert!(buf.starts_with("HTTP/1.1 207 Multi-Status\r\n"));
+        assert!(buf.contains("DAV: 1"));
+        assert!(buf.contains("Content-Length: 14"));
+        assert!(buf.ends_with("<multistatus/>"));
+    }
+}

@@ -1,0 +1,22 @@
+//! `netmark-webdav`: the access layer of the reproduction (paper §2.1.2,
+//! Fig 3).
+//!
+//! Two pathways into NETMARK:
+//! - **drop folder** → the [`daemon`] "periodically picks up these
+//!   documents" and ingests them;
+//! - **HTTP/WebDAV** → the [`server`] answers XDB query URLs
+//!   (`GET /xdb?Context=…`), document uploads (`PUT /docs/<name>`),
+//!   listings (`PROPFIND /docs`), and deletes.
+//!
+//! Both are built on std TCP only — no HTTP framework, in keeping with the
+//! "lean" thesis.
+
+#![warn(missing_docs)]
+
+pub mod daemon;
+pub mod http;
+pub mod server;
+
+pub use daemon::{watch_folder, DaemonHandle, DaemonStats};
+pub use http::{read_request, Request, Response};
+pub use server::{handle, serve, ServerHandle};

@@ -1,0 +1,338 @@
+//! The NETMARK access server: XDB queries and WebDAV document management
+//! over HTTP.
+//!
+//! "Clients and applications can access and query data through the
+//! NETMARK Extensible APIs … in fact HTTP provides an extremely simple yet
+//! powerful mechanism for users and clients to access NETMARK" (§2.1.2).
+//!
+//! Routes:
+//! - `GET /xdb?Context=…&Content=…[&xslt=…]` — run an XDB query; returns
+//!   the `<results>` XML, or the composed document when `xslt=` names a
+//!   registered stylesheet.
+//! - `PUT /docs/<name>` — upload (ingest) a document.
+//! - `GET /docs/<name>` — fetch the stored (upmarked) document as XML.
+//! - `DELETE /docs/<name>` — remove a document.
+//! - `PROPFIND /docs` — WebDAV-style listing (207 multistatus).
+//! - `OPTIONS *` — advertises the DAV class.
+//! - `MKCOL /…` — accepted as a no-op (drop folders are flat).
+
+use crate::http::{read_request, Request, Response};
+use netmark::{NetMark, QueryOutput};
+use netmark_model::escape_text;
+use netmark_xdb::url_decode;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A running server; dropping the handle stops it.
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Bound address (use for clients; port was chosen by the OS if you
+    /// bound `:0`).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.join.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+/// Starts the server on `bind` (e.g. `"127.0.0.1:0"`), serving `nm`.
+pub fn serve(nm: Arc<NetMark>, bind: &str) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(bind)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let join = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if stop2.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(mut conn) = conn else { continue };
+            let nm = Arc::clone(&nm);
+            std::thread::spawn(move || {
+                if let Some(req) = read_request(&mut conn) {
+                    let resp = handle(&nm, &req);
+                    let _ = resp.write_to(&mut conn);
+                }
+            });
+        }
+    });
+    Ok(ServerHandle {
+        addr,
+        stop,
+        join: Some(join),
+    })
+}
+
+fn doc_name(path: &str) -> Option<String> {
+    path.strip_prefix("/docs/")
+        .filter(|n| !n.is_empty() && !n.contains("..") && !n.contains('/'))
+        .map(url_decode)
+}
+
+/// Dispatches one request (exposed for in-process tests).
+pub fn handle(nm: &NetMark, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("OPTIONS", _) => Response::new(200)
+            .with_header("DAV", "1")
+            .with_header("Allow", "OPTIONS, GET, PUT, DELETE, PROPFIND, MKCOL"),
+        ("GET", "/xdb") => handle_query(nm, req),
+        ("PROPFIND", "/docs") | ("PROPFIND", "/docs/") => handle_propfind(nm),
+        ("MKCOL", _) => Response::new(201),
+        ("PUT", _) => match doc_name(&req.path) {
+            Some(name) => match nm.insert_file(&name, &req.body_text()) {
+                Ok(rep) => Response::new(201)
+                    .with_text(&format!("ingested doc #{} ({} nodes)", rep.doc_id, rep.node_count)),
+                Err(e) => Response::new(500).with_text(&e.to_string()),
+            },
+            None => Response::new(400).with_text("PUT requires /docs/<name>"),
+        },
+        ("GET", _) => match doc_name(&req.path) {
+            Some(name) => match nm.document_by_name(&name) {
+                Ok(Some(info)) => match nm.reconstruct_document(info.doc_id) {
+                    Ok(doc) => Response::new(200).with_xml(&doc.root.to_pretty_xml()),
+                    Err(e) => Response::new(500).with_text(&e.to_string()),
+                },
+                Ok(None) => Response::new(404).with_text("no such document"),
+                Err(e) => Response::new(500).with_text(&e.to_string()),
+            },
+            None => Response::new(404).with_text("not found"),
+        },
+        ("DELETE", _) => match doc_name(&req.path) {
+            Some(name) => match nm.document_by_name(&name) {
+                Ok(Some(info)) => match nm.remove_document(info.doc_id) {
+                    Ok(()) => Response::new(204),
+                    Err(e) => Response::new(500).with_text(&e.to_string()),
+                },
+                Ok(None) => Response::new(404).with_text("no such document"),
+                Err(e) => Response::new(500).with_text(&e.to_string()),
+            },
+            None => Response::new(400).with_text("DELETE requires /docs/<name>"),
+        },
+        _ => Response::new(405).with_text("method not allowed"),
+    }
+}
+
+fn handle_query(nm: &NetMark, req: &Request) -> Response {
+    let qs = req.query.as_deref().unwrap_or("");
+    match nm.query_url(qs) {
+        Ok(QueryOutput::Results(rs)) => Response::new(200).with_xml(&rs.to_xml()),
+        Ok(QueryOutput::Composed(node)) => Response::new(200).with_xml(&node.to_pretty_xml()),
+        Err(e) => Response::new(400).with_text(&e.to_string()),
+    }
+}
+
+fn handle_propfind(nm: &NetMark) -> Response {
+    let docs = match nm.list_documents() {
+        Ok(d) => d,
+        Err(e) => return Response::new(500).with_text(&e.to_string()),
+    };
+    let mut xml = String::from("<multistatus>");
+    for d in docs {
+        xml.push_str(&format!(
+            "<response><href>/docs/{}</href><propstat><prop>\
+             <displayname>{}</displayname>\
+             <getcontentlength>{}</getcontentlength>\
+             <format>{}</format>\
+             </prop></propstat></response>",
+            escape_text(&d.file_name),
+            escape_text(&d.file_name),
+            d.file_size,
+            escape_text(&d.format),
+        ));
+    }
+    xml.push_str("</multistatus>");
+    Response::new(207).with_header("DAV", "1").with_xml(&xml)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::io::{Read, Write};
+    use std::path::PathBuf;
+
+    fn temp_nm(tag: &str) -> (Arc<NetMark>, PathBuf) {
+        let dir = std::env::temp_dir().join(format!("netmark-dav-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        (Arc::new(NetMark::open(&dir).unwrap()), dir)
+    }
+
+    fn request(addr: std::net::SocketAddr, raw: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(raw.as_bytes()).unwrap();
+        s.flush().unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn full_http_round_trip() {
+        let (nm, dir) = temp_nm("rt");
+        let h = serve(nm, "127.0.0.1:0").unwrap();
+        let addr = h.addr();
+
+        // PUT a document.
+        let body = "# Budget\ntwo million\n";
+        let resp = request(
+            addr,
+            &format!(
+                "PUT /docs/plan.txt HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+                body.len(),
+                body
+            ),
+        );
+        assert!(resp.starts_with("HTTP/1.1 201"), "{resp}");
+
+        // Query it over the XDB URL.
+        let resp = request(addr, "GET /xdb?Context=Budget HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        assert!(resp.contains("two million"));
+
+        // PROPFIND listing.
+        let resp = request(addr, "PROPFIND /docs HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 207"), "{resp}");
+        assert!(resp.contains("plan.txt"));
+
+        // GET the stored document.
+        let resp = request(addr, "GET /docs/plan.txt HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        assert!(resp.contains("<Context"));
+
+        // DELETE then 404.
+        let resp = request(addr, "DELETE /docs/plan.txt HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 204"), "{resp}");
+        let resp = request(addr, "GET /docs/plan.txt HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
+
+        h.stop();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn handler_unit_paths() {
+        let (nm, dir) = temp_nm("unit");
+        nm.insert_file("a.txt", "# S\nbody\n").unwrap();
+        let mk = |method: &str, path: &str, query: Option<&str>| Request {
+            method: method.into(),
+            path: path.into(),
+            query: query.map(String::from),
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+        };
+        assert_eq!(handle(&nm, &mk("OPTIONS", "/", None)).status, 200);
+        assert_eq!(handle(&nm, &mk("MKCOL", "/docs", None)).status, 201);
+        assert_eq!(handle(&nm, &mk("PATCH", "/docs", None)).status, 405);
+        assert_eq!(
+            handle(&nm, &mk("GET", "/xdb", Some("bogus"))).status,
+            400,
+            "malformed query reports 400"
+        );
+        assert_eq!(
+            handle(&nm, &mk("GET", "/docs/../etc/passwd", None)).status,
+            404,
+            "path traversal rejected"
+        );
+        assert_eq!(handle(&nm, &mk("PUT", "/docs/", None)).status, 400);
+        assert_eq!(handle(&nm, &mk("DELETE", "/docs/none.txt", None)).status, 404);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn xslt_composition_over_http() {
+        let (nm, dir) = temp_nm("xslt");
+        nm.insert_file("a.txt", "# Budget\nmoney\n").unwrap();
+        nm.register_stylesheet(
+            "wrap",
+            "<xsl:stylesheet><xsl:template match=\"/\"><composed><xsl:value-of select=\"//Content\"/></composed></xsl:template></xsl:stylesheet>",
+        )
+        .unwrap();
+        let h = serve(nm, "127.0.0.1:0").unwrap();
+        let resp = request(h.addr(), "GET /xdb?Context=Budget&xslt=wrap HTTP/1.1\r\n\r\n");
+        assert!(resp.contains("<composed>money</composed>"), "{resp}");
+        h.stop();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod encoding_tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn percent_encoded_document_names() {
+        let dir = std::env::temp_dir().join(format!("netmark-dav-enc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let nm = Arc::new(netmark::NetMark::open(&dir).unwrap());
+        let h = serve(Arc::clone(&nm), "127.0.0.1:0").unwrap();
+        let body = "# Budget\nmoney\n";
+        let mut s = TcpStream::connect(h.addr()).unwrap();
+        s.write_all(
+            format!(
+                "PUT /docs/my%20plan.txt HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+                body.len(),
+                body
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 201"), "{resp}");
+        assert!(nm.document_by_name("my plan.txt").unwrap().is_some());
+        // Fetch with the encoded name.
+        let mut s = TcpStream::connect(h.addr()).unwrap();
+        s.write_all(b"GET /docs/my%20plan.txt HTTP/1.1\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        h.stop();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oversized_content_length_is_dropped() {
+        let dir = std::env::temp_dir().join(format!("netmark-dav-big-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let nm = Arc::new(netmark::NetMark::open(&dir).unwrap());
+        let h = serve(Arc::clone(&nm), "127.0.0.1:0").unwrap();
+        let mut s = TcpStream::connect(h.addr()).unwrap();
+        // Claim a 1 GiB body; the parser must refuse rather than allocate.
+        s.write_all(b"PUT /docs/x.txt HTTP/1.1\r\nContent-Length: 1073741824\r\n\r\n")
+            .unwrap();
+        let mut resp = String::new();
+        // Connection closes with no response (request dropped).
+        let _ = s.read_to_string(&mut resp);
+        assert!(resp.is_empty());
+        assert!(nm.list_documents().unwrap().is_empty());
+        h.stop();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

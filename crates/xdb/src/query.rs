@@ -1,0 +1,326 @@
+//! The XDB Query model and its URL syntax.
+//!
+//! "The key features are that context and content search specifications are
+//! appended to a URL that is sent to NETMARK. In this URL we may also
+//! specify an XSLT stylesheet which specifies how the results are to be
+//! formatted and composed into a new document." (paper §2.1.3)
+//!
+//! Query string grammar (case-insensitive keys, `&`-separated,
+//! percent/plus decoding):
+//!
+//! ```text
+//! Context=Technology%20Gap & Content=Shrinking & databank=apps
+//!   & xslt=report & limit=20 & match=keywords|phrase
+//! ```
+
+use std::fmt;
+
+/// How a `Content=` value matches node text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatchMode {
+    /// All terms must occur (any order) — the paper's keyword search.
+    #[default]
+    Keywords,
+    /// Terms must occur consecutively.
+    Phrase,
+}
+
+/// A parsed XDB query.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct XdbQuery {
+    /// `Context=` — section-heading search ("returns the content portion in
+    /// the 'Introduction' sections of all the documents").
+    pub context: Option<String>,
+    /// `Content=` — keyword search over node text.
+    pub content: Option<String>,
+    /// `databank=` — which declared databank (source set) to query.
+    pub databank: Option<String>,
+    /// `xslt=` — stylesheet name for result composition.
+    pub xslt: Option<String>,
+    /// `doc=` — restrict to one document by file name.
+    pub doc: Option<String>,
+    /// `limit=` — cap on returned hits.
+    pub limit: Option<usize>,
+    /// `match=` — content matching mode.
+    pub match_mode: MatchMode,
+}
+
+/// Error for malformed query strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryParseError(pub String);
+
+impl fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad xdb query: {}", self.0)
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+/// Percent-decodes a query component (`+` means space).
+pub fn url_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() + 1 && i + 2 <= bytes.len() => {
+                match u8::from_str_radix(
+                    std::str::from_utf8(&bytes[i + 1..(i + 3).min(bytes.len())]).unwrap_or(""),
+                    16,
+                ) {
+                    Ok(b) if i + 2 < bytes.len() => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    _ => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Percent-encodes a query component.
+pub fn url_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            b' ' => out.push('+'),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+impl XdbQuery {
+    /// A pure context search.
+    pub fn context(label: &str) -> XdbQuery {
+        XdbQuery {
+            context: Some(label.to_string()),
+            ..Default::default()
+        }
+    }
+
+    /// A pure content (keyword) search.
+    pub fn content(terms: &str) -> XdbQuery {
+        XdbQuery {
+            content: Some(terms.to_string()),
+            ..Default::default()
+        }
+    }
+
+    /// Combined `Context=X & Content=Y`.
+    pub fn context_content(label: &str, terms: &str) -> XdbQuery {
+        XdbQuery {
+            context: Some(label.to_string()),
+            content: Some(terms.to_string()),
+            ..Default::default()
+        }
+    }
+
+    /// Builder: set the stylesheet.
+    pub fn with_xslt(mut self, name: &str) -> XdbQuery {
+        self.xslt = Some(name.to_string());
+        self
+    }
+
+    /// Builder: set the databank.
+    pub fn with_databank(mut self, name: &str) -> XdbQuery {
+        self.databank = Some(name.to_string());
+        self
+    }
+
+    /// Builder: set the hit limit.
+    pub fn with_limit(mut self, n: usize) -> XdbQuery {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Builder: set phrase matching.
+    pub fn with_phrase_match(mut self) -> XdbQuery {
+        self.match_mode = MatchMode::Phrase;
+        self
+    }
+
+    /// True when the query selects everything (no context, no content).
+    pub fn is_unconstrained(&self) -> bool {
+        self.context.is_none() && self.content.is_none() && self.doc.is_none()
+    }
+
+    /// Parses the query-string portion of an XDB URL. Accepts a full URL
+    /// (`http://host/xdb?Context=...`), a leading `?`, or the bare query
+    /// string.
+    pub fn parse(input: &str) -> Result<XdbQuery, QueryParseError> {
+        let qs = match input.split_once('?') {
+            Some((_, q)) => q,
+            None => input,
+        };
+        let mut q = XdbQuery::default();
+        for pair in qs.split('&') {
+            let pair = pair.trim();
+            if pair.is_empty() {
+                continue;
+            }
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| QueryParseError(format!("missing '=' in '{pair}'")))?;
+            let key = key.trim().to_ascii_lowercase();
+            let value = url_decode(value.trim());
+            match key.as_str() {
+                "context" => q.context = Some(value),
+                "content" => q.content = Some(value),
+                "databank" => q.databank = Some(value),
+                "xslt" => q.xslt = Some(value),
+                "doc" => q.doc = Some(value),
+                "limit" => {
+                    q.limit = Some(value.parse().map_err(|_| {
+                        QueryParseError(format!("limit must be a number, got '{value}'"))
+                    })?)
+                }
+                "match" => {
+                    q.match_mode = match value.to_ascii_lowercase().as_str() {
+                        "keywords" | "keyword" => MatchMode::Keywords,
+                        "phrase" => MatchMode::Phrase,
+                        other => {
+                            return Err(QueryParseError(format!("unknown match mode '{other}'")))
+                        }
+                    }
+                }
+                other => {
+                    return Err(QueryParseError(format!("unknown query key '{other}'")));
+                }
+            }
+        }
+        Ok(q)
+    }
+
+    /// Renders the canonical query string (inverse of [`XdbQuery::parse`]).
+    pub fn to_query_string(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(c) = &self.context {
+            parts.push(format!("Context={}", url_encode(c)));
+        }
+        if let Some(c) = &self.content {
+            parts.push(format!("Content={}", url_encode(c)));
+        }
+        if let Some(d) = &self.databank {
+            parts.push(format!("databank={}", url_encode(d)));
+        }
+        if let Some(d) = &self.doc {
+            parts.push(format!("doc={}", url_encode(d)));
+        }
+        if let Some(x) = &self.xslt {
+            parts.push(format!("xslt={}", url_encode(x)));
+        }
+        if let Some(l) = self.limit {
+            parts.push(format!("limit={l}"));
+        }
+        if self.match_mode == MatchMode::Phrase {
+            parts.push("match=phrase".to_string());
+        }
+        parts.join("&")
+    }
+}
+
+impl fmt::Display for XdbQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_query_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_examples() {
+        let q = XdbQuery::parse("Context=Introduction").unwrap();
+        assert_eq!(q.context.as_deref(), Some("Introduction"));
+        assert!(q.content.is_none());
+
+        let q = XdbQuery::parse("Content=Shuttle").unwrap();
+        assert_eq!(q.content.as_deref(), Some("Shuttle"));
+
+        let q = XdbQuery::parse("Context=Technology+Gap&Content=Shrinking").unwrap();
+        assert_eq!(q.context.as_deref(), Some("Technology Gap"));
+        assert_eq!(q.content.as_deref(), Some("Shrinking"));
+    }
+
+    #[test]
+    fn parse_full_url_and_percent() {
+        let q = XdbQuery::parse(
+            "http://netmark/xdb?Context=Technology%20Gap&xslt=report&limit=5",
+        )
+        .unwrap();
+        assert_eq!(q.context.as_deref(), Some("Technology Gap"));
+        assert_eq!(q.xslt.as_deref(), Some("report"));
+        assert_eq!(q.limit, Some(5));
+    }
+
+    #[test]
+    fn keys_case_insensitive() {
+        let q = XdbQuery::parse("CONTEXT=A&content=b&DataBank=apps").unwrap();
+        assert_eq!(q.context.as_deref(), Some("A"));
+        assert_eq!(q.databank.as_deref(), Some("apps"));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(XdbQuery::parse("nonsense").is_err());
+        assert!(XdbQuery::parse("limit=abc").is_err());
+        assert!(XdbQuery::parse("match=fuzzy").is_err());
+        assert!(XdbQuery::parse("unknown=1").is_err());
+    }
+
+    #[test]
+    fn round_trip() {
+        let q = XdbQuery::context_content("Technology Gap", "Shrinking fast")
+            .with_databank("apps")
+            .with_xslt("report")
+            .with_limit(7)
+            .with_phrase_match();
+        let s = q.to_query_string();
+        let back = XdbQuery::parse(&s).unwrap();
+        assert_eq!(back, q);
+    }
+
+    #[test]
+    fn url_codec() {
+        assert_eq!(url_decode("a+b%20c%2Fd"), "a b c/d");
+        assert_eq!(url_encode("a b/c"), "a+b%2Fc");
+        assert_eq!(url_decode(&url_encode("100% café & more")), "100% café & more");
+        // Malformed escapes degrade, never panic.
+        assert_eq!(url_decode("%"), "%");
+        assert_eq!(url_decode("%2"), "%2");
+        assert_eq!(url_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn empty_query_is_unconstrained() {
+        let q = XdbQuery::parse("").unwrap();
+        assert!(q.is_unconstrained());
+        let q = XdbQuery::parse("databank=apps").unwrap();
+        assert!(q.is_unconstrained());
+    }
+
+    #[test]
+    fn display_matches_query_string() {
+        let q = XdbQuery::context("Budget");
+        assert_eq!(format!("{q}"), q.to_query_string());
+    }
+}

@@ -1,0 +1,216 @@
+//! Query results: hits and result sets.
+//!
+//! A hit is one matched section: the document it came from, the context
+//! (heading) label, and the content subtree. Result sets render to XML in
+//! the Fig-4 shape, ready to feed the XSLT composition step (Fig 7) or to
+//! ship between federated NETMARK instances (Fig 8).
+
+use netmark_model::{Document, Node};
+
+/// One matched section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    /// Source identifier (empty for local queries; set by federation).
+    pub source: String,
+    /// File name of the owning document.
+    pub doc: String,
+    /// The context (heading) label this content sits under.
+    pub context: String,
+    /// The section content as a tree (children of the `<Content>`).
+    pub content: Node,
+    /// Store-internal id of the context node (0 when not applicable,
+    /// e.g. hits reconstructed from a remote source's XML).
+    pub context_node: u64,
+}
+
+impl Hit {
+    /// Plain-text rendering of the content.
+    pub fn content_text(&self) -> String {
+        self.content.text_content()
+    }
+}
+
+/// An ordered set of hits plus query diagnostics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResultSet {
+    /// Matched sections, in store order (or merge order for federation).
+    pub hits: Vec<Hit>,
+    /// How many candidate nodes the text index produced (diagnostics).
+    pub candidates: usize,
+    /// Whether a `limit=` truncated the hits.
+    pub truncated: bool,
+}
+
+impl ResultSet {
+    /// Empty result set.
+    pub fn new() -> ResultSet {
+        ResultSet::default()
+    }
+
+    /// Number of hits.
+    pub fn len(&self) -> usize {
+        self.hits.len()
+    }
+
+    /// True when no hits matched.
+    pub fn is_empty(&self) -> bool {
+        self.hits.is_empty()
+    }
+
+    /// Renders the result set as a `<results>` tree:
+    ///
+    /// ```xml
+    /// <results count="2">
+    ///   <hit doc="plan.wdoc" source="" >
+    ///     <Context>Budget</Context>
+    ///     <Content>...</Content>
+    ///   </hit>
+    /// </results>
+    /// ```
+    pub fn to_node(&self) -> Node {
+        let mut root = Node::element("results").with_attr("count", &self.hits.len().to_string());
+        if self.truncated {
+            root = root.with_attr("truncated", "true");
+        }
+        for h in &self.hits {
+            let mut hit = Node::element("hit").with_attr("doc", &h.doc);
+            if !h.source.is_empty() {
+                hit = hit.with_attr("source", &h.source);
+            }
+            hit.children.push(Node::context("Context", &h.context));
+            hit.children.push(h.content.clone());
+            root.children.push(hit);
+        }
+        root
+    }
+
+    /// Serializes to XML text.
+    pub fn to_xml(&self) -> String {
+        self.to_node().to_xml()
+    }
+
+    /// Parses a `<results>` tree back into a result set (the federation
+    /// router uses this to merge remote answers). Unknown children are
+    /// skipped; a malformed hit is dropped rather than failing the set.
+    pub fn from_node(node: &Node, source: &str) -> ResultSet {
+        let mut rs = ResultSet::new();
+        for hit in node.children_named("hit") {
+            let doc = hit.attr("doc").unwrap_or("").to_string();
+            let context = hit
+                .find("Context")
+                .map(|c| c.text_content())
+                .unwrap_or_default();
+            let content = hit
+                .children_named("Content")
+                .first()
+                .map(|c| (*c).clone())
+                .unwrap_or_else(|| Node::element("Content"));
+            rs.hits.push(Hit {
+                source: if hit.attr("source").map(|s| !s.is_empty()).unwrap_or(false) {
+                    hit.attr("source").unwrap_or("").to_string()
+                } else {
+                    source.to_string()
+                },
+                doc,
+                context,
+                content,
+                context_node: 0,
+            });
+        }
+        rs.candidates = rs.hits.len();
+        rs
+    }
+
+    /// Wraps the hits as a composed document (the default composition used
+    /// when no stylesheet is named: the Fig-6 "integrated results in a new
+    /// document" behaviour).
+    pub fn compose_default(&self, title: &str) -> Document {
+        let mut root = Node::element("document").with_attr("name", title);
+        for h in &self.hits {
+            root.children.push(
+                Node::context("Context", &h.context).with_attr("doc", &h.doc),
+            );
+            root.children.push(h.content.clone());
+        }
+        Document::new(title, "composed", root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ResultSet {
+        ResultSet {
+            hits: vec![
+                Hit {
+                    source: String::new(),
+                    doc: "plan-a.wdoc".into(),
+                    context: "Budget".into(),
+                    content: Node::element("Content").with_text("two dollars"),
+                    context_node: 11,
+                },
+                Hit {
+                    source: "llis".into(),
+                    doc: "ll-0424.html".into(),
+                    context: "Recommendation".into(),
+                    content: Node::element("Content").with_text("replace harness"),
+                    context_node: 0,
+                },
+            ],
+            candidates: 9,
+            truncated: false,
+        }
+    }
+
+    #[test]
+    fn to_node_shape() {
+        let n = sample().to_node();
+        assert_eq!(n.name, "results");
+        assert_eq!(n.attr("count"), Some("2"));
+        let hits = n.children_named("hit");
+        assert_eq!(hits[0].attr("doc"), Some("plan-a.wdoc"));
+        assert_eq!(hits[1].attr("source"), Some("llis"));
+        assert_eq!(hits[0].find("Context").unwrap().text_content(), "Budget");
+    }
+
+    #[test]
+    fn xml_round_trip_via_from_node() {
+        let rs = sample();
+        let node = rs.to_node();
+        let back = ResultSet::from_node(&node, "local");
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.hits[0].source, "local", "unsourced hits adopt the caller's source");
+        assert_eq!(back.hits[1].source, "llis", "explicit source wins");
+        assert_eq!(back.hits[0].context, "Budget");
+        assert_eq!(back.hits[0].content_text(), "two dollars");
+    }
+
+    #[test]
+    fn compose_default_alternates() {
+        let d = sample().compose_default("integrated.xml");
+        let pairs = d.context_content_pairs();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0], ("Budget".to_string(), "two dollars".to_string()));
+    }
+
+    #[test]
+    fn empty_set() {
+        let rs = ResultSet::new();
+        assert!(rs.is_empty());
+        assert_eq!(rs.to_node().attr("count"), Some("0"));
+        let back = ResultSet::from_node(&rs.to_node(), "s");
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn malformed_hits_skipped() {
+        let n = Node::element("results")
+            .with_child(Node::element("hit")) // no doc/context/content
+            .with_child(Node::element("junk"));
+        let rs = ResultSet::from_node(&n, "s");
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.hits[0].doc, "");
+        assert_eq!(rs.hits[0].context, "");
+    }
+}

@@ -1,0 +1,659 @@
+//! XSLT-lite: template-driven result composition.
+//!
+//! The paper composes query results into new documents by shipping an XSLT
+//! stylesheet name in the query URL and running Xalan over the result set
+//! (Figs 6–7). This engine implements the subset those compositions need:
+//!
+//! - `xsl:stylesheet` / `xsl:transform` with `xsl:template match=...`
+//! - `xsl:apply-templates [select] [with xsl:sort]`
+//! - `xsl:for-each select [with xsl:sort]`
+//! - `xsl:value-of select`
+//! - `xsl:copy-of select` (deep copy of selected nodes)
+//! - `xsl:if test` (existence or `path='value'` equality)
+//! - `xsl:choose` / `xsl:when` / `xsl:otherwise`
+//! - `xsl:text`
+//! - literal result elements with `{path}` attribute value templates
+//!
+//! Template matching supports `/` (root), element names, `*`, and
+//! name-with-predicate patterns, with the usual specificity order
+//! (predicate > name > `*` > built-in).
+
+use crate::xpath::{eval, parse_path, select, Path, XPathError};
+use netmark_model::{Node, NodeType};
+use netmark_sgml::{parse_xml, NodeTypeConfig};
+use std::fmt;
+
+/// Errors from stylesheet parsing or application.
+#[derive(Debug)]
+pub enum XsltError {
+    /// The stylesheet XML itself failed to parse.
+    BadStylesheet(String),
+    /// A select/match/test expression failed to parse.
+    BadExpr(XPathError),
+}
+
+impl fmt::Display for XsltError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XsltError::BadStylesheet(m) => write!(f, "bad stylesheet: {m}"),
+            XsltError::BadExpr(e) => write!(f, "bad expression: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for XsltError {}
+
+impl From<XPathError> for XsltError {
+    fn from(e: XPathError) -> Self {
+        XsltError::BadExpr(e)
+    }
+}
+
+/// A `match` pattern.
+#[derive(Debug, Clone, PartialEq)]
+enum Pattern {
+    Root,
+    Any,
+    Name(String),
+    /// `name[pred...]` — reuses the path parser on the single step.
+    NameWithPreds(Path),
+    Text,
+}
+
+impl Pattern {
+    fn parse(src: &str) -> Result<Pattern, XsltError> {
+        let s = src.trim();
+        Ok(match s {
+            "/" => Pattern::Root,
+            "*" => Pattern::Any,
+            "text()" => Pattern::Text,
+            _ if s.contains('[') => Pattern::NameWithPreds(parse_path(s)?),
+            _ => Pattern::Name(s.to_string()),
+        })
+    }
+
+    fn specificity(&self) -> u32 {
+        match self {
+            Pattern::NameWithPreds(_) => 3,
+            Pattern::Name(_) | Pattern::Root | Pattern::Text => 2,
+            Pattern::Any => 1,
+        }
+    }
+
+    fn matches(&self, node: &Node, is_root: bool) -> bool {
+        match self {
+            Pattern::Root => is_root,
+            Pattern::Any => node.ntype != NodeType::Text,
+            Pattern::Text => node.ntype == NodeType::Text,
+            Pattern::Name(n) => node.ntype != NodeType::Text && node.name == *n,
+            Pattern::NameWithPreds(path) => {
+                // Evaluate the single-step pattern against a shim parent.
+                if node.ntype == NodeType::Text {
+                    return false;
+                }
+                let shim = Node {
+                    ntype: NodeType::Element,
+                    name: "#shim".to_string(),
+                    text: String::new(),
+                    attrs: vec![],
+                    children: vec![node.clone()],
+                };
+                eval(path, &shim).exists()
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Template {
+    pattern: Pattern,
+    body: Vec<Node>,
+}
+
+/// A compiled stylesheet.
+#[derive(Debug, Clone)]
+pub struct Stylesheet {
+    templates: Vec<Template>,
+}
+
+const XSL_NS: &str = "xsl:";
+
+fn is_xsl(node: &Node, local: &str) -> bool {
+    node.name
+        .strip_prefix(XSL_NS)
+        .map(|l| l == local)
+        .unwrap_or(false)
+}
+
+impl Stylesheet {
+    /// Compiles a stylesheet from its XML source.
+    pub fn parse(source: &str) -> Result<Stylesheet, XsltError> {
+        let cfg = NodeTypeConfig::empty();
+        let root = parse_xml(source, &cfg)
+            .map_err(|e| XsltError::BadStylesheet(e.message))?;
+        if !is_xsl(&root, "stylesheet") && !is_xsl(&root, "transform") {
+            return Err(XsltError::BadStylesheet(format!(
+                "root element is <{}>, expected <xsl:stylesheet>",
+                root.name
+            )));
+        }
+        let mut templates = Vec::new();
+        for child in &root.children {
+            if is_xsl(child, "template") {
+                let m = child.attr("match").ok_or_else(|| {
+                    XsltError::BadStylesheet("xsl:template without match".into())
+                })?;
+                templates.push(Template {
+                    pattern: Pattern::parse(m)?,
+                    body: child.children.clone(),
+                });
+            }
+        }
+        if templates.is_empty() {
+            return Err(XsltError::BadStylesheet("no templates".into()));
+        }
+        Ok(Stylesheet { templates })
+    }
+
+    /// Applies the stylesheet to `input`, producing the result tree. The
+    /// result is wrapped in a single root: if the transform emits exactly
+    /// one element, that element; otherwise a synthesized `result` element.
+    pub fn apply(&self, input: &Node) -> Result<Node, XsltError> {
+        let out = self.apply_node(input, input, true)?;
+        let mut elements: Vec<Node> = out;
+        if elements.len() == 1 && elements[0].ntype != NodeType::Text {
+            Ok(elements.remove(0))
+        } else {
+            let mut root = Node::simulation("result");
+            root.children = elements;
+            Ok(root)
+        }
+    }
+
+    fn best_template(&self, node: &Node, is_root: bool) -> Option<&Template> {
+        self.templates
+            .iter()
+            .filter(|t| t.pattern.matches(node, is_root))
+            .max_by_key(|t| t.pattern.specificity())
+    }
+
+    fn apply_node(&self, node: &Node, root: &Node, is_root: bool) -> Result<Vec<Node>, XsltError> {
+        match self.best_template(node, is_root) {
+            Some(t) => {
+                let body = t.body.clone();
+                self.instantiate(&body, node, root)
+            }
+            None => {
+                // Built-in rules: text copies; elements recurse.
+                if node.ntype == NodeType::Text {
+                    Ok(vec![node.clone()])
+                } else {
+                    let mut out = Vec::new();
+                    for c in &node.children {
+                        out.extend(self.apply_node(c, root, false)?);
+                    }
+                    Ok(out)
+                }
+            }
+        }
+    }
+
+    fn instantiate(
+        &self,
+        body: &[Node],
+        context: &Node,
+        root: &Node,
+    ) -> Result<Vec<Node>, XsltError> {
+        let mut out = Vec::new();
+        for item in body {
+            out.extend(self.instantiate_one(item, context, root)?);
+        }
+        Ok(out)
+    }
+
+    fn sorted_selection<'a>(
+        &self,
+        instr: &Node,
+        selected: Vec<&'a Node>,
+    ) -> Result<Vec<&'a Node>, XsltError> {
+        let Some(sort) = instr.children.iter().find(|c| is_xsl(c, "sort")) else {
+            return Ok(selected);
+        };
+        let key_path = match sort.attr("select") {
+            Some(s) => Some(parse_path(s)?),
+            None => None,
+        };
+        let descending = sort.attr("order") == Some("descending");
+        let numeric = sort.attr("data-type") == Some("number");
+        let mut keyed: Vec<(String, &Node)> = selected
+            .into_iter()
+            .map(|n| {
+                let key = match &key_path {
+                    Some(p) => eval(p, n).first_string(),
+                    None => n.text_content(),
+                };
+                (key, n)
+            })
+            .collect();
+        if numeric {
+            keyed.sort_by(|a, b| {
+                let fa: f64 = a.0.trim().parse().unwrap_or(f64::NAN);
+                let fb: f64 = b.0.trim().parse().unwrap_or(f64::NAN);
+                fa.partial_cmp(&fb).unwrap_or(std::cmp::Ordering::Equal)
+            });
+        } else {
+            keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        if descending {
+            keyed.reverse();
+        }
+        Ok(keyed.into_iter().map(|(_, n)| n).collect())
+    }
+
+    fn instantiate_one(
+        &self,
+        item: &Node,
+        context: &Node,
+        root: &Node,
+    ) -> Result<Vec<Node>, XsltError> {
+        if item.ntype == NodeType::Text {
+            let t = item.text.trim();
+            if t.is_empty() {
+                return Ok(vec![]);
+            }
+            return Ok(vec![Node::text(t)]);
+        }
+        if is_xsl(item, "text") {
+            // Verbatim text, whitespace preserved.
+            return Ok(vec![Node::text(&item.text_content())]);
+        }
+        if is_xsl(item, "value-of") {
+            let sel = item
+                .attr("select")
+                .ok_or_else(|| XsltError::BadStylesheet("value-of without select".into()))?;
+            let v = select(sel, context)?;
+            let s = v.first_string();
+            return Ok(if s.is_empty() { vec![] } else { vec![Node::text(&s)] });
+        }
+        if is_xsl(item, "copy-of") {
+            let sel = item
+                .attr("select")
+                .ok_or_else(|| XsltError::BadStylesheet("copy-of without select".into()))?;
+            return Ok(select(sel, context)?
+                .into_nodes()
+                .into_iter()
+                .cloned()
+                .collect());
+        }
+        if is_xsl(item, "apply-templates") {
+            let selected: Vec<&Node> = match item.attr("select") {
+                Some(sel) => select(sel, context)?.into_nodes(),
+                None => context.children.iter().collect(),
+            };
+            let selected = self.sorted_selection(item, selected)?;
+            let mut out = Vec::new();
+            for n in selected {
+                out.extend(self.apply_node(n, root, false)?);
+            }
+            return Ok(out);
+        }
+        if is_xsl(item, "for-each") {
+            let sel = item
+                .attr("select")
+                .ok_or_else(|| XsltError::BadStylesheet("for-each without select".into()))?;
+            let selected = self.sorted_selection(item, select(sel, context)?.into_nodes())?;
+            let body: Vec<Node> = item
+                .children
+                .iter()
+                .filter(|c| !is_xsl(c, "sort"))
+                .cloned()
+                .collect();
+            let mut out = Vec::new();
+            for n in selected {
+                out.extend(self.instantiate(&body, n, root)?);
+            }
+            return Ok(out);
+        }
+        if is_xsl(item, "choose") {
+            for arm in &item.children {
+                if is_xsl(arm, "when") {
+                    let test = arm.attr("test").ok_or_else(|| {
+                        XsltError::BadStylesheet("xsl:when without test".into())
+                    })?;
+                    if eval_test(test, context)? {
+                        return self.instantiate(&arm.children, context, root);
+                    }
+                } else if is_xsl(arm, "otherwise") {
+                    return self.instantiate(&arm.children, context, root);
+                }
+            }
+            return Ok(vec![]);
+        }
+        if is_xsl(item, "if") {
+            let test = item
+                .attr("test")
+                .ok_or_else(|| XsltError::BadStylesheet("if without test".into()))?;
+            if eval_test(test, context)? {
+                return self.instantiate(&item.children, context, root);
+            }
+            return Ok(vec![]);
+        }
+        if item.name.starts_with(XSL_NS) {
+            return Err(XsltError::BadStylesheet(format!(
+                "unsupported instruction <{}>",
+                item.name
+            )));
+        }
+        // Literal result element with attribute value templates.
+        let mut el = Node {
+            ntype: item.ntype,
+            name: item.name.clone(),
+            text: String::new(),
+            attrs: Vec::with_capacity(item.attrs.len()),
+            children: Vec::new(),
+        };
+        for (k, v) in &item.attrs {
+            el.attrs.push((k.clone(), expand_avt(v, context)?));
+        }
+        el.children = self.instantiate(&item.children, context, root)?;
+        Ok(vec![el])
+    }
+}
+
+/// Evaluates an `xsl:if` test: `path` (existence) or `path='value'`.
+fn eval_test(test: &str, context: &Node) -> Result<bool, XsltError> {
+    let t = test.trim();
+    if let Some((lhs, rhs)) = t.split_once('=') {
+        let rhs = rhs.trim();
+        if let Some(v) = rhs
+            .strip_prefix('\'')
+            .and_then(|r| r.strip_suffix('\''))
+            .or_else(|| rhs.strip_prefix('"').and_then(|r| r.strip_suffix('"')))
+        {
+            let val = select(lhs.trim(), context)?;
+            return Ok(val.first_string() == v);
+        }
+    }
+    Ok(select(t, context)?.exists())
+}
+
+/// Expands `{path}` segments in an attribute value template.
+fn expand_avt(value: &str, context: &Node) -> Result<String, XsltError> {
+    if !value.contains('{') {
+        return Ok(value.to_string());
+    }
+    let mut out = String::with_capacity(value.len());
+    let mut rest = value;
+    while let Some(open) = rest.find('{') {
+        out.push_str(&rest[..open]);
+        let after = &rest[open + 1..];
+        let Some(close) = after.find('}') else {
+            out.push('{');
+            rest = after;
+            continue;
+        };
+        let expr = &after[..close];
+        out.push_str(&select(expr, context)?.first_string());
+        rest = &after[close + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmark_sgml::parse_xml;
+
+    fn input() -> Node {
+        let cfg = NodeTypeConfig::xml_default();
+        parse_xml(
+            r#"<results>
+                 <hit doc="b.doc"><Context>Budget</Context><Content>two dollars</Content></hit>
+                 <hit doc="a.doc"><Context>Budget</Context><Content>one dollar</Content></hit>
+               </results>"#,
+            &cfg,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn value_of_and_literal_elements() {
+        let ss = Stylesheet::parse(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/">
+                   <report><xsl:value-of select="//Content"/></report>
+                 </xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        let out = ss.apply(&input()).unwrap();
+        assert_eq!(out.name, "report");
+        assert_eq!(out.text_content(), "two dollars");
+    }
+
+    #[test]
+    fn for_each_builds_sections() {
+        let ss = Stylesheet::parse(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/">
+                   <composed>
+                     <xsl:for-each select="hit">
+                       <section from="{@doc}"><xsl:value-of select="Content"/></section>
+                     </xsl:for-each>
+                   </composed>
+                 </xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        let out = ss.apply(&input()).unwrap();
+        let sections = out.find_all("section");
+        assert_eq!(sections.len(), 2);
+        assert_eq!(sections[0].attr("from"), Some("b.doc"));
+        assert_eq!(sections[1].text_content(), "one dollar");
+    }
+
+    #[test]
+    fn sort_ascending_by_attr() {
+        let ss = Stylesheet::parse(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/">
+                   <composed>
+                     <xsl:for-each select="hit">
+                       <xsl:sort select="@doc"/>
+                       <d><xsl:value-of select="@doc"/></d>
+                     </xsl:for-each>
+                   </composed>
+                 </xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        let out = ss.apply(&input()).unwrap();
+        let docs: Vec<String> = out.find_all("d").iter().map(|d| d.text_content()).collect();
+        assert_eq!(docs, vec!["a.doc", "b.doc"]);
+    }
+
+    #[test]
+    fn numeric_descending_sort() {
+        let cfg = NodeTypeConfig::empty();
+        let inp = parse_xml(
+            "<r><v n='2'/><v n='10'/><v n='1'/></r>",
+            &cfg,
+        )
+        .unwrap();
+        let ss = Stylesheet::parse(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/">
+                   <o><xsl:for-each select="v">
+                     <xsl:sort select="@n" data-type="number" order="descending"/>
+                     <k><xsl:value-of select="@n"/></k>
+                   </xsl:for-each></o>
+                 </xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        let out = ss.apply(&inp).unwrap();
+        let ks: Vec<String> = out.find_all("k").iter().map(|k| k.text_content()).collect();
+        assert_eq!(ks, vec!["10", "2", "1"]);
+    }
+
+    #[test]
+    fn apply_templates_with_match_precedence() {
+        let ss = Stylesheet::parse(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><out><xsl:apply-templates/></out></xsl:template>
+                 <xsl:template match="hit[@doc='a.doc']"><special/></xsl:template>
+                 <xsl:template match="hit"><normal/></xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        let out = ss.apply(&input()).unwrap();
+        assert_eq!(out.find_all("normal").len(), 1);
+        assert_eq!(out.find_all("special").len(), 1);
+    }
+
+    #[test]
+    fn if_existence_and_equality() {
+        let ss = Stylesheet::parse(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/">
+                   <o>
+                     <xsl:if test="hit"><has-hits/></xsl:if>
+                     <xsl:if test="missing"><no/></xsl:if>
+                     <xsl:if test="hit[1]/@doc='b.doc'"><first-is-b/></xsl:if>
+                   </o>
+                 </xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        let out = ss.apply(&input()).unwrap();
+        assert!(out.find("has-hits").is_some());
+        assert!(out.find("no").is_none());
+        assert!(out.find("first-is-b").is_some());
+    }
+
+    #[test]
+    fn copy_of_preserves_subtree() {
+        let ss = Stylesheet::parse(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><o><xsl:copy-of select="hit[1]"/></o></xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        let out = ss.apply(&input()).unwrap();
+        let hit = out.find("hit").unwrap();
+        assert_eq!(hit.attr("doc"), Some("b.doc"));
+        assert!(hit.find("Content").is_some());
+    }
+
+    #[test]
+    fn builtin_rules_copy_text() {
+        let ss = Stylesheet::parse(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="Context"/>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        // Context suppressed; everything else falls through to text copy.
+        let out = ss.apply(&input()).unwrap();
+        let txt = out.text_content();
+        assert!(txt.contains("two dollars"));
+        assert!(!txt.contains("Budget"));
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(Stylesheet::parse("<not-xsl/>").is_err());
+        assert!(Stylesheet::parse("<xsl:stylesheet/>").is_err());
+        assert!(Stylesheet::parse(
+            "<xsl:stylesheet><xsl:template/></xsl:stylesheet>"
+        )
+        .is_err());
+        let ss = Stylesheet::parse(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><xsl:unknown/></xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        assert!(ss.apply(&input()).is_err());
+    }
+
+    #[test]
+    fn xsl_text_preserves_space() {
+        let ss = Stylesheet::parse(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><o><xsl:text>a b</xsl:text></o></xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        let out = ss.apply(&input()).unwrap();
+        assert_eq!(out.text_content(), "a b");
+    }
+}
+
+#[cfg(test)]
+mod choose_tests {
+    use super::*;
+    use netmark_sgml::{parse_xml, NodeTypeConfig};
+
+    #[test]
+    fn choose_picks_first_matching_when() {
+        let cfg = NodeTypeConfig::empty();
+        let inp = parse_xml("<r><v kind='b'/></r>", &cfg).unwrap();
+        let ss = Stylesheet::parse(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/">
+                   <o><xsl:for-each select="v">
+                     <xsl:choose>
+                       <xsl:when test="@kind='a'"><is-a/></xsl:when>
+                       <xsl:when test="@kind='b'"><is-b/></xsl:when>
+                       <xsl:otherwise><other/></xsl:otherwise>
+                     </xsl:choose>
+                   </xsl:for-each></o>
+                 </xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        let out = ss.apply(&inp).unwrap();
+        assert!(out.find("is-b").is_some());
+        assert!(out.find("is-a").is_none());
+        assert!(out.find("other").is_none());
+    }
+
+    #[test]
+    fn choose_falls_to_otherwise() {
+        let cfg = NodeTypeConfig::empty();
+        let inp = parse_xml("<r><v kind='z'/></r>", &cfg).unwrap();
+        let ss = Stylesheet::parse(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/">
+                   <o><xsl:for-each select="v">
+                     <xsl:choose>
+                       <xsl:when test="@kind='a'"><is-a/></xsl:when>
+                       <xsl:otherwise><other/></xsl:otherwise>
+                     </xsl:choose>
+                   </xsl:for-each></o>
+                 </xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        let out = ss.apply(&inp).unwrap();
+        assert!(out.find("other").is_some());
+    }
+
+    #[test]
+    fn choose_with_no_match_and_no_otherwise_is_empty() {
+        let cfg = NodeTypeConfig::empty();
+        let inp = parse_xml("<r><v/></r>", &cfg).unwrap();
+        let ss = Stylesheet::parse(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/">
+                   <o><xsl:choose><xsl:when test="missing"><x/></xsl:when></xsl:choose></o>
+                 </xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        let out = ss.apply(&inp).unwrap();
+        assert!(out.children.is_empty());
+    }
+}

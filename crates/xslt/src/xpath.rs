@@ -1,0 +1,482 @@
+//! XPath-lite: the path language used by stylesheets and result selection.
+//!
+//! Supported grammar (a pragmatic subset — the paper's result composition
+//! uses XSLT only to select sections and wrap them in a new document):
+//!
+//! ```text
+//! path     := '/'? step ('/' step)*  |  '//' step ('/' step)*  |  '.'
+//! step     := ('//')? (name | '*' | 'text()' | '@name') pred*
+//! pred     := '[' number ']'
+//!           | '[' '@'name '=' "'" value "'" ']'
+//!           | '[' '@'name ']'
+//!           | '[' name '=' "'" value "'" ']'
+//!           | '[' name ']'
+//! ```
+//!
+//! `//` makes the following step search all descendants. Absolute paths
+//! (`/a`) are evaluated from the context node itself when it matches — the
+//! engine always receives the document root as the initial context.
+
+use netmark_model::{Node, NodeType};
+
+/// One predicate within a step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pred {
+    /// `[3]` — 1-based position filter.
+    Index(usize),
+    /// `[@a='v']`.
+    AttrEq(String, String),
+    /// `[@a]`.
+    AttrExists(String),
+    /// `[child='v']` — some child element's text equals `v`.
+    ChildEq(String, String),
+    /// `[child]` — a child element with that name exists.
+    ChildExists(String),
+}
+
+/// What a step selects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Axis {
+    /// Child elements with this name.
+    Child(String),
+    /// Any child element.
+    AnyChild,
+    /// Text-node children.
+    Text,
+    /// An attribute of the context node.
+    Attr(String),
+    /// The context node itself (`.`).
+    SelfNode,
+}
+
+/// One step: axis + optional descendant flag + predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// Search all descendants instead of children (`//`).
+    pub descendant: bool,
+    /// Node test.
+    pub axis: Axis,
+    /// Filters applied in order.
+    pub preds: Vec<Pred>,
+}
+
+/// A parsed path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// Steps in order.
+    pub steps: Vec<Step>,
+    /// Original source text.
+    pub source: String,
+}
+
+/// Parse failure with a reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XPathError(pub String);
+
+impl std::fmt::Display for XPathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "xpath error: {}", self.0)
+    }
+}
+
+impl std::error::Error for XPathError {}
+
+fn parse_pred(s: &str) -> Result<Pred, XPathError> {
+    let s = s.trim();
+    if let Ok(n) = s.parse::<usize>() {
+        if n == 0 {
+            return Err(XPathError("position predicates are 1-based".into()));
+        }
+        return Ok(Pred::Index(n));
+    }
+    let (lhs, rhs) = match s.split_once('=') {
+        Some((l, r)) => {
+            let r = r.trim();
+            let unquoted = r
+                .strip_prefix('\'')
+                .and_then(|r| r.strip_suffix('\''))
+                .or_else(|| r.strip_prefix('"').and_then(|r| r.strip_suffix('"')))
+                .ok_or_else(|| XPathError(format!("unquoted comparison value in [{s}]")))?;
+            (l.trim(), Some(unquoted.to_string()))
+        }
+        None => (s, None),
+    };
+    if let Some(attr) = lhs.strip_prefix('@') {
+        Ok(match rhs {
+            Some(v) => Pred::AttrEq(attr.to_string(), v),
+            None => Pred::AttrExists(attr.to_string()),
+        })
+    } else {
+        Ok(match rhs {
+            Some(v) => Pred::ChildEq(lhs.to_string(), v),
+            None => Pred::ChildExists(lhs.to_string()),
+        })
+    }
+}
+
+/// Parses a path expression.
+pub fn parse_path(src: &str) -> Result<Path, XPathError> {
+    let s = src.trim();
+    if s.is_empty() {
+        return Err(XPathError("empty path".into()));
+    }
+    if s == "." {
+        return Ok(Path {
+            steps: vec![Step {
+                descendant: false,
+                axis: Axis::SelfNode,
+                preds: vec![],
+            }],
+            source: src.to_string(),
+        });
+    }
+    let mut steps = Vec::new();
+    let mut rest = s;
+    // Leading '/' (absolute) is a no-op for our evaluation model; leading
+    // '//' marks the first step descendant.
+    let mut next_descendant = false;
+    if let Some(r) = rest.strip_prefix("//") {
+        next_descendant = true;
+        rest = r;
+    } else if let Some(r) = rest.strip_prefix('/') {
+        rest = r;
+    }
+    while !rest.is_empty() {
+        // Find the end of this step (next '/' not inside brackets).
+        let mut depth = 0usize;
+        let mut end = rest.len();
+        for (i, c) in rest.char_indices() {
+            match c {
+                '[' => depth += 1,
+                ']' => depth = depth.saturating_sub(1),
+                '/' if depth == 0 => {
+                    end = i;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let step_src = &rest[..end];
+        rest = &rest[end..];
+        let descendant = next_descendant;
+        next_descendant = false;
+        if let Some(r) = rest.strip_prefix("//") {
+            next_descendant = true;
+            rest = r;
+        } else if let Some(r) = rest.strip_prefix('/') {
+            rest = r;
+        }
+        // Split node test from predicates.
+        let (test, preds_src) = match step_src.find('[') {
+            Some(i) => (&step_src[..i], &step_src[i..]),
+            None => (step_src, ""),
+        };
+        let test = test.trim();
+        if test.is_empty() {
+            return Err(XPathError(format!("empty step in '{src}'")));
+        }
+        let axis = if test == "*" {
+            Axis::AnyChild
+        } else if test == "text()" {
+            Axis::Text
+        } else if test == "." {
+            Axis::SelfNode
+        } else if let Some(a) = test.strip_prefix('@') {
+            Axis::Attr(a.to_string())
+        } else {
+            Axis::Child(test.to_string())
+        };
+        let mut preds = Vec::new();
+        let mut p = preds_src;
+        while let Some(r) = p.strip_prefix('[') {
+            let close = r
+                .find(']')
+                .ok_or_else(|| XPathError(format!("unclosed predicate in '{src}'")))?;
+            preds.push(parse_pred(&r[..close])?);
+            p = &r[close + 1..];
+        }
+        if !p.trim().is_empty() {
+            return Err(XPathError(format!("trailing junk after predicates: '{p}'")));
+        }
+        steps.push(Step {
+            descendant,
+            axis,
+            preds,
+        });
+    }
+    Ok(Path {
+        steps,
+        source: src.to_string(),
+    })
+}
+
+/// The result of evaluating a path: nodes, or strings (attributes).
+#[derive(Debug, Clone, PartialEq)]
+pub enum XPathValue<'a> {
+    /// A node set in document order.
+    Nodes(Vec<&'a Node>),
+    /// String values (attribute steps).
+    Strings(Vec<String>),
+}
+
+impl<'a> XPathValue<'a> {
+    /// String rendering of the *first* item (XSLT `value-of` semantics).
+    pub fn first_string(&self) -> String {
+        match self {
+            XPathValue::Nodes(ns) => ns.first().map(|n| n.text_content()).unwrap_or_default(),
+            XPathValue::Strings(ss) => ss.first().cloned().unwrap_or_default(),
+        }
+    }
+
+    /// True when at least one item was selected.
+    pub fn exists(&self) -> bool {
+        match self {
+            XPathValue::Nodes(ns) => !ns.is_empty(),
+            XPathValue::Strings(ss) => !ss.is_empty(),
+        }
+    }
+
+    /// The node set, or empty for string results.
+    pub fn into_nodes(self) -> Vec<&'a Node> {
+        match self {
+            XPathValue::Nodes(ns) => ns,
+            XPathValue::Strings(_) => Vec::new(),
+        }
+    }
+}
+
+fn pred_holds(node: &Node, pred: &Pred, position: usize) -> bool {
+    match pred {
+        Pred::Index(n) => position == *n,
+        Pred::AttrEq(a, v) => node.attr(a) == Some(v.as_str()),
+        Pred::AttrExists(a) => node.attr(a).is_some(),
+        Pred::ChildEq(name, v) => node
+            .children_named(name)
+            .iter()
+            .any(|c| c.text_content() == *v),
+        Pred::ChildExists(name) => !node.children_named(name).is_empty(),
+    }
+}
+
+fn apply_preds<'a>(mut nodes: Vec<&'a Node>, preds: &[Pred]) -> Vec<&'a Node> {
+    for pred in preds {
+        nodes = nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, n)| pred_holds(n, pred, i + 1))
+            .map(|(_, n)| *n)
+            .collect();
+    }
+    nodes
+}
+
+fn children_matching<'a>(node: &'a Node, axis: &Axis) -> Vec<&'a Node> {
+    match axis {
+        Axis::Child(name) => node
+            .children
+            .iter()
+            .filter(|c| c.ntype != NodeType::Text && c.name == *name)
+            .collect(),
+        Axis::AnyChild => node
+            .children
+            .iter()
+            .filter(|c| c.ntype != NodeType::Text)
+            .collect(),
+        Axis::Text => node
+            .children
+            .iter()
+            .filter(|c| c.ntype == NodeType::Text)
+            .collect(),
+        Axis::SelfNode => vec![node],
+        Axis::Attr(_) => Vec::new(),
+    }
+}
+
+fn descendants_matching<'a>(node: &'a Node, axis: &Axis) -> Vec<&'a Node> {
+    // descendant-or-self for element/text tests.
+    match axis {
+        Axis::Child(name) => node
+            .iter()
+            .filter(|c| c.ntype != NodeType::Text && c.name == *name)
+            .collect(),
+        Axis::AnyChild => node
+            .iter()
+            .filter(|c| c.ntype != NodeType::Text)
+            .collect(),
+        Axis::Text => node.iter().filter(|c| c.ntype == NodeType::Text).collect(),
+        Axis::SelfNode => vec![node],
+        Axis::Attr(_) => Vec::new(),
+    }
+}
+
+/// Evaluates `path` with `context` as the context node.
+pub fn eval<'a>(path: &Path, context: &'a Node) -> XPathValue<'a> {
+    let mut current: Vec<&'a Node> = vec![context];
+    for (si, step) in path.steps.iter().enumerate() {
+        // Attribute steps terminate the path with strings.
+        if let Axis::Attr(name) = &step.axis {
+            let mut out = Vec::new();
+            for n in &current {
+                let source: Vec<&Node> = if step.descendant {
+                    n.iter().collect()
+                } else {
+                    vec![*n]
+                };
+                for m in source {
+                    if let Some(v) = m.attr(name) {
+                        out.push(v.to_string());
+                    }
+                }
+            }
+            if si + 1 != path.steps.len() {
+                // '@attr/...' is meaningless; treat as empty.
+                return XPathValue::Strings(Vec::new());
+            }
+            return XPathValue::Strings(out);
+        }
+        let mut next: Vec<&'a Node> = Vec::new();
+        for n in &current {
+            let matched = if step.descendant {
+                descendants_matching(n, &step.axis)
+            } else {
+                children_matching(n, &step.axis)
+            };
+            next.extend(apply_preds(matched, &step.preds));
+        }
+        // Keep document order, dedup by pointer identity.
+        let mut seen: Vec<*const Node> = Vec::new();
+        next.retain(|n| {
+            let p = *n as *const Node;
+            if seen.contains(&p) {
+                false
+            } else {
+                seen.push(p);
+                true
+            }
+        });
+        current = next;
+        if current.is_empty() {
+            break;
+        }
+    }
+    XPathValue::Nodes(current)
+}
+
+/// Convenience: parse then evaluate.
+pub fn select<'a>(src: &str, context: &'a Node) -> Result<XPathValue<'a>, XPathError> {
+    Ok(eval(&parse_path(src)?, context))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Node {
+        Node::element("doc")
+            .with_child(
+                Node::element("section")
+                    .with_attr("id", "s1")
+                    .with_child(Node::context("title", "Intro"))
+                    .with_child(Node::element("p").with_text("first para"))
+                    .with_child(Node::element("p").with_text("second para")),
+            )
+            .with_child(
+                Node::element("section")
+                    .with_attr("id", "s2")
+                    .with_child(Node::context("title", "Budget"))
+                    .with_child(Node::element("p").with_text("dollars")),
+            )
+    }
+
+    #[test]
+    fn child_steps() {
+        let d = doc();
+        let v = select("section/p", &d).unwrap();
+        assert_eq!(v.clone().into_nodes().len(), 3);
+        assert_eq!(v.first_string(), "first para");
+    }
+
+    #[test]
+    fn descendant_step() {
+        let d = doc();
+        let v = select("//p", &d).unwrap();
+        assert_eq!(v.into_nodes().len(), 3);
+        let v = select("//title", &d).unwrap();
+        assert_eq!(v.first_string(), "Intro");
+    }
+
+    #[test]
+    fn index_predicate() {
+        let d = doc();
+        assert_eq!(select("section[2]/p", &d).unwrap().first_string(), "dollars");
+        assert_eq!(
+            select("section[1]/p[2]", &d).unwrap().first_string(),
+            "second para"
+        );
+        assert!(!select("section[9]", &d).unwrap().exists());
+    }
+
+    #[test]
+    fn attr_predicates_and_values() {
+        let d = doc();
+        assert_eq!(
+            select("section[@id='s2']/title", &d).unwrap().first_string(),
+            "Budget"
+        );
+        let v = select("section/@id", &d).unwrap();
+        assert_eq!(
+            v,
+            XPathValue::Strings(vec!["s1".to_string(), "s2".to_string()])
+        );
+        assert!(select("section[@id]", &d).unwrap().exists());
+        assert!(!select("section[@missing]", &d).unwrap().exists());
+    }
+
+    #[test]
+    fn child_eq_predicate() {
+        let d = doc();
+        let v = select("section[title='Budget']/@id", &d).unwrap();
+        assert_eq!(v.first_string(), "s2");
+        assert!(select("section[title]", &d).unwrap().exists());
+    }
+
+    #[test]
+    fn text_and_self() {
+        let d = doc();
+        let v = select("section/p/text()", &d).unwrap();
+        assert_eq!(v.into_nodes().len(), 3);
+        let v = select(".", &d).unwrap();
+        assert_eq!(v.into_nodes()[0].name, "doc");
+    }
+
+    #[test]
+    fn wildcard() {
+        let d = doc();
+        assert_eq!(select("*", &d).unwrap().into_nodes().len(), 2);
+        assert_eq!(select("section/*", &d).unwrap().into_nodes().len(), 5);
+    }
+
+    #[test]
+    fn absolute_prefix_tolerated() {
+        let d = doc();
+        assert_eq!(select("/section", &d).unwrap().into_nodes().len(), 2);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_path("").is_err());
+        assert!(parse_path("a[").is_err());
+        assert!(parse_path("a[0]").is_err());
+        assert!(parse_path("a[@x=unquoted]").is_err());
+    }
+
+    #[test]
+    fn double_slash_mid_path() {
+        let d = Node::element("r").with_child(
+            Node::element("a").with_child(Node::element("b").with_child(
+                Node::element("c").with_text("deep"),
+            )),
+        );
+        assert_eq!(select("a//c", &d).unwrap().first_string(), "deep");
+    }
+}

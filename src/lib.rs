@@ -1,0 +1,8 @@
+//! Umbrella crate for the NETMARK reproduction workspace.
+//!
+//! The root package exists to host workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`). The actual library
+//! surface lives in the [`netmark`] facade crate and the substrate crates
+//! it re-exports.
+
+pub use netmark;

@@ -1,0 +1,197 @@
+//! Federation integration: databanks over live NETMARK peers + weak
+//! sources, the NETMARK-vs-GAV same-answer property, and the full
+//! HTTP/daemon stack feeding a federated query.
+
+use netmark::{NetMark, XdbQuery};
+use netmark_corpus::{lessons_learned, task_plans, CorpusConfig};
+use netmark_federation::{match_document, ContentOnlySource, NetmarkSource, Router};
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("netmark-fede2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn federated_answers_match_local_union() {
+    let base = scratch("union");
+    // Two peers with disjoint corpora.
+    let nm1 = Arc::new(NetMark::open(&base.join("p1")).unwrap());
+    for d in task_plans(&CorpusConfig::sized(20).with_seed(1)) {
+        nm1.insert_file(&d.name, &d.content).unwrap();
+    }
+    let nm2 = Arc::new(NetMark::open(&base.join("p2")).unwrap());
+    for d in task_plans(&CorpusConfig::sized(20).with_seed(2)) {
+        nm2.insert_file(&d.name, &d.content).unwrap();
+    }
+    let q = XdbQuery::context("Budget");
+    let local_total = nm1.query(&q).unwrap().len() + nm2.query(&q).unwrap().len();
+
+    let mut router = Router::new();
+    router
+        .register_source(Arc::new(NetmarkSource::new("p1", Arc::clone(&nm1))))
+        .unwrap();
+    router
+        .register_source(Arc::new(NetmarkSource::new("p2", Arc::clone(&nm2))))
+        .unwrap();
+    router.define_databank("both", &["p1", "p2"]).unwrap();
+    let fr = router.query("both", &q).unwrap();
+    assert_eq!(fr.results.len(), local_total, "federation = union of locals");
+    // Every hit is attributed to the right source.
+    for hit in &fr.results.hits {
+        let local = if hit.source == "p1" { &nm1 } else { &nm2 };
+        assert!(local.document_by_name(&hit.doc).unwrap().is_some());
+    }
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn augmentation_equals_full_capability_answers() {
+    // The same corpus behind a full peer and behind a content-only source
+    // must yield identical sections for a combined query.
+    let base = scratch("augeq");
+    let docs = lessons_learned(&CorpusConfig::sized(25));
+    let nm = Arc::new(NetMark::open(&base.join("full")).unwrap());
+    for d in &docs {
+        nm.insert_file(&d.name, &d.content).unwrap();
+    }
+    let weak = ContentOnlySource::new(
+        "weak",
+        docs.iter().map(|d| (d.name.clone(), d.content.clone())).collect(),
+    );
+    let mut router = Router::new();
+    router
+        .register_source(Arc::new(NetmarkSource::new("full", nm)))
+        .unwrap();
+    router.register_source(Arc::new(weak)).unwrap();
+    router.define_databank("full-bank", &["full"]).unwrap();
+    router.define_databank("weak-bank", &["weak"]).unwrap();
+
+    let q = XdbQuery::context_content("Recommendation", "engine");
+    let full = router.query("full-bank", &q).unwrap();
+    let weak = router.query("weak-bank", &q).unwrap();
+    let mut full_keys: Vec<(String, String)> = full
+        .results
+        .hits
+        .iter()
+        .map(|h| (h.doc.clone(), h.context.clone()))
+        .collect();
+    let mut weak_keys: Vec<(String, String)> = weak
+        .results
+        .hits
+        .iter()
+        .map(|h| (h.doc.clone(), h.context.clone()))
+        .collect();
+    full_keys.sort();
+    weak_keys.sort();
+    assert_eq!(full_keys, weak_keys, "augmentation recovers the same sections");
+    assert!(weak.outcomes[0].augmented);
+    assert!(!full.outcomes[0].augmented);
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn matcher_agrees_with_engine_on_stored_documents() {
+    // The in-memory matcher (augmentation engine) and the store's query
+    // processor implement the same semantics.
+    let base = scratch("agree");
+    let nm = NetMark::open(&base).unwrap();
+    let docs = lessons_learned(&CorpusConfig::sized(15));
+    for d in &docs {
+        nm.insert_file(&d.name, &d.content).unwrap();
+    }
+    for q in [
+        XdbQuery::context("Summary"),
+        XdbQuery::content("engine"),
+        XdbQuery::context_content("Recommendation", "harness"),
+    ] {
+        let engine: Vec<(String, String)> = nm
+            .query(&q)
+            .unwrap()
+            .hits
+            .iter()
+            .map(|h| (h.doc.clone(), h.context.clone()))
+            .collect();
+        let mut matcher: Vec<(String, String)> = Vec::new();
+        for d in &docs {
+            let doc = netmark_docformats::upmark(&d.name, &d.content);
+            for h in match_document(&doc, &q) {
+                matcher.push((h.doc.clone(), h.context.clone()));
+            }
+        }
+        let mut engine_sorted = engine.clone();
+        engine_sorted.sort();
+        matcher.sort();
+        assert_eq!(engine_sorted, matcher, "query {q} semantics agree");
+    }
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn http_ingest_feeds_federated_query() {
+    let base = scratch("http");
+    let nm = Arc::new(NetMark::open(&base.join("store")).unwrap());
+    let server = netmark_webdav::serve(Arc::clone(&nm), "127.0.0.1:0").unwrap();
+
+    // Upload over HTTP.
+    let body = "# Budget\nuploaded money\n";
+    let mut s = std::net::TcpStream::connect(server.addr()).unwrap();
+    s.write_all(
+        format!(
+            "PUT /docs/up.txt HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .as_bytes(),
+    )
+    .unwrap();
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).unwrap();
+    assert!(resp.starts_with("HTTP/1.1 201"));
+
+    // The uploaded document is visible through a databank immediately.
+    let mut router = Router::new();
+    router
+        .register_source(Arc::new(NetmarkSource::new("store", Arc::clone(&nm))))
+        .unwrap();
+    router.define_databank("app", &["store"]).unwrap();
+    let fr = router
+        .query("app", &XdbQuery::content("uploaded"))
+        .unwrap();
+    assert_eq!(fr.results.len(), 1);
+    assert_eq!(fr.results.hits[0].doc, "up.txt");
+
+    server.stop();
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn daemon_and_server_share_one_store() {
+    let base = scratch("daemon-server");
+    let drop_dir = base.join("dropbox");
+    std::fs::create_dir_all(&drop_dir).unwrap();
+    let nm = Arc::new(NetMark::open(&base.join("store")).unwrap());
+    let daemon = netmark_webdav::watch_folder(Arc::clone(&nm), &drop_dir, Duration::from_millis(20));
+    let server = netmark_webdav::serve(Arc::clone(&nm), "127.0.0.1:0").unwrap();
+
+    std::fs::write(drop_dir.join("dropped.txt"), "# Budget\nfolder money\n").unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while daemon.stats().ingested < 1 {
+        assert!(std::time::Instant::now() < deadline, "daemon never ingested");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // Visible over HTTP.
+    let mut s = std::net::TcpStream::connect(server.addr()).unwrap();
+    s.write_all(b"GET /xdb?Content=folder HTTP/1.1\r\n\r\n").unwrap();
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).unwrap();
+    assert!(resp.contains("dropped.txt"), "{resp}");
+
+    server.stop();
+    daemon.stop();
+    std::fs::remove_dir_all(&base).unwrap();
+}
