@@ -134,7 +134,8 @@ fn bench_text(c: &mut Criterion) {
 fn bench_parsers(c: &mut Criterion) {
     let xml_cfg = NodeTypeConfig::xml_default();
     let html_cfg = NodeTypeConfig::html_default();
-    let xml = "<doc><Context>Budget</Context><Content><p>two <b>million</b> dollars</p></Content></doc>";
+    let xml =
+        "<doc><Context>Budget</Context><Content><p>two <b>million</b> dollars</p></Content></doc>";
     let html = "<html><body><h1>Budget</h1><p>two <b>million</b> dollars<p>next</body></html>";
     c.bench_function("sgml/parse_xml_small", |b| {
         b.iter(|| std::hint::black_box(parse_xml(xml, &xml_cfg).unwrap()))

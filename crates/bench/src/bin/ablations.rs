@@ -91,10 +91,7 @@ fn index_granularity() {
             }
             let mut hits = 0usize;
             for name in doc_names {
-                let info = nm
-                    .document_by_name(name)
-                    .expect("doc")
-                    .expect("exists");
+                let info = nm.document_by_name(name).expect("doc").expect("exists");
                 let doc = nm.reconstruct_document(info.doc_id).expect("reconstruct");
                 hits += match_document(&doc, &q).len();
             }
@@ -141,7 +138,8 @@ fn bufpool_sweep() {
         let nm = NetMark::open_with(&base.join("store"), opts).expect("reopen");
         let ((), wall) = netmark_bench::time(|| {
             for (label, term) in &workload {
-                nm.query(&XdbQuery::context_content(label, term)).expect("query");
+                nm.query(&XdbQuery::context_content(label, term))
+                    .expect("query");
             }
         });
         let stats = nm.store().database().pool_stats();

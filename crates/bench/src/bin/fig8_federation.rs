@@ -41,9 +41,8 @@ fn build(
                 router.register_source(Arc::new(adapter)).expect("register");
             }
         } else {
-            let nm = Arc::new(
-                NetMark::open(&scratch.join(&format!("peer{s}"))).expect("open peer"),
-            );
+            let nm =
+                Arc::new(NetMark::open(&scratch.join(&format!("peer{s}"))).expect("open peer"));
             let docs = if lessons_everywhere {
                 lessons_learned(&CorpusConfig::sized(DOCS_PER_SOURCE).with_seed(s as u64))
             } else {

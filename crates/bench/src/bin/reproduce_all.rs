@@ -30,7 +30,15 @@ fn main() {
         } else {
             // Fall back to cargo when siblings aren't built yet.
             Command::new("cargo")
-                .args(["run", "--release", "-q", "-p", "netmark-bench", "--bin", target])
+                .args([
+                    "run",
+                    "--release",
+                    "-q",
+                    "-p",
+                    "netmark-bench",
+                    "--bin",
+                    target,
+                ])
                 .status()
         };
         match status {

@@ -84,7 +84,8 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
             "--dir" => {
                 i += 1;
                 dir = PathBuf::from(
-                    args.get(i).ok_or_else(|| "--dir needs a value".to_string())?,
+                    args.get(i)
+                        .ok_or_else(|| "--dir needs a value".to_string())?,
                 );
             }
             other => rest.push(other),
@@ -179,7 +180,11 @@ fn run_inner(
                     .unwrap_or_else(|| f.display().to_string());
                 let content = std::fs::read_to_string(f)?;
                 let rep = nm.insert_file(&name, &content)?;
-                writeln!(out, "ingested {name}: doc #{} ({} nodes)", rep.doc_id, rep.node_count)?;
+                writeln!(
+                    out,
+                    "ingested {name}: doc #{} ({} nodes)",
+                    rep.doc_id, rep.node_count
+                )?;
             }
             nm.flush()?;
         }
@@ -269,7 +274,11 @@ mod tests {
         assert_eq!(inv.command, Command::Query("Context=Budget".into()));
 
         let inv = parse_args(&argv(&[
-            "serve", "--bind", "0.0.0.0:80", "--dropbox", "/in",
+            "serve",
+            "--bind",
+            "0.0.0.0:80",
+            "--dropbox",
+            "/in",
         ]))
         .unwrap();
         assert_eq!(

@@ -29,13 +29,17 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod metrics;
 pub mod netmark;
+pub mod pipeline;
 pub mod schema;
 pub mod search;
 pub mod store;
 
 pub use error::{NetmarkError, Result};
+pub use metrics::{IngestMetrics, IngestStats};
 pub use netmark::{NetMark, NetMarkOptions, NetMarkStats, QueryOutput};
+pub use pipeline::{ingest_files, BoundedQueue, PipelineConfig, PipelineStats, RawFile};
 pub use search::Searcher;
 pub use store::{DocId, DocInfo, IngestReport, NodeId, NodeRow, NodeStore};
 

@@ -1,0 +1,187 @@
+//! Per-stage ingest instrumentation.
+//!
+//! Every ingest path — single [`crate::NetMark::insert_file`] calls, batch
+//! ingest, and the staged pipeline — feeds the same [`IngestMetrics`]
+//! counters, so `NetMark::stats()` always reflects cumulative ingest work:
+//! documents and nodes written, batch count, and wall time split across the
+//! three stages (upmark parsing, store transaction, text indexing).
+//!
+//! The counters are atomics: recording from pipeline worker threads never
+//! takes a lock, and reading via [`IngestMetrics::snapshot`] never blocks
+//! an ingest.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Cumulative ingest counters (lock-free; shared across threads).
+#[derive(Debug, Default)]
+pub struct IngestMetrics {
+    documents: AtomicU64,
+    nodes: AtomicU64,
+    batches: AtomicU64,
+    errors: AtomicU64,
+    max_queue_depth: AtomicU64,
+    upmark_nanos: AtomicU64,
+    store_nanos: AtomicU64,
+    index_nanos: AtomicU64,
+}
+
+impl IngestMetrics {
+    /// Records wall time spent upmarking (stage 1). Documents are counted
+    /// at commit time by [`IngestMetrics::record_store`], so a parsed file
+    /// that never commits is not inflated into the throughput numbers.
+    pub fn record_upmark(&self, elapsed: Duration) {
+        self.upmark_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Records one committed store batch of `docs` documents totalling
+    /// `nodes` rows (stage 2).
+    pub fn record_store(&self, docs: u64, nodes: u64, elapsed: Duration) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.documents.fetch_add(docs, Ordering::Relaxed);
+        self.nodes.fetch_add(nodes, Ordering::Relaxed);
+        self.store_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Records time spent feeding the text index (stage 3).
+    pub fn record_index(&self, elapsed: Duration) {
+        self.index_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Records one file that failed to ingest (isolated, not fatal).
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds an observed pipeline queue depth into the high-water mark.
+    pub fn observe_queue_depth(&self, depth: usize) {
+        self.max_queue_depth
+            .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy of the counters (each field is read
+    /// atomically; the set is not a single snapshot, which is fine for
+    /// monitoring).
+    pub fn snapshot(&self) -> IngestStats {
+        IngestStats {
+            documents: self.documents.load(Ordering::Relaxed),
+            nodes: self.nodes.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            upmark_time: Duration::from_nanos(self.upmark_nanos.load(Ordering::Relaxed)),
+            store_time: Duration::from_nanos(self.store_nanos.load(Ordering::Relaxed)),
+            index_time: Duration::from_nanos(self.index_nanos.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Point-in-time copy of [`IngestMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Documents upmarked.
+    pub documents: u64,
+    /// `XML` rows written.
+    pub nodes: u64,
+    /// Store batches committed.
+    pub batches: u64,
+    /// Files that failed to ingest.
+    pub errors: u64,
+    /// High-water mark of the pipeline document queue.
+    pub max_queue_depth: u64,
+    /// Wall time in the upmark stage (summed across workers).
+    pub upmark_time: Duration,
+    /// Wall time inside store transactions.
+    pub store_time: Duration,
+    /// Wall time feeding the text index.
+    pub index_time: Duration,
+}
+
+impl IngestStats {
+    /// Counters accumulated since `earlier` (for per-run deltas over the
+    /// cumulative metrics).
+    pub fn since(&self, earlier: &IngestStats) -> IngestStats {
+        IngestStats {
+            documents: self.documents - earlier.documents,
+            nodes: self.nodes - earlier.nodes,
+            batches: self.batches - earlier.batches,
+            errors: self.errors - earlier.errors,
+            max_queue_depth: self.max_queue_depth.max(earlier.max_queue_depth),
+            upmark_time: self.upmark_time - earlier.upmark_time,
+            store_time: self.store_time - earlier.store_time,
+            index_time: self.index_time - earlier.index_time,
+        }
+    }
+
+    /// Mean documents per committed batch.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.documents as f64 / self.batches as f64
+        }
+    }
+
+    /// Ingest throughput in documents/second over `wall` elapsed time.
+    pub fn docs_per_sec(&self, wall: Duration) -> f64 {
+        per_sec(self.documents, wall)
+    }
+
+    /// Ingest throughput in nodes/second over `wall` elapsed time.
+    pub fn nodes_per_sec(&self, wall: Duration) -> f64 {
+        per_sec(self.nodes, wall)
+    }
+}
+
+fn per_sec(count: u64, wall: Duration) -> f64 {
+    let secs = wall.as_secs_f64();
+    if secs <= 0.0 {
+        0.0
+    } else {
+        count as f64 / secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let m = IngestMetrics::default();
+        m.record_upmark(Duration::from_millis(30));
+        m.record_store(2, 120, Duration::from_millis(50));
+        m.record_store(1, 80, Duration::from_millis(20));
+        m.record_index(Duration::from_millis(5));
+        m.record_error();
+        m.observe_queue_depth(4);
+        m.observe_queue_depth(2);
+        let s = m.snapshot();
+        assert_eq!(s.documents, 3);
+        assert_eq!(s.nodes, 200);
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.max_queue_depth, 4, "high-water mark, not last value");
+        assert_eq!(s.upmark_time, Duration::from_millis(30));
+        assert_eq!(s.store_time, Duration::from_millis(70));
+        assert_eq!(s.mean_batch_size(), 1.5);
+    }
+
+    #[test]
+    fn rates_and_deltas() {
+        let m = IngestMetrics::default();
+        m.record_store(10, 100, Duration::from_millis(1));
+        let before = m.snapshot();
+        m.record_store(40, 400, Duration::from_millis(1));
+        let delta = m.snapshot().since(&before);
+        assert_eq!(delta.documents, 40);
+        assert_eq!(delta.nodes, 400);
+        assert_eq!(delta.docs_per_sec(Duration::from_secs(2)), 20.0);
+        assert_eq!(delta.nodes_per_sec(Duration::from_secs(2)), 200.0);
+        assert_eq!(IngestStats::default().docs_per_sec(Duration::ZERO), 0.0);
+        assert_eq!(IngestStats::default().mean_batch_size(), 0.0);
+    }
+}

@@ -1,17 +1,19 @@
 //! The `NetMark` facade: one handle for ingest, query, composition.
 
 use crate::error::{NetmarkError, Result};
+use crate::metrics::{IngestMetrics, IngestStats};
 use crate::search::Searcher;
 use crate::store::{DocId, DocInfo, IngestReport, NodeStore};
 use netmark_docformats::upmark;
 use netmark_model::{Document, Node};
-use netmark_relstore::{Database, DbOptions};
+use netmark_relstore::{Database, DbOptions, WalStats};
 use netmark_textindex::InvertedIndex;
 use netmark_xdb::{ResultSet, XdbQuery};
 use netmark_xslt::Stylesheet;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Tuning knobs for [`NetMark::open_with`].
 #[derive(Debug, Clone)]
@@ -70,6 +72,11 @@ pub struct NetMarkStats {
     pub terms: usize,
     /// Compressed text-index bytes.
     pub index_bytes: usize,
+    /// Cumulative ingest counters (per-stage wall time, batch sizes,
+    /// queue high-water mark) for this instance's lifetime.
+    pub ingest: IngestStats,
+    /// WAL commit/fsync counters (group-commit instrumentation).
+    pub wal: WalStats,
 }
 
 /// An open NETMARK instance: schema-less store + text index + stylesheets.
@@ -79,6 +86,22 @@ pub struct NetMark {
     stylesheets: RwLock<HashMap<String, Stylesheet>>,
     index_path: PathBuf,
     options: NetMarkOptions,
+    metrics: IngestMetrics,
+    /// Serializes mutations (ingest, removal) and [`NetMark::flush`] with
+    /// each other — NOT with queries — so the store generation, the
+    /// in-memory index, and the persisted stamp can never be observed torn
+    /// by a flush racing an in-flight ingest. Writers were already
+    /// serialized by the store's write lock, so this adds no contention on
+    /// the ingest path.
+    ingest_lock: Mutex<()>,
+}
+
+/// Sidecar path holding the store generation the saved text index
+/// reflects.
+fn stamp_path(index_path: &Path) -> PathBuf {
+    let mut p = index_path.as_os_str().to_owned();
+    p.push(".gen");
+    PathBuf::from(p)
 }
 
 impl NetMark {
@@ -92,11 +115,17 @@ impl NetMark {
         let db = Database::open_with(dir, options.db.clone())?;
         let store = NodeStore::open(db)?;
         let index_path = dir.join("text.idx");
-        // Load the persisted index; rebuild from the store when missing,
-        // corrupt, or stale (fewer entries than the store holds).
+        // Load the persisted index only if its generation stamp matches the
+        // store's: every committed ingest batch and removal bumps the META
+        // generation, so equality proves the saved index reflects exactly
+        // this store state. Missing/corrupt index or stamp mismatch (e.g. a
+        // crash after commit but before flush) → rebuild from the store.
+        let stamped_gen: Option<i64> = std::fs::read_to_string(stamp_path(&index_path))
+            .ok()
+            .and_then(|s| s.trim().parse().ok());
         let index = match InvertedIndex::load(&index_path) {
-            Some(ix) => ix,
-            None => {
+            Some(ix) if stamped_gen == Some(store.generation()) => ix,
+            _ => {
                 let mut ix = InvertedIndex::new();
                 for (id, text) in store.all_text_entries()? {
                     ix.add(id, &text);
@@ -110,6 +139,8 @@ impl NetMark {
             stylesheets: RwLock::new(HashMap::new()),
             index_path,
             options,
+            metrics: IngestMetrics::default(),
+            ingest_lock: Mutex::new(()),
         })
     }
 
@@ -118,24 +149,71 @@ impl NetMark {
         &self.store
     }
 
+    /// Cumulative ingest instrumentation for this instance.
+    pub fn metrics(&self) -> &IngestMetrics {
+        &self.metrics
+    }
+
+    /// WAL commit/fsync counters (group-commit instrumentation).
+    pub fn wal_stats(&self) -> WalStats {
+        self.store.database().wal_stats()
+    }
+
     /// Ingests an already-upmarked document.
     pub fn insert_document(&self, doc: &Document) -> Result<IngestReport> {
+        let _ingest = self.ingest_lock.lock();
+        let t0 = Instant::now();
         let report = self.store.ingest(doc)?;
+        self.metrics
+            .record_store(1, report.node_count as u64, t0.elapsed());
+        let t1 = Instant::now();
         let mut ix = self.index.write();
         for (id, text) in &report.index_entries {
             ix.add(*id, text);
         }
+        drop(ix);
+        self.metrics.record_index(t1.elapsed());
         Ok(report)
+    }
+
+    /// Ingests a batch of upmarked documents in one store transaction —
+    /// one WAL commit (and at most one fsync) covers the whole batch, and
+    /// the text index is updated under a single write lock. State is
+    /// identical to calling [`NetMark::insert_document`] sequentially.
+    pub fn ingest_batch(&self, docs: &[Document]) -> Result<Vec<IngestReport>> {
+        if docs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let _ingest = self.ingest_lock.lock();
+        let t0 = Instant::now();
+        let reports = self.store.ingest_batch(docs)?;
+        let nodes: u64 = reports.iter().map(|r| r.node_count as u64).sum();
+        self.metrics
+            .record_store(reports.len() as u64, nodes, t0.elapsed());
+        let t1 = Instant::now();
+        let mut ix = self.index.write();
+        for report in &reports {
+            for (id, text) in &report.index_entries {
+                ix.add(*id, text);
+            }
+        }
+        drop(ix);
+        self.metrics.record_index(t1.elapsed());
+        Ok(reports)
     }
 
     /// Ingests a raw file: format detection + upmarking + storage — the
     /// paper's drop-a-file-in-the-folder pathway.
     pub fn insert_file(&self, name: &str, content: &str) -> Result<IngestReport> {
-        self.insert_document(&upmark(name, content))
+        let t0 = Instant::now();
+        let doc = upmark(name, content);
+        self.metrics.record_upmark(t0.elapsed());
+        self.insert_document(&doc)
     }
 
     /// Deletes a document by id.
     pub fn remove_document(&self, doc_id: DocId) -> Result<()> {
+        let _ingest = self.ingest_lock.lock();
         let node_ids = self.store.remove_document(doc_id)?;
         let mut ix = self.index.write();
         for id in node_ids {
@@ -219,13 +297,22 @@ impl NetMark {
         Ok(ss.apply(&results.to_node())?)
     }
 
-    /// Persists the text index and checkpoints the store.
+    /// Persists the text index (with its generation stamp) and checkpoints
+    /// the store.
     pub fn flush(&self) -> Result<()> {
+        // Excluding in-flight ingests guarantees the stamped generation
+        // matches the saved index contents exactly.
+        let _ingest = self.ingest_lock.lock();
         if self.options.persist_text_index {
             self.index
                 .read()
                 .save(&self.index_path)
                 .map_err(netmark_relstore::StoreError::Io)?;
+            std::fs::write(
+                stamp_path(&self.index_path),
+                self.store.generation().to_string(),
+            )
+            .map_err(netmark_relstore::StoreError::Io)?;
         }
         self.store.database().checkpoint()?;
         Ok(())
@@ -239,6 +326,8 @@ impl NetMark {
             nodes: self.store.node_count()?,
             terms: ix.term_count(),
             index_bytes: ix.byte_size(),
+            ingest: self.metrics.snapshot(),
+            wal: self.wal_stats(),
         })
     }
 }
@@ -360,10 +449,7 @@ mod tests {
         nm.remove_document(info.doc_id).unwrap();
         let rs = nm.query(&XdbQuery::context("Budget")).unwrap();
         assert_eq!(rs.len(), 1);
-        assert_eq!(
-            nm.query(&XdbQuery::content("shrinking")).unwrap().len(),
-            0
-        );
+        assert_eq!(nm.query(&XdbQuery::content("shrinking")).unwrap().len(), 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -400,6 +486,63 @@ mod tests {
     }
 
     #[test]
+    fn stale_persisted_index_is_rebuilt_on_open() {
+        let dir = std::env::temp_dir().join(format!("netmark-nm-stale-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let nm = NetMark::open(&dir).unwrap();
+            load_samples(&nm);
+            nm.flush().unwrap();
+        }
+        {
+            // Mutate the store without flushing: the saved index file is
+            // now stale (its stamp names an older generation).
+            let nm = NetMark::open(&dir).unwrap();
+            nm.insert_file("late.txt", "# Apollo\nsaturn rocket notes\n")
+                .unwrap();
+            let info = nm.document_by_name("ll-0424.html").unwrap().unwrap();
+            nm.remove_document(info.doc_id).unwrap();
+        }
+        let nm = NetMark::open(&dir).unwrap();
+        assert_eq!(
+            nm.query(&XdbQuery::content("saturn")).unwrap().len(),
+            1,
+            "content ingested after the flush is searchable"
+        );
+        assert_eq!(
+            nm.query(&XdbQuery::content("shuttle")).unwrap().len(),
+            0,
+            "content removed after the flush is gone"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batch_ingest_via_facade_and_stats() {
+        let (nm, dir) = setup("batchfacade");
+        let docs = vec![
+            netmark_docformats::upmark("a.txt", "# Budget\ntwo million\n"),
+            netmark_docformats::upmark("b.txt", "# Schedule\nthree years\n"),
+        ];
+        let wal0 = nm.wal_stats();
+        let reports = nm.ingest_batch(&docs).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(nm.query(&XdbQuery::context("Budget")).unwrap().len(), 1);
+        assert_eq!(nm.query(&XdbQuery::context("Schedule")).unwrap().len(), 1);
+        let st = nm.stats().unwrap();
+        assert_eq!(st.ingest.documents, 2);
+        assert_eq!(st.ingest.batches, 1, "one transaction for the batch");
+        assert!(st.ingest.nodes > 0);
+        assert!(st.ingest.store_time > std::time::Duration::ZERO);
+        assert_eq!(
+            st.wal.commits - wal0.commits,
+            1,
+            "one WAL commit for the batch"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn doc_filter_and_limit() {
         let (nm, dir) = setup("filter");
         load_samples(&nm);
@@ -421,7 +564,11 @@ mod tests {
         let (nm, dir) = setup("all");
         load_samples(&nm);
         let rs = nm.query(&XdbQuery::default()).unwrap();
-        assert!(rs.len() >= 5, "every section of every doc, got {}", rs.len());
+        assert!(
+            rs.len() >= 5,
+            "every section of every doc, got {}",
+            rs.len()
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -510,7 +657,8 @@ mod union_context_tests {
         let nm = NetMark::open(&dir).unwrap();
         // The §4 example: one source says "Budget", another "Cost Details".
         nm.insert_file("a.txt", "# Budget\ntwo million\n").unwrap();
-        nm.insert_file("b.txt", "# Cost Details\nitemized spend\n").unwrap();
+        nm.insert_file("b.txt", "# Cost Details\nitemized spend\n")
+            .unwrap();
         let rs = nm.query(&XdbQuery::context("Budget|Cost Details")).unwrap();
         assert_eq!(rs.len(), 2);
         let labels: Vec<&str> = rs.hits.iter().map(|h| h.context.as_str()).collect();
@@ -518,7 +666,10 @@ mod union_context_tests {
         assert!(labels.contains(&"Cost Details"));
         // Union composes with content filtering.
         let rs = nm
-            .query(&XdbQuery::context_content("Budget|Cost Details", "itemized"))
+            .query(&XdbQuery::context_content(
+                "Budget|Cost Details",
+                "itemized",
+            ))
             .unwrap();
         assert_eq!(rs.len(), 1);
         assert_eq!(rs.hits[0].context, "Cost Details");

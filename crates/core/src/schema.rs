@@ -54,6 +54,20 @@ pub mod xml {
     pub const ARITY: usize = 11;
 }
 
+/// Column positions in the `META` table.
+pub mod meta {
+    /// Next node id to assign.
+    pub const NEXT_NODEID: usize = 0;
+    /// Next document id to assign.
+    pub const NEXT_DOCID: usize = 1;
+    /// Store generation: bumped by every ingest batch and document
+    /// removal. Persisted beside the text index so staleness is an exact
+    /// equality check, not a row-count heuristic.
+    pub const GENERATION: usize = 2;
+    /// Total column count.
+    pub const ARITY: usize = 3;
+}
+
 /// Column positions in the `DOC` table.
 pub mod doc {
     /// Document id.
@@ -106,6 +120,7 @@ pub fn meta_schema() -> Schema {
     Schema::new(&[
         ("NEXT_NODEID", ColumnType::Int),
         ("NEXT_DOCID", ColumnType::Int),
+        ("GENERATION", ColumnType::Int),
     ])
 }
 

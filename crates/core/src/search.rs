@@ -40,11 +40,7 @@ impl<'a> Searcher<'a> {
     /// keyword queries AND at the *section* level: every term must occur
     /// somewhere under the same context. Returns `(ctx rowid → matched
     /// term count)` plus the candidate count for diagnostics.
-    fn content_contexts(
-        &self,
-        terms: &str,
-        mode: MatchMode,
-    ) -> Result<(Vec<RowId>, usize)> {
+    fn content_contexts(&self, terms: &str, mode: MatchMode) -> Result<(Vec<RowId>, usize)> {
         let term_list = netmark_textindex::query_terms(terms);
         if term_list.is_empty() {
             return Ok((Vec::new(), 0));
@@ -165,7 +161,9 @@ impl<'a> Searcher<'a> {
         let mut doc_names: HashMap<DocId, Option<String>> = HashMap::new();
         let mut ordered: BTreeMap<(DocId, u64), Hit> = BTreeMap::new();
         for rid in ctx_rowids {
-            let Ok(row) = self.store.node(rid) else { continue };
+            let Ok(row) = self.store.node(rid) else {
+                continue;
+            };
             let doc_name = match doc_names.get(&row.doc_id) {
                 Some(cached) => cached.clone(),
                 None => {

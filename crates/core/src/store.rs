@@ -14,7 +14,7 @@ use crate::schema::{
     META_TABLE, NONE_ROWID, XML_TABLE,
 };
 use netmark_model::{Document, Node, NodeType};
-use netmark_relstore::{Database, RowId, Table, Value};
+use netmark_relstore::{Database, RowId, Table, Txn, Value};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 /// Document identifier.
@@ -87,6 +87,35 @@ pub struct NodeStore {
     meta_rowid: RowId,
     next_node: AtomicU64,
     next_doc: AtomicI64,
+    generation: AtomicI64,
+}
+
+/// One pre-order-flattened node, with tree links as vector indices.
+struct Flat<'a> {
+    node: &'a Node,
+    parent: Option<usize>,
+    next_sibling: Option<usize>,
+    first_child: Option<usize>,
+}
+
+fn flatten<'a>(node: &'a Node, parent: Option<usize>, out: &mut Vec<Flat<'a>>) -> usize {
+    let idx = out.len();
+    out.push(Flat {
+        node,
+        parent,
+        next_sibling: None,
+        first_child: None,
+    });
+    let mut prev: Option<usize> = None;
+    for child in &node.children {
+        let cidx = flatten(child, Some(idx), out);
+        match prev {
+            Some(p) => out[p].next_sibling = Some(cidx),
+            None => out[idx].first_child = Some(cidx),
+        }
+        prev = Some(cidx);
+    }
+    idx
 }
 
 fn opt_rowid(v: &Value) -> Option<RowId> {
@@ -129,15 +158,16 @@ impl NodeStore {
         let doc_t = db.table(DOC_TABLE)?;
         let meta_t = db.table(META_TABLE)?;
         let meta_rows = meta_t.scan()?;
-        let (meta_rowid, next_node, next_doc) = match meta_rows.first() {
+        let (meta_rowid, next_node, next_doc, generation) = match meta_rows.first() {
             Some((rid, row)) => (
                 *rid,
                 row.first().and_then(Value::as_int).unwrap_or(1) as u64,
                 row.get(1).and_then(Value::as_int).unwrap_or(1),
+                row.get(2).and_then(Value::as_int).unwrap_or(0),
             ),
             None => {
-                let rid = meta_t.insert(&vec![Value::Int(1), Value::Int(1)])?;
-                (rid, 1, 1)
+                let rid = meta_t.insert(&vec![Value::Int(1), Value::Int(1), Value::Int(0)])?;
+                (rid, 1, 1, 0)
             }
         };
         Ok(NodeStore {
@@ -148,6 +178,7 @@ impl NodeStore {
             meta_rowid,
             next_node: AtomicU64::new(next_node),
             next_doc: AtomicI64::new(next_doc),
+            generation: AtomicI64::new(generation),
         })
     }
 
@@ -161,34 +192,49 @@ impl NodeStore {
         &self.xml
     }
 
-    /// Ingests one upmarked document atomically.
+    /// Ingests one upmarked document atomically (a batch of one).
     pub fn ingest(&self, document: &Document) -> Result<IngestReport> {
-        // Flatten pre-order, recording tree links as indices.
-        struct Flat<'a> {
-            node: &'a Node,
-            parent: Option<usize>,
-            next_sibling: Option<usize>,
-            first_child: Option<usize>,
+        let mut reports = self.ingest_batch(std::slice::from_ref(document))?;
+        Ok(reports.pop().expect("batch of one yields one report"))
+    }
+
+    /// Ingests `documents` in ONE transaction: a single WAL commit (and,
+    /// with `sync_commits`, at most one fsync) covers the whole batch, the
+    /// ingest timestamp is taken once, and the `META` counter row is
+    /// updated once instead of per document. The final state is identical
+    /// to ingesting each document sequentially; atomicity widens to the
+    /// batch (all documents land or none do).
+    pub fn ingest_batch(&self, documents: &[Document]) -> Result<Vec<IngestReport>> {
+        if documents.is_empty() {
+            return Ok(Vec::new());
         }
-        fn flatten<'a>(node: &'a Node, parent: Option<usize>, out: &mut Vec<Flat<'a>>) -> usize {
-            let idx = out.len();
-            out.push(Flat {
-                node,
-                parent,
-                next_sibling: None,
-                first_child: None,
-            });
-            let mut prev: Option<usize> = None;
-            for child in &node.children {
-                let cidx = flatten(child, Some(idx), out);
-                match prev {
-                    Some(p) => out[p].next_sibling = Some(cidx),
-                    None => out[idx].first_child = Some(cidx),
-                }
-                prev = Some(cidx);
-            }
-            idx
+        let now = now_unix();
+        let mut reports = Vec::with_capacity(documents.len());
+        let mut tx = self.db.begin();
+        for document in documents {
+            reports.push(self.ingest_in_tx(&mut tx, document, now)?);
         }
+        let generation = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
+        tx.update(
+            &self.meta,
+            self.meta_rowid,
+            &vec![
+                Value::Int(self.next_node.load(Ordering::Relaxed) as i64),
+                Value::Int(self.next_doc.load(Ordering::Relaxed)),
+                Value::Int(generation),
+            ],
+        )?;
+        tx.commit()?;
+        Ok(reports)
+    }
+
+    /// Writes one document's DOC + XML rows inside `tx`.
+    fn ingest_in_tx(
+        &self,
+        tx: &mut Txn<'_>,
+        document: &Document,
+        now: i64,
+    ) -> Result<IngestReport> {
         let mut flats: Vec<Flat<'_>> = Vec::with_capacity(document.root.size());
         flatten(&document.root, None, &mut flats);
 
@@ -198,21 +244,24 @@ impl NodeStore {
         let node_id_of = |idx: usize| base + idx as u64;
 
         let mut index_entries: Vec<(NodeId, String)> = Vec::new();
-        let mut tx = self.db.begin();
         // DOC row first: concurrent readers (single-writer, read-uncommitted
         // visibility) must never find an XML row whose document is missing.
-        tx.insert(
+        // Node and doc ids are freshly allocated from monotonic counters, so
+        // the unchecked inserts cannot violate the unique id indexes.
+        tx.insert_unchecked(
             &self.doc,
             &vec![
                 Value::Int(doc_id),
                 Value::Text(document.name.clone()),
-                Value::Int(now_unix()),
+                Value::Int(now),
                 Value::Int(document.source_size as i64),
                 Value::Text(document.format.clone()),
                 Value::Int(base as i64),
             ],
         )?;
         let mut rowids: Vec<RowId> = Vec::with_capacity(n);
+        let mut tokens: Vec<usize> = Vec::with_capacity(n);
+        let mut rows: Vec<Vec<Value>> = Vec::with_capacity(n);
         for (idx, f) in flats.iter().enumerate() {
             let node = f.node;
             let (data, ctxkey) = match node.ntype {
@@ -246,27 +295,26 @@ impl NodeStore {
                 rowid_value(None), // fixed up below
                 Value::Text(encode_attrs(&node.attrs)),
             ];
-            rowids.push(tx.insert(&self.xml, &row)?);
+            let (rid, token) = tx.insert_unchecked_deferred(&self.xml, &row)?;
+            rowids.push(rid);
+            tokens.push(token);
+            rows.push(row);
         }
-        // Pointer fix-up: same-size in-place updates.
+        // Pointer fix-up: the inserts above deferred their WAL records, so
+        // the sibling/child rowids (fixed-width `Value::Rowid`, same-size
+        // re-encode) are patched into the placed cells and the queued WAL
+        // images in one pass — no second heap update or WAL record per
+        // node. `flush_deferred` then logs the final bytes.
         for (idx, f) in flats.iter().enumerate() {
             if f.next_sibling.is_none() && f.first_child.is_none() {
                 continue;
             }
-            let mut row = self.xml.get(rowids[idx])?;
+            let row = &mut rows[idx];
             row[xml::SIBLINGID] = rowid_value(f.next_sibling.map(|s| rowids[s]));
             row[xml::CHILDROWID] = rowid_value(f.first_child.map(|c| rowids[c]));
-            tx.update(&self.xml, rowids[idx], &row)?;
+            tx.patch_deferred(&self.xml, tokens[idx], row)?;
         }
-        tx.update(
-            &self.meta,
-            self.meta_rowid,
-            &vec![
-                Value::Int(self.next_node.load(Ordering::Relaxed) as i64),
-                Value::Int(self.next_doc.load(Ordering::Relaxed)),
-            ],
-        )?;
-        tx.commit()?;
+        tx.flush_deferred()?;
         Ok(IngestReport {
             doc_id,
             root_node: base,
@@ -480,9 +528,7 @@ impl NodeStore {
         let doc_rid = *doc_rids
             .first()
             .ok_or_else(|| NetmarkError::NoSuchDocument(format!("doc #{doc_id}")))?;
-        let node_rids = self
-            .xml
-            .index_lookup("xml_by_doc", &[Value::Int(doc_id)])?;
+        let node_rids = self.xml.index_lookup("xml_by_doc", &[Value::Int(doc_id)])?;
         let mut node_ids = Vec::with_capacity(node_rids.len());
         let mut tx = self.db.begin();
         for rid in node_rids {
@@ -491,8 +537,27 @@ impl NodeStore {
             tx.delete(&self.xml, rid)?;
         }
         tx.delete(&self.doc, doc_rid)?;
+        // Removal changes indexed content, so it bumps the generation too —
+        // otherwise a persisted text index could go stale undetected.
+        let generation = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
+        tx.update(
+            &self.meta,
+            self.meta_rowid,
+            &vec![
+                Value::Int(self.next_node.load(Ordering::Relaxed) as i64),
+                Value::Int(self.next_doc.load(Ordering::Relaxed)),
+                Value::Int(generation),
+            ],
+        )?;
         tx.commit()?;
         Ok(node_ids)
+    }
+
+    /// The store generation: bumped by every committed ingest batch and
+    /// document removal. Persisted in `META`, so it survives reopen and
+    /// identifies exactly which store state a saved text index reflects.
+    pub fn generation(&self) -> i64 {
+        self.generation.load(Ordering::Relaxed)
     }
 
     /// `(node id, text)` for every indexed-text node in the store,
@@ -551,7 +616,8 @@ impl NodeStore {
             }
         };
         for (_, child) in self.children_via_index(row.node_id)? {
-            node.children.push(self.reconstruct_via_index(child.node_id)?);
+            node.children
+                .push(self.reconstruct_via_index(child.node_id)?);
         }
         Ok(node)
     }
@@ -735,6 +801,64 @@ mod tests {
         let rep = s.ingest(&upmark("a.wdoc", WDOC)).unwrap();
         let all = s.all_text_entries().unwrap();
         assert_eq!(all, rep.index_entries);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ingest_batch_matches_sequential_ingest() {
+        let (batch, bdir) = setup("batch");
+        let (seq, sdir) = setup("seq");
+        let docs = vec![
+            upmark("a.wdoc", WDOC),
+            upmark("b.txt", "# Budget\nother money\n"),
+            upmark("c.html", "<html><body><h1>S</h1><p>text</p></body></html>"),
+        ];
+        let breps = batch.ingest_batch(&docs).unwrap();
+        let sreps: Vec<_> = docs.iter().map(|d| seq.ingest(d).unwrap()).collect();
+        assert_eq!(breps.len(), sreps.len());
+        for (b, s) in breps.iter().zip(&sreps) {
+            assert_eq!(b.doc_id, s.doc_id);
+            assert_eq!(b.root_node, s.root_node);
+            assert_eq!(b.node_count, s.node_count);
+            assert_eq!(b.index_entries, s.index_entries);
+        }
+        assert_eq!(
+            batch.all_text_entries().unwrap(),
+            seq.all_text_entries().unwrap()
+        );
+        for rep in &breps {
+            assert_eq!(
+                batch.reconstruct_document(rep.doc_id).unwrap().root,
+                seq.reconstruct_document(rep.doc_id).unwrap().root
+            );
+        }
+        assert!(batch.ingest_batch(&[]).unwrap().is_empty());
+        std::fs::remove_dir_all(&bdir).unwrap();
+        std::fs::remove_dir_all(&sdir).unwrap();
+    }
+
+    #[test]
+    fn generation_bumps_on_ingest_and_remove_and_persists() {
+        let dir = std::env::temp_dir().join(format!("netmark-store-gen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let gen_after;
+        {
+            let db = Database::open(&dir).unwrap();
+            let s = NodeStore::open(db).unwrap();
+            assert_eq!(s.generation(), 0);
+            let rep = s.ingest(&upmark("a.wdoc", WDOC)).unwrap();
+            assert_eq!(s.generation(), 1);
+            s.ingest_batch(&[upmark("b.wdoc", WDOC), upmark("c.wdoc", WDOC)])
+                .unwrap();
+            assert_eq!(s.generation(), 2, "one bump per batch");
+            s.remove_document(rep.doc_id).unwrap();
+            assert_eq!(s.generation(), 3, "removal bumps too");
+            gen_after = s.generation();
+            s.database().checkpoint().unwrap();
+        }
+        let db = Database::open(&dir).unwrap();
+        let s = NodeStore::open(db).unwrap();
+        assert_eq!(s.generation(), gen_after);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

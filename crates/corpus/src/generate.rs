@@ -94,10 +94,17 @@ pub fn proposals(cfg: &CorpusConfig) -> Vec<RawDoc> {
     (0..cfg.docs)
         .map(|i| {
             let mut rng = doc_rng(cfg, 1, i);
-            let mut s = format!("<<Title>> Proposal P-{:04}: {}\n", i, title_text(&mut rng, 4));
+            let mut s = format!(
+                "<<Title>> Proposal P-{:04}: {}\n",
+                i,
+                title_text(&mut rng, 4)
+            );
             s.push_str(&format!(
                 "<<Normal>> Submitted by the {} division requesting **${}K**.\n",
-                pick(&mut rng, &["aeronautics", "space science", "exploration", "technology"]),
+                pick(
+                    &mut rng,
+                    &["aeronautics", "space science", "exploration", "technology"]
+                ),
                 rng.gen_range(100..5000)
             ));
             for sec in sections_for(cfg, &mut rng) {
@@ -129,7 +136,10 @@ pub fn task_plans(cfg: &CorpusConfig) -> Vec<RawDoc> {
     (0..cfg.docs)
         .map(|i| {
             let mut rng = doc_rng(cfg, 2, i);
-            let center = pick(&mut rng, &["ames", "johnson", "kennedy", "goddard", "langley"]);
+            let center = pick(
+                &mut rng,
+                &["ames", "johnson", "kennedy", "goddard", "langley"],
+            );
             let mut s = format!("<<Title>> Task Plan TP-{i:05} ({center})\n");
             s.push_str("<<Heading1>> Budget\n");
             s.push_str(&format!(
@@ -139,10 +149,7 @@ pub fn task_plans(cfg: &CorpusConfig) -> Vec<RawDoc> {
             ));
             s.push_str("<<Heading1>> Milestones\n");
             for q in 1..=rng.gen_range(2..=4) {
-                s.push_str(&format!(
-                    "<<Normal>> Q{q}: {}\n",
-                    body_text(&mut rng, 10)
-                ));
+                s.push_str(&format!("<<Normal>> Q{q}: {}\n", body_text(&mut rng, 10)));
             }
             RawDoc {
                 name: format!("taskplan-{i:05}.wdoc"),
@@ -166,7 +173,10 @@ pub fn anomaly_reports(cfg: &CorpusConfig) -> Vec<RawDoc> {
             s.push_str(&format!(
                 "SPAN 72 690 11 regular | During {} the {} {}.\n",
                 pick(&mut rng, &["ascent", "descent", "orbit", "ground test"]),
-                pick(&mut rng, &["engine", "valve", "sensor", "controller", "harness"]),
+                pick(
+                    &mut rng,
+                    &["engine", "valve", "sensor", "controller", "harness"]
+                ),
                 pick(&mut rng, &["faulted", "overheated", "stalled", "leaked"]),
             ));
             for sec in ["Corrective Action", "Disposition"] {
@@ -272,7 +282,14 @@ pub fn personnel_csv(center: &str, n: usize, seed: u64) -> RawDoc {
         _ => String::from("name,rating\n"),
     };
     for i in 0..n {
-        let name = format!("{}-{}", pick(&mut rng, &["ada", "bob", "carol", "dan", "eve", "frank", "grace", "heidi"]), i);
+        let name = format!(
+            "{}-{}",
+            pick(
+                &mut rng,
+                &["ada", "bob", "carol", "dan", "eve", "frank", "grace", "heidi"]
+            ),
+            i
+        );
         match center {
             "johnson" => s.push_str(&format!("{name},{}\n", rng.gen_range(1..=5))),
             "kennedy" => s.push_str(&format!(
@@ -304,10 +321,7 @@ fn hash_name(s: &str) -> u64 {
 /// workload. `cfg.docs` is the *total* count.
 pub fn mixed(cfg: &CorpusConfig) -> Vec<RawDoc> {
     let per = (cfg.docs / 6).max(1);
-    let sub = CorpusConfig {
-        docs: per,
-        ..*cfg
-    };
+    let sub = CorpusConfig { docs: per, ..*cfg };
     let mut all = Vec::with_capacity(cfg.docs);
     let sets = [
         proposals(&sub),
@@ -363,11 +377,7 @@ mod tests {
     #[test]
     fn every_generator_upmarks_with_budget_targets() {
         let cfg = CorpusConfig::sized(3);
-        for docs in [
-            proposals(&cfg),
-            task_plans(&cfg),
-            risk_decks(&cfg),
-        ] {
+        for docs in [proposals(&cfg), task_plans(&cfg), risk_decks(&cfg)] {
             for d in docs {
                 let doc = upmark(&d.name, &d.content);
                 let labels: Vec<String> = doc
@@ -388,12 +398,26 @@ mod tests {
     #[test]
     fn anomaly_and_lessons_have_expected_sections() {
         let cfg = CorpusConfig::sized(2);
-        let d = upmark(&anomaly_reports(&cfg)[0].name, &anomaly_reports(&cfg)[0].content);
-        let labels: Vec<String> = d.context_content_pairs().into_iter().map(|(l, _)| l).collect();
+        let d = upmark(
+            &anomaly_reports(&cfg)[0].name,
+            &anomaly_reports(&cfg)[0].content,
+        );
+        let labels: Vec<String> = d
+            .context_content_pairs()
+            .into_iter()
+            .map(|(l, _)| l)
+            .collect();
         assert!(labels.iter().any(|l| l.starts_with("Anomaly Report")));
         assert!(labels.contains(&"Corrective Action".to_string()));
-        let d = upmark(&lessons_learned(&cfg)[0].name, &lessons_learned(&cfg)[0].content);
-        let labels: Vec<String> = d.context_content_pairs().into_iter().map(|(l, _)| l).collect();
+        let d = upmark(
+            &lessons_learned(&cfg)[0].name,
+            &lessons_learned(&cfg)[0].content,
+        );
+        let labels: Vec<String> = d
+            .context_content_pairs()
+            .into_iter()
+            .map(|(l, _)| l)
+            .collect();
         assert!(labels.contains(&"Recommendation".to_string()));
     }
 
@@ -419,8 +443,10 @@ mod tests {
     #[test]
     fn mixed_covers_formats() {
         let all = mixed(&CorpusConfig::sized(24));
-        let exts: std::collections::HashSet<&str> =
-            all.iter().filter_map(|d| d.name.rsplit('.').next()).collect();
+        let exts: std::collections::HashSet<&str> = all
+            .iter()
+            .filter_map(|d| d.name.rsplit('.').next())
+            .collect();
         assert!(exts.len() >= 5, "formats present: {exts:?}");
         assert_eq!(all.len(), 24);
     }

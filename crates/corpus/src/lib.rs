@@ -15,7 +15,7 @@ pub mod generate;
 pub mod words;
 
 pub use generate::{
-    anomaly_reports, lessons_learned, mixed, personnel_csv, proposals, query_workload,
-    risk_decks, spreadsheets, task_plans, CorpusConfig, RawDoc,
+    anomaly_reports, lessons_learned, mixed, personnel_csv, proposals, query_workload, risk_decks,
+    spreadsheets, task_plans, CorpusConfig, RawDoc,
 };
 pub use words::{body_text, title_text, BODY_WORDS, SECTION_NAMES};

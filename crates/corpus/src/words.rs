@@ -34,15 +34,75 @@ pub const SECTION_NAMES: &[&str] = &[
 
 /// Body vocabulary (NASA-flavoured).
 pub const BODY_WORDS: &[&str] = &[
-    "shuttle", "engine", "controller", "ascent", "orbit", "payload", "harness", "anomaly",
-    "mission", "launch", "propulsion", "thermal", "avionics", "telemetry", "sensor", "valve",
-    "test", "review", "analysis", "design", "budget", "cost", "schedule", "milestone",
-    "proposal", "research", "flight", "crew", "safety", "system", "integration", "module",
-    "spacecraft", "trajectory", "fuel", "oxidizer", "nozzle", "turbine", "inspection",
-    "procedure", "requirement", "verification", "assembly", "component", "interface",
-    "shrinking", "growing", "funding", "division", "aeronautics", "science", "technology",
-    "gap", "program", "project", "task", "plan", "report", "document", "center", "ames",
-    "johnson", "kennedy", "goddard", "langley", "marshall", "dryden", "glenn", "stennis",
+    "shuttle",
+    "engine",
+    "controller",
+    "ascent",
+    "orbit",
+    "payload",
+    "harness",
+    "anomaly",
+    "mission",
+    "launch",
+    "propulsion",
+    "thermal",
+    "avionics",
+    "telemetry",
+    "sensor",
+    "valve",
+    "test",
+    "review",
+    "analysis",
+    "design",
+    "budget",
+    "cost",
+    "schedule",
+    "milestone",
+    "proposal",
+    "research",
+    "flight",
+    "crew",
+    "safety",
+    "system",
+    "integration",
+    "module",
+    "spacecraft",
+    "trajectory",
+    "fuel",
+    "oxidizer",
+    "nozzle",
+    "turbine",
+    "inspection",
+    "procedure",
+    "requirement",
+    "verification",
+    "assembly",
+    "component",
+    "interface",
+    "shrinking",
+    "growing",
+    "funding",
+    "division",
+    "aeronautics",
+    "science",
+    "technology",
+    "gap",
+    "program",
+    "project",
+    "task",
+    "plan",
+    "report",
+    "document",
+    "center",
+    "ames",
+    "johnson",
+    "kennedy",
+    "goddard",
+    "langley",
+    "marshall",
+    "dryden",
+    "glenn",
+    "stennis",
 ];
 
 /// Deterministically picks one item.

@@ -80,16 +80,15 @@ impl UpmarkBuilder {
         // If actual content appears before any context (or there is content
         // but no context at all), synthesize one so every content node is
         // reachable. Non-content markers (page breaks) don't count.
-        let first_ctx = self
-            .nodes
-            .iter()
-            .position(|n| n.ntype == NodeType::Context);
+        let first_ctx = self.nodes.iter().position(|n| n.ntype == NodeType::Context);
         let has_text = |n: &Node| {
             n.iter()
                 .any(|d| d.ntype == NodeType::Text && !d.text.trim().is_empty())
         };
         let needs_leading = match first_ctx {
-            Some(i) => self.nodes[..i].iter().any(|n| n.name == "Content" && has_text(n)),
+            Some(i) => self.nodes[..i]
+                .iter()
+                .any(|n| n.name == "Content" && has_text(n)),
             None => self.nodes.iter().any(has_text),
         };
         if needs_leading {
@@ -158,7 +157,10 @@ mod tests {
         let d = b.finish();
         let pairs = d.context_content_pairs();
         assert_eq!(pairs.len(), 2);
-        assert_eq!(pairs[0], ("Introduction".to_string(), "first second".to_string()));
+        assert_eq!(
+            pairs[0],
+            ("Introduction".to_string(), "first second".to_string())
+        );
         assert_eq!(pairs[1].0, "Budget");
     }
 

@@ -5,7 +5,9 @@
 //! folder" (paper §2.1.2) — so the daemon must decide per file how to
 //! upmark it. Extension first, content sniffing as fallback.
 
-use crate::{parse_csv, parse_html_doc, parse_pdoc, parse_plaintext, parse_sdoc, parse_wdoc, parse_xml_doc};
+use crate::{
+    parse_csv, parse_html_doc, parse_pdoc, parse_plaintext, parse_sdoc, parse_wdoc, parse_xml_doc,
+};
 use netmark_model::Document;
 
 /// Source formats the upmarkers understand.
@@ -57,12 +59,19 @@ fn by_extension(name: &str) -> Option<Format> {
 }
 
 fn sniff(content: &str) -> Format {
-    let head: String = content.chars().take(512).collect::<String>().to_ascii_lowercase();
+    let head: String = content
+        .chars()
+        .take(512)
+        .collect::<String>()
+        .to_ascii_lowercase();
     let trimmed = head.trim_start();
     if trimmed.starts_with("<?xml") {
         return Format::Xml;
     }
-    if trimmed.starts_with("<!doctype html") || trimmed.contains("<html") || trimmed.contains("<body") {
+    if trimmed.starts_with("<!doctype html")
+        || trimmed.contains("<html")
+        || trimmed.contains("<body")
+    {
         return Format::Html;
     }
     if trimmed.starts_with('<') && !trimmed.starts_with("<<") {
@@ -128,7 +137,10 @@ mod tests {
 
     #[test]
     fn sniffing_without_extension() {
-        assert_eq!(detect_format("noext", "<?xml version='1.0'?><a/>"), Format::Xml);
+        assert_eq!(
+            detect_format("noext", "<?xml version='1.0'?><a/>"),
+            Format::Xml
+        );
         assert_eq!(detect_format("noext", "<html><body>x"), Format::Html);
         assert_eq!(detect_format("noext", "<<Heading1>> T"), Format::Wdoc);
         assert_eq!(detect_format("noext", "SPAN 0 0 12 bold | t"), Format::Pdoc);

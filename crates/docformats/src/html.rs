@@ -115,9 +115,7 @@ pub fn parse_html_doc(name: &str, content: &str) -> Document {
 pub fn parse_xml_doc(name: &str, content: &str) -> Document {
     let cfg = NodeTypeConfig::xml_default();
     match sgml_parse_xml(content, &cfg) {
-        Ok(root) => {
-            Document::new(name, "xml", root).with_source_size(content.len() as u64)
-        }
+        Ok(root) => Document::new(name, "xml", root).with_source_size(content.len() as u64),
         Err(_) => crate::plaintext::parse_plaintext(name, content),
     }
 }

@@ -190,7 +190,10 @@ SPAN 72 690 11 regular | Closed.\n";
 
     #[test]
     fn malformed_lines_skipped() {
-        let d = parse_pdoc("m.pdoc", "SPAN garbage\nnot a span\nSPAN 1 2 11 regular | ok.\n");
+        let d = parse_pdoc(
+            "m.pdoc",
+            "SPAN garbage\nnot a span\nSPAN 1 2 11 regular | ok.\n",
+        );
         let pairs = d.context_content_pairs();
         assert_eq!(pairs.len(), 1);
         assert_eq!(pairs[0].1, "ok.");

@@ -62,7 +62,12 @@ fn numbered_heading(line: &str) -> Option<(u32, &str)> {
     }
     // Require the title to start with an uppercase letter to avoid
     // swallowing numbered list items ("1. buy milk" stays content).
-    if !title.chars().next().map(char::is_uppercase).unwrap_or(false) {
+    if !title
+        .chars()
+        .next()
+        .map(char::is_uppercase)
+        .unwrap_or(false)
+    {
         return None;
     }
     Some((dots.min(6), title))

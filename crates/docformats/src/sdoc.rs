@@ -55,9 +55,7 @@ pub fn parse_sdoc(name: &str, content: &str) -> Document {
             flush_bullets(&mut b, &mut bullets);
             slide_no += 1;
             b.context(title, 1);
-            b.node(
-                Node::simulation("slide-marker").with_attr("number", &slide_no.to_string()),
-            );
+            b.node(Node::simulation("slide-marker").with_attr("number", &slide_no.to_string()));
             continue;
         }
         if let Some((depth, text)) = bullet(line) {
@@ -115,7 +113,10 @@ mod tests {
     #[test]
     fn notes_and_bold() {
         let d = parse_sdoc("s.sdoc", SAMPLE);
-        assert_eq!(d.root.find("notes").unwrap().text_content(), "note for the speaker");
+        assert_eq!(
+            d.root.find("notes").unwrap().text_content(),
+            "note for the speaker"
+        );
         assert_eq!(d.root.find("b").unwrap().text_content(), "$2.4M");
     }
 

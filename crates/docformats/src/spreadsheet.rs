@@ -47,7 +47,13 @@ fn element_name(header: &str, index: usize) -> String {
         name = name.replace("__", "_");
     }
     let name = name.trim_matches('_').to_string();
-    if name.is_empty() || !name.chars().next().map(char::is_alphabetic).unwrap_or(false) {
+    if name.is_empty()
+        || !name
+            .chars()
+            .next()
+            .map(char::is_alphabetic)
+            .unwrap_or(false)
+    {
         format!("col{}", index + 1)
     } else {
         name
@@ -117,7 +123,10 @@ P-002,Space Science,800000\n";
     fn sheet_name_is_context() {
         let d = parse_csv("data/proposals.csv", SAMPLE);
         assert_eq!(d.context_content_pairs()[0].0, "proposals");
-        assert_eq!(d.root.find("table").unwrap().attr("sheet"), Some("proposals"));
+        assert_eq!(
+            d.root.find("table").unwrap().attr("sheet"),
+            Some("proposals")
+        );
     }
 
     #[test]

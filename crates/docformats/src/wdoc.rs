@@ -145,7 +145,12 @@ plain paragraph\n";
     #[test]
     fn unknown_style_preserved_as_attr() {
         let d = parse_wdoc("q.wdoc", "<<Heading1>> A\n<<Quote>> wise words\n");
-        let p = d.root.find_all("p").into_iter().find(|p| p.attr("style").is_some()).unwrap();
+        let p = d
+            .root
+            .find_all("p")
+            .into_iter()
+            .find(|p| p.attr("style").is_some())
+            .unwrap();
         assert_eq!(p.attr("style"), Some("Quote"));
         assert_eq!(p.text_content(), "wise words");
     }

@@ -201,11 +201,7 @@ impl Router {
     }
 
     /// Queries one source, augmenting as needed.
-    fn query_source(
-        &self,
-        adapter: &dyn SourceAdapter,
-        q: &XdbQuery,
-    ) -> (SourceOutcome, Vec<Hit>) {
+    fn query_source(&self, adapter: &dyn SourceAdapter, q: &XdbQuery) -> (SourceOutcome, Vec<Hit>) {
         let caps = adapter.capabilities();
         let (pushed, residual) = Router::decompose(q, caps);
         let mut outcome = SourceOutcome {
@@ -335,7 +331,8 @@ mod tests {
         )
         .unwrap();
         let (nm2, d2) = temp_nm(&format!("{tag}-b"));
-        nm2.insert_file("plan-b.txt", "# Budget\none million dollars\n").unwrap();
+        nm2.insert_file("plan-b.txt", "# Budget\none million dollars\n")
+            .unwrap();
         let llis = ContentOnlySource::new(
             "llis",
             vec![(
@@ -344,10 +341,16 @@ mod tests {
             )],
         );
         let mut router = Router::new();
-        router.register_source(Arc::new(NetmarkSource::new("ames", nm1))).unwrap();
-        router.register_source(Arc::new(NetmarkSource::new("jsc", nm2))).unwrap();
+        router
+            .register_source(Arc::new(NetmarkSource::new("ames", nm1)))
+            .unwrap();
+        router
+            .register_source(Arc::new(NetmarkSource::new("jsc", nm2)))
+            .unwrap();
         router.register_source(Arc::new(llis)).unwrap();
-        router.define_databank("apps", &["ames", "jsc", "llis"]).unwrap();
+        router
+            .define_databank("apps", &["ames", "jsc", "llis"])
+            .unwrap();
         (router, vec![d1, d2])
     }
 
@@ -378,7 +381,12 @@ mod tests {
         let fr = router
             .query("apps", &XdbQuery::context_content("Title", "Engine"))
             .unwrap();
-        let llis_hits: Vec<_> = fr.results.hits.iter().filter(|h| h.source == "llis").collect();
+        let llis_hits: Vec<_> = fr
+            .results
+            .hits
+            .iter()
+            .filter(|h| h.source == "llis")
+            .collect();
         assert_eq!(llis_hits.len(), 1);
         assert_eq!(llis_hits[0].context, "Title");
         assert!(llis_hits[0].content_text().contains("Engine anomaly"));
@@ -401,7 +409,9 @@ mod tests {
         let (nm2, d2) = temp_nm("deg-b");
         nm2.insert_file("q.txt", "# Budget\nmore money\n").unwrap();
         let mut router = Router::new();
-        router.register_source(Arc::new(NetmarkSource::new("up", nm1))).unwrap();
+        router
+            .register_source(Arc::new(NetmarkSource::new("up", nm1)))
+            .unwrap();
         router
             .register_source(Arc::new(FlakySource::down(NetmarkSource::new("down", nm2))))
             .unwrap();

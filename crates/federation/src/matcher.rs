@@ -41,14 +41,13 @@ fn collect(node: &Node, out: &mut Vec<Section>) {
                 content_parts.push(node.children[j].clone());
                 j += 1;
             }
-            let content =
-                if content_parts.len() == 1 && content_parts[0].name == "Content" {
-                    content_parts.into_iter().next().expect("len checked")
-                } else {
-                    let mut c = Node::element("Content");
-                    c.children = content_parts;
-                    c
-                };
+            let content = if content_parts.len() == 1 && content_parts[0].name == "Content" {
+                content_parts.into_iter().next().expect("len checked")
+            } else {
+                let mut c = Node::element("Content");
+                c.children = content_parts;
+                c
+            };
             // Outer section first (its heading precedes any nested one),
             // then recurse into the span for nested contexts.
             out.push(Section { label, content });

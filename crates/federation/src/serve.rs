@@ -51,11 +51,7 @@ impl Drop for FederatedServerHandle {
 }
 
 /// Dispatches one request against the router (+ optional local engine).
-pub fn handle_federated(
-    router: &Router,
-    local: Option<&NetMark>,
-    req: &Request,
-) -> Response {
+pub fn handle_federated(router: &Router, local: Option<&NetMark>, req: &Request) -> Response {
     if req.method == "GET" && req.path == "/xdb" {
         let qs = req.query.as_deref().unwrap_or("");
         match XdbQuery::parse(qs) {
@@ -134,10 +130,14 @@ mod tests {
         let base = std::env::temp_dir().join(format!("netmark-fsrv-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&base);
         let nm = Arc::new(NetMark::open(&base.join("local")).unwrap());
-        nm.insert_file("local.txt", "# Budget\nlocal money\n").unwrap();
+        nm.insert_file("local.txt", "# Budget\nlocal money\n")
+            .unwrap();
         let llis = ContentOnlySource::new(
             "llis",
-            vec![("remote.txt".to_string(), "# Budget\nremote money\n".to_string())],
+            vec![(
+                "remote.txt".to_string(),
+                "# Budget\nremote money\n".to_string(),
+            )],
         );
         let mut router = Router::new();
         router

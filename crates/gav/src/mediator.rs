@@ -140,10 +140,9 @@ impl Mediator {
             return err(format!("view {} already defined", view.name));
         }
         for m in &view.mappings {
-            let src = self
-                .sources
-                .get(&m.source)
-                .ok_or_else(|| GavError(format!("mapping references unknown source {}", m.source)))?;
+            let src = self.sources.get(&m.source).ok_or_else(|| {
+                GavError(format!("mapping references unknown source {}", m.source))
+            })?;
             let rel = src.relation(&m.relation).ok_or_else(|| {
                 GavError(format!(
                     "mapping references unknown relation {}.{}",
@@ -209,8 +208,7 @@ impl Mediator {
                 if m.source == source && m.relation == relation {
                     m.relation = new_name.clone();
                     for slot in m.projection.iter_mut().flatten() {
-                        if let Some((_, to)) =
-                            column_renames.iter().find(|(from, _)| from == slot)
+                        if let Some((_, to)) = column_renames.iter().find(|(from, _)| from == slot)
                         {
                             *slot = to.to_string();
                         }
@@ -357,8 +355,7 @@ mod tests {
         )
         .unwrap();
         med.register_source(
-            Source::new("kennedy")
-                .with_relation(RelationSchema::new("people", &["who", "grade"])),
+            Source::new("kennedy").with_relation(RelationSchema::new("people", &["who", "grade"])),
         )
         .unwrap();
         med.load_rows(
@@ -502,10 +499,8 @@ mod tests {
     #[test]
     fn definition_errors() {
         let mut med = Mediator::new();
-        med.register_source(
-            Source::new("s").with_relation(RelationSchema::new("r", &["a"])),
-        )
-        .unwrap();
+        med.register_source(Source::new("s").with_relation(RelationSchema::new("r", &["a"])))
+            .unwrap();
         assert!(med.register_source(Source::new("s")).is_err());
         assert!(med.load_rows("nope", "r", vec![]).is_err());
         assert!(med.load_rows("s", "nope", vec![]).is_err());

@@ -131,7 +131,10 @@ impl Source {
 
     /// Loads rows into a relation (appends).
     pub fn load(&mut self, relation: &str, rows: Vec<GRow>) {
-        self.data.entry(relation.to_string()).or_default().extend(rows);
+        self.data
+            .entry(relation.to_string())
+            .or_default()
+            .extend(rows);
     }
 
     /// Rows of a relation.
@@ -197,9 +200,7 @@ impl Predicate {
             CmpOp::Gt => ord == Some(Ordering::Greater),
             CmpOp::Ge => matches!(ord, Some(Ordering::Greater | Ordering::Equal)),
             CmpOp::Contains => match (v, &self.value) {
-                (GValue::Text(a), GValue::Text(b)) => {
-                    a.to_lowercase().contains(&b.to_lowercase())
-                }
+                (GValue::Text(a), GValue::Text(b)) => a.to_lowercase().contains(&b.to_lowercase()),
                 _ => false,
             },
         }
@@ -212,14 +213,9 @@ mod tests {
 
     #[test]
     fn source_schema_and_data() {
-        let mut s = Source::new("ames").with_relation(RelationSchema::new(
-            "personnel",
-            &["name", "rating"],
-        ));
-        s.load(
-            "personnel",
-            vec![vec!["ada".into(), "excellent".into()]],
-        );
+        let mut s = Source::new("ames")
+            .with_relation(RelationSchema::new("personnel", &["name", "rating"]));
+        s.load("personnel", vec![vec!["ada".into(), "excellent".into()]]);
         assert_eq!(s.relation("personnel").unwrap().position("rating"), Some(1));
         assert_eq!(s.rows("personnel").len(), 1);
         assert!(s.rows("missing").is_empty());

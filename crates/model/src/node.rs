@@ -267,9 +267,7 @@ impl Node {
         }
         out.push('>');
         // Compact single-text-child form even when pretty-printing.
-        if indent.is_some()
-            && self.children.len() == 1
-            && self.children[0].ntype == NodeType::Text
+        if indent.is_some() && self.children.len() == 1 && self.children[0].ntype == NodeType::Text
         {
             out.push_str(&escape_text(&self.children[0].text));
             out.push_str("</");

@@ -20,6 +20,7 @@ use crate::disk::FileId;
 use crate::error::{Result, StoreError};
 use crate::page::{PageType, SlottedPage, SlottedPageRef, PAGE_SIZE};
 use crate::tuple::{read_varint, write_varint};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 /// Largest key+value a single cell may hold; beyond this the page math
@@ -35,6 +36,17 @@ fn leaf_cell(key: &[u8], val: &[u8]) -> Vec<u8> {
     write_varint(&mut c, val.len() as u64);
     c.extend_from_slice(val);
     c
+}
+
+/// Key bytes of a leaf cell, borrowed in place (no copy).
+fn leaf_cell_key(cell: &[u8]) -> Result<&[u8]> {
+    let mut pos = 0usize;
+    let klen = read_varint(cell, &mut pos)? as usize;
+    let kend = pos + klen;
+    if kend > cell.len() {
+        return Err(StoreError::Corrupt("leaf cell key truncated".into()));
+    }
+    Ok(&cell[pos..kend])
 }
 
 fn parse_leaf_cell(cell: &[u8]) -> Result<(Vec<u8>, Vec<u8>)> {
@@ -62,6 +74,19 @@ fn internal_cell(key: &[u8], child: u32) -> Vec<u8> {
     c
 }
 
+/// Borrowed view of an internal cell: `(key, child)` without copying
+/// the key out. Used on comparison-heavy descent paths.
+fn internal_cell_ref(cell: &[u8]) -> Result<(&[u8], u32)> {
+    let mut pos = 0usize;
+    let klen = read_varint(cell, &mut pos)? as usize;
+    let kend = pos + klen;
+    if kend + 4 > cell.len() {
+        return Err(StoreError::Corrupt("internal cell truncated".into()));
+    }
+    let child = u32::from_le_bytes(cell[kend..kend + 4].try_into().unwrap());
+    Ok((&cell[pos..kend], child))
+}
+
 fn parse_internal_cell(cell: &[u8]) -> Result<(Vec<u8>, u32)> {
     let mut pos = 0usize;
     let klen = read_varint(cell, &mut pos)? as usize;
@@ -83,12 +108,25 @@ fn cells_size(cells: &[Vec<u8>]) -> usize {
 pub struct BTree {
     pool: Arc<BufferPool>,
     file: FileId,
+    /// Cached root page number (`u32::MAX` = not yet read from the meta
+    /// page). The tree is the only writer of its meta page, so the cache
+    /// is kept coherent by [`BTree::set_root`].
+    root_cache: AtomicU32,
+    /// Append hint: the rightmost leaf, if the last insert landed there
+    /// (`u32::MAX` = none). Monotonic keys (ROWID- and ID-ordered indexes)
+    /// then skip the descent entirely. Any split clears it.
+    append_hint: AtomicU32,
 }
 
 impl BTree {
     /// Opens (initializing if empty) the tree in `file`.
     pub fn open(pool: Arc<BufferPool>, file: FileId) -> Result<BTree> {
-        let t = BTree { pool, file };
+        let t = BTree {
+            pool,
+            file,
+            root_cache: AtomicU32::new(u32::MAX),
+            append_hint: AtomicU32::new(u32::MAX),
+        };
         if t.pool.file_manager().page_count(file) == 0 {
             // Meta page + empty root leaf.
             let (meta_no, meta) = t.pool.allocate(file)?;
@@ -111,15 +149,22 @@ impl BTree {
     }
 
     fn root(&self) -> Result<u32> {
+        let cached = self.root_cache.load(Ordering::Relaxed);
+        if cached != u32::MAX {
+            return Ok(cached);
+        }
         let g = self.pool.fetch(self.file, META_PAGE)?;
         let data = g.read();
-        Ok(SlottedPageRef::new(&data).aux())
+        let root = SlottedPageRef::new(&data).aux();
+        self.root_cache.store(root, Ordering::Relaxed);
+        Ok(root)
     }
 
     fn set_root(&self, root: u32) -> Result<()> {
         let g = self.pool.fetch(self.file, META_PAGE)?;
         let mut data = g.write();
         SlottedPage::new(&mut data).set_aux(root);
+        self.root_cache.store(root, Ordering::Relaxed);
         Ok(())
     }
 
@@ -156,6 +201,29 @@ impl BTree {
                 max: MAX_ENTRY,
             });
         }
+        // Append fast path: if the last insert landed on the rightmost
+        // leaf and this key sorts at or after its first key, the key
+        // belongs there too — one page fetch, no descent.
+        let hint = self.append_hint.load(Ordering::Relaxed);
+        if hint != u32::MAX {
+            match self.try_hint_insert(hint, key, val)? {
+                Some(true) => return Ok(()),
+                Some(false) => {} // leaf full: fall through and split
+                None => {}        // key not covered by the hint leaf
+            }
+        }
+        // Fast path: descend without materializing pages and splice the
+        // cell into the leaf in place. Only a full leaf (split required)
+        // falls through to the rewrite path below.
+        let (leaf, rightmost) = self.find_leaf_for_insert(key)?;
+        if self.try_leaf_insert(leaf, key, val)? {
+            if rightmost {
+                self.append_hint.store(leaf, Ordering::Relaxed);
+            }
+            return Ok(());
+        }
+        // Split required: the hint leaf may stop being rightmost.
+        self.append_hint.store(u32::MAX, Ordering::Relaxed);
         let root = self.root()?;
         if let Some((sep, right)) = self.insert_rec(root, key, val)? {
             // Root split: create a new internal root.
@@ -169,6 +237,65 @@ impl BTree {
             self.set_root(new_root)?;
         }
         Ok(())
+    }
+
+    /// In-place leaf insert: binary-searches the slot directory directly
+    /// (cells are kept in sorted slot order) and shifts the directory to
+    /// splice the new cell in, touching none of the other cells. Returns
+    /// `false` when the leaf has no room.
+    fn try_leaf_insert(&self, leaf: u32, key: &[u8], val: &[u8]) -> Result<bool> {
+        let g = self.pool.fetch(self.file, leaf)?;
+        self.leaf_insert_in(&g, key, val)
+    }
+
+    /// Probes the append-hint leaf. `None`: the key does not provably
+    /// belong to this leaf (caller descends). `Some(done)`: the key
+    /// belongs here; `done` is false when the leaf is full (caller splits).
+    fn try_hint_insert(&self, leaf: u32, key: &[u8], val: &[u8]) -> Result<Option<bool>> {
+        let g = self.pool.fetch(self.file, leaf)?;
+        {
+            let data = g.read();
+            let sp = SlottedPageRef::new(&data);
+            if sp.page_type() != PageType::BtreeLeaf || sp.slot_count() == 0 {
+                return Ok(None);
+            }
+            let first = sp
+                .get(0)
+                .ok_or_else(|| StoreError::Corrupt("btree slot gap".into()))?;
+            // The hint leaf is rightmost, so covering the lower bound is
+            // enough to place the key here.
+            if leaf_cell_key(first)? > key {
+                return Ok(None);
+            }
+        }
+        self.leaf_insert_in(&g, key, val).map(Some)
+    }
+
+    fn leaf_insert_in(&self, g: &crate::buffer::PageGuard, key: &[u8], val: &[u8]) -> Result<bool> {
+        let mut data = g.write();
+        let mut sp = SlottedPage::new(&mut data);
+        let n = sp.slot_count();
+        let (mut lo, mut hi) = (0u16, n);
+        let mut existing = None;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let cell = sp
+                .get(mid)
+                .ok_or_else(|| StoreError::Corrupt("btree slot gap".into()))?;
+            match leaf_cell_key(cell)?.cmp(key) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => {
+                    existing = Some(mid);
+                    break;
+                }
+            }
+        }
+        let cell = leaf_cell(key, val);
+        Ok(match existing {
+            Some(slot) => sp.update(slot, &cell),
+            None => sp.insert_sorted(lo, &cell),
+        })
     }
 
     fn insert_rec(&self, page: u32, key: &[u8], val: &[u8]) -> Result<Option<(Vec<u8>, u32)>> {
@@ -236,14 +363,19 @@ impl BTree {
 
     /// Picks the child for `key`: returns `(separator index descended
     /// through, child page)`, where index `None` means the leftmost child.
-    fn descend(&self, cells: &[Vec<u8>], leftmost: u32, key: &[u8]) -> Result<(Option<usize>, u32)> {
+    fn descend(
+        &self,
+        cells: &[Vec<u8>],
+        leftmost: u32,
+        key: &[u8],
+    ) -> Result<(Option<usize>, u32)> {
         let mut lo = 0usize;
         let mut hi = cells.len();
         // Find the last separator <= key.
         while lo < hi {
             let mid = (lo + hi) / 2;
-            let (sep, _) = parse_internal_cell(&cells[mid])?;
-            if sep.as_slice() <= key {
+            let (sep, _) = internal_cell_ref(&cells[mid])?;
+            if sep <= key {
                 lo = mid + 1;
             } else {
                 hi = mid;
@@ -252,7 +384,7 @@ impl BTree {
         if lo == 0 {
             Ok((None, leftmost))
         } else {
-            let (_, child) = parse_internal_cell(&cells[lo - 1])?;
+            let (_, child) = internal_cell_ref(&cells[lo - 1])?;
             Ok((Some(lo - 1), child))
         }
     }
@@ -261,13 +393,21 @@ impl BTree {
     /// through [`BTree::store`], which writes cells in sorted slot order,
     /// so slots can be binary-searched in place.
     fn find_leaf(&self, key: &[u8]) -> Result<u32> {
+        Ok(self.find_leaf_for_insert(key)?.0)
+    }
+
+    /// Like [`BTree::find_leaf`], but also reports whether the leaf is the
+    /// rightmost one (the descent took the last child at every level) —
+    /// the condition for installing the append hint.
+    fn find_leaf_for_insert(&self, key: &[u8]) -> Result<(u32, bool)> {
         let mut page = self.root()?;
+        let mut rightmost = true;
         loop {
             let g = self.pool.fetch(self.file, page)?;
             let data = g.read();
             let sp = SlottedPageRef::new(&data);
             match sp.page_type() {
-                PageType::BtreeLeaf => return Ok(page),
+                PageType::BtreeLeaf => return Ok((page, rightmost)),
                 PageType::BtreeInternal => {
                     // Last separator <= key, else the leftmost child.
                     let n = sp.slot_count();
@@ -277,12 +417,15 @@ impl BTree {
                         let cell = sp
                             .get(mid)
                             .ok_or_else(|| StoreError::Corrupt("btree slot gap".into()))?;
-                        let (k, _) = parse_internal_cell(cell)?;
-                        if k.as_slice() <= key {
+                        let (k, _) = internal_cell_ref(cell)?;
+                        if k <= key {
                             lo = mid + 1;
                         } else {
                             hi = mid;
                         }
+                    }
+                    if n > 0 && lo != n {
+                        rightmost = false;
                     }
                     let next = if lo == 0 {
                         sp.aux()
@@ -290,7 +433,7 @@ impl BTree {
                         let cell = sp
                             .get(lo - 1)
                             .ok_or_else(|| StoreError::Corrupt("btree slot gap".into()))?;
-                        parse_internal_cell(cell)?.1
+                        internal_cell_ref(cell)?.1
                     };
                     drop(data);
                     page = next;

@@ -121,9 +121,7 @@ impl Catalog {
         let path = dir.join("catalog.nmk");
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                return Ok(Catalog::default())
-            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Catalog::default()),
             Err(e) => return Err(e.into()),
         };
         let mut cat = Catalog::default();
@@ -134,9 +132,8 @@ impl Catalog {
             }
             let mut parts = line.split_whitespace();
             let kind = parts.next().unwrap_or("");
-            let bad = |what: &str| {
-                StoreError::Corrupt(format!("catalog line {}: {what}", lineno + 1))
-            };
+            let bad =
+                |what: &str| StoreError::Corrupt(format!("catalog line {}: {what}", lineno + 1));
             match kind {
                 "lastlsn" => {
                     cat.last_lsn = parts
@@ -159,9 +156,7 @@ impl Catalog {
                     let name = unesc(parts.next().ok_or_else(|| bad("missing table name"))?);
                     let mut columns = Vec::new();
                     for col in parts {
-                        let (n, t) = col
-                            .rsplit_once(':')
-                            .ok_or_else(|| bad("bad column spec"))?;
+                        let (n, t) = col.rsplit_once(':').ok_or_else(|| bad("bad column spec"))?;
                         columns.push(Column {
                             name: unesc(n),
                             ctype: parse_ctype(t)?,
@@ -350,10 +345,7 @@ mod tests {
         cat.save(&dir).unwrap();
         let loaded = Catalog::load(&dir).unwrap();
         assert!(loaded.tables.contains_key("weird: name%"));
-        assert_eq!(
-            loaded.tables["weird: name%"].schema.columns[0].name,
-            "a b"
-        );
+        assert_eq!(loaded.tables["weird: name%"].schema.columns[0].name, "a b");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -11,21 +11,22 @@
 //! (flushing index pages with everything else); after a crash the WAL is
 //! non-empty and every index is rebuilt from its table's heap.
 
+use crate::btree::BTree;
 use crate::buffer::{BufferPool, PoolStats};
 use crate::catalog::{Catalog, IndexMeta, TableMeta};
-use crate::disk::FileManager;
+use crate::disk::{FileId, FileManager};
 use crate::error::{Result, StoreError};
 use crate::heap::{HeapFile, HeapOp};
-use crate::btree::BTree;
 use crate::keyenc;
 use crate::tuple::{decode_row, encode_row, Row, Schema, Value};
-use crate::wal::{ObjectId, TxId, Wal, WalRecord};
+use crate::wal::{ObjectId, TxId, Wal, WalRecord, WalStats};
 use crate::RowId;
 use parking_lot::{Mutex, MutexGuard, RwLock};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Tuning knobs for [`Database::open_with`].
 #[derive(Debug, Clone)]
@@ -35,6 +36,15 @@ pub struct DbOptions {
     /// Fsync the WAL on every commit (durability) or only at checkpoints
     /// (throughput; used by benchmarks).
     pub sync_commits: bool,
+    /// Group commit: with `sync_commits`, commits landing within this
+    /// window of the last WAL fsync share the next one instead of each
+    /// issuing their own. Zero (the default) fsyncs every commit. A commit
+    /// is durable at latest when the window closes at a later commit, a
+    /// checkpoint, [`Database::sync_wal`], or shutdown; a crash can lose at
+    /// most the commits of one window, always atomically (the redo-only
+    /// recovery contract is unchanged — a commit record either reached disk
+    /// or the whole transaction is ignored).
+    pub group_commit_window: Duration,
     /// Checkpoint automatically once the WAL exceeds this many bytes.
     pub checkpoint_wal_bytes: u64,
 }
@@ -44,16 +54,58 @@ impl Default for DbOptions {
         DbOptions {
             pool_pages: 2048, // 16 MiB
             sync_commits: true,
+            group_commit_window: Duration::ZERO,
             checkpoint_wal_bytes: 32 << 20,
         }
+    }
+}
+
+/// An open index: catalog entry, B-tree, and the schema positions of its
+/// key columns, resolved once at open so per-row key building never does a
+/// by-name column lookup.
+struct IndexEntry {
+    meta: IndexMeta,
+    tree: Arc<BTree>,
+    positions: Vec<usize>,
+}
+
+impl IndexEntry {
+    fn new(meta: IndexMeta, tree: Arc<BTree>, schema: &Schema) -> Result<IndexEntry> {
+        let positions = meta
+            .key_columns
+            .iter()
+            .map(|col| {
+                schema
+                    .position(col)
+                    .ok_or_else(|| StoreError::Invalid(format!("index column {col} missing")))
+            })
+            .collect::<Result<Vec<usize>>>()?;
+        Ok(IndexEntry {
+            meta,
+            tree,
+            positions,
+        })
+    }
+
+    /// Builds the memcomparable key for `row`, appending the RowId for
+    /// non-unique indexes.
+    fn key(&self, row: &Row, rid: RowId) -> Vec<u8> {
+        let mut key = Vec::with_capacity(self.positions.len() * 12 + 6);
+        for &p in &self.positions {
+            keyenc::encode_value(&mut key, row.get(p).unwrap_or(&Value::Null));
+        }
+        if !self.meta.unique {
+            keyenc::append_rowid(&mut key, rid);
+        }
+        key
     }
 }
 
 struct TableInner {
     meta: TableMeta,
     heap: HeapFile,
-    /// `(meta, open tree)` for every index on this table.
-    indexes: RwLock<Vec<(IndexMeta, Arc<BTree>)>>,
+    /// Every open index on this table.
+    indexes: RwLock<Vec<IndexEntry>>,
 }
 
 struct DbInner {
@@ -65,6 +117,14 @@ struct DbInner {
     write_lock: Mutex<()>,
     next_tx: AtomicU64,
     opts: DbOptions,
+}
+
+impl Drop for DbInner {
+    fn drop(&mut self) {
+        // Clean shutdown flushes commits still inside the group-commit
+        // window; only an actual crash can lose them.
+        let _ = self.wal.get_mut().sync();
+    }
 }
 
 /// An open database directory.
@@ -132,6 +192,17 @@ impl Database {
         self.inner.pool.stats()
     }
 
+    /// WAL commit/fsync counters (group-commit instrumentation).
+    pub fn wal_stats(&self) -> WalStats {
+        self.inner.wal.lock().stats()
+    }
+
+    /// Durably flushes any commits whose fsync was deferred by the
+    /// group-commit window.
+    pub fn sync_wal(&self) -> Result<()> {
+        self.inner.wal.lock().sync()
+    }
+
     fn open_table(&self, name: &str) -> Result<Arc<TableInner>> {
         if let Some(t) = self.inner.tables.read().get(name) {
             return Ok(Arc::clone(t));
@@ -148,7 +219,7 @@ impl Database {
         for im in cat.indexes_of(name) {
             let f = self.inner.fm.open_file(&index_file(im.id))?;
             let tree = BTree::open(Arc::clone(&self.inner.pool), f)?;
-            indexes.push((im.clone(), Arc::new(tree)));
+            indexes.push(IndexEntry::new(im.clone(), Arc::new(tree), &meta.schema)?);
         }
         drop(cat);
         let t = Arc::new(TableInner {
@@ -242,13 +313,14 @@ impl Database {
         };
         let f = self.inner.fm.open_file(&index_file(meta.id))?;
         let tree = Arc::new(BTree::open(Arc::clone(&self.inner.pool), f)?);
+        let entry = IndexEntry::new(meta, tree, &t.meta.schema)?;
         // Backfill from existing rows.
         for (rid, bytes) in t.heap.scan()? {
             let row = decode_row(&bytes)?;
-            let key = index_key(&t.meta.schema, &meta, &row, rid)?;
-            tree.insert(&key, &rowid_bytes(rid))?;
+            let key = entry.key(&row, rid);
+            entry.tree.insert(&key, &rowid_bytes(rid))?;
         }
-        t.indexes.write().push((meta, tree));
+        t.indexes.write().push(entry);
         Ok(())
     }
 
@@ -262,6 +334,7 @@ impl Database {
             _guard: guard,
             tx,
             ops: Vec::new(),
+            deferred: Vec::new(),
             began: false,
             finished: false,
         }
@@ -313,7 +386,11 @@ impl Database {
                     ..
                 } if committed.contains(tx) => (*obj, *page, *slot, Some(new.clone())),
                 WalRecord::Delete {
-                    tx, obj, page, slot, ..
+                    tx,
+                    obj,
+                    page,
+                    slot,
+                    ..
                 } if committed.contains(tx) => (*obj, *page, *slot, None),
                 _ => continue,
             };
@@ -337,8 +414,7 @@ impl Database {
         let names = self.table_names();
         for name in names {
             let t = self.open_table(&name)?;
-            let metas: Vec<IndexMeta> =
-                t.indexes.read().iter().map(|(m, _)| m.clone()).collect();
+            let metas: Vec<IndexMeta> = t.indexes.read().iter().map(|e| e.meta.clone()).collect();
             let mut rebuilt = Vec::new();
             for m in metas {
                 let fname = index_file(m.id);
@@ -346,12 +422,13 @@ impl Database {
                 self.inner.pool.discard_file(f);
                 self.inner.fm.truncate(f)?;
                 let tree = Arc::new(BTree::open(Arc::clone(&self.inner.pool), f)?);
+                let entry = IndexEntry::new(m, tree, &t.meta.schema)?;
                 for (rid, bytes) in t.heap.scan()? {
                     let row = decode_row(&bytes)?;
-                    let key = index_key(&t.meta.schema, &m, &row, rid)?;
-                    tree.insert(&key, &rowid_bytes(rid))?;
+                    let key = entry.key(&row, rid);
+                    entry.tree.insert(&key, &rowid_bytes(rid))?;
                 }
-                rebuilt.push((m, tree));
+                rebuilt.push(entry);
             }
             *t.indexes.write() = rebuilt;
         }
@@ -376,23 +453,6 @@ fn rowid_from_bytes(b: &[u8]) -> Result<RowId> {
     })
 }
 
-/// Builds the memcomparable index key for `row` under `meta`, appending the
-/// RowId for non-unique indexes.
-fn index_key(schema: &Schema, meta: &IndexMeta, row: &Row, rid: RowId) -> Result<Vec<u8>> {
-    let mut vals: Vec<Value> = Vec::with_capacity(meta.key_columns.len());
-    for col in &meta.key_columns {
-        let pos = schema
-            .position(col)
-            .ok_or_else(|| StoreError::Invalid(format!("index column {col} missing")))?;
-        vals.push(row.get(pos).cloned().unwrap_or(Value::Null));
-    }
-    let mut key = keyenc::encode_key(&vals);
-    if !meta.unique {
-        keyenc::append_rowid(&mut key, rid);
-    }
-    Ok(key)
-}
-
 enum TxOp {
     Heap(ObjectId, HeapOp),
     IndexInsert {
@@ -413,6 +473,10 @@ pub struct Txn<'a> {
     _guard: MutexGuard<'a, ()>,
     tx: TxId,
     ops: Vec<TxOp>,
+    /// Indexes into `ops` of heap inserts whose WAL records are queued
+    /// (not yet appended), plus the file that backs each one. Sorted,
+    /// because tokens are `ops.len()` at push time.
+    deferred: Vec<(usize, FileId)>,
     began: bool,
     finished: bool,
 }
@@ -423,30 +487,49 @@ impl<'a> Txn<'a> {
             return Err(StoreError::TxnFinished);
         }
         if !self.began {
-            self.db.wal.lock().append(&WalRecord::Begin { tx: self.tx })?;
+            self.db
+                .wal
+                .lock()
+                .append(&WalRecord::Begin { tx: self.tx })?;
             self.began = true;
         }
         Ok(())
     }
 
-    fn log_heap(&mut self, obj: ObjectId, op: &HeapOp) -> Result<()> {
+    fn log_heap(&mut self, table: &Table, op: &HeapOp) -> Result<()> {
+        Self::log_heap_raw(
+            self.db,
+            self.tx,
+            table.t.meta.id,
+            table.t.heap.file_id(),
+            op,
+        )
+    }
+
+    fn log_heap_raw(
+        db: &DbInner,
+        tx: TxId,
+        obj: ObjectId,
+        file: FileId,
+        op: &HeapOp,
+    ) -> Result<()> {
         let rec = match op {
             HeapOp::Insert { rid, cell } => WalRecord::Insert {
-                tx: self.tx,
+                tx,
                 obj,
                 page: rid.page,
                 slot: rid.slot,
                 data: cell.clone(),
             },
             HeapOp::Delete { rid, old } => WalRecord::Delete {
-                tx: self.tx,
+                tx,
                 obj,
                 page: rid.page,
                 slot: rid.slot,
                 old: old.clone(),
             },
             HeapOp::Update { rid, old, new } => WalRecord::Update {
-                tx: self.tx,
+                tx,
                 obj,
                 page: rid.page,
                 slot: rid.slot,
@@ -454,25 +537,13 @@ impl<'a> Txn<'a> {
                 new: new.clone(),
             },
         };
-        let lsn = self.db.wal.lock().append(&rec)?;
+        let lsn = db.wal.lock().append(&rec)?;
         // Stamp the page so redo is idempotent.
-        {
-            let (HeapOp::Insert { rid, .. }
-            | HeapOp::Delete { rid, .. }
-            | HeapOp::Update { rid, .. }) = op;
-            if let Some(t) = self
-                .db
-                .catalog
-                .read()
-                .table_by_id(obj)
-                .map(|m| m.name.clone())
-                .and_then(|n| self.db.tables.read().get(&n).cloned())
-            {
-                let guard = self.db.pool.fetch(t.heap.file_id(), rid.page)?;
-                let mut data = guard.write();
-                crate::page::SlottedPage::new(&mut data).set_lsn(lsn);
-            }
-        }
+        let (HeapOp::Insert { rid, .. } | HeapOp::Delete { rid, .. } | HeapOp::Update { rid, .. }) =
+            op;
+        let guard = db.pool.fetch(file, rid.page)?;
+        let mut data = guard.write();
+        crate::page::SlottedPage::new(&mut data).set_lsn(lsn);
         Ok(())
     }
 
@@ -480,31 +551,124 @@ impl<'a> Txn<'a> {
     pub fn insert(&mut self, table: &Table, row: &Row) -> Result<RowId> {
         self.ensure_begun()?;
         // Unique index pre-checks.
-        for (im, tree) in table.t.indexes.read().iter() {
-            if im.unique {
-                let key = index_key(&table.t.meta.schema, im, row, RowId::ZERO)?;
-                if tree.get(&key)?.is_some() {
+        for e in table.t.indexes.read().iter() {
+            if e.meta.unique {
+                let key = e.key(row, RowId::ZERO);
+                if e.tree.get(&key)?.is_some() {
                     return Err(StoreError::Invalid(format!(
                         "unique index {} violated",
-                        im.name
+                        e.meta.name
                     )));
                 }
             }
         }
+        self.insert_no_check(table, row)
+    }
+
+    /// Inserts `row` without unique-index pre-checks. For bulk loads where
+    /// the caller guarantees freshly allocated keys (e.g. monotonically
+    /// assigned node ids): skips one B-tree probe per unique index per row.
+    /// A violated guarantee silently shadows the older row in the unique
+    /// index instead of erroring, so this is deliberately not the default
+    /// path.
+    pub fn insert_unchecked(&mut self, table: &Table, row: &Row) -> Result<RowId> {
+        self.ensure_begun()?;
+        self.insert_no_check(table, row)
+    }
+
+    fn insert_no_check(&mut self, table: &Table, row: &Row) -> Result<RowId> {
         let mut bytes = Vec::with_capacity(64);
         encode_row(row, &mut bytes);
         let (rid, op) = table.t.heap.insert(&bytes)?;
-        self.log_heap(table.t.meta.id, &op)?;
+        self.log_heap(table, &op)?;
         self.ops.push(TxOp::Heap(table.t.meta.id, op));
-        for (im, tree) in table.t.indexes.read().iter() {
-            let key = index_key(&table.t.meta.schema, im, row, rid)?;
-            tree.insert(&key, &rowid_bytes(rid))?;
+        for e in table.t.indexes.read().iter() {
+            let key = e.key(row, rid);
+            e.tree.insert(&key, &rowid_bytes(rid))?;
             self.ops.push(TxOp::IndexInsert {
-                tree: Arc::clone(tree),
+                tree: Arc::clone(&e.tree),
                 key,
             });
         }
         Ok(rid)
+    }
+
+    /// [`Txn::insert_unchecked`] with the WAL record queued instead of
+    /// appended. The heap and index writes happen immediately (the row is
+    /// placed, visible, and abortable), but until [`Txn::flush_deferred`]
+    /// runs the caller may rewrite same-size columns in place with
+    /// [`Txn::patch_deferred`] — so bulk ingest can resolve forward
+    /// pointers (sibling/child rowids) without a second heap update and
+    /// WAL record per row. Returns the RowId and a token for patching.
+    /// Commit flushes any remaining deferred records automatically.
+    pub fn insert_unchecked_deferred(
+        &mut self,
+        table: &Table,
+        row: &Row,
+    ) -> Result<(RowId, usize)> {
+        self.ensure_begun()?;
+        let mut bytes = Vec::with_capacity(64);
+        encode_row(row, &mut bytes);
+        let (rid, op) = table.t.heap.insert(&bytes)?;
+        let token = self.ops.len();
+        self.deferred.push((token, table.t.heap.file_id()));
+        self.ops.push(TxOp::Heap(table.t.meta.id, op));
+        for e in table.t.indexes.read().iter() {
+            let key = e.key(row, rid);
+            e.tree.insert(&key, &rowid_bytes(rid))?;
+            self.ops.push(TxOp::IndexInsert {
+                tree: Arc::clone(&e.tree),
+                key,
+            });
+        }
+        Ok((rid, token))
+    }
+
+    /// Rewrites the full row of a pending deferred insert in place. The
+    /// re-encoded row must be byte-for-byte the same length (pointer
+    /// columns use the fixed-width `Value::Rowid` encoding precisely so
+    /// this holds) and must not change any indexed column. Both the page
+    /// cell and the queued WAL image are updated, so redo replays the
+    /// final bytes.
+    pub fn patch_deferred(&mut self, table: &Table, token: usize, row: &Row) -> Result<()> {
+        if self.finished {
+            return Err(StoreError::TxnFinished);
+        }
+        if self.deferred.binary_search_by_key(&token, |d| d.0).is_err() {
+            return Err(StoreError::Invalid(
+                "patch_deferred: token is not a pending deferred insert".into(),
+            ));
+        }
+        let mut bytes = Vec::with_capacity(64);
+        encode_row(row, &mut bytes);
+        let TxOp::Heap(_, HeapOp::Insert { rid, cell }) = &mut self.ops[token] else {
+            return Err(StoreError::Invalid(
+                "patch_deferred: token does not name an insert".into(),
+            ));
+        };
+        // The heap cell is a 1-byte kind prefix plus the tuple.
+        if cell.len() != bytes.len() + 1 {
+            return Err(StoreError::Invalid(format!(
+                "patch_deferred: row size changed ({} -> {} bytes)",
+                cell.len() - 1,
+                bytes.len()
+            )));
+        }
+        cell.truncate(1);
+        cell.extend_from_slice(&bytes);
+        table.t.heap.patch(*rid, cell)
+    }
+
+    /// Appends the WAL records for all pending deferred inserts, in insert
+    /// order. After this the rows are no longer patchable.
+    pub fn flush_deferred(&mut self) -> Result<()> {
+        for (token, file) in std::mem::take(&mut self.deferred) {
+            let TxOp::Heap(obj, op) = &self.ops[token] else {
+                unreachable!("deferred token always names a heap op");
+            };
+            Self::log_heap_raw(self.db, self.tx, *obj, file, op)?;
+        }
+        Ok(())
     }
 
     /// Deletes the row at `rid` from `table`.
@@ -512,14 +676,14 @@ impl<'a> Txn<'a> {
         self.ensure_begun()?;
         let old_row = table.get(rid)?;
         for op in table.t.heap.delete(rid)? {
-            self.log_heap(table.t.meta.id, &op)?;
+            self.log_heap(table, &op)?;
             self.ops.push(TxOp::Heap(table.t.meta.id, op));
         }
-        for (im, tree) in table.t.indexes.read().iter() {
-            let key = index_key(&table.t.meta.schema, im, &old_row, rid)?;
-            tree.delete(&key)?;
+        for e in table.t.indexes.read().iter() {
+            let key = e.key(&old_row, rid);
+            e.tree.delete(&key)?;
             self.ops.push(TxOp::IndexDelete {
-                tree: Arc::clone(tree),
+                tree: Arc::clone(&e.tree),
                 key,
                 val: rowid_bytes(rid).to_vec(),
             });
@@ -534,25 +698,57 @@ impl<'a> Txn<'a> {
         let mut bytes = Vec::with_capacity(64);
         encode_row(row, &mut bytes);
         for op in table.t.heap.update(rid, &bytes)? {
-            self.log_heap(table.t.meta.id, &op)?;
+            self.log_heap(table, &op)?;
             self.ops.push(TxOp::Heap(table.t.meta.id, op));
         }
-        for (im, tree) in table.t.indexes.read().iter() {
-            let old_key = index_key(&table.t.meta.schema, im, &old_row, rid)?;
-            let new_key = index_key(&table.t.meta.schema, im, row, rid)?;
+        for e in table.t.indexes.read().iter() {
+            let old_key = e.key(&old_row, rid);
+            let new_key = e.key(row, rid);
             if old_key != new_key {
-                tree.delete(&old_key)?;
+                e.tree.delete(&old_key)?;
                 self.ops.push(TxOp::IndexDelete {
-                    tree: Arc::clone(tree),
+                    tree: Arc::clone(&e.tree),
                     key: old_key,
                     val: rowid_bytes(rid).to_vec(),
                 });
-                tree.insert(&new_key, &rowid_bytes(rid))?;
+                e.tree.insert(&new_key, &rowid_bytes(rid))?;
                 self.ops.push(TxOp::IndexInsert {
-                    tree: Arc::clone(tree),
+                    tree: Arc::clone(&e.tree),
                     key: new_key,
                 });
             }
+        }
+        Ok(())
+    }
+
+    /// Replaces the row at `rid` when the caller knows exactly which column
+    /// positions changed (e.g. pointer fix-ups during bulk ingest). Indexes
+    /// whose keys involve none of the changed columns are untouched, and
+    /// when no index is affected the old row is never fetched or decoded —
+    /// the heap keeps its own undo copy. Falls back to [`Txn::update`] if
+    /// any index key overlaps `changed`.
+    pub fn update_columns(
+        &mut self,
+        table: &Table,
+        rid: RowId,
+        row: &Row,
+        changed: &[usize],
+    ) -> Result<()> {
+        let affects_index = table
+            .t
+            .indexes
+            .read()
+            .iter()
+            .any(|e| e.positions.iter().any(|p| changed.contains(p)));
+        if affects_index {
+            return self.update(table, rid, row);
+        }
+        self.ensure_begun()?;
+        let mut bytes = Vec::with_capacity(64);
+        encode_row(row, &mut bytes);
+        for op in table.t.heap.update(rid, &bytes)? {
+            self.log_heap(table, &op)?;
+            self.ops.push(TxOp::Heap(table.t.meta.id, op));
         }
         Ok(())
     }
@@ -562,12 +758,13 @@ impl<'a> Txn<'a> {
         if self.finished {
             return Err(StoreError::TxnFinished);
         }
+        self.flush_deferred()?;
         self.finished = true;
         if self.began {
             let mut wal = self.db.wal.lock();
             wal.append(&WalRecord::Commit { tx: self.tx })?;
             if self.db.opts.sync_commits {
-                wal.sync()?;
+                wal.sync_within(self.db.opts.group_commit_window)?;
             }
             let big = wal.size()? > self.db.opts.checkpoint_wal_bytes;
             drop(wal);
@@ -618,7 +815,10 @@ impl<'a> Txn<'a> {
             }
         }
         if self.began {
-            self.db.wal.lock().append(&WalRecord::Abort { tx: self.tx })?;
+            self.db
+                .wal
+                .lock()
+                .append(&WalRecord::Abort { tx: self.tx })?;
         }
         Ok(())
     }
@@ -707,8 +907,8 @@ impl Table {
             .indexes
             .read()
             .iter()
-            .find(|(m, _)| m.name == name)
-            .map(|(m, t)| (m.clone(), Arc::clone(t)))
+            .find(|e| e.meta.name == name)
+            .map(|e| (e.meta.clone(), Arc::clone(&e.tree)))
             .ok_or_else(|| StoreError::NoSuchObject(name.to_string()))
     }
 
@@ -895,8 +1095,14 @@ mod tests {
         }
         assert_eq!(t.count().unwrap(), 1);
         assert_eq!(t.get(keep).unwrap()[1], Value::from("keep"));
-        assert_eq!(t.index_lookup("by_id", &[Value::Int(1)]).unwrap(), vec![keep]);
-        assert!(t.index_lookup("by_id", &[Value::Int(2)]).unwrap().is_empty());
+        assert_eq!(
+            t.index_lookup("by_id", &[Value::Int(1)]).unwrap(),
+            vec![keep]
+        );
+        assert!(t
+            .index_lookup("by_id", &[Value::Int(2)])
+            .unwrap()
+            .is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

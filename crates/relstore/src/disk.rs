@@ -99,7 +99,11 @@ impl FileManager {
 
     /// Number of allocated pages in `file`.
     pub fn page_count(&self, file: FileId) -> u32 {
-        self.inner.lock().files.get(&file).map_or(0, |f| f.page_count)
+        self.inner
+            .lock()
+            .files
+            .get(&file)
+            .map_or(0, |f| f.page_count)
     }
 
     /// Appends a zeroed page, returning its page number.
@@ -160,10 +164,7 @@ mod tests {
     use super::*;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "netmark-disk-{tag}-{}",
-            std::process::id()
-        ));
+        let d = std::env::temp_dir().join(format!("netmark-disk-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
         d
     }

@@ -146,13 +146,7 @@ impl HeapFile {
         cell.push(KIND_DATA);
         cell.extend_from_slice(tuple);
         let rid = self.insert_cell(&cell)?;
-        Ok((
-            rid,
-            HeapOp::Insert {
-                rid,
-                cell,
-            },
-        ))
+        Ok((rid, HeapOp::Insert { rid, cell }))
     }
 
     fn insert_cell(&self, cell: &[u8]) -> Result<RowId> {
@@ -178,6 +172,20 @@ impl HeapFile {
         drop(data);
         self.fsm.lock().push(free as u32);
         Ok(RowId { page: p, slot })
+    }
+
+    /// Overwrites the raw cell at `rid` in place with a same-length cell.
+    /// Used by the deferred-insert path to fix up pointer columns after
+    /// placement but before the insert is WAL-logged; the free-space map
+    /// is unchanged because the cell does not grow.
+    pub fn patch(&self, rid: RowId, cell: &[u8]) -> Result<()> {
+        let guard = self.pool.fetch(self.file, rid.page)?;
+        let mut data = guard.write();
+        let mut sp = SlottedPage::new(&mut data);
+        if !sp.update(rid.slot, cell) {
+            return Err(StoreError::Corrupt(format!("heap patch failed at {rid:?}")));
+        }
+        Ok(())
     }
 
     /// Follows forwarding cells from `rid` to the cell that actually holds
@@ -232,13 +240,19 @@ impl HeapFile {
             let guard = self.pool.fetch(self.file, cur.page)?;
             let mut data = guard.write();
             let mut sp = SlottedPage::new(&mut data);
-            let cell = sp.get(cur.slot).ok_or(StoreError::RowNotFound(rid))?.to_vec();
+            let cell = sp
+                .get(cur.slot)
+                .ok_or(StoreError::RowNotFound(rid))?
+                .to_vec();
             sp.delete(cur.slot);
             let free = sp.total_free();
             drop(data);
             self.refresh_fsm(cur.page, free);
             let kind = cell[0];
-            ops.push(HeapOp::Delete { rid: cur, old: cell.clone() });
+            ops.push(HeapOp::Delete {
+                rid: cur,
+                old: cell.clone(),
+            });
             if kind == KIND_FORWARD {
                 cur = decode_rowid(&cell[1..])?;
             } else {
@@ -460,9 +474,7 @@ mod tests {
     fn many_inserts_span_pages() {
         let (h, dir) = setup("pages");
         let payload = vec![5u8; 500];
-        let rids: Vec<RowId> = (0..100)
-            .map(|_| h.insert(&payload).unwrap().0)
-            .collect();
+        let rids: Vec<RowId> = (0..100).map(|_| h.insert(&payload).unwrap().0).collect();
         assert!(h.page_count() > 1);
         for rid in &rids {
             assert_eq!(h.get(*rid).unwrap(), payload);

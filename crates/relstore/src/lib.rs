@@ -36,8 +36,8 @@
 
 #![warn(missing_docs)]
 
-pub mod buffer;
 pub mod btree;
+pub mod buffer;
 pub mod catalog;
 pub mod db;
 pub mod disk;
@@ -79,4 +79,4 @@ impl fmt::Display for RowId {
 pub use db::{Database, DbOptions, Table, Txn};
 pub use error::{Result, StoreError};
 pub use tuple::{Column, ColumnType, Row, Schema, Value};
-pub use wal::ObjectId;
+pub use wal::{ObjectId, WalStats};

@@ -13,7 +13,7 @@
 //! 0..2    u16 slot_count
 //! 2..4    u16 free_end       (cells occupy free_end..PAGE_SIZE)
 //! 4..6    u16 page_type      (heap / btree-leaf / btree-internal / meta)
-//! 6..8    u16 reserved
+//! 6..8    u16 dead_bytes     (cell bytes reclaimable by compaction)
 //! 8..16   u64 lsn            (last WAL record applied; redo idempotence)
 //! 16..20  u32 aux            (B-tree: next-leaf page / leftmost child)
 //! 20..    slot directory: per slot { u16 offset, u16 len }
@@ -111,6 +111,23 @@ impl<'a> SlottedPage<'a> {
         self.write_u16(2, v);
     }
 
+    /// Running count of cell bytes reclaimable by [`SlottedPage::compact`]
+    /// (tombstoned cells plus tails leaked by shrinking updates). Kept in
+    /// the header so free-space checks never scan the slot directory.
+    fn dead_bytes(&self) -> u16 {
+        self.read_u16(6)
+    }
+
+    fn add_dead_bytes(&mut self, delta: usize) {
+        let v = self.dead_bytes() as usize + delta;
+        self.write_u16(6, v as u16);
+    }
+
+    fn sub_dead_bytes(&mut self, delta: usize) {
+        let v = (self.dead_bytes() as usize).saturating_sub(delta);
+        self.write_u16(6, v as u16);
+    }
+
     /// This page's [`PageType`].
     pub fn page_type(&self) -> PageType {
         PageType::from_u16(self.read_u16(4))
@@ -165,14 +182,7 @@ impl<'a> SlottedPage<'a> {
 
     /// Total reclaimable free bytes (contiguous + dead-cell space).
     pub fn total_free(&self) -> usize {
-        let mut dead = 0usize;
-        for s in 0..self.slot_count() {
-            let (off, len) = self.slot_at(s);
-            if off == DEAD_SLOT {
-                dead += len as usize;
-            }
-        }
-        self.contiguous_free() + dead
+        self.contiguous_free() + self.dead_bytes() as usize
     }
 
     /// True if the slot exists and holds a live cell.
@@ -196,18 +206,15 @@ impl<'a> SlottedPage<'a> {
         (0..self.slot_count()).find(|&s| self.slot_at(s).0 == DEAD_SLOT)
     }
 
-    /// Bytes an insert of `len` needs in the worst case (cell + maybe a new
-    /// directory entry).
+    /// Bytes an insert of `len` needs in the worst case (cell + a new
+    /// directory entry; a dead-slot reuse may need less).
     pub fn space_needed(&self, len: usize) -> usize {
-        if self.find_dead_slot().is_some() {
-            len
-        } else {
-            len + SLOT_SIZE
-        }
+        len + SLOT_SIZE
     }
 
     /// Whether a cell of `len` bytes can be inserted (possibly after
-    /// compaction).
+    /// compaction). Conservative: ignores dead-slot reuse, so a `true`
+    /// here always holds and stays O(1).
     pub fn can_insert(&self, len: usize) -> bool {
         self.space_needed(len) <= self.total_free()
     }
@@ -215,13 +222,15 @@ impl<'a> SlottedPage<'a> {
     /// Inserts a cell, reusing a dead slot number if one exists. Returns the
     /// slot number, or `None` if the page cannot hold the cell.
     pub fn insert(&mut self, data: &[u8]) -> Option<u16> {
-        if !self.can_insert(data.len()) {
+        let dead = self.find_dead_slot();
+        let needed = data.len() + if dead.is_some() { 0 } else { SLOT_SIZE };
+        if needed > self.total_free() {
             return None;
         }
-        if self.space_needed(data.len()) > self.contiguous_free() {
+        if needed > self.contiguous_free() {
             self.compact();
         }
-        let slot = match self.find_dead_slot() {
+        let slot = match dead {
             Some(s) => s,
             None => {
                 let s = self.slot_count();
@@ -265,6 +274,32 @@ impl<'a> SlottedPage<'a> {
         true
     }
 
+    /// Inserts a cell at slot *position* `pos`, shifting later directory
+    /// entries up by one — the B-tree fast path for keeping cells in sorted
+    /// slot order without rewriting the page. Requires every slot to be
+    /// live (B-tree pages never carry tombstones). Returns `false` if the
+    /// page lacks room (caller splits).
+    pub fn insert_sorted(&mut self, pos: u16, data: &[u8]) -> bool {
+        let count = self.slot_count();
+        debug_assert!(pos <= count);
+        let needed = data.len() + SLOT_SIZE;
+        if needed > self.total_free() {
+            return false;
+        }
+        if needed > self.contiguous_free() {
+            self.compact();
+        }
+        let start = HEADER_SIZE + pos as usize * SLOT_SIZE;
+        let end = HEADER_SIZE + count as usize * SLOT_SIZE;
+        self.buf.copy_within(start..end, start + SLOT_SIZE);
+        self.set_slot_count(count + 1);
+        let new_end = self.free_end() as usize - data.len();
+        self.buf[new_end..new_end + data.len()].copy_from_slice(data);
+        self.set_free_end(new_end as u16);
+        self.set_slot(pos, new_end as u16, data.len() as u16);
+        true
+    }
+
     /// Bulk-loads `cells` into a freshly initialized page in one pass
     /// (no per-cell free-space scans). The caller must have just called
     /// [`SlottedPage::init`] and guaranteed the cells fit.
@@ -290,6 +325,7 @@ impl<'a> SlottedPage<'a> {
         let (_, len) = self.slot_at(slot);
         // Record the dead length so total_free() can account for it.
         self.set_slot(slot, DEAD_SLOT, len);
+        self.add_dead_bytes(len as usize);
         Some(len as usize)
     }
 
@@ -305,13 +341,16 @@ impl<'a> SlottedPage<'a> {
             let off = off as usize;
             self.buf[off..off + data.len()].copy_from_slice(data);
             self.set_slot(slot, off as u16, data.len() as u16);
+            self.add_dead_bytes(len as usize - data.len());
             return true;
         }
         // Need to move: free the old cell then re-insert at the same slot.
         self.set_slot(slot, DEAD_SLOT, len);
+        self.add_dead_bytes(len as usize);
         if data.len() > self.total_free() {
             // Roll back the tombstone.
             self.set_slot(slot, off, len);
+            self.sub_dead_bytes(len as usize);
             return false;
         }
         if data.len() > self.contiguous_free() {
@@ -346,6 +385,7 @@ impl<'a> SlottedPage<'a> {
             self.set_slot(s, end as u16, data.len() as u16);
         }
         self.set_free_end(end as u16);
+        self.write_u16(6, 0);
     }
 
     /// Number of live cells.
@@ -422,15 +462,8 @@ impl<'a> SlottedPageRef<'a> {
 
     /// Total reclaimable free bytes (contiguous + dead-cell space).
     pub fn total_free(&self) -> usize {
-        let mut dead = 0usize;
-        for s in 0..self.slot_count() {
-            let (off, len) = self.slot_at(s);
-            if off == DEAD_SLOT {
-                dead += len as usize;
-            }
-        }
         let dir_end = HEADER_SIZE + self.slot_count() as usize * SLOT_SIZE;
-        (self.read_u16(2) as usize).saturating_sub(dir_end) + dead
+        (self.read_u16(2) as usize).saturating_sub(dir_end) + self.read_u16(6) as usize
     }
 
     /// Number of live cells.
@@ -501,7 +534,11 @@ mod tests {
         while let Some(s) = p.insert(&cell) {
             slots.push(s);
         }
-        assert!(slots.len() > 70, "should fit ~78 cells, got {}", slots.len());
+        assert!(
+            slots.len() > 70,
+            "should fit ~78 cells, got {}",
+            slots.len()
+        );
         // Delete every other cell, then a big insert must trigger compaction.
         for s in slots.iter().step_by(2) {
             p.delete(*s);

@@ -22,13 +22,17 @@ fn transaction_spans_tables_atomically() {
     let b = db.create_table("b", two_col()).unwrap();
     // Committed cross-table writes land together…
     let mut tx = db.begin();
-    tx.insert(&a, &vec![Value::Int(1), Value::from("a1")]).unwrap();
-    tx.insert(&b, &vec![Value::Int(1), Value::from("b1")]).unwrap();
+    tx.insert(&a, &vec![Value::Int(1), Value::from("a1")])
+        .unwrap();
+    tx.insert(&b, &vec![Value::Int(1), Value::from("b1")])
+        .unwrap();
     tx.commit().unwrap();
     // …and aborted ones vanish together.
     let mut tx = db.begin();
-    tx.insert(&a, &vec![Value::Int(2), Value::from("a2")]).unwrap();
-    tx.insert(&b, &vec![Value::Int(2), Value::from("b2")]).unwrap();
+    tx.insert(&a, &vec![Value::Int(2), Value::from("a2")])
+        .unwrap();
+    tx.insert(&b, &vec![Value::Int(2), Value::from("b2")])
+        .unwrap();
     tx.abort().unwrap();
     assert_eq!(a.count().unwrap(), 1);
     assert_eq!(b.count().unwrap(), 1);
@@ -81,7 +85,9 @@ fn crash_equivalence_under_random_ops() {
                         model.remove(&k);
                     }
                     let v = format!("v{step}");
-                    let rid = t.insert(&vec![Value::Int(k), Value::from(v.as_str())]).unwrap();
+                    let rid = t
+                        .insert(&vec![Value::Int(k), Value::from(v.as_str())])
+                        .unwrap();
                     rids.insert(k, rid);
                     model.insert(k, v);
                 }
@@ -116,7 +122,10 @@ fn crash_equivalence_under_random_ops() {
             )
         })
         .collect();
-    assert_eq!(got, model, "post-crash state equals pre-crash committed state");
+    assert_eq!(
+        got, model,
+        "post-crash state equals pre-crash committed state"
+    );
     // The rebuilt unique index agrees with the heap.
     for (k, v) in model.iter().take(20) {
         let rids = t.index_lookup("by_k", &[Value::Int(*k)]).unwrap();
@@ -165,7 +174,8 @@ fn nonsynced_commits_may_lose_but_never_corrupt() {
     let n = t.count().unwrap();
     assert!(n <= 50);
     // Still writable.
-    t.insert(&vec![Value::Int(999), Value::from("post")]).unwrap();
+    t.insert(&vec![Value::Int(999), Value::from("post")])
+        .unwrap();
     assert_eq!(t.count().unwrap(), n + 1);
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -210,7 +220,8 @@ fn second_begin_would_deadlock_so_txns_are_exclusive() {
         tx.commit().unwrap();
     });
     let mut tx = db.begin();
-    tx.insert(&t, &vec![Value::Int(1), Value::from("first")]).unwrap();
+    tx.insert(&t, &vec![Value::Int(1), Value::from("first")])
+        .unwrap();
     barrier.wait();
     std::thread::sleep(std::time::Duration::from_millis(50));
     tx.commit().unwrap();
@@ -229,7 +240,8 @@ fn index_prefix_and_range_scans() {
             Schema::new(&[("cat", ColumnType::Text), ("n", ColumnType::Int)]),
         )
         .unwrap();
-    db.create_index("t", "by_cat_n", &["cat", "n"], false).unwrap();
+    db.create_index("t", "by_cat_n", &["cat", "n"], false)
+        .unwrap();
     for cat in ["alpha", "beta"] {
         for n in 0..10i64 {
             t.insert(&vec![Value::from(cat), Value::Int(n)]).unwrap();
@@ -253,8 +265,138 @@ fn index_prefix_and_range_scans() {
         .iter()
         .map(|rid| t.get(*rid).unwrap()[1].as_int().unwrap())
         .collect();
-    assert_eq!(ns, vec![3, 4, 5, 6], "range scan is ordered and inclusive of the hi prefix");
+    assert_eq!(
+        ns,
+        vec![3, 4, 5, 6],
+        "range scan is ordered and inclusive of the hi prefix"
+    );
     // Empty prefix matches everything.
     assert_eq!(t.index_prefix("by_cat_n", &[]).unwrap().len(), 20);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Crash mid-group-commit: the WAL tail past the last physical fsync is
+/// what a crash can lose. Truncating the log to its last-synced length
+/// simulates exactly that; everything synced must replay, and losing the
+/// deferred window must drop whole transactions, never partial ones.
+#[test]
+fn group_commit_crash_loses_at_most_the_open_window() {
+    let dir = scratch("groupcrash");
+    let synced_len;
+    {
+        let opts = DbOptions {
+            sync_commits: true,
+            group_commit_window: std::time::Duration::from_secs(3600),
+            ..DbOptions::default()
+        };
+        let db = Database::open_with(&dir, opts).unwrap();
+        let t = db.create_table("t", two_col()).unwrap();
+        // Batch A: 10 commits inside the window, then an explicit sync —
+        // one fsync covers all ten.
+        for i in 0..10i64 {
+            t.insert(&vec![Value::Int(i), Value::from("synced")])
+                .unwrap();
+        }
+        db.sync_wal().unwrap();
+        let stats = db.wal_stats();
+        assert_eq!(stats.commits, 10);
+        assert!(
+            stats.syncs <= 2,
+            "10 commits shared at most 2 fsyncs, got {}",
+            stats.syncs
+        );
+        assert!(stats.fsyncs_saved() >= 8);
+        synced_len = std::fs::metadata(dir.join("wal.log")).unwrap().len();
+        // Batch B: 5 more commits, deferred by the 1h window.
+        for i in 10..15i64 {
+            t.insert(&vec![Value::Int(i), Value::from("deferred")])
+                .unwrap();
+        }
+        // Crash: no Drop (which would sync), no checkpoint.
+        std::mem::forget(db);
+        std::mem::forget(t);
+    }
+    // The unsynced tail never reached disk.
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(dir.join("wal.log"))
+        .unwrap();
+    f.set_len(synced_len).unwrap();
+    drop(f);
+    {
+        let db = Database::open(&dir).unwrap();
+        let t = db.table("t").unwrap();
+        let rows = t.scan().unwrap();
+        assert_eq!(rows.len(), 10, "every synced commit survives");
+        for (_, row) in &rows {
+            assert_eq!(row[1], Value::from("synced"));
+        }
+    }
+    // Replay is idempotent: a second reopen sees the identical state.
+    {
+        let db = Database::open(&dir).unwrap();
+        assert_eq!(db.table("t").unwrap().count().unwrap(), 10);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A torn frame inside the deferred window: transactions wholly before the
+/// tear survive, the torn one disappears atomically.
+#[test]
+fn group_commit_torn_tail_drops_whole_transactions() {
+    let dir = scratch("grouptorn");
+    {
+        let opts = DbOptions {
+            sync_commits: true,
+            group_commit_window: std::time::Duration::from_secs(3600),
+            ..DbOptions::default()
+        };
+        let db = Database::open_with(&dir, opts).unwrap();
+        let t = db.create_table("t", two_col()).unwrap();
+        for i in 0..8i64 {
+            t.insert(&vec![Value::Int(i), Value::from("w")]).unwrap();
+        }
+        std::mem::forget(db);
+        std::mem::forget(t);
+    }
+    // Chop the log mid-frame (not at a record boundary) to fake a torn
+    // write of the deferred tail.
+    let len = std::fs::metadata(dir.join("wal.log")).unwrap().len();
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(dir.join("wal.log"))
+        .unwrap();
+    f.set_len(len - 7).unwrap();
+    drop(f);
+    let db = Database::open(&dir).unwrap();
+    let rows = db.table("t").unwrap().scan().unwrap();
+    // The last commit straddles the tear; everything else is intact.
+    assert_eq!(rows.len(), 7, "torn commit vanished atomically");
+    for (i, (_, row)) in rows.iter().enumerate() {
+        assert_eq!(row[0], Value::Int(i as i64));
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Clean shutdown inside the window loses nothing: Drop flushes the WAL.
+#[test]
+fn group_commit_clean_shutdown_is_durable() {
+    let dir = scratch("groupclean");
+    {
+        let opts = DbOptions {
+            sync_commits: true,
+            group_commit_window: std::time::Duration::from_secs(3600),
+            ..DbOptions::default()
+        };
+        let db = Database::open_with(&dir, opts).unwrap();
+        let t = db.create_table("t", two_col()).unwrap();
+        for i in 0..12i64 {
+            t.insert(&vec![Value::Int(i), Value::from("v")]).unwrap();
+        }
+        // Drop without checkpoint: the deferred commits must still be
+        // fsynced on the way out.
+    }
+    let db = Database::open(&dir).unwrap();
+    assert_eq!(db.table("t").unwrap().count().unwrap(), 12);
     std::fs::remove_dir_all(&dir).unwrap();
 }

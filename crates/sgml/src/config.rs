@@ -54,7 +54,9 @@ impl NodeTypeConfig {
     /// elements (any case) plus common heading names open contexts.
     pub fn xml_default() -> NodeTypeConfig {
         let mut c = NodeTypeConfig::empty();
-        for n in ["Context", "context", "CONTEXT", "heading", "Heading", "title", "Title"] {
+        for n in [
+            "Context", "context", "CONTEXT", "heading", "Heading", "title", "Title",
+        ] {
             c.set(n, NodeType::Context);
         }
         for n in ["Intense", "intense", "em", "b", "strong"] {

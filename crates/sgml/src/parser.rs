@@ -35,10 +35,7 @@ fn make_element(name: &str, attrs: Vec<(String, String)>, config: &NodeTypeConfi
         ntype: config.classify(name),
         name: name.to_string(),
         text: String::new(),
-        attrs: attrs
-            .into_iter()
-            .map(|(k, v)| (k, unescape(&v)))
-            .collect(),
+        attrs: attrs.into_iter().map(|(k, v)| (k, unescape(&v))).collect(),
         children: Vec::new(),
     }
 }
@@ -53,17 +50,18 @@ pub fn parse_xml(input: &str, config: &NodeTypeConfig) -> Result<Node, ParseErro
     let mut stack: Vec<Node> = Vec::new();
     let mut root: Option<Node> = None;
 
-    let attach = |stack: &mut Vec<Node>, root: &mut Option<Node>, node: Node| -> Result<(), ParseError> {
-        if let Some(parent) = stack.last_mut() {
-            parent.children.push(node);
-            Ok(())
-        } else if root.is_none() {
-            *root = Some(node);
-            Ok(())
-        } else {
-            Err(err("multiple root elements"))
-        }
-    };
+    let attach =
+        |stack: &mut Vec<Node>, root: &mut Option<Node>, node: Node| -> Result<(), ParseError> {
+            if let Some(parent) = stack.last_mut() {
+                parent.children.push(node);
+                Ok(())
+            } else if root.is_none() {
+                *root = Some(node);
+                Ok(())
+            } else {
+                Err(err("multiple root elements"))
+            }
+        };
 
     for tok in tokens {
         match tok {
@@ -123,8 +121,8 @@ pub fn parse_xml(input: &str, config: &NodeTypeConfig) -> Result<Node, ParseErro
 
 /// Elements that never have children in HTML.
 const VOID_ELEMENTS: &[&str] = &[
-    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param",
-    "source", "track", "wbr",
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param", "source",
+    "track", "wbr",
 ];
 
 /// `(incoming tag, tags it implicitly closes)` — the minimal HTML5-ish
@@ -181,8 +179,7 @@ pub fn parse_html(input: &str, config: &NodeTypeConfig) -> Node {
                     self_closing = true;
                 }
                 // Implicit closes.
-                if let Some((_, closes)) =
-                    AUTO_CLOSE.iter().find(|(tag, _)| *tag == name.as_str())
+                if let Some((_, closes)) = AUTO_CLOSE.iter().find(|(tag, _)| *tag == name.as_str())
                 {
                     while let Some(open) = stack.last() {
                         if closes.contains(&open.name.as_str()) {
@@ -363,10 +360,7 @@ mod tests {
 
     #[test]
     fn html_table_auto_close() {
-        let n = parse_html(
-            "<table><tr><td>a<td>b<tr><td>c</table>",
-            &htmlc(),
-        );
+        let n = parse_html("<table><tr><td>a<td>b<tr><td>c</table>", &htmlc());
         let table = n.find("table").unwrap();
         assert_eq!(table.find_all("tr").len(), 2);
         assert_eq!(table.find_all("td").len(), 3);

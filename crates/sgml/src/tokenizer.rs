@@ -81,7 +81,9 @@ pub fn tokenize(input: &str) -> Vec<Token> {
         if rest.starts_with("<!") {
             flush_text!(i);
             let end = rest.find('>').map(|e| i + e + 1).unwrap_or(input.len());
-            out.push(Token::Decl(input[i + 2..end.saturating_sub(1).max(i + 2)].to_string()));
+            out.push(Token::Decl(
+                input[i + 2..end.saturating_sub(1).max(i + 2)].to_string(),
+            ));
             i = end;
             text_start = i;
             continue;
@@ -248,7 +250,11 @@ mod tests {
         let t = tokenize("<a>hi</a>");
         assert_eq!(
             t,
-            vec![start("a"), Token::Text("hi".into()), Token::EndTag("a".into())]
+            vec![
+                start("a"),
+                Token::Text("hi".into()),
+                Token::EndTag("a".into())
+            ]
         );
     }
 
@@ -273,8 +279,20 @@ mod tests {
     #[test]
     fn self_closing() {
         let t = tokenize("<br/><img src=x/>");
-        assert!(matches!(&t[0], Token::StartTag { self_closing: true, .. }));
-        assert!(matches!(&t[1], Token::StartTag { self_closing: true, .. }));
+        assert!(matches!(
+            &t[0],
+            Token::StartTag {
+                self_closing: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &t[1],
+            Token::StartTag {
+                self_closing: true,
+                ..
+            }
+        ));
     }
 
     #[test]

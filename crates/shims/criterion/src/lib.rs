@@ -1,0 +1,207 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build must succeed with no crates.io access (DESIGN.md §6), so this
+//! workspace-local crate implements the subset of criterion's API the
+//! `micro` bench uses — `criterion_group!` / `criterion_main!`,
+//! `Criterion::bench_function`, `Bencher::iter` / `iter_batched`, the
+//! builder knobs — as a plain wall-clock harness: warm-up, then timed
+//! samples, reporting median ns/iter to stdout. No statistics beyond
+//! median/min/max, no HTML reports, no regression tracking.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How batches are sized in [`Bencher::iter_batched`] (accepted for API
+/// compatibility; this harness always runs one routine call per setup).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One routine call per batch.
+    PerIteration,
+}
+
+/// The benchmark driver: configuration plus result printing.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time spent warming up (and calibrating iterations/sample).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            warm_up: self.warm_up_time,
+            measurement: self.measurement_time,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    /// Collected per-iteration timings in nanoseconds.
+    samples: Vec<f64>,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up doubles as calibration: how many iterations fit in one
+        // sample slot.
+        let warm_until = Instant::now() + self.warm_up;
+        let mut warm_iters: u64 = 0;
+        let warm_start = Instant::now();
+        while Instant::now() < warm_until {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let slot = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((slot / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples.push(elapsed / iters_per_sample as f64);
+        }
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup time is
+    /// excluded from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_until = Instant::now() + self.warm_up;
+        while Instant::now() < warm_until {
+            std::hint::black_box(routine(setup()));
+        }
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        self.samples.sort_by(|a, b| a.total_cmp(b));
+        let median = self.samples[self.samples.len() / 2];
+        let min = self.samples[0];
+        let max = self.samples[self.samples.len() - 1];
+        println!(
+            "{name:<40} median {} (min {}, max {}, {} samples)",
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(max),
+            self.samples.len()
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group: a function running each target against a
+/// shared [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut count = 0u64;
+        c.bench_function("smoke/iter", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+        c.bench_function("smoke/batched", |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

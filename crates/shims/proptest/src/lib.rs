@@ -1,0 +1,833 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build must succeed with no crates.io access (DESIGN.md §6), so this
+//! workspace-local crate implements the subset of proptest's API the repo's
+//! property tests use: the `proptest!` / `prop_oneof!` / `prop_assert*` /
+//! `prop_assume!` macros, the [`Strategy`] trait with `prop_map` /
+//! `prop_filter` / `prop_recursive`, `any::<T>()`, `Just`, ranges and
+//! tuples as strategies, `collection::vec`, `option::of`, and `&str`
+//! regex-lite string strategies (character classes, `.`, and `{m,n}`
+//! quantifiers only).
+//!
+//! Differences from upstream: no shrinking (a failure reports the raw
+//! generated input and the RNG seed instead of a minimal counterexample),
+//! and seeds are taken from entropy unless `PROPTEST_SEED` is set.
+
+pub mod strategy {
+    use rand::prelude::*;
+    use std::ops::Range;
+    use std::sync::Arc;
+
+    /// The RNG handed to every strategy (one per test, seeded by the
+    /// runner).
+    pub type TestRng = SmallRng;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keeps only values passing `pred`; `whence` names the filter in
+        /// the panic raised if it rejects nearly everything.
+        fn prop_filter<F>(self, whence: impl Into<String>, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                whence: whence.into(),
+                pred,
+            }
+        }
+
+        /// Builds recursive values: level `k` draws either from level
+        /// `k-1` or from `recurse(level k-1)`, bottoming out at `self`.
+        /// `_desired_size` / `_expected_branch_size` are accepted for API
+        /// compatibility; recursion depth alone bounds generated values.
+        fn prop_recursive<F, S2>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+            S2: Strategy<Value = Self::Value> + 'static,
+        {
+            let mut level = self.boxed();
+            for _ in 0..depth {
+                level = Union::new(vec![level.clone(), recurse(level).boxed()]).boxed();
+            }
+            level
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: String,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..5_000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter {:?} rejected 5000 candidates in a row",
+                self.whence
+            );
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    /// Produces uniform primitives via the [`super::arbitrary::Arbitrary`]
+    /// impls (`any::<T>()`).
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    impl<T: super::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            super::regex_lite::sample(self, rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::TestRng;
+    use rand::Rng;
+
+    /// Types `any::<T>()` can produce.
+    pub trait Arbitrary: Sized {
+        /// Generates one uniformly random value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    // Full bit patterns on purpose: infinities, subnormals, and the
+    // occasional NaN exercise codec edge cases.
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            f32::from_bits(rng.next_u64() as u32)
+        }
+    }
+}
+
+/// `any::<T>()`: a strategy for uniformly random `T`.
+pub fn any<T: arbitrary::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A strategy for `Vec`s with length drawn from `size` and elements
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// A strategy producing `None` or `Some(inner value)` with equal
+    /// probability.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// Strategy returned by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_bool(0.5) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod regex_lite {
+    //! Generator for the tiny regex dialect the repo's string strategies
+    //! use: literal chars, `.`, character classes with ranges, and `{n}` /
+    //! `{m,n}` quantifiers. Anything else panics loudly rather than
+    //! silently generating the wrong language.
+
+    use super::strategy::TestRng;
+    use rand::Rng;
+
+    enum CharSet {
+        /// `.` — any char except `\n`, weighted toward printable ASCII.
+        Dot,
+        /// `[...]` or a literal — inclusive char ranges.
+        Ranges(Vec<(char, char)>),
+    }
+
+    struct Atom {
+        set: CharSet,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generates one string matching `pattern`.
+    pub fn sample(pattern: &str, rng: &mut TestRng) -> String {
+        let atoms = parse(pattern);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = if atom.min == atom.max {
+                atom.min
+            } else {
+                rng.gen_range(atom.min..=atom.max)
+            };
+            for _ in 0..n {
+                out.push(sample_char(&atom.set, rng));
+            }
+        }
+        out
+    }
+
+    fn sample_char(set: &CharSet, rng: &mut TestRng) -> char {
+        match set {
+            CharSet::Dot => {
+                // Mostly printable ASCII, with occasional wider Unicode and
+                // control chars (never '\n', matching regex `.`).
+                match rng.gen_range(0usize..100) {
+                    0..=84 => rng.gen_range(0x20u32..0x7f).try_into().unwrap(),
+                    85..=94 => {
+                        const EXOTIC: &[(u32, u32)] = &[
+                            (0x00c0, 0x00ff),   // Latin-1 letters
+                            (0x0391, 0x03c9),   // Greek
+                            (0x4e00, 0x4e80),   // CJK slice
+                            (0x1f600, 0x1f640), // emoji
+                        ];
+                        let (lo, hi) = EXOTIC[rng.gen_range(0..EXOTIC.len())];
+                        char::from_u32(rng.gen_range(lo..=hi)).unwrap_or('\u{00e9}')
+                    }
+                    _ => {
+                        // Control chars minus '\n'.
+                        let c = rng.gen_range(0x00u32..0x1f);
+                        char::from_u32(if c == 0x0a { 0x09 } else { c }).unwrap()
+                    }
+                }
+            }
+            CharSet::Ranges(ranges) => {
+                let total: u32 = ranges.iter().map(|&(a, b)| b as u32 - a as u32 + 1).sum();
+                let mut pick = rng.gen_range(0..total);
+                for &(a, b) in ranges {
+                    let span = b as u32 - a as u32 + 1;
+                    if pick < span {
+                        return char::from_u32(a as u32 + pick)
+                            .expect("class ranges stay within one scalar block");
+                    }
+                    pick -= span;
+                }
+                unreachable!("pick < total by construction")
+            }
+        }
+    }
+
+    fn parse(pattern: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let set = match chars[i] {
+                '.' => {
+                    i += 1;
+                    CharSet::Dot
+                }
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let c = chars[i];
+                        if c == '^' && ranges.is_empty() {
+                            panic!("regex-lite: negated classes unsupported in {pattern:?}");
+                        }
+                        // `a-z` is a range unless `-` is last in the class.
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            let hi = chars[i + 2];
+                            assert!(c <= hi, "regex-lite: bad range {c}-{hi} in {pattern:?}");
+                            ranges.push((c, hi));
+                            i += 3;
+                        } else {
+                            ranges.push((c, c));
+                            i += 1;
+                        }
+                    }
+                    assert!(
+                        i < chars.len(),
+                        "regex-lite: unterminated class in {pattern:?}"
+                    );
+                    i += 1; // consume ']'
+                    CharSet::Ranges(ranges)
+                }
+                '\\' => {
+                    assert!(
+                        i + 1 < chars.len(),
+                        "regex-lite: trailing backslash in {pattern:?}"
+                    );
+                    let c = chars[i + 1];
+                    i += 2;
+                    CharSet::Ranges(vec![(c, c)])
+                }
+                '(' | ')' | '|' | '*' | '+' | '?' => {
+                    panic!(
+                        "regex-lite: unsupported regex syntax {:?} in {pattern:?}",
+                        chars[i]
+                    )
+                }
+                c => {
+                    i += 1;
+                    CharSet::Ranges(vec![(c, c)])
+                }
+            };
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                i += 1;
+                let mut digits = String::new();
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    digits.push(chars[i]);
+                    i += 1;
+                }
+                let lo: usize = digits.parse().expect("regex-lite: bad quantifier");
+                let hi = if i < chars.len() && chars[i] == ',' {
+                    i += 1;
+                    let mut digits = String::new();
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        digits.push(chars[i]);
+                        i += 1;
+                    }
+                    digits.parse().expect("regex-lite: bad quantifier")
+                } else {
+                    lo
+                };
+                assert!(
+                    i < chars.len() && chars[i] == '}',
+                    "regex-lite: unterminated quantifier in {pattern:?}"
+                );
+                i += 1;
+                (lo, hi)
+            } else {
+                (1, 1)
+            };
+            atoms.push(Atom { set, min, max });
+        }
+        atoms
+    }
+}
+
+pub mod test_runner {
+    use super::strategy::TestRng;
+    use rand::SeedableRng;
+
+    /// Per-`proptest!` block configuration.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed — the whole test fails.
+        Fail(String),
+        /// `prop_assume!` rejected the input — the case is retried.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejection (assumption not met) with the given message.
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+
+        /// Attaches the generated input's debug repr to a failure.
+        pub fn with_input(self, input: &str) -> TestCaseError {
+            match self {
+                TestCaseError::Fail(msg) => TestCaseError::Fail(format!("{msg}\n  input: {input}")),
+                reject => reject,
+            }
+        }
+    }
+
+    /// Drives one `proptest!` test: runs `case` until `config.cases`
+    /// successes, retrying rejections (bounded) and panicking on failure
+    /// with the seed needed to reproduce (`PROPTEST_SEED` env var).
+    pub fn run_cases(
+        config: ProptestConfig,
+        mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    ) {
+        let seed = match std::env::var("PROPTEST_SEED") {
+            Ok(s) => s
+                .parse::<u64>()
+                .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {s:?}")),
+            Err(_) => entropy(),
+        };
+        let mut rng = TestRng::seed_from_u64(seed);
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let max_rejects = config.cases.saturating_mul(16).max(1024);
+        while passed < config.cases {
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(why)) => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        panic!(
+                            "proptest: {rejected} rejections ({why}) with only {passed}/{} \
+                             passes; seed {seed}",
+                            config.cases
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest: case {} failed (reproduce with PROPTEST_SEED={seed}): {msg}",
+                        passed + 1
+                    );
+                }
+            }
+        }
+    }
+
+    fn entropy() -> u64 {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0)
+            ^ (std::process::id() as u64).rotate_left(32)
+    }
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run_cases($config, |__pt_rng| {
+                    let __pt_vals = (
+                        $( $crate::strategy::Strategy::generate(&{ $strat }, __pt_rng), )+
+                    );
+                    let __pt_repr = format!("{:?}", __pt_vals);
+                    let __pt_outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || {
+                            let ( $($arg,)+ ) = __pt_vals;
+                            let __pt_run = move ||
+                                -> ::std::result::Result<(), $crate::test_runner::TestCaseError>
+                            {
+                                $body
+                                ::std::result::Result::Ok(())
+                            };
+                            __pt_run()
+                        }),
+                    );
+                    match __pt_outcome {
+                        ::std::result::Result::Ok(r) => {
+                            r.map_err(|e| e.with_input(&__pt_repr))
+                        }
+                        ::std::result::Result::Err(payload) => {
+                            eprintln!("proptest: panicked on input: {__pt_repr}");
+                            ::std::panic::resume_unwind(payload)
+                        }
+                    }
+                });
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+/// Like `assert!` inside `proptest!` bodies: fails the case, reporting the
+/// generated input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Like `assert_eq!` inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__pt_l, __pt_r) => {
+                if !(*__pt_l == *__pt_r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: {} == {}\n  left: {:?}\n  right: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            __pt_l,
+                            __pt_r,
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Discards the current case (retried with fresh input) when `cond` is
+/// false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Commonly imported names, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::TestRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn regex_lite_matches_shapes() {
+        let mut rng = TestRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let s = crate::regex_lite::sample("[a-zA-Z][a-zA-Z0-9_-]{0,8}", &mut rng);
+            assert!((1..=9).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'));
+
+            let t = crate::regex_lite::sample("[ -~&<>]{1,20}", &mut rng);
+            assert!((1..=20).contains(&t.chars().count()));
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+
+            let dot = crate::regex_lite::sample(".{0,40}", &mut rng);
+            assert!(dot.chars().count() <= 40);
+            assert!(!dot.contains('\n'));
+
+            let one = crate::regex_lite::sample("[a-z]{1}", &mut rng);
+            assert_eq!(one.chars().count(), 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+        /// The macro plumbing generates, asserts, and assumes.
+        #[test]
+        fn macro_round_trip(
+            v in crate::collection::vec(any::<u8>(), 0..10),
+            n in 3usize..17,
+            s in "[a-z]{2,4}",
+            o in crate::option::of(0u64..5),
+        ) {
+            prop_assume!(n != 4);
+            prop_assert!(v.len() < 10);
+            prop_assert!((3..17).contains(&n) && n != 4);
+            prop_assert_eq!(s.len(), s.chars().count());
+            prop_assert!((2..=4).contains(&s.len()));
+            if let Some(x) = o {
+                prop_assert!(x < 5);
+            }
+        }
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tree {
+        Leaf(u8),
+        Node(Vec<Tree>),
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 1,
+            Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+        /// prop_oneof + prop_recursive produce bounded-depth trees.
+        #[test]
+        fn recursive_strategy_bounded(
+            t in prop_oneof![
+                any::<u8>().prop_map(Tree::Leaf),
+                Just(Tree::Leaf(0)),
+            ]
+            .prop_recursive(3, 40, 5, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            })
+        ) {
+            prop_assert!(depth(&t) <= 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion failed")]
+    fn failing_case_panics() {
+        crate::test_runner::run_cases(ProptestConfig::with_cases(5), |_rng| {
+            let v = 1u8;
+            let run = || -> Result<(), TestCaseError> {
+                prop_assert!(v == 2);
+                Ok(())
+            };
+            run()
+        });
+    }
+}

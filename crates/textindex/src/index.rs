@@ -388,7 +388,10 @@ mod tests {
     #[test]
     fn and_or_not() {
         let ix = sample();
-        assert_eq!(ix.execute(&TextQuery::keywords("technology gap")), vec![3, 4]);
+        assert_eq!(
+            ix.execute(&TextQuery::keywords("technology gap")),
+            vec![3, 4]
+        );
         let or = TextQuery::Or(vec![
             TextQuery::Term("budget".into()),
             TextQuery::Term("engine".into()),
@@ -404,10 +407,7 @@ mod tests {
     #[test]
     fn phrase_query() {
         let ix = sample();
-        assert_eq!(
-            ix.execute(&TextQuery::phrase("technology gap")),
-            vec![3, 4]
-        );
+        assert_eq!(ix.execute(&TextQuery::phrase("technology gap")), vec![3, 4]);
         assert!(
             ix.execute(&TextQuery::phrase("gap technology")).is_empty(),
             "order matters for phrases"

@@ -31,7 +31,9 @@ pub struct Request {
 impl Request {
     /// Header value by (case-insensitive) name.
     pub fn header(&self, name: &str) -> Option<&str> {
-        self.headers.get(&name.to_ascii_lowercase()).map(String::as_str)
+        self.headers
+            .get(&name.to_ascii_lowercase())
+            .map(String::as_str)
     }
 
     /// Body as UTF-8 (lossy).
@@ -193,8 +195,8 @@ mod tests {
 
     #[test]
     fn parses_get_with_query() {
-        let req = round_trip("GET /xdb?Context=Budget&limit=3 HTTP/1.1\r\nHost: x\r\n\r\n")
-            .unwrap();
+        let req =
+            round_trip("GET /xdb?Context=Budget&limit=3 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/xdb");
         assert_eq!(req.query.as_deref(), Some("Context=Budget&limit=3"));
@@ -204,10 +206,7 @@ mod tests {
 
     #[test]
     fn parses_put_with_body() {
-        let req = round_trip(
-            "PUT /docs/a.txt HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello",
-        )
-        .unwrap();
+        let req = round_trip("PUT /docs/a.txt HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello").unwrap();
         assert_eq!(req.method, "PUT");
         assert_eq!(req.body_text(), "hello");
     }

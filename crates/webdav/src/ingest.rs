@@ -1,0 +1,172 @@
+//! A shared ingest service: the HTTP PUT path riding the batch pipeline.
+//!
+//! Uploads are queued onto a bounded work queue and committed by one
+//! background writer that drains the queue into batches — concurrent PUTs
+//! that arrive within the same drain share a single store transaction (and
+//! fsync), exactly like the drop-folder pipeline. The bound gives
+//! backpressure: when uploads outrun the writer, `submit` blocks instead
+//! of buffering unboundedly.
+//!
+//! Failures are isolated per upload: a batch that fails to commit is
+//! retried one document at a time, and only the offending uploads see an
+//! error response.
+
+use netmark::pipeline::BoundedQueue;
+use netmark::{IngestReport, NetMark, PipelineConfig, RawFile};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Job {
+    file: RawFile,
+    reply: SyncSender<Result<IngestReport, String>>,
+}
+
+/// A running ingest service. Dropping it stops the writer thread.
+pub struct IngestService {
+    queue: Arc<BoundedQueue<Job>>,
+    writer: Option<std::thread::JoinHandle<()>>,
+}
+
+impl IngestService {
+    /// Starts the writer thread committing into `nm`.
+    pub fn start(nm: Arc<NetMark>, cfg: PipelineConfig) -> IngestService {
+        let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity));
+        let q2 = Arc::clone(&queue);
+        let batch_docs = cfg.batch_docs.max(1);
+        let writer = std::thread::spawn(move || {
+            let mut jobs: Vec<Job> = Vec::with_capacity(batch_docs);
+            while let Some(job) = q2.pop() {
+                jobs.push(job);
+                while jobs.len() < batch_docs {
+                    match q2.try_pop() {
+                        Some(j) => jobs.push(j),
+                        None => break,
+                    }
+                }
+                commit_jobs(&nm, &mut jobs);
+            }
+        });
+        IngestService {
+            queue,
+            writer: Some(writer),
+        }
+    }
+
+    /// Queues one upload and blocks until its batch commits. Returns the
+    /// ingest report, or the error message for this upload alone.
+    pub fn submit(&self, name: &str, content: &str) -> Result<IngestReport, String> {
+        let (reply, rx) = sync_channel(1);
+        let accepted = self.queue.push(Job {
+            file: RawFile::new(name, content),
+            reply,
+        });
+        if !accepted {
+            return Err("ingest service is shut down".to_string());
+        }
+        rx.recv()
+            .unwrap_or_else(|_| Err("ingest service dropped the upload".to_string()))
+    }
+
+    /// Depth high-water mark of the work queue (instrumentation).
+    pub fn max_queue_depth(&self) -> usize {
+        self.queue.max_depth()
+    }
+}
+
+impl Drop for IngestService {
+    fn drop(&mut self) {
+        self.queue.close();
+        if let Some(w) = self.writer.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Upmarks and commits `jobs` as one batch, answering every reply channel.
+/// Falls back to per-document commits if the batch transaction fails.
+fn commit_jobs(nm: &NetMark, jobs: &mut Vec<Job>) {
+    nm.metrics().observe_queue_depth(jobs.len());
+    let t0 = Instant::now();
+    let docs: Vec<_> = jobs
+        .iter()
+        .map(|j| netmark_docformats::upmark(&j.file.name, &j.file.content))
+        .collect();
+    nm.metrics().record_upmark(t0.elapsed());
+    match nm.ingest_batch(&docs) {
+        Ok(reports) => {
+            for (job, report) in jobs.drain(..).zip(reports) {
+                let _ = job.reply.send(Ok(report));
+            }
+        }
+        Err(_) => {
+            // Per-upload isolation: one bad document must not fail its
+            // batchmates.
+            for (job, doc) in jobs.drain(..).zip(docs) {
+                let outcome = nm.insert_document(&doc).map_err(|e| e.to_string());
+                if outcome.is_err() {
+                    nm.metrics().record_error();
+                }
+                let _ = job.reply.send(outcome);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmark_xdb::XdbQuery;
+
+    #[test]
+    fn concurrent_submits_share_batches() {
+        let dir = std::env::temp_dir().join(format!("netmark-ingestsvc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let nm = Arc::new(NetMark::open(&dir).unwrap());
+        let svc = Arc::new(IngestService::start(
+            Arc::clone(&nm),
+            PipelineConfig::default(),
+        ));
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let svc = Arc::clone(&svc);
+                std::thread::spawn(move || {
+                    svc.submit(
+                        &format!("doc{i}.txt"),
+                        &format!("# Section{i}\ncontent number {i}\n"),
+                    )
+                })
+            })
+            .collect();
+        for h in handles {
+            let report = h.join().unwrap().expect("upload succeeds");
+            assert!(report.node_count > 0);
+        }
+        assert_eq!(nm.list_documents().unwrap().len(), 8);
+        assert_eq!(nm.query(&XdbQuery::context("Section3")).unwrap().len(), 1);
+        let st = nm.stats().unwrap();
+        assert_eq!(st.ingest.documents, 8);
+        assert!(
+            st.ingest.batches <= 8,
+            "batching never exceeds one txn per doc"
+        );
+        drop(svc);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn submit_after_shutdown_errors() {
+        let dir = std::env::temp_dir().join(format!("netmark-ingestsvc2-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let nm = Arc::new(NetMark::open(&dir).unwrap());
+        let mut svc = IngestService::start(Arc::clone(&nm), PipelineConfig::default());
+        assert!(svc.submit("a.txt", "# A\nbody\n").is_ok());
+        // Simulate shutdown without dropping (close + join).
+        svc.queue.close();
+        if let Some(w) = svc.writer.take() {
+            w.join().unwrap();
+        }
+        assert!(svc.submit("b.txt", "# B\nbody\n").is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -15,8 +15,10 @@
 
 pub mod daemon;
 pub mod http;
+pub mod ingest;
 pub mod server;
 
-pub use daemon::{watch_folder, DaemonHandle, DaemonStats};
+pub use daemon::{watch_folder, watch_folder_with, DaemonHandle, DaemonStats};
 pub use http::{read_request, Request, Response};
-pub use server::{handle, serve, ServerHandle};
+pub use ingest::IngestService;
+pub use server::{handle, handle_with, serve, ServerHandle};

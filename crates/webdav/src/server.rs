@@ -17,7 +17,8 @@
 //! - `MKCOL /…` — accepted as a no-op (drop folders are flat).
 
 use crate::http::{read_request, Request, Response};
-use netmark::{NetMark, QueryOutput};
+use crate::ingest::IngestService;
+use netmark::{NetMark, PipelineConfig, QueryOutput};
 use netmark_model::escape_text;
 use netmark_xdb::url_decode;
 use std::net::{TcpListener, TcpStream};
@@ -62,11 +63,19 @@ impl Drop for ServerHandle {
 }
 
 /// Starts the server on `bind` (e.g. `"127.0.0.1:0"`), serving `nm`.
+///
+/// Uploads (`PUT /docs/<name>`) go through a shared [`IngestService`]:
+/// concurrent PUTs are batched into shared store transactions by one
+/// background writer, with backpressure from its bounded work queue.
 pub fn serve(nm: Arc<NetMark>, bind: &str) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(bind)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop2 = Arc::clone(&stop);
+    let ingest = Arc::new(IngestService::start(
+        Arc::clone(&nm),
+        PipelineConfig::default(),
+    ));
     let join = std::thread::spawn(move || {
         for conn in listener.incoming() {
             if stop2.load(Ordering::SeqCst) {
@@ -74,9 +83,10 @@ pub fn serve(nm: Arc<NetMark>, bind: &str) -> std::io::Result<ServerHandle> {
             }
             let Ok(mut conn) = conn else { continue };
             let nm = Arc::clone(&nm);
+            let ingest = Arc::clone(&ingest);
             std::thread::spawn(move || {
                 if let Some(req) = read_request(&mut conn) {
-                    let resp = handle(&nm, &req);
+                    let resp = handle_with(&nm, Some(&ingest), &req);
                     let _ = resp.write_to(&mut conn);
                 }
             });
@@ -95,8 +105,16 @@ fn doc_name(path: &str) -> Option<String> {
         .map(url_decode)
 }
 
-/// Dispatches one request (exposed for in-process tests).
+/// Dispatches one request with direct (unbatched) ingestion on PUT.
+/// Exposed for in-process tests; the server routes through
+/// [`handle_with`] and a shared [`IngestService`].
 pub fn handle(nm: &NetMark, req: &Request) -> Response {
+    handle_with(nm, None, req)
+}
+
+/// Dispatches one request. When `ingest` is given, PUT uploads are queued
+/// onto the shared batching service; otherwise they commit directly.
+pub fn handle_with(nm: &NetMark, ingest: Option<&IngestService>, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("OPTIONS", _) => Response::new(200)
             .with_header("DAV", "1")
@@ -105,11 +123,21 @@ pub fn handle(nm: &NetMark, req: &Request) -> Response {
         ("PROPFIND", "/docs") | ("PROPFIND", "/docs/") => handle_propfind(nm),
         ("MKCOL", _) => Response::new(201),
         ("PUT", _) => match doc_name(&req.path) {
-            Some(name) => match nm.insert_file(&name, &req.body_text()) {
-                Ok(rep) => Response::new(201)
-                    .with_text(&format!("ingested doc #{} ({} nodes)", rep.doc_id, rep.node_count)),
-                Err(e) => Response::new(500).with_text(&e.to_string()),
-            },
+            Some(name) => {
+                let outcome = match ingest {
+                    Some(svc) => svc.submit(&name, &req.body_text()),
+                    None => nm
+                        .insert_file(&name, &req.body_text())
+                        .map_err(|e| e.to_string()),
+                };
+                match outcome {
+                    Ok(rep) => Response::new(201).with_text(&format!(
+                        "ingested doc #{} ({} nodes)",
+                        rep.doc_id, rep.node_count
+                    )),
+                    Err(e) => Response::new(500).with_text(&e),
+                }
+            }
             None => Response::new(400).with_text("PUT requires /docs/<name>"),
         },
         ("GET", _) => match doc_name(&req.path) {
@@ -260,7 +288,10 @@ mod tests {
             "path traversal rejected"
         );
         assert_eq!(handle(&nm, &mk("PUT", "/docs/", None)).status, 400);
-        assert_eq!(handle(&nm, &mk("DELETE", "/docs/none.txt", None)).status, 404);
+        assert_eq!(
+            handle(&nm, &mk("DELETE", "/docs/none.txt", None)).status,
+            404
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -274,7 +305,10 @@ mod tests {
         )
         .unwrap();
         let h = serve(nm, "127.0.0.1:0").unwrap();
-        let resp = request(h.addr(), "GET /xdb?Context=Budget&xslt=wrap HTTP/1.1\r\n\r\n");
+        let resp = request(
+            h.addr(),
+            "GET /xdb?Context=Budget&xslt=wrap HTTP/1.1\r\n\r\n",
+        );
         assert!(resp.contains("<composed>money</composed>"), "{resp}");
         h.stop();
         std::fs::remove_dir_all(&dir).unwrap();
@@ -309,7 +343,8 @@ mod encoding_tests {
         assert!(nm.document_by_name("my plan.txt").unwrap().is_some());
         // Fetch with the encoded name.
         let mut s = TcpStream::connect(h.addr()).unwrap();
-        s.write_all(b"GET /docs/my%20plan.txt HTTP/1.1\r\n\r\n").unwrap();
+        s.write_all(b"GET /docs/my%20plan.txt HTTP/1.1\r\n\r\n")
+            .unwrap();
         let mut resp = String::new();
         s.read_to_string(&mut resp).unwrap();
         assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");

@@ -263,10 +263,8 @@ mod tests {
 
     #[test]
     fn parse_full_url_and_percent() {
-        let q = XdbQuery::parse(
-            "http://netmark/xdb?Context=Technology%20Gap&xslt=report&limit=5",
-        )
-        .unwrap();
+        let q = XdbQuery::parse("http://netmark/xdb?Context=Technology%20Gap&xslt=report&limit=5")
+            .unwrap();
         assert_eq!(q.context.as_deref(), Some("Technology Gap"));
         assert_eq!(q.xslt.as_deref(), Some("report"));
         assert_eq!(q.limit, Some(5));
@@ -303,7 +301,10 @@ mod tests {
     fn url_codec() {
         assert_eq!(url_decode("a+b%20c%2Fd"), "a b c/d");
         assert_eq!(url_encode("a b/c"), "a+b%2Fc");
-        assert_eq!(url_decode(&url_encode("100% café & more")), "100% café & more");
+        assert_eq!(
+            url_decode(&url_encode("100% café & more")),
+            "100% café & more"
+        );
         // Malformed escapes degrade, never panic.
         assert_eq!(url_decode("%"), "%");
         assert_eq!(url_decode("%2"), "%2");

@@ -127,9 +127,8 @@ impl ResultSet {
     pub fn compose_default(&self, title: &str) -> Document {
         let mut root = Node::element("document").with_attr("name", title);
         for h in &self.hits {
-            root.children.push(
-                Node::context("Context", &h.context).with_attr("doc", &h.doc),
-            );
+            root.children
+                .push(Node::context("Context", &h.context).with_attr("doc", &h.doc));
             root.children.push(h.content.clone());
         }
         Document::new(title, "composed", root)
@@ -180,7 +179,10 @@ mod tests {
         let node = rs.to_node();
         let back = ResultSet::from_node(&node, "local");
         assert_eq!(back.len(), 2);
-        assert_eq!(back.hits[0].source, "local", "unsourced hits adopt the caller's source");
+        assert_eq!(
+            back.hits[0].source, "local",
+            "unsourced hits adopt the caller's source"
+        );
         assert_eq!(back.hits[1].source, "llis", "explicit source wins");
         assert_eq!(back.hits[0].context, "Budget");
         assert_eq!(back.hits[0].content_text(), "two dollars");

@@ -129,8 +129,7 @@ impl Stylesheet {
     /// Compiles a stylesheet from its XML source.
     pub fn parse(source: &str) -> Result<Stylesheet, XsltError> {
         let cfg = NodeTypeConfig::empty();
-        let root = parse_xml(source, &cfg)
-            .map_err(|e| XsltError::BadStylesheet(e.message))?;
+        let root = parse_xml(source, &cfg).map_err(|e| XsltError::BadStylesheet(e.message))?;
         if !is_xsl(&root, "stylesheet") && !is_xsl(&root, "transform") {
             return Err(XsltError::BadStylesheet(format!(
                 "root element is <{}>, expected <xsl:stylesheet>",
@@ -140,9 +139,9 @@ impl Stylesheet {
         let mut templates = Vec::new();
         for child in &root.children {
             if is_xsl(child, "template") {
-                let m = child.attr("match").ok_or_else(|| {
-                    XsltError::BadStylesheet("xsl:template without match".into())
-                })?;
+                let m = child
+                    .attr("match")
+                    .ok_or_else(|| XsltError::BadStylesheet("xsl:template without match".into()))?;
                 templates.push(Template {
                     pattern: Pattern::parse(m)?,
                     body: child.children.clone(),
@@ -273,7 +272,11 @@ impl Stylesheet {
                 .ok_or_else(|| XsltError::BadStylesheet("value-of without select".into()))?;
             let v = select(sel, context)?;
             let s = v.first_string();
-            return Ok(if s.is_empty() { vec![] } else { vec![Node::text(&s)] });
+            return Ok(if s.is_empty() {
+                vec![]
+            } else {
+                vec![Node::text(&s)]
+            });
         }
         if is_xsl(item, "copy-of") {
             let sel = item
@@ -317,9 +320,9 @@ impl Stylesheet {
         if is_xsl(item, "choose") {
             for arm in &item.children {
                 if is_xsl(arm, "when") {
-                    let test = arm.attr("test").ok_or_else(|| {
-                        XsltError::BadStylesheet("xsl:when without test".into())
-                    })?;
+                    let test = arm
+                        .attr("test")
+                        .ok_or_else(|| XsltError::BadStylesheet("xsl:when without test".into()))?;
                     if eval_test(test, context)? {
                         return self.instantiate(&arm.children, context, root);
                     }
@@ -476,11 +479,7 @@ mod tests {
     #[test]
     fn numeric_descending_sort() {
         let cfg = NodeTypeConfig::empty();
-        let inp = parse_xml(
-            "<r><v n='2'/><v n='10'/><v n='1'/></r>",
-            &cfg,
-        )
-        .unwrap();
+        let inp = parse_xml("<r><v n='2'/><v n='10'/><v n='1'/></r>", &cfg).unwrap();
         let ss = Stylesheet::parse(
             r#"<xsl:stylesheet>
                  <xsl:template match="/">
@@ -565,10 +564,7 @@ mod tests {
     fn errors_reported() {
         assert!(Stylesheet::parse("<not-xsl/>").is_err());
         assert!(Stylesheet::parse("<xsl:stylesheet/>").is_err());
-        assert!(Stylesheet::parse(
-            "<xsl:stylesheet><xsl:template/></xsl:stylesheet>"
-        )
-        .is_err());
+        assert!(Stylesheet::parse("<xsl:stylesheet><xsl:template/></xsl:stylesheet>").is_err());
         let ss = Stylesheet::parse(
             r#"<xsl:stylesheet>
                  <xsl:template match="/"><xsl:unknown/></xsl:template>

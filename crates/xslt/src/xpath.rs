@@ -299,10 +299,7 @@ fn descendants_matching<'a>(node: &'a Node, axis: &Axis) -> Vec<&'a Node> {
             .iter()
             .filter(|c| c.ntype != NodeType::Text && c.name == *name)
             .collect(),
-        Axis::AnyChild => node
-            .iter()
-            .filter(|c| c.ntype != NodeType::Text)
-            .collect(),
+        Axis::AnyChild => node.iter().filter(|c| c.ntype != NodeType::Text).collect(),
         Axis::Text => node.iter().filter(|c| c.ntype == NodeType::Text).collect(),
         Axis::SelfNode => vec![node],
         Axis::Attr(_) => Vec::new(),
@@ -408,7 +405,10 @@ mod tests {
     #[test]
     fn index_predicate() {
         let d = doc();
-        assert_eq!(select("section[2]/p", &d).unwrap().first_string(), "dollars");
+        assert_eq!(
+            select("section[2]/p", &d).unwrap().first_string(),
+            "dollars"
+        );
         assert_eq!(
             select("section[1]/p[2]", &d).unwrap().first_string(),
             "second para"
@@ -420,7 +420,9 @@ mod tests {
     fn attr_predicates_and_values() {
         let d = doc();
         assert_eq!(
-            select("section[@id='s2']/title", &d).unwrap().first_string(),
+            select("section[@id='s2']/title", &d)
+                .unwrap()
+                .first_string(),
             "Budget"
         );
         let v = select("section/@id", &d).unwrap();
@@ -473,9 +475,8 @@ mod tests {
     #[test]
     fn double_slash_mid_path() {
         let d = Node::element("r").with_child(
-            Node::element("a").with_child(Node::element("b").with_child(
-                Node::element("c").with_text("deep"),
-            )),
+            Node::element("a")
+                .with_child(Node::element("b").with_child(Node::element("c").with_text("deep"))),
         );
         assert_eq!(select("a//c", &d).unwrap().first_string(), "deep");
     }

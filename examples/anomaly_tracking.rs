@@ -56,11 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("Recommendation", "engine"),
         ("Summary", "valve"),
     ] {
-        let fr = router.query(
-            "anomaly-tracking",
-            &XdbQuery::context_content(label, terms),
-        )?;
-        println!("== Context={label} & Content={terms}: {} hits", fr.results.len());
+        let fr = router.query("anomaly-tracking", &XdbQuery::context_content(label, terms))?;
+        println!(
+            "== Context={label} & Content={terms}: {} hits",
+            fr.results.len()
+        );
         for o in &fr.outcomes {
             println!(
                 "   source {:<11} pushed '{}' augmented={} fetched={} hits={}{}",

@@ -55,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("federated answer:\n{body}\n");
 
     // The same endpoint serves local-only queries when no databank is named.
-    let resp = http(h.addr(), "GET /xdb?Context=Disposition&limit=2 HTTP/1.1\r\n\r\n");
+    let resp = http(
+        h.addr(),
+        "GET /xdb?Context=Disposition&limit=2 HTTP/1.1\r\n\r\n",
+    );
     let body = &resp[resp.find("\r\n\r\n").map(|i| i + 4).unwrap_or(0)..];
     println!("local-only answer:\n{body}");
 

@@ -24,10 +24,7 @@ use netmark_gav::{
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let centers = ["ames", "johnson", "kennedy"];
-    let csvs: Vec<_> = centers
-        .iter()
-        .map(|c| personnel_csv(c, 30, 99))
-        .collect();
+    let csvs: Vec<_> = centers.iter().map(|c| personnel_csv(c, 30, 99)).collect();
 
     // ---------- GAV side: schemas + view + mappings, then ONE query.
     let mut med = Mediator::new();
@@ -118,10 +115,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             XdbQuery::context_content("ames-personnel", "excellent"),
             |row: &str| row.contains("excellent"),
         ),
-        (
-            XdbQuery::context("johnson-personnel"),
-            |row: &str| matches!(row.rsplit(' ').next(), Some("1" | "2")),
-        ),
+        (XdbQuery::context("johnson-personnel"), |row: &str| {
+            matches!(row.rsplit(' ').next(), Some("1" | "2"))
+        }),
         (
             XdbQuery::context_content("kennedy-personnel", "very good"),
             |row: &str| row.contains("very good"),
@@ -134,16 +130,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             for row in hit.content.find_all("row") {
                 let text = row.text_content();
                 if keep(&text) {
-                    nm_names.push(
-                        text.split_whitespace().next().unwrap_or("").to_string(),
-                    );
+                    nm_names.push(text.split_whitespace().next().unwrap_or("").to_string());
                 }
             }
         }
     }
     println!("== NETMARK (schema-less)");
     println!("   artifacts: 0 schemas, 0 mappings, 0 views (documents dropped in as-is)");
-    println!("   queries per question: {nm_query_count} (one per center — the paper's stated trade-off)");
+    println!(
+        "   queries per question: {nm_query_count} (one per center — the paper's stated trade-off)"
+    );
     println!("   top employees found: {}", nm_names.len());
 
     // Both approaches answer the same question.

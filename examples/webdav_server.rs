@@ -60,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             body
         ),
     );
-    println!("PUT /docs/uploaded.txt → {}", resp.lines().next().unwrap_or(""));
+    println!(
+        "PUT /docs/uploaded.txt → {}",
+        resp.lines().next().unwrap_or("")
+    );
 
     // List the collection (WebDAV PROPFIND).
     let resp = http(server.addr(), "PROPFIND /docs HTTP/1.1\r\n\r\n");

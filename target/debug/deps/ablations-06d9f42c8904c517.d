@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-06d9f42c8904c517.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-06d9f42c8904c517: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

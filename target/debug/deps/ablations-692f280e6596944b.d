@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-692f280e6596944b.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-692f280e6596944b: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

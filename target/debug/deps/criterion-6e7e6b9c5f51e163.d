@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-6e7e6b9c5f51e163.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-6e7e6b9c5f51e163.rlib: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-6e7e6b9c5f51e163.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-9921a3f4044938a6.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-9921a3f4044938a6.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-00cb4f6d08a3ef3c.d: tests/edge_cases.rs
+
+/root/repo/target/debug/deps/edge_cases-00cb4f6d08a3ef3c: tests/edge_cases.rs
+
+tests/edge_cases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-558242871779effc.d: tests/edge_cases.rs
+
+/root/repo/target/debug/deps/edge_cases-558242871779effc: tests/edge_cases.rs
+
+tests/edge_cases.rs:

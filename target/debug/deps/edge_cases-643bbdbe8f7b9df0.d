@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/edge_cases-643bbdbe8f7b9df0.d: tests/edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedge_cases-643bbdbe8f7b9df0.rmeta: tests/edge_cases.rs Cargo.toml
+
+tests/edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

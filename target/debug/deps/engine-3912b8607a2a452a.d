@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-3912b8607a2a452a.d: crates/relstore/tests/engine.rs
+
+/root/repo/target/debug/deps/engine-3912b8607a2a452a: crates/relstore/tests/engine.rs
+
+crates/relstore/tests/engine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine-392cf454316c0eb6.d: crates/relstore/tests/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine-392cf454316c0eb6.rmeta: crates/relstore/tests/engine.rs Cargo.toml
+
+crates/relstore/tests/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/federation_e2e-0799b76dd9dea50f.d: tests/federation_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfederation_e2e-0799b76dd9dea50f.rmeta: tests/federation_e2e.rs Cargo.toml
+
+tests/federation_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/federation_e2e-352f106400e9d9c5.d: tests/federation_e2e.rs
+
+/root/repo/target/debug/deps/federation_e2e-352f106400e9d9c5: tests/federation_e2e.rs
+
+tests/federation_e2e.rs:

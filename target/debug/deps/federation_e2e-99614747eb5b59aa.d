@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/federation_e2e-99614747eb5b59aa.d: tests/federation_e2e.rs
+
+/root/repo/target/debug/deps/federation_e2e-99614747eb5b59aa: tests/federation_e2e.rs
+
+tests/federation_e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_cost_scaling-6012dc165f24730a.d: crates/bench/src/bin/fig1_cost_scaling.rs
+
+/root/repo/target/debug/deps/fig1_cost_scaling-6012dc165f24730a: crates/bench/src/bin/fig1_cost_scaling.rs
+
+crates/bench/src/bin/fig1_cost_scaling.rs:

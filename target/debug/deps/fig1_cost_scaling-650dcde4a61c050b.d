@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_cost_scaling-650dcde4a61c050b.d: crates/bench/src/bin/fig1_cost_scaling.rs
+
+/root/repo/target/debug/deps/fig1_cost_scaling-650dcde4a61c050b: crates/bench/src/bin/fig1_cost_scaling.rs
+
+crates/bench/src/bin/fig1_cost_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_cost_scaling-ebfbf10a31e8b733.d: crates/bench/src/bin/fig1_cost_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_cost_scaling-ebfbf10a31e8b733.rmeta: crates/bench/src/bin/fig1_cost_scaling.rs Cargo.toml
+
+crates/bench/src/bin/fig1_cost_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_pipeline-22c2b9f341aac80c.d: crates/bench/src/bin/fig3_pipeline.rs
+
+/root/repo/target/debug/deps/fig3_pipeline-22c2b9f341aac80c: crates/bench/src/bin/fig3_pipeline.rs
+
+crates/bench/src/bin/fig3_pipeline.rs:

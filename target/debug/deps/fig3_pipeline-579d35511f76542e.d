@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_pipeline-579d35511f76542e.d: crates/bench/src/bin/fig3_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_pipeline-579d35511f76542e.rmeta: crates/bench/src/bin/fig3_pipeline.rs Cargo.toml
+
+crates/bench/src/bin/fig3_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

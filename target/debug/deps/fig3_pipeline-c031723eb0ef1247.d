@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_pipeline-c031723eb0ef1247.d: crates/bench/src/bin/fig3_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_pipeline-c031723eb0ef1247.rmeta: crates/bench/src/bin/fig3_pipeline.rs Cargo.toml
+
+crates/bench/src/bin/fig3_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_pipeline-e890754be22e1d2f.d: crates/bench/src/bin/fig3_pipeline.rs
+
+/root/repo/target/debug/deps/fig3_pipeline-e890754be22e1d2f: crates/bench/src/bin/fig3_pipeline.rs
+
+crates/bench/src/bin/fig3_pipeline.rs:

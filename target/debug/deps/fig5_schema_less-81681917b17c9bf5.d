@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_schema_less-81681917b17c9bf5.d: crates/bench/src/bin/fig5_schema_less.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_schema_less-81681917b17c9bf5.rmeta: crates/bench/src/bin/fig5_schema_less.rs Cargo.toml
+
+crates/bench/src/bin/fig5_schema_less.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

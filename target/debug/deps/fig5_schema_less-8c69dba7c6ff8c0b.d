@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_schema_less-8c69dba7c6ff8c0b.d: crates/bench/src/bin/fig5_schema_less.rs
+
+/root/repo/target/debug/deps/fig5_schema_less-8c69dba7c6ff8c0b: crates/bench/src/bin/fig5_schema_less.rs
+
+crates/bench/src/bin/fig5_schema_less.rs:

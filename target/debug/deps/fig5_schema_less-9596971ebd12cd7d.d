@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_schema_less-9596971ebd12cd7d.d: crates/bench/src/bin/fig5_schema_less.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_schema_less-9596971ebd12cd7d.rmeta: crates/bench/src/bin/fig5_schema_less.rs Cargo.toml
+
+crates/bench/src/bin/fig5_schema_less.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

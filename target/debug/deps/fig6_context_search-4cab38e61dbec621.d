@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_context_search-4cab38e61dbec621.d: crates/bench/src/bin/fig6_context_search.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_context_search-4cab38e61dbec621.rmeta: crates/bench/src/bin/fig6_context_search.rs Cargo.toml
+
+crates/bench/src/bin/fig6_context_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_context_search-7b422d8f39edace5.d: crates/bench/src/bin/fig6_context_search.rs
+
+/root/repo/target/debug/deps/fig6_context_search-7b422d8f39edace5: crates/bench/src/bin/fig6_context_search.rs
+
+crates/bench/src/bin/fig6_context_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_context_search-fc16ca3aba261fd0.d: crates/bench/src/bin/fig6_context_search.rs
+
+/root/repo/target/debug/deps/fig6_context_search-fc16ca3aba261fd0: crates/bench/src/bin/fig6_context_search.rs
+
+crates/bench/src/bin/fig6_context_search.rs:

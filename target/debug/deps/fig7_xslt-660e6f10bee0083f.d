@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_xslt-660e6f10bee0083f.d: crates/bench/src/bin/fig7_xslt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_xslt-660e6f10bee0083f.rmeta: crates/bench/src/bin/fig7_xslt.rs Cargo.toml
+
+crates/bench/src/bin/fig7_xslt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

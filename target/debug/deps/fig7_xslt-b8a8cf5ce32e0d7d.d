@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_xslt-b8a8cf5ce32e0d7d.d: crates/bench/src/bin/fig7_xslt.rs
+
+/root/repo/target/debug/deps/fig7_xslt-b8a8cf5ce32e0d7d: crates/bench/src/bin/fig7_xslt.rs
+
+crates/bench/src/bin/fig7_xslt.rs:

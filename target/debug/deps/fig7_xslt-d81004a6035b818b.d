@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_xslt-d81004a6035b818b.d: crates/bench/src/bin/fig7_xslt.rs
+
+/root/repo/target/debug/deps/fig7_xslt-d81004a6035b818b: crates/bench/src/bin/fig7_xslt.rs
+
+crates/bench/src/bin/fig7_xslt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_federation-21538a4a68f5d099.d: crates/bench/src/bin/fig8_federation.rs
+
+/root/repo/target/debug/deps/fig8_federation-21538a4a68f5d099: crates/bench/src/bin/fig8_federation.rs
+
+crates/bench/src/bin/fig8_federation.rs:

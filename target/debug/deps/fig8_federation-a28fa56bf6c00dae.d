@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_federation-a28fa56bf6c00dae.d: crates/bench/src/bin/fig8_federation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_federation-a28fa56bf6c00dae.rmeta: crates/bench/src/bin/fig8_federation.rs Cargo.toml
+
+crates/bench/src/bin/fig8_federation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_federation-ff3c751a604cd5a2.d: crates/bench/src/bin/fig8_federation.rs
+
+/root/repo/target/debug/deps/fig8_federation-ff3c751a604cd5a2: crates/bench/src/bin/fig8_federation.rs
+
+crates/bench/src/bin/fig8_federation.rs:

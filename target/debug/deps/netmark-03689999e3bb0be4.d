@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netmark-03689999e3bb0be4.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/netmark-03689999e3bb0be4: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/netmark-7448a38b3fa6d49c.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/netmark.rs crates/core/src/pipeline.rs crates/core/src/schema.rs crates/core/src/search.rs crates/core/src/store.rs
+
+/root/repo/target/debug/deps/netmark-7448a38b3fa6d49c: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/netmark.rs crates/core/src/pipeline.rs crates/core/src/schema.rs crates/core/src/search.rs crates/core/src/store.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/metrics.rs:
+crates/core/src/netmark.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/schema.rs:
+crates/core/src/search.rs:
+crates/core/src/store.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/netmark-7e092d3bc957f133.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/netmark.rs crates/core/src/pipeline.rs crates/core/src/schema.rs crates/core/src/search.rs crates/core/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetmark-7e092d3bc957f133.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/netmark.rs crates/core/src/pipeline.rs crates/core/src/schema.rs crates/core/src/search.rs crates/core/src/store.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/metrics.rs:
+crates/core/src/netmark.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/schema.rs:
+crates/core/src/search.rs:
+crates/core/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

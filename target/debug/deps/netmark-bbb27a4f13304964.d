@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/netmark-bbb27a4f13304964.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/netmark.rs crates/core/src/pipeline.rs crates/core/src/schema.rs crates/core/src/search.rs crates/core/src/store.rs
+
+/root/repo/target/debug/deps/libnetmark-bbb27a4f13304964.rlib: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/netmark.rs crates/core/src/pipeline.rs crates/core/src/schema.rs crates/core/src/search.rs crates/core/src/store.rs
+
+/root/repo/target/debug/deps/libnetmark-bbb27a4f13304964.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/netmark.rs crates/core/src/pipeline.rs crates/core/src/schema.rs crates/core/src/search.rs crates/core/src/store.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/metrics.rs:
+crates/core/src/netmark.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/schema.rs:
+crates/core/src/search.rs:
+crates/core/src/store.rs:

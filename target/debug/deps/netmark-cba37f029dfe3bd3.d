@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netmark-cba37f029dfe3bd3.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/netmark-cba37f029dfe3bd3: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

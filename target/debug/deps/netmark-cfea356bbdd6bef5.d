@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netmark-cfea356bbdd6bef5.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetmark-cfea356bbdd6bef5.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netmark-eff4374cf829c424.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetmark-eff4374cf829c424.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

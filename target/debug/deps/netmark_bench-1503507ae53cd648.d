@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netmark_bench-1503507ae53cd648.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/netmark_bench-1503507ae53cd648: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/netmark_bench-3d50145f946184f8.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnetmark_bench-3d50145f946184f8.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnetmark_bench-3d50145f946184f8.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

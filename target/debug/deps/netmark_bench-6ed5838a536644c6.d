@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/netmark_bench-6ed5838a536644c6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnetmark_bench-6ed5838a536644c6.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnetmark_bench-6ed5838a536644c6.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

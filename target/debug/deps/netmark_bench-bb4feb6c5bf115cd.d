@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netmark_bench-bb4feb6c5bf115cd.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/netmark_bench-bb4feb6c5bf115cd: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netmark_bench-d7d554c60e94602e.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetmark_bench-d7d554c60e94602e.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

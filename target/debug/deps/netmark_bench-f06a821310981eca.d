@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netmark_bench-f06a821310981eca.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetmark_bench-f06a821310981eca.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netmark_cli-0502dee24c11cd6b.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/netmark_cli-0502dee24c11cd6b: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netmark_cli-122c345af587a121.d: crates/cli/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetmark_cli-122c345af587a121.rmeta: crates/cli/src/lib.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/netmark_cli-6041bf6bc55c8484.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libnetmark_cli-6041bf6bc55c8484.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libnetmark_cli-6041bf6bc55c8484.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

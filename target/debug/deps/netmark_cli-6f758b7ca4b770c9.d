@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netmark_cli-6f758b7ca4b770c9.d: crates/cli/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetmark_cli-6f758b7ca4b770c9.rmeta: crates/cli/src/lib.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

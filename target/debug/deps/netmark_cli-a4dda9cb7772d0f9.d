@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netmark_cli-a4dda9cb7772d0f9.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/netmark_cli-a4dda9cb7772d0f9: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

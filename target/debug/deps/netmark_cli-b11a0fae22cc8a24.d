@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/netmark_cli-b11a0fae22cc8a24.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libnetmark_cli-b11a0fae22cc8a24.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libnetmark_cli-b11a0fae22cc8a24.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/netmark_corpus-1c4e4cbfd4aaab60.d: crates/corpus/src/lib.rs crates/corpus/src/generate.rs crates/corpus/src/words.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetmark_corpus-1c4e4cbfd4aaab60.rmeta: crates/corpus/src/lib.rs crates/corpus/src/generate.rs crates/corpus/src/words.rs Cargo.toml
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/generate.rs:
+crates/corpus/src/words.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

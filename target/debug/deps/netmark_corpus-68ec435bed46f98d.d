@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/netmark_corpus-68ec435bed46f98d.d: crates/corpus/src/lib.rs crates/corpus/src/generate.rs crates/corpus/src/words.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetmark_corpus-68ec435bed46f98d.rmeta: crates/corpus/src/lib.rs crates/corpus/src/generate.rs crates/corpus/src/words.rs Cargo.toml
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/generate.rs:
+crates/corpus/src/words.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

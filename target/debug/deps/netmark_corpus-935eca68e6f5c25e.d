@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/netmark_corpus-935eca68e6f5c25e.d: crates/corpus/src/lib.rs crates/corpus/src/generate.rs crates/corpus/src/words.rs
+
+/root/repo/target/debug/deps/netmark_corpus-935eca68e6f5c25e: crates/corpus/src/lib.rs crates/corpus/src/generate.rs crates/corpus/src/words.rs
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/generate.rs:
+crates/corpus/src/words.rs:

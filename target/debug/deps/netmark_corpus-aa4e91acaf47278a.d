@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netmark_corpus-aa4e91acaf47278a.d: crates/corpus/src/lib.rs crates/corpus/src/generate.rs crates/corpus/src/words.rs
+
+/root/repo/target/debug/deps/libnetmark_corpus-aa4e91acaf47278a.rlib: crates/corpus/src/lib.rs crates/corpus/src/generate.rs crates/corpus/src/words.rs
+
+/root/repo/target/debug/deps/libnetmark_corpus-aa4e91acaf47278a.rmeta: crates/corpus/src/lib.rs crates/corpus/src/generate.rs crates/corpus/src/words.rs
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/generate.rs:
+crates/corpus/src/words.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/netmark_docformats-300c4a07fd6de522.d: crates/docformats/src/lib.rs crates/docformats/src/canonical.rs crates/docformats/src/detect.rs crates/docformats/src/html.rs crates/docformats/src/pdoc.rs crates/docformats/src/plaintext.rs crates/docformats/src/sdoc.rs crates/docformats/src/spreadsheet.rs crates/docformats/src/wdoc.rs
+
+/root/repo/target/debug/deps/libnetmark_docformats-300c4a07fd6de522.rlib: crates/docformats/src/lib.rs crates/docformats/src/canonical.rs crates/docformats/src/detect.rs crates/docformats/src/html.rs crates/docformats/src/pdoc.rs crates/docformats/src/plaintext.rs crates/docformats/src/sdoc.rs crates/docformats/src/spreadsheet.rs crates/docformats/src/wdoc.rs
+
+/root/repo/target/debug/deps/libnetmark_docformats-300c4a07fd6de522.rmeta: crates/docformats/src/lib.rs crates/docformats/src/canonical.rs crates/docformats/src/detect.rs crates/docformats/src/html.rs crates/docformats/src/pdoc.rs crates/docformats/src/plaintext.rs crates/docformats/src/sdoc.rs crates/docformats/src/spreadsheet.rs crates/docformats/src/wdoc.rs
+
+crates/docformats/src/lib.rs:
+crates/docformats/src/canonical.rs:
+crates/docformats/src/detect.rs:
+crates/docformats/src/html.rs:
+crates/docformats/src/pdoc.rs:
+crates/docformats/src/plaintext.rs:
+crates/docformats/src/sdoc.rs:
+crates/docformats/src/spreadsheet.rs:
+crates/docformats/src/wdoc.rs:

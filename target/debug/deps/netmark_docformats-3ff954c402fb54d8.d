@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/netmark_docformats-3ff954c402fb54d8.d: crates/docformats/src/lib.rs crates/docformats/src/canonical.rs crates/docformats/src/detect.rs crates/docformats/src/html.rs crates/docformats/src/pdoc.rs crates/docformats/src/plaintext.rs crates/docformats/src/sdoc.rs crates/docformats/src/spreadsheet.rs crates/docformats/src/wdoc.rs
+
+/root/repo/target/debug/deps/netmark_docformats-3ff954c402fb54d8: crates/docformats/src/lib.rs crates/docformats/src/canonical.rs crates/docformats/src/detect.rs crates/docformats/src/html.rs crates/docformats/src/pdoc.rs crates/docformats/src/plaintext.rs crates/docformats/src/sdoc.rs crates/docformats/src/spreadsheet.rs crates/docformats/src/wdoc.rs
+
+crates/docformats/src/lib.rs:
+crates/docformats/src/canonical.rs:
+crates/docformats/src/detect.rs:
+crates/docformats/src/html.rs:
+crates/docformats/src/pdoc.rs:
+crates/docformats/src/plaintext.rs:
+crates/docformats/src/sdoc.rs:
+crates/docformats/src/spreadsheet.rs:
+crates/docformats/src/wdoc.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/netmark_docformats-f3a133d75808c296.d: crates/docformats/src/lib.rs crates/docformats/src/canonical.rs crates/docformats/src/detect.rs crates/docformats/src/html.rs crates/docformats/src/pdoc.rs crates/docformats/src/plaintext.rs crates/docformats/src/sdoc.rs crates/docformats/src/spreadsheet.rs crates/docformats/src/wdoc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetmark_docformats-f3a133d75808c296.rmeta: crates/docformats/src/lib.rs crates/docformats/src/canonical.rs crates/docformats/src/detect.rs crates/docformats/src/html.rs crates/docformats/src/pdoc.rs crates/docformats/src/plaintext.rs crates/docformats/src/sdoc.rs crates/docformats/src/spreadsheet.rs crates/docformats/src/wdoc.rs Cargo.toml
+
+crates/docformats/src/lib.rs:
+crates/docformats/src/canonical.rs:
+crates/docformats/src/detect.rs:
+crates/docformats/src/html.rs:
+crates/docformats/src/pdoc.rs:
+crates/docformats/src/plaintext.rs:
+crates/docformats/src/sdoc.rs:
+crates/docformats/src/spreadsheet.rs:
+crates/docformats/src/wdoc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/netmark_federation-7e0b5032d1af86a0.d: crates/federation/src/lib.rs crates/federation/src/adapter.rs crates/federation/src/databank.rs crates/federation/src/matcher.rs crates/federation/src/serve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetmark_federation-7e0b5032d1af86a0.rmeta: crates/federation/src/lib.rs crates/federation/src/adapter.rs crates/federation/src/databank.rs crates/federation/src/matcher.rs crates/federation/src/serve.rs Cargo.toml
+
+crates/federation/src/lib.rs:
+crates/federation/src/adapter.rs:
+crates/federation/src/databank.rs:
+crates/federation/src/matcher.rs:
+crates/federation/src/serve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

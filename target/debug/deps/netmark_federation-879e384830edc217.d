@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/netmark_federation-879e384830edc217.d: crates/federation/src/lib.rs crates/federation/src/adapter.rs crates/federation/src/databank.rs crates/federation/src/matcher.rs crates/federation/src/serve.rs
+
+/root/repo/target/debug/deps/libnetmark_federation-879e384830edc217.rlib: crates/federation/src/lib.rs crates/federation/src/adapter.rs crates/federation/src/databank.rs crates/federation/src/matcher.rs crates/federation/src/serve.rs
+
+/root/repo/target/debug/deps/libnetmark_federation-879e384830edc217.rmeta: crates/federation/src/lib.rs crates/federation/src/adapter.rs crates/federation/src/databank.rs crates/federation/src/matcher.rs crates/federation/src/serve.rs
+
+crates/federation/src/lib.rs:
+crates/federation/src/adapter.rs:
+crates/federation/src/databank.rs:
+crates/federation/src/matcher.rs:
+crates/federation/src/serve.rs:

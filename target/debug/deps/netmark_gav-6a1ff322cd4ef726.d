@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netmark_gav-6a1ff322cd4ef726.d: crates/gav/src/lib.rs crates/gav/src/mediator.rs crates/gav/src/model.rs
+
+/root/repo/target/debug/deps/libnetmark_gav-6a1ff322cd4ef726.rlib: crates/gav/src/lib.rs crates/gav/src/mediator.rs crates/gav/src/model.rs
+
+/root/repo/target/debug/deps/libnetmark_gav-6a1ff322cd4ef726.rmeta: crates/gav/src/lib.rs crates/gav/src/mediator.rs crates/gav/src/model.rs
+
+crates/gav/src/lib.rs:
+crates/gav/src/mediator.rs:
+crates/gav/src/model.rs:

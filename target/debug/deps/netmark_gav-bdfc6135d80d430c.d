@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/netmark_gav-bdfc6135d80d430c.d: crates/gav/src/lib.rs crates/gav/src/mediator.rs crates/gav/src/model.rs
+
+/root/repo/target/debug/deps/netmark_gav-bdfc6135d80d430c: crates/gav/src/lib.rs crates/gav/src/mediator.rs crates/gav/src/model.rs
+
+crates/gav/src/lib.rs:
+crates/gav/src/mediator.rs:
+crates/gav/src/model.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/netmark_gav-ccfad4567d0fa06a.d: crates/gav/src/lib.rs crates/gav/src/mediator.rs crates/gav/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetmark_gav-ccfad4567d0fa06a.rmeta: crates/gav/src/lib.rs crates/gav/src/mediator.rs crates/gav/src/model.rs Cargo.toml
+
+crates/gav/src/lib.rs:
+crates/gav/src/mediator.rs:
+crates/gav/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/netmark_model-660e40fc6402840e.d: crates/model/src/lib.rs crates/model/src/escape.rs crates/model/src/node.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetmark_model-660e40fc6402840e.rmeta: crates/model/src/lib.rs crates/model/src/escape.rs crates/model/src/node.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/escape.rs:
+crates/model/src/node.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netmark_model-a7ec56c725ff261e.d: crates/model/src/lib.rs crates/model/src/escape.rs crates/model/src/node.rs
+
+/root/repo/target/debug/deps/libnetmark_model-a7ec56c725ff261e.rlib: crates/model/src/lib.rs crates/model/src/escape.rs crates/model/src/node.rs
+
+/root/repo/target/debug/deps/libnetmark_model-a7ec56c725ff261e.rmeta: crates/model/src/lib.rs crates/model/src/escape.rs crates/model/src/node.rs
+
+crates/model/src/lib.rs:
+crates/model/src/escape.rs:
+crates/model/src/node.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/netmark_model-b47b5b50fac8b409.d: crates/model/src/lib.rs crates/model/src/escape.rs crates/model/src/node.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetmark_model-b47b5b50fac8b409.rmeta: crates/model/src/lib.rs crates/model/src/escape.rs crates/model/src/node.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/escape.rs:
+crates/model/src/node.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/netmark_model-cb875b621a6ebaf1.d: crates/model/src/lib.rs crates/model/src/escape.rs crates/model/src/node.rs
+
+/root/repo/target/debug/deps/netmark_model-cb875b621a6ebaf1: crates/model/src/lib.rs crates/model/src/escape.rs crates/model/src/node.rs
+
+crates/model/src/lib.rs:
+crates/model/src/escape.rs:
+crates/model/src/node.rs:

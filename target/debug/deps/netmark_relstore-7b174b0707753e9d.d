@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/netmark_relstore-7b174b0707753e9d.d: crates/relstore/src/lib.rs crates/relstore/src/btree.rs crates/relstore/src/buffer.rs crates/relstore/src/catalog.rs crates/relstore/src/db.rs crates/relstore/src/disk.rs crates/relstore/src/error.rs crates/relstore/src/heap.rs crates/relstore/src/keyenc.rs crates/relstore/src/page.rs crates/relstore/src/tuple.rs crates/relstore/src/wal.rs
+
+/root/repo/target/debug/deps/libnetmark_relstore-7b174b0707753e9d.rlib: crates/relstore/src/lib.rs crates/relstore/src/btree.rs crates/relstore/src/buffer.rs crates/relstore/src/catalog.rs crates/relstore/src/db.rs crates/relstore/src/disk.rs crates/relstore/src/error.rs crates/relstore/src/heap.rs crates/relstore/src/keyenc.rs crates/relstore/src/page.rs crates/relstore/src/tuple.rs crates/relstore/src/wal.rs
+
+/root/repo/target/debug/deps/libnetmark_relstore-7b174b0707753e9d.rmeta: crates/relstore/src/lib.rs crates/relstore/src/btree.rs crates/relstore/src/buffer.rs crates/relstore/src/catalog.rs crates/relstore/src/db.rs crates/relstore/src/disk.rs crates/relstore/src/error.rs crates/relstore/src/heap.rs crates/relstore/src/keyenc.rs crates/relstore/src/page.rs crates/relstore/src/tuple.rs crates/relstore/src/wal.rs
+
+crates/relstore/src/lib.rs:
+crates/relstore/src/btree.rs:
+crates/relstore/src/buffer.rs:
+crates/relstore/src/catalog.rs:
+crates/relstore/src/db.rs:
+crates/relstore/src/disk.rs:
+crates/relstore/src/error.rs:
+crates/relstore/src/heap.rs:
+crates/relstore/src/keyenc.rs:
+crates/relstore/src/page.rs:
+crates/relstore/src/tuple.rs:
+crates/relstore/src/wal.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/netmark_relstore-8fc27f6fedabfa35.d: crates/relstore/src/lib.rs crates/relstore/src/btree.rs crates/relstore/src/buffer.rs crates/relstore/src/catalog.rs crates/relstore/src/db.rs crates/relstore/src/disk.rs crates/relstore/src/error.rs crates/relstore/src/heap.rs crates/relstore/src/keyenc.rs crates/relstore/src/page.rs crates/relstore/src/tuple.rs crates/relstore/src/wal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetmark_relstore-8fc27f6fedabfa35.rmeta: crates/relstore/src/lib.rs crates/relstore/src/btree.rs crates/relstore/src/buffer.rs crates/relstore/src/catalog.rs crates/relstore/src/db.rs crates/relstore/src/disk.rs crates/relstore/src/error.rs crates/relstore/src/heap.rs crates/relstore/src/keyenc.rs crates/relstore/src/page.rs crates/relstore/src/tuple.rs crates/relstore/src/wal.rs Cargo.toml
+
+crates/relstore/src/lib.rs:
+crates/relstore/src/btree.rs:
+crates/relstore/src/buffer.rs:
+crates/relstore/src/catalog.rs:
+crates/relstore/src/db.rs:
+crates/relstore/src/disk.rs:
+crates/relstore/src/error.rs:
+crates/relstore/src/heap.rs:
+crates/relstore/src/keyenc.rs:
+crates/relstore/src/page.rs:
+crates/relstore/src/tuple.rs:
+crates/relstore/src/wal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/netmark_relstore-b8d232f75f6815b2.d: crates/relstore/src/lib.rs crates/relstore/src/btree.rs crates/relstore/src/buffer.rs crates/relstore/src/catalog.rs crates/relstore/src/db.rs crates/relstore/src/disk.rs crates/relstore/src/error.rs crates/relstore/src/heap.rs crates/relstore/src/keyenc.rs crates/relstore/src/page.rs crates/relstore/src/tuple.rs crates/relstore/src/wal.rs
+
+/root/repo/target/debug/deps/netmark_relstore-b8d232f75f6815b2: crates/relstore/src/lib.rs crates/relstore/src/btree.rs crates/relstore/src/buffer.rs crates/relstore/src/catalog.rs crates/relstore/src/db.rs crates/relstore/src/disk.rs crates/relstore/src/error.rs crates/relstore/src/heap.rs crates/relstore/src/keyenc.rs crates/relstore/src/page.rs crates/relstore/src/tuple.rs crates/relstore/src/wal.rs
+
+crates/relstore/src/lib.rs:
+crates/relstore/src/btree.rs:
+crates/relstore/src/buffer.rs:
+crates/relstore/src/catalog.rs:
+crates/relstore/src/db.rs:
+crates/relstore/src/disk.rs:
+crates/relstore/src/error.rs:
+crates/relstore/src/heap.rs:
+crates/relstore/src/keyenc.rs:
+crates/relstore/src/page.rs:
+crates/relstore/src/tuple.rs:
+crates/relstore/src/wal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netmark_repro-1ca73a100c9502c9.d: src/lib.rs
+
+/root/repo/target/debug/deps/netmark_repro-1ca73a100c9502c9: src/lib.rs
+
+src/lib.rs:

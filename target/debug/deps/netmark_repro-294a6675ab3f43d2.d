@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netmark_repro-294a6675ab3f43d2.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetmark_repro-294a6675ab3f43d2.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

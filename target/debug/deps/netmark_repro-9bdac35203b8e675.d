@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/netmark_repro-9bdac35203b8e675.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnetmark_repro-9bdac35203b8e675.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnetmark_repro-9bdac35203b8e675.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/netmark_repro-a7ad16b39f27447a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnetmark_repro-a7ad16b39f27447a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnetmark_repro-a7ad16b39f27447a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netmark_repro-c47c15320b45f78f.d: src/lib.rs
+
+/root/repo/target/debug/deps/netmark_repro-c47c15320b45f78f: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netmark_repro-d788cb02f380bdcb.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetmark_repro-d788cb02f380bdcb.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

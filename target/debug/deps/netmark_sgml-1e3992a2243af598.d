@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/netmark_sgml-1e3992a2243af598.d: crates/sgml/src/lib.rs crates/sgml/src/config.rs crates/sgml/src/parser.rs crates/sgml/src/tokenizer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetmark_sgml-1e3992a2243af598.rmeta: crates/sgml/src/lib.rs crates/sgml/src/config.rs crates/sgml/src/parser.rs crates/sgml/src/tokenizer.rs Cargo.toml
+
+crates/sgml/src/lib.rs:
+crates/sgml/src/config.rs:
+crates/sgml/src/parser.rs:
+crates/sgml/src/tokenizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/netmark_sgml-66955d90db082d67.d: crates/sgml/src/lib.rs crates/sgml/src/config.rs crates/sgml/src/parser.rs crates/sgml/src/tokenizer.rs
+
+/root/repo/target/debug/deps/netmark_sgml-66955d90db082d67: crates/sgml/src/lib.rs crates/sgml/src/config.rs crates/sgml/src/parser.rs crates/sgml/src/tokenizer.rs
+
+crates/sgml/src/lib.rs:
+crates/sgml/src/config.rs:
+crates/sgml/src/parser.rs:
+crates/sgml/src/tokenizer.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/netmark_sgml-8e4be03e8916fce1.d: crates/sgml/src/lib.rs crates/sgml/src/config.rs crates/sgml/src/parser.rs crates/sgml/src/tokenizer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetmark_sgml-8e4be03e8916fce1.rmeta: crates/sgml/src/lib.rs crates/sgml/src/config.rs crates/sgml/src/parser.rs crates/sgml/src/tokenizer.rs Cargo.toml
+
+crates/sgml/src/lib.rs:
+crates/sgml/src/config.rs:
+crates/sgml/src/parser.rs:
+crates/sgml/src/tokenizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

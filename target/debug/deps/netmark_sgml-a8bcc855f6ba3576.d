@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/netmark_sgml-a8bcc855f6ba3576.d: crates/sgml/src/lib.rs crates/sgml/src/config.rs crates/sgml/src/parser.rs crates/sgml/src/tokenizer.rs
+
+/root/repo/target/debug/deps/libnetmark_sgml-a8bcc855f6ba3576.rlib: crates/sgml/src/lib.rs crates/sgml/src/config.rs crates/sgml/src/parser.rs crates/sgml/src/tokenizer.rs
+
+/root/repo/target/debug/deps/libnetmark_sgml-a8bcc855f6ba3576.rmeta: crates/sgml/src/lib.rs crates/sgml/src/config.rs crates/sgml/src/parser.rs crates/sgml/src/tokenizer.rs
+
+crates/sgml/src/lib.rs:
+crates/sgml/src/config.rs:
+crates/sgml/src/parser.rs:
+crates/sgml/src/tokenizer.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/netmark_textindex-b030dcee8723ec21.d: crates/textindex/src/lib.rs crates/textindex/src/index.rs crates/textindex/src/postings.rs crates/textindex/src/tokenize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetmark_textindex-b030dcee8723ec21.rmeta: crates/textindex/src/lib.rs crates/textindex/src/index.rs crates/textindex/src/postings.rs crates/textindex/src/tokenize.rs Cargo.toml
+
+crates/textindex/src/lib.rs:
+crates/textindex/src/index.rs:
+crates/textindex/src/postings.rs:
+crates/textindex/src/tokenize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/netmark_textindex-b3409e1ac61ae9dc.d: crates/textindex/src/lib.rs crates/textindex/src/index.rs crates/textindex/src/postings.rs crates/textindex/src/tokenize.rs
+
+/root/repo/target/debug/deps/libnetmark_textindex-b3409e1ac61ae9dc.rlib: crates/textindex/src/lib.rs crates/textindex/src/index.rs crates/textindex/src/postings.rs crates/textindex/src/tokenize.rs
+
+/root/repo/target/debug/deps/libnetmark_textindex-b3409e1ac61ae9dc.rmeta: crates/textindex/src/lib.rs crates/textindex/src/index.rs crates/textindex/src/postings.rs crates/textindex/src/tokenize.rs
+
+crates/textindex/src/lib.rs:
+crates/textindex/src/index.rs:
+crates/textindex/src/postings.rs:
+crates/textindex/src/tokenize.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/netmark_textindex-b41aa01ca917861a.d: crates/textindex/src/lib.rs crates/textindex/src/index.rs crates/textindex/src/postings.rs crates/textindex/src/tokenize.rs
+
+/root/repo/target/debug/deps/netmark_textindex-b41aa01ca917861a: crates/textindex/src/lib.rs crates/textindex/src/index.rs crates/textindex/src/postings.rs crates/textindex/src/tokenize.rs
+
+crates/textindex/src/lib.rs:
+crates/textindex/src/index.rs:
+crates/textindex/src/postings.rs:
+crates/textindex/src/tokenize.rs:

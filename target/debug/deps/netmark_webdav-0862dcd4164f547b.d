@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/netmark_webdav-0862dcd4164f547b.d: crates/webdav/src/lib.rs crates/webdav/src/daemon.rs crates/webdav/src/http.rs crates/webdav/src/server.rs
+
+/root/repo/target/debug/deps/libnetmark_webdav-0862dcd4164f547b.rlib: crates/webdav/src/lib.rs crates/webdav/src/daemon.rs crates/webdav/src/http.rs crates/webdav/src/server.rs
+
+/root/repo/target/debug/deps/libnetmark_webdav-0862dcd4164f547b.rmeta: crates/webdav/src/lib.rs crates/webdav/src/daemon.rs crates/webdav/src/http.rs crates/webdav/src/server.rs
+
+crates/webdav/src/lib.rs:
+crates/webdav/src/daemon.rs:
+crates/webdav/src/http.rs:
+crates/webdav/src/server.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/netmark_webdav-23cf8e56a6415a98.d: crates/webdav/src/lib.rs crates/webdav/src/daemon.rs crates/webdav/src/http.rs crates/webdav/src/ingest.rs crates/webdav/src/server.rs
+
+/root/repo/target/debug/deps/libnetmark_webdav-23cf8e56a6415a98.rlib: crates/webdav/src/lib.rs crates/webdav/src/daemon.rs crates/webdav/src/http.rs crates/webdav/src/ingest.rs crates/webdav/src/server.rs
+
+/root/repo/target/debug/deps/libnetmark_webdav-23cf8e56a6415a98.rmeta: crates/webdav/src/lib.rs crates/webdav/src/daemon.rs crates/webdav/src/http.rs crates/webdav/src/ingest.rs crates/webdav/src/server.rs
+
+crates/webdav/src/lib.rs:
+crates/webdav/src/daemon.rs:
+crates/webdav/src/http.rs:
+crates/webdav/src/ingest.rs:
+crates/webdav/src/server.rs:

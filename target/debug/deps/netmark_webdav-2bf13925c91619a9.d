@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netmark_webdav-2bf13925c91619a9.d: crates/webdav/src/lib.rs crates/webdav/src/daemon.rs crates/webdav/src/http.rs crates/webdav/src/ingest.rs crates/webdav/src/server.rs
+
+/root/repo/target/debug/deps/netmark_webdav-2bf13925c91619a9: crates/webdav/src/lib.rs crates/webdav/src/daemon.rs crates/webdav/src/http.rs crates/webdav/src/ingest.rs crates/webdav/src/server.rs
+
+crates/webdav/src/lib.rs:
+crates/webdav/src/daemon.rs:
+crates/webdav/src/http.rs:
+crates/webdav/src/ingest.rs:
+crates/webdav/src/server.rs:

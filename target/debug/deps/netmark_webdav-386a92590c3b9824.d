@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/netmark_webdav-386a92590c3b9824.d: crates/webdav/src/lib.rs crates/webdav/src/daemon.rs crates/webdav/src/http.rs crates/webdav/src/ingest.rs crates/webdav/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetmark_webdav-386a92590c3b9824.rmeta: crates/webdav/src/lib.rs crates/webdav/src/daemon.rs crates/webdav/src/http.rs crates/webdav/src/ingest.rs crates/webdav/src/server.rs Cargo.toml
+
+crates/webdav/src/lib.rs:
+crates/webdav/src/daemon.rs:
+crates/webdav/src/http.rs:
+crates/webdav/src/ingest.rs:
+crates/webdav/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/netmark_webdav-43198fdfb8008a4b.d: crates/webdav/src/lib.rs crates/webdav/src/daemon.rs crates/webdav/src/http.rs crates/webdav/src/server.rs
+
+/root/repo/target/debug/deps/netmark_webdav-43198fdfb8008a4b: crates/webdav/src/lib.rs crates/webdav/src/daemon.rs crates/webdav/src/http.rs crates/webdav/src/server.rs
+
+crates/webdav/src/lib.rs:
+crates/webdav/src/daemon.rs:
+crates/webdav/src/http.rs:
+crates/webdav/src/server.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/netmark_xslt-2f4f366610d3c4d8.d: crates/xslt/src/lib.rs crates/xslt/src/transform.rs crates/xslt/src/xpath.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetmark_xslt-2f4f366610d3c4d8.rmeta: crates/xslt/src/lib.rs crates/xslt/src/transform.rs crates/xslt/src/xpath.rs Cargo.toml
+
+crates/xslt/src/lib.rs:
+crates/xslt/src/transform.rs:
+crates/xslt/src/xpath.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

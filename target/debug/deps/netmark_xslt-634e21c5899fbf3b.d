@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/netmark_xslt-634e21c5899fbf3b.d: crates/xslt/src/lib.rs crates/xslt/src/transform.rs crates/xslt/src/xpath.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetmark_xslt-634e21c5899fbf3b.rmeta: crates/xslt/src/lib.rs crates/xslt/src/transform.rs crates/xslt/src/xpath.rs Cargo.toml
+
+crates/xslt/src/lib.rs:
+crates/xslt/src/transform.rs:
+crates/xslt/src/xpath.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

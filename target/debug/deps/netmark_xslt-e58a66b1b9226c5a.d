@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netmark_xslt-e58a66b1b9226c5a.d: crates/xslt/src/lib.rs crates/xslt/src/transform.rs crates/xslt/src/xpath.rs
+
+/root/repo/target/debug/deps/libnetmark_xslt-e58a66b1b9226c5a.rlib: crates/xslt/src/lib.rs crates/xslt/src/transform.rs crates/xslt/src/xpath.rs
+
+/root/repo/target/debug/deps/libnetmark_xslt-e58a66b1b9226c5a.rmeta: crates/xslt/src/lib.rs crates/xslt/src/transform.rs crates/xslt/src/xpath.rs
+
+crates/xslt/src/lib.rs:
+crates/xslt/src/transform.rs:
+crates/xslt/src/xpath.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/netmark_xslt-fb5f29ad0d17d227.d: crates/xslt/src/lib.rs crates/xslt/src/transform.rs crates/xslt/src/xpath.rs
+
+/root/repo/target/debug/deps/netmark_xslt-fb5f29ad0d17d227: crates/xslt/src/lib.rs crates/xslt/src/transform.rs crates/xslt/src/xpath.rs
+
+crates/xslt/src/lib.rs:
+crates/xslt/src/transform.rs:
+crates/xslt/src/xpath.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-92fd42328c2814b8.d: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-92fd42328c2814b8.rmeta: crates/shims/parking_lot/src/lib.rs
+
+crates/shims/parking_lot/src/lib.rs:

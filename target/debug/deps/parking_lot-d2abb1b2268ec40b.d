@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-d2abb1b2268ec40b.d: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-d2abb1b2268ec40b.rlib: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-d2abb1b2268ec40b.rmeta: crates/shims/parking_lot/src/lib.rs
+
+crates/shims/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-48ffd658abfe2947.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-48ffd658abfe2947: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-4ac65f638cb98341.d: tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-4ac65f638cb98341.rmeta: tests/pipeline.rs Cargo.toml
+
+tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-abeddb1489e5a86b.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-abeddb1489e5a86b: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-0c7307c069d796b1.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-0c7307c069d796b1.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-34b10f61744492ce.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-34b10f61744492ce: tests/properties.rs
+
+tests/properties.rs:

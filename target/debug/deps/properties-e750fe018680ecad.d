@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-e750fe018680ecad.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-e750fe018680ecad: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-c2bc23c6e9a34d2c.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-c2bc23c6e9a34d2c.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-dfaf4819f14317a2.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-dfaf4819f14317a2.rlib: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-dfaf4819f14317a2.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

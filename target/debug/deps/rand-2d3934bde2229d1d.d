@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-2d3934bde2229d1d.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-2d3934bde2229d1d.rlib: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-2d3934bde2229d1d.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

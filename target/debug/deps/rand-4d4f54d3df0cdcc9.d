@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-4d4f54d3df0cdcc9.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-4d4f54d3df0cdcc9.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

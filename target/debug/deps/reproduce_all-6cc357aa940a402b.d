@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_all-6cc357aa940a402b.d: crates/bench/src/bin/reproduce_all.rs
+
+/root/repo/target/debug/deps/reproduce_all-6cc357aa940a402b: crates/bench/src/bin/reproduce_all.rs
+
+crates/bench/src/bin/reproduce_all.rs:

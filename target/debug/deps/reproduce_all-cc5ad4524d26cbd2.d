@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduce_all-cc5ad4524d26cbd2.d: crates/bench/src/bin/reproduce_all.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduce_all-cc5ad4524d26cbd2.rmeta: crates/bench/src/bin/reproduce_all.rs Cargo.toml
+
+crates/bench/src/bin/reproduce_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_all-d56800c4c413b805.d: crates/bench/src/bin/reproduce_all.rs
+
+/root/repo/target/debug/deps/reproduce_all-d56800c4c413b805: crates/bench/src/bin/reproduce_all.rs
+
+crates/bench/src/bin/reproduce_all.rs:

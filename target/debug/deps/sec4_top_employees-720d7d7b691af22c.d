@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec4_top_employees-720d7d7b691af22c.d: crates/bench/src/bin/sec4_top_employees.rs
+
+/root/repo/target/debug/deps/sec4_top_employees-720d7d7b691af22c: crates/bench/src/bin/sec4_top_employees.rs
+
+crates/bench/src/bin/sec4_top_employees.rs:

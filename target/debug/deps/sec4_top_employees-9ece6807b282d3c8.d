@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec4_top_employees-9ece6807b282d3c8.d: crates/bench/src/bin/sec4_top_employees.rs
+
+/root/repo/target/debug/deps/sec4_top_employees-9ece6807b282d3c8: crates/bench/src/bin/sec4_top_employees.rs
+
+crates/bench/src/bin/sec4_top_employees.rs:

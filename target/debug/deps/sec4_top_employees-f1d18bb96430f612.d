@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec4_top_employees-f1d18bb96430f612.d: crates/bench/src/bin/sec4_top_employees.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec4_top_employees-f1d18bb96430f612.rmeta: crates/bench/src/bin/sec4_top_employees.rs Cargo.toml
+
+crates/bench/src/bin/sec4_top_employees.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

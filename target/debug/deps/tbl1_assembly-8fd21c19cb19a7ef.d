@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tbl1_assembly-8fd21c19cb19a7ef.d: crates/bench/src/bin/tbl1_assembly.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtbl1_assembly-8fd21c19cb19a7ef.rmeta: crates/bench/src/bin/tbl1_assembly.rs Cargo.toml
+
+crates/bench/src/bin/tbl1_assembly.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

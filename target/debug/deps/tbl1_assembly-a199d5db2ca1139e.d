@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tbl1_assembly-a199d5db2ca1139e.d: crates/bench/src/bin/tbl1_assembly.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtbl1_assembly-a199d5db2ca1139e.rmeta: crates/bench/src/bin/tbl1_assembly.rs Cargo.toml
+
+crates/bench/src/bin/tbl1_assembly.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

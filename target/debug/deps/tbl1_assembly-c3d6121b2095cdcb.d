@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl1_assembly-c3d6121b2095cdcb.d: crates/bench/src/bin/tbl1_assembly.rs
+
+/root/repo/target/debug/deps/tbl1_assembly-c3d6121b2095cdcb: crates/bench/src/bin/tbl1_assembly.rs
+
+crates/bench/src/bin/tbl1_assembly.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl1_assembly-fafd35acb4bca7b3.d: crates/bench/src/bin/tbl1_assembly.rs
+
+/root/repo/target/debug/deps/tbl1_assembly-fafd35acb4bca7b3: crates/bench/src/bin/tbl1_assembly.rs
+
+crates/bench/src/bin/tbl1_assembly.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/anomaly_tracking-5c3bccb7d3265cb5.d: examples/anomaly_tracking.rs
+
+/root/repo/target/debug/examples/anomaly_tracking-5c3bccb7d3265cb5: examples/anomaly_tracking.rs
+
+examples/anomaly_tracking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/anomaly_tracking-9862b5d51d08d8a9.d: examples/anomaly_tracking.rs
+
+/root/repo/target/debug/examples/anomaly_tracking-9862b5d51d08d8a9: examples/anomaly_tracking.rs
+
+examples/anomaly_tracking.rs:

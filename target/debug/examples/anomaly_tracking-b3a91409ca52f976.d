@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/anomaly_tracking-b3a91409ca52f976.d: examples/anomaly_tracking.rs Cargo.toml
+
+/root/repo/target/debug/examples/libanomaly_tracking-b3a91409ca52f976.rmeta: examples/anomaly_tracking.rs Cargo.toml
+
+examples/anomaly_tracking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

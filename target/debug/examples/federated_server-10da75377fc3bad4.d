@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/federated_server-10da75377fc3bad4.d: examples/federated_server.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfederated_server-10da75377fc3bad4.rmeta: examples/federated_server.rs Cargo.toml
+
+examples/federated_server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/federated_server-a912148e4dffb096.d: examples/federated_server.rs
+
+/root/repo/target/debug/examples/federated_server-a912148e4dffb096: examples/federated_server.rs
+
+examples/federated_server.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/federated_server-e0948c5c4282b9e4.d: examples/federated_server.rs
+
+/root/repo/target/debug/examples/federated_server-e0948c5c4282b9e4: examples/federated_server.rs
+
+examples/federated_server.rs:

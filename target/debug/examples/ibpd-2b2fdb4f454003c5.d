@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ibpd-2b2fdb4f454003c5.d: examples/ibpd.rs
+
+/root/repo/target/debug/examples/ibpd-2b2fdb4f454003c5: examples/ibpd.rs
+
+examples/ibpd.rs:

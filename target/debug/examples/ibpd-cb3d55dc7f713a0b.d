@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ibpd-cb3d55dc7f713a0b.d: examples/ibpd.rs
+
+/root/repo/target/debug/examples/ibpd-cb3d55dc7f713a0b: examples/ibpd.rs
+
+examples/ibpd.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ibpd-fab401d7319dafd1.d: examples/ibpd.rs Cargo.toml
+
+/root/repo/target/debug/examples/libibpd-fab401d7319dafd1.rmeta: examples/ibpd.rs Cargo.toml
+
+examples/ibpd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/profile_ingest-65f78e5608b80e74.d: crates/bench/examples/profile_ingest.rs
+
+/root/repo/target/debug/examples/profile_ingest-65f78e5608b80e74: crates/bench/examples/profile_ingest.rs
+
+crates/bench/examples/profile_ingest.rs:

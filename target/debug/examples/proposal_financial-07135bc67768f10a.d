@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/proposal_financial-07135bc67768f10a.d: examples/proposal_financial.rs Cargo.toml
+
+/root/repo/target/debug/examples/libproposal_financial-07135bc67768f10a.rmeta: examples/proposal_financial.rs Cargo.toml
+
+examples/proposal_financial.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/proposal_financial-1d1a77c19da11167.d: examples/proposal_financial.rs
+
+/root/repo/target/debug/examples/proposal_financial-1d1a77c19da11167: examples/proposal_financial.rs
+
+examples/proposal_financial.rs:

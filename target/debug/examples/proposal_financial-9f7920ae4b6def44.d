@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/proposal_financial-9f7920ae4b6def44.d: examples/proposal_financial.rs
+
+/root/repo/target/debug/examples/proposal_financial-9f7920ae4b6def44: examples/proposal_financial.rs
+
+examples/proposal_financial.rs:

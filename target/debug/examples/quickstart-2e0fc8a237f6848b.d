@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2e0fc8a237f6848b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2e0fc8a237f6848b: examples/quickstart.rs
+
+examples/quickstart.rs:

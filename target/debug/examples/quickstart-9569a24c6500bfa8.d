@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9569a24c6500bfa8.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9569a24c6500bfa8: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-e139c69e659fe5c1.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-e139c69e659fe5c1.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/top_employees-24bc40cf74ddb5a9.d: examples/top_employees.rs
+
+/root/repo/target/debug/examples/top_employees-24bc40cf74ddb5a9: examples/top_employees.rs
+
+examples/top_employees.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/top_employees-a2357d5390e20ecb.d: examples/top_employees.rs
+
+/root/repo/target/debug/examples/top_employees-a2357d5390e20ecb: examples/top_employees.rs
+
+examples/top_employees.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/top_employees-dab4af06bc20009c.d: examples/top_employees.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtop_employees-dab4af06bc20009c.rmeta: examples/top_employees.rs Cargo.toml
+
+examples/top_employees.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/webdav_server-44ff3a057eccf6fc.d: examples/webdav_server.rs
+
+/root/repo/target/debug/examples/webdav_server-44ff3a057eccf6fc: examples/webdav_server.rs
+
+examples/webdav_server.rs:

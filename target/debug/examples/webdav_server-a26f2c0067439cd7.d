@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/webdav_server-a26f2c0067439cd7.d: examples/webdav_server.rs
+
+/root/repo/target/debug/examples/webdav_server-a26f2c0067439cd7: examples/webdav_server.rs
+
+examples/webdav_server.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/webdav_server-f264a795a0be4d77.d: examples/webdav_server.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwebdav_server-f264a795a0be4d77.rmeta: examples/webdav_server.rs Cargo.toml
+
+examples/webdav_server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

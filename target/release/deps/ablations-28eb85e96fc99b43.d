@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablations-28eb85e96fc99b43.d: crates/bench/src/bin/ablations.rs Cargo.toml
+
+/root/repo/target/release/deps/libablations-28eb85e96fc99b43.rmeta: crates/bench/src/bin/ablations.rs Cargo.toml
+
+crates/bench/src/bin/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

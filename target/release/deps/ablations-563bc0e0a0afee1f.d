@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-563bc0e0a0afee1f.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-563bc0e0a0afee1f: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

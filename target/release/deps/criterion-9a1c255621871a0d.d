@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-9a1c255621871a0d.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-9a1c255621871a0d.rlib: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-9a1c255621871a0d.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

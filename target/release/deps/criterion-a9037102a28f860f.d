@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-a9037102a28f860f.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-a9037102a28f860f.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/edge_cases-b079b3291907fb08.d: tests/edge_cases.rs Cargo.toml
+
+/root/repo/target/release/deps/libedge_cases-b079b3291907fb08.rmeta: tests/edge_cases.rs Cargo.toml
+
+tests/edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

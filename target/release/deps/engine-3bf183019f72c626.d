@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/engine-3bf183019f72c626.d: crates/relstore/tests/engine.rs Cargo.toml
+
+/root/repo/target/release/deps/libengine-3bf183019f72c626.rmeta: crates/relstore/tests/engine.rs Cargo.toml
+
+crates/relstore/tests/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

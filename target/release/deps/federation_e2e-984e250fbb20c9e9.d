@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/federation_e2e-984e250fbb20c9e9.d: tests/federation_e2e.rs Cargo.toml
+
+/root/repo/target/release/deps/libfederation_e2e-984e250fbb20c9e9.rmeta: tests/federation_e2e.rs Cargo.toml
+
+tests/federation_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

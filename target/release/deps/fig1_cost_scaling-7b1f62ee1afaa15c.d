@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_cost_scaling-7b1f62ee1afaa15c.d: crates/bench/src/bin/fig1_cost_scaling.rs
+
+/root/repo/target/release/deps/fig1_cost_scaling-7b1f62ee1afaa15c: crates/bench/src/bin/fig1_cost_scaling.rs
+
+crates/bench/src/bin/fig1_cost_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig1_cost_scaling-83ca1fc7e61fbe4b.d: crates/bench/src/bin/fig1_cost_scaling.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig1_cost_scaling-83ca1fc7e61fbe4b.rmeta: crates/bench/src/bin/fig1_cost_scaling.rs Cargo.toml
+
+crates/bench/src/bin/fig1_cost_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

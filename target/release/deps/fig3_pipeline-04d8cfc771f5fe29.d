@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_pipeline-04d8cfc771f5fe29.d: crates/bench/src/bin/fig3_pipeline.rs
+
+/root/repo/target/release/deps/fig3_pipeline-04d8cfc771f5fe29: crates/bench/src/bin/fig3_pipeline.rs
+
+crates/bench/src/bin/fig3_pipeline.rs:

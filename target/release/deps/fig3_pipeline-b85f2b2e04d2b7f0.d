@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig3_pipeline-b85f2b2e04d2b7f0.d: crates/bench/src/bin/fig3_pipeline.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig3_pipeline-b85f2b2e04d2b7f0.rmeta: crates/bench/src/bin/fig3_pipeline.rs Cargo.toml
+
+crates/bench/src/bin/fig3_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig5_schema_less-57ebb4bcada1712b.d: crates/bench/src/bin/fig5_schema_less.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig5_schema_less-57ebb4bcada1712b.rmeta: crates/bench/src/bin/fig5_schema_less.rs Cargo.toml
+
+crates/bench/src/bin/fig5_schema_less.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_schema_less-a6d6189aa1ab2066.d: crates/bench/src/bin/fig5_schema_less.rs
+
+/root/repo/target/release/deps/fig5_schema_less-a6d6189aa1ab2066: crates/bench/src/bin/fig5_schema_less.rs
+
+crates/bench/src/bin/fig5_schema_less.rs:

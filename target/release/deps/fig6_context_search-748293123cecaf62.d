@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig6_context_search-748293123cecaf62.d: crates/bench/src/bin/fig6_context_search.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig6_context_search-748293123cecaf62.rmeta: crates/bench/src/bin/fig6_context_search.rs Cargo.toml
+
+crates/bench/src/bin/fig6_context_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig6_context_search-e40de8e1fdfc416a.d: crates/bench/src/bin/fig6_context_search.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig6_context_search-e40de8e1fdfc416a.rmeta: crates/bench/src/bin/fig6_context_search.rs Cargo.toml
+
+crates/bench/src/bin/fig6_context_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_context_search-fe8b464513b16910.d: crates/bench/src/bin/fig6_context_search.rs
+
+/root/repo/target/release/deps/fig6_context_search-fe8b464513b16910: crates/bench/src/bin/fig6_context_search.rs
+
+crates/bench/src/bin/fig6_context_search.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig7_xslt-677233b75536cbf4.d: crates/bench/src/bin/fig7_xslt.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig7_xslt-677233b75536cbf4.rmeta: crates/bench/src/bin/fig7_xslt.rs Cargo.toml
+
+crates/bench/src/bin/fig7_xslt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

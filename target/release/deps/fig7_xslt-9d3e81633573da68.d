@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_xslt-9d3e81633573da68.d: crates/bench/src/bin/fig7_xslt.rs
+
+/root/repo/target/release/deps/fig7_xslt-9d3e81633573da68: crates/bench/src/bin/fig7_xslt.rs
+
+crates/bench/src/bin/fig7_xslt.rs:

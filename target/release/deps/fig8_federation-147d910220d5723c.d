@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_federation-147d910220d5723c.d: crates/bench/src/bin/fig8_federation.rs
+
+/root/repo/target/release/deps/fig8_federation-147d910220d5723c: crates/bench/src/bin/fig8_federation.rs
+
+crates/bench/src/bin/fig8_federation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig8_federation-5c3b34e57967c9c9.d: crates/bench/src/bin/fig8_federation.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig8_federation-5c3b34e57967c9c9.rmeta: crates/bench/src/bin/fig8_federation.rs Cargo.toml
+
+crates/bench/src/bin/fig8_federation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/micro-5499aa671a1cb645.d: crates/bench/benches/micro.rs Cargo.toml
+
+/root/repo/target/release/deps/libmicro-5499aa671a1cb645.rmeta: crates/bench/benches/micro.rs Cargo.toml
+
+crates/bench/benches/micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

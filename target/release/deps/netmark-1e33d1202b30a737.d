@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/netmark-1e33d1202b30a737.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/release/deps/libnetmark-1e33d1202b30a737.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

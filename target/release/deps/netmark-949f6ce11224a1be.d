@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/netmark-949f6ce11224a1be.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/release/deps/libnetmark-949f6ce11224a1be.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/netmark-95a35b1786427e02.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/netmark.rs crates/core/src/pipeline.rs crates/core/src/schema.rs crates/core/src/search.rs crates/core/src/store.rs
+
+/root/repo/target/release/deps/libnetmark-95a35b1786427e02.rlib: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/netmark.rs crates/core/src/pipeline.rs crates/core/src/schema.rs crates/core/src/search.rs crates/core/src/store.rs
+
+/root/repo/target/release/deps/libnetmark-95a35b1786427e02.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/netmark.rs crates/core/src/pipeline.rs crates/core/src/schema.rs crates/core/src/search.rs crates/core/src/store.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/metrics.rs:
+crates/core/src/netmark.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/schema.rs:
+crates/core/src/search.rs:
+crates/core/src/store.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/netmark-e520ca8aa84b8c6d.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/netmark-e520ca8aa84b8c6d: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

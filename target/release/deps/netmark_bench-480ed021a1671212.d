@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/netmark_bench-480ed021a1671212.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnetmark_bench-480ed021a1671212.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnetmark_bench-480ed021a1671212.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/netmark_bench-9790ddd983061096.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libnetmark_bench-9790ddd983061096.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

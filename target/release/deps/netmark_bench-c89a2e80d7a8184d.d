@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/netmark_bench-c89a2e80d7a8184d.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libnetmark_bench-c89a2e80d7a8184d.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

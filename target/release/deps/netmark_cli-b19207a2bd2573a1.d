@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/netmark_cli-b19207a2bd2573a1.d: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libnetmark_cli-b19207a2bd2573a1.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libnetmark_cli-b19207a2bd2573a1.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/netmark_cli-fd64762dc376ba4f.d: crates/cli/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libnetmark_cli-fd64762dc376ba4f.rmeta: crates/cli/src/lib.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/netmark_corpus-35f9e2089d31fd2f.d: crates/corpus/src/lib.rs crates/corpus/src/generate.rs crates/corpus/src/words.rs Cargo.toml
+
+/root/repo/target/release/deps/libnetmark_corpus-35f9e2089d31fd2f.rmeta: crates/corpus/src/lib.rs crates/corpus/src/generate.rs crates/corpus/src/words.rs Cargo.toml
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/generate.rs:
+crates/corpus/src/words.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/netmark_corpus-476f84ad0d85b95f.d: crates/corpus/src/lib.rs crates/corpus/src/generate.rs crates/corpus/src/words.rs
+
+/root/repo/target/release/deps/libnetmark_corpus-476f84ad0d85b95f.rlib: crates/corpus/src/lib.rs crates/corpus/src/generate.rs crates/corpus/src/words.rs
+
+/root/repo/target/release/deps/libnetmark_corpus-476f84ad0d85b95f.rmeta: crates/corpus/src/lib.rs crates/corpus/src/generate.rs crates/corpus/src/words.rs
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/generate.rs:
+crates/corpus/src/words.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/netmark_docformats-921b6b00b6e3e522.d: crates/docformats/src/lib.rs crates/docformats/src/canonical.rs crates/docformats/src/detect.rs crates/docformats/src/html.rs crates/docformats/src/pdoc.rs crates/docformats/src/plaintext.rs crates/docformats/src/sdoc.rs crates/docformats/src/spreadsheet.rs crates/docformats/src/wdoc.rs Cargo.toml
+
+/root/repo/target/release/deps/libnetmark_docformats-921b6b00b6e3e522.rmeta: crates/docformats/src/lib.rs crates/docformats/src/canonical.rs crates/docformats/src/detect.rs crates/docformats/src/html.rs crates/docformats/src/pdoc.rs crates/docformats/src/plaintext.rs crates/docformats/src/sdoc.rs crates/docformats/src/spreadsheet.rs crates/docformats/src/wdoc.rs Cargo.toml
+
+crates/docformats/src/lib.rs:
+crates/docformats/src/canonical.rs:
+crates/docformats/src/detect.rs:
+crates/docformats/src/html.rs:
+crates/docformats/src/pdoc.rs:
+crates/docformats/src/plaintext.rs:
+crates/docformats/src/sdoc.rs:
+crates/docformats/src/spreadsheet.rs:
+crates/docformats/src/wdoc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/netmark_docformats-aee2d7e72260118f.d: crates/docformats/src/lib.rs crates/docformats/src/canonical.rs crates/docformats/src/detect.rs crates/docformats/src/html.rs crates/docformats/src/pdoc.rs crates/docformats/src/plaintext.rs crates/docformats/src/sdoc.rs crates/docformats/src/spreadsheet.rs crates/docformats/src/wdoc.rs
+
+/root/repo/target/release/deps/libnetmark_docformats-aee2d7e72260118f.rlib: crates/docformats/src/lib.rs crates/docformats/src/canonical.rs crates/docformats/src/detect.rs crates/docformats/src/html.rs crates/docformats/src/pdoc.rs crates/docformats/src/plaintext.rs crates/docformats/src/sdoc.rs crates/docformats/src/spreadsheet.rs crates/docformats/src/wdoc.rs
+
+/root/repo/target/release/deps/libnetmark_docformats-aee2d7e72260118f.rmeta: crates/docformats/src/lib.rs crates/docformats/src/canonical.rs crates/docformats/src/detect.rs crates/docformats/src/html.rs crates/docformats/src/pdoc.rs crates/docformats/src/plaintext.rs crates/docformats/src/sdoc.rs crates/docformats/src/spreadsheet.rs crates/docformats/src/wdoc.rs
+
+crates/docformats/src/lib.rs:
+crates/docformats/src/canonical.rs:
+crates/docformats/src/detect.rs:
+crates/docformats/src/html.rs:
+crates/docformats/src/pdoc.rs:
+crates/docformats/src/plaintext.rs:
+crates/docformats/src/sdoc.rs:
+crates/docformats/src/spreadsheet.rs:
+crates/docformats/src/wdoc.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/netmark_federation-a0a2d66307110dde.d: crates/federation/src/lib.rs crates/federation/src/adapter.rs crates/federation/src/databank.rs crates/federation/src/matcher.rs crates/federation/src/serve.rs
+
+/root/repo/target/release/deps/libnetmark_federation-a0a2d66307110dde.rlib: crates/federation/src/lib.rs crates/federation/src/adapter.rs crates/federation/src/databank.rs crates/federation/src/matcher.rs crates/federation/src/serve.rs
+
+/root/repo/target/release/deps/libnetmark_federation-a0a2d66307110dde.rmeta: crates/federation/src/lib.rs crates/federation/src/adapter.rs crates/federation/src/databank.rs crates/federation/src/matcher.rs crates/federation/src/serve.rs
+
+crates/federation/src/lib.rs:
+crates/federation/src/adapter.rs:
+crates/federation/src/databank.rs:
+crates/federation/src/matcher.rs:
+crates/federation/src/serve.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/netmark_federation-a51d78fe93344b34.d: crates/federation/src/lib.rs crates/federation/src/adapter.rs crates/federation/src/databank.rs crates/federation/src/matcher.rs crates/federation/src/serve.rs
+
+/root/repo/target/release/deps/libnetmark_federation-a51d78fe93344b34.rlib: crates/federation/src/lib.rs crates/federation/src/adapter.rs crates/federation/src/databank.rs crates/federation/src/matcher.rs crates/federation/src/serve.rs
+
+/root/repo/target/release/deps/libnetmark_federation-a51d78fe93344b34.rmeta: crates/federation/src/lib.rs crates/federation/src/adapter.rs crates/federation/src/databank.rs crates/federation/src/matcher.rs crates/federation/src/serve.rs
+
+crates/federation/src/lib.rs:
+crates/federation/src/adapter.rs:
+crates/federation/src/databank.rs:
+crates/federation/src/matcher.rs:
+crates/federation/src/serve.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/netmark_gav-1033f1d707b54d64.d: crates/gav/src/lib.rs crates/gav/src/mediator.rs crates/gav/src/model.rs
+
+/root/repo/target/release/deps/libnetmark_gav-1033f1d707b54d64.rlib: crates/gav/src/lib.rs crates/gav/src/mediator.rs crates/gav/src/model.rs
+
+/root/repo/target/release/deps/libnetmark_gav-1033f1d707b54d64.rmeta: crates/gav/src/lib.rs crates/gav/src/mediator.rs crates/gav/src/model.rs
+
+crates/gav/src/lib.rs:
+crates/gav/src/mediator.rs:
+crates/gav/src/model.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/netmark_gav-5d312eee11c830ff.d: crates/gav/src/lib.rs crates/gav/src/mediator.rs crates/gav/src/model.rs Cargo.toml
+
+/root/repo/target/release/deps/libnetmark_gav-5d312eee11c830ff.rmeta: crates/gav/src/lib.rs crates/gav/src/mediator.rs crates/gav/src/model.rs Cargo.toml
+
+crates/gav/src/lib.rs:
+crates/gav/src/mediator.rs:
+crates/gav/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/netmark_model-11bb8df68e1cd8d1.d: crates/model/src/lib.rs crates/model/src/escape.rs crates/model/src/node.rs
+
+/root/repo/target/release/deps/libnetmark_model-11bb8df68e1cd8d1.rlib: crates/model/src/lib.rs crates/model/src/escape.rs crates/model/src/node.rs
+
+/root/repo/target/release/deps/libnetmark_model-11bb8df68e1cd8d1.rmeta: crates/model/src/lib.rs crates/model/src/escape.rs crates/model/src/node.rs
+
+crates/model/src/lib.rs:
+crates/model/src/escape.rs:
+crates/model/src/node.rs:

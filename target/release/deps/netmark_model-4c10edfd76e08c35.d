@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/netmark_model-4c10edfd76e08c35.d: crates/model/src/lib.rs crates/model/src/escape.rs crates/model/src/node.rs Cargo.toml
+
+/root/repo/target/release/deps/libnetmark_model-4c10edfd76e08c35.rmeta: crates/model/src/lib.rs crates/model/src/escape.rs crates/model/src/node.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/escape.rs:
+crates/model/src/node.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/netmark_model-ee6bb2cd0c9fbb10.d: crates/model/src/lib.rs crates/model/src/escape.rs crates/model/src/node.rs Cargo.toml
+
+/root/repo/target/release/deps/libnetmark_model-ee6bb2cd0c9fbb10.rmeta: crates/model/src/lib.rs crates/model/src/escape.rs crates/model/src/node.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/escape.rs:
+crates/model/src/node.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/netmark_relstore-3d89c7f667ca2449.d: crates/relstore/src/lib.rs crates/relstore/src/btree.rs crates/relstore/src/buffer.rs crates/relstore/src/catalog.rs crates/relstore/src/db.rs crates/relstore/src/disk.rs crates/relstore/src/error.rs crates/relstore/src/heap.rs crates/relstore/src/keyenc.rs crates/relstore/src/page.rs crates/relstore/src/tuple.rs crates/relstore/src/wal.rs Cargo.toml
+
+/root/repo/target/release/deps/libnetmark_relstore-3d89c7f667ca2449.rmeta: crates/relstore/src/lib.rs crates/relstore/src/btree.rs crates/relstore/src/buffer.rs crates/relstore/src/catalog.rs crates/relstore/src/db.rs crates/relstore/src/disk.rs crates/relstore/src/error.rs crates/relstore/src/heap.rs crates/relstore/src/keyenc.rs crates/relstore/src/page.rs crates/relstore/src/tuple.rs crates/relstore/src/wal.rs Cargo.toml
+
+crates/relstore/src/lib.rs:
+crates/relstore/src/btree.rs:
+crates/relstore/src/buffer.rs:
+crates/relstore/src/catalog.rs:
+crates/relstore/src/db.rs:
+crates/relstore/src/disk.rs:
+crates/relstore/src/error.rs:
+crates/relstore/src/heap.rs:
+crates/relstore/src/keyenc.rs:
+crates/relstore/src/page.rs:
+crates/relstore/src/tuple.rs:
+crates/relstore/src/wal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/netmark_relstore-5ef644bc3f7b3460.d: crates/relstore/src/lib.rs crates/relstore/src/btree.rs crates/relstore/src/buffer.rs crates/relstore/src/catalog.rs crates/relstore/src/db.rs crates/relstore/src/disk.rs crates/relstore/src/error.rs crates/relstore/src/heap.rs crates/relstore/src/keyenc.rs crates/relstore/src/page.rs crates/relstore/src/tuple.rs crates/relstore/src/wal.rs
+
+/root/repo/target/release/deps/libnetmark_relstore-5ef644bc3f7b3460.rlib: crates/relstore/src/lib.rs crates/relstore/src/btree.rs crates/relstore/src/buffer.rs crates/relstore/src/catalog.rs crates/relstore/src/db.rs crates/relstore/src/disk.rs crates/relstore/src/error.rs crates/relstore/src/heap.rs crates/relstore/src/keyenc.rs crates/relstore/src/page.rs crates/relstore/src/tuple.rs crates/relstore/src/wal.rs
+
+/root/repo/target/release/deps/libnetmark_relstore-5ef644bc3f7b3460.rmeta: crates/relstore/src/lib.rs crates/relstore/src/btree.rs crates/relstore/src/buffer.rs crates/relstore/src/catalog.rs crates/relstore/src/db.rs crates/relstore/src/disk.rs crates/relstore/src/error.rs crates/relstore/src/heap.rs crates/relstore/src/keyenc.rs crates/relstore/src/page.rs crates/relstore/src/tuple.rs crates/relstore/src/wal.rs
+
+crates/relstore/src/lib.rs:
+crates/relstore/src/btree.rs:
+crates/relstore/src/buffer.rs:
+crates/relstore/src/catalog.rs:
+crates/relstore/src/db.rs:
+crates/relstore/src/disk.rs:
+crates/relstore/src/error.rs:
+crates/relstore/src/heap.rs:
+crates/relstore/src/keyenc.rs:
+crates/relstore/src/page.rs:
+crates/relstore/src/tuple.rs:
+crates/relstore/src/wal.rs:

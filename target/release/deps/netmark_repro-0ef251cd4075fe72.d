@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/netmark_repro-0ef251cd4075fe72.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libnetmark_repro-0ef251cd4075fe72.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/netmark_repro-468227b952f60dd7.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libnetmark_repro-468227b952f60dd7.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/netmark_repro-6887bc1d3d083f9e.d: src/lib.rs
+
+/root/repo/target/release/deps/libnetmark_repro-6887bc1d3d083f9e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libnetmark_repro-6887bc1d3d083f9e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/netmark_repro-8d85f4a88fee3b1f.d: src/lib.rs
+
+/root/repo/target/release/deps/libnetmark_repro-8d85f4a88fee3b1f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libnetmark_repro-8d85f4a88fee3b1f.rmeta: src/lib.rs
+
+src/lib.rs:

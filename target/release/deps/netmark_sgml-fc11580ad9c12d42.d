@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/netmark_sgml-fc11580ad9c12d42.d: crates/sgml/src/lib.rs crates/sgml/src/config.rs crates/sgml/src/parser.rs crates/sgml/src/tokenizer.rs
+
+/root/repo/target/release/deps/libnetmark_sgml-fc11580ad9c12d42.rlib: crates/sgml/src/lib.rs crates/sgml/src/config.rs crates/sgml/src/parser.rs crates/sgml/src/tokenizer.rs
+
+/root/repo/target/release/deps/libnetmark_sgml-fc11580ad9c12d42.rmeta: crates/sgml/src/lib.rs crates/sgml/src/config.rs crates/sgml/src/parser.rs crates/sgml/src/tokenizer.rs
+
+crates/sgml/src/lib.rs:
+crates/sgml/src/config.rs:
+crates/sgml/src/parser.rs:
+crates/sgml/src/tokenizer.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/netmark_textindex-a4881564655ad196.d: crates/textindex/src/lib.rs crates/textindex/src/index.rs crates/textindex/src/postings.rs crates/textindex/src/tokenize.rs Cargo.toml
+
+/root/repo/target/release/deps/libnetmark_textindex-a4881564655ad196.rmeta: crates/textindex/src/lib.rs crates/textindex/src/index.rs crates/textindex/src/postings.rs crates/textindex/src/tokenize.rs Cargo.toml
+
+crates/textindex/src/lib.rs:
+crates/textindex/src/index.rs:
+crates/textindex/src/postings.rs:
+crates/textindex/src/tokenize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/netmark_textindex-c282338b95fb4027.d: crates/textindex/src/lib.rs crates/textindex/src/index.rs crates/textindex/src/postings.rs crates/textindex/src/tokenize.rs
+
+/root/repo/target/release/deps/libnetmark_textindex-c282338b95fb4027.rlib: crates/textindex/src/lib.rs crates/textindex/src/index.rs crates/textindex/src/postings.rs crates/textindex/src/tokenize.rs
+
+/root/repo/target/release/deps/libnetmark_textindex-c282338b95fb4027.rmeta: crates/textindex/src/lib.rs crates/textindex/src/index.rs crates/textindex/src/postings.rs crates/textindex/src/tokenize.rs
+
+crates/textindex/src/lib.rs:
+crates/textindex/src/index.rs:
+crates/textindex/src/postings.rs:
+crates/textindex/src/tokenize.rs:

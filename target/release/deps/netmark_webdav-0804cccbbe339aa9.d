@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/netmark_webdav-0804cccbbe339aa9.d: crates/webdav/src/lib.rs crates/webdav/src/daemon.rs crates/webdav/src/http.rs crates/webdav/src/ingest.rs crates/webdav/src/server.rs
+
+/root/repo/target/release/deps/libnetmark_webdav-0804cccbbe339aa9.rlib: crates/webdav/src/lib.rs crates/webdav/src/daemon.rs crates/webdav/src/http.rs crates/webdav/src/ingest.rs crates/webdav/src/server.rs
+
+/root/repo/target/release/deps/libnetmark_webdav-0804cccbbe339aa9.rmeta: crates/webdav/src/lib.rs crates/webdav/src/daemon.rs crates/webdav/src/http.rs crates/webdav/src/ingest.rs crates/webdav/src/server.rs
+
+crates/webdav/src/lib.rs:
+crates/webdav/src/daemon.rs:
+crates/webdav/src/http.rs:
+crates/webdav/src/ingest.rs:
+crates/webdav/src/server.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/netmark_webdav-0a6046ac5d239a5b.d: crates/webdav/src/lib.rs crates/webdav/src/daemon.rs crates/webdav/src/http.rs crates/webdav/src/ingest.rs crates/webdav/src/server.rs Cargo.toml
+
+/root/repo/target/release/deps/libnetmark_webdav-0a6046ac5d239a5b.rmeta: crates/webdav/src/lib.rs crates/webdav/src/daemon.rs crates/webdav/src/http.rs crates/webdav/src/ingest.rs crates/webdav/src/server.rs Cargo.toml
+
+crates/webdav/src/lib.rs:
+crates/webdav/src/daemon.rs:
+crates/webdav/src/http.rs:
+crates/webdav/src/ingest.rs:
+crates/webdav/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/netmark_webdav-63723b77faabd53c.d: crates/webdav/src/lib.rs crates/webdav/src/daemon.rs crates/webdav/src/http.rs crates/webdav/src/server.rs
+
+/root/repo/target/release/deps/libnetmark_webdav-63723b77faabd53c.rlib: crates/webdav/src/lib.rs crates/webdav/src/daemon.rs crates/webdav/src/http.rs crates/webdav/src/server.rs
+
+/root/repo/target/release/deps/libnetmark_webdav-63723b77faabd53c.rmeta: crates/webdav/src/lib.rs crates/webdav/src/daemon.rs crates/webdav/src/http.rs crates/webdav/src/server.rs
+
+crates/webdav/src/lib.rs:
+crates/webdav/src/daemon.rs:
+crates/webdav/src/http.rs:
+crates/webdav/src/server.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/netmark_xdb-e1ea80ebc86c47ea.d: crates/xdb/src/lib.rs crates/xdb/src/query.rs crates/xdb/src/result.rs Cargo.toml
+
+/root/repo/target/release/deps/libnetmark_xdb-e1ea80ebc86c47ea.rmeta: crates/xdb/src/lib.rs crates/xdb/src/query.rs crates/xdb/src/result.rs Cargo.toml
+
+crates/xdb/src/lib.rs:
+crates/xdb/src/query.rs:
+crates/xdb/src/result.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/netmark_xdb-e5ce27f0ff4d5251.d: crates/xdb/src/lib.rs crates/xdb/src/query.rs crates/xdb/src/result.rs Cargo.toml
+
+/root/repo/target/release/deps/libnetmark_xdb-e5ce27f0ff4d5251.rmeta: crates/xdb/src/lib.rs crates/xdb/src/query.rs crates/xdb/src/result.rs Cargo.toml
+
+crates/xdb/src/lib.rs:
+crates/xdb/src/query.rs:
+crates/xdb/src/result.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

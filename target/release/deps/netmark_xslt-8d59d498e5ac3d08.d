@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/netmark_xslt-8d59d498e5ac3d08.d: crates/xslt/src/lib.rs crates/xslt/src/transform.rs crates/xslt/src/xpath.rs Cargo.toml
+
+/root/repo/target/release/deps/libnetmark_xslt-8d59d498e5ac3d08.rmeta: crates/xslt/src/lib.rs crates/xslt/src/transform.rs crates/xslt/src/xpath.rs Cargo.toml
+
+crates/xslt/src/lib.rs:
+crates/xslt/src/transform.rs:
+crates/xslt/src/xpath.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

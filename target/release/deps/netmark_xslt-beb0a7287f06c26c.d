@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/netmark_xslt-beb0a7287f06c26c.d: crates/xslt/src/lib.rs crates/xslt/src/transform.rs crates/xslt/src/xpath.rs Cargo.toml
+
+/root/repo/target/release/deps/libnetmark_xslt-beb0a7287f06c26c.rmeta: crates/xslt/src/lib.rs crates/xslt/src/transform.rs crates/xslt/src/xpath.rs Cargo.toml
+
+crates/xslt/src/lib.rs:
+crates/xslt/src/transform.rs:
+crates/xslt/src/xpath.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

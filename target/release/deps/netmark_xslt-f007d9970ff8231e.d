@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/netmark_xslt-f007d9970ff8231e.d: crates/xslt/src/lib.rs crates/xslt/src/transform.rs crates/xslt/src/xpath.rs
+
+/root/repo/target/release/deps/libnetmark_xslt-f007d9970ff8231e.rlib: crates/xslt/src/lib.rs crates/xslt/src/transform.rs crates/xslt/src/xpath.rs
+
+/root/repo/target/release/deps/libnetmark_xslt-f007d9970ff8231e.rmeta: crates/xslt/src/lib.rs crates/xslt/src/transform.rs crates/xslt/src/xpath.rs
+
+crates/xslt/src/lib.rs:
+crates/xslt/src/transform.rs:
+crates/xslt/src/xpath.rs:

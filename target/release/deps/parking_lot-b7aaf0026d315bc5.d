@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-b7aaf0026d315bc5.d: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-b7aaf0026d315bc5.rmeta: crates/shims/parking_lot/src/lib.rs
+
+crates/shims/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-c6353f59bb8a151c.d: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-c6353f59bb8a151c.rlib: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-c6353f59bb8a151c.rmeta: crates/shims/parking_lot/src/lib.rs
+
+crates/shims/parking_lot/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pipeline-556842ea6ef20e04.d: tests/pipeline.rs Cargo.toml
+
+/root/repo/target/release/deps/libpipeline-556842ea6ef20e04.rmeta: tests/pipeline.rs Cargo.toml
+
+tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-211c3e1e1d4ff1ce.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-211c3e1e1d4ff1ce.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

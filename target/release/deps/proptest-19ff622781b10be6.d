@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-19ff622781b10be6.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-19ff622781b10be6.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-13b393b138e9536e.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-13b393b138e9536e.rlib: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-13b393b138e9536e.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

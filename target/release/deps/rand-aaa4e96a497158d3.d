@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-aaa4e96a497158d3.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-aaa4e96a497158d3.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

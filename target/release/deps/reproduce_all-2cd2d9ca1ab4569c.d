@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce_all-2cd2d9ca1ab4569c.d: crates/bench/src/bin/reproduce_all.rs
+
+/root/repo/target/release/deps/reproduce_all-2cd2d9ca1ab4569c: crates/bench/src/bin/reproduce_all.rs
+
+crates/bench/src/bin/reproduce_all.rs:

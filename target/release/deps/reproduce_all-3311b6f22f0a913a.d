@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/reproduce_all-3311b6f22f0a913a.d: crates/bench/src/bin/reproduce_all.rs Cargo.toml
+
+/root/repo/target/release/deps/libreproduce_all-3311b6f22f0a913a.rmeta: crates/bench/src/bin/reproduce_all.rs Cargo.toml
+
+crates/bench/src/bin/reproduce_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/reproduce_all-feadefa3be3a8a49.d: crates/bench/src/bin/reproduce_all.rs Cargo.toml
+
+/root/repo/target/release/deps/libreproduce_all-feadefa3be3a8a49.rmeta: crates/bench/src/bin/reproduce_all.rs Cargo.toml
+
+crates/bench/src/bin/reproduce_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sec4_top_employees-3cc8dbf4675c33de.d: crates/bench/src/bin/sec4_top_employees.rs Cargo.toml
+
+/root/repo/target/release/deps/libsec4_top_employees-3cc8dbf4675c33de.rmeta: crates/bench/src/bin/sec4_top_employees.rs Cargo.toml
+
+crates/bench/src/bin/sec4_top_employees.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

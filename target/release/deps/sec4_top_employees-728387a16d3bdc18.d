@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec4_top_employees-728387a16d3bdc18.d: crates/bench/src/bin/sec4_top_employees.rs
+
+/root/repo/target/release/deps/sec4_top_employees-728387a16d3bdc18: crates/bench/src/bin/sec4_top_employees.rs
+
+crates/bench/src/bin/sec4_top_employees.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tbl1_assembly-1e56d8359d473273.d: crates/bench/src/bin/tbl1_assembly.rs Cargo.toml
+
+/root/repo/target/release/deps/libtbl1_assembly-1e56d8359d473273.rmeta: crates/bench/src/bin/tbl1_assembly.rs Cargo.toml
+
+crates/bench/src/bin/tbl1_assembly.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

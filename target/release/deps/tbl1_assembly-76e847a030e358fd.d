@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tbl1_assembly-76e847a030e358fd.d: crates/bench/src/bin/tbl1_assembly.rs
+
+/root/repo/target/release/deps/tbl1_assembly-76e847a030e358fd: crates/bench/src/bin/tbl1_assembly.rs
+
+crates/bench/src/bin/tbl1_assembly.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tbl1_assembly-e4515a59a7edb6cf.d: crates/bench/src/bin/tbl1_assembly.rs Cargo.toml
+
+/root/repo/target/release/deps/libtbl1_assembly-e4515a59a7edb6cf.rmeta: crates/bench/src/bin/tbl1_assembly.rs Cargo.toml
+
+crates/bench/src/bin/tbl1_assembly.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

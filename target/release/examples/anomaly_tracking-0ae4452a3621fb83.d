@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/anomaly_tracking-0ae4452a3621fb83.d: examples/anomaly_tracking.rs Cargo.toml
+
+/root/repo/target/release/examples/libanomaly_tracking-0ae4452a3621fb83.rmeta: examples/anomaly_tracking.rs Cargo.toml
+
+examples/anomaly_tracking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

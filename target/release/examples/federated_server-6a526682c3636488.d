@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/federated_server-6a526682c3636488.d: examples/federated_server.rs Cargo.toml
+
+/root/repo/target/release/examples/libfederated_server-6a526682c3636488.rmeta: examples/federated_server.rs Cargo.toml
+
+examples/federated_server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/ibpd-b32ac84e3de56350.d: examples/ibpd.rs Cargo.toml
+
+/root/repo/target/release/examples/libibpd-b32ac84e3de56350.rmeta: examples/ibpd.rs Cargo.toml
+
+examples/ibpd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

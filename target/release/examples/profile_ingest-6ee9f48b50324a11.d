@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/profile_ingest-6ee9f48b50324a11.d: crates/bench/examples/profile_ingest.rs
+
+/root/repo/target/release/examples/profile_ingest-6ee9f48b50324a11: crates/bench/examples/profile_ingest.rs
+
+crates/bench/examples/profile_ingest.rs:

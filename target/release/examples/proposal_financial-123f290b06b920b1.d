@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/proposal_financial-123f290b06b920b1.d: examples/proposal_financial.rs Cargo.toml
+
+/root/repo/target/release/examples/libproposal_financial-123f290b06b920b1.rmeta: examples/proposal_financial.rs Cargo.toml
+
+examples/proposal_financial.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

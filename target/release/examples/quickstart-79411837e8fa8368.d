@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-79411837e8fa8368.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-79411837e8fa8368.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/top_employees-5e746c52f9dd790d.d: examples/top_employees.rs Cargo.toml
+
+/root/repo/target/release/examples/libtop_employees-5e746c52f9dd790d.rmeta: examples/top_employees.rs Cargo.toml
+
+examples/top_employees.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/webdav_server-910237dc8b27e3b7.d: examples/webdav_server.rs Cargo.toml
+
+/root/repo/target/release/examples/libwebdav_server-910237dc8b27e3b7.rmeta: examples/webdav_server.rs Cargo.toml
+
+examples/webdav_server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -61,7 +61,9 @@ fn xml_injection_in_document_text_is_inert() {
     let xml = rs.to_xml();
     let cfg = netmark_sgml::NodeTypeConfig::xml_default();
     let reparsed = netmark_sgml::parse_xml(&xml, &cfg).unwrap();
-    assert!(reparsed.text_content().contains("<script>alert(1)</script>"));
+    assert!(reparsed
+        .text_content()
+        .contains("<script>alert(1)</script>"));
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -74,7 +76,9 @@ fn document_larger_than_one_page() {
     // ~8 KiB per node, so the upmarker's paragraph splitting matters).
     let mut text = String::from("# Huge\n");
     for i in 0..2000 {
-        text.push_str(&format!("paragraph number {i} with sentinel word zebra{i}\n\n"));
+        text.push_str(&format!(
+            "paragraph number {i} with sentinel word zebra{i}\n\n"
+        ));
     }
     nm.insert_file("huge.txt", &text).unwrap();
     let rs = nm.query(&XdbQuery::content("zebra1999")).unwrap();
@@ -148,8 +152,11 @@ fn concurrent_readers_during_writes() {
 fn context_labels_with_query_syntax_characters() {
     let dir = scratch("syntax");
     let nm = NetMark::open(&dir).unwrap();
-    nm.insert_file("odd.txt", "# Cost & Schedule = Risk?\nspecial heading body\n")
-        .unwrap();
+    nm.insert_file(
+        "odd.txt",
+        "# Cost & Schedule = Risk?\nspecial heading body\n",
+    )
+    .unwrap();
     // Percent-encoding carries the label through the URL path.
     let url = format!(
         "Context={}",
@@ -184,14 +191,22 @@ fn stylesheet_replacement_takes_effect() {
         "<xsl:stylesheet><xsl:template match=\"/\"><v1/></xsl:template></xsl:stylesheet>",
     )
     .unwrap();
-    let out = nm.query_url("Context=Budget&xslt=r").unwrap().composed().unwrap();
+    let out = nm
+        .query_url("Context=Budget&xslt=r")
+        .unwrap()
+        .composed()
+        .unwrap();
     assert_eq!(out.name, "v1");
     nm.register_stylesheet(
         "r",
         "<xsl:stylesheet><xsl:template match=\"/\"><v2/></xsl:template></xsl:stylesheet>",
     )
     .unwrap();
-    let out = nm.query_url("Context=Budget&xslt=r").unwrap().composed().unwrap();
+    let out = nm
+        .query_url("Context=Budget&xslt=r")
+        .unwrap()
+        .composed()
+        .unwrap();
     assert_eq!(out.name, "v2");
     assert_eq!(nm.stylesheet_names(), vec!["r".to_string()]);
     std::fs::remove_dir_all(&dir).unwrap();

@@ -40,7 +40,11 @@ fn federated_answers_match_local_union() {
         .unwrap();
     router.define_databank("both", &["p1", "p2"]).unwrap();
     let fr = router.query("both", &q).unwrap();
-    assert_eq!(fr.results.len(), local_total, "federation = union of locals");
+    assert_eq!(
+        fr.results.len(),
+        local_total,
+        "federation = union of locals"
+    );
     // Every hit is attributed to the right source.
     for hit in &fr.results.hits {
         let local = if hit.source == "p1" { &nm1 } else { &nm2 };
@@ -61,7 +65,9 @@ fn augmentation_equals_full_capability_answers() {
     }
     let weak = ContentOnlySource::new(
         "weak",
-        docs.iter().map(|d| (d.name.clone(), d.content.clone())).collect(),
+        docs.iter()
+            .map(|d| (d.name.clone(), d.content.clone()))
+            .collect(),
     );
     let mut router = Router::new();
     router
@@ -88,7 +94,10 @@ fn augmentation_equals_full_capability_answers() {
         .collect();
     full_keys.sort();
     weak_keys.sort();
-    assert_eq!(full_keys, weak_keys, "augmentation recovers the same sections");
+    assert_eq!(
+        full_keys, weak_keys,
+        "augmentation recovers the same sections"
+    );
     assert!(weak.outcomes[0].augmented);
     assert!(!full.outcomes[0].augmented);
     std::fs::remove_dir_all(&base).unwrap();
@@ -159,9 +168,7 @@ fn http_ingest_feeds_federated_query() {
         .register_source(Arc::new(NetmarkSource::new("store", Arc::clone(&nm))))
         .unwrap();
     router.define_databank("app", &["store"]).unwrap();
-    let fr = router
-        .query("app", &XdbQuery::content("uploaded"))
-        .unwrap();
+    let fr = router.query("app", &XdbQuery::content("uploaded")).unwrap();
     assert_eq!(fr.results.len(), 1);
     assert_eq!(fr.results.hits[0].doc, "up.txt");
 
@@ -175,18 +182,23 @@ fn daemon_and_server_share_one_store() {
     let drop_dir = base.join("dropbox");
     std::fs::create_dir_all(&drop_dir).unwrap();
     let nm = Arc::new(NetMark::open(&base.join("store")).unwrap());
-    let daemon = netmark_webdav::watch_folder(Arc::clone(&nm), &drop_dir, Duration::from_millis(20));
+    let daemon =
+        netmark_webdav::watch_folder(Arc::clone(&nm), &drop_dir, Duration::from_millis(20));
     let server = netmark_webdav::serve(Arc::clone(&nm), "127.0.0.1:0").unwrap();
 
     std::fs::write(drop_dir.join("dropped.txt"), "# Budget\nfolder money\n").unwrap();
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     while daemon.stats().ingested < 1 {
-        assert!(std::time::Instant::now() < deadline, "daemon never ingested");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "daemon never ingested"
+        );
         std::thread::sleep(Duration::from_millis(10));
     }
     // Visible over HTTP.
     let mut s = std::net::TcpStream::connect(server.addr()).unwrap();
-    s.write_all(b"GET /xdb?Content=folder HTTP/1.1\r\n\r\n").unwrap();
+    s.write_all(b"GET /xdb?Content=folder HTTP/1.1\r\n\r\n")
+        .unwrap();
     let mut resp = String::new();
     s.read_to_string(&mut resp).unwrap();
     assert!(resp.contains("dropped.txt"), "{resp}");

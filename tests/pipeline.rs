@@ -22,11 +22,18 @@ fn mixed_corpus_full_pipeline() {
     }
     let stats = nm.stats().unwrap();
     assert_eq!(stats.documents, docs.len());
-    assert!(stats.nodes > docs.len() * 5, "documents decomposed into nodes");
+    assert!(
+        stats.nodes > docs.len() * 5,
+        "documents decomposed into nodes"
+    );
 
     // Every generated wdoc/sdoc document has a Budget section.
     let rs = nm.query(&XdbQuery::context("Budget")).unwrap();
-    assert!(rs.len() >= docs.len() / 3, "Budget sections found: {}", rs.len());
+    assert!(
+        rs.len() >= docs.len() / 3,
+        "Budget sections found: {}",
+        rs.len()
+    );
     // Hits carry non-empty content and correct labels.
     for hit in &rs.hits {
         assert_eq!(hit.context, "Budget");
@@ -69,7 +76,11 @@ fn reconstruction_is_lossless_for_all_formats() {
         let upmarked = netmark_docformats::upmark(&d.name, &d.content);
         let rep = nm.insert_document(&upmarked).unwrap();
         let back = nm.reconstruct_document(rep.doc_id).unwrap();
-        assert_eq!(back.root, upmarked.root, "lossless round trip for {}", d.name);
+        assert_eq!(
+            back.root, upmarked.root,
+            "lossless round trip for {}",
+            d.name
+        );
     }
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -124,6 +135,61 @@ fn crash_recovery_preserves_committed_documents() {
         .unwrap();
     let rs = nm.query(&XdbQuery::content("post-crash")).unwrap();
     assert_eq!(rs.len(), 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn concurrent_readers_during_batch_ingest() {
+    let dir = scratch("concurrent");
+    let nm = std::sync::Arc::new(NetMark::open(&dir).unwrap());
+    // Seed a little data so readers have something from the first poll.
+    nm.insert_file("seed.txt", "# Budget\nseed money\n")
+        .unwrap();
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let nm = std::sync::Arc::clone(&nm);
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut last_docs = 0usize;
+                let mut polls = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    // Stats never error and never go backwards (single
+                    // writer, read-uncommitted visibility).
+                    let s = nm.stats().unwrap();
+                    assert!(s.documents >= last_docs, "doc count regressed");
+                    last_docs = s.documents;
+                    // Every hit the query returns must resolve to a live,
+                    // fully linked document: the DOC-row-first ordering in
+                    // the batch ingest path is what makes this safe.
+                    let rs = nm.query(&XdbQuery::context("Budget")).unwrap();
+                    for hit in &rs.hits {
+                        assert_eq!(hit.context, "Budget");
+                        assert!(!hit.doc.is_empty());
+                    }
+                    polls += 1;
+                }
+                polls
+            })
+        })
+        .collect();
+
+    let docs = mixed(&CorpusConfig::sized(120));
+    let parsed: Vec<_> = docs
+        .iter()
+        .map(|d| netmark_docformats::upmark(&d.name, &d.content))
+        .collect();
+    for chunk in parsed.chunks(16) {
+        nm.ingest_batch(chunk).unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for r in readers {
+        let polls = r.join().expect("reader thread panicked");
+        assert!(polls > 0, "reader never got to run");
+    }
+    let stats = nm.stats().unwrap();
+    assert_eq!(stats.documents, docs.len() + 1);
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

@@ -134,7 +134,8 @@ mod codec_props {
             Just(Value::Null),
             any::<bool>().prop_map(Value::Bool),
             any::<i64>().prop_map(Value::Int),
-            any::<f64>().prop_filter("NaN breaks equality", |f| !f.is_nan())
+            any::<f64>()
+                .prop_filter("NaN breaks equality", |f| !f.is_nan())
                 .prop_map(Value::Float),
             ".{0,40}".prop_map(Value::Text),
             proptest::collection::vec(any::<u8>(), 0..40).prop_map(Value::Bytes),
@@ -250,7 +251,8 @@ mod xml_props {
         prop_oneof![
             // Text nodes: printable, trimmed-nonempty so whitespace
             // normalization in the parser can't drop them.
-            "[ -~&<>]{1,20}".prop_filter("needs visible chars", |s| !s.trim().is_empty())
+            "[ -~&<>]{1,20}"
+                .prop_filter("needs visible chars", |s| !s.trim().is_empty())
                 .prop_map(|s| Node::text(s.trim())),
             name_strategy().prop_map(|n| Node::element(&n)),
         ]
@@ -463,13 +465,65 @@ mod engine_props {
     }
 }
 
+mod ingest_props {
+    use super::*;
+    use netmark::{NetMark, XdbQuery};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        /// Batched ingest is observationally identical to one-document-
+        /// per-transaction ingest — same ids, same reconstructions, same
+        /// query answers — for any corpus and any batch split. This pins
+        /// the whole deferred-WAL / pointer-patch fast path to the simple
+        /// sequential semantics.
+        #[test]
+        fn batch_ingest_equals_sequential(seed in 0u64..1000, chunk in 1usize..7) {
+            let base = std::env::temp_dir().join(format!(
+                "netmark-prop-batch-{}-{}-{}", std::process::id(), seed, chunk));
+            let _ = std::fs::remove_dir_all(&base);
+            let batch = NetMark::open(&base.join("b")).unwrap();
+            let seq = NetMark::open(&base.join("s")).unwrap();
+            let docs = netmark_corpus::mixed(
+                &netmark_corpus::CorpusConfig::sized(8).with_seed(seed));
+            let parsed: Vec<_> = docs
+                .iter()
+                .map(|d| netmark_docformats::upmark(&d.name, &d.content))
+                .collect();
+            let mut breps = Vec::new();
+            for c in parsed.chunks(chunk) {
+                breps.extend(batch.ingest_batch(c).unwrap());
+            }
+            let sreps: Vec<_> = parsed
+                .iter()
+                .map(|d| seq.insert_document(d).unwrap())
+                .collect();
+            prop_assert_eq!(breps.len(), sreps.len());
+            for (b, s) in breps.iter().zip(&sreps) {
+                prop_assert_eq!(b.doc_id, s.doc_id);
+                prop_assert_eq!(b.root_node, s.root_node);
+                prop_assert_eq!(b.node_count, s.node_count);
+            }
+            for rep in &breps {
+                prop_assert_eq!(
+                    batch.reconstruct_document(rep.doc_id).unwrap().root,
+                    seq.reconstruct_document(rep.doc_id).unwrap().root);
+            }
+            for q in [XdbQuery::context("Budget"), XdbQuery::content("engine")] {
+                prop_assert_eq!(
+                    batch.query(&q).unwrap().hits,
+                    seq.query(&q).unwrap().hits);
+            }
+            let _ = std::fs::remove_dir_all(&base);
+        }
+    }
+}
+
 // --------------------------------------------------------------------- gav
 
 mod gav_props {
     use super::*;
     use netmark_gav::{
-        CmpOp, GValue, GlobalView, Mapping, Mediator, Predicate, RelationSchema, Source,
-        ViewQuery,
+        CmpOp, GValue, GlobalView, Mapping, Mediator, Predicate, RelationSchema, Source, ViewQuery,
     };
 
     /// Brute-force evaluation of one mapping over raw rows.
