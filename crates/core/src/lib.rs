@@ -37,7 +37,7 @@ pub mod search;
 pub mod store;
 
 pub use error::{NetmarkError, Result};
-pub use metrics::{IngestMetrics, IngestStats};
+pub use metrics::{IngestMetrics, IngestStats, SourceMetrics, SourceStats};
 pub use netmark::{NetMark, NetMarkOptions, NetMarkStats, QueryOutput};
 pub use pipeline::{ingest_files, BoundedQueue, PipelineConfig, PipelineStats, RawFile};
 pub use search::Searcher;

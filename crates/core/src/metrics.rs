@@ -9,6 +9,10 @@
 //! The counters are atomics: recording from pipeline worker threads never
 //! takes a lock, and reading via [`IngestMetrics::snapshot`] never blocks
 //! an ingest.
+//!
+//! [`SourceMetrics`] is the query-side sibling: per-source federation
+//! health (latency, failures, circuit-breaker activity), recorded by the
+//! thin router's fan-out threads with the same lock-free discipline.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -136,6 +140,103 @@ impl IngestStats {
     }
 }
 
+/// Cumulative per-source federation counters (lock-free; shared between
+/// the router's fan-out threads and monitoring readers).
+///
+/// The router keeps one of these per registered source; every federated
+/// query records its outcome here — latency, hit counts, failures, and
+/// circuit-breaker activity — so source health is observable without
+/// scraping query results.
+#[derive(Debug, Default)]
+pub struct SourceMetrics {
+    queries: AtomicU64,
+    failures: AtomicU64,
+    hits: AtomicU64,
+    latency_nanos: AtomicU64,
+    max_latency_nanos: AtomicU64,
+    breaker_opens: AtomicU64,
+    short_circuits: AtomicU64,
+}
+
+impl SourceMetrics {
+    /// Records one completed source query: hits contributed, wall latency,
+    /// and whether the source failed (a failed source still has latency —
+    /// the time spent finding out).
+    pub fn record_query(&self, hits: u64, latency: Duration, failed: bool) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        if failed {
+            self.failures.fetch_add(1, Ordering::Relaxed);
+        }
+        let nanos = latency.as_nanos() as u64;
+        self.latency_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_latency_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Records a circuit-breaker transition to open.
+    pub fn record_breaker_open(&self) {
+        self.breaker_opens.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a query answered without touching the source because its
+    /// breaker was open.
+    pub fn record_short_circuit(&self) {
+        self.short_circuits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the counters.
+    pub fn snapshot(&self) -> SourceStats {
+        SourceStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            total_latency: Duration::from_nanos(self.latency_nanos.load(Ordering::Relaxed)),
+            max_latency: Duration::from_nanos(self.max_latency_nanos.load(Ordering::Relaxed)),
+            breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
+            short_circuits: self.short_circuits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of [`SourceMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SourceStats {
+    /// Queries dispatched to (or short-circuited at) this source.
+    pub queries: u64,
+    /// Queries that ended in a source error.
+    pub failures: u64,
+    /// Hits contributed across all queries.
+    pub hits: u64,
+    /// Summed query latency.
+    pub total_latency: Duration,
+    /// Worst single-query latency.
+    pub max_latency: Duration,
+    /// Times the circuit breaker opened.
+    pub breaker_opens: u64,
+    /// Queries skipped because the breaker was open.
+    pub short_circuits: u64,
+}
+
+impl SourceStats {
+    /// Mean per-query latency.
+    pub fn mean_latency(&self) -> Duration {
+        if self.queries == 0 {
+            Duration::ZERO
+        } else {
+            self.total_latency / self.queries as u32
+        }
+    }
+
+    /// Fraction of queries that failed (0.0 when none ran).
+    pub fn failure_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.failures as f64 / self.queries as f64
+        }
+    }
+}
+
 fn per_sec(count: u64, wall: Duration) -> f64 {
     let secs = wall.as_secs_f64();
     if secs <= 0.0 {
@@ -168,6 +269,27 @@ mod tests {
         assert_eq!(s.upmark_time, Duration::from_millis(30));
         assert_eq!(s.store_time, Duration::from_millis(70));
         assert_eq!(s.mean_batch_size(), 1.5);
+    }
+
+    #[test]
+    fn source_metrics_accumulate() {
+        let m = SourceMetrics::default();
+        m.record_query(3, Duration::from_millis(10), false);
+        m.record_query(0, Duration::from_millis(30), true);
+        m.record_breaker_open();
+        m.record_short_circuit();
+        let s = m.snapshot();
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.failures, 1);
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.total_latency, Duration::from_millis(40));
+        assert_eq!(s.max_latency, Duration::from_millis(30));
+        assert_eq!(s.mean_latency(), Duration::from_millis(20));
+        assert_eq!(s.failure_rate(), 0.5);
+        assert_eq!(s.breaker_opens, 1);
+        assert_eq!(s.short_circuits, 1);
+        assert_eq!(SourceStats::default().mean_latency(), Duration::ZERO);
+        assert_eq!(SourceStats::default().failure_rate(), 0.0);
     }
 
     #[test]

@@ -14,38 +14,17 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// What a source can evaluate natively.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Capabilities {
-    /// Understands `Context=` (section-heading search).
-    pub context_search: bool,
-    /// Understands `Content=` (keyword search).
-    pub content_search: bool,
-    /// Returns structured (sectioned) results rather than whole documents.
-    pub structured_results: bool,
-}
-
-impl Capabilities {
-    /// A full NETMARK peer.
-    pub const FULL: Capabilities = Capabilities {
-        context_search: true,
-        content_search: true,
-        structured_results: true,
-    };
-
-    /// A keyword-only server (the Lessons Learned case).
-    pub const CONTENT_ONLY: Capabilities = Capabilities {
-        context_search: false,
-        content_search: true,
-        structured_results: false,
-    };
-}
+// Capabilities are part of the XDB wire surface (servers advertise them at
+// `GET /xdb/capabilities`), so the type lives in the protocol crate.
+pub use netmark_xdb::Capabilities;
 
 /// Source-side failures the router must survive.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SourceError {
     /// Network-ish failure: down, timed out.
     Unavailable(String),
+    /// The source's circuit breaker is open: the query was not attempted.
+    CircuitOpen(String),
     /// The pushed query exceeds the source's capabilities (router bug).
     Unsupported(String),
     /// The source's own backend errored.
@@ -56,6 +35,7 @@ impl fmt::Display for SourceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SourceError::Unavailable(m) => write!(f, "source unavailable: {m}"),
+            SourceError::CircuitOpen(m) => write!(f, "circuit open: {m}"),
             SourceError::Unsupported(m) => write!(f, "query unsupported by source: {m}"),
             SourceError::Backend(m) => write!(f, "source backend error: {m}"),
         }
@@ -77,6 +57,12 @@ pub trait SourceAdapter: Send + Sync {
 
     /// Fetches one full document for router-side augmentation.
     fn fetch_document(&self, name: &str) -> Result<Document, SourceError>;
+
+    /// Cumulative circuit-breaker opens, for breaker-guarded sources
+    /// (remote adapters). In-process sources have no breaker: `0`.
+    fn breaker_opens(&self) -> u64 {
+        0
+    }
 }
 
 /// A full NETMARK instance as a source (Fig 8's peers).
@@ -178,6 +164,12 @@ impl SourceAdapter for ContentOnlySource {
             }
         }
         rs.candidates = rs.hits.len();
+        if let Some(limit) = q.limit {
+            if rs.hits.len() > limit {
+                rs.hits.truncate(limit);
+                rs.truncated = true;
+            }
+        }
         Ok(rs)
     }
 
@@ -240,6 +232,10 @@ impl<S: SourceAdapter> SourceAdapter for FlakySource<S> {
 
     fn fetch_document(&self, name: &str) -> Result<Document, SourceError> {
         self.inner.fetch_document(name)
+    }
+
+    fn breaker_opens(&self) -> u64 {
+        self.inner.breaker_opens()
     }
 }
 

@@ -8,12 +8,14 @@
 //! router capability across the various information sources" — it holds no
 //! schemas and no mappings, only the source lists.
 
-use crate::adapter::{Capabilities, SourceAdapter};
+use crate::adapter::{Capabilities, SourceAdapter, SourceError};
 use crate::matcher::match_document;
+use netmark::{SourceMetrics, SourceStats};
 use netmark_xdb::{Hit, ResultSet, XdbQuery};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A declared databank: an application's source list. This — a name and a
 /// list of source names — is the *complete* integration specification; its
@@ -99,6 +101,11 @@ pub struct SourceOutcome {
     pub hits: usize,
     /// Documents fetched back for augmentation.
     pub documents_fetched: usize,
+    /// Wall time this source took (including augmentation fetches, or the
+    /// time spent discovering a failure).
+    pub latency: Duration,
+    /// The query was answered from the breaker, not the wire.
+    pub short_circuited: bool,
     /// Error, if the source failed (the query continues without it).
     pub error: Option<String>,
 }
@@ -125,6 +132,7 @@ impl FederatedResult {
 pub struct Router {
     adapters: BTreeMap<String, Arc<dyn SourceAdapter>>,
     databanks: BTreeMap<String, Databank>,
+    metrics: BTreeMap<String, Arc<SourceMetrics>>,
 }
 
 impl Router {
@@ -139,8 +147,27 @@ impl Router {
         if self.adapters.contains_key(&name) {
             return Err(RouterError::Duplicate(name));
         }
+        self.metrics
+            .insert(name.clone(), Arc::new(SourceMetrics::default()));
         self.adapters.insert(name, adapter);
         Ok(())
+    }
+
+    /// Per-source health counters: latency, failures, breaker activity.
+    pub fn source_stats(&self) -> BTreeMap<String, SourceStats> {
+        self.metrics
+            .iter()
+            .map(|(name, m)| {
+                let mut s = m.snapshot();
+                // Breaker opens are owned by the adapter's state machine
+                // (only it knows when the threshold tripped); splice the
+                // live counter into the router's view.
+                if let Some(a) = self.adapters.get(name) {
+                    s.breaker_opens = a.breaker_opens();
+                }
+                (name.clone(), s)
+            })
+            .collect()
     }
 
     /// Declares a databank over registered sources.
@@ -190,8 +217,14 @@ impl Router {
             // Unsectioned answers always need local sectioning.
             residual = true;
         }
-        // Never push a limit when we post-process; the residual filter may
-        // discard pushed hits.
+        // Limit pushdown: when the source evaluates the whole query (no
+        // local post-processing) the global `limit=` is also a valid
+        // per-source upper bound — no merged answer can use more than
+        // `limit` hits from one source — so pushing it cuts wire traffic
+        // from remote peers. Never push it when we post-process: the
+        // residual filter may discard pushed hits, and truncating early
+        // would lose answers. Global truncation still happens once, in
+        // [`Router::query`].
         if residual {
             pushed.limit = None;
         }
@@ -202,6 +235,23 @@ impl Router {
 
     /// Queries one source, augmenting as needed.
     fn query_source(&self, adapter: &dyn SourceAdapter, q: &XdbQuery) -> (SourceOutcome, Vec<Hit>) {
+        let start = Instant::now();
+        let (mut outcome, hits) = self.query_source_inner(adapter, q);
+        outcome.latency = start.elapsed();
+        if let Some(m) = self.metrics.get(&outcome.source) {
+            if outcome.short_circuited {
+                m.record_short_circuit();
+            }
+            m.record_query(hits.len() as u64, outcome.latency, outcome.error.is_some());
+        }
+        (outcome, hits)
+    }
+
+    fn query_source_inner(
+        &self,
+        adapter: &dyn SourceAdapter,
+        q: &XdbQuery,
+    ) -> (SourceOutcome, Vec<Hit>) {
         let caps = adapter.capabilities();
         let (pushed, residual) = Router::decompose(q, caps);
         let mut outcome = SourceOutcome {
@@ -210,11 +260,14 @@ impl Router {
             augmented: residual,
             hits: 0,
             documents_fetched: 0,
+            latency: Duration::ZERO,
+            short_circuited: false,
             error: None,
         };
         let initial = match adapter.search(&pushed) {
             Ok(rs) => rs,
             Err(e) => {
+                outcome.short_circuited = matches!(e, SourceError::CircuitOpen(_));
                 outcome.error = Some(e.to_string());
                 return (outcome, Vec::new());
             }
@@ -432,6 +485,67 @@ mod tests {
             .unwrap();
         assert_eq!(fr.results.len(), 1);
         assert!(fr.results.truncated);
+        cleanup(dirs);
+    }
+
+    #[test]
+    fn limit_pushed_only_when_fully_pushable() {
+        let (router, dirs) = build_router("push");
+        let fr = router
+            .query("apps", &XdbQuery::context("Budget").with_limit(1))
+            .unwrap();
+        let ames = fr.outcomes.iter().find(|o| o.source == "ames").unwrap();
+        assert_eq!(
+            ames.pushed.limit,
+            Some(1),
+            "full-capability source gets the limit as a per-source bound"
+        );
+        let llis = fr.outcomes.iter().find(|o| o.source == "llis").unwrap();
+        assert!(
+            llis.pushed.limit.is_none(),
+            "augmented source must not truncate before the residual filter"
+        );
+        cleanup(dirs);
+    }
+
+    #[test]
+    fn source_stats_track_latency_and_failures() {
+        let (nm1, d1) = temp_nm("stats-a");
+        nm1.insert_file("p.txt", "# Budget\nmoney\n").unwrap();
+        let (nm2, d2) = temp_nm("stats-b");
+        let mut router = Router::new();
+        router
+            .register_source(Arc::new(NetmarkSource::new("up", nm1)))
+            .unwrap();
+        router
+            .register_source(Arc::new(FlakySource::down(NetmarkSource::new("down", nm2))))
+            .unwrap();
+        router.define_databank("apps", &["up", "down"]).unwrap();
+        for _ in 0..3 {
+            router.query("apps", &XdbQuery::context("Budget")).unwrap();
+        }
+        let stats = router.source_stats();
+        let up = &stats["up"];
+        assert_eq!(up.queries, 3);
+        assert_eq!(up.failures, 0);
+        assert_eq!(up.hits, 3);
+        assert!(up.total_latency > Duration::ZERO);
+        assert!(up.max_latency <= up.total_latency);
+        let down = &stats["down"];
+        assert_eq!(down.queries, 3);
+        assert_eq!(down.failures, 3);
+        assert_eq!(down.failure_rate(), 1.0);
+        cleanup(vec![d1, d2]);
+    }
+
+    #[test]
+    fn outcome_reports_latency() {
+        let (router, dirs) = build_router("lat");
+        let fr = router.query("apps", &XdbQuery::context("Budget")).unwrap();
+        for o in &fr.outcomes {
+            assert!(o.latency > Duration::ZERO, "{} latency missing", o.source);
+            assert!(!o.short_circuited);
+        }
         cleanup(dirs);
     }
 

@@ -13,17 +13,27 @@
 //! Failure injection ([`adapter::FlakySource`]) lets tests and benches
 //! exercise graceful degradation: a downed source is reported in the
 //! [`SourceOutcome`], never fails the query.
+//!
+//! Sources need not be in-process: a [`RemoteSource`] speaks XDB-over-HTTP
+//! to a live server through a pooled keep-alive [`client::HttpClient`]
+//! (timeouts, retry with backoff + jitter), negotiates [`Capabilities`] at
+//! registration, and guards the wire with a per-source circuit breaker —
+//! the comms/robustness layer of the Fig-8 deployment.
 
 #![warn(missing_docs)]
 
 pub mod adapter;
+pub mod client;
 pub mod databank;
 pub mod matcher;
+pub mod remote;
 pub mod serve;
 
 pub use adapter::{
     Capabilities, ContentOnlySource, FlakySource, NetmarkSource, SourceAdapter, SourceError,
 };
+pub use client::{ClientConfig, HttpClient, HttpResponse};
 pub use databank::{Databank, FederatedResult, Router, RouterError, SourceOutcome};
 pub use matcher::{match_document, sections, Section};
+pub use remote::{BreakerConfig, BreakerState, RemoteConfig, RemoteSource};
 pub use serve::{handle_federated, serve_router, FederatedServerHandle};

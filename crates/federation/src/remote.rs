@@ -1,0 +1,436 @@
+//! Remote XDB sources: the federated path over real sockets.
+//!
+//! A [`RemoteSource`] speaks XDB-over-HTTP to a live NETMARK (or another
+//! federated router): capabilities are **negotiated** at registration via
+//! `GET /xdb/capabilities` instead of assumed, queries travel as XDB URLs
+//! (`GET /xdb?...`), and answers come back as the versioned `<results>`
+//! wire format that [`netmark_xdb::ResultSet`] round-trips.
+//!
+//! Robustness is layered: the [`crate::client::HttpClient`] underneath
+//! absorbs transient faults (timeouts, retry with backoff), while a
+//! per-source **circuit breaker** here absorbs sustained ones — after
+//! `failure_threshold` consecutive failures the breaker opens and queries
+//! short-circuit (fail in microseconds instead of burning a timeout per
+//! query); after `cooldown` a single half-open probe is let through, and
+//! its outcome closes or re-opens the circuit. Breaker activity is
+//! surfaced through `SourceOutcome` errors and the router's per-source
+//! metrics.
+
+use crate::adapter::{Capabilities, SourceAdapter, SourceError};
+use crate::client::{ClientConfig, HttpClient};
+use netmark_model::Document;
+use netmark_sgml::{parse_xml, NodeTypeConfig};
+use netmark_xdb::{url_encode, ResultSet, XdbQuery, WIRE_VERSION};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Consecutive failures that open the circuit.
+    pub failure_threshold: u32,
+    /// How long the circuit stays open before a half-open probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Observable breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: queries flow.
+    Closed,
+    /// Tripped: queries short-circuit without touching the network.
+    Open,
+    /// Cooldown elapsed: one probe is in flight to decide.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Instant,
+}
+
+/// The breaker state machine. Closed → (threshold failures) → Open →
+/// (cooldown) → HalfOpen → Closed on probe success, Open on probe failure.
+#[derive(Debug)]
+struct Breaker {
+    cfg: BreakerConfig,
+    inner: Mutex<BreakerInner>,
+    opens: std::sync::atomic::AtomicU64,
+}
+
+impl Breaker {
+    fn new(cfg: BreakerConfig) -> Breaker {
+        Breaker {
+            cfg,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: Instant::now(),
+            }),
+            opens: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Whether a query may proceed. Transitions Open → HalfOpen when the
+    /// cooldown has elapsed (admitting exactly one probe).
+    fn admit(&self) -> bool {
+        let mut inner = self.inner.lock().expect("breaker poisoned");
+        match inner.state {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => false, // a probe is already deciding
+            BreakerState::Open => {
+                if inner.opened_at.elapsed() >= self.cfg.cooldown {
+                    inner.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a query outcome; returns `true` when this failure opened
+    /// the circuit (for metrics).
+    fn record(&self, success: bool) -> bool {
+        let mut inner = self.inner.lock().expect("breaker poisoned");
+        if success {
+            inner.state = BreakerState::Closed;
+            inner.consecutive_failures = 0;
+            return false;
+        }
+        inner.consecutive_failures += 1;
+        let should_open = inner.state == BreakerState::HalfOpen
+            || (inner.state == BreakerState::Closed
+                && inner.consecutive_failures >= self.cfg.failure_threshold);
+        if should_open {
+            inner.state = BreakerState::Open;
+            inner.opened_at = Instant::now();
+            self.opens
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    fn state(&self) -> BreakerState {
+        self.inner.lock().expect("breaker poisoned").state
+    }
+}
+
+/// Everything tunable about one remote source.
+#[derive(Debug, Clone, Default)]
+pub struct RemoteConfig {
+    /// Transport tuning (timeouts, retries, pooling).
+    pub client: ClientConfig,
+    /// Circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+}
+
+/// A remote XDB source reached over HTTP.
+pub struct RemoteSource {
+    name: String,
+    client: HttpClient,
+    caps: Capabilities,
+    breaker: Breaker,
+}
+
+impl RemoteSource {
+    /// Connects to `addr` (`host:port`) and negotiates capabilities via
+    /// `GET /xdb/capabilities`. Fails when the server is unreachable,
+    /// does not advertise capabilities, or speaks a newer wire version.
+    pub fn connect(name: &str, addr: &str, cfg: RemoteConfig) -> Result<RemoteSource, SourceError> {
+        let client = HttpClient::new(addr, cfg.client)
+            .map_err(|e| SourceError::Unavailable(e.to_string()))?;
+        let resp = client
+            .get("/xdb/capabilities")
+            .map_err(|e| SourceError::Unavailable(format!("capability probe: {e}")))?;
+        if resp.status != 200 {
+            return Err(SourceError::Unsupported(format!(
+                "capability probe answered {} — not an XDB server?",
+                resp.status
+            )));
+        }
+        let node = parse_xml(&resp.body_text(), &NodeTypeConfig::empty())
+            .map_err(|e| SourceError::Unsupported(format!("bad capabilities document: {e}")))?;
+        let (caps, version) = Capabilities::from_node(&node).ok_or_else(|| {
+            SourceError::Unsupported("response is not a capabilities advertisement".into())
+        })?;
+        if version > WIRE_VERSION {
+            return Err(SourceError::Unsupported(format!(
+                "server speaks wire version {version}, this client tops out at {WIRE_VERSION}"
+            )));
+        }
+        Ok(RemoteSource {
+            name: name.to_string(),
+            client,
+            caps,
+            breaker: Breaker::new(cfg.breaker),
+        })
+    }
+
+    /// The negotiated capabilities (what `GET /xdb/capabilities` said).
+    pub fn negotiated(&self) -> Capabilities {
+        self.caps
+    }
+
+    /// Current breaker state.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
+    }
+
+    /// Fresh TCP connections the transport has opened (keep-alive reuse
+    /// diagnostics).
+    pub fn connects(&self) -> u64 {
+        self.client.connects()
+    }
+
+    /// One guarded remote exchange: breaker admission, the call itself,
+    /// outcome recording.
+    fn guarded<T>(
+        &self,
+        call: impl FnOnce(&HttpClient) -> Result<T, SourceError>,
+    ) -> Result<T, SourceError> {
+        if !self.breaker.admit() {
+            return Err(SourceError::CircuitOpen(format!(
+                "{} failed repeatedly; cooling down",
+                self.name
+            )));
+        }
+        let result = call(&self.client);
+        let opened = self.breaker.record(result.is_ok());
+        match result {
+            Ok(v) => Ok(v),
+            Err(e) if opened => Err(SourceError::Unavailable(format!(
+                "{e} (circuit opened after repeated failures)"
+            ))),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl SourceAdapter for RemoteSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        self.caps
+    }
+
+    fn breaker_opens(&self) -> u64 {
+        self.breaker
+            .opens
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn search(&self, q: &XdbQuery) -> Result<ResultSet, SourceError> {
+        let path = format!("/xdb?{}", q.to_query_string());
+        let name = self.name.clone();
+        self.guarded(move |client| {
+            let resp = client
+                .get(&path)
+                .map_err(|e| SourceError::Unavailable(e.to_string()))?;
+            if resp.status != 200 {
+                return Err(SourceError::Backend(format!(
+                    "remote answered {}: {}",
+                    resp.status,
+                    resp.body_text()
+                )));
+            }
+            let node = parse_xml(&resp.body_text(), &NodeTypeConfig::empty())
+                .map_err(|e| SourceError::Backend(format!("unparseable results: {e}")))?;
+            if node.name != "results" {
+                return Err(SourceError::Backend(format!(
+                    "expected <results>, got <{}>",
+                    node.name
+                )));
+            }
+            if let Some(v) = node.attr("version").and_then(|v| v.parse::<u32>().ok()) {
+                if v > WIRE_VERSION {
+                    return Err(SourceError::Backend(format!(
+                        "results use wire version {v} > {WIRE_VERSION}"
+                    )));
+                }
+            }
+            Ok(ResultSet::from_node(&node, &name))
+        })
+    }
+
+    fn fetch_document(&self, name: &str) -> Result<Document, SourceError> {
+        let path = format!("/docs/{}", url_encode(name));
+        let doc_name = name.to_string();
+        self.guarded(move |client| {
+            let resp = client
+                .get(&path)
+                .map_err(|e| SourceError::Unavailable(e.to_string()))?;
+            if resp.status != 200 {
+                return Err(SourceError::Backend(format!(
+                    "fetch {doc_name} answered {}",
+                    resp.status
+                )));
+            }
+            let root = parse_xml(&resp.body_text(), &NodeTypeConfig::xml_default())
+                .map_err(|e| SourceError::Backend(format!("unparseable document: {e}")))?;
+            Ok(Document::new(&doc_name, "xml", root))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmark::NetMark;
+    use std::sync::Arc;
+
+    fn tight() -> RemoteConfig {
+        RemoteConfig {
+            client: ClientConfig {
+                connect_timeout: Duration::from_millis(300),
+                read_timeout: Duration::from_millis(300),
+                retries: 0,
+                backoff_base: Duration::from_millis(1),
+                ..ClientConfig::default()
+            },
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                cooldown: Duration::from_millis(100),
+            },
+        }
+    }
+
+    #[test]
+    fn negotiates_and_queries_live_server() {
+        let dir = std::env::temp_dir().join(format!("netmark-remote-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let nm = Arc::new(NetMark::open(&dir).unwrap());
+        nm.insert_file("plan.txt", "# Budget\nremote money\n")
+            .unwrap();
+        let server = netmark_webdav::serve(Arc::clone(&nm), "127.0.0.1:0").unwrap();
+
+        let src =
+            RemoteSource::connect("peer", &server.addr().to_string(), RemoteConfig::default())
+                .unwrap();
+        assert_eq!(src.negotiated(), Capabilities::FULL);
+        assert_eq!(src.breaker_state(), BreakerState::Closed);
+
+        let rs = src.search(&XdbQuery::context("Budget")).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.hits[0].doc, "plan.txt");
+        assert_eq!(rs.hits[0].source, "peer");
+        assert!(rs.hits[0].content_text().contains("remote money"));
+
+        let doc = src.fetch_document("plan.txt").unwrap();
+        assert!(doc
+            .context_content_pairs()
+            .iter()
+            .any(|(l, _)| l == "Budget"));
+
+        // Capability negotiation + 1 pooled connection for everything.
+        assert_eq!(src.connects(), 1, "keep-alive reused one socket");
+
+        server.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn connect_refuses_non_xdb_server() {
+        // A listener that answers 404 to everything.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            if let Ok((mut conn, _)) = listener.accept() {
+                use std::io::Write;
+                let _ = conn.write_all(
+                    b"HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+                );
+            }
+        });
+        match RemoteSource::connect("x", &addr.to_string(), tight()) {
+            Err(SourceError::Unsupported(_)) => {}
+            Err(other) => panic!("expected Unsupported, got {other}"),
+            Ok(_) => panic!("expected Unsupported, got Ok"),
+        }
+    }
+
+    #[test]
+    fn breaker_opens_and_recovers() {
+        let dir = std::env::temp_dir().join(format!("netmark-breaker-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let nm = Arc::new(NetMark::open(&dir).unwrap());
+        nm.insert_file("p.txt", "# Budget\nmoney\n").unwrap();
+        let server = netmark_webdav::serve(Arc::clone(&nm), "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        let src = RemoteSource::connect("peer", &addr.to_string(), tight()).unwrap();
+        assert!(src.search(&XdbQuery::context("Budget")).is_ok());
+
+        // Kill the server: consecutive failures trip the breaker.
+        server.stop();
+        let q = XdbQuery::context("Budget");
+        assert!(matches!(
+            src.search(&q),
+            Err(SourceError::Unavailable(_) | SourceError::Backend(_))
+        ));
+        assert!(src.search(&q).is_err()); // second failure → opens
+        assert_eq!(src.breaker_state(), BreakerState::Open);
+        // Open circuit short-circuits without the connect timeout.
+        let start = Instant::now();
+        assert!(matches!(src.search(&q), Err(SourceError::CircuitOpen(_))));
+        assert!(start.elapsed() < Duration::from_millis(100));
+
+        // Revive the server on the same port; after the cooldown the
+        // half-open probe closes the circuit again.
+        std::thread::sleep(Duration::from_millis(150));
+        let revived = netmark_webdav::serve(Arc::clone(&nm), &addr.to_string());
+        // The OS may refuse to rebind the port quickly; when it does, the
+        // open/half-open transitions above are still fully exercised.
+        if let Ok(server2) = revived {
+            let deadline = Instant::now() + Duration::from_secs(5);
+            loop {
+                std::thread::sleep(Duration::from_millis(120));
+                if src.search(&q).is_ok() {
+                    break;
+                }
+                assert!(Instant::now() < deadline, "breaker never recovered");
+            }
+            assert_eq!(src.breaker_state(), BreakerState::Closed);
+            server2.stop();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn breaker_state_machine_unit() {
+        let b = Breaker::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_millis(40),
+        });
+        assert!(b.admit());
+        assert!(!b.record(false));
+        assert!(b.admit());
+        assert!(b.record(false), "threshold reached → opened");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.admit(), "open rejects immediately");
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(b.admit(), "cooldown elapsed → half-open probe admitted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.admit(), "only one probe at a time");
+        assert!(b.record(false), "probe failed → re-opened");
+        assert_eq!(b.state(), BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(b.admit());
+        assert!(!b.record(true));
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+}

@@ -9,8 +9,8 @@
 
 use crate::databank::Router;
 use netmark::NetMark;
-use netmark_webdav::{handle as local_handle, read_request, Request, Response};
-use netmark_xdb::XdbQuery;
+use netmark_webdav::{handle as local_handle, serve_connection, ConnTracker, Request, Response};
+use netmark_xdb::{Capabilities, XdbQuery};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -19,6 +19,7 @@ use std::sync::Arc;
 pub struct FederatedServerHandle {
     addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
+    conns: Arc<ConnTracker>,
     join: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -36,6 +37,8 @@ impl FederatedServerHandle {
     fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         let _ = TcpStream::connect(self.addr);
+        // Kick keep-alive handler threads off their sockets.
+        self.conns.close_all();
         if let Some(j) = self.join.take() {
             let _ = j.join();
         }
@@ -52,6 +55,12 @@ impl Drop for FederatedServerHandle {
 
 /// Dispatches one request against the router (+ optional local engine).
 pub fn handle_federated(router: &Router, local: Option<&NetMark>, req: &Request) -> Response {
+    // A federated endpoint is a full XDB peer to its own clients: whatever
+    // a source cannot evaluate, the router augments. Routers therefore
+    // federate transitively — a RemoteSource can point at another router.
+    if req.method == "GET" && req.path == "/xdb/capabilities" {
+        return Response::new(200).with_xml(&Capabilities::FULL.to_xml());
+    }
     if req.method == "GET" && req.path == "/xdb" {
         let qs = req.query.as_deref().unwrap_or("");
         match XdbQuery::parse(qs) {
@@ -88,6 +97,8 @@ pub fn serve_router(
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop2 = Arc::clone(&stop);
+    let conns = Arc::new(ConnTracker::default());
+    let conns2 = Arc::clone(&conns);
     let join = std::thread::spawn(move || {
         for conn in listener.incoming() {
             if stop2.load(Ordering::SeqCst) {
@@ -96,17 +107,20 @@ pub fn serve_router(
             let Ok(mut conn) = conn else { continue };
             let router = Arc::clone(&router);
             let local = local.clone();
+            let conns = Arc::clone(&conns2);
             std::thread::spawn(move || {
-                if let Some(req) = read_request(&mut conn) {
-                    let resp = handle_federated(&router, local.as_deref(), &req);
-                    let _ = resp.write_to(&mut conn);
-                }
+                let id = conns.track(&conn);
+                serve_connection(&mut conn, |req| {
+                    handle_federated(&router, local.as_deref(), req)
+                });
+                conns.release(id);
             });
         }
     });
     Ok(FederatedServerHandle {
         addr,
         stop,
+        conns,
         join: Some(join),
     })
 }
@@ -120,6 +134,8 @@ mod tests {
     fn request(addr: std::net::SocketAddr, raw: &str) -> String {
         let mut s = TcpStream::connect(addr).unwrap();
         s.write_all(raw.as_bytes()).unwrap();
+        // Half-close so the keep-alive server sees EOF and closes its side.
+        s.shutdown(std::net::Shutdown::Write).unwrap();
         let mut out = String::new();
         s.read_to_string(&mut out).unwrap();
         out
@@ -169,6 +185,11 @@ mod tests {
             "GET /xdb?databank=ghost&Context=Budget HTTP/1.1\r\n\r\n",
         );
         assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
+
+        // The router advertises full capabilities (it augments weakness).
+        let resp = request(h.addr(), "GET /xdb/capabilities HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        assert!(resp.contains("context-search=\"true\""), "{resp}");
 
         h.stop();
         std::fs::remove_dir_all(&base).unwrap();

@@ -4,13 +4,24 @@
 //! using WebDAV which is a set of extensions to the HTTP protocol" (§2.1.2).
 //! This module is the protocol substrate: just enough HTTP/1.1 to carry
 //! the WebDAV verbs and XDB query URLs, over std TCP, no dependencies.
+//!
+//! Connections are persistent by default (HTTP/1.1 keep-alive): servers
+//! loop [`read_request_from`] over one [`BufReader`] per connection —
+//! keeping the reader across requests so pipelined bytes are never lost —
+//! and honor the client's `Connection:` header when writing. Parsing is
+//! hardened against hostile peers: header section and body sizes are
+//! capped, and the typed [`RequestError`] lets servers answer `431`/`413`
+//! instead of allocating whatever the peer claims.
 
 use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 
 /// Maximum accepted body (64 MiB) — guards against hostile Content-Length.
-const MAX_BODY: usize = 64 << 20;
+pub const MAX_BODY: usize = 64 << 20;
+
+/// Maximum accepted request-line + header section (64 KiB total).
+pub const MAX_HEADER_BYTES: usize = 64 << 10;
 
 /// A parsed request.
 #[derive(Debug, Clone)]
@@ -40,7 +51,45 @@ impl Request {
     pub fn body_text(&self) -> String {
         String::from_utf8_lossy(&self.body).into_owned()
     }
+
+    /// Whether the client wants the connection kept open after the
+    /// response (HTTP/1.1 default unless it sent `Connection: close`).
+    pub fn wants_keep_alive(&self) -> bool {
+        !self
+            .header("connection")
+            .map(|v| v.eq_ignore_ascii_case("close"))
+            .unwrap_or(false)
+    }
 }
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Clean end of stream before any request bytes (client done).
+    Closed,
+    /// Unparseable request line or headers.
+    Malformed(String),
+    /// Request-line + header section exceeded [`MAX_HEADER_BYTES`] → `431`.
+    HeadersTooLarge,
+    /// Declared `Content-Length` exceeded [`MAX_BODY`] → `413`.
+    BodyTooLarge(usize),
+    /// The socket failed mid-request (includes read timeouts).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Closed => write!(f, "connection closed"),
+            RequestError::Malformed(m) => write!(f, "malformed request: {m}"),
+            RequestError::HeadersTooLarge => write!(f, "header section too large"),
+            RequestError::BodyTooLarge(n) => write!(f, "declared body of {n} bytes too large"),
+            RequestError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
 
 /// A response under construction.
 #[derive(Debug, Clone)]
@@ -68,6 +117,7 @@ impl Response {
             405 => "Method Not Allowed",
             409 => "Conflict",
             413 => "Payload Too Large",
+            431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
             _ => "Unknown",
         };
@@ -101,8 +151,10 @@ impl Response {
         self
     }
 
-    /// Serializes onto the wire.
-    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+    /// Serializes onto the wire. `keep_alive` decides the `Connection:`
+    /// header — pass the request's [`Request::wants_keep_alive`] so pooled
+    /// client connections are actually reused.
+    pub fn write_to<W: Write>(&self, stream: &mut W, keep_alive: bool) -> std::io::Result<()> {
         let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason);
         let mut has_len = false;
         for (k, v) in &self.headers {
@@ -117,35 +169,85 @@ impl Response {
         if !has_len {
             head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
         }
-        head.push_str("Connection: close\r\n\r\n");
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(&self.body)?;
+        head.push_str(if keep_alive {
+            "Connection: keep-alive\r\n\r\n"
+        } else {
+            "Connection: close\r\n\r\n"
+        });
+        // One write for head+body: two writes would put them in separate
+        // TCP segments, and on a keep-alive connection Nagle + delayed
+        // ACK turns that into a ~40ms stall per response.
+        let mut wire = head.into_bytes();
+        wire.extend_from_slice(&self.body);
+        stream.write_all(&wire)?;
         stream.flush()
     }
 }
 
-/// Reads one request from the stream. `None` for a cleanly closed or
-/// unparseable connection.
-pub fn read_request(stream: &mut TcpStream) -> Option<Request> {
-    let mut reader = BufReader::new(stream.try_clone().ok()?);
-    let mut line = String::new();
-    if reader.read_line(&mut line).ok()? == 0 {
-        return None;
+/// Reads one CRLF/LF-terminated line, counting against the shared header
+/// budget. Unlike `BufRead::read_line`, a peer streaming an endless line
+/// is cut off at the budget instead of growing the buffer unboundedly.
+fn read_line_limited<R: BufRead>(
+    reader: &mut R,
+    budget: &mut usize,
+) -> Result<Option<String>, RequestError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                break;
+            }
+            Ok(_) => {
+                if *budget == 0 {
+                    return Err(RequestError::HeadersTooLarge);
+                }
+                *budget -= 1;
+                if byte[0] == b'\n' {
+                    break;
+                }
+                line.push(byte[0]);
+            }
+            Err(e) => return Err(RequestError::Io(e)),
+        }
     }
+    while line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    Ok(Some(String::from_utf8_lossy(&line).into_owned()))
+}
+
+/// Reads one request from a buffered stream. Servers create **one**
+/// [`BufReader`] per connection and call this in a loop: the reader's
+/// buffer carries pipelined request bytes from one call to the next.
+pub fn read_request_from<R: BufRead>(reader: &mut R) -> Result<Request, RequestError> {
+    let mut budget = MAX_HEADER_BYTES;
+    let line = match read_line_limited(reader, &mut budget)? {
+        None => return Err(RequestError::Closed),
+        Some(l) => l,
+    };
     let mut parts = line.split_whitespace();
-    let method = parts.next()?.to_ascii_uppercase();
-    let target = parts.next()?.to_string();
+    let method = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("empty request line".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed(format!("no target in '{line}'")))?
+        .to_string();
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p.to_string(), Some(q.to_string())),
         None => (target, None),
     };
     let mut headers = BTreeMap::new();
     loop {
-        let mut h = String::new();
-        if reader.read_line(&mut h).ok()? == 0 {
-            break;
-        }
-        let h = h.trim_end();
+        let h = match read_line_limited(reader, &mut budget)? {
+            None => break,
+            Some(h) => h,
+        };
         if h.is_empty() {
             break;
         }
@@ -158,13 +260,13 @@ pub fn read_request(stream: &mut TcpStream) -> Option<Request> {
         .and_then(|v| v.parse().ok())
         .unwrap_or(0);
     if len > MAX_BODY {
-        return None;
+        return Err(RequestError::BodyTooLarge(len));
     }
     let mut body = vec![0u8; len];
     if len > 0 {
-        reader.read_exact(&mut body).ok()?;
+        reader.read_exact(&mut body).map_err(RequestError::Io)?;
     }
-    Some(Request {
+    Ok(Request {
         method,
         path,
         query,
@@ -173,9 +275,21 @@ pub fn read_request(stream: &mut TcpStream) -> Option<Request> {
     })
 }
 
+/// Reads one request from the stream. `None` for a cleanly closed or
+/// unparseable connection.
+///
+/// One-shot convenience: the internal read buffer is discarded, so
+/// pipelined follow-up requests are lost. Persistent-connection servers
+/// use [`read_request_from`] with a long-lived [`BufReader`].
+pub fn read_request(stream: &mut TcpStream) -> Option<Request> {
+    let mut reader = BufReader::new(stream.try_clone().ok()?);
+    read_request_from(&mut reader).ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Read;
     use std::net::{TcpListener, TcpStream};
 
     fn round_trip(raw: &str) -> Option<Request> {
@@ -202,6 +316,7 @@ mod tests {
         assert_eq!(req.query.as_deref(), Some("Context=Budget&limit=3"));
         assert_eq!(req.header("host"), Some("x"));
         assert_eq!(req.header("HOST"), Some("x"));
+        assert!(req.wants_keep_alive(), "HTTP/1.1 default is keep-alive");
     }
 
     #[test]
@@ -212,8 +327,80 @@ mod tests {
     }
 
     #[test]
+    fn connection_close_header_honored() {
+        let req = round_trip("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!req.wants_keep_alive());
+        let req = round_trip("GET / HTTP/1.1\r\nConnection: Keep-Alive\r\n\r\n").unwrap();
+        assert!(req.wants_keep_alive());
+    }
+
+    #[test]
     fn empty_connection_is_none() {
         assert!(round_trip("").is_none());
+    }
+
+    #[test]
+    fn pipelined_requests_both_read() {
+        // Two requests in one write: a per-connection reader must hand
+        // back both (a fresh reader per request would drop buffered bytes).
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n")
+                .unwrap();
+            s.flush().unwrap();
+        });
+        let (conn, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(conn);
+        let a = read_request_from(&mut reader).unwrap();
+        let b = read_request_from(&mut reader).unwrap();
+        client.join().unwrap();
+        assert_eq!(a.path, "/a");
+        assert_eq!(b.path, "/b");
+        assert!(matches!(
+            read_request_from(&mut reader),
+            Err(RequestError::Closed)
+        ));
+    }
+
+    #[test]
+    fn oversized_headers_rejected() {
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..2000 {
+            raw.push_str(&format!("X-Pad-{i}: {}\r\n", "y".repeat(64)));
+        }
+        raw.push_str("\r\n");
+        let mut reader = BufReader::new(raw.as_bytes());
+        assert!(matches!(
+            read_request_from(&mut reader),
+            Err(RequestError::HeadersTooLarge)
+        ));
+    }
+
+    #[test]
+    fn endless_request_line_rejected() {
+        // No newline at all: the reader must stop at the budget rather
+        // than buffer the whole stream.
+        let raw = "G".repeat(MAX_HEADER_BYTES * 2);
+        let mut reader = BufReader::new(raw.as_bytes());
+        assert!(matches!(
+            read_request_from(&mut reader),
+            Err(RequestError::HeadersTooLarge)
+        ));
+    }
+
+    #[test]
+    fn oversized_body_rejected_without_allocating() {
+        let raw = format!(
+            "PUT /docs/x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            1 << 30
+        );
+        let mut reader = BufReader::new(raw.as_bytes());
+        match read_request_from(&mut reader) {
+            Err(RequestError::BodyTooLarge(n)) => assert_eq!(n, 1 << 30),
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        }
     }
 
     #[test]
@@ -225,7 +412,7 @@ mod tests {
             Response::new(207)
                 .with_header("DAV", "1")
                 .with_xml("<multistatus/>")
-                .write_to(&mut conn)
+                .write_to(&mut conn, false)
                 .unwrap();
         });
         let mut s = TcpStream::connect(addr).unwrap();
@@ -235,6 +422,18 @@ mod tests {
         assert!(buf.starts_with("HTTP/1.1 207 Multi-Status\r\n"));
         assert!(buf.contains("DAV: 1"));
         assert!(buf.contains("Content-Length: 14"));
+        assert!(buf.contains("Connection: close"));
         assert!(buf.ends_with("<multistatus/>"));
+    }
+
+    #[test]
+    fn keep_alive_response_header() {
+        let mut buf = Vec::new();
+        Response::new(200)
+            .with_text("ok")
+            .write_to(&mut buf, true)
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("Connection: keep-alive"));
     }
 }

@@ -9,6 +9,8 @@
 //! - `GET /xdb?Context=…&Content=…[&xslt=…]` — run an XDB query; returns
 //!   the `<results>` XML, or the composed document when `xslt=` names a
 //!   registered stylesheet.
+//! - `GET /xdb/capabilities` — versioned capability advertisement for
+//!   remote federation adapters.
 //! - `PUT /docs/<name>` — upload (ingest) a document.
 //! - `GET /docs/<name>` — fetch the stored (upmarked) document as XML.
 //! - `DELETE /docs/<name>` — remove a document.
@@ -16,19 +18,61 @@
 //! - `OPTIONS *` — advertises the DAV class.
 //! - `MKCOL /…` — accepted as a no-op (drop folders are flat).
 
-use crate::http::{read_request, Request, Response};
+use crate::http::{read_request_from, Request, RequestError, Response};
 use crate::ingest::IngestService;
 use netmark::{NetMark, PipelineConfig, QueryOutput};
 use netmark_model::escape_text;
-use netmark_xdb::url_decode;
+use netmark_xdb::{url_decode, Capabilities};
+use std::collections::HashMap;
+use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How long a keep-alive connection may sit idle between requests before
+/// the server reclaims its thread.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Registry of live connection sockets. Keep-alive means handler threads
+/// outlive the accept loop; `close_all` hard-closes every tracked socket
+/// so shutdown takes effect immediately instead of waiting out each
+/// connection's idle timeout.
+#[derive(Default)]
+pub struct ConnTracker {
+    next: AtomicU64,
+    conns: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl ConnTracker {
+    /// Registers a connection; pass the returned token to [`release`]
+    /// (ConnTracker::release) when its handler finishes.
+    pub fn track(&self, conn: &TcpStream) -> u64 {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        if let Ok(c) = conn.try_clone() {
+            self.conns.lock().unwrap().insert(id, c);
+        }
+        id
+    }
+
+    /// Forgets a finished connection.
+    pub fn release(&self, id: u64) {
+        self.conns.lock().unwrap().remove(&id);
+    }
+
+    /// Hard-closes every live connection (both directions).
+    pub fn close_all(&self) {
+        for (_, c) in self.conns.lock().unwrap().drain() {
+            let _ = c.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
 
 /// A running server; dropping the handle stops it.
 pub struct ServerHandle {
     addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
+    conns: Arc<ConnTracker>,
     join: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -48,6 +92,8 @@ impl ServerHandle {
         self.stop.store(true, Ordering::SeqCst);
         // Unblock the accept loop.
         let _ = TcpStream::connect(self.addr);
+        // Kick keep-alive handler threads off their sockets.
+        self.conns.close_all();
         if let Some(j) = self.join.take() {
             let _ = j.join();
         }
@@ -76,6 +122,8 @@ pub fn serve(nm: Arc<NetMark>, bind: &str) -> std::io::Result<ServerHandle> {
         Arc::clone(&nm),
         PipelineConfig::default(),
     ));
+    let conns = Arc::new(ConnTracker::default());
+    let conns2 = Arc::clone(&conns);
     let join = std::thread::spawn(move || {
         for conn in listener.incoming() {
             if stop2.load(Ordering::SeqCst) {
@@ -84,19 +132,68 @@ pub fn serve(nm: Arc<NetMark>, bind: &str) -> std::io::Result<ServerHandle> {
             let Ok(mut conn) = conn else { continue };
             let nm = Arc::clone(&nm);
             let ingest = Arc::clone(&ingest);
+            let conns = Arc::clone(&conns2);
             std::thread::spawn(move || {
-                if let Some(req) = read_request(&mut conn) {
-                    let resp = handle_with(&nm, Some(&ingest), &req);
-                    let _ = resp.write_to(&mut conn);
-                }
+                let id = conns.track(&conn);
+                serve_connection(&mut conn, |req| handle_with(&nm, Some(&ingest), req));
+                conns.release(id);
             });
         }
     });
     Ok(ServerHandle {
         addr,
         stop,
+        conns,
         join: Some(join),
     })
+}
+
+/// Runs the persistent-connection loop on one accepted socket: requests
+/// are read off a single buffered reader (so pipelined bytes survive
+/// between requests), dispatched through `handler`, and answered with the
+/// client's keep-alive preference honored. Oversized or malformed requests
+/// are answered (`413`/`431`/`400`) and the connection closed; idle
+/// keep-alive connections are reclaimed after [`IDLE_TIMEOUT`].
+///
+/// Shared by the NETMARK server and the federation router server.
+pub fn serve_connection<F>(conn: &mut TcpStream, mut handler: F)
+where
+    F: FnMut(&Request) -> Response,
+{
+    let _ = conn.set_read_timeout(Some(IDLE_TIMEOUT));
+    let _ = conn.set_nodelay(true);
+    let Ok(clone) = conn.try_clone() else { return };
+    let mut reader = BufReader::new(clone);
+    loop {
+        match read_request_from(&mut reader) {
+            Ok(req) => {
+                let keep = req.wants_keep_alive();
+                let resp = handler(&req);
+                if resp.write_to(conn, keep).is_err() || !keep {
+                    break;
+                }
+            }
+            Err(RequestError::BodyTooLarge(_)) => {
+                let _ = Response::new(413)
+                    .with_text("declared body exceeds server limit")
+                    .write_to(conn, false);
+                break;
+            }
+            Err(RequestError::HeadersTooLarge) => {
+                let _ = Response::new(431)
+                    .with_text("header section exceeds server limit")
+                    .write_to(conn, false);
+                break;
+            }
+            Err(RequestError::Malformed(m)) => {
+                let _ = Response::new(400).with_text(&m).write_to(conn, false);
+                break;
+            }
+            // Clean close between requests, or a socket error / idle
+            // timeout mid-request: nothing useful to answer.
+            Err(RequestError::Closed) | Err(RequestError::Io(_)) => break,
+        }
+    }
 }
 
 fn doc_name(path: &str) -> Option<String> {
@@ -120,6 +217,9 @@ pub fn handle_with(nm: &NetMark, ingest: Option<&IngestService>, req: &Request) 
             .with_header("DAV", "1")
             .with_header("Allow", "OPTIONS, GET, PUT, DELETE, PROPFIND, MKCOL"),
         ("GET", "/xdb") => handle_query(nm, req),
+        // Capability negotiation for remote federation adapters: a full
+        // NETMARK evaluates every query fragment natively.
+        ("GET", "/xdb/capabilities") => Response::new(200).with_xml(&Capabilities::FULL.to_xml()),
         ("PROPFIND", "/docs") | ("PROPFIND", "/docs/") => handle_propfind(nm),
         ("MKCOL", _) => Response::new(201),
         ("PUT", _) => match doc_name(&req.path) {
@@ -215,6 +315,9 @@ mod tests {
         let mut s = TcpStream::connect(addr).unwrap();
         s.write_all(raw.as_bytes()).unwrap();
         s.flush().unwrap();
+        // Half-close: the keep-alive server sees EOF after this request
+        // and closes its side, unblocking read_to_string.
+        s.shutdown(std::net::Shutdown::Write).unwrap();
         let mut out = String::new();
         s.read_to_string(&mut out).unwrap();
         out
@@ -337,6 +440,7 @@ mod encoding_tests {
             .as_bytes(),
         )
         .unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
         let mut resp = String::new();
         s.read_to_string(&mut resp).unwrap();
         assert!(resp.starts_with("HTTP/1.1 201"), "{resp}");
@@ -345,6 +449,7 @@ mod encoding_tests {
         let mut s = TcpStream::connect(h.addr()).unwrap();
         s.write_all(b"GET /docs/my%20plan.txt HTTP/1.1\r\n\r\n")
             .unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
         let mut resp = String::new();
         s.read_to_string(&mut resp).unwrap();
         assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
@@ -353,7 +458,7 @@ mod encoding_tests {
     }
 
     #[test]
-    fn oversized_content_length_is_dropped() {
+    fn oversized_content_length_gets_413() {
         let dir = std::env::temp_dir().join(format!("netmark-dav-big-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let nm = Arc::new(netmark::NetMark::open(&dir).unwrap());
@@ -363,10 +468,83 @@ mod encoding_tests {
         s.write_all(b"PUT /docs/x.txt HTTP/1.1\r\nContent-Length: 1073741824\r\n\r\n")
             .unwrap();
         let mut resp = String::new();
-        // Connection closes with no response (request dropped).
         let _ = s.read_to_string(&mut resp);
-        assert!(resp.is_empty());
+        assert!(resp.starts_with("HTTP/1.1 413"), "{resp}");
         assert!(nm.list_documents().unwrap().is_empty());
+        h.stop();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oversized_headers_get_431() {
+        let dir = std::env::temp_dir().join(format!("netmark-dav-hdr-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let nm = Arc::new(netmark::NetMark::open(&dir).unwrap());
+        let h = serve(Arc::clone(&nm), "127.0.0.1:0").unwrap();
+        let mut s = TcpStream::connect(h.addr()).unwrap();
+        s.write_all(b"GET /xdb?Context=x HTTP/1.1\r\n").unwrap();
+        let pad = format!("X-Pad: {}\r\n", "y".repeat(8 << 10));
+        for _ in 0..16 {
+            if s.write_all(pad.as_bytes()).is_err() {
+                break; // server may slam the door before we finish
+            }
+        }
+        let _ = s.write_all(b"\r\n");
+        let mut resp = String::new();
+        let _ = s.read_to_string(&mut resp);
+        assert!(resp.starts_with("HTTP/1.1 431"), "{resp}");
+        h.stop();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn keep_alive_serves_sequential_requests_on_one_connection() {
+        let dir = std::env::temp_dir().join(format!("netmark-dav-ka-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let nm = Arc::new(netmark::NetMark::open(&dir).unwrap());
+        nm.insert_file("a.txt", "# Budget\nmoney\n").unwrap();
+        let h = serve(Arc::clone(&nm), "127.0.0.1:0").unwrap();
+
+        let mut s = TcpStream::connect(h.addr()).unwrap();
+        let read_one = |s: &mut TcpStream| {
+            // Parse exactly one response off the stream by Content-Length.
+            use std::io::{BufRead, BufReader, Read};
+            let mut reader = BufReader::new(s.try_clone().unwrap());
+            let mut head = String::new();
+            let mut len = 0usize;
+            loop {
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                    len = v.trim().parse().unwrap();
+                }
+                let done = line == "\r\n" || line == "\n";
+                head.push_str(&line);
+                if done {
+                    break;
+                }
+            }
+            let mut body = vec![0u8; len];
+            reader.read_exact(&mut body).unwrap();
+            (head, String::from_utf8_lossy(&body).into_owned())
+        };
+
+        s.write_all(b"GET /xdb?Context=Budget HTTP/1.1\r\n\r\n")
+            .unwrap();
+        let (head, body) = read_one(&mut s);
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.to_ascii_lowercase().contains("connection: keep-alive"));
+        assert!(body.contains("money"));
+
+        // Same socket, second request.
+        s.write_all(b"GET /xdb/capabilities HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let (head, body) = read_one(&mut s);
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.to_ascii_lowercase().contains("connection: close"));
+        assert!(body.contains("capabilities"));
+        assert!(body.contains("version=\"1\""));
+
         h.stop();
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -1,0 +1,130 @@
+//! Source capabilities and their wire format.
+//!
+//! "A source that is queried need not necessarily have XML or even
+//! Context+Content searching capabilities" (paper §2.1.5). A
+//! [`Capabilities`] value says which query fragments a source evaluates
+//! natively; the federation router pushes down what is supported and
+//! augments the rest.
+//!
+//! Capabilities live in this crate — the protocol crate — because they are
+//! part of the XDB wire surface: a federated server advertises them at
+//! `GET /xdb/capabilities` as a versioned XML document, and a remote
+//! adapter negotiates them at registration instead of assuming a full
+//! peer:
+//!
+//! ```xml
+//! <capabilities version="1" context-search="true" content-search="true"
+//!               structured-results="true"/>
+//! ```
+
+use netmark_model::Node;
+
+/// Version of the XDB-over-HTTP wire format (capabilities document and
+/// `<results>` answers). Bumped when the XML shape changes incompatibly; a
+/// client refuses to talk to a server advertising a newer major version.
+pub const WIRE_VERSION: u32 = 1;
+
+/// What a source can evaluate natively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Understands `Context=` (section-heading search).
+    pub context_search: bool,
+    /// Understands `Content=` (keyword search).
+    pub content_search: bool,
+    /// Returns structured (sectioned) results rather than whole documents.
+    pub structured_results: bool,
+}
+
+impl Capabilities {
+    /// A full NETMARK peer.
+    pub const FULL: Capabilities = Capabilities {
+        context_search: true,
+        content_search: true,
+        structured_results: true,
+    };
+
+    /// A keyword-only server (the Lessons Learned case).
+    pub const CONTENT_ONLY: Capabilities = Capabilities {
+        context_search: false,
+        content_search: true,
+        structured_results: false,
+    };
+
+    /// Renders the capabilities advertisement served at
+    /// `GET /xdb/capabilities`.
+    pub fn to_node(&self) -> Node {
+        Node::element("capabilities")
+            .with_attr("version", &WIRE_VERSION.to_string())
+            .with_attr("context-search", bool_str(self.context_search))
+            .with_attr("content-search", bool_str(self.content_search))
+            .with_attr("structured-results", bool_str(self.structured_results))
+    }
+
+    /// XML text of [`Capabilities::to_node`].
+    pub fn to_xml(&self) -> String {
+        self.to_node().to_xml()
+    }
+
+    /// Parses an advertisement; returns the capabilities and the server's
+    /// wire version. `None` when the document is not a capabilities
+    /// advertisement at all.
+    pub fn from_node(node: &Node) -> Option<(Capabilities, u32)> {
+        if node.name != "capabilities" {
+            return None;
+        }
+        let version = node.attr("version")?.parse().ok()?;
+        let flag = |name: &str| node.attr(name).map(|v| v == "true").unwrap_or(false);
+        Some((
+            Capabilities {
+                context_search: flag("context-search"),
+                content_search: flag("content-search"),
+                structured_results: flag("structured-results"),
+            },
+            version,
+        ))
+    }
+}
+
+fn bool_str(b: bool) -> &'static str {
+    if b {
+        "true"
+    } else {
+        "false"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advertisement_round_trip() {
+        for caps in [Capabilities::FULL, Capabilities::CONTENT_ONLY] {
+            let node = caps.to_node();
+            let (back, version) = Capabilities::from_node(&node).unwrap();
+            assert_eq!(back, caps);
+            assert_eq!(version, WIRE_VERSION);
+        }
+    }
+
+    #[test]
+    fn malformed_advertisements_rejected() {
+        assert!(Capabilities::from_node(&Node::element("results")).is_none());
+        // Version is mandatory: a server that does not state one cannot be
+        // negotiated with.
+        assert!(Capabilities::from_node(&Node::element("capabilities")).is_none());
+        let bad = Node::element("capabilities").with_attr("version", "one");
+        assert!(Capabilities::from_node(&bad).is_none());
+    }
+
+    #[test]
+    fn missing_flags_default_to_false() {
+        let n = Node::element("capabilities")
+            .with_attr("version", "1")
+            .with_attr("content-search", "true");
+        let (caps, _) = Capabilities::from_node(&n).unwrap();
+        assert!(caps.content_search);
+        assert!(!caps.context_search);
+        assert!(!caps.structured_results);
+    }
+}

@@ -10,8 +10,10 @@
 
 #![warn(missing_docs)]
 
+pub mod caps;
 pub mod query;
 pub mod result;
 
+pub use caps::{Capabilities, WIRE_VERSION};
 pub use query::{url_decode, url_encode, MatchMode, QueryParseError, XdbQuery};
 pub use result::{Hit, ResultSet};

@@ -68,7 +68,10 @@ impl ResultSet {
     /// </results>
     /// ```
     pub fn to_node(&self) -> Node {
-        let mut root = Node::element("results").with_attr("count", &self.hits.len().to_string());
+        let mut root = Node::element("results")
+            .with_attr("count", &self.hits.len().to_string())
+            .with_attr("version", &crate::caps::WIRE_VERSION.to_string())
+            .with_attr("candidates", &self.candidates.to_string());
         if self.truncated {
             root = root.with_attr("truncated", "true");
         }
@@ -94,6 +97,7 @@ impl ResultSet {
     /// skipped; a malformed hit is dropped rather than failing the set.
     pub fn from_node(node: &Node, source: &str) -> ResultSet {
         let mut rs = ResultSet::new();
+        rs.truncated = node.attr("truncated") == Some("true");
         for hit in node.children_named("hit") {
             let doc = hit.attr("doc").unwrap_or("").to_string();
             let context = hit
@@ -117,7 +121,12 @@ impl ResultSet {
                 context_node: 0,
             });
         }
-        rs.candidates = rs.hits.len();
+        // Remote diagnostics survive the wire when advertised; otherwise
+        // fall back to the local hit count.
+        rs.candidates = node
+            .attr("candidates")
+            .and_then(|c| c.parse().ok())
+            .unwrap_or(rs.hits.len());
         rs
     }
 

@@ -16,6 +16,8 @@ use std::sync::Arc;
 fn http(addr: std::net::SocketAddr, raw: &str) -> String {
     let mut s = TcpStream::connect(addr).expect("connect");
     s.write_all(raw.as_bytes()).expect("write");
+    // Half-close: the keep-alive server closes after seeing EOF.
+    s.shutdown(std::net::Shutdown::Write).expect("shutdown");
     let mut out = String::new();
     s.read_to_string(&mut out).expect("read");
     out

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-3f3eb4f96718817e.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-3f3eb4f96718817e: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

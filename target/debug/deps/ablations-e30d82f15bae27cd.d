@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-e30d82f15bae27cd.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-e30d82f15bae27cd: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-134c784a7a4fbe6a.d: tests/edge_cases.rs
+
+/root/repo/target/debug/deps/edge_cases-134c784a7a4fbe6a: tests/edge_cases.rs
+
+tests/edge_cases.rs:

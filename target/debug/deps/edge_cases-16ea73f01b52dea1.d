@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/edge_cases-16ea73f01b52dea1.d: tests/edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedge_cases-16ea73f01b52dea1.rmeta: tests/edge_cases.rs Cargo.toml
+
+tests/edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

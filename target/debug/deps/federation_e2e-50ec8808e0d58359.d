@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/federation_e2e-50ec8808e0d58359.d: tests/federation_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfederation_e2e-50ec8808e0d58359.rmeta: tests/federation_e2e.rs Cargo.toml
+
+tests/federation_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/federation_e2e-779f903012170898.d: tests/federation_e2e.rs
+
+/root/repo/target/debug/deps/federation_e2e-779f903012170898: tests/federation_e2e.rs
+
+tests/federation_e2e.rs:

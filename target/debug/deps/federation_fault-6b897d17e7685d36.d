@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/federation_fault-6b897d17e7685d36.d: tests/federation_fault.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfederation_fault-6b897d17e7685d36.rmeta: tests/federation_fault.rs Cargo.toml
+
+tests/federation_fault.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/federation_fault-d9c2555acb22f38a.d: tests/federation_fault.rs
+
+/root/repo/target/debug/deps/federation_fault-d9c2555acb22f38a: tests/federation_fault.rs
+
+tests/federation_fault.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_cost_scaling-086c18d11b191632.d: crates/bench/src/bin/fig1_cost_scaling.rs
+
+/root/repo/target/debug/deps/fig1_cost_scaling-086c18d11b191632: crates/bench/src/bin/fig1_cost_scaling.rs
+
+crates/bench/src/bin/fig1_cost_scaling.rs:

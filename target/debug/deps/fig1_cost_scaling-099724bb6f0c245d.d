@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_cost_scaling-099724bb6f0c245d.d: crates/bench/src/bin/fig1_cost_scaling.rs
+
+/root/repo/target/debug/deps/fig1_cost_scaling-099724bb6f0c245d: crates/bench/src/bin/fig1_cost_scaling.rs
+
+crates/bench/src/bin/fig1_cost_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_cost_scaling-0a37ea069d2979b3.d: crates/bench/src/bin/fig1_cost_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_cost_scaling-0a37ea069d2979b3.rmeta: crates/bench/src/bin/fig1_cost_scaling.rs Cargo.toml
+
+crates/bench/src/bin/fig1_cost_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_pipeline-263e392c2953cda3.d: crates/bench/src/bin/fig3_pipeline.rs
+
+/root/repo/target/debug/deps/fig3_pipeline-263e392c2953cda3: crates/bench/src/bin/fig3_pipeline.rs
+
+crates/bench/src/bin/fig3_pipeline.rs:

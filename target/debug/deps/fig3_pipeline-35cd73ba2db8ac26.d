@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_pipeline-35cd73ba2db8ac26.d: crates/bench/src/bin/fig3_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_pipeline-35cd73ba2db8ac26.rmeta: crates/bench/src/bin/fig3_pipeline.rs Cargo.toml
+
+crates/bench/src/bin/fig3_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

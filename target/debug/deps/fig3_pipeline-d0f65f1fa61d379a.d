@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_pipeline-d0f65f1fa61d379a.d: crates/bench/src/bin/fig3_pipeline.rs
+
+/root/repo/target/debug/deps/fig3_pipeline-d0f65f1fa61d379a: crates/bench/src/bin/fig3_pipeline.rs
+
+crates/bench/src/bin/fig3_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_schema_less-470ef35a6771ff53.d: crates/bench/src/bin/fig5_schema_less.rs
+
+/root/repo/target/debug/deps/fig5_schema_less-470ef35a6771ff53: crates/bench/src/bin/fig5_schema_less.rs
+
+crates/bench/src/bin/fig5_schema_less.rs:

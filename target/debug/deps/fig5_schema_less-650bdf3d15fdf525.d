@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_schema_less-650bdf3d15fdf525.d: crates/bench/src/bin/fig5_schema_less.rs
+
+/root/repo/target/debug/deps/fig5_schema_less-650bdf3d15fdf525: crates/bench/src/bin/fig5_schema_less.rs
+
+crates/bench/src/bin/fig5_schema_less.rs:

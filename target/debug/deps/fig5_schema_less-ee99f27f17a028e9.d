@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_schema_less-ee99f27f17a028e9.d: crates/bench/src/bin/fig5_schema_less.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_schema_less-ee99f27f17a028e9.rmeta: crates/bench/src/bin/fig5_schema_less.rs Cargo.toml
+
+crates/bench/src/bin/fig5_schema_less.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

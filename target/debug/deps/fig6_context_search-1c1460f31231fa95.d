@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_context_search-1c1460f31231fa95.d: crates/bench/src/bin/fig6_context_search.rs
+
+/root/repo/target/debug/deps/fig6_context_search-1c1460f31231fa95: crates/bench/src/bin/fig6_context_search.rs
+
+crates/bench/src/bin/fig6_context_search.rs:

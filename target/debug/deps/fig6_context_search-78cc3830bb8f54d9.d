@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_context_search-78cc3830bb8f54d9.d: crates/bench/src/bin/fig6_context_search.rs
+
+/root/repo/target/debug/deps/fig6_context_search-78cc3830bb8f54d9: crates/bench/src/bin/fig6_context_search.rs
+
+crates/bench/src/bin/fig6_context_search.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_context_search-af33d37252fe8f7b.d: crates/bench/src/bin/fig6_context_search.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_context_search-af33d37252fe8f7b.rmeta: crates/bench/src/bin/fig6_context_search.rs Cargo.toml
+
+crates/bench/src/bin/fig6_context_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

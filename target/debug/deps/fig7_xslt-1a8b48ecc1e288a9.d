@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_xslt-1a8b48ecc1e288a9.d: crates/bench/src/bin/fig7_xslt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_xslt-1a8b48ecc1e288a9.rmeta: crates/bench/src/bin/fig7_xslt.rs Cargo.toml
+
+crates/bench/src/bin/fig7_xslt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

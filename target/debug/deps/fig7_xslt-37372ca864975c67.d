@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_xslt-37372ca864975c67.d: crates/bench/src/bin/fig7_xslt.rs
+
+/root/repo/target/debug/deps/fig7_xslt-37372ca864975c67: crates/bench/src/bin/fig7_xslt.rs
+
+crates/bench/src/bin/fig7_xslt.rs:

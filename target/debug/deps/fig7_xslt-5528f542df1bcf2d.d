@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_xslt-5528f542df1bcf2d.d: crates/bench/src/bin/fig7_xslt.rs
+
+/root/repo/target/debug/deps/fig7_xslt-5528f542df1bcf2d: crates/bench/src/bin/fig7_xslt.rs
+
+crates/bench/src/bin/fig7_xslt.rs:

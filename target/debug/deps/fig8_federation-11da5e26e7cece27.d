@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_federation-11da5e26e7cece27.d: crates/bench/src/bin/fig8_federation.rs
+
+/root/repo/target/debug/deps/fig8_federation-11da5e26e7cece27: crates/bench/src/bin/fig8_federation.rs
+
+crates/bench/src/bin/fig8_federation.rs:

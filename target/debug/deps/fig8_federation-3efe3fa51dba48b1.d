@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_federation-3efe3fa51dba48b1.d: crates/bench/src/bin/fig8_federation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_federation-3efe3fa51dba48b1.rmeta: crates/bench/src/bin/fig8_federation.rs Cargo.toml
+
+crates/bench/src/bin/fig8_federation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_federation-95327539cee39067.d: crates/bench/src/bin/fig8_federation.rs
+
+/root/repo/target/debug/deps/fig8_federation-95327539cee39067: crates/bench/src/bin/fig8_federation.rs
+
+crates/bench/src/bin/fig8_federation.rs:

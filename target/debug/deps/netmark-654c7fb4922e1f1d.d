@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netmark-654c7fb4922e1f1d.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/netmark-654c7fb4922e1f1d: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/netmark_bench-0274dad91030dedd.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnetmark_bench-0274dad91030dedd.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnetmark_bench-0274dad91030dedd.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netmark_bench-4f40ec4ff18bb346.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/netmark_bench-4f40ec4ff18bb346: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/netmark_federation-6dddbba7358b1ec7.d: crates/federation/src/lib.rs crates/federation/src/adapter.rs crates/federation/src/client.rs crates/federation/src/databank.rs crates/federation/src/matcher.rs crates/federation/src/remote.rs crates/federation/src/serve.rs
+
+/root/repo/target/debug/deps/netmark_federation-6dddbba7358b1ec7: crates/federation/src/lib.rs crates/federation/src/adapter.rs crates/federation/src/client.rs crates/federation/src/databank.rs crates/federation/src/matcher.rs crates/federation/src/remote.rs crates/federation/src/serve.rs
+
+crates/federation/src/lib.rs:
+crates/federation/src/adapter.rs:
+crates/federation/src/client.rs:
+crates/federation/src/databank.rs:
+crates/federation/src/matcher.rs:
+crates/federation/src/remote.rs:
+crates/federation/src/serve.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/netmark_federation-87e2778d5a48bf64.d: crates/federation/src/lib.rs crates/federation/src/adapter.rs crates/federation/src/client.rs crates/federation/src/databank.rs crates/federation/src/matcher.rs crates/federation/src/remote.rs crates/federation/src/serve.rs
+
+/root/repo/target/debug/deps/libnetmark_federation-87e2778d5a48bf64.rlib: crates/federation/src/lib.rs crates/federation/src/adapter.rs crates/federation/src/client.rs crates/federation/src/databank.rs crates/federation/src/matcher.rs crates/federation/src/remote.rs crates/federation/src/serve.rs
+
+/root/repo/target/debug/deps/libnetmark_federation-87e2778d5a48bf64.rmeta: crates/federation/src/lib.rs crates/federation/src/adapter.rs crates/federation/src/client.rs crates/federation/src/databank.rs crates/federation/src/matcher.rs crates/federation/src/remote.rs crates/federation/src/serve.rs
+
+crates/federation/src/lib.rs:
+crates/federation/src/adapter.rs:
+crates/federation/src/client.rs:
+crates/federation/src/databank.rs:
+crates/federation/src/matcher.rs:
+crates/federation/src/remote.rs:
+crates/federation/src/serve.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/netmark_federation-aa0832d72eea9888.d: crates/federation/src/lib.rs crates/federation/src/adapter.rs crates/federation/src/client.rs crates/federation/src/databank.rs crates/federation/src/matcher.rs crates/federation/src/remote.rs crates/federation/src/serve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetmark_federation-aa0832d72eea9888.rmeta: crates/federation/src/lib.rs crates/federation/src/adapter.rs crates/federation/src/client.rs crates/federation/src/databank.rs crates/federation/src/matcher.rs crates/federation/src/remote.rs crates/federation/src/serve.rs Cargo.toml
+
+crates/federation/src/lib.rs:
+crates/federation/src/adapter.rs:
+crates/federation/src/client.rs:
+crates/federation/src/databank.rs:
+crates/federation/src/matcher.rs:
+crates/federation/src/remote.rs:
+crates/federation/src/serve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

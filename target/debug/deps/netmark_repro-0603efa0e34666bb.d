@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netmark_repro-0603efa0e34666bb.d: src/lib.rs
+
+/root/repo/target/debug/deps/netmark_repro-0603efa0e34666bb: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/netmark_repro-1c02f77cf8db1f63.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnetmark_repro-1c02f77cf8db1f63.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnetmark_repro-1c02f77cf8db1f63.rmeta: src/lib.rs
+
+src/lib.rs:

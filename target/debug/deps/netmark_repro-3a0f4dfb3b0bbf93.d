@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netmark_repro-3a0f4dfb3b0bbf93.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetmark_repro-3a0f4dfb3b0bbf93.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netmark_repro-b028cef168c0016d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetmark_repro-b028cef168c0016d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

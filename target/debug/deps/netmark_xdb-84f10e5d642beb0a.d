@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/netmark_xdb-84f10e5d642beb0a.d: crates/xdb/src/lib.rs crates/xdb/src/query.rs crates/xdb/src/result.rs
+/root/repo/target/debug/deps/netmark_xdb-84f10e5d642beb0a.d: crates/xdb/src/lib.rs crates/xdb/src/caps.rs crates/xdb/src/query.rs crates/xdb/src/result.rs
 
-/root/repo/target/debug/deps/netmark_xdb-84f10e5d642beb0a: crates/xdb/src/lib.rs crates/xdb/src/query.rs crates/xdb/src/result.rs
+/root/repo/target/debug/deps/netmark_xdb-84f10e5d642beb0a: crates/xdb/src/lib.rs crates/xdb/src/caps.rs crates/xdb/src/query.rs crates/xdb/src/result.rs
 
 crates/xdb/src/lib.rs:
+crates/xdb/src/caps.rs:
 crates/xdb/src/query.rs:
 crates/xdb/src/result.rs:

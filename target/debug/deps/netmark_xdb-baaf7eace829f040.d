@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/netmark_xdb-baaf7eace829f040.d: crates/xdb/src/lib.rs crates/xdb/src/query.rs crates/xdb/src/result.rs
+/root/repo/target/debug/deps/netmark_xdb-baaf7eace829f040.d: crates/xdb/src/lib.rs crates/xdb/src/caps.rs crates/xdb/src/query.rs crates/xdb/src/result.rs
 
-/root/repo/target/debug/deps/libnetmark_xdb-baaf7eace829f040.rlib: crates/xdb/src/lib.rs crates/xdb/src/query.rs crates/xdb/src/result.rs
+/root/repo/target/debug/deps/libnetmark_xdb-baaf7eace829f040.rlib: crates/xdb/src/lib.rs crates/xdb/src/caps.rs crates/xdb/src/query.rs crates/xdb/src/result.rs
 
-/root/repo/target/debug/deps/libnetmark_xdb-baaf7eace829f040.rmeta: crates/xdb/src/lib.rs crates/xdb/src/query.rs crates/xdb/src/result.rs
+/root/repo/target/debug/deps/libnetmark_xdb-baaf7eace829f040.rmeta: crates/xdb/src/lib.rs crates/xdb/src/caps.rs crates/xdb/src/query.rs crates/xdb/src/result.rs
 
 crates/xdb/src/lib.rs:
+crates/xdb/src/caps.rs:
 crates/xdb/src/query.rs:
 crates/xdb/src/result.rs:

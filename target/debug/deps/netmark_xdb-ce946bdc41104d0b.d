@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/netmark_xdb-ce946bdc41104d0b.d: crates/xdb/src/lib.rs crates/xdb/src/query.rs crates/xdb/src/result.rs Cargo.toml
+/root/repo/target/debug/deps/netmark_xdb-ce946bdc41104d0b.d: crates/xdb/src/lib.rs crates/xdb/src/caps.rs crates/xdb/src/query.rs crates/xdb/src/result.rs Cargo.toml
 
-/root/repo/target/debug/deps/libnetmark_xdb-ce946bdc41104d0b.rmeta: crates/xdb/src/lib.rs crates/xdb/src/query.rs crates/xdb/src/result.rs Cargo.toml
+/root/repo/target/debug/deps/libnetmark_xdb-ce946bdc41104d0b.rmeta: crates/xdb/src/lib.rs crates/xdb/src/caps.rs crates/xdb/src/query.rs crates/xdb/src/result.rs Cargo.toml
 
 crates/xdb/src/lib.rs:
+crates/xdb/src/caps.rs:
 crates/xdb/src/query.rs:
 crates/xdb/src/result.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-9fb780041445ec02.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-9fb780041445ec02: tests/pipeline.rs
+
+tests/pipeline.rs:

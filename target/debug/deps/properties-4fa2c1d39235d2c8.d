@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-4fa2c1d39235d2c8.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-4fa2c1d39235d2c8: tests/properties.rs
+
+tests/properties.rs:

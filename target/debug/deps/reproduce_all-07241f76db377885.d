@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_all-07241f76db377885.d: crates/bench/src/bin/reproduce_all.rs
+
+/root/repo/target/debug/deps/reproduce_all-07241f76db377885: crates/bench/src/bin/reproduce_all.rs
+
+crates/bench/src/bin/reproduce_all.rs:

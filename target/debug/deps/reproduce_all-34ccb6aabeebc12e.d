@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduce_all-34ccb6aabeebc12e.d: crates/bench/src/bin/reproduce_all.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduce_all-34ccb6aabeebc12e.rmeta: crates/bench/src/bin/reproduce_all.rs Cargo.toml
+
+crates/bench/src/bin/reproduce_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

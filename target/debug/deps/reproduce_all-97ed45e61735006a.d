@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_all-97ed45e61735006a.d: crates/bench/src/bin/reproduce_all.rs
+
+/root/repo/target/debug/deps/reproduce_all-97ed45e61735006a: crates/bench/src/bin/reproduce_all.rs
+
+crates/bench/src/bin/reproduce_all.rs:

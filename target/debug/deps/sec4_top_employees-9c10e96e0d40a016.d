@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec4_top_employees-9c10e96e0d40a016.d: crates/bench/src/bin/sec4_top_employees.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec4_top_employees-9c10e96e0d40a016.rmeta: crates/bench/src/bin/sec4_top_employees.rs Cargo.toml
+
+crates/bench/src/bin/sec4_top_employees.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec4_top_employees-cd83e28f7df2dc82.d: crates/bench/src/bin/sec4_top_employees.rs
+
+/root/repo/target/debug/deps/sec4_top_employees-cd83e28f7df2dc82: crates/bench/src/bin/sec4_top_employees.rs
+
+crates/bench/src/bin/sec4_top_employees.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec4_top_employees-e75e7e4a80e4ad5a.d: crates/bench/src/bin/sec4_top_employees.rs
+
+/root/repo/target/debug/deps/sec4_top_employees-e75e7e4a80e4ad5a: crates/bench/src/bin/sec4_top_employees.rs
+
+crates/bench/src/bin/sec4_top_employees.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl1_assembly-311ca7dc53be94a2.d: crates/bench/src/bin/tbl1_assembly.rs
+
+/root/repo/target/debug/deps/tbl1_assembly-311ca7dc53be94a2: crates/bench/src/bin/tbl1_assembly.rs
+
+crates/bench/src/bin/tbl1_assembly.rs:

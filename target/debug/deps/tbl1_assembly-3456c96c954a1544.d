@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tbl1_assembly-3456c96c954a1544.d: crates/bench/src/bin/tbl1_assembly.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtbl1_assembly-3456c96c954a1544.rmeta: crates/bench/src/bin/tbl1_assembly.rs Cargo.toml
+
+crates/bench/src/bin/tbl1_assembly.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

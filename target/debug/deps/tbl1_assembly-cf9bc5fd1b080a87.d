@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl1_assembly-cf9bc5fd1b080a87.d: crates/bench/src/bin/tbl1_assembly.rs
+
+/root/repo/target/debug/deps/tbl1_assembly-cf9bc5fd1b080a87: crates/bench/src/bin/tbl1_assembly.rs
+
+crates/bench/src/bin/tbl1_assembly.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/anomaly_tracking-a973a718466de333.d: examples/anomaly_tracking.rs
+
+/root/repo/target/debug/examples/anomaly_tracking-a973a718466de333: examples/anomaly_tracking.rs
+
+examples/anomaly_tracking.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/anomaly_tracking-d7945ebf73d01780.d: examples/anomaly_tracking.rs Cargo.toml
+
+/root/repo/target/debug/examples/libanomaly_tracking-d7945ebf73d01780.rmeta: examples/anomaly_tracking.rs Cargo.toml
+
+examples/anomaly_tracking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

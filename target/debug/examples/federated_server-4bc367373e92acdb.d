@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/federated_server-4bc367373e92acdb.d: examples/federated_server.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfederated_server-4bc367373e92acdb.rmeta: examples/federated_server.rs Cargo.toml
+
+examples/federated_server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/federated_server-60ad0677e5e374b0.d: examples/federated_server.rs
+
+/root/repo/target/debug/examples/federated_server-60ad0677e5e374b0: examples/federated_server.rs
+
+examples/federated_server.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ibpd-93b039257cd78ee5.d: examples/ibpd.rs Cargo.toml
+
+/root/repo/target/debug/examples/libibpd-93b039257cd78ee5.rmeta: examples/ibpd.rs Cargo.toml
+
+examples/ibpd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ibpd-d3b1ccb0907dc02b.d: examples/ibpd.rs
+
+/root/repo/target/debug/examples/ibpd-d3b1ccb0907dc02b: examples/ibpd.rs
+
+examples/ibpd.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/proposal_financial-6d217b38f2e4b523.d: examples/proposal_financial.rs Cargo.toml
+
+/root/repo/target/debug/examples/libproposal_financial-6d217b38f2e4b523.rmeta: examples/proposal_financial.rs Cargo.toml
+
+examples/proposal_financial.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

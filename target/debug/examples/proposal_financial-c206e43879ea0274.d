@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/proposal_financial-c206e43879ea0274.d: examples/proposal_financial.rs
+
+/root/repo/target/debug/examples/proposal_financial-c206e43879ea0274: examples/proposal_financial.rs
+
+examples/proposal_financial.rs:

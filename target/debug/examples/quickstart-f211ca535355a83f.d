@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f211ca535355a83f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f211ca535355a83f: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/top_employees-013447de2c92e83f.d: examples/top_employees.rs
+
+/root/repo/target/debug/examples/top_employees-013447de2c92e83f: examples/top_employees.rs
+
+examples/top_employees.rs:

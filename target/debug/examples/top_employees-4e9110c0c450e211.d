@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/top_employees-4e9110c0c450e211.d: examples/top_employees.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtop_employees-4e9110c0c450e211.rmeta: examples/top_employees.rs Cargo.toml
+
+examples/top_employees.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

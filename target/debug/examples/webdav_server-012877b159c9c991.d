@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/webdav_server-012877b159c9c991.d: examples/webdav_server.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwebdav_server-012877b159c9c991.rmeta: examples/webdav_server.rs Cargo.toml
+
+examples/webdav_server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/webdav_server-d98995a87b0ba63e.d: examples/webdav_server.rs
+
+/root/repo/target/debug/examples/webdav_server-d98995a87b0ba63e: examples/webdav_server.rs
+
+examples/webdav_server.rs:

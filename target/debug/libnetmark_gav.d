@@ -1,0 +1,1 @@
+/root/repo/target/debug/libnetmark_gav.rlib: /root/repo/crates/gav/src/lib.rs /root/repo/crates/gav/src/mediator.rs /root/repo/crates/gav/src/model.rs

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libnetmark_model.rlib: /root/repo/crates/model/src/escape.rs /root/repo/crates/model/src/lib.rs /root/repo/crates/model/src/node.rs

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-cc331379713ddcd8.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-cc331379713ddcd8: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_cost_scaling-4fcbd3040bbead2e.d: crates/bench/src/bin/fig1_cost_scaling.rs
+
+/root/repo/target/release/deps/fig1_cost_scaling-4fcbd3040bbead2e: crates/bench/src/bin/fig1_cost_scaling.rs
+
+crates/bench/src/bin/fig1_cost_scaling.rs:

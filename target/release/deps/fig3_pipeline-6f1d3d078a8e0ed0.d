@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_pipeline-6f1d3d078a8e0ed0.d: crates/bench/src/bin/fig3_pipeline.rs
+
+/root/repo/target/release/deps/fig3_pipeline-6f1d3d078a8e0ed0: crates/bench/src/bin/fig3_pipeline.rs
+
+crates/bench/src/bin/fig3_pipeline.rs:

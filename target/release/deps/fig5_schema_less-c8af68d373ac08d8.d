@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_schema_less-c8af68d373ac08d8.d: crates/bench/src/bin/fig5_schema_less.rs
+
+/root/repo/target/release/deps/fig5_schema_less-c8af68d373ac08d8: crates/bench/src/bin/fig5_schema_less.rs
+
+crates/bench/src/bin/fig5_schema_less.rs:

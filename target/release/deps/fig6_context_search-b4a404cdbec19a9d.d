@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_context_search-b4a404cdbec19a9d.d: crates/bench/src/bin/fig6_context_search.rs
+
+/root/repo/target/release/deps/fig6_context_search-b4a404cdbec19a9d: crates/bench/src/bin/fig6_context_search.rs
+
+crates/bench/src/bin/fig6_context_search.rs:

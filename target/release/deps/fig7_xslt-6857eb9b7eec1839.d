@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_xslt-6857eb9b7eec1839.d: crates/bench/src/bin/fig7_xslt.rs
+
+/root/repo/target/release/deps/fig7_xslt-6857eb9b7eec1839: crates/bench/src/bin/fig7_xslt.rs
+
+crates/bench/src/bin/fig7_xslt.rs:

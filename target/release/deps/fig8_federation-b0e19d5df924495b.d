@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_federation-b0e19d5df924495b.d: crates/bench/src/bin/fig8_federation.rs
+
+/root/repo/target/release/deps/fig8_federation-b0e19d5df924495b: crates/bench/src/bin/fig8_federation.rs
+
+crates/bench/src/bin/fig8_federation.rs:

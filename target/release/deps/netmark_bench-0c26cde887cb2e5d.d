@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/netmark_bench-0c26cde887cb2e5d.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnetmark_bench-0c26cde887cb2e5d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnetmark_bench-0c26cde887cb2e5d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

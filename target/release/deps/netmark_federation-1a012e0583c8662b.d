@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/netmark_federation-1a012e0583c8662b.d: crates/federation/src/lib.rs crates/federation/src/adapter.rs crates/federation/src/client.rs crates/federation/src/databank.rs crates/federation/src/matcher.rs crates/federation/src/remote.rs crates/federation/src/serve.rs
+
+/root/repo/target/release/deps/libnetmark_federation-1a012e0583c8662b.rlib: crates/federation/src/lib.rs crates/federation/src/adapter.rs crates/federation/src/client.rs crates/federation/src/databank.rs crates/federation/src/matcher.rs crates/federation/src/remote.rs crates/federation/src/serve.rs
+
+/root/repo/target/release/deps/libnetmark_federation-1a012e0583c8662b.rmeta: crates/federation/src/lib.rs crates/federation/src/adapter.rs crates/federation/src/client.rs crates/federation/src/databank.rs crates/federation/src/matcher.rs crates/federation/src/remote.rs crates/federation/src/serve.rs
+
+crates/federation/src/lib.rs:
+crates/federation/src/adapter.rs:
+crates/federation/src/client.rs:
+crates/federation/src/databank.rs:
+crates/federation/src/matcher.rs:
+crates/federation/src/remote.rs:
+crates/federation/src/serve.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/netmark_repro-8e8a6fbadc16b094.d: src/lib.rs
+
+/root/repo/target/release/deps/libnetmark_repro-8e8a6fbadc16b094.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libnetmark_repro-8e8a6fbadc16b094.rmeta: src/lib.rs
+
+src/lib.rs:

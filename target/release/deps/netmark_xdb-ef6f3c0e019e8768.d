@@ -1,9 +1,10 @@
-/root/repo/target/release/deps/netmark_xdb-ef6f3c0e019e8768.d: crates/xdb/src/lib.rs crates/xdb/src/query.rs crates/xdb/src/result.rs
+/root/repo/target/release/deps/netmark_xdb-ef6f3c0e019e8768.d: crates/xdb/src/lib.rs crates/xdb/src/caps.rs crates/xdb/src/query.rs crates/xdb/src/result.rs
 
-/root/repo/target/release/deps/libnetmark_xdb-ef6f3c0e019e8768.rlib: crates/xdb/src/lib.rs crates/xdb/src/query.rs crates/xdb/src/result.rs
+/root/repo/target/release/deps/libnetmark_xdb-ef6f3c0e019e8768.rlib: crates/xdb/src/lib.rs crates/xdb/src/caps.rs crates/xdb/src/query.rs crates/xdb/src/result.rs
 
-/root/repo/target/release/deps/libnetmark_xdb-ef6f3c0e019e8768.rmeta: crates/xdb/src/lib.rs crates/xdb/src/query.rs crates/xdb/src/result.rs
+/root/repo/target/release/deps/libnetmark_xdb-ef6f3c0e019e8768.rmeta: crates/xdb/src/lib.rs crates/xdb/src/caps.rs crates/xdb/src/query.rs crates/xdb/src/result.rs
 
 crates/xdb/src/lib.rs:
+crates/xdb/src/caps.rs:
 crates/xdb/src/query.rs:
 crates/xdb/src/result.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-4728fa1777cff911.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-4728fa1777cff911.rlib: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-4728fa1777cff911.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce_all-e594dfbc8806dea9.d: crates/bench/src/bin/reproduce_all.rs
+
+/root/repo/target/release/deps/reproduce_all-e594dfbc8806dea9: crates/bench/src/bin/reproduce_all.rs
+
+crates/bench/src/bin/reproduce_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec4_top_employees-624db48977644db1.d: crates/bench/src/bin/sec4_top_employees.rs
+
+/root/repo/target/release/deps/sec4_top_employees-624db48977644db1: crates/bench/src/bin/sec4_top_employees.rs
+
+crates/bench/src/bin/sec4_top_employees.rs:

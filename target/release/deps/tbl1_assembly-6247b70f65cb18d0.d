@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tbl1_assembly-6247b70f65cb18d0.d: crates/bench/src/bin/tbl1_assembly.rs
+
+/root/repo/target/release/deps/tbl1_assembly-6247b70f65cb18d0: crates/bench/src/bin/tbl1_assembly.rs
+
+crates/bench/src/bin/tbl1_assembly.rs:

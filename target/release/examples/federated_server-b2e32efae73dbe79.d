@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/federated_server-b2e32efae73dbe79.d: examples/federated_server.rs
+
+/root/repo/target/release/examples/federated_server-b2e32efae73dbe79: examples/federated_server.rs
+
+examples/federated_server.rs:

@@ -158,6 +158,7 @@ fn http_ingest_feeds_federated_query() {
         .as_bytes(),
     )
     .unwrap();
+    s.shutdown(std::net::Shutdown::Write).unwrap();
     let mut resp = String::new();
     s.read_to_string(&mut resp).unwrap();
     assert!(resp.starts_with("HTTP/1.1 201"));
@@ -199,6 +200,7 @@ fn daemon_and_server_share_one_store() {
     let mut s = std::net::TcpStream::connect(server.addr()).unwrap();
     s.write_all(b"GET /xdb?Content=folder HTTP/1.1\r\n\r\n")
         .unwrap();
+    s.shutdown(std::net::Shutdown::Write).unwrap();
     let mut resp = String::new();
     s.read_to_string(&mut resp).unwrap();
     assert!(resp.contains("dropped.txt"), "{resp}");

@@ -422,6 +422,65 @@ mod xdb_props {
     }
 }
 
+// --------------------------------------------------------- federation wire
+
+mod wire_props {
+    use super::*;
+    use netmark_model::Node;
+    use netmark_sgml::{parse_xml, NodeTypeConfig};
+    use netmark_xdb::{Hit, ResultSet, WIRE_VERSION};
+
+    /// Strings that survive the parser's whitespace handling verbatim:
+    /// printable (incl. XML-special `&<>"`), no leading/trailing blanks.
+    fn wire_text(regex: &'static str) -> impl Strategy<Value = String> {
+        regex.prop_filter("trim-stable", |s: &String| {
+            !s.trim().is_empty() && s.trim() == s
+        })
+    }
+
+    fn hit_strategy() -> impl Strategy<Value = Hit> {
+        (
+            "[a-z][a-z0-9-]{0,7}",    // source (nonempty → survives verbatim)
+            "[a-zA-Z0-9._-]{1,12}",   // document name
+            wire_text("[ -~]{1,16}"), // context label
+            proptest::option::of(wire_text("[ -~]{1,24}")),
+        )
+            .prop_map(|(source, doc, context, text)| Hit {
+                source,
+                doc,
+                context,
+                content: match text {
+                    Some(t) => Node::element("Content").with_text(&t),
+                    None => Node::element("Content"),
+                },
+                // Node ids are store-internal; they never cross the wire.
+                context_node: 0,
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// The versioned `<results>` wire format is lossless: serialize on
+        /// the remote peer, parse + `from_node` on the router, and the
+        /// result set — hits, sources, diagnostics, truncation — is
+        /// unchanged.
+        #[test]
+        fn results_wire_round_trip(
+            hits in proptest::collection::vec(hit_strategy(), 0..8),
+            candidates in 0usize..100_000,
+            truncated in any::<bool>(),
+        ) {
+            let rs = ResultSet { hits, candidates, truncated };
+            let xml = rs.to_xml();
+            let node = parse_xml(&xml, &NodeTypeConfig::empty()).unwrap();
+            prop_assert_eq!(node.attr("version"),
+                            Some(WIRE_VERSION.to_string().as_str()));
+            let back = ResultSet::from_node(&node, "fallback");
+            prop_assert_eq!(back, rs);
+        }
+    }
+}
+
 // ------------------------------------------------------- engine invariants
 
 mod engine_props {
