@@ -15,6 +15,7 @@ const TARGETS: &[&str] = &[
     "fig6_context_search",
     "fig7_xslt",
     "fig8_federation",
+    "fig9_query_engine",
     "sec4_top_employees",
     "ablations",
 ];

@@ -11,6 +11,7 @@
 //! | `fig6_context_search` | Fig 6 — context/content search |
 //! | `fig7_xslt` | Fig 7 — XDB query + XSLT composition |
 //! | `fig8_federation` | Fig 8 — scalable federation |
+//! | `fig9_query_engine` | query read-path: cache, parallel fan-out, stage tracing |
 //! | `sec4_top_employees` | §4 — NETMARK vs GAV head-to-head |
 //! | `ablations` | design-choice ablations (ROWID, index granularity, buffer pool) |
 //! | `reproduce_all` | runs everything above in sequence |

@@ -1,0 +1,983 @@
+//! The long-lived query read path (paper §2.1.4, "Processing Queries
+//! Internally").
+//!
+//! "The keyword-based context and content search is performed by first
+//! querying the text index for the search key. Each node returned from the
+//! index search is then processed based on its designated unique ROWID.
+//! The processing of the node involves traversing up the tree structure via
+//! its parent or sibling node until the first context is found."
+//!
+//! A [`QueryEngine`] is owned by [`crate::NetMark`] and shared by every
+//! caller — the WebDAV server, the federation router's local adapter, the
+//! CLI — replacing per-call `Searcher` construction. On top of the paper's
+//! pipeline it adds the three things a long-lived handle can do that a
+//! per-call one cannot:
+//!
+//! 1. **Result caching** — a small LRU keyed on the normalized query
+//!    string, stamped with the store generation (the same stamp that
+//!    validates the persisted text index) plus an in-memory index epoch.
+//!    Every committed ingest batch and removal bumps the generation; the
+//!    epoch bump lands after the in-memory index write completes, so a
+//!    query racing an ingest can never cache a result the next reader
+//!    would wrongly reuse.
+//! 2. **Parallel term execution** — multi-term keyword queries fan the
+//!    per-term postings fetch + rowid→context mapping out across a small
+//!    worker pool and intersect on the way back.
+//! 3. **Context-walk memoization** — the hot rowid→governing-context walk
+//!    is cached per store generation (rowids are only reusable after a
+//!    removal, which bumps the generation).
+//!
+//! Every execution records per-stage wall times into
+//! [`crate::metrics::QueryMetrics`], surfaced via `NetMark::stats()` and
+//! `GET /xdb/stats`.
+
+use crate::error::{NetmarkError, Result};
+use crate::metrics::{QueryMetrics, QueryStats, QueryTrace};
+use crate::store::{DocId, NodeStore};
+use netmark_model::NodeType;
+use netmark_relstore::RowId;
+use netmark_textindex::{InvertedIndex, TextQuery};
+use netmark_xdb::{Hit, MatchMode, ResultSet, XdbQuery};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`QueryEngine`].
+#[derive(Debug, Clone)]
+pub struct QueryEngineOptions {
+    /// Worker threads for parallel term execution. `0` executes every
+    /// query serially on the calling thread (the pre-engine behavior).
+    pub workers: usize,
+    /// Result-cache entries. `0` disables result caching.
+    pub cache_capacity: usize,
+    /// Context-memo entries. `0` disables the rowid→context memo.
+    pub memo_capacity: usize,
+}
+
+impl Default for QueryEngineOptions {
+    fn default() -> Self {
+        QueryEngineOptions {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(4))
+                .unwrap_or(2),
+            cache_capacity: 256,
+            memo_capacity: 1 << 16,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Context memo
+
+/// Memo of rowid → governing-context walks, valid for one store
+/// generation. Rowids can be reused after a removal, and removals bump the
+/// generation, so a generation match proves every memoized walk still
+/// describes the live tree.
+pub(crate) struct CtxMemo {
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inner: Mutex<MemoInner>,
+}
+
+struct MemoInner {
+    gen: i64,
+    map: HashMap<RowId, Option<RowId>>,
+}
+
+impl CtxMemo {
+    fn new(capacity: usize) -> CtxMemo {
+        CtxMemo {
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inner: Mutex::new(MemoInner {
+                gen: -1,
+                map: HashMap::new(),
+            }),
+        }
+    }
+
+    /// `Some(walk result)` on a hit for this generation; `None` on a miss.
+    fn get(&self, gen: i64, rid: RowId) -> Option<Option<RowId>> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let mut inner = self.inner.lock();
+        if inner.gen != gen {
+            inner.map.clear();
+            inner.gen = gen;
+        }
+        match inner.map.get(&rid).copied() {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn put(&self, gen: i64, rid: RowId, ctx: Option<RowId>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if inner.gen != gen {
+            inner.map.clear();
+            inner.gen = gen;
+        }
+        if inner.map.len() >= self.capacity {
+            inner.map.clear(); // wholesale reset beats tracking recency here
+        }
+        inner.map.insert(rid, ctx);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Result cache
+
+struct CacheEntry {
+    gen: i64,
+    epoch: u64,
+    last_used: u64,
+    results: Arc<ResultSet>,
+}
+
+/// LRU result cache keyed on the normalized query string. Entries carry
+/// the (generation, epoch) pair they were computed under and are only
+/// served while both still match — ingest invalidates by bumping, never by
+/// scanning.
+struct ResultCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<String, CacheEntry>,
+}
+
+impl ResultCache {
+    fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, key: &str, gen: i64, epoch: u64) -> Option<Arc<ResultSet>> {
+        let stale = match self.map.get_mut(key) {
+            None => return None,
+            Some(e) if e.gen == gen && e.epoch == epoch => {
+                self.tick += 1;
+                e.last_used = self.tick;
+                return Some(Arc::clone(&e.results));
+            }
+            Some(_) => true,
+        };
+        if stale {
+            self.map.remove(key);
+        }
+        None
+    }
+
+    fn insert(&mut self, key: String, gen: i64, epoch: u64, results: Arc<ResultSet>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            // Evict the least-recently-used entry (capacity is small, a
+            // scan is cheaper than an ordered index).
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+            }
+        }
+        self.tick += 1;
+        self.map.insert(
+            key,
+            CacheEntry {
+                gen,
+                epoch,
+                last_used: self.tick,
+                results,
+            },
+        );
+    }
+}
+
+/// The cache key: the query's execution-relevant fields only. `xslt=` and
+/// `databank=` never reach the engine's execution (composition and routing
+/// happen above it), so queries differing only there share an entry.
+fn cache_key(q: &XdbQuery) -> String {
+    XdbQuery {
+        xslt: None,
+        databank: None,
+        ..q.clone()
+    }
+    .to_query_string()
+}
+
+// ---------------------------------------------------------------------
+// Worker pool
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    stop: AtomicBool,
+}
+
+/// A small long-lived thread pool for per-term fan-out. Queries submit
+/// closures and collect results over an mpsc channel; the pool never
+/// blocks a query that could make progress on the calling thread.
+struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn new(size: usize) -> WorkerPool {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+        let workers = (0..size)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("netmark-query-{i}"))
+                    .spawn(move || loop {
+                        let job = {
+                            let mut q = shared.queue.lock();
+                            loop {
+                                if let Some(job) = q.pop_front() {
+                                    break job;
+                                }
+                                if shared.stop.load(Ordering::Acquire) {
+                                    return;
+                                }
+                                shared.available.wait(&mut q);
+                            }
+                        };
+                        // A panicking job must not kill the worker: the
+                        // submitting query sees the dropped channel sender
+                        // and reports an error instead.
+                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                    })
+                    .expect("spawn query worker")
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    fn submit(&self, job: Job) {
+        self.shared.queue.lock().push_back(job);
+        self.shared.available.notify_one();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The engine
+
+/// Long-lived, shareable query executor over a store + text index pair.
+pub struct QueryEngine {
+    store: Arc<NodeStore>,
+    index: Arc<RwLock<InvertedIndex>>,
+    memo: Arc<CtxMemo>,
+    cache: Mutex<ResultCache>,
+    /// Bumped by `NetMark` after every completed in-memory index mutation.
+    /// The store generation alone is not enough for cache validity: it is
+    /// bumped at store-commit time, *before* the index write lands, so a
+    /// query overlapping that window could otherwise cache (and later
+    /// serve) a pre-index-update result under a current-looking stamp.
+    epoch: AtomicU64,
+    pool: Option<WorkerPool>,
+    metrics: QueryMetrics,
+}
+
+impl QueryEngine {
+    /// Builds an engine over shared store/index handles.
+    pub fn new(
+        store: Arc<NodeStore>,
+        index: Arc<RwLock<InvertedIndex>>,
+        options: QueryEngineOptions,
+    ) -> QueryEngine {
+        QueryEngine {
+            store,
+            index,
+            memo: Arc::new(CtxMemo::new(options.memo_capacity)),
+            cache: Mutex::new(ResultCache::new(options.cache_capacity)),
+            epoch: AtomicU64::new(0),
+            pool: (options.workers > 0).then(|| WorkerPool::new(options.workers)),
+            metrics: QueryMetrics::default(),
+        }
+    }
+
+    /// Invalidates cached results. Called by `NetMark` after each index
+    /// mutation completes; callers mutating the store directly (benches,
+    /// ablations) should call it too.
+    pub fn invalidate(&self) {
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Executes `q`, serving from the result cache when possible.
+    pub fn execute(&self, q: &XdbQuery) -> Result<ResultSet> {
+        self.execute_traced(q).map(|(rs, _)| rs)
+    }
+
+    /// Executes `q` and returns the per-stage trace alongside the results.
+    pub fn execute_traced(&self, q: &XdbQuery) -> Result<(ResultSet, QueryTrace)> {
+        let t0 = Instant::now();
+        let gen = self.store.generation();
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let key = cache_key(q);
+        if let Some(hit) = self.cache.lock().get(&key, gen, epoch) {
+            let trace = QueryTrace {
+                cache_hit: true,
+                total: t0.elapsed(),
+                ..Default::default()
+            };
+            self.metrics.record(&trace);
+            return Ok(((*hit).clone(), trace));
+        }
+        let mut trace = QueryTrace::default();
+        let rs = self.execute_cold(q, gen, &mut trace)?;
+        trace.total = t0.elapsed();
+        self.metrics.record(&trace);
+        // Only cache what a reader at the *current* stamp may reuse: if an
+        // ingest landed mid-execution the result may straddle states.
+        if self.store.generation() == gen && self.epoch.load(Ordering::Acquire) == epoch {
+            self.cache
+                .lock()
+                .insert(key, gen, epoch, Arc::new(rs.clone()));
+        }
+        Ok((rs, trace))
+    }
+
+    /// Executes `q` bypassing the result cache (the memo still applies).
+    /// This is the "fresh" side of cache-correctness checks and the cold
+    /// side of benchmarks.
+    pub fn execute_uncached(&self, q: &XdbQuery) -> Result<ResultSet> {
+        let t0 = Instant::now();
+        let gen = self.store.generation();
+        let mut trace = QueryTrace::default();
+        let rs = self.execute_cold(q, gen, &mut trace)?;
+        trace.total = t0.elapsed();
+        self.metrics.record(&trace);
+        Ok(rs)
+    }
+
+    /// Cumulative read-path counters.
+    pub fn stats(&self) -> QueryStats {
+        let mut s = self.metrics.snapshot();
+        s.memo_hits = self.memo.hits.load(Ordering::Relaxed);
+        s.memo_misses = self.memo.misses.load(Ordering::Relaxed);
+        s
+    }
+
+    fn execute_cold(&self, q: &XdbQuery, gen: i64, trace: &mut QueryTrace) -> Result<ResultSet> {
+        let ctx_rowids: Vec<RowId> = match (&q.context, &q.content) {
+            (None, None) => {
+                // Unconstrained: every context in the store (bounded below
+                // by the limit). Used by federation when augmenting a
+                // source that answered a broader query.
+                let t = Instant::now();
+                let mut out = Vec::new();
+                for info in self.store.list_docs()? {
+                    if let Some((root_rid, _)) = self.store.node_by_id(info.root_node)? {
+                        collect_contexts(&self.store, root_rid, &mut out)?;
+                    }
+                }
+                trace.context_walk += t.elapsed();
+                out
+            }
+            (Some(label), None) => {
+                let ix = self.index.read();
+                context_rowids(&self.store, &ix, label, trace)?
+            }
+            (None, Some(terms)) => {
+                let (ctxs, cand) = self.content_contexts(terms, q.match_mode, gen, trace)?;
+                trace.candidates = cand;
+                ctxs
+            }
+            (Some(label), Some(terms)) => {
+                let labelled = {
+                    let ix = self.index.read();
+                    context_rowids(&self.store, &ix, label, trace)?
+                };
+                let (with_content, cand) =
+                    self.content_contexts(terms, q.match_mode, gen, trace)?;
+                trace.candidates = cand;
+                let t = Instant::now();
+                let set: HashSet<RowId> = with_content.into_iter().collect();
+                let out = labelled.into_iter().filter(|r| set.contains(r)).collect();
+                trace.intersection += t.elapsed();
+                out
+            }
+        };
+        collect_hits(&self.store, q, ctx_rowids, trace)
+    }
+
+    /// Context rowids whose sections contain the content terms. Multi-term
+    /// keyword queries AND at the *section* level — every term must occur
+    /// somewhere under the same context — and fan out across the pool.
+    fn content_contexts(
+        &self,
+        terms: &str,
+        mode: MatchMode,
+        gen: i64,
+        trace: &mut QueryTrace,
+    ) -> Result<(Vec<RowId>, usize)> {
+        let term_list = netmark_textindex::query_terms(terms);
+        match &self.pool {
+            Some(pool) if mode == MatchMode::Keywords && term_list.len() >= 2 => {
+                self.parallel_term_contexts(pool, &term_list, gen, trace)
+            }
+            _ => {
+                let ix = self.index.read();
+                content_contexts_serial(
+                    &self.store,
+                    &ix,
+                    Some((&self.memo, gen)),
+                    terms,
+                    &term_list,
+                    mode,
+                    trace,
+                )
+            }
+        }
+    }
+
+    fn parallel_term_contexts(
+        &self,
+        pool: &WorkerPool,
+        term_list: &[String],
+        gen: i64,
+        trace: &mut QueryTrace,
+    ) -> Result<(Vec<RowId>, usize)> {
+        trace.fanout = term_list.len();
+        type TermOut = (usize, usize, Duration, Duration, Result<Vec<RowId>>);
+        let (tx, rx) = std::sync::mpsc::channel::<TermOut>();
+        for (slot, term) in term_list.iter().enumerate() {
+            let store = Arc::clone(&self.store);
+            let index = Arc::clone(&self.index);
+            let memo = Arc::clone(&self.memo);
+            let term = term.clone();
+            let tx = tx.clone();
+            pool.submit(Box::new(move || {
+                let t = Instant::now();
+                // Each worker takes its own short read lock: the calling
+                // thread holds none while waiting, so a writer queued
+                // behind these readers cannot deadlock the query.
+                let ids = index.read().execute(&TextQuery::Term(term));
+                let index_t = t.elapsed();
+                let t = Instant::now();
+                let ctxs = map_to_contexts(&store, Some((&memo, gen)), &ids);
+                let _ = tx.send((slot, ids.len(), index_t, t.elapsed(), ctxs));
+            }));
+        }
+        drop(tx);
+        let mut slots: Vec<Option<Vec<RowId>>> = vec![None; term_list.len()];
+        let mut candidates = 0usize;
+        for _ in 0..term_list.len() {
+            let (slot, cand, index_t, walk_t, ctxs) = rx.recv().map_err(|_| {
+                NetmarkError::Corrupt("query worker died before answering".to_string())
+            })?;
+            candidates += cand;
+            trace.index_lookup += index_t;
+            trace.context_walk += walk_t;
+            slots[slot] = Some(ctxs?);
+        }
+        // Intersect in term order, preserving the first term's ordering —
+        // identical semantics to the serial path.
+        let t = Instant::now();
+        let mut it = slots.into_iter().map(|s| s.expect("all slots answered"));
+        let mut acc = it.next().unwrap_or_default();
+        for ctxs in it {
+            if acc.is_empty() {
+                break;
+            }
+            let set: HashSet<RowId> = ctxs.into_iter().collect();
+            acc.retain(|r| set.contains(r));
+        }
+        trace.intersection += t.elapsed();
+        Ok((acc, candidates))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared stage functions (used by the engine and the deprecated
+// `Searcher` shim)
+
+/// Serial per-term execution: postings fetch, context mapping, running
+/// intersection with early exit.
+pub(crate) fn content_contexts_serial(
+    store: &NodeStore,
+    index: &InvertedIndex,
+    memo: Option<(&CtxMemo, i64)>,
+    terms: &str,
+    term_list: &[String],
+    mode: MatchMode,
+    trace: &mut QueryTrace,
+) -> Result<(Vec<RowId>, usize)> {
+    if term_list.is_empty() {
+        return Ok((Vec::new(), 0));
+    }
+    if mode == MatchMode::Phrase {
+        let t = Instant::now();
+        let ids = index.execute(&TextQuery::phrase(terms));
+        trace.index_lookup += t.elapsed();
+        let candidates = ids.len();
+        let t = Instant::now();
+        let ctxs = map_to_contexts(store, memo, &ids)?;
+        trace.context_walk += t.elapsed();
+        return Ok((ctxs, candidates));
+    }
+    let mut acc: Option<Vec<RowId>> = None;
+    let mut candidates = 0usize;
+    for term in term_list {
+        let t = Instant::now();
+        let ids = index.execute(&TextQuery::Term(term.clone()));
+        trace.index_lookup += t.elapsed();
+        candidates += ids.len();
+        let t = Instant::now();
+        let ctxs = map_to_contexts(store, memo, &ids)?;
+        trace.context_walk += t.elapsed();
+        let t = Instant::now();
+        acc = Some(match acc {
+            None => ctxs,
+            Some(prev) => {
+                let set: HashSet<RowId> = ctxs.into_iter().collect();
+                prev.into_iter().filter(|r| set.contains(r)).collect()
+            }
+        });
+        trace.intersection += t.elapsed();
+        if acc.as_ref().map(|a| a.is_empty()).unwrap_or(false) {
+            break;
+        }
+    }
+    Ok((acc.unwrap_or_default(), candidates))
+}
+
+/// Maps text-hit node ids to their governing context rowids (deduped, in
+/// first-encounter order), consulting the memo when one is given.
+pub(crate) fn map_to_contexts(
+    store: &NodeStore,
+    memo: Option<(&CtxMemo, i64)>,
+    node_ids: &[u64],
+) -> Result<Vec<RowId>> {
+    let mut seen: HashSet<RowId> = HashSet::new();
+    let mut out: Vec<RowId> = Vec::new();
+    for &nid in node_ids {
+        let Some((rid, _)) = store.node_by_id(nid)? else {
+            continue; // tombstoned in index but already gone from store
+        };
+        let ctx = match memo.and_then(|(m, gen)| m.get(gen, rid)) {
+            Some(cached) => cached,
+            None => {
+                let walked = store.governing_context(rid)?.map(|(c, _)| c);
+                if let Some((m, gen)) = memo {
+                    m.put(gen, rid, walked);
+                }
+                walked
+            }
+        };
+        if let Some(c) = ctx {
+            if seen.insert(c) {
+                out.push(c);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Context rowids matching a `Context=` specification. A `|`-separated
+/// label list unions ("in NETMARK we have to specify two Context queries
+/// (one for 'Budget' and one for 'Cost Details')" — §4; the union form
+/// issues them as one client-side query, still with zero mapping
+/// artifacts).
+pub(crate) fn context_rowids(
+    store: &NodeStore,
+    index: &InvertedIndex,
+    spec: &str,
+    trace: &mut QueryTrace,
+) -> Result<Vec<RowId>> {
+    if spec.contains('|') {
+        let mut out: Vec<RowId> = Vec::new();
+        for label in spec.split('|').map(str::trim).filter(|l| !l.is_empty()) {
+            for rid in context_rowids(store, index, label, trace)? {
+                if !out.contains(&rid) {
+                    out.push(rid);
+                }
+            }
+        }
+        return Ok(out);
+    }
+    let label = spec;
+    let t = Instant::now();
+    let exact = store.contexts_labeled(label)?;
+    trace.index_lookup += t.elapsed();
+    if !exact.is_empty() {
+        return Ok(exact.into_iter().map(|(rid, _)| rid).collect());
+    }
+    // Fallback: phrase match over indexed labels (catches e.g.
+    // Context=Budget against a "Budget Overview" heading).
+    let t = Instant::now();
+    let ids = index.execute(&TextQuery::phrase(label));
+    trace.index_lookup += t.elapsed();
+    let t = Instant::now();
+    let mut out = Vec::new();
+    for nid in ids {
+        if let Some((rid, row)) = store.node_by_id(nid)? {
+            if row.ntype == NodeType::Context && !out.contains(&rid) {
+                out.push(rid);
+            }
+        }
+    }
+    trace.context_walk += t.elapsed();
+    Ok(out)
+}
+
+/// Materializes the result set for the surviving context rowids: resolve
+/// document names (once per doc), apply the `doc=` filter, walk each
+/// section's content, order, truncate.
+pub(crate) fn collect_hits(
+    store: &NodeStore,
+    query: &XdbQuery,
+    ctx_rowids: Vec<RowId>,
+    trace: &mut QueryTrace,
+) -> Result<ResultSet> {
+    let t = Instant::now();
+    // Resolve document names once per doc. A missing DOC row means the
+    // document vanished (or is being removed) between the index lookup
+    // and here — skip such hits rather than failing the query.
+    let mut doc_names: HashMap<DocId, Option<String>> = HashMap::new();
+    let mut ordered: BTreeMap<(DocId, u64), Hit> = BTreeMap::new();
+    for rid in ctx_rowids {
+        let Ok(row) = store.node(rid) else {
+            continue;
+        };
+        let doc_name = match doc_names.get(&row.doc_id) {
+            Some(cached) => cached.clone(),
+            None => {
+                let n = store.doc_info(row.doc_id).ok().map(|i| i.file_name);
+                doc_names.insert(row.doc_id, n.clone());
+                n
+            }
+        };
+        let Some(doc_name) = doc_name else { continue };
+        if let Some(wanted) = &query.doc {
+            if &doc_name != wanted {
+                continue;
+            }
+        }
+        let content = store.section_content(rid)?;
+        ordered.insert(
+            (row.doc_id, row.node_id),
+            Hit {
+                source: String::new(),
+                doc: doc_name,
+                context: row.data.clone(),
+                content,
+                context_node: row.node_id,
+            },
+        );
+    }
+    let mut hits: Vec<Hit> = ordered.into_values().collect();
+    let mut truncated = false;
+    if let Some(limit) = query.limit {
+        if hits.len() > limit {
+            hits.truncate(limit);
+            truncated = true;
+        }
+    }
+    trace.collection += t.elapsed();
+    Ok(ResultSet {
+        hits,
+        candidates: trace.candidates,
+        truncated,
+    })
+}
+
+/// Depth-first collection of every CONTEXT node under `rid`.
+pub(crate) fn collect_contexts(store: &NodeStore, rid: RowId, out: &mut Vec<RowId>) -> Result<()> {
+    let row = store.node(rid)?;
+    if row.ntype == NodeType::Context {
+        out.push(rid);
+    }
+    let mut c = row.first_child;
+    while let Some(crid) = c {
+        collect_contexts(store, crid, out)?;
+        c = store.node(crid)?.next_sibling;
+    }
+    Ok(())
+}
+
+/// One-shot serial execution over borrowed store/index — the body of the
+/// deprecated [`crate::search::Searcher`] shim.
+pub(crate) fn execute_serial(
+    store: &NodeStore,
+    index: &InvertedIndex,
+    query: &XdbQuery,
+) -> Result<ResultSet> {
+    let mut trace = QueryTrace::default();
+    let ctx_rowids: Vec<RowId> = match (&query.context, &query.content) {
+        (None, None) => {
+            let mut out = Vec::new();
+            for info in store.list_docs()? {
+                if let Some((root_rid, _)) = store.node_by_id(info.root_node)? {
+                    collect_contexts(store, root_rid, &mut out)?;
+                }
+            }
+            out
+        }
+        (Some(label), None) => context_rowids(store, index, label, &mut trace)?,
+        (None, Some(terms)) => {
+            let term_list = netmark_textindex::query_terms(terms);
+            let (ctxs, cand) = content_contexts_serial(
+                store,
+                index,
+                None,
+                terms,
+                &term_list,
+                query.match_mode,
+                &mut trace,
+            )?;
+            trace.candidates = cand;
+            ctxs
+        }
+        (Some(label), Some(terms)) => {
+            let labelled = context_rowids(store, index, label, &mut trace)?;
+            let term_list = netmark_textindex::query_terms(terms);
+            let (with_content, cand) = content_contexts_serial(
+                store,
+                index,
+                None,
+                terms,
+                &term_list,
+                query.match_mode,
+                &mut trace,
+            )?;
+            trace.candidates = cand;
+            let set: HashSet<RowId> = with_content.into_iter().collect();
+            labelled.into_iter().filter(|r| set.contains(r)).collect()
+        }
+    };
+    collect_hits(store, query, ctx_rowids, &mut trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> (Arc<NodeStore>, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!("netmark-eng-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = netmark_relstore::Database::open(&dir).unwrap();
+        (Arc::new(NodeStore::open(db).unwrap()), dir)
+    }
+
+    fn ingest(store: &NodeStore, index: &RwLock<InvertedIndex>, name: &str, text: &str) {
+        let doc = netmark_docformats::upmark(name, text);
+        let report = store.ingest(&doc).unwrap();
+        let mut ix = index.write();
+        for (id, t) in &report.index_entries {
+            ix.add(*id, t);
+        }
+    }
+
+    fn engine_with(
+        store: &Arc<NodeStore>,
+        index: &Arc<RwLock<InvertedIndex>>,
+        opts: QueryEngineOptions,
+    ) -> QueryEngine {
+        QueryEngine::new(Arc::clone(store), Arc::clone(index), opts)
+    }
+
+    #[test]
+    fn cache_hit_returns_same_results_and_counts() {
+        let (store, dir) = temp_store("cache");
+        let index = Arc::new(RwLock::new(InvertedIndex::new()));
+        ingest(&store, &index, "a.txt", "# Budget\ntwo million dollars\n");
+        let eng = engine_with(&store, &index, QueryEngineOptions::default());
+        let q = XdbQuery::content("million dollars");
+        let (cold, t1) = eng.execute_traced(&q).unwrap();
+        assert!(!t1.cache_hit);
+        let (warm, t2) = eng.execute_traced(&q).unwrap();
+        assert!(t2.cache_hit);
+        assert_eq!(cold, warm);
+        let s = eng.stats();
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn generation_bump_invalidates_cache() {
+        let (store, dir) = temp_store("inval");
+        let index = Arc::new(RwLock::new(InvertedIndex::new()));
+        ingest(&store, &index, "a.txt", "# Budget\ntwo million\n");
+        let eng = engine_with(&store, &index, QueryEngineOptions::default());
+        let q = XdbQuery::context("Budget");
+        assert_eq!(eng.execute(&q).unwrap().len(), 1);
+        assert_eq!(eng.execute(&q).unwrap().len(), 1); // cached
+        ingest(&store, &index, "b.txt", "# Budget\none million\n");
+        eng.invalidate();
+        assert_eq!(eng.execute(&q).unwrap().len(), 2, "new doc visible");
+        assert_eq!(eng.stats().cache_hits, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn epoch_bump_alone_invalidates_cache() {
+        // Even with an unchanged store generation (e.g. a direct index
+        // mutation), invalidate() must force re-execution.
+        let (store, dir) = temp_store("epoch");
+        let index = Arc::new(RwLock::new(InvertedIndex::new()));
+        ingest(&store, &index, "a.txt", "# Budget\ntwo million\n");
+        let eng = engine_with(&store, &index, QueryEngineOptions::default());
+        let q = XdbQuery::context("Budget");
+        eng.execute(&q).unwrap();
+        eng.invalidate();
+        eng.execute(&q).unwrap();
+        assert_eq!(eng.stats().cache_hits, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let (store, dir) = temp_store("par");
+        let index = Arc::new(RwLock::new(InvertedIndex::new()));
+        ingest(
+            &store,
+            &index,
+            "a.txt",
+            "# Budget\nthe gap is shrinking fast\n# Risks\nthe schedule gap\n",
+        );
+        ingest(
+            &store,
+            &index,
+            "b.txt",
+            "# Budget\nthe gap is growing\n# Schedule\nthree years\n",
+        );
+        let parallel = engine_with(
+            &store,
+            &index,
+            QueryEngineOptions {
+                workers: 3,
+                cache_capacity: 0,
+                memo_capacity: 0,
+            },
+        );
+        let serial = engine_with(
+            &store,
+            &index,
+            QueryEngineOptions {
+                workers: 0,
+                cache_capacity: 0,
+                memo_capacity: 0,
+            },
+        );
+        for q in [
+            XdbQuery::content("the gap is"),
+            XdbQuery::content("gap shrinking"),
+            XdbQuery::content("gap is growing"),
+            XdbQuery::context_content("Budget", "gap is"),
+        ] {
+            let p = parallel.execute(&q).unwrap();
+            let s = serial.execute(&q).unwrap();
+            assert_eq!(p.hits, s.hits, "query {q}");
+        }
+        assert!(parallel.stats().parallel_queries >= 3);
+        assert_eq!(serial.stats().parallel_queries, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trace_records_stage_times() {
+        let (store, dir) = temp_store("trace");
+        let index = Arc::new(RwLock::new(InvertedIndex::new()));
+        ingest(&store, &index, "a.txt", "# Budget\ntwo million dollars\n");
+        let eng = engine_with(&store, &index, QueryEngineOptions::default());
+        let (_, trace) = eng
+            .execute_traced(&XdbQuery::content("million dollars"))
+            .unwrap();
+        assert!(!trace.cache_hit);
+        assert_eq!(trace.fanout, 2);
+        assert!(trace.total >= trace.collection);
+        assert!(trace.candidates >= 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn memo_counts_hits_across_queries() {
+        let (store, dir) = temp_store("memo");
+        let index = Arc::new(RwLock::new(InvertedIndex::new()));
+        ingest(&store, &index, "a.txt", "# Budget\ntwo million dollars\n");
+        let eng = engine_with(
+            &store,
+            &index,
+            QueryEngineOptions {
+                workers: 0,
+                cache_capacity: 0, // force re-execution
+                memo_capacity: 1024,
+            },
+        );
+        let q = XdbQuery::content("million");
+        eng.execute(&q).unwrap();
+        eng.execute(&q).unwrap();
+        let s = eng.stats();
+        assert!(s.memo_misses >= 1);
+        assert!(s.memo_hits >= 1, "second execution reuses the walk");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lru_evicts_oldest_entry() {
+        let mut cache = ResultCache::new(2);
+        let rs = Arc::new(ResultSet::default());
+        cache.insert("a".into(), 1, 0, Arc::clone(&rs));
+        cache.insert("b".into(), 1, 0, Arc::clone(&rs));
+        assert!(cache.get("a", 1, 0).is_some()); // refresh a
+        cache.insert("c".into(), 1, 0, Arc::clone(&rs));
+        assert!(cache.get("b", 1, 0).is_none(), "b was LRU");
+        assert!(cache.get("a", 1, 0).is_some());
+        assert!(cache.get("c", 1, 0).is_some());
+        // Stale stamps are misses and drop the entry.
+        assert!(cache.get("a", 2, 0).is_none());
+        assert!(cache.get("a", 1, 0).is_none());
+    }
+
+    #[test]
+    fn cache_key_ignores_routing_fields() {
+        let q1 = XdbQuery::context("Budget").with_xslt("report");
+        let q2 = XdbQuery::context("Budget").with_databank("apps");
+        assert_eq!(cache_key(&q1), cache_key(&q2));
+        assert_ne!(cache_key(&q1), cache_key(&XdbQuery::context("Schedule")));
+        assert_ne!(
+            cache_key(&XdbQuery::context("Budget")),
+            cache_key(&XdbQuery::context("Budget").with_limit(1)),
+            "limit changes execution, so it keys the cache"
+        );
+    }
+}

@@ -1,7 +1,7 @@
 //! Error type for the NETMARK engine.
 
 use netmark_relstore::StoreError;
-use netmark_xdb::QueryParseError;
+use netmark_xdb::ParseError;
 use netmark_xslt::XsltError;
 use std::fmt;
 
@@ -11,7 +11,7 @@ pub enum NetmarkError {
     /// Underlying storage failure.
     Store(StoreError),
     /// Malformed XDB query string.
-    Query(QueryParseError),
+    Query(ParseError),
     /// Stylesheet parse/apply failure.
     Xslt(XsltError),
     /// A named stylesheet is not registered.
@@ -26,7 +26,7 @@ impl fmt::Display for NetmarkError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetmarkError::Store(e) => write!(f, "storage: {e}"),
-            NetmarkError::Query(e) => write!(f, "{e}"),
+            NetmarkError::Query(e) => write!(f, "bad xdb query: {e}"),
             NetmarkError::Xslt(e) => write!(f, "{e}"),
             NetmarkError::NoSuchStylesheet(n) => write!(f, "no stylesheet named '{n}'"),
             NetmarkError::NoSuchDocument(n) => write!(f, "no document '{n}'"),
@@ -52,8 +52,8 @@ impl From<StoreError> for NetmarkError {
     }
 }
 
-impl From<QueryParseError> for NetmarkError {
-    fn from(e: QueryParseError) -> Self {
+impl From<ParseError> for NetmarkError {
+    fn from(e: ParseError) -> Self {
         NetmarkError::Query(e)
     }
 }

@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod error;
 pub mod metrics;
 pub mod netmark;
@@ -36,10 +37,14 @@ pub mod schema;
 pub mod search;
 pub mod store;
 
+pub use engine::{QueryEngine, QueryEngineOptions};
 pub use error::{NetmarkError, Result};
-pub use metrics::{IngestMetrics, IngestStats, SourceMetrics, SourceStats};
+pub use metrics::{
+    IngestMetrics, IngestStats, QueryMetrics, QueryStats, QueryTrace, SourceMetrics, SourceStats,
+};
 pub use netmark::{NetMark, NetMarkOptions, NetMarkStats, QueryOutput};
 pub use pipeline::{ingest_files, BoundedQueue, PipelineConfig, PipelineStats, RawFile};
+#[allow(deprecated)]
 pub use search::Searcher;
 pub use store::{DocId, DocInfo, IngestReport, NodeId, NodeRow, NodeStore};
 

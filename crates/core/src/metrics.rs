@@ -13,7 +13,14 @@
 //! [`SourceMetrics`] is the query-side sibling: per-source federation
 //! health (latency, failures, circuit-breaker activity), recorded by the
 //! thin router's fan-out threads with the same lock-free discipline.
+//!
+//! [`QueryMetrics`] instruments the local read path: every query executed
+//! by the [`crate::engine::QueryEngine`] folds its per-stage wall times
+//! (index lookup, context walk, intersection, content collection) and its
+//! cache outcome into these counters, surfaced via `NetMark::stats()` and
+//! the `GET /xdb/stats` endpoint.
 
+use netmark_model::Node;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -237,6 +244,180 @@ impl SourceStats {
     }
 }
 
+/// Per-stage record of one executed query, returned by
+/// `QueryEngine::execute_traced` and folded into [`QueryMetrics`].
+///
+/// A cache hit short-circuits execution: only `total` is meaningful then.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryTrace {
+    /// The result came straight from the generation-stamped cache.
+    pub cache_hit: bool,
+    /// Wall time querying the text index (postings fetch, CTXKEY probe).
+    pub index_lookup: Duration,
+    /// Wall time walking rowid chains up to governing contexts.
+    pub context_walk: Duration,
+    /// Wall time intersecting per-term / context ∩ content rowid sets.
+    pub intersection: Duration,
+    /// Wall time collecting section content for surviving contexts.
+    pub collection: Duration,
+    /// End-to-end wall time, including cache probes.
+    pub total: Duration,
+    /// Text-index candidate postings examined.
+    pub candidates: usize,
+    /// Terms fanned out across the worker pool (0 = executed serially).
+    pub fanout: usize,
+}
+
+/// Cumulative read-path counters (lock-free; shared across server
+/// threads). One per [`crate::engine::QueryEngine`].
+#[derive(Debug, Default)]
+pub struct QueryMetrics {
+    queries: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    parallel_queries: AtomicU64,
+    candidates: AtomicU64,
+    index_nanos: AtomicU64,
+    walk_nanos: AtomicU64,
+    intersect_nanos: AtomicU64,
+    collect_nanos: AtomicU64,
+    total_nanos: AtomicU64,
+}
+
+impl QueryMetrics {
+    /// Folds one completed query into the counters.
+    pub fn record(&self, trace: &QueryTrace) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.total_nanos
+            .fetch_add(trace.total.as_nanos() as u64, Ordering::Relaxed);
+        if trace.cache_hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.candidates
+            .fetch_add(trace.candidates as u64, Ordering::Relaxed);
+        if trace.fanout > 0 {
+            self.parallel_queries.fetch_add(1, Ordering::Relaxed);
+        }
+        self.index_nanos
+            .fetch_add(trace.index_lookup.as_nanos() as u64, Ordering::Relaxed);
+        self.walk_nanos
+            .fetch_add(trace.context_walk.as_nanos() as u64, Ordering::Relaxed);
+        self.intersect_nanos
+            .fetch_add(trace.intersection.as_nanos() as u64, Ordering::Relaxed);
+        self.collect_nanos
+            .fetch_add(trace.collection.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the counters. Memo fields are zero here; the
+    /// engine's `stats()` accessor splices them in from its context memo.
+    pub fn snapshot(&self) -> QueryStats {
+        QueryStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            parallel_queries: self.parallel_queries.load(Ordering::Relaxed),
+            candidates: self.candidates.load(Ordering::Relaxed),
+            memo_hits: 0,
+            memo_misses: 0,
+            index_time: Duration::from_nanos(self.index_nanos.load(Ordering::Relaxed)),
+            walk_time: Duration::from_nanos(self.walk_nanos.load(Ordering::Relaxed)),
+            intersect_time: Duration::from_nanos(self.intersect_nanos.load(Ordering::Relaxed)),
+            collect_time: Duration::from_nanos(self.collect_nanos.load(Ordering::Relaxed)),
+            total_time: Duration::from_nanos(self.total_nanos.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Point-in-time copy of [`QueryMetrics`] (plus context-memo counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Queries executed (hits + misses).
+    pub queries: u64,
+    /// Queries answered from the result cache.
+    pub cache_hits: u64,
+    /// Queries that executed cold.
+    pub cache_misses: u64,
+    /// Cold queries whose terms fanned out across the worker pool.
+    pub parallel_queries: u64,
+    /// Cumulative text-index candidates examined.
+    pub candidates: u64,
+    /// rowid→context walks answered by the memo.
+    pub memo_hits: u64,
+    /// rowid→context walks computed (and memoized).
+    pub memo_misses: u64,
+    /// Cumulative wall time in text-index lookups.
+    pub index_time: Duration,
+    /// Cumulative wall time walking to governing contexts.
+    pub walk_time: Duration,
+    /// Cumulative wall time intersecting rowid sets.
+    pub intersect_time: Duration,
+    /// Cumulative wall time collecting section content.
+    pub collect_time: Duration,
+    /// Cumulative end-to-end wall time.
+    pub total_time: Duration,
+}
+
+impl QueryStats {
+    /// Fraction of queries answered from the cache (0.0 when none ran).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.queries as f64
+        }
+    }
+
+    /// Mean end-to-end latency per query.
+    pub fn mean_latency(&self) -> Duration {
+        if self.queries == 0 {
+            Duration::ZERO
+        } else {
+            self.total_time / self.queries as u32
+        }
+    }
+
+    /// Counters accumulated since `earlier`.
+    pub fn since(&self, earlier: &QueryStats) -> QueryStats {
+        QueryStats {
+            queries: self.queries - earlier.queries,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+            parallel_queries: self.parallel_queries - earlier.parallel_queries,
+            candidates: self.candidates - earlier.candidates,
+            memo_hits: self.memo_hits - earlier.memo_hits,
+            memo_misses: self.memo_misses - earlier.memo_misses,
+            index_time: self.index_time - earlier.index_time,
+            walk_time: self.walk_time - earlier.walk_time,
+            intersect_time: self.intersect_time - earlier.intersect_time,
+            collect_time: self.collect_time - earlier.collect_time,
+            total_time: self.total_time - earlier.total_time,
+        }
+    }
+
+    /// Renders the `<query …/>` element served under `GET /xdb/stats`.
+    /// Durations are microseconds — query stages are routinely sub-ms.
+    pub fn to_node(&self) -> Node {
+        Node::element("query")
+            .with_attr("queries", &self.queries.to_string())
+            .with_attr("cache-hits", &self.cache_hits.to_string())
+            .with_attr("cache-misses", &self.cache_misses.to_string())
+            .with_attr("parallel", &self.parallel_queries.to_string())
+            .with_attr("candidates", &self.candidates.to_string())
+            .with_attr("memo-hits", &self.memo_hits.to_string())
+            .with_attr("memo-misses", &self.memo_misses.to_string())
+            .with_attr("index-us", &(self.index_time.as_micros()).to_string())
+            .with_attr("walk-us", &(self.walk_time.as_micros()).to_string())
+            .with_attr(
+                "intersect-us",
+                &(self.intersect_time.as_micros()).to_string(),
+            )
+            .with_attr("collect-us", &(self.collect_time.as_micros()).to_string())
+            .with_attr("total-us", &(self.total_time.as_micros()).to_string())
+    }
+}
+
 fn per_sec(count: u64, wall: Duration) -> f64 {
     let secs = wall.as_secs_f64();
     if secs <= 0.0 {
@@ -290,6 +471,46 @@ mod tests {
         assert_eq!(s.short_circuits, 1);
         assert_eq!(SourceStats::default().mean_latency(), Duration::ZERO);
         assert_eq!(SourceStats::default().failure_rate(), 0.0);
+    }
+
+    #[test]
+    fn query_metrics_accumulate_and_render() {
+        let m = QueryMetrics::default();
+        m.record(&QueryTrace {
+            cache_hit: false,
+            index_lookup: Duration::from_micros(100),
+            context_walk: Duration::from_micros(200),
+            intersection: Duration::from_micros(10),
+            collection: Duration::from_micros(40),
+            total: Duration::from_micros(400),
+            candidates: 7,
+            fanout: 3,
+        });
+        m.record(&QueryTrace {
+            cache_hit: true,
+            total: Duration::from_micros(2),
+            ..Default::default()
+        });
+        let s = m.snapshot();
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.parallel_queries, 1);
+        assert_eq!(s.candidates, 7);
+        assert_eq!(s.index_time, Duration::from_micros(100));
+        assert_eq!(s.walk_time, Duration::from_micros(200));
+        assert_eq!(s.total_time, Duration::from_micros(402));
+        assert_eq!(s.cache_hit_rate(), 0.5);
+        assert_eq!(s.mean_latency(), Duration::from_micros(201));
+        let node = s.to_node();
+        assert_eq!(node.name, "query");
+        assert_eq!(node.attr("cache-hits"), Some("1"));
+        assert_eq!(node.attr("walk-us"), Some("200"));
+        assert_eq!(QueryStats::default().cache_hit_rate(), 0.0);
+        assert_eq!(QueryStats::default().mean_latency(), Duration::ZERO);
+        let delta = s.since(&s);
+        assert_eq!(delta.queries, 0);
+        assert_eq!(delta.total_time, Duration::ZERO);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! The `NetMark` facade: one handle for ingest, query, composition.
 
+use crate::engine::{QueryEngine, QueryEngineOptions};
 use crate::error::{NetmarkError, Result};
-use crate::metrics::{IngestMetrics, IngestStats};
-use crate::search::Searcher;
+use crate::metrics::{IngestMetrics, IngestStats, QueryStats, QueryTrace};
 use crate::store::{DocId, DocInfo, IngestReport, NodeStore};
 use netmark_docformats::upmark;
 use netmark_model::{Document, Node};
@@ -13,6 +13,7 @@ use netmark_xslt::Stylesheet;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Tuning knobs for [`NetMark::open_with`].
@@ -22,6 +23,9 @@ pub struct NetMarkOptions {
     pub db: DbOptions,
     /// Persist the full-text index on every [`NetMark::flush`].
     pub persist_text_index: bool,
+    /// Read-path (query engine) options: worker pool, result cache,
+    /// context memo.
+    pub query: QueryEngineOptions,
 }
 
 impl Default for NetMarkOptions {
@@ -29,6 +33,7 @@ impl Default for NetMarkOptions {
         NetMarkOptions {
             db: DbOptions::default(),
             persist_text_index: true,
+            query: QueryEngineOptions::default(),
         }
     }
 }
@@ -77,12 +82,15 @@ pub struct NetMarkStats {
     pub ingest: IngestStats,
     /// WAL commit/fsync counters (group-commit instrumentation).
     pub wal: WalStats,
+    /// Read-path counters (cache hit rate, per-stage wall times).
+    pub query: QueryStats,
 }
 
 /// An open NETMARK instance: schema-less store + text index + stylesheets.
 pub struct NetMark {
-    store: NodeStore,
-    index: RwLock<InvertedIndex>,
+    store: Arc<NodeStore>,
+    index: Arc<RwLock<InvertedIndex>>,
+    engine: QueryEngine,
     stylesheets: RwLock<HashMap<String, Stylesheet>>,
     index_path: PathBuf,
     options: NetMarkOptions,
@@ -133,9 +141,17 @@ impl NetMark {
                 ix
             }
         };
+        let store = Arc::new(store);
+        let index = Arc::new(RwLock::new(index));
+        let engine = QueryEngine::new(
+            Arc::clone(&store),
+            Arc::clone(&index),
+            options.query.clone(),
+        );
         Ok(NetMark {
             store,
-            index: RwLock::new(index),
+            index,
+            engine,
             stylesheets: RwLock::new(HashMap::new()),
             index_path,
             options,
@@ -172,6 +188,7 @@ impl NetMark {
             ix.add(*id, text);
         }
         drop(ix);
+        self.engine.invalidate();
         self.metrics.record_index(t1.elapsed());
         Ok(report)
     }
@@ -198,6 +215,7 @@ impl NetMark {
             }
         }
         drop(ix);
+        self.engine.invalidate();
         self.metrics.record_index(t1.elapsed());
         Ok(reports)
     }
@@ -219,6 +237,8 @@ impl NetMark {
         for id in node_ids {
             ix.remove(id);
         }
+        drop(ix);
+        self.engine.invalidate();
         Ok(())
     }
 
@@ -237,22 +257,45 @@ impl NetMark {
         self.store.reconstruct_document(doc_id)
     }
 
-    /// Runs a parsed XDB query.
+    /// Runs a parsed XDB query through the engine (cached, parallel).
     pub fn query(&self, q: &XdbQuery) -> Result<ResultSet> {
-        let ix = self.index.read();
-        Searcher::new(&self.store, &ix).execute(q)
+        self.engine.execute(q)
+    }
+
+    /// Runs a parsed XDB query and returns the per-stage trace.
+    pub fn query_traced(&self, q: &XdbQuery) -> Result<(ResultSet, QueryTrace)> {
+        self.engine.execute_traced(q)
+    }
+
+    /// The long-lived query engine (exposed for benches, stats, and
+    /// uncached baseline execution).
+    pub fn engine(&self) -> &QueryEngine {
+        &self.engine
+    }
+
+    /// Cumulative read-path counters for this instance.
+    pub fn query_stats(&self) -> QueryStats {
+        self.engine.stats()
+    }
+
+    /// Runs a parsed XDB query and composes the result when the query
+    /// names an `xslt=` stylesheet. One code path for every server: the
+    /// WebDAV handler and the federation local fall-through both land
+    /// here.
+    pub fn run(&self, q: &XdbQuery) -> Result<QueryOutput> {
+        let results = self.query(q)?;
+        match &q.xslt {
+            None => Ok(QueryOutput::Results(results)),
+            Some(name) => Ok(QueryOutput::Composed(self.compose(&results, name)?)),
+        }
     }
 
     /// Runs an XDB URL — "simple HTTP requests … an extremely simple yet
     /// powerful mechanism" (paper §2.1.2). When the URL names `xslt=`, the
     /// registered stylesheet composes the result.
     pub fn query_url(&self, url: &str) -> Result<QueryOutput> {
-        let q = XdbQuery::parse(url)?;
-        let results = self.query(&q)?;
-        match &q.xslt {
-            None => Ok(QueryOutput::Results(results)),
-            Some(name) => Ok(QueryOutput::Composed(self.compose(&results, name)?)),
-        }
+        let q = XdbQuery::from_url(url)?;
+        self.run(&q)
     }
 
     /// Evaluates an XPath-lite expression over one stored document — the
@@ -328,6 +371,7 @@ impl NetMark {
             index_bytes: ix.byte_size(),
             ingest: self.metrics.snapshot(),
             wal: self.wal_stats(),
+            query: self.engine.stats(),
         })
     }
 }

@@ -1,221 +1,37 @@
-//! Query execution (paper §2.1.4, "Processing Queries Internally").
+//! Deprecated per-call query executor.
 //!
-//! "The keyword-based context and content search is performed by first
-//! querying the text index for the search key. Each node returned from the
-//! index search is then processed based on its designated unique ROWID.
-//! The processing of the node involves traversing up the tree structure via
-//! its parent or sibling node until the first context is found."
-//!
-//! Execution pipeline:
-//! 1. `Content=` terms → text index → node ids → rowids → walk up to the
-//!    governing context (one context per hit section).
-//! 2. `Context=` label → `CTXKEY` index (exact, case-insensitive); when
-//!    nothing matches exactly, fall back to a phrase match over indexed
-//!    context labels.
-//! 3. Combined queries intersect (1) and (2) on the context rowid.
-//! 4. Each surviving context walks back *down* the sibling chain to collect
-//!    its content.
+//! The read path lives in [`crate::engine`] now: `NetMark` owns a
+//! long-lived [`crate::engine::QueryEngine`] with result caching, parallel
+//! term execution, and per-stage tracing. `Searcher` remains for one
+//! release as a thin shim over the engine's serial stage functions so
+//! out-of-tree callers keep compiling; it gains none of the engine's
+//! caching or parallelism.
 
 use crate::error::Result;
-use crate::store::{DocId, NodeStore};
-use netmark_model::NodeType;
-use netmark_relstore::RowId;
-use netmark_textindex::{InvertedIndex, TextQuery};
-use netmark_xdb::{Hit, MatchMode, ResultSet, XdbQuery};
-use std::collections::{BTreeMap, HashMap};
+use crate::store::NodeStore;
+use netmark_textindex::InvertedIndex;
+use netmark_xdb::{ResultSet, XdbQuery};
 
 /// Executes XDB queries over a [`NodeStore`] + [`InvertedIndex`] pair.
+#[deprecated(
+    since = "0.2.0",
+    note = "use NetMark::query / NetMark::engine(), which cache and parallelize; \
+            Searcher executes serially with no cache"
+)]
 pub struct Searcher<'a> {
     store: &'a NodeStore,
     index: &'a InvertedIndex,
 }
 
+#[allow(deprecated)]
 impl<'a> Searcher<'a> {
     /// Borrows the store and index for one query.
     pub fn new(store: &'a NodeStore, index: &'a InvertedIndex) -> Searcher<'a> {
         Searcher { store, index }
     }
 
-    /// Context rowids whose sections contain the content terms. Multi-term
-    /// keyword queries AND at the *section* level: every term must occur
-    /// somewhere under the same context. Returns `(ctx rowid → matched
-    /// term count)` plus the candidate count for diagnostics.
-    fn content_contexts(&self, terms: &str, mode: MatchMode) -> Result<(Vec<RowId>, usize)> {
-        let term_list = netmark_textindex::query_terms(terms);
-        if term_list.is_empty() {
-            return Ok((Vec::new(), 0));
-        }
-        if mode == MatchMode::Phrase {
-            let ids = self.index.execute(&TextQuery::phrase(terms));
-            let candidates = ids.len();
-            let ctxs = self.map_to_contexts(&ids)?;
-            return Ok((ctxs, candidates));
-        }
-        // Keywords: per-term context sets, intersected.
-        let mut acc: Option<Vec<RowId>> = None;
-        let mut candidates = 0usize;
-        for term in &term_list {
-            let ids = self.index.execute(&TextQuery::Term(term.clone()));
-            candidates += ids.len();
-            let ctxs = self.map_to_contexts(&ids)?;
-            acc = Some(match acc {
-                None => ctxs,
-                Some(prev) => prev.into_iter().filter(|r| ctxs.contains(r)).collect(),
-            });
-            if acc.as_ref().map(|a| a.is_empty()).unwrap_or(false) {
-                break;
-            }
-        }
-        Ok((acc.unwrap_or_default(), candidates))
-    }
-
-    /// Maps text-hit node ids to their governing context rowids (deduped,
-    /// in first-encounter order).
-    fn map_to_contexts(&self, node_ids: &[u64]) -> Result<Vec<RowId>> {
-        let mut seen: Vec<RowId> = Vec::new();
-        for &nid in node_ids {
-            let Some((rid, _)) = self.store.node_by_id(nid)? else {
-                continue; // tombstoned in index but already gone from store
-            };
-            if let Some((ctx_rid, _)) = self.store.governing_context(rid)? {
-                if !seen.contains(&ctx_rid) {
-                    seen.push(ctx_rid);
-                }
-            }
-        }
-        Ok(seen)
-    }
-
-    /// Context rowids matching a `Context=` specification. A `|`-separated
-    /// label list unions ("in NETMARK we have to specify two Context
-    /// queries (one for 'Budget' and one for 'Cost Details')" — §4; the
-    /// union form issues them as one client-side query, still with zero
-    /// mapping artifacts).
-    fn context_rowids(&self, spec: &str) -> Result<Vec<RowId>> {
-        if spec.contains('|') {
-            let mut out: Vec<RowId> = Vec::new();
-            for label in spec.split('|').map(str::trim).filter(|l| !l.is_empty()) {
-                for rid in self.context_rowids(label)? {
-                    if !out.contains(&rid) {
-                        out.push(rid);
-                    }
-                }
-            }
-            return Ok(out);
-        }
-        let label = spec;
-        let exact = self.store.contexts_labeled(label)?;
-        if !exact.is_empty() {
-            return Ok(exact.into_iter().map(|(rid, _)| rid).collect());
-        }
-        // Fallback: phrase match over indexed labels (catches e.g.
-        // Context=Budget against a "Budget Overview" heading).
-        let ids = self.index.execute(&TextQuery::phrase(label));
-        let mut out = Vec::new();
-        for nid in ids {
-            if let Some((rid, row)) = self.store.node_by_id(nid)? {
-                if row.ntype == NodeType::Context && !out.contains(&rid) {
-                    out.push(rid);
-                }
-            }
-        }
-        Ok(out)
-    }
-
     /// Runs `query` and materializes the result set.
     pub fn execute(&self, query: &XdbQuery) -> Result<ResultSet> {
-        let mut candidates = 0usize;
-        let ctx_rowids: Vec<RowId> = match (&query.context, &query.content) {
-            (None, None) => {
-                // Unconstrained: every context in the store (bounded below
-                // by the limit). Used by federation when augmenting a
-                // source that answered a broader query.
-                let mut out = Vec::new();
-                for info in self.store.list_docs()? {
-                    if let Some((root_rid, _)) = self.store.node_by_id(info.root_node)? {
-                        collect_contexts(self.store, root_rid, &mut out)?;
-                    }
-                }
-                out
-            }
-            (Some(label), None) => self.context_rowids(label)?,
-            (None, Some(terms)) => {
-                let (ctxs, cand) = self.content_contexts(terms, query.match_mode)?;
-                candidates = cand;
-                ctxs
-            }
-            (Some(label), Some(terms)) => {
-                let labelled = self.context_rowids(label)?;
-                let (with_content, cand) = self.content_contexts(terms, query.match_mode)?;
-                candidates = cand;
-                labelled
-                    .into_iter()
-                    .filter(|r| with_content.contains(r))
-                    .collect()
-            }
-        };
-
-        // Resolve document names once per doc. A missing DOC row means the
-        // document vanished (or is being removed) between the index lookup
-        // and here — skip such hits rather than failing the query.
-        let mut doc_names: HashMap<DocId, Option<String>> = HashMap::new();
-        let mut ordered: BTreeMap<(DocId, u64), Hit> = BTreeMap::new();
-        for rid in ctx_rowids {
-            let Ok(row) = self.store.node(rid) else {
-                continue;
-            };
-            let doc_name = match doc_names.get(&row.doc_id) {
-                Some(cached) => cached.clone(),
-                None => {
-                    let n = self.store.doc_info(row.doc_id).ok().map(|i| i.file_name);
-                    doc_names.insert(row.doc_id, n.clone());
-                    n
-                }
-            };
-            let Some(doc_name) = doc_name else { continue };
-            if let Some(wanted) = &query.doc {
-                if &doc_name != wanted {
-                    continue;
-                }
-            }
-            let content = self.store.section_content(rid)?;
-            ordered.insert(
-                (row.doc_id, row.node_id),
-                Hit {
-                    source: String::new(),
-                    doc: doc_name,
-                    context: row.data.clone(),
-                    content,
-                    context_node: row.node_id,
-                },
-            );
-        }
-        let mut hits: Vec<Hit> = ordered.into_values().collect();
-        let mut truncated = false;
-        if let Some(limit) = query.limit {
-            if hits.len() > limit {
-                hits.truncate(limit);
-                truncated = true;
-            }
-        }
-        Ok(ResultSet {
-            hits,
-            candidates,
-            truncated,
-        })
+        crate::engine::execute_serial(self.store, self.index, query)
     }
-}
-
-/// Depth-first collection of every CONTEXT node under `rid`.
-fn collect_contexts(store: &NodeStore, rid: RowId, out: &mut Vec<RowId>) -> Result<()> {
-    let row = store.node(rid)?;
-    if row.ntype == NodeType::Context {
-        out.push(rid);
-    }
-    let mut c = row.first_child;
-    while let Some(crid) = c {
-        collect_contexts(store, crid, out)?;
-        c = store.node(crid)?.next_sibling;
-    }
-    Ok(())
 }

@@ -9,7 +9,10 @@
 
 use crate::databank::Router;
 use netmark::NetMark;
-use netmark_webdav::{handle as local_handle, serve_connection, ConnTracker, Request, Response};
+use netmark_model::Node;
+use netmark_webdav::{
+    handle as local_handle, respond_query, serve_connection, ConnTracker, Request, Response,
+};
 use netmark_xdb::{Capabilities, XdbQuery};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -61,12 +64,17 @@ pub fn handle_federated(router: &Router, local: Option<&NetMark>, req: &Request)
     if req.method == "GET" && req.path == "/xdb/capabilities" {
         return Response::new(200).with_xml(&Capabilities::FULL.to_xml());
     }
+    if req.method == "GET" && req.path == "/xdb/stats" {
+        return Response::new(200).with_xml(&stats_node(router, local).to_xml());
+    }
     if req.method == "GET" && req.path == "/xdb" {
+        // Parse once; both the federated and local arms get the same
+        // parsed query (the local arm used to re-parse inside the WebDAV
+        // handler, a second code path that could — and did — drift).
         let qs = req.query.as_deref().unwrap_or("");
-        match XdbQuery::parse(qs) {
-            Ok(q) if q.databank.is_some() => {
-                let bank = q.databank.clone().expect("checked");
-                return match router.query(&bank, &q) {
+        return match XdbQuery::from_url(qs) {
+            Ok(q) => match &q.databank {
+                Some(bank) => match router.query(bank, &q) {
                     Ok(fr) => {
                         let mut resp = Response::new(200).with_xml(&fr.results.to_xml());
                         if fr.degraded() {
@@ -75,16 +83,43 @@ pub fn handle_federated(router: &Router, local: Option<&NetMark>, req: &Request)
                         resp
                     }
                     Err(e) => Response::new(404).with_text(&e.to_string()),
-                };
-            }
-            Err(e) => return Response::new(400).with_text(&e.to_string()),
-            Ok(_) => {} // no databank: fall through to the local engine
-        }
+                },
+                None => match local {
+                    Some(nm) => respond_query(nm, &q),
+                    None => Response::new(404).with_text("no databank named and no local store"),
+                },
+            },
+            Err(e) => Response::new(400).with_text(&format!("bad xdb query: {e}")),
+        };
     }
     match local {
         Some(nm) => local_handle(nm, req),
         None => Response::new(404).with_text("no databank named and no local store"),
     }
+}
+
+/// The `<stats>` document served at `GET /xdb/stats`: per-source router
+/// health plus the local engine's read-path counters (when there is one).
+fn stats_node(router: &Router, local: Option<&NetMark>) -> Node {
+    let mut sources = Node::element("sources");
+    for (name, s) in router.source_stats() {
+        sources = sources.with_child(
+            Node::element("source")
+                .with_attr("name", &name)
+                .with_attr("queries", &s.queries.to_string())
+                .with_attr("failures", &s.failures.to_string())
+                .with_attr("hits", &s.hits.to_string())
+                .with_attr("mean-latency-us", &s.mean_latency().as_micros().to_string())
+                .with_attr("max-latency-us", &s.max_latency.as_micros().to_string())
+                .with_attr("breaker-opens", &s.breaker_opens.to_string())
+                .with_attr("short-circuits", &s.short_circuits.to_string()),
+        );
+    }
+    let mut stats = Node::element("stats").with_child(sources);
+    if let Some(nm) = local {
+        stats = stats.with_child(nm.query_stats().to_node());
+    }
+    stats
 }
 
 /// Starts the federated server on `bind`.
@@ -190,6 +225,18 @@ mod tests {
         let resp = request(h.addr(), "GET /xdb/capabilities HTTP/1.1\r\n\r\n");
         assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
         assert!(resp.contains("context-search=\"true\""), "{resp}");
+
+        // Stats: per-source router health + the local engine's read path.
+        let resp = request(h.addr(), "GET /xdb/stats HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        assert!(resp.contains("name=\"llis\""), "{resp}");
+        assert!(resp.contains("name=\"local\""), "{resp}");
+        assert!(resp.contains("<query"), "{resp}");
+
+        // Malformed queries get a typed 400 from the shared parser.
+        let resp = request(h.addr(), "GET /xdb?databank=apps&limit=x HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        assert!(resp.contains("limit"), "{resp}");
 
         h.stop();
         std::fs::remove_dir_all(&base).unwrap();

@@ -21,4 +21,6 @@ pub mod server;
 pub use daemon::{watch_folder, watch_folder_with, DaemonHandle, DaemonStats};
 pub use http::{read_request, read_request_from, Request, RequestError, Response};
 pub use ingest::IngestService;
-pub use server::{handle, handle_with, serve, serve_connection, ConnTracker, ServerHandle};
+pub use server::{
+    handle, handle_with, respond_query, serve, serve_connection, ConnTracker, ServerHandle,
+};

@@ -21,8 +21,8 @@
 use crate::http::{read_request_from, Request, RequestError, Response};
 use crate::ingest::IngestService;
 use netmark::{NetMark, PipelineConfig, QueryOutput};
-use netmark_model::escape_text;
-use netmark_xdb::{url_decode, Capabilities};
+use netmark_model::{escape_text, Node};
+use netmark_xdb::{url_decode, Capabilities, XdbQuery};
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
@@ -220,6 +220,8 @@ pub fn handle_with(nm: &NetMark, ingest: Option<&IngestService>, req: &Request) 
         // Capability negotiation for remote federation adapters: a full
         // NETMARK evaluates every query fragment natively.
         ("GET", "/xdb/capabilities") => Response::new(200).with_xml(&Capabilities::FULL.to_xml()),
+        // Read-path observability: cache hit rate and per-stage timings.
+        ("GET", "/xdb/stats") => Response::new(200).with_xml(&stats_node(nm).to_xml()),
         ("PROPFIND", "/docs") | ("PROPFIND", "/docs/") => handle_propfind(nm),
         ("MKCOL", _) => Response::new(201),
         ("PUT", _) => match doc_name(&req.path) {
@@ -268,11 +270,32 @@ pub fn handle_with(nm: &NetMark, ingest: Option<&IngestService>, req: &Request) 
 
 fn handle_query(nm: &NetMark, req: &Request) -> Response {
     let qs = req.query.as_deref().unwrap_or("");
-    match nm.query_url(qs) {
+    match XdbQuery::from_url(qs) {
+        Ok(q) => respond_query(nm, &q),
+        Err(e) => Response::new(400).with_text(&format!("bad xdb query: {e}")),
+    }
+}
+
+/// Executes an already-parsed XDB query through the engine and renders the
+/// HTTP answer. The one query code path for every server: the local XDB
+/// route above and the federation server's no-databank fall-through both
+/// land here, so parsing, capability semantics, and limit handling cannot
+/// drift between them.
+pub fn respond_query(nm: &NetMark, q: &XdbQuery) -> Response {
+    match nm.run(q) {
         Ok(QueryOutput::Results(rs)) => Response::new(200).with_xml(&rs.to_xml()),
         Ok(QueryOutput::Composed(node)) => Response::new(200).with_xml(&node.to_pretty_xml()),
         Err(e) => Response::new(400).with_text(&e.to_string()),
     }
+}
+
+/// The `<stats>` document served at `GET /xdb/stats`.
+fn stats_node(nm: &NetMark) -> Node {
+    let q = nm.query_stats();
+    Node::element("stats")
+        .with_attr("cache-hit-rate", &format!("{:.3}", q.cache_hit_rate()))
+        .with_attr("mean-latency-us", &q.mean_latency().as_micros().to_string())
+        .with_child(q.to_node())
 }
 
 fn handle_propfind(nm: &NetMark) -> Response {
@@ -395,6 +418,50 @@ mod tests {
             handle(&nm, &mk("DELETE", "/docs/none.txt", None)).status,
             404
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_endpoint_reports_cache_and_stages() {
+        let (nm, dir) = temp_nm("stats");
+        nm.insert_file("a.txt", "# Budget\ntwo million\n").unwrap();
+        let h = serve(Arc::clone(&nm), "127.0.0.1:0").unwrap();
+        // Same query twice: the second must be a cache hit.
+        for _ in 0..2 {
+            let resp = request(h.addr(), "GET /xdb?Context=Budget HTTP/1.1\r\n\r\n");
+            assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        }
+        let resp = request(h.addr(), "GET /xdb/stats HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        assert!(resp.contains("<stats"), "{resp}");
+        assert!(resp.contains("cache-hits=\"1\""), "{resp}");
+        assert!(resp.contains("cache-misses=\"1\""), "{resp}");
+        assert!(resp.contains("collect-us="), "{resp}");
+        h.stop();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn malformed_query_parameters_get_typed_400s() {
+        let (nm, dir) = temp_nm("badq");
+        let mk = |query: &str| Request {
+            method: "GET".into(),
+            path: "/xdb".into(),
+            query: Some(query.to_string()),
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+        };
+        for (qs, needle) in [
+            ("Context=", "empty value"),
+            ("Context=A&Context=B", "duplicate"),
+            ("limit=abc", "limit"),
+            ("bogus=1", "unknown query key"),
+        ] {
+            let resp = handle(&nm, &mk(qs));
+            assert_eq!(resp.status, 400, "{qs}");
+            let body = String::from_utf8_lossy(&resp.body).into_owned();
+            assert!(body.contains(needle), "{qs} → {body}");
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -45,17 +45,64 @@ pub struct XdbQuery {
     pub match_mode: MatchMode,
 }
 
-/// Error for malformed query strings.
+/// Typed error for malformed query strings and invalid builder states.
+///
+/// Each variant names the offending key or fragment, so servers can answer
+/// a precise 400 instead of guessing which parameter was dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A `&`-separated pair had no `=` (e.g. `nonsense`).
+    MissingEquals(String),
+    /// A key outside the XDB grammar.
+    UnknownKey(String),
+    /// The same key appeared twice — previously the second value silently
+    /// overwrote the first.
+    DuplicateKey(String),
+    /// A key with an empty value (e.g. `Context=`) — previously accepted
+    /// and then matched nothing.
+    EmptyValue(String),
+    /// `limit=` was not a non-negative integer.
+    BadLimit(String),
+    /// `match=` named an unknown mode.
+    BadMatchMode(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::MissingEquals(pair) => write!(f, "missing '=' in '{pair}'"),
+            ParseError::UnknownKey(key) => write!(f, "unknown query key '{key}'"),
+            ParseError::DuplicateKey(key) => write!(f, "duplicate query key '{key}'"),
+            ParseError::EmptyValue(key) => write!(f, "empty value for '{key}'"),
+            ParseError::BadLimit(value) => write!(f, "limit must be a number, got '{value}'"),
+            ParseError::BadMatchMode(value) => write!(f, "unknown match mode '{value}'"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Stringly-typed error kept for one release as a shim.
+#[deprecated(since = "0.2.0", note = "match on the typed `ParseError` instead")]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryParseError(pub String);
 
+#[allow(deprecated)]
 impl fmt::Display for QueryParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "bad xdb query: {}", self.0)
     }
 }
 
+#[allow(deprecated)]
 impl std::error::Error for QueryParseError {}
+
+#[allow(deprecated)]
+impl From<ParseError> for QueryParseError {
+    fn from(e: ParseError) -> Self {
+        QueryParseError(e.to_string())
+    }
+}
 
 /// Percent-decodes a query component (`+` means space).
 pub fn url_decode(s: &str) -> String {
@@ -162,15 +209,22 @@ impl XdbQuery {
         self.context.is_none() && self.content.is_none() && self.doc.is_none()
     }
 
+    /// A fallible builder for assembling a query from untrusted input.
+    pub fn builder() -> XdbQueryBuilder {
+        XdbQueryBuilder::default()
+    }
+
     /// Parses the query-string portion of an XDB URL. Accepts a full URL
     /// (`http://host/xdb?Context=...`), a leading `?`, or the bare query
-    /// string.
-    pub fn parse(input: &str) -> Result<XdbQuery, QueryParseError> {
+    /// string. Unknown keys, duplicate keys, empty values, and malformed
+    /// `limit=`/`match=` values are typed errors — nothing is silently
+    /// dropped.
+    pub fn from_url(input: &str) -> Result<XdbQuery, ParseError> {
         let qs = match input.split_once('?') {
             Some((_, q)) => q,
             None => input,
         };
-        let mut q = XdbQuery::default();
+        let mut b = XdbQuery::builder();
         for pair in qs.split('&') {
             let pair = pair.trim();
             if pair.is_empty() {
@@ -178,38 +232,24 @@ impl XdbQuery {
             }
             let (key, value) = pair
                 .split_once('=')
-                .ok_or_else(|| QueryParseError(format!("missing '=' in '{pair}'")))?;
-            let key = key.trim().to_ascii_lowercase();
-            let value = url_decode(value.trim());
-            match key.as_str() {
-                "context" => q.context = Some(value),
-                "content" => q.content = Some(value),
-                "databank" => q.databank = Some(value),
-                "xslt" => q.xslt = Some(value),
-                "doc" => q.doc = Some(value),
-                "limit" => {
-                    q.limit = Some(value.parse().map_err(|_| {
-                        QueryParseError(format!("limit must be a number, got '{value}'"))
-                    })?)
-                }
-                "match" => {
-                    q.match_mode = match value.to_ascii_lowercase().as_str() {
-                        "keywords" | "keyword" => MatchMode::Keywords,
-                        "phrase" => MatchMode::Phrase,
-                        other => {
-                            return Err(QueryParseError(format!("unknown match mode '{other}'")))
-                        }
-                    }
-                }
-                other => {
-                    return Err(QueryParseError(format!("unknown query key '{other}'")));
-                }
-            }
+                .ok_or_else(|| ParseError::MissingEquals(pair.to_string()))?;
+            b = b.set_param(key.trim(), &url_decode(value.trim()))?;
         }
-        Ok(q)
+        b.build()
     }
 
-    /// Renders the canonical query string (inverse of [`XdbQuery::parse`]).
+    /// Parses an XDB URL with the pre-0.2 stringly-typed error.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use XdbQuery::from_url, which returns the typed ParseError"
+    )]
+    #[allow(deprecated)]
+    pub fn parse(input: &str) -> Result<XdbQuery, QueryParseError> {
+        XdbQuery::from_url(input).map_err(QueryParseError::from)
+    }
+
+    /// Renders the canonical query string (inverse of
+    /// [`XdbQuery::from_url`]).
     pub fn to_query_string(&self) -> String {
         let mut parts = Vec::new();
         if let Some(c) = &self.context {
@@ -243,28 +283,161 @@ impl fmt::Display for XdbQuery {
     }
 }
 
+/// Fallible builder for [`XdbQuery`].
+///
+/// Unlike the infallible `with_*` combinators (meant for trusted,
+/// programmatic construction), the builder validates on
+/// [`XdbQueryBuilder::build`]: empty values and duplicate keys are
+/// [`ParseError`]s, not silent acceptance. [`XdbQuery::from_url`] is a
+/// thin loop over [`XdbQueryBuilder::set_param`].
+#[derive(Debug, Clone, Default)]
+pub struct XdbQueryBuilder {
+    query: XdbQuery,
+    match_set: bool,
+    limit_set: bool,
+}
+
+impl XdbQueryBuilder {
+    /// Sets `Context=` (section-heading search).
+    pub fn context(mut self, label: &str) -> Self {
+        self.query.context = Some(label.to_string());
+        self
+    }
+
+    /// Sets `Content=` (keyword search).
+    pub fn content(mut self, terms: &str) -> Self {
+        self.query.content = Some(terms.to_string());
+        self
+    }
+
+    /// Sets `databank=`.
+    pub fn databank(mut self, name: &str) -> Self {
+        self.query.databank = Some(name.to_string());
+        self
+    }
+
+    /// Sets `xslt=`.
+    pub fn xslt(mut self, name: &str) -> Self {
+        self.query.xslt = Some(name.to_string());
+        self
+    }
+
+    /// Sets `doc=` (restrict to one document).
+    pub fn doc(mut self, name: &str) -> Self {
+        self.query.doc = Some(name.to_string());
+        self
+    }
+
+    /// Sets `limit=`.
+    pub fn limit(mut self, n: usize) -> Self {
+        self.query.limit = Some(n);
+        self.limit_set = true;
+        self
+    }
+
+    /// Sets `match=`.
+    pub fn match_mode(mut self, mode: MatchMode) -> Self {
+        self.query.match_mode = mode;
+        self.match_set = true;
+        self
+    }
+
+    /// Applies one already-decoded `key=value` pair from a query string.
+    /// Keys are case-insensitive; a repeated key is a
+    /// [`ParseError::DuplicateKey`].
+    pub fn set_param(mut self, key: &str, value: &str) -> Result<Self, ParseError> {
+        let lkey = key.to_ascii_lowercase();
+        let dup = |was_set: bool| -> Result<(), ParseError> {
+            if was_set {
+                Err(ParseError::DuplicateKey(lkey.clone()))
+            } else {
+                Ok(())
+            }
+        };
+        match lkey.as_str() {
+            "context" => {
+                dup(self.query.context.is_some())?;
+                self = self.context(value);
+            }
+            "content" => {
+                dup(self.query.content.is_some())?;
+                self = self.content(value);
+            }
+            "databank" => {
+                dup(self.query.databank.is_some())?;
+                self = self.databank(value);
+            }
+            "xslt" => {
+                dup(self.query.xslt.is_some())?;
+                self = self.xslt(value);
+            }
+            "doc" => {
+                dup(self.query.doc.is_some())?;
+                self = self.doc(value);
+            }
+            "limit" => {
+                dup(self.limit_set)?;
+                let n = value
+                    .parse()
+                    .map_err(|_| ParseError::BadLimit(value.to_string()))?;
+                self = self.limit(n);
+            }
+            "match" => {
+                dup(self.match_set)?;
+                let mode = match value.to_ascii_lowercase().as_str() {
+                    "keywords" | "keyword" => MatchMode::Keywords,
+                    "phrase" => MatchMode::Phrase,
+                    other => return Err(ParseError::BadMatchMode(other.to_string())),
+                };
+                self = self.match_mode(mode);
+            }
+            _ => return Err(ParseError::UnknownKey(lkey)),
+        }
+        Ok(self)
+    }
+
+    /// Validates and produces the query. Every set string field must be
+    /// non-empty — `Context=` with nothing after it used to parse and then
+    /// match nothing; now it is a typed error at the API boundary.
+    pub fn build(self) -> Result<XdbQuery, ParseError> {
+        for (key, value) in [
+            ("context", &self.query.context),
+            ("content", &self.query.content),
+            ("databank", &self.query.databank),
+            ("xslt", &self.query.xslt),
+            ("doc", &self.query.doc),
+        ] {
+            if value.as_deref().is_some_and(|v| v.trim().is_empty()) {
+                return Err(ParseError::EmptyValue(key.to_string()));
+            }
+        }
+        Ok(self.query)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn parse_paper_examples() {
-        let q = XdbQuery::parse("Context=Introduction").unwrap();
+        let q = XdbQuery::from_url("Context=Introduction").unwrap();
         assert_eq!(q.context.as_deref(), Some("Introduction"));
         assert!(q.content.is_none());
 
-        let q = XdbQuery::parse("Content=Shuttle").unwrap();
+        let q = XdbQuery::from_url("Content=Shuttle").unwrap();
         assert_eq!(q.content.as_deref(), Some("Shuttle"));
 
-        let q = XdbQuery::parse("Context=Technology+Gap&Content=Shrinking").unwrap();
+        let q = XdbQuery::from_url("Context=Technology+Gap&Content=Shrinking").unwrap();
         assert_eq!(q.context.as_deref(), Some("Technology Gap"));
         assert_eq!(q.content.as_deref(), Some("Shrinking"));
     }
 
     #[test]
     fn parse_full_url_and_percent() {
-        let q = XdbQuery::parse("http://netmark/xdb?Context=Technology%20Gap&xslt=report&limit=5")
-            .unwrap();
+        let q =
+            XdbQuery::from_url("http://netmark/xdb?Context=Technology%20Gap&xslt=report&limit=5")
+                .unwrap();
         assert_eq!(q.context.as_deref(), Some("Technology Gap"));
         assert_eq!(q.xslt.as_deref(), Some("report"));
         assert_eq!(q.limit, Some(5));
@@ -272,17 +445,91 @@ mod tests {
 
     #[test]
     fn keys_case_insensitive() {
-        let q = XdbQuery::parse("CONTEXT=A&content=b&DataBank=apps").unwrap();
+        let q = XdbQuery::from_url("CONTEXT=A&content=b&DataBank=apps").unwrap();
         assert_eq!(q.context.as_deref(), Some("A"));
         assert_eq!(q.databank.as_deref(), Some("apps"));
     }
 
     #[test]
-    fn errors() {
-        assert!(XdbQuery::parse("nonsense").is_err());
-        assert!(XdbQuery::parse("limit=abc").is_err());
-        assert!(XdbQuery::parse("match=fuzzy").is_err());
-        assert!(XdbQuery::parse("unknown=1").is_err());
+    fn typed_errors() {
+        assert_eq!(
+            XdbQuery::from_url("nonsense"),
+            Err(ParseError::MissingEquals("nonsense".to_string()))
+        );
+        assert_eq!(
+            XdbQuery::from_url("limit=abc"),
+            Err(ParseError::BadLimit("abc".to_string()))
+        );
+        assert_eq!(
+            XdbQuery::from_url("match=fuzzy"),
+            Err(ParseError::BadMatchMode("fuzzy".to_string()))
+        );
+        assert_eq!(
+            XdbQuery::from_url("unknown=1"),
+            Err(ParseError::UnknownKey("unknown".to_string()))
+        );
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        assert_eq!(
+            XdbQuery::from_url("Context=A&Context=B"),
+            Err(ParseError::DuplicateKey("context".to_string()))
+        );
+        assert_eq!(
+            XdbQuery::from_url("limit=1&LIMIT=2"),
+            Err(ParseError::DuplicateKey("limit".to_string()))
+        );
+        assert_eq!(
+            XdbQuery::from_url("match=phrase&match=phrase"),
+            Err(ParseError::DuplicateKey("match".to_string()))
+        );
+    }
+
+    #[test]
+    fn empty_values_rejected() {
+        assert_eq!(
+            XdbQuery::from_url("Context="),
+            Err(ParseError::EmptyValue("context".to_string()))
+        );
+        assert_eq!(
+            XdbQuery::from_url("Context=Budget&xslt="),
+            Err(ParseError::EmptyValue("xslt".to_string()))
+        );
+        // Errors render something actionable.
+        assert!(ParseError::EmptyValue("xslt".to_string())
+            .to_string()
+            .contains("xslt"));
+    }
+
+    #[test]
+    fn builder_assembles_and_validates() {
+        let q = XdbQuery::builder()
+            .context("Budget")
+            .content("million")
+            .limit(3)
+            .match_mode(MatchMode::Phrase)
+            .build()
+            .unwrap();
+        assert_eq!(q.context.as_deref(), Some("Budget"));
+        assert_eq!(q.limit, Some(3));
+        assert_eq!(q.match_mode, MatchMode::Phrase);
+        assert_eq!(
+            XdbQuery::builder().doc("  ").build(),
+            Err(ParseError::EmptyValue("doc".to_string()))
+        );
+        // An entirely empty builder is the unconstrained query.
+        assert!(XdbQuery::builder().build().unwrap().is_unconstrained());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_parse_shim_still_works() {
+        let q = XdbQuery::parse("Context=Budget&limit=2").unwrap();
+        assert_eq!(q.context.as_deref(), Some("Budget"));
+        assert_eq!(q.limit, Some(2));
+        let err = XdbQuery::parse("limit=abc").unwrap_err();
+        assert!(err.to_string().contains("limit"));
     }
 
     #[test]
@@ -293,7 +540,7 @@ mod tests {
             .with_limit(7)
             .with_phrase_match();
         let s = q.to_query_string();
-        let back = XdbQuery::parse(&s).unwrap();
+        let back = XdbQuery::from_url(&s).unwrap();
         assert_eq!(back, q);
     }
 
@@ -313,9 +560,9 @@ mod tests {
 
     #[test]
     fn empty_query_is_unconstrained() {
-        let q = XdbQuery::parse("").unwrap();
+        let q = XdbQuery::from_url("").unwrap();
         assert!(q.is_unconstrained());
-        let q = XdbQuery::parse("databank=apps").unwrap();
+        let q = XdbQuery::from_url("databank=apps").unwrap();
         assert!(q.is_unconstrained());
     }
 
