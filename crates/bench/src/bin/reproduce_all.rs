@@ -16,6 +16,7 @@ const TARGETS: &[&str] = &[
     "fig7_xslt",
     "fig8_federation",
     "fig9_query_engine",
+    "fig10_segmented_index",
     "sec4_top_employees",
     "ablations",
 ];

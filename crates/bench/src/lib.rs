@@ -12,6 +12,7 @@
 //! | `fig7_xslt` | Fig 7 — XDB query + XSLT composition |
 //! | `fig8_federation` | Fig 8 — scalable federation |
 //! | `fig9_query_engine` | query read-path: cache, parallel fan-out, stage tracing |
+//! | `fig10_segmented_index` | segmented index: lock-free reads under ingest, compaction, incremental saves |
 //! | `sec4_top_employees` | §4 — NETMARK vs GAV head-to-head |
 //! | `ablations` | design-choice ablations (ROWID, index granularity, buffer pool) |
 //! | `reproduce_all` | runs everything above in sequence |
@@ -152,6 +153,16 @@ impl TableWriter {
     }
 }
 
+/// The `p`-th percentile (0.0–1.0) of a latency sample, by
+/// nearest-rank on the sorted slice. Sorts `samples` in place.
+pub fn percentile(samples: &mut [Duration], p: f64) -> Duration {
+    assert!(!samples.is_empty(), "percentile of an empty sample");
+    assert!((0.0..=1.0).contains(&p), "p out of range");
+    samples.sort_unstable();
+    let rank = ((p * samples.len() as f64).ceil() as usize).max(1) - 1;
+    samples[rank.min(samples.len() - 1)]
+}
+
 /// Formats a duration in adaptive units.
 pub fn fmt_dur(d: Duration) -> String {
     let us = d.as_micros();
@@ -201,6 +212,17 @@ mod tests {
             assert!(p.exists());
         }
         assert!(!p.exists());
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut v: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        assert_eq!(percentile(&mut v, 0.50), Duration::from_micros(50));
+        assert_eq!(percentile(&mut v, 0.99), Duration::from_micros(99));
+        assert_eq!(percentile(&mut v, 1.0), Duration::from_micros(100));
+        assert_eq!(percentile(&mut v, 0.0), Duration::from_micros(1));
+        let mut one = vec![Duration::from_micros(7)];
+        assert_eq!(percentile(&mut one, 0.99), Duration::from_micros(7));
     }
 
     #[test]

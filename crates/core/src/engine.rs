@@ -36,9 +36,9 @@ use crate::metrics::{QueryMetrics, QueryStats, QueryTrace};
 use crate::store::{DocId, NodeStore};
 use netmark_model::NodeType;
 use netmark_relstore::RowId;
-use netmark_textindex::{InvertedIndex, TextQuery};
+use netmark_textindex::{IndexSnapshot, SegmentedIndex, TextIndexReader, TextQuery};
 use netmark_xdb::{Hit, MatchMode, ResultSet, XdbQuery};
-use parking_lot::{Condvar, Mutex, RwLock};
+use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -299,9 +299,13 @@ impl Drop for WorkerPool {
 // The engine
 
 /// Long-lived, shareable query executor over a store + text index pair.
+/// Each execution takes one lock-free index snapshot up front and runs
+/// every stage (including the parallel per-term fan-out) against it, so a
+/// query observes exactly one committed index state and never blocks on —
+/// or is blocked by — concurrent ingest.
 pub struct QueryEngine {
     store: Arc<NodeStore>,
-    index: Arc<RwLock<InvertedIndex>>,
+    index: Arc<SegmentedIndex>,
     memo: Arc<CtxMemo>,
     cache: Mutex<ResultCache>,
     /// Bumped by `NetMark` after every completed in-memory index mutation.
@@ -318,7 +322,7 @@ impl QueryEngine {
     /// Builds an engine over shared store/index handles.
     pub fn new(
         store: Arc<NodeStore>,
-        index: Arc<RwLock<InvertedIndex>>,
+        index: Arc<SegmentedIndex>,
         options: QueryEngineOptions,
     ) -> QueryEngine {
         QueryEngine {
@@ -395,6 +399,10 @@ impl QueryEngine {
     }
 
     fn execute_cold(&self, q: &XdbQuery, gen: i64, trace: &mut QueryTrace) -> Result<ResultSet> {
+        // One snapshot per execution: a single atomic load, after which the
+        // whole query — every stage, every pool worker — sees one immutable
+        // index state regardless of concurrent commits or compaction.
+        let snap = self.index.snapshot();
         let ctx_rowids: Vec<RowId> = match (&q.context, &q.content) {
             (None, None) => {
                 // Unconstrained: every context in the store (bounded below
@@ -410,22 +418,16 @@ impl QueryEngine {
                 trace.context_walk += t.elapsed();
                 out
             }
-            (Some(label), None) => {
-                let ix = self.index.read();
-                context_rowids(&self.store, &ix, label, trace)?
-            }
+            (Some(label), None) => context_rowids(&self.store, &*snap, label, trace)?,
             (None, Some(terms)) => {
-                let (ctxs, cand) = self.content_contexts(terms, q.match_mode, gen, trace)?;
+                let (ctxs, cand) = self.content_contexts(&snap, terms, q.match_mode, gen, trace)?;
                 trace.candidates = cand;
                 ctxs
             }
             (Some(label), Some(terms)) => {
-                let labelled = {
-                    let ix = self.index.read();
-                    context_rowids(&self.store, &ix, label, trace)?
-                };
+                let labelled = context_rowids(&self.store, &*snap, label, trace)?;
                 let (with_content, cand) =
-                    self.content_contexts(terms, q.match_mode, gen, trace)?;
+                    self.content_contexts(&snap, terms, q.match_mode, gen, trace)?;
                 trace.candidates = cand;
                 let t = Instant::now();
                 let set: HashSet<RowId> = with_content.into_iter().collect();
@@ -442,6 +444,7 @@ impl QueryEngine {
     /// somewhere under the same context — and fan out across the pool.
     fn content_contexts(
         &self,
+        snap: &Arc<IndexSnapshot>,
         terms: &str,
         mode: MatchMode,
         gen: i64,
@@ -450,26 +453,24 @@ impl QueryEngine {
         let term_list = netmark_textindex::query_terms(terms);
         match &self.pool {
             Some(pool) if mode == MatchMode::Keywords && term_list.len() >= 2 => {
-                self.parallel_term_contexts(pool, &term_list, gen, trace)
+                self.parallel_term_contexts(pool, snap, &term_list, gen, trace)
             }
-            _ => {
-                let ix = self.index.read();
-                content_contexts_serial(
-                    &self.store,
-                    &ix,
-                    Some((&self.memo, gen)),
-                    terms,
-                    &term_list,
-                    mode,
-                    trace,
-                )
-            }
+            _ => content_contexts_serial(
+                &self.store,
+                &**snap,
+                Some((&self.memo, gen)),
+                terms,
+                &term_list,
+                mode,
+                trace,
+            ),
         }
     }
 
     fn parallel_term_contexts(
         &self,
         pool: &WorkerPool,
+        snap: &Arc<IndexSnapshot>,
         term_list: &[String],
         gen: i64,
         trace: &mut QueryTrace,
@@ -479,16 +480,16 @@ impl QueryEngine {
         let (tx, rx) = std::sync::mpsc::channel::<TermOut>();
         for (slot, term) in term_list.iter().enumerate() {
             let store = Arc::clone(&self.store);
-            let index = Arc::clone(&self.index);
+            let snap = Arc::clone(snap);
             let memo = Arc::clone(&self.memo);
             let term = term.clone();
             let tx = tx.clone();
             pool.submit(Box::new(move || {
                 let t = Instant::now();
-                // Each worker takes its own short read lock: the calling
-                // thread holds none while waiting, so a writer queued
-                // behind these readers cannot deadlock the query.
-                let ids = index.read().execute(&TextQuery::Term(term));
+                // Workers share the caller's snapshot Arc: no lock
+                // reacquisition per term, and every term is evaluated
+                // against the same committed index state.
+                let ids = snap.execute(&TextQuery::Term(term));
                 let index_t = t.elapsed();
                 let t = Instant::now();
                 let ctxs = map_to_contexts(&store, Some((&memo, gen)), &ids);
@@ -529,10 +530,12 @@ impl QueryEngine {
 // `Searcher` shim)
 
 /// Serial per-term execution: postings fetch, context mapping, running
-/// intersection with early exit.
-pub(crate) fn content_contexts_serial(
+/// intersection with early exit. Generic over the index shape so the
+/// engine (snapshots) and the deprecated `Searcher` shim (borrowed legacy
+/// index) share one body.
+pub(crate) fn content_contexts_serial<I: TextIndexReader + ?Sized>(
     store: &NodeStore,
-    index: &InvertedIndex,
+    index: &I,
     memo: Option<(&CtxMemo, i64)>,
     terms: &str,
     term_list: &[String],
@@ -615,9 +618,9 @@ pub(crate) fn map_to_contexts(
 /// (one for 'Budget' and one for 'Cost Details')" — §4; the union form
 /// issues them as one client-side query, still with zero mapping
 /// artifacts).
-pub(crate) fn context_rowids(
+pub(crate) fn context_rowids<I: TextIndexReader + ?Sized>(
     store: &NodeStore,
-    index: &InvertedIndex,
+    index: &I,
     spec: &str,
     trace: &mut QueryTrace,
 ) -> Result<Vec<RowId>> {
@@ -734,9 +737,9 @@ pub(crate) fn collect_contexts(store: &NodeStore, rid: RowId, out: &mut Vec<RowI
 
 /// One-shot serial execution over borrowed store/index — the body of the
 /// deprecated [`crate::search::Searcher`] shim.
-pub(crate) fn execute_serial(
+pub(crate) fn execute_serial<I: TextIndexReader + ?Sized>(
     store: &NodeStore,
-    index: &InvertedIndex,
+    index: &I,
     query: &XdbQuery,
 ) -> Result<ResultSet> {
     let mut trace = QueryTrace::default();
@@ -796,18 +799,18 @@ mod tests {
         (Arc::new(NodeStore::open(db).unwrap()), dir)
     }
 
-    fn ingest(store: &NodeStore, index: &RwLock<InvertedIndex>, name: &str, text: &str) {
+    fn ingest(store: &NodeStore, index: &SegmentedIndex, name: &str, text: &str) {
         let doc = netmark_docformats::upmark(name, text);
         let report = store.ingest(&doc).unwrap();
-        let mut ix = index.write();
         for (id, t) in &report.index_entries {
-            ix.add(*id, t);
+            index.add(*id, t);
         }
+        index.commit();
     }
 
     fn engine_with(
         store: &Arc<NodeStore>,
-        index: &Arc<RwLock<InvertedIndex>>,
+        index: &Arc<SegmentedIndex>,
         opts: QueryEngineOptions,
     ) -> QueryEngine {
         QueryEngine::new(Arc::clone(store), Arc::clone(index), opts)
@@ -816,7 +819,7 @@ mod tests {
     #[test]
     fn cache_hit_returns_same_results_and_counts() {
         let (store, dir) = temp_store("cache");
-        let index = Arc::new(RwLock::new(InvertedIndex::new()));
+        let index = Arc::new(SegmentedIndex::new());
         ingest(&store, &index, "a.txt", "# Budget\ntwo million dollars\n");
         let eng = engine_with(&store, &index, QueryEngineOptions::default());
         let q = XdbQuery::content("million dollars");
@@ -835,7 +838,7 @@ mod tests {
     #[test]
     fn generation_bump_invalidates_cache() {
         let (store, dir) = temp_store("inval");
-        let index = Arc::new(RwLock::new(InvertedIndex::new()));
+        let index = Arc::new(SegmentedIndex::new());
         ingest(&store, &index, "a.txt", "# Budget\ntwo million\n");
         let eng = engine_with(&store, &index, QueryEngineOptions::default());
         let q = XdbQuery::context("Budget");
@@ -853,7 +856,7 @@ mod tests {
         // Even with an unchanged store generation (e.g. a direct index
         // mutation), invalidate() must force re-execution.
         let (store, dir) = temp_store("epoch");
-        let index = Arc::new(RwLock::new(InvertedIndex::new()));
+        let index = Arc::new(SegmentedIndex::new());
         ingest(&store, &index, "a.txt", "# Budget\ntwo million\n");
         let eng = engine_with(&store, &index, QueryEngineOptions::default());
         let q = XdbQuery::context("Budget");
@@ -867,7 +870,7 @@ mod tests {
     #[test]
     fn parallel_and_serial_agree() {
         let (store, dir) = temp_store("par");
-        let index = Arc::new(RwLock::new(InvertedIndex::new()));
+        let index = Arc::new(SegmentedIndex::new());
         ingest(
             &store,
             &index,
@@ -916,7 +919,7 @@ mod tests {
     #[test]
     fn trace_records_stage_times() {
         let (store, dir) = temp_store("trace");
-        let index = Arc::new(RwLock::new(InvertedIndex::new()));
+        let index = Arc::new(SegmentedIndex::new());
         ingest(&store, &index, "a.txt", "# Budget\ntwo million dollars\n");
         let eng = engine_with(&store, &index, QueryEngineOptions::default());
         let (_, trace) = eng
@@ -932,7 +935,7 @@ mod tests {
     #[test]
     fn memo_counts_hits_across_queries() {
         let (store, dir) = temp_store("memo");
-        let index = Arc::new(RwLock::new(InvertedIndex::new()));
+        let index = Arc::new(SegmentedIndex::new());
         ingest(&store, &index, "a.txt", "# Budget\ntwo million dollars\n");
         let eng = engine_with(
             &store,

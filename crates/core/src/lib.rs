@@ -40,7 +40,8 @@ pub mod store;
 pub use engine::{QueryEngine, QueryEngineOptions};
 pub use error::{NetmarkError, Result};
 pub use metrics::{
-    IngestMetrics, IngestStats, QueryMetrics, QueryStats, QueryTrace, SourceMetrics, SourceStats,
+    index_stats_node, IngestMetrics, IngestStats, QueryMetrics, QueryStats, QueryTrace,
+    SourceMetrics, SourceStats,
 };
 pub use netmark::{NetMark, NetMarkOptions, NetMarkStats, QueryOutput};
 pub use pipeline::{ingest_files, BoundedQueue, PipelineConfig, PipelineStats, RawFile};
@@ -50,4 +51,5 @@ pub use store::{DocId, DocInfo, IngestReport, NodeId, NodeRow, NodeStore};
 
 // Re-export the vocabulary types users need at the API surface.
 pub use netmark_model::{Document, Node, NodeType};
+pub use netmark_textindex::{CompactionPolicy, IndexStats, SegmentedIndex};
 pub use netmark_xdb::{Hit, MatchMode, ResultSet, XdbQuery};

@@ -21,8 +21,32 @@
 //! the `GET /xdb/stats` endpoint.
 
 use netmark_model::Node;
+use netmark_textindex::IndexStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Renders the `<index …/>` element served under `GET /xdb/stats`:
+/// segmented text-index gauges (segment chain, tombstone backlog) and
+/// lifetime counters (seals, compaction merges and purges, incremental
+/// saves). [`IndexStats`] lives in `netmark-textindex`, which has no XML
+/// dependency, so the rendering lives here with the other stat nodes.
+pub fn index_stats_node(s: &IndexStats) -> Node {
+    Node::element("index")
+        .with_attr("docs", &s.docs.to_string())
+        .with_attr("terms", &s.terms.to_string())
+        .with_attr("postings", &s.postings.to_string())
+        .with_attr("bytes", &s.bytes.to_string())
+        .with_attr("segments", &s.segments.to_string())
+        .with_attr("tombstones", &s.tombstones.to_string())
+        .with_attr("commits", &s.commits.to_string())
+        .with_attr("seals", &s.seals.to_string())
+        .with_attr("compactions", &s.compactions.to_string())
+        .with_attr("segments-merged", &s.segments_merged.to_string())
+        .with_attr("postings-purged", &s.postings_purged.to_string())
+        .with_attr("ids-purged", &s.ids_purged.to_string())
+        .with_attr("saves", &s.saves.to_string())
+        .with_attr("segments-written", &s.segments_written.to_string())
+}
 
 /// Cumulative ingest counters (lock-free; shared across threads).
 #[derive(Debug, Default)]
@@ -511,6 +535,26 @@ mod tests {
         let delta = s.since(&s);
         assert_eq!(delta.queries, 0);
         assert_eq!(delta.total_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn index_stats_render() {
+        let s = IndexStats {
+            docs: 10,
+            terms: 40,
+            segments: 3,
+            tombstones: 2,
+            compactions: 1,
+            segments_written: 5,
+            ..Default::default()
+        };
+        let node = index_stats_node(&s);
+        assert_eq!(node.name, "index");
+        assert_eq!(node.attr("docs"), Some("10"));
+        assert_eq!(node.attr("segments"), Some("3"));
+        assert_eq!(node.attr("tombstones"), Some("2"));
+        assert_eq!(node.attr("compactions"), Some("1"));
+        assert_eq!(node.attr("segments-written"), Some("5"));
     }
 
     #[test]

@@ -7,7 +7,9 @@ use crate::store::{DocId, DocInfo, IngestReport, NodeStore};
 use netmark_docformats::upmark;
 use netmark_model::{Document, Node};
 use netmark_relstore::{Database, DbOptions, WalStats};
-use netmark_textindex::InvertedIndex;
+use netmark_textindex::{
+    CompactionPolicy, Compactor, IndexStats, InvertedIndex, SegmentedIndex,
+};
 use netmark_xdb::{ResultSet, XdbQuery};
 use netmark_xslt::Stylesheet;
 use parking_lot::{Mutex, RwLock};
@@ -26,6 +28,13 @@ pub struct NetMarkOptions {
     /// Read-path (query engine) options: worker pool, result cache,
     /// context memo.
     pub query: QueryEngineOptions,
+    /// Compaction policy for the segmented text index (run-merge and
+    /// tombstone-purge thresholds).
+    pub index_compaction: CompactionPolicy,
+    /// Run the background index-compaction thread. Disable for
+    /// deterministic single-threaded runs (compaction can still be driven
+    /// manually via the index handle).
+    pub background_compaction: bool,
 }
 
 impl Default for NetMarkOptions {
@@ -34,6 +43,8 @@ impl Default for NetMarkOptions {
             db: DbOptions::default(),
             persist_text_index: true,
             query: QueryEngineOptions::default(),
+            index_compaction: CompactionPolicy::default(),
+            background_compaction: true,
         }
     }
 }
@@ -84,15 +95,24 @@ pub struct NetMarkStats {
     pub wal: WalStats,
     /// Read-path counters (cache hit rate, per-stage wall times).
     pub query: QueryStats,
+    /// Segmented text-index gauges and counters (segments, tombstones,
+    /// compaction and incremental-save activity).
+    pub index: IndexStats,
 }
 
 /// An open NETMARK instance: schema-less store + text index + stylesheets.
 pub struct NetMark {
     store: Arc<NodeStore>,
-    index: Arc<RwLock<InvertedIndex>>,
+    index: Arc<SegmentedIndex>,
     engine: QueryEngine,
     stylesheets: RwLock<HashMap<String, Stylesheet>>,
-    index_path: PathBuf,
+    /// Directory holding the segmented index (MANIFEST + `seg-*.seg`).
+    index_dir: PathBuf,
+    /// Pre-segmentation single-file index path (`NMTXIDX1`) — read for
+    /// migration on open, deleted after the first segmented save.
+    legacy_index_path: PathBuf,
+    /// Background compaction thread; stopped and joined on drop.
+    _compactor: Option<Compactor>,
     options: NetMarkOptions,
     metrics: IngestMetrics,
     /// Serializes mutations (ingest, removal) and [`NetMark::flush`] with
@@ -122,27 +142,46 @@ impl NetMark {
     pub fn open_with(dir: &Path, options: NetMarkOptions) -> Result<NetMark> {
         let db = Database::open_with(dir, options.db.clone())?;
         let store = NodeStore::open(db)?;
-        let index_path = dir.join("text.idx");
+        let index_dir = dir.join("text.idx.d");
+        let legacy_index_path = dir.join("text.idx");
         // Load the persisted index only if its generation stamp matches the
         // store's: every committed ingest batch and removal bumps the META
         // generation, so equality proves the saved index reflects exactly
-        // this store state. Missing/corrupt index or stamp mismatch (e.g. a
-        // crash after commit but before flush) → rebuild from the store.
-        let stamped_gen: Option<i64> = std::fs::read_to_string(stamp_path(&index_path))
+        // this store state. The stamp file name predates segmentation, so
+        // one stamp covers both layouts. Load order: segmented directory,
+        // then the legacy single-file format (migrated in memory), then a
+        // rebuild from the store (missing/corrupt index, stamp mismatch —
+        // e.g. a crash after commit but before flush).
+        let stamped_gen: Option<i64> = std::fs::read_to_string(stamp_path(&legacy_index_path))
             .ok()
             .and_then(|s| s.trim().parse().ok());
-        let index = match InvertedIndex::load(&index_path) {
-            Some(ix) if stamped_gen == Some(store.generation()) => ix,
-            _ => {
-                let mut ix = InvertedIndex::new();
+        let persisted = if stamped_gen == Some(store.generation()) {
+            SegmentedIndex::load_with(&index_dir, options.index_compaction.clone()).or_else(
+                || {
+                    InvertedIndex::load(&legacy_index_path).map(|ix| {
+                        SegmentedIndex::from_legacy_with(ix, options.index_compaction.clone())
+                    })
+                },
+            )
+        } else {
+            None
+        };
+        let index = match persisted {
+            Some(ix) => ix,
+            None => {
+                let ix = SegmentedIndex::with_policy(options.index_compaction.clone());
                 for (id, text) in store.all_text_entries()? {
                     ix.add(id, &text);
                 }
+                ix.commit();
                 ix
             }
         };
         let store = Arc::new(store);
-        let index = Arc::new(RwLock::new(index));
+        let index = Arc::new(index);
+        let compactor = options
+            .background_compaction
+            .then(|| index.start_compactor());
         let engine = QueryEngine::new(
             Arc::clone(&store),
             Arc::clone(&index),
@@ -153,11 +192,18 @@ impl NetMark {
             index,
             engine,
             stylesheets: RwLock::new(HashMap::new()),
-            index_path,
+            index_dir,
+            legacy_index_path,
+            _compactor: compactor,
             options,
             metrics: IngestMetrics::default(),
             ingest_lock: Mutex::new(()),
         })
+    }
+
+    /// The segmented text index (exposed for benches and stats probes).
+    pub fn text_index(&self) -> &Arc<SegmentedIndex> {
+        &self.index
     }
 
     /// The underlying node store (exposed for benches and ablations).
@@ -183,11 +229,12 @@ impl NetMark {
         self.metrics
             .record_store(1, report.node_count as u64, t0.elapsed());
         let t1 = Instant::now();
-        let mut ix = self.index.write();
         for (id, text) in &report.index_entries {
-            ix.add(*id, text);
+            self.index.add(*id, text);
         }
-        drop(ix);
+        // One commit per ingest: the memtable seals into one run segment
+        // and a fresh snapshot publishes. Readers never block on this.
+        self.index.commit();
         self.engine.invalidate();
         self.metrics.record_index(t1.elapsed());
         Ok(report)
@@ -195,8 +242,9 @@ impl NetMark {
 
     /// Ingests a batch of upmarked documents in one store transaction —
     /// one WAL commit (and at most one fsync) covers the whole batch, and
-    /// the text index is updated under a single write lock. State is
-    /// identical to calling [`NetMark::insert_document`] sequentially.
+    /// the text index seals the whole batch into a single run segment.
+    /// Query results are identical to calling
+    /// [`NetMark::insert_document`] sequentially.
     pub fn ingest_batch(&self, docs: &[Document]) -> Result<Vec<IngestReport>> {
         if docs.is_empty() {
             return Ok(Vec::new());
@@ -208,13 +256,12 @@ impl NetMark {
         self.metrics
             .record_store(reports.len() as u64, nodes, t0.elapsed());
         let t1 = Instant::now();
-        let mut ix = self.index.write();
         for report in &reports {
             for (id, text) in &report.index_entries {
-                ix.add(*id, text);
+                self.index.add(*id, text);
             }
         }
-        drop(ix);
+        self.index.commit();
         self.engine.invalidate();
         self.metrics.record_index(t1.elapsed());
         Ok(reports)
@@ -233,11 +280,10 @@ impl NetMark {
     pub fn remove_document(&self, doc_id: DocId) -> Result<()> {
         let _ingest = self.ingest_lock.lock();
         let node_ids = self.store.remove_document(doc_id)?;
-        let mut ix = self.index.write();
         for id in node_ids {
-            ix.remove(id);
+            self.index.remove(id);
         }
-        drop(ix);
+        self.index.commit();
         self.engine.invalidate();
         Ok(())
     }
@@ -341,21 +387,24 @@ impl NetMark {
     }
 
     /// Persists the text index (with its generation stamp) and checkpoints
-    /// the store.
+    /// the store. The save is incremental: only segments sealed since the
+    /// last flush are written; segments already on disk are untouched.
     pub fn flush(&self) -> Result<()> {
         // Excluding in-flight ingests guarantees the stamped generation
         // matches the saved index contents exactly.
         let _ingest = self.ingest_lock.lock();
         if self.options.persist_text_index {
             self.index
-                .read()
-                .save(&self.index_path)
+                .save(&self.index_dir)
                 .map_err(netmark_relstore::StoreError::Io)?;
             std::fs::write(
-                stamp_path(&self.index_path),
+                stamp_path(&self.legacy_index_path),
                 self.store.generation().to_string(),
             )
             .map_err(netmark_relstore::StoreError::Io)?;
+            // The segmented directory supersedes the single-file format;
+            // drop the stale copy once the new layout is durable.
+            let _ = std::fs::remove_file(&self.legacy_index_path);
         }
         self.store.database().checkpoint()?;
         Ok(())
@@ -363,15 +412,16 @@ impl NetMark {
 
     /// Aggregate statistics.
     pub fn stats(&self) -> Result<NetMarkStats> {
-        let ix = self.index.read();
+        let ix = self.index.stats();
         Ok(NetMarkStats {
             documents: self.store.list_docs()?.len(),
             nodes: self.store.node_count()?,
-            terms: ix.term_count(),
-            index_bytes: ix.byte_size(),
+            terms: ix.terms as usize,
+            index_bytes: ix.bytes as usize,
             ingest: self.metrics.snapshot(),
             wal: self.wal_stats(),
             query: self.engine.stats(),
+            index: ix,
         })
     }
 }
@@ -509,8 +559,8 @@ mod tests {
         let nm = NetMark::open(&dir).unwrap();
         let rs = nm.query(&XdbQuery::content("shuttle")).unwrap();
         assert_eq!(rs.len(), 1);
-        // Index file exists on disk.
-        assert!(dir.join("text.idx").exists());
+        // Segmented index directory exists on disk (manifest + segments).
+        assert!(dir.join("text.idx.d").join("MANIFEST").exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -523,9 +573,72 @@ mod tests {
             load_samples(&nm);
             nm.flush().unwrap();
         }
-        std::fs::remove_file(dir.join("text.idx")).unwrap();
+        std::fs::remove_dir_all(dir.join("text.idx.d")).unwrap();
         let nm = NetMark::open(&dir).unwrap();
         assert_eq!(nm.query(&XdbQuery::content("shuttle")).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_single_file_index_migrates_on_open() {
+        let dir = std::env::temp_dir().join(format!("netmark-nm-legacy-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let nm = NetMark::open(&dir).unwrap();
+            load_samples(&nm);
+            // Simulate a pre-segmentation install: write the NMTXIDX1
+            // single file + stamp, with no segmented directory.
+            let mut legacy = netmark_textindex::InvertedIndex::new();
+            for (id, text) in nm.store().all_text_entries().unwrap() {
+                legacy.add(id, &text);
+            }
+            legacy.save(&dir.join("text.idx")).unwrap();
+            std::fs::write(
+                dir.join("text.idx.gen"),
+                nm.store().generation().to_string(),
+            )
+            .unwrap();
+        }
+        assert!(!dir.join("text.idx.d").exists());
+        let nm = NetMark::open(&dir).unwrap();
+        assert_eq!(nm.query(&XdbQuery::content("shuttle")).unwrap().len(), 1);
+        assert_eq!(nm.query(&XdbQuery::context("Budget")).unwrap().len(), 2);
+        // The next flush moves the on-disk layout over to segments and
+        // retires the single file.
+        nm.flush().unwrap();
+        assert!(dir.join("text.idx.d").join("MANIFEST").exists());
+        assert!(!dir.join("text.idx").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flush_is_incremental_per_segment() {
+        let dir = std::env::temp_dir().join(format!("netmark-nm-incr-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Background compaction off so segment counts are deterministic.
+        let opts = NetMarkOptions {
+            background_compaction: false,
+            ..NetMarkOptions::default()
+        };
+        let nm = NetMark::open_with(&dir, opts).unwrap();
+        load_samples(&nm);
+        nm.flush().unwrap();
+        let s1 = nm.stats().unwrap().index;
+        assert_eq!(s1.segments_written, 3, "one run per ingest flushed");
+        // A flush with nothing new sealed writes no segment files.
+        nm.flush().unwrap();
+        let s2 = nm.stats().unwrap().index;
+        assert_eq!(s2.segments_written, s1.segments_written);
+        // One more ingest → exactly one additional run is flushed.
+        nm.insert_file("late.txt", "# Apollo\nsaturn rocket notes\n")
+            .unwrap();
+        nm.flush().unwrap();
+        let s3 = nm.stats().unwrap().index;
+        assert_eq!(
+            s3.segments_written,
+            s2.segments_written + 1,
+            "flush cost tracks newly sealed segments"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -10,7 +10,10 @@
 //!    commits each batch in one store transaction via
 //!    [`NetMark::ingest_batch`], so one WAL commit (and at most one fsync,
 //!    amortized further by the group-commit window) covers up to
-//!    [`PipelineConfig::batch_docs`] documents.
+//!    [`PipelineConfig::batch_docs`] documents. Each committed batch also
+//!    seals one text-index memtable run, so the segmented index grows one
+//!    segment per batch (later folded together by background compaction),
+//!    and queries running during the bulk load never block on a lock.
 //!
 //! The queue is bounded: when the writer falls behind, upmark workers block
 //! instead of buffering unboundedly (backpressure), which caps memory at
@@ -302,6 +305,35 @@ fn write_batch(nm: &NetMark, batch: &mut Vec<Document>) {
 mod tests {
     use super::*;
     use std::sync::Arc;
+
+    #[test]
+    fn pipeline_seals_one_run_per_batch() {
+        let dir = std::env::temp_dir().join(format!("netmark-pipe-seg-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Background compaction off so the seal counter maps 1:1 to runs.
+        let opts = crate::NetMarkOptions {
+            background_compaction: false,
+            ..Default::default()
+        };
+        let nm = NetMark::open_with(&dir, opts).unwrap();
+        let files: Vec<RawFile> = (0..20)
+            .map(|i| RawFile::new(format!("f{i}.txt"), format!("# Sec{i}\nbody {i}\n")))
+            .collect();
+        let cfg = PipelineConfig {
+            workers: 2,
+            batch_docs: 8,
+            queue_capacity: 8,
+        };
+        let stats = ingest_files(&nm, files, &cfg).unwrap();
+        assert_eq!(stats.ingest.documents, 20);
+        let ix = nm.stats().unwrap().index;
+        assert_eq!(
+            ix.seals, stats.ingest.batches,
+            "one sealed memtable run per committed batch"
+        );
+        assert!(ix.segments >= 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 
     #[test]
     fn queue_bounds_and_drains() {

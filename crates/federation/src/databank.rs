@@ -14,8 +14,13 @@ use netmark::{SourceMetrics, SourceStats};
 use netmark_xdb::{Hit, ResultSet, XdbQuery};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Default cap on concurrent source queries per federated query
+/// ([`Router::set_max_fanout`] overrides).
+pub const DEFAULT_MAX_FANOUT: usize = 8;
 
 /// A declared databank: an application's source list. This — a name and a
 /// list of source names — is the *complete* integration specification; its
@@ -128,17 +133,40 @@ impl FederatedResult {
 
 /// The thin router: source registry + databank registry. No schemas, no
 /// mappings, no view definitions — *that is the point*.
-#[derive(Default)]
 pub struct Router {
     adapters: BTreeMap<String, Arc<dyn SourceAdapter>>,
     databanks: BTreeMap<String, Databank>,
     metrics: BTreeMap<String, Arc<SourceMetrics>>,
+    max_fanout: usize,
+}
+
+impl Default for Router {
+    fn default() -> Self {
+        Router {
+            adapters: BTreeMap::new(),
+            databanks: BTreeMap::new(),
+            metrics: BTreeMap::new(),
+            max_fanout: DEFAULT_MAX_FANOUT,
+        }
+    }
 }
 
 impl Router {
     /// Empty router.
     pub fn new() -> Router {
         Router::default()
+    }
+
+    /// Caps concurrent source queries per federated query (minimum 1). A
+    /// databank can name hundreds of sources; without a cap each query
+    /// would spawn one thread per source.
+    pub fn set_max_fanout(&mut self, n: usize) {
+        self.max_fanout = n.max(1);
+    }
+
+    /// The current fan-out cap.
+    pub fn max_fanout(&self) -> usize {
+        self.max_fanout
     }
 
     /// Registers a source adapter.
@@ -334,17 +362,41 @@ impl Router {
             })
             .collect::<Result<_, _>>()?;
         // Fan out in parallel ("We can access multiple distributed
-        // information sources simultaneously").
-        let per_source: Vec<(SourceOutcome, Vec<Hit>)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = adapters
+        // information sources simultaneously") through a bounded worker
+        // pool: at most `max_fanout` threads pull source indices from a
+        // shared counter, so a databank naming hundreds of sources costs a
+        // fixed number of threads, not one per source. Results land in
+        // index-tagged slots and are reassembled in databank order.
+        let n = adapters.len();
+        let workers = self.max_fanout.min(n);
+        let per_source: Vec<(SourceOutcome, Vec<Hit>)> = if n <= 1 || workers == 1 {
+            adapters
                 .iter()
-                .map(|a| scope.spawn(|| self.query_source(a.as_ref(), q)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("source query panicked"))
+                .map(|a| self.query_source(a.as_ref(), q))
                 .collect()
-        });
+        } else {
+            let next = AtomicUsize::new(0);
+            let collected: Mutex<Vec<(usize, (SourceOutcome, Vec<Hit>))>> =
+                Mutex::new(Vec::with_capacity(n));
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let r = self.query_source(adapters[i].as_ref(), q);
+                        collected
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push((i, r));
+                    });
+                }
+            });
+            let mut slots = collected.into_inner().unwrap_or_else(|e| e.into_inner());
+            slots.sort_unstable_by_key(|(i, _)| *i);
+            slots.into_iter().map(|(_, r)| r).collect()
+        };
         // Merge in databank order; apply the limit once, globally.
         let mut results = ResultSet::new();
         let mut outcomes = Vec::with_capacity(per_source.len());
@@ -565,6 +617,104 @@ mod tests {
             Err(RouterError::Duplicate(_))
         ));
         cleanup(dirs);
+    }
+
+    /// Adapter that records fan-out concurrency: which threads queried it
+    /// and the peak number of in-flight `search` calls across all probes.
+    struct ProbeSource {
+        name: String,
+        threads: Arc<Mutex<std::collections::HashSet<std::thread::ThreadId>>>,
+        live: Arc<AtomicUsize>,
+        peak: Arc<AtomicUsize>,
+    }
+
+    impl SourceAdapter for ProbeSource {
+        fn name(&self) -> &str {
+            &self.name
+        }
+
+        fn capabilities(&self) -> Capabilities {
+            Capabilities::FULL
+        }
+
+        fn search(&self, _q: &XdbQuery) -> Result<ResultSet, SourceError> {
+            let cur = self.live.fetch_add(1, Ordering::SeqCst) + 1;
+            self.peak.fetch_max(cur, Ordering::SeqCst);
+            self.threads
+                .lock()
+                .unwrap()
+                .insert(std::thread::current().id());
+            // Hold the slot long enough that an unbounded fan-out would be
+            // observed as > max_fanout concurrent searches.
+            std::thread::sleep(Duration::from_millis(3));
+            self.live.fetch_sub(1, Ordering::SeqCst);
+            let mut rs = ResultSet::new();
+            rs.hits.push(Hit {
+                source: String::new(),
+                doc: format!("{}.txt", self.name),
+                context: "Budget".to_string(),
+                content: netmark::Node::text(&self.name),
+                context_node: 0,
+            });
+            Ok(rs)
+        }
+
+        fn fetch_document(&self, name: &str) -> Result<netmark::Document, SourceError> {
+            Err(SourceError::Unsupported(name.to_string()))
+        }
+    }
+
+    #[test]
+    fn many_source_fanout_is_bounded_and_ordered() {
+        const SOURCES: usize = 64;
+        const FANOUT: usize = 4;
+        let threads = Arc::new(Mutex::new(std::collections::HashSet::new()));
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let mut router = Router::new();
+        router.set_max_fanout(FANOUT);
+        assert_eq!(router.max_fanout(), FANOUT);
+        let names: Vec<String> = (0..SOURCES).map(|i| format!("src{i:03}")).collect();
+        for name in &names {
+            router
+                .register_source(Arc::new(ProbeSource {
+                    name: name.clone(),
+                    threads: Arc::clone(&threads),
+                    live: Arc::clone(&live),
+                    peak: Arc::clone(&peak),
+                }))
+                .unwrap();
+        }
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        router.define_databank("wide", &refs).unwrap();
+        let fr = router.query("wide", &XdbQuery::context("Budget")).unwrap();
+        // Every source answered, and the merged order is databank order.
+        assert_eq!(fr.results.len(), SOURCES);
+        assert_eq!(fr.outcomes.len(), SOURCES);
+        let order: Vec<&str> = fr.outcomes.iter().map(|o| o.source.as_str()).collect();
+        assert_eq!(order, refs, "outcomes preserve databank order");
+        let hit_order: Vec<String> = fr
+            .results
+            .hits
+            .iter()
+            .map(|h| h.source.clone())
+            .collect();
+        assert_eq!(hit_order, names, "hits merge in databank order");
+        // The pool is bounded: never more than FANOUT threads in flight.
+        assert!(
+            threads.lock().unwrap().len() <= FANOUT,
+            "{} distinct threads for fanout {FANOUT}",
+            threads.lock().unwrap().len()
+        );
+        assert!(
+            peak.load(Ordering::SeqCst) <= FANOUT,
+            "peak concurrency {} exceeds fanout cap {FANOUT}",
+            peak.load(Ordering::SeqCst)
+        );
+        // Source health was recorded for every source despite the pooling.
+        let stats = router.source_stats();
+        assert_eq!(stats.len(), SOURCES);
+        assert!(stats.values().all(|s| s.queries == 1 && s.hits == 1));
     }
 
     #[test]

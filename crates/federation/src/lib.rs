@@ -33,7 +33,9 @@ pub use adapter::{
     Capabilities, ContentOnlySource, FlakySource, NetmarkSource, SourceAdapter, SourceError,
 };
 pub use client::{ClientConfig, HttpClient, HttpResponse};
-pub use databank::{Databank, FederatedResult, Router, RouterError, SourceOutcome};
+pub use databank::{
+    Databank, FederatedResult, Router, RouterError, SourceOutcome, DEFAULT_MAX_FANOUT,
+};
 pub use matcher::{match_document, sections, Section};
 pub use remote::{BreakerConfig, BreakerState, RemoteConfig, RemoteSource};
 pub use serve::{handle_federated, serve_router, FederatedServerHandle};

@@ -117,7 +117,9 @@ fn stats_node(router: &Router, local: Option<&NetMark>) -> Node {
     }
     let mut stats = Node::element("stats").with_child(sources);
     if let Some(nm) = local {
-        stats = stats.with_child(nm.query_stats().to_node());
+        stats = stats
+            .with_child(nm.query_stats().to_node())
+            .with_child(netmark::index_stats_node(&nm.text_index().stats()));
     }
     stats
 }

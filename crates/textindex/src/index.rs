@@ -6,7 +6,7 @@
 //! without rescanning document text (see the index-granularity ablation in
 //! the bench crate).
 
-use crate::postings::{difference, intersect, union, PostingList};
+use crate::postings::{difference, intersect, kway_union, union, PostingList};
 use crate::tokenize::{query_terms, tokenize_text};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io::Write;
@@ -97,14 +97,21 @@ impl InvertedIndex {
         true
     }
 
-    /// Tombstones `id`; its postings stop matching immediately.
-    pub fn remove(&mut self, id: u64) {
-        self.tombstones.insert(id);
+    /// Tombstones `id`; its postings stop matching immediately. Ids that
+    /// were never indexed (or are already tombstoned) are ignored and
+    /// reported as `false` — blindly recording them would make
+    /// [`InvertedIndex::len`] underflow.
+    pub fn remove(&mut self, id: u64) -> bool {
+        if self.ids.binary_search(&id).is_err() {
+            return false;
+        }
+        self.tombstones.insert(id)
     }
 
-    /// Number of live indexed nodes.
+    /// Number of live indexed nodes. `remove` only tombstones known ids,
+    /// so every tombstone is backed by an entry in `ids`.
     pub fn len(&self) -> usize {
-        self.ids.len() - self.tombstones.len()
+        self.ids.len().saturating_sub(self.tombstones.len())
     }
 
     /// True when nothing is indexed.
@@ -167,18 +174,19 @@ impl InvertedIndex {
             }
             TextQuery::Not(a, b) => difference(&self.eval(a), &self.eval(b)),
             TextQuery::Prefix(p) => {
-                let mut acc = Vec::new();
-                for (_, pl) in self
+                // One k-way merge over all matching posting lists instead of
+                // repeated pairwise union (which is O(k²) in the number of
+                // matching terms).
+                let lists: Vec<Vec<u64>> = self
                     .terms
                     .range::<str, _>((
                         std::ops::Bound::Included(p.as_str()),
                         std::ops::Bound::Unbounded,
                     ))
                     .take_while(|(t, _)| t.starts_with(p.as_str()))
-                {
-                    acc = union(&acc, &pl.ids());
-                }
-                acc
+                    .map(|(_, pl)| pl.ids())
+                    .collect();
+                kway_union(&lists)
             }
             TextQuery::Phrase(terms) => self.eval_phrase(terms),
         }
@@ -254,6 +262,20 @@ impl InvertedIndex {
         let mut out: Vec<(u64, u32)> = scores.into_iter().collect();
         out.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         out
+    }
+
+    /// Decomposes the index into its raw parts
+    /// `(terms, ids, tombstones, postings)` — used by the segmented index
+    /// to migrate a legacy `NMTXIDX1` file into a sealed segment.
+    pub(crate) fn into_parts(
+        self,
+    ) -> (
+        BTreeMap<String, PostingList>,
+        Vec<u64>,
+        HashSet<u64>,
+        usize,
+    ) {
+        (self.terms, self.ids, self.tombstones, self.postings)
     }
 
     /// Persists the index to `path` (binary, versioned).
@@ -439,6 +461,38 @@ mod tests {
         ix.remove(2);
         assert_eq!(ix.execute(&TextQuery::keywords("shuttle")), vec![1]);
         assert_eq!(ix.len(), 3);
+    }
+
+    #[test]
+    fn remove_of_unknown_id_does_not_underflow_len() {
+        let mut ix = sample();
+        assert_eq!(ix.len(), 4);
+        // Never-indexed ids are rejected; len() used to wrap to huge values
+        // (release) or panic (debug) after enough of these.
+        for bogus in [0u64, 99, 100, 12345] {
+            assert!(!ix.remove(bogus));
+        }
+        assert_eq!(ix.len(), 4);
+        assert!(ix.remove(2));
+        assert!(!ix.remove(2), "double remove is a no-op");
+        assert_eq!(ix.len(), 3);
+        assert!(!ix.is_empty());
+    }
+
+    #[test]
+    fn prefix_kway_matches_many_terms() {
+        // Many terms sharing a prefix, each matching overlapping doc sets —
+        // exercises the k-way merge path (k > 2).
+        let mut ix = InvertedIndex::new();
+        for id in 1..=40u64 {
+            let text = format!("prefab prefix{} prefetch preflight", id % 7);
+            ix.add(id, &text);
+        }
+        let all: Vec<u64> = (1..=40).collect();
+        assert_eq!(ix.execute(&TextQuery::Prefix("pref".into())), all);
+        assert_eq!(ix.execute(&TextQuery::Prefix("prefix3".into())), vec![
+            3, 10, 17, 24, 31, 38
+        ]);
     }
 
     #[test]

@@ -5,14 +5,62 @@
 //! querying the text index for the search key" (paper §2.1.4). This crate
 //! provides that index: node-granular inverted lists with delta-varint
 //! compression, boolean / phrase / prefix queries, tombstone deletion, and
-//! a save/load binary format.
+//! persistence.
+//!
+//! Two index shapes share the same query semantics:
+//! - [`InvertedIndex`]: the original single-map index and its `NMTXIDX1`
+//!   file format — kept as the migration path and the reference model.
+//! - [`SegmentedIndex`]: the production shape — an LSM-style chain of
+//!   immutable [`segment::Segment`]s behind lock-free
+//!   [`snapshot::IndexSnapshot`] publication, with background
+//!   [`compact::Compactor`] merges and incremental per-segment
+//!   persistence. Query results are byte-identical to [`InvertedIndex`]
+//!   over the same documents.
 
 #![warn(missing_docs)]
 
+pub mod compact;
 pub mod index;
 pub mod postings;
+pub mod segment;
+pub mod segmented;
+pub mod snapshot;
 pub mod tokenize;
 
+pub use compact::{CompactionPolicy, Compactor};
 pub use index::{InvertedIndex, TextQuery};
 pub use postings::{Posting, PostingList};
+pub use segment::{MemTable, Segment};
+pub use segmented::{IndexStats, SaveReport, SegmentedIndex};
+pub use snapshot::{IndexSnapshot, SnapshotCell};
 pub use tokenize::{query_terms, tokenize_text, TextToken};
+
+/// Read-side query interface shared by the legacy single-map index and
+/// segmented snapshots, so query-engine stages can run against either.
+pub trait TextIndexReader {
+    /// Evaluates `query`, returning live node ids ascending.
+    fn execute(&self, query: &TextQuery) -> Vec<u64>;
+
+    /// Ranked search: ids scored by total term frequency, descending.
+    fn search_ranked(&self, text: &str) -> Vec<(u64, u32)>;
+}
+
+impl TextIndexReader for InvertedIndex {
+    fn execute(&self, query: &TextQuery) -> Vec<u64> {
+        InvertedIndex::execute(self, query)
+    }
+
+    fn search_ranked(&self, text: &str) -> Vec<(u64, u32)> {
+        InvertedIndex::search_ranked(self, text)
+    }
+}
+
+impl TextIndexReader for IndexSnapshot {
+    fn execute(&self, query: &TextQuery) -> Vec<u64> {
+        IndexSnapshot::execute(self, query)
+    }
+
+    fn search_ranked(&self, text: &str) -> Vec<(u64, u32)> {
+        IndexSnapshot::search_ranked(self, text)
+    }
+}

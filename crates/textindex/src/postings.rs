@@ -229,6 +229,89 @@ pub fn union(a: &[u64], b: &[u64]) -> Vec<u64> {
     out
 }
 
+/// Returns the first index `>= lo` with `large[idx] >= x` (or `large.len()`),
+/// found by exponential (galloping) probe + binary search over the bounded
+/// window. `O(log gap)` instead of `O(gap)`.
+fn gallop_to(large: &[u64], lo: usize, x: u64) -> usize {
+    if lo >= large.len() || large[lo] >= x {
+        return lo;
+    }
+    // large[lo] < x: double the step until we overshoot, then binary-search
+    // the last window.
+    let mut prev = lo;
+    let mut step = 1usize;
+    let mut hi = lo + 1;
+    while hi < large.len() && large[hi] < x {
+        prev = hi;
+        step *= 2;
+        hi = prev + step;
+    }
+    let end = hi.min(large.len());
+    prev + 1 + large[prev + 1..end].partition_point(|&v| v < x)
+}
+
+/// Intersects two ascending id lists by galloping through the larger one.
+/// Wins when one side is much smaller: `O(small · log(large/small))`.
+pub fn intersect_galloping(small: &[u64], large: &[u64]) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut lo = 0usize;
+    for &x in small {
+        lo = gallop_to(large, lo, x);
+        if lo >= large.len() {
+            break;
+        }
+        if large[lo] == x {
+            out.push(x);
+            lo += 1;
+        }
+    }
+    out
+}
+
+/// Intersects two ascending id lists, picking linear merge or galloping
+/// based on the size ratio.
+pub fn intersect_adaptive(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return Vec::new();
+    }
+    if large.len() / small.len() >= 8 {
+        intersect_galloping(small, large)
+    } else {
+        intersect(small, large)
+    }
+}
+
+/// Unions `k` ascending id lists in one heap-driven merge:
+/// `O(n log k)` total instead of the `O(n·k)` of repeated pairwise union.
+pub fn kway_union(lists: &[Vec<u64>]) -> Vec<u64> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    match lists.len() {
+        0 => Vec::new(),
+        1 => lists[0].clone(),
+        2 => union(&lists[0], &lists[1]),
+        _ => {
+            let mut heap = BinaryHeap::with_capacity(lists.len());
+            for (li, l) in lists.iter().enumerate() {
+                if let Some(&v) = l.first() {
+                    heap.push(Reverse((v, li, 0usize)));
+                }
+            }
+            let mut out = Vec::new();
+            while let Some(Reverse((v, li, pos))) = heap.pop() {
+                if out.last() != Some(&v) {
+                    out.push(v);
+                }
+                if let Some(&nv) = lists[li].get(pos + 1) {
+                    heap.push(Reverse((nv, li, pos + 1)));
+                }
+            }
+            out
+        }
+    }
+}
+
 /// `a \ b` over ascending id lists.
 pub fn difference(a: &[u64], b: &[u64]) -> Vec<u64> {
     let mut out = Vec::new();
@@ -296,6 +379,68 @@ mod tests {
         assert_eq!(pos, buf.len());
         // Truncated input fails cleanly.
         assert!(PostingList::deserialize(&buf[..buf.len() - 1], &mut 0).is_none());
+    }
+
+    #[test]
+    fn galloping_matches_linear_intersect() {
+        let small = vec![5, 900, 901, 5000, 90000];
+        let large: Vec<u64> = (0..100_000u64).filter(|v| v % 3 == 0).collect();
+        assert_eq!(
+            intersect_galloping(&small, &large),
+            intersect(&small, &large)
+        );
+        // Degenerate shapes.
+        assert_eq!(intersect_galloping(&[], &large), Vec::<u64>::new());
+        assert_eq!(intersect_galloping(&small, &[]), Vec::<u64>::new());
+        assert_eq!(intersect_galloping(&[3], &[3]), vec![3]);
+        assert_eq!(
+            intersect_adaptive(&small, &large),
+            intersect(&small, &large)
+        );
+        assert_eq!(intersect_adaptive(&large, &small), intersect(&small, &large));
+    }
+
+    #[test]
+    fn galloping_randomized_against_reference() {
+        // Deterministic xorshift so the test is reproducible.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..50 {
+            let mut a: Vec<u64> = (0..(rnd() % 60)).map(|_| rnd() % 500).collect();
+            let mut b: Vec<u64> = (0..(rnd() % 600)).map(|_| rnd() % 500).collect();
+            a.sort_unstable();
+            a.dedup();
+            b.sort_unstable();
+            b.dedup();
+            let expect = intersect(&a, &b);
+            let (s, l) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+            assert_eq!(intersect_galloping(s, l), expect);
+            assert_eq!(intersect_adaptive(&a, &b), expect);
+        }
+    }
+
+    #[test]
+    fn kway_union_matches_pairwise() {
+        let lists = vec![
+            vec![1, 5, 9],
+            vec![2, 5, 100],
+            vec![],
+            vec![9, 10, 11],
+            vec![1, 2, 3],
+        ];
+        let mut expect = Vec::new();
+        for l in &lists {
+            expect = union(&expect, l);
+        }
+        assert_eq!(kway_union(&lists), expect);
+        assert_eq!(kway_union(&[]), Vec::<u64>::new());
+        assert_eq!(kway_union(&[vec![4, 8]]), vec![4, 8]);
+        assert_eq!(kway_union(&[vec![1, 3], vec![2, 3]]), vec![1, 2, 3]);
     }
 
     #[test]

@@ -296,6 +296,7 @@ fn stats_node(nm: &NetMark) -> Node {
         .with_attr("cache-hit-rate", &format!("{:.3}", q.cache_hit_rate()))
         .with_attr("mean-latency-us", &q.mean_latency().as_micros().to_string())
         .with_child(q.to_node())
+        .with_child(netmark::index_stats_node(&nm.text_index().stats()))
 }
 
 fn handle_propfind(nm: &NetMark) -> Response {

@@ -104,8 +104,8 @@ fn queries_survive_reopen_and_reindex() {
         let rs = nm.query(&XdbQuery::context("Budget")).unwrap();
         assert_eq!(rs.hits, expected.hits);
     }
-    // Delete the index file: rebuilt from the store.
-    std::fs::remove_file(dir.join("text.idx")).unwrap();
+    // Delete the index directory: rebuilt from the store.
+    std::fs::remove_dir_all(dir.join("text.idx.d")).unwrap();
     {
         let nm = NetMark::open(&dir).unwrap();
         let rs = nm.query(&XdbQuery::context("Budget")).unwrap();
