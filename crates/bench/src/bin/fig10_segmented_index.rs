@@ -29,20 +29,41 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 const VOCAB: &[&str] = &[
-    "shuttle", "engine", "budget", "schedule", "anomaly", "telemetry", "gap",
-    "million", "risk", "apollo", "saturn", "harness", "inspection", "lesson",
-    "center", "flight", "readiness", "orbit", "payload", "thermal",
+    "shuttle",
+    "engine",
+    "budget",
+    "schedule",
+    "anomaly",
+    "telemetry",
+    "gap",
+    "million",
+    "risk",
+    "apollo",
+    "saturn",
+    "harness",
+    "inspection",
+    "lesson",
+    "center",
+    "flight",
+    "readiness",
+    "orbit",
+    "payload",
+    "thermal",
 ];
 
 /// Deterministic doc text: ~10 words drawn by a seeded LCG.
 fn doc_text(seed: u64) -> String {
-    let mut x = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut x = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     let mut s = String::new();
     for i in 0..10 {
         if i > 0 {
             s.push(' ');
         }
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         s.push_str(VOCAB[(x >> 33) as usize % VOCAB.len()]);
     }
     s
@@ -71,7 +92,10 @@ fn full_battery() -> Vec<TextQuery> {
     qs.extend(query_mix());
     qs.push(TextQuery::And(vec![TextQuery::All, t("orbit")]));
     qs.push(TextQuery::Or(vec![TextQuery::All, t("risk")]));
-    qs.push(TextQuery::Not(Box::new(t("payload")), Box::new(t("thermal"))));
+    qs.push(TextQuery::Not(
+        Box::new(t("payload")),
+        Box::new(t("thermal")),
+    ));
     qs.push(TextQuery::Prefix("zz".to_string()));
     qs
 }

@@ -17,6 +17,7 @@ const TARGETS: &[&str] = &[
     "fig8_federation",
     "fig9_query_engine",
     "fig10_segmented_index",
+    "fig11_mvcc_reads",
     "sec4_top_employees",
     "ablations",
 ];

@@ -9,9 +9,10 @@
 //!
 //! A [`QueryEngine`] is owned by [`crate::NetMark`] and shared by every
 //! caller — the WebDAV server, the federation router's local adapter, the
-//! CLI — replacing per-call `Searcher` construction. On top of the paper's
-//! pipeline it adds the three things a long-lived handle can do that a
-//! per-call one cannot:
+//! CLI. Each execution pins one MVCC [`StoreView`] and one text-index
+//! snapshot, so every stage reads a single committed state without taking
+//! a page lock. On top of the paper's pipeline it adds the three things a
+//! long-lived handle can do that a per-call one cannot:
 //!
 //! 1. **Result caching** — a small LRU keyed on the normalized query
 //!    string, stamped with the store generation (the same stamp that
@@ -33,7 +34,7 @@
 
 use crate::error::{NetmarkError, Result};
 use crate::metrics::{QueryMetrics, QueryStats, QueryTrace};
-use crate::store::{DocId, NodeStore};
+use crate::store::{DocId, NodeStore, StoreView};
 use netmark_model::NodeType;
 use netmark_relstore::RowId;
 use netmark_textindex::{IndexSnapshot, SegmentedIndex, TextIndexReader, TextQuery};
@@ -299,10 +300,11 @@ impl Drop for WorkerPool {
 // The engine
 
 /// Long-lived, shareable query executor over a store + text index pair.
-/// Each execution takes one lock-free index snapshot up front and runs
-/// every stage (including the parallel per-term fan-out) against it, so a
-/// query observes exactly one committed index state and never blocks on —
-/// or is blocked by — concurrent ingest.
+/// Each execution pins one MVCC store view and takes one lock-free index
+/// snapshot up front, then runs every stage (including the parallel
+/// per-term fan-out) against that pair — so a query observes exactly one
+/// committed store state and one committed index state, and never blocks
+/// on — or is blocked by — concurrent ingest.
 pub struct QueryEngine {
     store: Arc<NodeStore>,
     index: Arc<SegmentedIndex>,
@@ -351,7 +353,10 @@ impl QueryEngine {
     /// Executes `q` and returns the per-stage trace alongside the results.
     pub fn execute_traced(&self, q: &XdbQuery) -> Result<(ResultSet, QueryTrace)> {
         let t0 = Instant::now();
-        let gen = self.store.generation();
+        // Pin one MVCC store view per query: the generation read through it
+        // names exactly the committed state every stage will observe.
+        let view = self.store.begin_read()?;
+        let gen = view.generation();
         let epoch = self.epoch.load(Ordering::Acquire);
         let key = cache_key(q);
         if let Some(hit) = self.cache.lock().get(&key, gen, epoch) {
@@ -364,11 +369,12 @@ impl QueryEngine {
             return Ok(((*hit).clone(), trace));
         }
         let mut trace = QueryTrace::default();
-        let rs = self.execute_cold(q, gen, &mut trace)?;
+        let rs = self.execute_cold(q, &view, &mut trace)?;
         trace.total = t0.elapsed();
         self.metrics.record(&trace);
-        // Only cache what a reader at the *current* stamp may reuse: if an
-        // ingest landed mid-execution the result may straddle states.
+        // The store view guarantees the result is exactly the gen-stamped
+        // state, but the index snapshot can lag or lead the store commit —
+        // only cache when the stamp pair is still current at completion.
         if self.store.generation() == gen && self.epoch.load(Ordering::Acquire) == epoch {
             self.cache
                 .lock()
@@ -382,27 +388,39 @@ impl QueryEngine {
     /// side of benchmarks.
     pub fn execute_uncached(&self, q: &XdbQuery) -> Result<ResultSet> {
         let t0 = Instant::now();
-        let gen = self.store.generation();
+        let view = self.store.begin_read()?;
         let mut trace = QueryTrace::default();
-        let rs = self.execute_cold(q, gen, &mut trace)?;
+        let rs = self.execute_cold(q, &view, &mut trace)?;
         trace.total = t0.elapsed();
         self.metrics.record(&trace);
         Ok(rs)
     }
 
-    /// Cumulative read-path counters.
+    /// Cumulative read-path counters, including the storage engine's MVCC
+    /// gauges (current version, live pinned views, checkpoint evictions).
     pub fn stats(&self) -> QueryStats {
         let mut s = self.metrics.snapshot();
         s.memo_hits = self.memo.hits.load(Ordering::Relaxed);
         s.memo_misses = self.memo.misses.load(Ordering::Relaxed);
+        let m = self.store.database().mvcc_stats();
+        s.store_version = m.version;
+        s.live_views = m.live_views;
+        s.views_evicted = m.views_evicted;
         s
     }
 
-    fn execute_cold(&self, q: &XdbQuery, gen: i64, trace: &mut QueryTrace) -> Result<ResultSet> {
+    fn execute_cold(
+        &self,
+        q: &XdbQuery,
+        view: &StoreView,
+        trace: &mut QueryTrace,
+    ) -> Result<ResultSet> {
         // One snapshot per execution: a single atomic load, after which the
         // whole query — every stage, every pool worker — sees one immutable
-        // index state regardless of concurrent commits or compaction.
+        // index state regardless of concurrent commits or compaction. The
+        // store side is pinned the same way by `view`.
         let snap = self.index.snapshot();
+        let gen = view.generation();
         let ctx_rowids: Vec<RowId> = match (&q.context, &q.content) {
             (None, None) => {
                 // Unconstrained: every context in the store (bounded below
@@ -410,24 +428,25 @@ impl QueryEngine {
                 // source that answered a broader query.
                 let t = Instant::now();
                 let mut out = Vec::new();
-                for info in self.store.list_docs()? {
-                    if let Some((root_rid, _)) = self.store.node_by_id(info.root_node)? {
-                        collect_contexts(&self.store, root_rid, &mut out)?;
+                for info in view.list_docs()? {
+                    if let Some((root_rid, _)) = view.node_by_id(info.root_node)? {
+                        collect_contexts(view, root_rid, &mut out)?;
                     }
                 }
                 trace.context_walk += t.elapsed();
                 out
             }
-            (Some(label), None) => context_rowids(&self.store, &*snap, label, trace)?,
+            (Some(label), None) => context_rowids(view, &*snap, label, trace)?,
             (None, Some(terms)) => {
-                let (ctxs, cand) = self.content_contexts(&snap, terms, q.match_mode, gen, trace)?;
+                let (ctxs, cand) =
+                    self.content_contexts(view, &snap, terms, q.match_mode, gen, trace)?;
                 trace.candidates = cand;
                 ctxs
             }
             (Some(label), Some(terms)) => {
-                let labelled = context_rowids(&self.store, &*snap, label, trace)?;
+                let labelled = context_rowids(view, &*snap, label, trace)?;
                 let (with_content, cand) =
-                    self.content_contexts(&snap, terms, q.match_mode, gen, trace)?;
+                    self.content_contexts(view, &snap, terms, q.match_mode, gen, trace)?;
                 trace.candidates = cand;
                 let t = Instant::now();
                 let set: HashSet<RowId> = with_content.into_iter().collect();
@@ -436,7 +455,7 @@ impl QueryEngine {
                 out
             }
         };
-        collect_hits(&self.store, q, ctx_rowids, trace)
+        collect_hits(view, q, ctx_rowids, trace)
     }
 
     /// Context rowids whose sections contain the content terms. Multi-term
@@ -444,6 +463,7 @@ impl QueryEngine {
     /// somewhere under the same context — and fan out across the pool.
     fn content_contexts(
         &self,
+        view: &StoreView,
         snap: &Arc<IndexSnapshot>,
         terms: &str,
         mode: MatchMode,
@@ -453,10 +473,10 @@ impl QueryEngine {
         let term_list = netmark_textindex::query_terms(terms);
         match &self.pool {
             Some(pool) if mode == MatchMode::Keywords && term_list.len() >= 2 => {
-                self.parallel_term_contexts(pool, snap, &term_list, gen, trace)
+                self.parallel_term_contexts(pool, view, snap, &term_list, gen, trace)
             }
             _ => content_contexts_serial(
-                &self.store,
+                view,
                 &**snap,
                 Some((&self.memo, gen)),
                 terms,
@@ -470,6 +490,7 @@ impl QueryEngine {
     fn parallel_term_contexts(
         &self,
         pool: &WorkerPool,
+        view: &StoreView,
         snap: &Arc<IndexSnapshot>,
         term_list: &[String],
         gen: i64,
@@ -479,20 +500,20 @@ impl QueryEngine {
         type TermOut = (usize, usize, Duration, Duration, Result<Vec<RowId>>);
         let (tx, rx) = std::sync::mpsc::channel::<TermOut>();
         for (slot, term) in term_list.iter().enumerate() {
-            let store = Arc::clone(&self.store);
+            let view = view.clone();
             let snap = Arc::clone(snap);
             let memo = Arc::clone(&self.memo);
             let term = term.clone();
             let tx = tx.clone();
             pool.submit(Box::new(move || {
                 let t = Instant::now();
-                // Workers share the caller's snapshot Arc: no lock
-                // reacquisition per term, and every term is evaluated
-                // against the same committed index state.
+                // Workers share the caller's snapshot Arc and store-view
+                // pin: no lock reacquisition per term, and every term is
+                // evaluated against the same committed index + store state.
                 let ids = snap.execute(&TextQuery::Term(term));
                 let index_t = t.elapsed();
                 let t = Instant::now();
-                let ctxs = map_to_contexts(&store, Some((&memo, gen)), &ids);
+                let ctxs = map_to_contexts(&view, Some((&memo, gen)), &ids);
                 let _ = tx.send((slot, ids.len(), index_t, t.elapsed(), ctxs));
             }));
         }
@@ -526,15 +547,14 @@ impl QueryEngine {
 }
 
 // ---------------------------------------------------------------------
-// Shared stage functions (used by the engine and the deprecated
-// `Searcher` shim)
+// Shared stage functions (used by the engine's serial and parallel paths)
 
 /// Serial per-term execution: postings fetch, context mapping, running
-/// intersection with early exit. Generic over the index shape so the
-/// engine (snapshots) and the deprecated `Searcher` shim (borrowed legacy
-/// index) share one body.
+/// intersection with early exit. Generic over the index shape so engine
+/// executions (snapshots) and direct-index tests share one body; the store
+/// side always reads through the caller's pinned view.
 pub(crate) fn content_contexts_serial<I: TextIndexReader + ?Sized>(
-    store: &NodeStore,
+    view: &StoreView,
     index: &I,
     memo: Option<(&CtxMemo, i64)>,
     terms: &str,
@@ -551,7 +571,7 @@ pub(crate) fn content_contexts_serial<I: TextIndexReader + ?Sized>(
         trace.index_lookup += t.elapsed();
         let candidates = ids.len();
         let t = Instant::now();
-        let ctxs = map_to_contexts(store, memo, &ids)?;
+        let ctxs = map_to_contexts(view, memo, &ids)?;
         trace.context_walk += t.elapsed();
         return Ok((ctxs, candidates));
     }
@@ -563,7 +583,7 @@ pub(crate) fn content_contexts_serial<I: TextIndexReader + ?Sized>(
         trace.index_lookup += t.elapsed();
         candidates += ids.len();
         let t = Instant::now();
-        let ctxs = map_to_contexts(store, memo, &ids)?;
+        let ctxs = map_to_contexts(view, memo, &ids)?;
         trace.context_walk += t.elapsed();
         let t = Instant::now();
         acc = Some(match acc {
@@ -584,20 +604,20 @@ pub(crate) fn content_contexts_serial<I: TextIndexReader + ?Sized>(
 /// Maps text-hit node ids to their governing context rowids (deduped, in
 /// first-encounter order), consulting the memo when one is given.
 pub(crate) fn map_to_contexts(
-    store: &NodeStore,
+    view: &StoreView,
     memo: Option<(&CtxMemo, i64)>,
     node_ids: &[u64],
 ) -> Result<Vec<RowId>> {
     let mut seen: HashSet<RowId> = HashSet::new();
     let mut out: Vec<RowId> = Vec::new();
     for &nid in node_ids {
-        let Some((rid, _)) = store.node_by_id(nid)? else {
-            continue; // tombstoned in index but already gone from store
+        let Some((rid, _)) = view.node_by_id(nid)? else {
+            continue; // tombstoned in index but not in this store view
         };
         let ctx = match memo.and_then(|(m, gen)| m.get(gen, rid)) {
             Some(cached) => cached,
             None => {
-                let walked = store.governing_context(rid)?.map(|(c, _)| c);
+                let walked = view.governing_context(rid)?.map(|(c, _)| c);
                 if let Some((m, gen)) = memo {
                     m.put(gen, rid, walked);
                 }
@@ -619,7 +639,7 @@ pub(crate) fn map_to_contexts(
 /// issues them as one client-side query, still with zero mapping
 /// artifacts).
 pub(crate) fn context_rowids<I: TextIndexReader + ?Sized>(
-    store: &NodeStore,
+    view: &StoreView,
     index: &I,
     spec: &str,
     trace: &mut QueryTrace,
@@ -627,7 +647,7 @@ pub(crate) fn context_rowids<I: TextIndexReader + ?Sized>(
     if spec.contains('|') {
         let mut out: Vec<RowId> = Vec::new();
         for label in spec.split('|').map(str::trim).filter(|l| !l.is_empty()) {
-            for rid in context_rowids(store, index, label, trace)? {
+            for rid in context_rowids(view, index, label, trace)? {
                 if !out.contains(&rid) {
                     out.push(rid);
                 }
@@ -637,7 +657,7 @@ pub(crate) fn context_rowids<I: TextIndexReader + ?Sized>(
     }
     let label = spec;
     let t = Instant::now();
-    let exact = store.contexts_labeled(label)?;
+    let exact = view.contexts_labeled(label)?;
     trace.index_lookup += t.elapsed();
     if !exact.is_empty() {
         return Ok(exact.into_iter().map(|(rid, _)| rid).collect());
@@ -650,7 +670,7 @@ pub(crate) fn context_rowids<I: TextIndexReader + ?Sized>(
     let t = Instant::now();
     let mut out = Vec::new();
     for nid in ids {
-        if let Some((rid, row)) = store.node_by_id(nid)? {
+        if let Some((rid, row)) = view.node_by_id(nid)? {
             if row.ntype == NodeType::Context && !out.contains(&rid) {
                 out.push(rid);
             }
@@ -664,25 +684,25 @@ pub(crate) fn context_rowids<I: TextIndexReader + ?Sized>(
 /// document names (once per doc), apply the `doc=` filter, walk each
 /// section's content, order, truncate.
 pub(crate) fn collect_hits(
-    store: &NodeStore,
+    view: &StoreView,
     query: &XdbQuery,
     ctx_rowids: Vec<RowId>,
     trace: &mut QueryTrace,
 ) -> Result<ResultSet> {
     let t = Instant::now();
     // Resolve document names once per doc. A missing DOC row means the
-    // document vanished (or is being removed) between the index lookup
-    // and here — skip such hits rather than failing the query.
+    // index snapshot led this store view (the document landed after the
+    // pin) — skip such hits rather than failing the query.
     let mut doc_names: HashMap<DocId, Option<String>> = HashMap::new();
     let mut ordered: BTreeMap<(DocId, u64), Hit> = BTreeMap::new();
     for rid in ctx_rowids {
-        let Ok(row) = store.node(rid) else {
+        let Ok(row) = view.node(rid) else {
             continue;
         };
         let doc_name = match doc_names.get(&row.doc_id) {
             Some(cached) => cached.clone(),
             None => {
-                let n = store.doc_info(row.doc_id).ok().map(|i| i.file_name);
+                let n = view.doc_info(row.doc_id).ok().map(|i| i.file_name);
                 doc_names.insert(row.doc_id, n.clone());
                 n
             }
@@ -693,7 +713,7 @@ pub(crate) fn collect_hits(
                 continue;
             }
         }
-        let content = store.section_content(rid)?;
+        let content = view.section_content(rid)?;
         ordered.insert(
             (row.doc_id, row.node_id),
             Hit {
@@ -722,70 +742,17 @@ pub(crate) fn collect_hits(
 }
 
 /// Depth-first collection of every CONTEXT node under `rid`.
-pub(crate) fn collect_contexts(store: &NodeStore, rid: RowId, out: &mut Vec<RowId>) -> Result<()> {
-    let row = store.node(rid)?;
+pub(crate) fn collect_contexts(view: &StoreView, rid: RowId, out: &mut Vec<RowId>) -> Result<()> {
+    let row = view.node(rid)?;
     if row.ntype == NodeType::Context {
         out.push(rid);
     }
     let mut c = row.first_child;
     while let Some(crid) = c {
-        collect_contexts(store, crid, out)?;
-        c = store.node(crid)?.next_sibling;
+        collect_contexts(view, crid, out)?;
+        c = view.node(crid)?.next_sibling;
     }
     Ok(())
-}
-
-/// One-shot serial execution over borrowed store/index — the body of the
-/// deprecated [`crate::search::Searcher`] shim.
-pub(crate) fn execute_serial<I: TextIndexReader + ?Sized>(
-    store: &NodeStore,
-    index: &I,
-    query: &XdbQuery,
-) -> Result<ResultSet> {
-    let mut trace = QueryTrace::default();
-    let ctx_rowids: Vec<RowId> = match (&query.context, &query.content) {
-        (None, None) => {
-            let mut out = Vec::new();
-            for info in store.list_docs()? {
-                if let Some((root_rid, _)) = store.node_by_id(info.root_node)? {
-                    collect_contexts(store, root_rid, &mut out)?;
-                }
-            }
-            out
-        }
-        (Some(label), None) => context_rowids(store, index, label, &mut trace)?,
-        (None, Some(terms)) => {
-            let term_list = netmark_textindex::query_terms(terms);
-            let (ctxs, cand) = content_contexts_serial(
-                store,
-                index,
-                None,
-                terms,
-                &term_list,
-                query.match_mode,
-                &mut trace,
-            )?;
-            trace.candidates = cand;
-            ctxs
-        }
-        (Some(label), Some(terms)) => {
-            let labelled = context_rowids(store, index, label, &mut trace)?;
-            let term_list = netmark_textindex::query_terms(terms);
-            let (with_content, cand) = content_contexts_serial(
-                store,
-                index,
-                None,
-                terms,
-                &term_list,
-                query.match_mode,
-                &mut trace,
-            )?;
-            trace.candidates = cand;
-            let set: HashSet<RowId> = with_content.into_iter().collect();
-            labelled.into_iter().filter(|r| set.contains(r)).collect()
-        }
-    };
-    collect_hits(store, query, ctx_rowids, &mut trace)
 }
 
 #[cfg(test)]

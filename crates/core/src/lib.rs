@@ -34,20 +34,17 @@ pub mod metrics;
 pub mod netmark;
 pub mod pipeline;
 pub mod schema;
-pub mod search;
 pub mod store;
 
 pub use engine::{QueryEngine, QueryEngineOptions};
 pub use error::{NetmarkError, Result};
 pub use metrics::{
-    index_stats_node, IngestMetrics, IngestStats, QueryMetrics, QueryStats, QueryTrace,
-    SourceMetrics, SourceStats,
+    index_stats_node, mvcc_stats_node, IngestMetrics, IngestStats, QueryMetrics, QueryStats,
+    QueryTrace, SourceMetrics, SourceStats,
 };
 pub use netmark::{NetMark, NetMarkOptions, NetMarkStats, QueryOutput};
 pub use pipeline::{ingest_files, BoundedQueue, PipelineConfig, PipelineStats, RawFile};
-#[allow(deprecated)]
-pub use search::Searcher;
-pub use store::{DocId, DocInfo, IngestReport, NodeId, NodeRow, NodeStore};
+pub use store::{DocId, DocInfo, IngestReport, NodeId, NodeRow, NodeStore, StoreView};
 
 // Re-export the vocabulary types users need at the API surface.
 pub use netmark_model::{Document, Node, NodeType};

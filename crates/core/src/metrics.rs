@@ -21,6 +21,7 @@
 //! the `GET /xdb/stats` endpoint.
 
 use netmark_model::Node;
+use netmark_relstore::MvccStats;
 use netmark_textindex::IndexStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -46,6 +47,23 @@ pub fn index_stats_node(s: &IndexStats) -> Node {
         .with_attr("ids-purged", &s.ids_purged.to_string())
         .with_attr("saves", &s.saves.to_string())
         .with_attr("segments-written", &s.segments_written.to_string())
+}
+
+/// Renders the `<mvcc …/>` element served under `GET /xdb/stats`: the
+/// storage engine's multi-version gauges (current commit version, live
+/// pinned read views, copy-on-write overlay size) and lifetime counters
+/// (views opened/evicted, versions published). [`MvccStats`] lives in
+/// `netmark-relstore`, which has no XML dependency, so the rendering lives
+/// here with the other stat nodes.
+pub fn mvcc_stats_node(s: &MvccStats) -> Node {
+    Node::element("mvcc")
+        .with_attr("version", &s.version.to_string())
+        .with_attr("live-views", &s.live_views.to_string())
+        .with_attr("views-opened", &s.views_opened.to_string())
+        .with_attr("views-evicted", &s.views_evicted.to_string())
+        .with_attr("publishes", &s.publishes.to_string())
+        .with_attr("overlay-pages", &s.overlay_pages.to_string())
+        .with_attr("overlay-bytes", &s.overlay_bytes.to_string())
 }
 
 /// Cumulative ingest counters (lock-free; shared across threads).
@@ -345,6 +363,9 @@ impl QueryMetrics {
             candidates: self.candidates.load(Ordering::Relaxed),
             memo_hits: 0,
             memo_misses: 0,
+            store_version: 0,
+            live_views: 0,
+            views_evicted: 0,
             index_time: Duration::from_nanos(self.index_nanos.load(Ordering::Relaxed)),
             walk_time: Duration::from_nanos(self.walk_nanos.load(Ordering::Relaxed)),
             intersect_time: Duration::from_nanos(self.intersect_nanos.load(Ordering::Relaxed)),
@@ -371,6 +392,13 @@ pub struct QueryStats {
     pub memo_hits: u64,
     /// rowid→context walks computed (and memoized).
     pub memo_misses: u64,
+    /// Storage MVCC gauge: current committed version (LSN) queries pin.
+    pub store_version: u64,
+    /// Storage MVCC gauge: read views pinned right now.
+    pub live_views: u64,
+    /// Storage MVCC counter: views evicted by checkpoints for exceeding
+    /// the configured `max_view_lag`.
+    pub views_evicted: u64,
     /// Cumulative wall time in text-index lookups.
     pub index_time: Duration,
     /// Cumulative wall time walking to governing contexts.
@@ -412,6 +440,11 @@ impl QueryStats {
             candidates: self.candidates - earlier.candidates,
             memo_hits: self.memo_hits - earlier.memo_hits,
             memo_misses: self.memo_misses - earlier.memo_misses,
+            // Version and live-view counts are gauges, not counters: a
+            // delta keeps the later reading rather than subtracting.
+            store_version: self.store_version,
+            live_views: self.live_views,
+            views_evicted: self.views_evicted - earlier.views_evicted,
             index_time: self.index_time - earlier.index_time,
             walk_time: self.walk_time - earlier.walk_time,
             intersect_time: self.intersect_time - earlier.intersect_time,
@@ -431,6 +464,9 @@ impl QueryStats {
             .with_attr("candidates", &self.candidates.to_string())
             .with_attr("memo-hits", &self.memo_hits.to_string())
             .with_attr("memo-misses", &self.memo_misses.to_string())
+            .with_attr("store-version", &self.store_version.to_string())
+            .with_attr("live-views", &self.live_views.to_string())
+            .with_attr("views-evicted", &self.views_evicted.to_string())
             .with_attr("index-us", &(self.index_time.as_micros()).to_string())
             .with_attr("walk-us", &(self.walk_time.as_micros()).to_string())
             .with_attr(
@@ -555,6 +591,25 @@ mod tests {
         assert_eq!(node.attr("tombstones"), Some("2"));
         assert_eq!(node.attr("compactions"), Some("1"));
         assert_eq!(node.attr("segments-written"), Some("5"));
+    }
+
+    #[test]
+    fn mvcc_stats_render() {
+        let s = MvccStats {
+            version: 42,
+            live_views: 3,
+            views_opened: 100,
+            views_evicted: 1,
+            publishes: 9,
+            overlay_pages: 12,
+            overlay_bytes: 98304,
+        };
+        let node = mvcc_stats_node(&s);
+        assert_eq!(node.name, "mvcc");
+        assert_eq!(node.attr("version"), Some("42"));
+        assert_eq!(node.attr("live-views"), Some("3"));
+        assert_eq!(node.attr("views-evicted"), Some("1"));
+        assert_eq!(node.attr("overlay-pages"), Some("12"));
     }
 
     #[test]

@@ -6,10 +6,8 @@ use crate::metrics::{IngestMetrics, IngestStats, QueryStats, QueryTrace};
 use crate::store::{DocId, DocInfo, IngestReport, NodeStore};
 use netmark_docformats::upmark;
 use netmark_model::{Document, Node};
-use netmark_relstore::{Database, DbOptions, WalStats};
-use netmark_textindex::{
-    CompactionPolicy, Compactor, IndexStats, InvertedIndex, SegmentedIndex,
-};
+use netmark_relstore::{Database, DbOptions, MvccStats, WalStats};
+use netmark_textindex::{CompactionPolicy, Compactor, IndexStats, InvertedIndex, SegmentedIndex};
 use netmark_xdb::{ResultSet, XdbQuery};
 use netmark_xslt::Stylesheet;
 use parking_lot::{Mutex, RwLock};
@@ -98,6 +96,9 @@ pub struct NetMarkStats {
     /// Segmented text-index gauges and counters (segments, tombstones,
     /// compaction and incremental-save activity).
     pub index: IndexStats,
+    /// Storage-engine MVCC gauges and counters (current version, pinned
+    /// read views, copy-on-write overlay size, checkpoint evictions).
+    pub mvcc: MvccStats,
 }
 
 /// An open NETMARK instance: schema-less store + text index + stylesheets.
@@ -156,13 +157,11 @@ impl NetMark {
             .ok()
             .and_then(|s| s.trim().parse().ok());
         let persisted = if stamped_gen == Some(store.generation()) {
-            SegmentedIndex::load_with(&index_dir, options.index_compaction.clone()).or_else(
-                || {
-                    InvertedIndex::load(&legacy_index_path).map(|ix| {
-                        SegmentedIndex::from_legacy_with(ix, options.index_compaction.clone())
-                    })
-                },
-            )
+            SegmentedIndex::load_with(&index_dir, options.index_compaction.clone()).or_else(|| {
+                InvertedIndex::load(&legacy_index_path).map(|ix| {
+                    SegmentedIndex::from_legacy_with(ix, options.index_compaction.clone())
+                })
+            })
         } else {
             None
         };
@@ -422,6 +421,7 @@ impl NetMark {
             wal: self.wal_stats(),
             query: self.engine.stats(),
             index: ix,
+            mvcc: self.store.database().mvcc_stats(),
         })
     }
 }

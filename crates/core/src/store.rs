@@ -14,7 +14,7 @@ use crate::schema::{
     META_TABLE, NONE_ROWID, XML_TABLE,
 };
 use netmark_model::{Document, Node, NodeType};
-use netmark_relstore::{Database, RowId, Table, Txn, Value};
+use netmark_relstore::{Database, ReadView, Row, RowId, Table, Txn, Value, ViewTable};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 /// Document identifier.
@@ -323,66 +323,43 @@ impl NodeStore {
         })
     }
 
-    fn decode_node(&self, row: &[Value]) -> Result<NodeRow> {
-        if row.len() != xml::ARITY {
-            return Err(NetmarkError::Corrupt(format!(
-                "XML row arity {} (expected {})",
-                row.len(),
-                xml::ARITY
-            )));
-        }
-        let ntype_id = row[xml::NODETYPE]
-            .as_int()
-            .ok_or_else(|| NetmarkError::Corrupt("NODETYPE not an int".into()))?;
-        Ok(NodeRow {
-            node_id: row[xml::NODEID].as_int().unwrap_or(0) as u64,
-            doc_id: row[xml::DOC_ID].as_int().unwrap_or(0),
-            ntype: NodeType::from_id(ntype_id)
-                .ok_or_else(|| NetmarkError::Corrupt(format!("bad NODETYPE {ntype_id}")))?,
-            name: row[xml::NODENAME].as_text().unwrap_or("").to_string(),
-            data: row[xml::NODEDATA].as_text().unwrap_or("").to_string(),
-            parent: opt_rowid(&row[xml::PARENTROWID]),
-            parent_node: match row[xml::PARENTNODEID].as_int() {
-                Some(v) if v >= 0 => Some(v as u64),
-                _ => None,
-            },
-            next_sibling: opt_rowid(&row[xml::SIBLINGID]),
-            first_child: opt_rowid(&row[xml::CHILDROWID]),
-            attrs: decode_attrs(row[xml::ATTRS].as_text().unwrap_or("")),
+    /// Pins a repeatable-read [`StoreView`] of the store: an MVCC snapshot
+    /// that observes exactly the committed state as of this call and never
+    /// takes a page latch, no matter how many ingest batches commit
+    /// afterwards. Cheap (no I/O beyond catalog metadata); drop to unpin.
+    pub fn begin_read(&self) -> Result<StoreView> {
+        let view = self.db.begin_read();
+        let xml = view.table(XML_TABLE)?;
+        let doc = view.table(DOC_TABLE)?;
+        // The generation must come from the snapshot, not the live counter:
+        // it identifies the committed store state this view observes.
+        let generation = view
+            .table(META_TABLE)?
+            .scan()?
+            .first()
+            .and_then(|(_, row)| row.get(2).and_then(Value::as_int))
+            .unwrap_or(0);
+        Ok(StoreView {
+            view,
+            xml,
+            doc,
+            generation,
         })
     }
 
     /// Fetches one node row by physical rowid.
     pub fn node(&self, rid: RowId) -> Result<NodeRow> {
-        let row = self.xml.get(rid)?;
-        self.decode_node(&row)
+        RowAccess::node(self, rid)
     }
 
     /// Resolves a node id to its physical row (index lookup).
     pub fn node_by_id(&self, id: NodeId) -> Result<Option<(RowId, NodeRow)>> {
-        let rids = self
-            .xml
-            .index_lookup("xml_by_nodeid", &[Value::Int(id as i64)])?;
-        match rids.first() {
-            Some(&rid) => Ok(Some((rid, self.node(rid)?))),
-            None => Ok(None),
-        }
+        RowAccess::node_by_id(self, id)
     }
 
     /// All context-node rows whose (lowercased) label equals `label`.
     pub fn contexts_labeled(&self, label: &str) -> Result<Vec<(RowId, NodeRow)>> {
-        let key = label.to_lowercase();
-        let rids = self
-            .xml
-            .index_lookup("xml_by_ctxkey", &[Value::Text(key)])?;
-        let mut out = Vec::with_capacity(rids.len());
-        for rid in rids {
-            let row = self.node(rid)?;
-            if row.ntype == NodeType::Context {
-                out.push((rid, row));
-            }
-        }
-        Ok(out)
+        RowAccess::contexts_labeled(self, label)
     }
 
     /// Walks up from `rid` to the governing context: the nearest enclosing
@@ -390,67 +367,12 @@ impl NodeStore {
     /// (paper §2.1.4 — "traversing up the tree structure via its parent or
     /// sibling node until the first context is found").
     pub fn governing_context(&self, rid: RowId) -> Result<Option<(RowId, NodeRow)>> {
-        let mut cur_rid = rid;
-        let mut cur = self.node(rid)?;
-        if cur.ntype == NodeType::Context {
-            return Ok(Some((cur_rid, cur)));
-        }
-        loop {
-            let Some(parent_rid) = cur.parent else {
-                return Ok(None);
-            };
-            let parent = self.node(parent_rid)?;
-            if parent.ntype == NodeType::Context {
-                return Ok(Some((parent_rid, parent)));
-            }
-            // Scan the parent's child chain up to the current node,
-            // remembering the last CONTEXT seen.
-            let mut last_ctx: Option<(RowId, NodeRow)> = None;
-            let mut c = parent.first_child;
-            while let Some(crid) = c {
-                if crid == cur_rid {
-                    break;
-                }
-                let crow = self.node(crid)?;
-                let next = crow.next_sibling;
-                if crow.ntype == NodeType::Context {
-                    last_ctx = Some((crid, crow));
-                }
-                c = next;
-            }
-            if let Some(found) = last_ctx {
-                return Ok(Some(found));
-            }
-            cur_rid = parent_rid;
-            cur = parent;
-        }
+        RowAccess::governing_context(self, rid)
     }
 
     /// Reconstructs the subtree rooted at `rid` as a [`Node`].
     pub fn reconstruct(&self, rid: RowId) -> Result<Node> {
-        let row = self.node(rid)?;
-        self.reconstruct_row(&row)
-    }
-
-    fn reconstruct_row(&self, row: &NodeRow) -> Result<Node> {
-        let mut node = if row.ntype == NodeType::Text {
-            Node::text(&row.data)
-        } else {
-            Node {
-                ntype: row.ntype,
-                name: row.name.clone(),
-                text: String::new(),
-                attrs: row.attrs.clone(),
-                children: Vec::new(),
-            }
-        };
-        let mut c = row.first_child;
-        while let Some(crid) = c {
-            let crow = self.node(crid)?;
-            c = crow.next_sibling;
-            node.children.push(self.reconstruct_row(&crow)?);
-        }
-        Ok(node)
+        RowAccess::reconstruct(self, rid)
     }
 
     /// Collects the content governed by the context at `ctx_rid`: the
@@ -458,56 +380,22 @@ impl NodeStore {
     /// in a `<Content>` element ("traversing back down the tree structure
     /// via the sibling node retrieves the corresponding content text").
     pub fn section_content(&self, ctx_rid: RowId) -> Result<Node> {
-        let ctx = self.node(ctx_rid)?;
-        let mut parts: Vec<Node> = Vec::new();
-        let mut c = ctx.next_sibling;
-        while let Some(rid) = c {
-            let row = self.node(rid)?;
-            if row.ntype == NodeType::Context {
-                break;
-            }
-            c = row.next_sibling;
-            parts.push(self.reconstruct_row(&row)?);
-        }
-        if parts.len() == 1 && parts[0].name == "Content" {
-            return Ok(parts.into_iter().next().expect("len checked"));
-        }
-        let mut content = Node::element("Content");
-        content.children = parts;
-        Ok(content)
+        RowAccess::section_content(self, ctx_rid)
     }
 
     /// Document metadata by id.
     pub fn doc_info(&self, id: DocId) -> Result<DocInfo> {
-        let rids = self.doc.index_lookup("doc_by_id", &[Value::Int(id)])?;
-        let rid = rids
-            .first()
-            .ok_or_else(|| NetmarkError::NoSuchDocument(format!("doc #{id}")))?;
-        let row = self.doc.get(*rid)?;
-        decode_doc(&row)
+        RowAccess::doc_info(self, id)
     }
 
     /// Document metadata by file name (first match).
     pub fn doc_by_name(&self, name: &str) -> Result<Option<DocInfo>> {
-        let rids = self
-            .doc
-            .index_lookup("doc_by_name", &[Value::Text(name.to_string())])?;
-        match rids.first() {
-            Some(rid) => Ok(Some(decode_doc(&self.doc.get(*rid)?)?)),
-            None => Ok(None),
-        }
+        RowAccess::doc_by_name(self, name)
     }
 
     /// Every stored document, by id.
     pub fn list_docs(&self) -> Result<Vec<DocInfo>> {
-        let mut docs: Vec<DocInfo> = self
-            .doc
-            .scan()?
-            .iter()
-            .map(|(_, row)| decode_doc(row))
-            .collect::<Result<_>>()?;
-        docs.sort_by_key(|d| d.doc_id);
-        Ok(docs)
+        RowAccess::list_docs(self)
     }
 
     /// Rebuilds the full [`Document`] for `doc_id` from the store.
@@ -565,7 +453,7 @@ impl NodeStore {
     pub fn all_text_entries(&self) -> Result<Vec<(NodeId, String)>> {
         let mut out = Vec::new();
         for (_, row) in self.xml.scan()? {
-            let node = self.decode_node(&row)?;
+            let node = decode_node(&row)?;
             match node.ntype {
                 NodeType::Text if !node.data.trim().is_empty() => {
                     out.push((node.node_id, node.data));
@@ -620,6 +508,326 @@ impl NodeStore {
                 .push(self.reconstruct_via_index(child.node_id)?);
         }
         Ok(node)
+    }
+}
+
+fn decode_node(row: &[Value]) -> Result<NodeRow> {
+    if row.len() != xml::ARITY {
+        return Err(NetmarkError::Corrupt(format!(
+            "XML row arity {} (expected {})",
+            row.len(),
+            xml::ARITY
+        )));
+    }
+    let ntype_id = row[xml::NODETYPE]
+        .as_int()
+        .ok_or_else(|| NetmarkError::Corrupt("NODETYPE not an int".into()))?;
+    Ok(NodeRow {
+        node_id: row[xml::NODEID].as_int().unwrap_or(0) as u64,
+        doc_id: row[xml::DOC_ID].as_int().unwrap_or(0),
+        ntype: NodeType::from_id(ntype_id)
+            .ok_or_else(|| NetmarkError::Corrupt(format!("bad NODETYPE {ntype_id}")))?,
+        name: row[xml::NODENAME].as_text().unwrap_or("").to_string(),
+        data: row[xml::NODEDATA].as_text().unwrap_or("").to_string(),
+        parent: opt_rowid(&row[xml::PARENTROWID]),
+        parent_node: match row[xml::PARENTNODEID].as_int() {
+            Some(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        },
+        next_sibling: opt_rowid(&row[xml::SIBLINGID]),
+        first_child: opt_rowid(&row[xml::CHILDROWID]),
+        attrs: decode_attrs(row[xml::ATTRS].as_text().unwrap_or("")),
+    })
+}
+
+/// Row-level access to the `XML` and `DOC` tables, implemented by both
+/// [`NodeStore`] (latest-committed reads through the live tables) and
+/// [`StoreView`] (reads through one pinned MVCC snapshot). Every tree walk
+/// — decode, governing-context climb, subtree reconstruction, section
+/// collection — is written once against these primitives, so the two read
+/// paths cannot drift apart.
+pub(crate) trait RowAccess {
+    /// Fetches one raw `XML` row.
+    fn xml_get(&self, rid: RowId) -> Result<Row>;
+    /// Equality lookup on an `XML`-table index.
+    fn xml_lookup(&self, index: &str, key: &[Value]) -> Result<Vec<RowId>>;
+    /// Fetches one raw `DOC` row.
+    fn doc_get(&self, rid: RowId) -> Result<Row>;
+    /// Equality lookup on a `DOC`-table index.
+    fn doc_lookup(&self, index: &str, key: &[Value]) -> Result<Vec<RowId>>;
+    /// Full `DOC`-table scan.
+    fn doc_scan(&self) -> Result<Vec<(RowId, Row)>>;
+
+    /// Fetches one decoded node row by physical rowid.
+    fn node(&self, rid: RowId) -> Result<NodeRow> {
+        decode_node(&self.xml_get(rid)?)
+    }
+
+    /// Resolves a node id to its physical row (index lookup).
+    fn node_by_id(&self, id: NodeId) -> Result<Option<(RowId, NodeRow)>> {
+        let rids = self.xml_lookup("xml_by_nodeid", &[Value::Int(id as i64)])?;
+        match rids.first() {
+            Some(&rid) => Ok(Some((rid, self.node(rid)?))),
+            None => Ok(None),
+        }
+    }
+
+    /// All context-node rows whose (lowercased) label equals `label`.
+    fn contexts_labeled(&self, label: &str) -> Result<Vec<(RowId, NodeRow)>> {
+        let key = label.to_lowercase();
+        let rids = self.xml_lookup("xml_by_ctxkey", &[Value::Text(key)])?;
+        let mut out = Vec::with_capacity(rids.len());
+        for rid in rids {
+            let row = self.node(rid)?;
+            if row.ntype == NodeType::Context {
+                out.push((rid, row));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Walks up from `rid` to the governing context (paper §2.1.4).
+    fn governing_context(&self, rid: RowId) -> Result<Option<(RowId, NodeRow)>> {
+        let mut cur_rid = rid;
+        let mut cur = self.node(rid)?;
+        if cur.ntype == NodeType::Context {
+            return Ok(Some((cur_rid, cur)));
+        }
+        loop {
+            let Some(parent_rid) = cur.parent else {
+                return Ok(None);
+            };
+            let parent = self.node(parent_rid)?;
+            if parent.ntype == NodeType::Context {
+                return Ok(Some((parent_rid, parent)));
+            }
+            // Scan the parent's child chain up to the current node,
+            // remembering the last CONTEXT seen.
+            let mut last_ctx: Option<(RowId, NodeRow)> = None;
+            let mut c = parent.first_child;
+            while let Some(crid) = c {
+                if crid == cur_rid {
+                    break;
+                }
+                let crow = self.node(crid)?;
+                let next = crow.next_sibling;
+                if crow.ntype == NodeType::Context {
+                    last_ctx = Some((crid, crow));
+                }
+                c = next;
+            }
+            if let Some(found) = last_ctx {
+                return Ok(Some(found));
+            }
+            cur_rid = parent_rid;
+            cur = parent;
+        }
+    }
+
+    /// Reconstructs the subtree rooted at `rid` as a [`Node`].
+    fn reconstruct(&self, rid: RowId) -> Result<Node> {
+        let row = self.node(rid)?;
+        self.reconstruct_row(&row)
+    }
+
+    /// Reconstructs the subtree below an already-decoded row.
+    fn reconstruct_row(&self, row: &NodeRow) -> Result<Node> {
+        let mut node = if row.ntype == NodeType::Text {
+            Node::text(&row.data)
+        } else {
+            Node {
+                ntype: row.ntype,
+                name: row.name.clone(),
+                text: String::new(),
+                attrs: row.attrs.clone(),
+                children: Vec::new(),
+            }
+        };
+        let mut c = row.first_child;
+        while let Some(crid) = c {
+            let crow = self.node(crid)?;
+            c = crow.next_sibling;
+            node.children.push(self.reconstruct_row(&crow)?);
+        }
+        Ok(node)
+    }
+
+    /// Collects the content governed by the context at `ctx_rid` into a
+    /// `<Content>` element.
+    fn section_content(&self, ctx_rid: RowId) -> Result<Node> {
+        let ctx = self.node(ctx_rid)?;
+        let mut parts: Vec<Node> = Vec::new();
+        let mut c = ctx.next_sibling;
+        while let Some(rid) = c {
+            let row = self.node(rid)?;
+            if row.ntype == NodeType::Context {
+                break;
+            }
+            c = row.next_sibling;
+            parts.push(self.reconstruct_row(&row)?);
+        }
+        if parts.len() == 1 && parts[0].name == "Content" {
+            return Ok(parts.into_iter().next().expect("len checked"));
+        }
+        let mut content = Node::element("Content");
+        content.children = parts;
+        Ok(content)
+    }
+
+    /// Document metadata by id.
+    fn doc_info(&self, id: DocId) -> Result<DocInfo> {
+        let rids = self.doc_lookup("doc_by_id", &[Value::Int(id)])?;
+        let rid = rids
+            .first()
+            .ok_or_else(|| NetmarkError::NoSuchDocument(format!("doc #{id}")))?;
+        let row = self.doc_get(*rid)?;
+        decode_doc(&row)
+    }
+
+    /// Document metadata by file name (first match).
+    fn doc_by_name(&self, name: &str) -> Result<Option<DocInfo>> {
+        let rids = self.doc_lookup("doc_by_name", &[Value::Text(name.to_string())])?;
+        match rids.first() {
+            Some(rid) => Ok(Some(decode_doc(&self.doc_get(*rid)?)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Every stored document, by id.
+    fn list_docs(&self) -> Result<Vec<DocInfo>> {
+        let mut docs: Vec<DocInfo> = self
+            .doc_scan()?
+            .iter()
+            .map(|(_, row)| decode_doc(row))
+            .collect::<Result<_>>()?;
+        docs.sort_by_key(|d| d.doc_id);
+        Ok(docs)
+    }
+}
+
+impl RowAccess for NodeStore {
+    fn xml_get(&self, rid: RowId) -> Result<Row> {
+        Ok(self.xml.get(rid)?)
+    }
+
+    fn xml_lookup(&self, index: &str, key: &[Value]) -> Result<Vec<RowId>> {
+        Ok(self.xml.index_lookup(index, key)?)
+    }
+
+    fn doc_get(&self, rid: RowId) -> Result<Row> {
+        Ok(self.doc.get(rid)?)
+    }
+
+    fn doc_lookup(&self, index: &str, key: &[Value]) -> Result<Vec<RowId>> {
+        Ok(self.doc.index_lookup(index, key)?)
+    }
+
+    fn doc_scan(&self) -> Result<Vec<(RowId, Row)>> {
+        Ok(self.doc.scan()?)
+    }
+}
+
+/// A pinned, repeatable-read view of the node store.
+///
+/// Opened by [`NodeStore::begin_read`], a `StoreView` wraps one MVCC
+/// [`ReadView`] of the underlying database: every read — node fetch, index
+/// lookup, tree walk — observes exactly the committed state as of the pin,
+/// lock-free, regardless of concurrent ingest batches. Clones share the
+/// same pin (dropping the last clone unpins). A view held across
+/// checkpoints for longer than the database's `max_view_lag` may be
+/// evicted, after which its reads fail with a storage error.
+#[derive(Clone)]
+pub struct StoreView {
+    view: ReadView,
+    xml: ViewTable,
+    doc: ViewTable,
+    generation: i64,
+}
+
+impl StoreView {
+    /// The store generation this view observes (bumped by every committed
+    /// ingest batch and removal). This is the stamp that decides result-
+    /// cache and context-memo validity for queries running over this view.
+    pub fn generation(&self) -> i64 {
+        self.generation
+    }
+
+    /// The storage-level commit version (LSN) this view is pinned at.
+    pub fn version(&self) -> u64 {
+        self.view.version()
+    }
+
+    /// True once a checkpoint evicted this view for exceeding the
+    /// database's `max_view_lag`.
+    pub fn is_evicted(&self) -> bool {
+        self.view.is_evicted()
+    }
+
+    /// Fetches one node row by physical rowid.
+    pub fn node(&self, rid: RowId) -> Result<NodeRow> {
+        RowAccess::node(self, rid)
+    }
+
+    /// Resolves a node id to its physical row (index lookup).
+    pub fn node_by_id(&self, id: NodeId) -> Result<Option<(RowId, NodeRow)>> {
+        RowAccess::node_by_id(self, id)
+    }
+
+    /// All context-node rows whose (lowercased) label equals `label`.
+    pub fn contexts_labeled(&self, label: &str) -> Result<Vec<(RowId, NodeRow)>> {
+        RowAccess::contexts_labeled(self, label)
+    }
+
+    /// Walks up from `rid` to the governing context (paper §2.1.4).
+    pub fn governing_context(&self, rid: RowId) -> Result<Option<(RowId, NodeRow)>> {
+        RowAccess::governing_context(self, rid)
+    }
+
+    /// Reconstructs the subtree rooted at `rid` as a [`Node`].
+    pub fn reconstruct(&self, rid: RowId) -> Result<Node> {
+        RowAccess::reconstruct(self, rid)
+    }
+
+    /// Collects the content governed by the context at `ctx_rid`.
+    pub fn section_content(&self, ctx_rid: RowId) -> Result<Node> {
+        RowAccess::section_content(self, ctx_rid)
+    }
+
+    /// Document metadata by id.
+    pub fn doc_info(&self, id: DocId) -> Result<DocInfo> {
+        RowAccess::doc_info(self, id)
+    }
+
+    /// Document metadata by file name (first match).
+    pub fn doc_by_name(&self, name: &str) -> Result<Option<DocInfo>> {
+        RowAccess::doc_by_name(self, name)
+    }
+
+    /// Every stored document, by id.
+    pub fn list_docs(&self) -> Result<Vec<DocInfo>> {
+        RowAccess::list_docs(self)
+    }
+}
+
+impl RowAccess for StoreView {
+    fn xml_get(&self, rid: RowId) -> Result<Row> {
+        Ok(self.xml.get(rid)?)
+    }
+
+    fn xml_lookup(&self, index: &str, key: &[Value]) -> Result<Vec<RowId>> {
+        Ok(self.xml.index_lookup(index, key)?)
+    }
+
+    fn doc_get(&self, rid: RowId) -> Result<Row> {
+        Ok(self.doc.get(rid)?)
+    }
+
+    fn doc_lookup(&self, index: &str, key: &[Value]) -> Result<Vec<RowId>> {
+        Ok(self.doc.index_lookup(index, key)?)
+    }
+
+    fn doc_scan(&self) -> Result<Vec<(RowId, Row)>> {
+        Ok(self.doc.scan()?)
     }
 }
 

@@ -375,9 +375,9 @@ impl Router {
                 .map(|a| self.query_source(a.as_ref(), q))
                 .collect()
         } else {
+            type Indexed = Vec<(usize, (SourceOutcome, Vec<Hit>))>;
             let next = AtomicUsize::new(0);
-            let collected: Mutex<Vec<(usize, (SourceOutcome, Vec<Hit>))>> =
-                Mutex::new(Vec::with_capacity(n));
+            let collected: Mutex<Indexed> = Mutex::new(Vec::with_capacity(n));
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     scope.spawn(|| loop {
@@ -693,12 +693,7 @@ mod tests {
         assert_eq!(fr.outcomes.len(), SOURCES);
         let order: Vec<&str> = fr.outcomes.iter().map(|o| o.source.as_str()).collect();
         assert_eq!(order, refs, "outcomes preserve databank order");
-        let hit_order: Vec<String> = fr
-            .results
-            .hits
-            .iter()
-            .map(|h| h.source.clone())
-            .collect();
+        let hit_order: Vec<String> = fr.results.hits.iter().map(|h| h.source.clone()).collect();
         assert_eq!(hit_order, names, "hits merge in databank order");
         // The pool is bounded: never more than FANOUT threads in flight.
         assert!(

@@ -119,7 +119,10 @@ fn stats_node(router: &Router, local: Option<&NetMark>) -> Node {
     if let Some(nm) = local {
         stats = stats
             .with_child(nm.query_stats().to_node())
-            .with_child(netmark::index_stats_node(&nm.text_index().stats()));
+            .with_child(netmark::index_stats_node(&nm.text_index().stats()))
+            .with_child(netmark::mvcc_stats_node(
+                &nm.store().database().mvcc_stats(),
+            ));
     }
     stats
 }

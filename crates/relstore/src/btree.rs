@@ -27,7 +27,8 @@ use std::sync::Arc;
 /// cannot guarantee a split produces fitting halves.
 pub const MAX_ENTRY: usize = 2000;
 
-const META_PAGE: u32 = 0;
+/// Page number of the meta page (its `aux` holds the root page number).
+pub(crate) const META_PAGE: u32 = 0;
 
 fn leaf_cell(key: &[u8], val: &[u8]) -> Vec<u8> {
     let mut c = Vec::with_capacity(key.len() + val.len() + 6);
@@ -39,7 +40,7 @@ fn leaf_cell(key: &[u8], val: &[u8]) -> Vec<u8> {
 }
 
 /// Key bytes of a leaf cell, borrowed in place (no copy).
-fn leaf_cell_key(cell: &[u8]) -> Result<&[u8]> {
+pub(crate) fn leaf_cell_key(cell: &[u8]) -> Result<&[u8]> {
     let mut pos = 0usize;
     let klen = read_varint(cell, &mut pos)? as usize;
     let kend = pos + klen;
@@ -49,7 +50,7 @@ fn leaf_cell_key(cell: &[u8]) -> Result<&[u8]> {
     Ok(&cell[pos..kend])
 }
 
-fn parse_leaf_cell(cell: &[u8]) -> Result<(Vec<u8>, Vec<u8>)> {
+pub(crate) fn parse_leaf_cell(cell: &[u8]) -> Result<(Vec<u8>, Vec<u8>)> {
     let mut pos = 0usize;
     let klen = read_varint(cell, &mut pos)? as usize;
     let kend = pos + klen;
@@ -76,7 +77,7 @@ fn internal_cell(key: &[u8], child: u32) -> Vec<u8> {
 
 /// Borrowed view of an internal cell: `(key, child)` without copying
 /// the key out. Used on comparison-heavy descent paths.
-fn internal_cell_ref(cell: &[u8]) -> Result<(&[u8], u32)> {
+pub(crate) fn internal_cell_ref(cell: &[u8]) -> Result<(&[u8], u32)> {
     let mut pos = 0usize;
     let klen = read_varint(cell, &mut pos)? as usize;
     let kend = pos + klen;

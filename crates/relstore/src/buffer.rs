@@ -13,12 +13,17 @@ use crate::disk::{FileId, FileManager};
 use crate::error::Result;
 use crate::page::PAGE_SIZE;
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 
 /// Cache key of one page.
 pub type PageKey = (FileId, u32);
+
+/// Pages dirtied since the last [`BufferPool::take_dirty_log`] drain. The
+/// single writer drains this at every commit to know which page images the
+/// MVCC publication overlay must carry.
+type DirtyLog = Arc<Mutex<HashSet<PageKey>>>;
 
 struct Frame {
     key: PageKey,
@@ -26,6 +31,20 @@ struct Frame {
     dirty: AtomicBool,
     pins: AtomicU32,
     referenced: AtomicBool,
+    /// True while `key` sits in the shared dirty log. Reset by the drain, so
+    /// a page re-modified after a publication re-enters the next interval's
+    /// log even though `dirty` never transitioned (it may stay set across
+    /// several commits until a checkpoint flushes it).
+    in_log: AtomicBool,
+    log: DirtyLog,
+}
+
+impl Frame {
+    fn log_write(&self) {
+        if !self.in_log.swap(true, Ordering::SeqCst) {
+            self.log.lock().insert(self.key);
+        }
+    }
 }
 
 /// Counters exposed for the buffer-pool ablation benchmark.
@@ -44,6 +63,7 @@ pub struct BufferPool {
     fm: Arc<FileManager>,
     capacity: usize,
     inner: Mutex<PoolInner>,
+    dirty_log: DirtyLog,
 }
 
 struct PoolInner {
@@ -86,9 +106,11 @@ impl PageGuard {
         self.frame.data.read()
     }
 
-    /// Exclusive access to the page bytes; marks the page dirty.
+    /// Exclusive access to the page bytes; marks the page dirty and records
+    /// it in the pool's dirty log for the next MVCC publication.
     pub fn write(&self) -> RwLockWriteGuard<'_, Box<[u8]>> {
         self.frame.dirty.store(true, Ordering::Relaxed);
+        self.frame.log_write();
         self.frame.data.write()
     }
 
@@ -111,6 +133,7 @@ impl BufferPool {
                 stats: PoolStats::default(),
                 saturated: false,
             }),
+            dirty_log: Arc::new(Mutex::new(HashSet::new())),
         }
     }
 
@@ -159,6 +182,8 @@ impl BufferPool {
             dirty: AtomicBool::new(false),
             pins: AtomicU32::new(1),
             referenced: AtomicBool::new(true),
+            in_log: AtomicBool::new(false),
+            log: Arc::clone(&self.dirty_log),
         });
         inner.frames.insert(key, Arc::clone(&frame));
         inner.clock.push(key);
@@ -266,11 +291,75 @@ impl BufferPool {
     /// Reverts an in-memory page to the given bytes (transaction abort under
     /// no-steal: disk was never touched, only the cached copy).
     pub fn overwrite_in_memory(&self, file: FileId, page_no: u32, bytes: &[u8]) {
-        let inner = self.inner.lock();
-        if let Some(frame) = inner.frames.get(&(file, page_no)) {
+        let frame = {
+            let inner = self.inner.lock();
+            inner.frames.get(&(file, page_no)).cloned()
+        };
+        if let Some(frame) = frame {
             frame.data.write().copy_from_slice(bytes);
             frame.dirty.store(true, Ordering::Relaxed);
+            frame.log_write();
         }
+    }
+
+    /// Drains the dirty log: every page written since the previous drain.
+    /// Called by the single writer at commit (to build the publication
+    /// overlay) and at checkpoints (to discard it). Resets each resident
+    /// frame's `in_log` flag so later writes re-enter the next interval.
+    pub fn take_dirty_log(&self) -> Vec<PageKey> {
+        let mut log = self.dirty_log.lock();
+        let keys: Vec<PageKey> = log.drain().collect();
+        drop(log);
+        let inner = self.inner.lock();
+        for key in &keys {
+            if let Some(frame) = inner.frames.get(key) {
+                frame.in_log.store(false, Ordering::SeqCst);
+            }
+        }
+        keys
+    }
+
+    /// Copies the current bytes of each resident page in `keys`, for the
+    /// MVCC commit overlay. Pages no longer resident are skipped: a frame
+    /// only leaves the pool clean, and under no-steal a clean frame's bytes
+    /// already equal the on-disk (committed) image, so readers fall back to
+    /// disk for them. Called by the single writer at commit, when no page in
+    /// its write set can be concurrently modified.
+    pub fn snapshot_pages(&self, keys: &[PageKey]) -> Vec<(PageKey, Arc<[u8]>)> {
+        let frames: Vec<Arc<Frame>> = {
+            let inner = self.inner.lock();
+            keys.iter()
+                .filter_map(|k| inner.frames.get(k).cloned())
+                .collect()
+        };
+        frames
+            .into_iter()
+            .map(|frame| {
+                let data = frame.data.read();
+                (frame.key, Arc::<[u8]>::from(&data[..]))
+            })
+            .collect()
+    }
+
+    /// Copies a resident page's bytes only if the frame is clean — i.e. its
+    /// bytes are identical to the on-disk committed image. Returns `None` on
+    /// a non-resident or dirty frame (callers then read from disk). Never
+    /// installs a frame, so concurrent readers cannot thrash the writer's
+    /// working set. Safe against a concurrent writer: `dirty` is set before
+    /// the page write-lock is taken, and we test it while holding the read
+    /// lock, so a false `dirty` means the bytes cannot be mid-modification.
+    pub fn read_committed(&self, file: FileId, page_no: u32) -> Option<Box<[u8]>> {
+        let frame = {
+            let inner = self.inner.lock();
+            inner.frames.get(&(file, page_no)).cloned()
+        }?;
+        let data = frame.data.read();
+        if frame.dirty.load(Ordering::SeqCst) {
+            return None;
+        }
+        let mut buf = vec![0u8; PAGE_SIZE].into_boxed_slice();
+        buf.copy_from_slice(&data);
+        Some(buf)
     }
 }
 

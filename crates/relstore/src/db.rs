@@ -18,15 +18,16 @@ use crate::disk::{FileId, FileManager};
 use crate::error::{Result, StoreError};
 use crate::heap::{HeapFile, HeapOp};
 use crate::keyenc;
+use crate::snapshot::{BTreeReader, HeapReader, MvccStats, PageSource, SnapCell, Snapshot};
 use crate::tuple::{decode_row, encode_row, Row, Schema, Value};
-use crate::wal::{ObjectId, TxId, Wal, WalRecord, WalStats};
+use crate::wal::{Lsn, ObjectId, TxId, Wal, WalRecord, WalStats};
 use crate::RowId;
 use parking_lot::{Mutex, MutexGuard, RwLock};
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`Database::open_with`].
 #[derive(Debug, Clone)]
@@ -47,6 +48,13 @@ pub struct DbOptions {
     pub group_commit_window: Duration,
     /// Checkpoint automatically once the WAL exceeds this many bytes.
     pub checkpoint_wal_bytes: u64,
+    /// How long a checkpoint waits for read views pinning versions older
+    /// than the current one to drain before *evicting* them. An evicted
+    /// view keeps serving every page in its copy-on-write overlay but
+    /// returns [`StoreError::ViewEvicted`] for pages it would have to
+    /// fault in from disk (the checkpoint overwrote those images). Readers
+    /// therefore bound GC lag instead of blocking it forever.
+    pub max_view_lag: Duration,
 }
 
 impl Default for DbOptions {
@@ -56,6 +64,7 @@ impl Default for DbOptions {
             sync_commits: true,
             group_commit_window: Duration::ZERO,
             checkpoint_wal_bytes: 32 << 20,
+            max_view_lag: Duration::from_secs(2),
         }
     }
 }
@@ -108,6 +117,14 @@ struct TableInner {
     indexes: RwLock<Vec<IndexEntry>>,
 }
 
+/// One registered read view: enough for a checkpoint to decide whether the
+/// view pins disk images the flush would overwrite, and to evict it.
+struct ViewSlot {
+    id: u64,
+    version: Lsn,
+    evicted: Arc<AtomicBool>,
+}
+
 struct DbInner {
     fm: Arc<FileManager>,
     pool: Arc<BufferPool>,
@@ -117,6 +134,17 @@ struct DbInner {
     write_lock: Mutex<()>,
     next_tx: AtomicU64,
     opts: DbOptions,
+    /// Left-right publication cell holding the current MVCC snapshot.
+    cell: SnapCell,
+    /// Registry of live read views. Readers register under this lock in
+    /// the same critical section that loads the snapshot, so a checkpoint
+    /// scanning the registry can never miss a reader whose snapshot
+    /// predates the flush.
+    views: Mutex<Vec<ViewSlot>>,
+    next_view: AtomicU64,
+    views_opened: AtomicU64,
+    views_evicted: AtomicU64,
+    publishes: AtomicU64,
 }
 
 impl Drop for DbInner {
@@ -124,6 +152,91 @@ impl Drop for DbInner {
         // Clean shutdown flushes commits still inside the group-commit
         // window; only an actual crash can lose them.
         let _ = self.wal.get_mut().sync();
+    }
+}
+
+impl DbInner {
+    /// Publishes a new MVCC snapshot at `version` (a commit LSN): drains
+    /// the buffer pool's dirty log, copies the committed images of those
+    /// pages into the previous snapshot's overlay, and flips the cell.
+    /// Called by the single writer with the write lock held.
+    fn publish(&self, version: Lsn) {
+        let keys = self.pool.take_dirty_log();
+        let prev = self.cell.load();
+        let mut overlay = prev.overlay.clone();
+        for (key, img) in self.pool.snapshot_pages(&keys) {
+            overlay.insert(key, img);
+        }
+        self.cell.store(Arc::new(Snapshot {
+            version,
+            overlay,
+            page_counts: self.fm.all_page_counts(),
+        }));
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publishes a fresh snapshot with an *empty* overlay at the current
+    /// version — correct immediately after a checkpoint, when every
+    /// committed image has been flushed and disk equals the current state.
+    fn publish_clean(&self) {
+        self.pool.take_dirty_log();
+        let version = self.cell.load().version;
+        self.cell.store(Arc::new(Snapshot {
+            version,
+            overlay: HashMap::new(),
+            page_counts: self.fm.all_page_counts(),
+        }));
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Checkpoint GC: waits up to `max_view_lag` for read views pinning
+    /// versions older than the current snapshot to drop, then marks the
+    /// stragglers evicted. Views at the current version are untouched —
+    /// the flush writes exactly the images they expect.
+    fn wait_or_evict_stale_views(&self) {
+        let current = self.cell.load().version;
+        let deadline = Instant::now() + self.opts.max_view_lag;
+        loop {
+            let stale: Vec<Arc<AtomicBool>> = {
+                let views = self.views.lock();
+                views
+                    .iter()
+                    .filter(|v| v.version < current && !v.evicted.load(Ordering::SeqCst))
+                    .map(|v| Arc::clone(&v.evicted))
+                    .collect()
+            };
+            if stale.is_empty() {
+                return;
+            }
+            if Instant::now() >= deadline {
+                for flag in stale {
+                    // Set BEFORE any page is flushed: a reader that loads
+                    // disk bytes under a clear flag is guaranteed they
+                    // predate this checkpoint's writes.
+                    flag.store(true, Ordering::SeqCst);
+                    self.views_evicted.fetch_add(1, Ordering::Relaxed);
+                }
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Flushes all dirty pages, truncates the WAL, persists the catalog,
+    /// and republishes a clean snapshot. Caller holds the write lock.
+    fn checkpoint_locked(&self) -> Result<()> {
+        self.wait_or_evict_stale_views();
+        self.pool.flush_all()?;
+        let mut wal = self.wal.lock();
+        wal.append(&WalRecord::Checkpoint)?;
+        let last = wal.reset()?;
+        drop(wal);
+        let mut cat = self.catalog.write();
+        cat.last_lsn = last;
+        cat.save(self.fm.dir())?;
+        drop(cat);
+        self.publish_clean();
+        Ok(())
     }
 }
 
@@ -169,6 +282,12 @@ impl Database {
             write_lock: Mutex::new(()),
             next_tx: AtomicU64::new(1),
             opts,
+            cell: SnapCell::new(Arc::new(Snapshot::empty())),
+            views: Mutex::new(Vec::new()),
+            next_view: AtomicU64::new(0),
+            views_opened: AtomicU64::new(0),
+            views_evicted: AtomicU64::new(0),
+            publishes: AtomicU64::new(0),
         });
         let db = Database { inner };
         // Open every catalogued table so handles and indexes are live.
@@ -179,6 +298,8 @@ impl Database {
         if !pending.is_empty() {
             db.recover(pending)?;
         }
+        // First snapshot: everything on disk is committed state.
+        db.inner.publish_clean();
         Ok(db)
     }
 
@@ -321,14 +442,21 @@ impl Database {
             entry.tree.insert(&key, &rowid_bytes(rid))?;
         }
         t.indexes.write().push(entry);
+        // Publish at the current version so new read views see the index
+        // (DDL is not WAL-versioned; the backfill pages ride the overlay).
+        let version = self.inner.cell.load().version;
+        self.inner.publish(version);
         Ok(())
     }
 
     /// Begins an explicit write transaction. Holds the database write lock
-    /// until commit/abort/drop (drop aborts).
+    /// until commit/abort/drop (drop aborts). The transaction pins a read
+    /// view of the pre-transaction state ([`Txn::read_view`]); the pin is
+    /// released at commit/abort so it can never stall a checkpoint.
     pub fn begin(&self) -> Txn<'_> {
         let guard = self.inner.write_lock.lock();
         let tx = self.inner.next_tx.fetch_add(1, Ordering::Relaxed);
+        let view = self.begin_read();
         Txn {
             db: &self.inner,
             _guard: guard,
@@ -337,25 +465,65 @@ impl Database {
             deferred: Vec::new(),
             began: false,
             finished: false,
+            view: Some(view),
+        }
+    }
+
+    /// Pins a point-in-time read view of the last committed state. Never
+    /// blocks on or is blocked by the writer: the snapshot load is
+    /// lock-free and subsequent page reads take no page latch. The view
+    /// stays pinned (checkpoints wait up to [`DbOptions::max_view_lag`]
+    /// for it) until every clone is dropped.
+    pub fn begin_read(&self) -> ReadView {
+        let evicted = Arc::new(AtomicBool::new(false));
+        // Load the snapshot and register in one critical section so a
+        // checkpoint scanning the registry either sees this view or is
+        // guaranteed the view's snapshot postdates its own publication.
+        let (snap, id) = {
+            let mut views = self.inner.views.lock();
+            let snap = self.inner.cell.load();
+            let id = self.inner.next_view.fetch_add(1, Ordering::Relaxed);
+            views.push(ViewSlot {
+                id,
+                version: snap.version,
+                evicted: Arc::clone(&evicted),
+            });
+            (snap, id)
+        };
+        self.inner.views_opened.fetch_add(1, Ordering::Relaxed);
+        ReadView {
+            core: Arc::new(ViewCore {
+                db: Arc::clone(&self.inner),
+                id,
+                src: PageSource {
+                    snap,
+                    pool: Arc::clone(&self.inner.pool),
+                    evicted,
+                },
+            }),
+        }
+    }
+
+    /// MVCC publication / read-view counters.
+    pub fn mvcc_stats(&self) -> MvccStats {
+        let snap = self.inner.cell.load();
+        MvccStats {
+            version: snap.version,
+            live_views: self.inner.views.lock().len() as u64,
+            views_opened: self.inner.views_opened.load(Ordering::Relaxed),
+            views_evicted: self.inner.views_evicted.load(Ordering::Relaxed),
+            publishes: self.inner.publishes.load(Ordering::Relaxed),
+            overlay_pages: snap.overlay.len() as u64,
+            overlay_bytes: snap.overlay.values().map(|p| p.len() as u64).sum(),
         }
     }
 
     /// Flushes all dirty pages, truncates the WAL, and persists the
-    /// catalog. Called automatically when the WAL grows large.
+    /// catalog. Called automatically when the WAL grows large. Waits up to
+    /// [`DbOptions::max_view_lag`] for stale read views, then evicts them.
     pub fn checkpoint(&self) -> Result<()> {
         let _w = self.inner.write_lock.lock();
-        self.checkpoint_locked()
-    }
-
-    fn checkpoint_locked(&self) -> Result<()> {
-        self.inner.pool.flush_all()?;
-        let mut wal = self.inner.wal.lock();
-        wal.append(&WalRecord::Checkpoint)?;
-        let last = wal.reset()?;
-        let mut cat = self.inner.catalog.write();
-        cat.last_lsn = last;
-        cat.save(self.inner.fm.dir())?;
-        Ok(())
+        self.inner.checkpoint_locked()
     }
 
     /// Crash recovery: redo committed WAL operations, checkpoint, rebuild
@@ -403,7 +571,7 @@ impl Database {
             let t = self.open_table(&name)?;
             t.heap.redo(page, slot, cell.as_deref(), *lsn)?;
         }
-        self.checkpoint_locked()?;
+        self.inner.checkpoint_locked()?;
         self.rebuild_indexes()?;
         self.inner.pool.flush_all()?;
         Ok(())
@@ -479,6 +647,10 @@ pub struct Txn<'a> {
     deferred: Vec<(usize, FileId)>,
     began: bool,
     finished: bool,
+    /// Read view of the pre-transaction state, released (unpinned) by
+    /// commit and abort alike — including the drop-abort path — so a
+    /// finished transaction can never hold GC back.
+    view: Option<ReadView>,
 }
 
 impl<'a> Txn<'a> {
@@ -753,31 +925,36 @@ impl<'a> Txn<'a> {
         Ok(())
     }
 
-    /// Commits: appends and (optionally) fsyncs the commit record.
+    /// The read view pinned when the transaction began: the state every
+    /// reader saw before this transaction's writes.
+    pub fn read_view(&self) -> &ReadView {
+        self.view.as_ref().expect("view pinned until commit/abort")
+    }
+
+    /// Commits: appends and (optionally) fsyncs the commit record, then
+    /// publishes the new MVCC snapshot at the commit LSN.
     pub fn commit(mut self) -> Result<()> {
         if self.finished {
             return Err(StoreError::TxnFinished);
         }
         self.flush_deferred()?;
         self.finished = true;
+        // Release the pre-transaction pin before any checkpoint below —
+        // our own stale view must not count against max_view_lag.
+        self.view = None;
         if self.began {
             let mut wal = self.db.wal.lock();
-            wal.append(&WalRecord::Commit { tx: self.tx })?;
+            let commit_lsn = wal.append(&WalRecord::Commit { tx: self.tx })?;
             if self.db.opts.sync_commits {
                 wal.sync_within(self.db.opts.group_commit_window)?;
             }
             let big = wal.size()? > self.db.opts.checkpoint_wal_bytes;
             drop(wal);
+            // Readers switch to the new version the instant this returns.
+            self.db.publish(commit_lsn);
             if big {
                 // We already hold the write lock.
-                self.db.pool.flush_all()?;
-                let mut wal = self.db.wal.lock();
-                wal.append(&WalRecord::Checkpoint)?;
-                let last = wal.reset()?;
-                drop(wal);
-                let mut cat = self.db.catalog.write();
-                cat.last_lsn = last;
-                cat.save(self.db.fm.dir())?;
+                self.db.checkpoint_locked()?;
             }
         }
         Ok(())
@@ -793,6 +970,9 @@ impl<'a> Txn<'a> {
             return Ok(());
         }
         self.finished = true;
+        // Unpin the read view first: the drop-abort path must release it
+        // just like an explicit abort does.
+        self.view = None;
         for op in self.ops.drain(..).rev() {
             match op {
                 TxOp::Heap(obj, hop) => {
@@ -949,6 +1129,200 @@ impl Table {
     }
 
     /// Ordered range scan over the index: rows with `lo <= key < hi`.
+    pub fn index_range(&self, index: &str, lo: &[Value], hi: &[Value]) -> Result<Vec<RowId>> {
+        let (_, tree) = self.find_index(index)?;
+        let lo = keyenc::encode_key(lo);
+        let (_, hi) = keyenc::prefix_range(hi);
+        tree.range(&lo, &hi)?
+            .into_iter()
+            .map(|(_, v)| rowid_from_bytes(&v))
+            .collect()
+    }
+}
+
+/// Shared state of one pinned read view; unregisters from the database's
+/// view registry when the last clone drops.
+struct ViewCore {
+    db: Arc<DbInner>,
+    id: u64,
+    src: PageSource,
+}
+
+impl Drop for ViewCore {
+    fn drop(&mut self) {
+        self.db.views.lock().retain(|v| v.id != self.id);
+    }
+}
+
+/// A pinned point-in-time view of the database: repeatable reads with no
+/// page locks, fully isolated from the single writer. Clones share the
+/// pin; the view unpins when the last clone drops. Obtain tables with
+/// [`ReadView::table`].
+#[derive(Clone)]
+pub struct ReadView {
+    core: Arc<ViewCore>,
+}
+
+impl ReadView {
+    /// The commit LSN this view is pinned at (0 = freshly opened store).
+    pub fn version(&self) -> u64 {
+        self.core.src.snap.version
+    }
+
+    /// True once a checkpoint has reclaimed disk images this view depended
+    /// on (it exceeded [`DbOptions::max_view_lag`]). Reads that hit the
+    /// view's overlay still succeed; others return
+    /// [`StoreError::ViewEvicted`].
+    pub fn is_evicted(&self) -> bool {
+        self.core.src.evicted.load(Ordering::SeqCst)
+    }
+
+    /// Read-only access to `name` as of this view's version.
+    pub fn table(&self, name: &str) -> Result<ViewTable> {
+        let db = Database {
+            inner: Arc::clone(&self.core.db),
+        };
+        let t = db.open_table(name)?;
+        let indexes = t
+            .indexes
+            .read()
+            .iter()
+            .map(|e| (e.meta.clone(), e.tree.file_id()))
+            .collect();
+        Ok(ViewTable {
+            core: Arc::clone(&self.core),
+            meta: t.meta.clone(),
+            heap_file: t.heap.file_id(),
+            indexes,
+        })
+    }
+}
+
+impl std::fmt::Debug for ReadView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadView")
+            .field("version", &self.version())
+            .field("evicted", &self.is_evicted())
+            .finish()
+    }
+}
+
+/// Read-only table access through a [`ReadView`]: the same read API as
+/// [`Table`], evaluated against the view's pinned snapshot. Never takes a
+/// page lock and never observes writes committed after the view began.
+#[derive(Clone)]
+pub struct ViewTable {
+    core: Arc<ViewCore>,
+    meta: TableMeta,
+    heap_file: FileId,
+    /// Indexes known at view-table creation; ones whose file postdates the
+    /// snapshot (no pages yet) are treated as absent.
+    indexes: Vec<(IndexMeta, FileId)>,
+}
+
+impl ViewTable {
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.meta.name
+    }
+
+    /// Declared schema.
+    pub fn schema(&self) -> &Schema {
+        &self.meta.schema
+    }
+
+    fn heap(&self) -> HeapReader<'_> {
+        HeapReader {
+            src: &self.core.src,
+            file: self.heap_file,
+        }
+    }
+
+    /// Fetches the row at `rid` as of the view.
+    pub fn get(&self, rid: RowId) -> Result<Row> {
+        decode_row(&self.heap().get(rid)?)
+    }
+
+    /// True if `rid` was live at the view's version.
+    pub fn exists(&self, rid: RowId) -> Result<bool> {
+        self.heap().exists(rid)
+    }
+
+    /// Full scan as of the view.
+    pub fn scan(&self) -> Result<Vec<(RowId, Row)>> {
+        self.heap()
+            .scan()?
+            .into_iter()
+            .map(|(rid, b)| Ok((rid, decode_row(&b)?)))
+            .collect()
+    }
+
+    /// Number of rows live at the view's version (scans).
+    pub fn count(&self) -> Result<usize> {
+        Ok(self.heap().scan()?.len())
+    }
+
+    /// Number of heap pages at the view's version.
+    pub fn page_count(&self) -> u32 {
+        self.heap().page_count()
+    }
+
+    fn find_index(&self, name: &str) -> Result<(&IndexMeta, BTreeReader<'_>)> {
+        let (meta, file) = self
+            .indexes
+            .iter()
+            .find(|(m, _)| m.name == name)
+            .map(|(m, f)| (m, *f))
+            .ok_or_else(|| StoreError::NoSuchObject(name.to_string()))?;
+        // An index created after this view's snapshot has no pages in it;
+        // report it absent rather than reading unformatted pages.
+        if self.core.src.page_count(file) < 2 {
+            return Err(StoreError::NoSuchObject(name.to_string()));
+        }
+        Ok((
+            meta,
+            BTreeReader {
+                src: &self.core.src,
+                file,
+            },
+        ))
+    }
+
+    /// Exact-match index lookup as of the view (see [`Table::index_lookup`]).
+    pub fn index_lookup(&self, index: &str, key: &[Value]) -> Result<Vec<RowId>> {
+        let (meta, tree) = self.find_index(index)?;
+        if key.len() != meta.key_columns.len() {
+            return Err(StoreError::Invalid(format!(
+                "index {index} expects {} key values, got {}",
+                meta.key_columns.len(),
+                key.len()
+            )));
+        }
+        if meta.unique {
+            let k = keyenc::encode_key(key);
+            return Ok(match tree.get(&k)? {
+                Some(v) => vec![rowid_from_bytes(&v)?],
+                None => vec![],
+            });
+        }
+        let (lo, hi) = keyenc::prefix_range(key);
+        tree.range(&lo, &hi)?
+            .into_iter()
+            .map(|(_, v)| rowid_from_bytes(&v))
+            .collect()
+    }
+
+    /// Prefix index scan as of the view (see [`Table::index_prefix`]).
+    pub fn index_prefix(&self, index: &str, prefix: &[Value]) -> Result<Vec<RowId>> {
+        let (_, tree) = self.find_index(index)?;
+        let (lo, hi) = keyenc::prefix_range(prefix);
+        tree.range(&lo, &hi)?
+            .into_iter()
+            .map(|(_, v)| rowid_from_bytes(&v))
+            .collect()
+    }
+
+    /// Ordered index range scan as of the view (see [`Table::index_range`]).
     pub fn index_range(&self, index: &str, lo: &[Value], hi: &[Value]) -> Result<Vec<RowId>> {
         let (_, tree) = self.find_index(index)?;
         let lo = keyenc::encode_key(lo);

@@ -97,6 +97,17 @@ impl FileManager {
         Ok(())
     }
 
+    /// Page counts of every open file, keyed by id. Used by MVCC snapshot
+    /// capture: a read view records these to hide pages allocated after it.
+    pub fn all_page_counts(&self) -> HashMap<FileId, u32> {
+        self.inner
+            .lock()
+            .files
+            .iter()
+            .map(|(&id, of)| (id, of.page_count))
+            .collect()
+    }
+
     /// Number of allocated pages in `file`.
     pub fn page_count(&self, file: FileId) -> u32 {
         self.inner

@@ -28,6 +28,10 @@ pub enum StoreError {
     TxnBusy,
     /// Catch-all for invalid arguments (e.g. mismatched key arity).
     Invalid(String),
+    /// A read view outlived the configured `max_view_lag` and a checkpoint
+    /// reclaimed disk images it depended on; the view can no longer serve
+    /// pages it had not already materialized.
+    ViewEvicted,
 }
 
 impl fmt::Display for StoreError {
@@ -44,6 +48,9 @@ impl fmt::Display for StoreError {
             StoreError::TxnFinished => write!(f, "transaction already finished"),
             StoreError::TxnBusy => write!(f, "another write transaction is active"),
             StoreError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
+            StoreError::ViewEvicted => {
+                write!(f, "read view evicted by checkpoint (exceeded max_view_lag)")
+            }
         }
     }
 }

@@ -21,16 +21,16 @@ use crate::RowId;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
-const KIND_DATA: u8 = 0;
-const KIND_FORWARD: u8 = 1;
-const KIND_MOVED: u8 = 2;
+pub(crate) const KIND_DATA: u8 = 0;
+pub(crate) const KIND_FORWARD: u8 = 1;
+pub(crate) const KIND_MOVED: u8 = 2;
 
 fn encode_rowid(rid: RowId, out: &mut Vec<u8>) {
     out.extend_from_slice(&rid.page.to_le_bytes());
     out.extend_from_slice(&rid.slot.to_le_bytes());
 }
 
-fn decode_rowid(buf: &[u8]) -> Result<RowId> {
+pub(crate) fn decode_rowid(buf: &[u8]) -> Result<RowId> {
     if buf.len() < 6 {
         return Err(StoreError::Corrupt("short rowid cell".into()));
     }

@@ -45,6 +45,7 @@ pub mod error;
 pub mod heap;
 pub mod keyenc;
 pub mod page;
+pub mod snapshot;
 pub mod tuple;
 pub mod wal;
 
@@ -76,7 +77,8 @@ impl fmt::Display for RowId {
     }
 }
 
-pub use db::{Database, DbOptions, Table, Txn};
+pub use db::{Database, DbOptions, ReadView, Table, Txn, ViewTable};
 pub use error::{Result, StoreError};
+pub use snapshot::MvccStats;
 pub use tuple::{Column, ColumnType, Row, Schema, Value};
 pub use wal::{ObjectId, WalStats};

@@ -61,7 +61,7 @@ pub(crate) fn plan(
         while end < segments.len() && segments[end].postings() < policy.small_postings {
             end += 1;
         }
-        if end - start >= 2 && best.as_ref().map_or(true, |b| end - start > b.len()) {
+        if end - start >= 2 && best.as_ref().is_none_or(|b| end - start > b.len()) {
             best = Some(start..end);
         }
         start = end;
@@ -287,8 +287,9 @@ mod tests {
             max_segments: 3,
             tombstone_percent: 25,
         };
-        let segs: Vec<Arc<Segment>> =
-            (0..5u64).map(|i| run(i, i * 100 + 1..i * 100 + 4)).collect();
+        let segs: Vec<Arc<Segment>> = (0..5u64)
+            .map(|i| run(i, i * 100 + 1..i * 100 + 4))
+            .collect();
         let w = plan(&segs, &HashSet::new(), &policy).expect("chain over budget");
         assert_eq!(w.len(), 2, "merges an adjacent pair");
     }
@@ -324,6 +325,9 @@ mod tests {
             expect.extend_from_slice(&s.eval(&q));
         }
         assert_eq!(m.segment.eval(&q).as_ref(), expect.as_slice());
-        assert_eq!(m.segment.postings(), segs.iter().map(|s| s.postings()).sum());
+        assert_eq!(
+            m.segment.postings(),
+            segs.iter().map(|s| s.postings()).sum()
+        );
     }
 }

@@ -269,12 +269,7 @@ impl InvertedIndex {
     /// to migrate a legacy `NMTXIDX1` file into a sealed segment.
     pub(crate) fn into_parts(
         self,
-    ) -> (
-        BTreeMap<String, PostingList>,
-        Vec<u64>,
-        HashSet<u64>,
-        usize,
-    ) {
+    ) -> (BTreeMap<String, PostingList>, Vec<u64>, HashSet<u64>, usize) {
         (self.terms, self.ids, self.tombstones, self.postings)
     }
 
@@ -490,9 +485,10 @@ mod tests {
         }
         let all: Vec<u64> = (1..=40).collect();
         assert_eq!(ix.execute(&TextQuery::Prefix("pref".into())), all);
-        assert_eq!(ix.execute(&TextQuery::Prefix("prefix3".into())), vec![
-            3, 10, 17, 24, 31, 38
-        ]);
+        assert_eq!(
+            ix.execute(&TextQuery::Prefix("prefix3".into())),
+            vec![3, 10, 17, 24, 31, 38]
+        );
     }
 
     #[test]

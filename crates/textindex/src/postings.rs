@@ -397,7 +397,10 @@ mod tests {
             intersect_adaptive(&small, &large),
             intersect(&small, &large)
         );
-        assert_eq!(intersect_adaptive(&large, &small), intersect(&small, &large));
+        assert_eq!(
+            intersect_adaptive(&large, &small),
+            intersect(&small, &large)
+        );
     }
 
     #[test]
@@ -418,7 +421,11 @@ mod tests {
             b.sort_unstable();
             b.dedup();
             let expect = intersect(&a, &b);
-            let (s, l) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+            let (s, l) = if a.len() <= b.len() {
+                (&a, &b)
+            } else {
+                (&b, &a)
+            };
             assert_eq!(intersect_galloping(s, l), expect);
             assert_eq!(intersect_adaptive(&a, &b), expect);
         }

@@ -367,7 +367,7 @@ impl SegmentedIndex {
                 vec![Arc::new(merged.segment)]
             };
             st.segments.splice(window.clone(), replacement);
-            self.publish_locked(&mut st);
+            self.publish_locked(&st);
         }
         self.compactions.fetch_add(1, Ordering::Relaxed);
         self.segments_merged
@@ -525,7 +525,11 @@ impl SegmentedIndex {
         }
         let persisted: HashSet<u64> = seg_ids.into_iter().collect();
         Some(SegmentedIndex::from_state(
-            policy, segments, tombstones, next_seg_id, persisted,
+            policy,
+            segments,
+            tombstones,
+            next_seg_id,
+            persisted,
         ))
     }
 

@@ -172,10 +172,7 @@ impl SnapshotCell {
         SnapshotCell {
             version: AtomicU64::new(0),
             readers: [AtomicU64::new(0), AtomicU64::new(0)],
-            slots: [
-                UnsafeCell::new(snap.clone()),
-                UnsafeCell::new(snap),
-            ],
+            slots: [UnsafeCell::new(snap.clone()), UnsafeCell::new(snap)],
             write: Mutex::new(()),
         }
     }
@@ -267,7 +264,7 @@ mod tests {
                 while stop.load(Ordering::Relaxed) == 0 {
                     let s = cell.load();
                     let n = s.len() as u64;
-                    assert!(n >= 1 && n <= 64, "torn snapshot: {n} docs");
+                    assert!((1..=64).contains(&n), "torn snapshot: {n} docs");
                     // Snapshot internal consistency: executing All returns
                     // exactly len ids.
                     assert_eq!(s.execute(&TextQuery::All).len() as u64, n);
@@ -279,8 +276,7 @@ mod tests {
         for round in 2..=64u64 {
             let docs: Vec<(u64, String)> =
                 (1..=round).map(|i| (i, format!("w{i} common"))).collect();
-            let borrowed: Vec<(u64, &str)> =
-                docs.iter().map(|(i, t)| (*i, t.as_str())).collect();
+            let borrowed: Vec<(u64, &str)> = docs.iter().map(|(i, t)| (*i, t.as_str())).collect();
             cell.store(snap_of(&borrowed));
         }
         std::thread::sleep(std::time::Duration::from_millis(20));

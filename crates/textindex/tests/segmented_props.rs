@@ -2,15 +2,13 @@
 //! model, over random interleavings of writer and maintenance operations,
 //! plus a query-consistency check while compaction runs concurrently.
 
-use netmark_textindex::{
-    CompactionPolicy, InvertedIndex, SegmentedIndex, TextQuery,
-};
+use netmark_textindex::{CompactionPolicy, InvertedIndex, SegmentedIndex, TextQuery};
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 const VOCAB: &[&str] = &[
-    "alpha", "beta", "gamma", "delta", "engine", "shuttle", "budget", "gap",
-    "million", "schedule", "risk", "apollo",
+    "alpha", "beta", "gamma", "delta", "engine", "shuttle", "budget", "gap", "million", "schedule",
+    "risk", "apollo",
 ];
 
 /// One step of the random interleaving.
@@ -232,5 +230,9 @@ fn queries_stable_during_concurrent_compaction() {
     for (q, want) in battery.iter().zip(&expected) {
         assert_eq!(&seg.execute(q), want);
     }
-    assert_eq!(seg.stats().tombstones, 0, "compaction purged the tombstones");
+    assert_eq!(
+        seg.stats().tombstones,
+        0,
+        "compaction purged the tombstones"
+    );
 }

@@ -297,6 +297,9 @@ fn stats_node(nm: &NetMark) -> Node {
         .with_attr("mean-latency-us", &q.mean_latency().as_micros().to_string())
         .with_child(q.to_node())
         .with_child(netmark::index_stats_node(&nm.text_index().stats()))
+        .with_child(netmark::mvcc_stats_node(
+            &nm.store().database().mvcc_stats(),
+        ))
 }
 
 fn handle_propfind(nm: &NetMark) -> Response {
@@ -438,6 +441,8 @@ mod tests {
         assert!(resp.contains("cache-hits=\"1\""), "{resp}");
         assert!(resp.contains("cache-misses=\"1\""), "{resp}");
         assert!(resp.contains("collect-us="), "{resp}");
+        assert!(resp.contains("<mvcc"), "{resp}");
+        assert!(resp.contains("live-views=\"0\""), "{resp}");
         h.stop();
         std::fs::remove_dir_all(&dir).unwrap();
     }

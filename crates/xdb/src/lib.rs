@@ -15,7 +15,5 @@ pub mod query;
 pub mod result;
 
 pub use caps::{Capabilities, WIRE_VERSION};
-#[allow(deprecated)]
-pub use query::QueryParseError;
 pub use query::{url_decode, url_encode, MatchMode, ParseError, XdbQuery, XdbQueryBuilder};
 pub use result::{Hit, ResultSet};

@@ -82,28 +82,6 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-/// Stringly-typed error kept for one release as a shim.
-#[deprecated(since = "0.2.0", note = "match on the typed `ParseError` instead")]
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct QueryParseError(pub String);
-
-#[allow(deprecated)]
-impl fmt::Display for QueryParseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "bad xdb query: {}", self.0)
-    }
-}
-
-#[allow(deprecated)]
-impl std::error::Error for QueryParseError {}
-
-#[allow(deprecated)]
-impl From<ParseError> for QueryParseError {
-    fn from(e: ParseError) -> Self {
-        QueryParseError(e.to_string())
-    }
-}
-
 /// Percent-decodes a query component (`+` means space).
 pub fn url_decode(s: &str) -> String {
     let bytes = s.as_bytes();
@@ -236,16 +214,6 @@ impl XdbQuery {
             b = b.set_param(key.trim(), &url_decode(value.trim()))?;
         }
         b.build()
-    }
-
-    /// Parses an XDB URL with the pre-0.2 stringly-typed error.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use XdbQuery::from_url, which returns the typed ParseError"
-    )]
-    #[allow(deprecated)]
-    pub fn parse(input: &str) -> Result<XdbQuery, QueryParseError> {
-        XdbQuery::from_url(input).map_err(QueryParseError::from)
     }
 
     /// Renders the canonical query string (inverse of
@@ -520,16 +488,6 @@ mod tests {
         );
         // An entirely empty builder is the unconstrained query.
         assert!(XdbQuery::builder().build().unwrap().is_unconstrained());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_parse_shim_still_works() {
-        let q = XdbQuery::parse("Context=Budget&limit=2").unwrap();
-        assert_eq!(q.context.as_deref(), Some("Budget"));
-        assert_eq!(q.limit, Some(2));
-        let err = XdbQuery::parse("limit=abc").unwrap_err();
-        assert!(err.to_string().contains("limit"));
     }
 
     #[test]

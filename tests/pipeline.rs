@@ -156,13 +156,14 @@ fn concurrent_readers_during_batch_ingest() {
                 let mut polls = 0u64;
                 while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                     // Stats never error and never go backwards (single
-                    // writer, read-uncommitted visibility).
+                    // writer, committed-snapshot visibility).
                     let s = nm.stats().unwrap();
                     assert!(s.documents >= last_docs, "doc count regressed");
                     last_docs = s.documents;
                     // Every hit the query returns must resolve to a live,
-                    // fully linked document: the DOC-row-first ordering in
-                    // the batch ingest path is what makes this safe.
+                    // fully linked document: each query pins one committed
+                    // MVCC view, so it can never observe a half-ingested
+                    // batch.
                     let rs = nm.query(&XdbQuery::context("Budget")).unwrap();
                     for hit in &rs.hits {
                         assert_eq!(hit.context, "Budget");
