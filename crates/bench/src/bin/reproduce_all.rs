@@ -18,6 +18,7 @@ const TARGETS: &[&str] = &[
     "fig9_query_engine",
     "fig10_segmented_index",
     "fig11_mvcc_reads",
+    "fig12_c10k",
     "sec4_top_employees",
     "ablations",
 ];

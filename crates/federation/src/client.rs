@@ -21,6 +21,11 @@ use std::time::Duration;
 /// Maximum accepted response body (64 MiB), mirroring the server's cap.
 const MAX_BODY: usize = 64 << 20;
 
+/// Ceiling on how long a server-sent `Retry-After` can make us wait per
+/// attempt — a confused or hostile server must not park a router thread
+/// for minutes.
+const MAX_RETRY_AFTER: Duration = Duration::from_secs(10);
+
 /// Tuning knobs for one remote connection.
 #[derive(Debug, Clone)]
 pub struct ClientConfig {
@@ -82,6 +87,10 @@ pub struct HttpClient {
     /// Fresh TCP connections opened (pool misses); observability for the
     /// keep-alive benchmark.
     connects: AtomicU64,
+    /// `429` answers whose `Retry-After` we honored before retrying —
+    /// visibility into how often a remote's admission control pushes
+    /// back.
+    throttles: AtomicU64,
     /// xorshift state for retry jitter (no external RNG dependency).
     jitter: AtomicU64,
 }
@@ -98,6 +107,7 @@ impl HttpClient {
             cfg,
             pool: Mutex::new(Vec::new()),
             connects: AtomicU64::new(0),
+            throttles: AtomicU64::new(0),
             jitter: AtomicU64::new(addr.port() as u64 | 0x9E37_79B9_7F4A_7C15),
         })
     }
@@ -113,13 +123,24 @@ impl HttpClient {
         self.connects.load(Ordering::Relaxed)
     }
 
+    /// `429` responses whose `Retry-After` this client waited out before
+    /// retrying.
+    pub fn throttles(&self) -> u64 {
+        self.throttles.load(Ordering::Relaxed)
+    }
+
     /// Issues `GET <path_and_query>` with retry: transport failures are
     /// retried with exponential backoff + jitter, because a GET in the
-    /// federation protocol is always idempotent. A decoded HTTP response —
-    /// any status — is returned without retrying.
+    /// federation protocol is always idempotent. A decoded HTTP response
+    /// is returned without retrying — except `429 Too Many Requests`,
+    /// where the server is explicitly asking us to come back later: its
+    /// `Retry-After` is honored (capped at [`MAX_RETRY_AFTER`]) and the
+    /// request retried; retries exhausted, the `429` itself is returned
+    /// so callers see the shed rather than a synthetic transport error.
     pub fn get(&self, path_and_query: &str) -> std::io::Result<HttpResponse> {
         let mut delay = self.cfg.backoff_base;
         let mut last_err = None;
+        let mut last_shed = None;
         for attempt in 0..=self.cfg.retries {
             // A pooled socket may have been closed by the server since the
             // last request; one silent same-attempt refresh on a fresh
@@ -132,6 +153,25 @@ impl HttpClient {
                 None => self.connect().and_then(|c| self.attempt(c, path_and_query)),
             };
             match result {
+                Ok(resp) if resp.status == 429 => {
+                    if attempt >= self.cfg.retries {
+                        return Ok(resp); // out of retries: surface the shed
+                    }
+                    self.throttles.fetch_add(1, Ordering::Relaxed);
+                    let wait = resp
+                        .headers
+                        .get("retry-after")
+                        .and_then(|v| v.trim().parse::<u64>().ok())
+                        .map(Duration::from_secs)
+                        .unwrap_or(delay)
+                        .min(MAX_RETRY_AFTER);
+                    last_shed = Some(resp);
+                    // Jitter on top of the server's ask, so a fleet shed
+                    // in the same instant does not return in the same
+                    // instant.
+                    std::thread::sleep(wait + self.jittered(self.cfg.backoff_base));
+                    continue;
+                }
                 Ok(resp) => return Ok(resp),
                 Err(e) => last_err = Some(e),
             }
@@ -139,6 +179,9 @@ impl HttpClient {
                 std::thread::sleep(self.jittered(delay));
                 delay = (delay * 2).min(self.cfg.backoff_cap);
             }
+        }
+        if let Some(resp) = last_shed {
+            return Ok(resp);
         }
         Err(last_err.unwrap_or_else(|| std::io::Error::other("no attempt made")))
     }

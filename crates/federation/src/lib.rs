@@ -38,4 +38,7 @@ pub use databank::{
 };
 pub use matcher::{match_document, sections, Section};
 pub use remote::{BreakerConfig, BreakerState, RemoteConfig, RemoteSource};
-pub use serve::{handle_federated, serve_router, FederatedServerHandle};
+pub use serve::{handle_federated, serve_router, serve_router_with, FederatedServerHandle};
+// Front-end tuning/observability, re-exported for deployments of
+// `serve_router_with` (same types the WebDAV server uses).
+pub use netmark_netserve::{FrontendConfig, FrontendStats, FrontendStatsSnapshot};

@@ -10,49 +10,36 @@
 use crate::databank::Router;
 use netmark::NetMark;
 use netmark_model::Node;
+use netmark_netserve::{Frontend, FrontendConfig, FrontendHandle, FrontendStats};
 use netmark_webdav::{
-    handle as local_handle, respond_query, serve_connection, ConnTracker, Request, Response,
+    handle as local_handle, respond_query, server_stats_node, FrontendStatsSnapshot, HttpService,
+    Request, Response,
 };
 use netmark_xdb::{Capabilities, XdbQuery};
-use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::TcpListener;
 use std::sync::Arc;
 
 /// A running federated server; dropping the handle stops it.
 pub struct FederatedServerHandle {
-    addr: std::net::SocketAddr,
-    stop: Arc<AtomicBool>,
-    conns: Arc<ConnTracker>,
-    join: Option<std::thread::JoinHandle<()>>,
+    frontend: FrontendHandle,
 }
 
 impl FederatedServerHandle {
     /// Bound address.
     pub fn addr(&self) -> std::net::SocketAddr {
-        self.addr
+        self.frontend.addr()
     }
 
-    /// Stops the accept loop and joins the server thread.
-    pub fn stop(mut self) {
-        self.shutdown();
+    /// Point-in-time front-end counters (also served as `<server/>`
+    /// under `GET /xdb/stats`).
+    pub fn server_stats(&self) -> FrontendStatsSnapshot {
+        self.frontend.stats().snapshot()
     }
 
-    fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
-        // Kick keep-alive handler threads off their sockets.
-        self.conns.close_all();
-        if let Some(j) = self.join.take() {
-            let _ = j.join();
-        }
-    }
-}
-
-impl Drop for FederatedServerHandle {
-    fn drop(&mut self) {
-        if self.join.is_some() {
-            self.shutdown();
-        }
+    /// Stops the front end — accept loop, workers, poller, and every
+    /// live connection — and joins its threads.
+    pub fn stop(self) {
+        self.frontend.stop();
     }
 }
 
@@ -127,42 +114,40 @@ fn stats_node(router: &Router, local: Option<&NetMark>) -> Node {
     stats
 }
 
-/// Starts the federated server on `bind`.
+/// Starts the federated server on `bind` with the default
+/// [`FrontendConfig`].
 pub fn serve_router(
     router: Arc<Router>,
     local: Option<Arc<NetMark>>,
     bind: &str,
 ) -> std::io::Result<FederatedServerHandle> {
+    serve_router_with(router, local, bind, FrontendConfig::default())
+}
+
+/// [`serve_router`] with explicit front-end tuning (worker count, queue
+/// depth, admission caps, idle/read budgets — see [`FrontendConfig`]).
+/// The same bounded front end as the NETMARK server: one timeout
+/// discipline for both endpoints, instead of the federated server's old
+/// raw `TcpStream` handlers that never set a read timeout.
+pub fn serve_router_with(
+    router: Arc<Router>,
+    local: Option<Arc<NetMark>>,
+    bind: &str,
+    cfg: FrontendConfig,
+) -> std::io::Result<FederatedServerHandle> {
     let listener = TcpListener::bind(bind)?;
-    let addr = listener.local_addr()?;
-    let stop = Arc::new(AtomicBool::new(false));
-    let stop2 = Arc::clone(&stop);
-    let conns = Arc::new(ConnTracker::default());
-    let conns2 = Arc::clone(&conns);
-    let join = std::thread::spawn(move || {
-        for conn in listener.incoming() {
-            if stop2.load(Ordering::SeqCst) {
-                break;
-            }
-            let Ok(mut conn) = conn else { continue };
-            let router = Arc::clone(&router);
-            let local = local.clone();
-            let conns = Arc::clone(&conns2);
-            std::thread::spawn(move || {
-                let id = conns.track(&conn);
-                serve_connection(&mut conn, |req| {
-                    handle_federated(&router, local.as_deref(), req)
-                });
-                conns.release(id);
-            });
+    let stats = FrontendStats::shared();
+    let stats_for_handler = Arc::clone(&stats);
+    let service = HttpService::new(move |req: &Request| {
+        if req.method == "GET" && req.path == "/xdb/stats" {
+            let node = stats_node(&router, local.as_deref())
+                .with_child(server_stats_node(&stats_for_handler.snapshot()));
+            return Response::new(200).with_xml(&node.to_xml());
         }
+        handle_federated(&router, local.as_deref(), req)
     });
-    Ok(FederatedServerHandle {
-        addr,
-        stop,
-        conns,
-        join: Some(join),
-    })
+    let frontend = Frontend::start(listener, service, cfg, stats)?;
+    Ok(FederatedServerHandle { frontend })
 }
 
 #[cfg(test)]
@@ -170,6 +155,7 @@ mod tests {
     use super::*;
     use crate::adapter::{ContentOnlySource, NetmarkSource};
     use std::io::{Read, Write};
+    use std::net::TcpStream;
 
     fn request(addr: std::net::SocketAddr, raw: &str) -> String {
         let mut s = TcpStream::connect(addr).unwrap();

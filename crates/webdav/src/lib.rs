@@ -22,5 +22,9 @@ pub use daemon::{watch_folder, watch_folder_with, DaemonHandle, DaemonStats};
 pub use http::{read_request, read_request_from, Request, RequestError, Response};
 pub use ingest::IngestService;
 pub use server::{
-    handle, handle_with, respond_query, serve, serve_connection, ConnTracker, ServerHandle,
+    handle, handle_with, respond_query, serve, serve_with, server_stats_node, HttpService,
+    ServerHandle,
 };
+// Front-end tuning/observability types, re-exported so deployments can
+// configure `serve_with` without naming the netserve crate.
+pub use netmark_netserve::{FrontendConfig, FrontendStats, FrontendStatsSnapshot};

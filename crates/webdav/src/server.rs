@@ -22,178 +22,176 @@ use crate::http::{read_request_from, Request, RequestError, Response};
 use crate::ingest::IngestService;
 use netmark::{NetMark, PipelineConfig, QueryOutput};
 use netmark_model::{escape_text, Node};
+use netmark_netserve::{
+    Frontend, FrontendConfig, FrontendHandle, FrontendStats, FrontendStatsSnapshot, ServeOutcome,
+    Service,
+};
 use netmark_xdb::{url_decode, Capabilities, XdbQuery};
-use std::collections::HashMap;
-use std::io::BufReader;
-use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::io::{BufRead, Write};
+use std::net::TcpListener;
+use std::sync::Arc;
 use std::time::Duration;
 
-/// How long a keep-alive connection may sit idle between requests before
-/// the server reclaims its thread.
-const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
-
-/// Registry of live connection sockets. Keep-alive means handler threads
-/// outlive the accept loop; `close_all` hard-closes every tracked socket
-/// so shutdown takes effect immediately instead of waiting out each
-/// connection's idle timeout.
-#[derive(Default)]
-pub struct ConnTracker {
-    next: AtomicU64,
-    conns: Mutex<HashMap<u64, TcpStream>>,
+/// The HTTP/1.1 binding of the front end's [`Service`] contract: one
+/// request parsed off the connection's buffered reader (pipelined bytes
+/// survive between calls), one response written honoring the client's
+/// keep-alive preference. Oversized or malformed requests are answered
+/// (`413`/`431`/`400`) and the connection closed; a read-budget expiry
+/// mid-request surfaces as [`ServeOutcome::TimedOut`] so the front end
+/// books the slow-loris kill.
+///
+/// Shared by the NETMARK server and the federation router server.
+pub struct HttpService<F> {
+    handler: F,
 }
 
-impl ConnTracker {
-    /// Registers a connection; pass the returned token to [`release`]
-    /// (ConnTracker::release) when its handler finishes.
-    pub fn track(&self, conn: &TcpStream) -> u64 {
-        let id = self.next.fetch_add(1, Ordering::Relaxed);
-        if let Ok(c) = conn.try_clone() {
-            self.conns.lock().unwrap().insert(id, c);
+impl<F> HttpService<F>
+where
+    F: Fn(&Request) -> Response + Send + Sync + 'static,
+{
+    /// Wraps a request handler into a front-end service.
+    pub fn new(handler: F) -> HttpService<F> {
+        HttpService { handler }
+    }
+}
+
+impl<F> Service for HttpService<F>
+where
+    F: Fn(&Request) -> Response + Send + Sync + 'static,
+{
+    fn serve_one(&self, mut reader: &mut dyn BufRead, mut out: &mut dyn Write) -> ServeOutcome {
+        match read_request_from(&mut reader) {
+            Ok(req) => {
+                let keep = req.wants_keep_alive();
+                let resp = (self.handler)(&req);
+                match resp.write_to(&mut out, keep) {
+                    Ok(()) => ServeOutcome::Served { keep },
+                    Err(_) => ServeOutcome::Fatal,
+                }
+            }
+            Err(RequestError::BodyTooLarge(_)) => {
+                let _ = Response::new(413)
+                    .with_text("declared body exceeds server limit")
+                    .write_to(&mut out, false);
+                ServeOutcome::Fatal
+            }
+            Err(RequestError::HeadersTooLarge) => {
+                let _ = Response::new(431)
+                    .with_text("header section exceeds server limit")
+                    .write_to(&mut out, false);
+                ServeOutcome::Fatal
+            }
+            Err(RequestError::Malformed(m)) => {
+                let _ = Response::new(400).with_text(&m).write_to(&mut out, false);
+                ServeOutcome::Fatal
+            }
+            // Clean close between requests: client is done.
+            Err(RequestError::Closed) => ServeOutcome::CleanClose,
+            // The front end's read budget expired mid-request: the peer
+            // trickled or stalled (slow-loris); report it as such.
+            Err(RequestError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                ) =>
+            {
+                ServeOutcome::TimedOut
+            }
+            Err(RequestError::Io(_)) => ServeOutcome::Fatal,
         }
-        id
     }
 
-    /// Forgets a finished connection.
-    pub fn release(&self, id: u64) {
-        self.conns.lock().unwrap().remove(&id);
+    fn shed_response(&self, retry_after: Duration) -> Vec<u8> {
+        let mut wire = Vec::new();
+        let _ = Response::new(429)
+            .with_header("Retry-After", &retry_after.as_secs().max(1).to_string())
+            .with_text("server at capacity; retry later")
+            .write_to(&mut wire, false);
+        wire
     }
+}
 
-    /// Hard-closes every live connection (both directions).
-    pub fn close_all(&self) {
-        for (_, c) in self.conns.lock().unwrap().drain() {
-            let _ = c.shutdown(std::net::Shutdown::Both);
-        }
-    }
+/// Renders a front-end stats snapshot as the `<server/>` element served
+/// under `GET /xdb/stats` (both here and on the federation router),
+/// mirroring how `<index/>` and `<mvcc/>` surface the other subsystems.
+pub fn server_stats_node(s: &FrontendStatsSnapshot) -> Node {
+    Node::element("server")
+        .with_attr("accepted", &s.accepted.to_string())
+        .with_attr("requests", &s.requests.to_string())
+        .with_attr("active", &s.active.to_string())
+        .with_attr("queued", &s.queued.to_string())
+        .with_attr("parked", &s.parked.to_string())
+        .with_attr("shed", &s.sheds.to_string())
+        .with_attr("client-rejects", &s.client_rejects.to_string())
+        .with_attr("idle-reaped", &s.idle_reaped.to_string())
+        .with_attr("read-timeouts", &s.read_timeouts.to_string())
+        .with_attr("write-errors", &s.write_errors.to_string())
+        .with_attr("deadline-overruns", &s.deadline_overruns.to_string())
+        .with_attr("accept-errors", &s.accept_errors.to_string())
+        .with_attr("panics", &s.panics.to_string())
 }
 
 /// A running server; dropping the handle stops it.
 pub struct ServerHandle {
-    addr: std::net::SocketAddr,
-    stop: Arc<AtomicBool>,
-    conns: Arc<ConnTracker>,
-    join: Option<std::thread::JoinHandle<()>>,
+    frontend: FrontendHandle,
 }
 
 impl ServerHandle {
     /// Bound address (use for clients; port was chosen by the OS if you
     /// bound `:0`).
     pub fn addr(&self) -> std::net::SocketAddr {
-        self.addr
+        self.frontend.addr()
     }
 
-    /// Stops the accept loop and joins the server thread.
-    pub fn stop(mut self) {
-        self.shutdown();
+    /// Point-in-time front-end counters (also served as `<server/>`
+    /// under `GET /xdb/stats`).
+    pub fn server_stats(&self) -> FrontendStatsSnapshot {
+        self.frontend.stats().snapshot()
     }
 
-    fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept loop.
-        let _ = TcpStream::connect(self.addr);
-        // Kick keep-alive handler threads off their sockets.
-        self.conns.close_all();
-        if let Some(j) = self.join.take() {
-            let _ = j.join();
-        }
+    /// Stops the front end — accept loop, workers, poller, and every
+    /// live connection — and joins its threads.
+    pub fn stop(self) {
+        self.frontend.stop();
     }
 }
 
-impl Drop for ServerHandle {
-    fn drop(&mut self) {
-        if self.join.is_some() {
-            self.shutdown();
-        }
-    }
-}
-
-/// Starts the server on `bind` (e.g. `"127.0.0.1:0"`), serving `nm`.
+/// Starts the server on `bind` (e.g. `"127.0.0.1:0"`), serving `nm`,
+/// with the default [`FrontendConfig`].
 ///
 /// Uploads (`PUT /docs/<name>`) go through a shared [`IngestService`]:
 /// concurrent PUTs are batched into shared store transactions by one
 /// background writer, with backpressure from its bounded work queue.
 pub fn serve(nm: Arc<NetMark>, bind: &str) -> std::io::Result<ServerHandle> {
+    serve_with(nm, bind, FrontendConfig::default())
+}
+
+/// [`serve`] with explicit front-end tuning (worker count, queue depth,
+/// admission caps, idle/read budgets — see [`FrontendConfig`]).
+pub fn serve_with(
+    nm: Arc<NetMark>,
+    bind: &str,
+    cfg: FrontendConfig,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(bind)?;
-    let addr = listener.local_addr()?;
-    let stop = Arc::new(AtomicBool::new(false));
-    let stop2 = Arc::clone(&stop);
     let ingest = Arc::new(IngestService::start(
         Arc::clone(&nm),
         PipelineConfig::default(),
     ));
-    let conns = Arc::new(ConnTracker::default());
-    let conns2 = Arc::clone(&conns);
-    let join = std::thread::spawn(move || {
-        for conn in listener.incoming() {
-            if stop2.load(Ordering::SeqCst) {
-                break;
-            }
-            let Ok(mut conn) = conn else { continue };
-            let nm = Arc::clone(&nm);
-            let ingest = Arc::clone(&ingest);
-            let conns = Arc::clone(&conns2);
-            std::thread::spawn(move || {
-                let id = conns.track(&conn);
-                serve_connection(&mut conn, |req| handle_with(&nm, Some(&ingest), req));
-                conns.release(id);
-            });
+    let stats = FrontendStats::shared();
+    let stats_for_handler = Arc::clone(&stats);
+    let service = HttpService::new(move |req: &Request| {
+        // The stats route is answered here rather than in `handle_with`
+        // because only the server (not the bare handler) has a front end
+        // whose counters belong in the document.
+        if req.method == "GET" && req.path == "/xdb/stats" {
+            let node = stats_node(&nm).with_child(server_stats_node(&stats_for_handler.snapshot()));
+            return Response::new(200).with_xml(&node.to_xml());
         }
+        handle_with(&nm, Some(&ingest), req)
     });
-    Ok(ServerHandle {
-        addr,
-        stop,
-        conns,
-        join: Some(join),
-    })
-}
-
-/// Runs the persistent-connection loop on one accepted socket: requests
-/// are read off a single buffered reader (so pipelined bytes survive
-/// between requests), dispatched through `handler`, and answered with the
-/// client's keep-alive preference honored. Oversized or malformed requests
-/// are answered (`413`/`431`/`400`) and the connection closed; idle
-/// keep-alive connections are reclaimed after [`IDLE_TIMEOUT`].
-///
-/// Shared by the NETMARK server and the federation router server.
-pub fn serve_connection<F>(conn: &mut TcpStream, mut handler: F)
-where
-    F: FnMut(&Request) -> Response,
-{
-    let _ = conn.set_read_timeout(Some(IDLE_TIMEOUT));
-    let _ = conn.set_nodelay(true);
-    let Ok(clone) = conn.try_clone() else { return };
-    let mut reader = BufReader::new(clone);
-    loop {
-        match read_request_from(&mut reader) {
-            Ok(req) => {
-                let keep = req.wants_keep_alive();
-                let resp = handler(&req);
-                if resp.write_to(conn, keep).is_err() || !keep {
-                    break;
-                }
-            }
-            Err(RequestError::BodyTooLarge(_)) => {
-                let _ = Response::new(413)
-                    .with_text("declared body exceeds server limit")
-                    .write_to(conn, false);
-                break;
-            }
-            Err(RequestError::HeadersTooLarge) => {
-                let _ = Response::new(431)
-                    .with_text("header section exceeds server limit")
-                    .write_to(conn, false);
-                break;
-            }
-            Err(RequestError::Malformed(m)) => {
-                let _ = Response::new(400).with_text(&m).write_to(conn, false);
-                break;
-            }
-            // Clean close between requests, or a socket error / idle
-            // timeout mid-request: nothing useful to answer.
-            Err(RequestError::Closed) | Err(RequestError::Io(_)) => break,
-        }
-    }
+    let frontend = Frontend::start(listener, service, cfg, stats)?;
+    Ok(ServerHandle { frontend })
 }
 
 fn doc_name(path: &str) -> Option<String> {
@@ -330,6 +328,7 @@ mod tests {
     use super::*;
     use std::collections::BTreeMap;
     use std::io::{Read, Write};
+    use std::net::TcpStream;
     use std::path::PathBuf;
 
     fn temp_nm(tag: &str) -> (Arc<NetMark>, PathBuf) {
@@ -495,6 +494,7 @@ mod tests {
 mod encoding_tests {
     use super::*;
     use std::io::{Read, Write};
+    use std::net::TcpStream;
 
     #[test]
     fn percent_encoded_document_names() {

@@ -8,10 +8,13 @@
 
 use netmark::NetMark;
 use netmark_corpus::{anomaly_reports, lessons_learned, CorpusConfig};
-use netmark_federation::{serve_router, ContentOnlySource, NetmarkSource, Router};
+use netmark_federation::{
+    serve_router_with, ContentOnlySource, FrontendConfig, NetmarkSource, Router,
+};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn http(addr: std::net::SocketAddr, raw: &str) -> String {
     let mut s = TcpStream::connect(addr).expect("connect");
@@ -45,7 +48,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     router.register_source(Arc::new(llis))?;
     router.define_databank("anomaly-tracking", &["anomaly-db", "llis"])?;
 
-    let h = serve_router(Arc::new(router), Some(Arc::clone(&nm)), "127.0.0.1:0")?;
+    // The router shares the WebDAV server's bounded front end — same
+    // knobs, same timeout discipline, same <server/> stats element.
+    let cfg = FrontendConfig {
+        max_conns: 4096,
+        idle_timeout: Duration::from_secs(15),
+        read_budget: Duration::from_secs(5),
+        ..FrontendConfig::default()
+    };
+    let h = serve_router_with(Arc::new(router), Some(Arc::clone(&nm)), "127.0.0.1:0", cfg)?;
     println!("federated NETMARK router on http://{}", h.addr());
 
     // One URL, two sources, capability augmentation on the weak one.
@@ -63,6 +74,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let body = &resp[resp.find("\r\n\r\n").map(|i| i + 4).unwrap_or(0)..];
     println!("local-only answer:\n{body}");
+
+    let s = h.server_stats();
+    println!(
+        "front end: {} conns accepted, {} requests, {} shed",
+        s.accepted, s.requests, s.sheds
+    );
 
     h.stop();
     std::fs::remove_dir_all(&base)?;

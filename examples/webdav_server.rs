@@ -9,7 +9,7 @@
 //! then issues real HTTP requests against the server it started.
 
 use netmark::NetMark;
-use netmark_webdav::{serve, watch_folder};
+use netmark_webdav::{serve_with, watch_folder, FrontendConfig};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
@@ -33,7 +33,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let nm = Arc::new(NetMark::open(&base.join("store"))?);
     let daemon = watch_folder(Arc::clone(&nm), &drop_dir, Duration::from_millis(50));
-    let server = serve(Arc::clone(&nm), "127.0.0.1:0")?;
+    // Production-style front-end tuning: every knob bounded. Defaults
+    // are fine too — `serve` uses `FrontendConfig::default()`.
+    let cfg = FrontendConfig {
+        max_conns: 4096,                       // fd budget
+        max_per_client: 64,                    // per-IP fairness
+        idle_timeout: Duration::from_secs(15), // keep-alive reap
+        read_budget: Duration::from_secs(5),   // slow-loris kill
+        ..FrontendConfig::default()
+    };
+    let server = serve_with(Arc::clone(&nm), "127.0.0.1:0", cfg)?;
     println!("NETMARK serving on http://{}", server.addr());
     println!("drop folder: {}", drop_dir.display());
 
@@ -80,6 +89,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let body_at = resp.find("\r\n\r\n").map(|i| i + 4).unwrap_or(0);
     println!("GET /xdb?Context=Budget →");
     println!("{}", &resp[body_at..]);
+
+    // Operators read the same counters from GET /xdb/stats (<server/>).
+    let s = server.server_stats();
+    println!(
+        "front end: {} conns accepted, {} requests, {} shed, {} idle-reaped",
+        s.accepted, s.requests, s.sheds, s.idle_reaped
+    );
 
     server.stop();
     daemon.stop();

@@ -322,3 +322,71 @@ fn refused_connections_open_the_breaker() {
     proxy.stop();
     let _ = std::fs::remove_dir_all(&base);
 }
+
+/// A source at capacity sheds with `429 Retry-After` instead of queueing
+/// or dropping. The federation client honors the header — it waits out
+/// the advertised interval and then succeeds — so one overloaded source
+/// costs latency, not availability, and no retry storm hits the server
+/// while it recovers.
+#[test]
+fn shed_source_recovers_via_retry_after() {
+    let base = scratch("shed");
+    let cfg = netmark_federation::FrontendConfig {
+        workers: 2,
+        max_conns: 1,
+        idle_timeout: Duration::from_millis(150),
+        retry_after: Duration::from_secs(1),
+        poll_interval: Duration::from_millis(5),
+        ..netmark_federation::FrontendConfig::default()
+    };
+    let srv = netmark_webdav::serve_with(store_with(&base, "golf"), "127.0.0.1:0", cfg).unwrap();
+
+    // Register while the server has room (capability negotiation needs a
+    // slot); the pooled keep-alive connection is then reaped by the tiny
+    // idle budget, freeing the slot again.
+    let remote_cfg = RemoteConfig {
+        client: ClientConfig {
+            retries: 2,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(20),
+            ..ClientConfig::default()
+        },
+        breaker: BreakerConfig {
+            failure_threshold: 10,
+            cooldown: Duration::from_millis(200),
+        },
+    };
+    let src = RemoteSource::connect("golf", &srv.addr().to_string(), remote_cfg).unwrap();
+    let mut router = Router::new();
+    router.register_source(Arc::new(src)).unwrap();
+    router.define_databank("bank", &["golf"]).unwrap();
+    std::thread::sleep(Duration::from_millis(400)); // pooled conn reaped
+
+    // Occupy the only slot, then free it while the client sleeps out the
+    // Retry-After from its 429.
+    let holder = TcpStream::connect(srv.addr()).unwrap();
+    std::thread::sleep(Duration::from_millis(100)); // holder admitted
+    let freer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(300));
+        drop(holder);
+    });
+
+    let started = Instant::now();
+    let fr = router.query("bank", &XdbQuery::context("Budget")).unwrap();
+    let waited = started.elapsed();
+    freer.join().unwrap();
+
+    assert!(!fr.degraded(), "{:?}", fr.outcomes);
+    assert_eq!(fr.results.len(), 1);
+    assert!(
+        waited >= Duration::from_secs(1),
+        "client must wait out Retry-After before retrying: {waited:?}"
+    );
+    assert!(
+        srv.server_stats().sheds >= 1,
+        "the shed must be visible in server stats"
+    );
+
+    srv.stop();
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -1,0 +1,247 @@
+//! Regression tests for the bounded server front end, driven through
+//! both real servers (the NETMARK WebDAV server and the federated
+//! router) over actual sockets.
+//!
+//! Each test pins a bug the old thread-per-connection loops had:
+//!
+//! - the federated server never set a read timeout, so one stalled
+//!   client held a thread (and its fd) forever — now both servers share
+//!   the front end's wall-clock read budget (slow-loris kill);
+//! - idle keep-alive connections were held by blocked reader threads —
+//!   now they park fd-only and are reaped past the idle budget;
+//! - over capacity, accepts queued without bound — now they shed with
+//!   `429` + `Retry-After`, and the federation `HttpClient` honors the
+//!   header instead of hammering the recovering server.
+
+use netmark::NetMark;
+use netmark_federation::{serve_router_with, ClientConfig, ContentOnlySource, HttpClient, Router};
+use netmark_webdav::{serve_with, FrontendConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn temp_store(tag: &str) -> (Arc<NetMark>, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("netmark-frontend-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let nm = Arc::new(NetMark::open(&dir).unwrap());
+    nm.insert_file("seed.txt", "# Budget\nseed money\n")
+        .unwrap();
+    (nm, dir)
+}
+
+/// A config with millisecond budgets so reap/kill paths run inside a
+/// test's patience.
+fn tight(read_ms: u64, idle_ms: u64) -> FrontendConfig {
+    FrontendConfig {
+        workers: 2,
+        read_budget: Duration::from_millis(read_ms),
+        idle_timeout: Duration::from_millis(idle_ms),
+        poll_interval: Duration::from_millis(5),
+        ..FrontendConfig::default()
+    }
+}
+
+/// Sends one well-formed keep-alive request and reads the framed
+/// response (headers + `Content-Length` body), leaving the connection
+/// open for the next request — or for the server to reap.
+fn keepalive_get(s: &mut TcpStream, path: &str) -> String {
+    write!(s, "GET {path} HTTP/1.1\r\n\r\n").unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut raw = Vec::new();
+    let mut byte = [0u8; 1];
+    // Headers.
+    while !raw.ends_with(b"\r\n\r\n") {
+        assert_ne!(s.read(&mut byte).unwrap(), 0, "closed mid-headers");
+        raw.push(byte[0]);
+    }
+    let head = String::from_utf8_lossy(&raw).to_string();
+    let len: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("framed response")
+        .trim()
+        .parse()
+        .unwrap();
+    let mut body = vec![0u8; len];
+    s.read_exact(&mut body).unwrap();
+    head + &String::from_utf8_lossy(&body)
+}
+
+/// Waits for the socket to be closed server-side (EOF), failing if the
+/// server instead keeps it (the leak under test).
+fn expect_server_close(s: &mut TcpStream) {
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut rest = Vec::new();
+    match s.read_to_end(&mut rest) {
+        Ok(_) => {}
+        Err(e) => panic!("expected server-side close, got {e}"),
+    }
+}
+
+fn eventually(what: &str, pred: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        if pred() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("timed out waiting for: {what}");
+}
+
+// ------------------------------------------------------------- slow-loris
+
+#[test]
+fn webdav_server_kills_slow_loris() {
+    let (nm, dir) = temp_store("loris");
+    let h = serve_with(nm, "127.0.0.1:0", tight(200, 30_000)).unwrap();
+
+    let mut s = TcpStream::connect(h.addr()).unwrap();
+    // Trickle a request line one byte at a time, never finishing: each
+    // byte arrives well inside any per-read timeout, so only the
+    // wall-clock read budget can end this.
+    let started = Instant::now();
+    for b in b"GET /xdb/stats HTTP/1.1\r\n".iter().cycle() {
+        if s.write_all(&[*b]).is_err() {
+            break; // server gave up on us — the point
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        if started.elapsed() > Duration::from_secs(3) {
+            panic!("slow-loris still being fed after 3s");
+        }
+    }
+    expect_server_close(&mut s);
+    eventually("slow-loris kill booked", || {
+        h.server_stats().read_timeouts >= 1
+    });
+    eventually("connection slot released", || h.server_stats().active == 0);
+    h.stop();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn federated_server_kills_slow_loris() {
+    // The old federated accept loop never set *any* read timeout — this
+    // exact scenario held a server thread forever.
+    let router = test_router();
+    let h = serve_router_with(router, None, "127.0.0.1:0", tight(200, 30_000)).unwrap();
+
+    let mut s = TcpStream::connect(h.addr()).unwrap();
+    s.write_all(b"GET /xdb?databank=apps").unwrap(); // opened, never finished
+    expect_server_close(&mut s);
+    eventually("slow-loris kill booked", || {
+        h.server_stats().read_timeouts >= 1
+    });
+    eventually("connection slot released", || h.server_stats().active == 0);
+    h.stop();
+}
+
+// ------------------------------------------------------ idle keep-alive
+
+#[test]
+fn webdav_server_reaps_idle_keepalive() {
+    let (nm, dir) = temp_store("idle");
+    let h = serve_with(nm, "127.0.0.1:0", tight(5_000, 150)).unwrap();
+
+    let mut s = TcpStream::connect(h.addr()).unwrap();
+    let resp = keepalive_get(&mut s, "/xdb/stats");
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+    // Go quiet past the idle budget: the server must reclaim the fd
+    // (seen here as EOF), not hold a blocked thread on it.
+    expect_server_close(&mut s);
+    eventually("idle reap booked", || h.server_stats().idle_reaped >= 1);
+    eventually("connection slot released", || h.server_stats().active == 0);
+    h.stop();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn federated_server_reaps_idle_keepalive() {
+    let router = test_router();
+    let h = serve_router_with(router, None, "127.0.0.1:0", tight(5_000, 150)).unwrap();
+
+    let mut s = TcpStream::connect(h.addr()).unwrap();
+    let resp = keepalive_get(&mut s, "/xdb/capabilities");
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+    expect_server_close(&mut s);
+    eventually("idle reap booked", || h.server_stats().idle_reaped >= 1);
+    eventually("connection slot released", || h.server_stats().active == 0);
+    h.stop();
+}
+
+// ------------------------------------------------- shed + client backoff
+
+#[test]
+fn shed_carries_retry_after_and_client_backs_off() {
+    let (nm, dir) = temp_store("shed");
+    let cfg = FrontendConfig {
+        max_conns: 1,
+        retry_after: Duration::from_secs(1),
+        ..tight(5_000, 30_000)
+    };
+    let h = serve_with(nm, "127.0.0.1:0", cfg).unwrap();
+    let addr = h.addr();
+
+    // One parked connection owns the only slot.
+    let holder = TcpStream::connect(addr).unwrap();
+    eventually("holder admitted", || h.server_stats().active == 1);
+
+    // A raw second connection is shed with a 429 carrying Retry-After.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut shed_resp = String::new();
+    raw.read_to_string(&mut shed_resp).unwrap();
+    assert!(shed_resp.starts_with("HTTP/1.1 429"), "{shed_resp}");
+    assert!(shed_resp.contains("Retry-After: 1"), "{shed_resp}");
+
+    // The federation client sees the 429 and honors the header: it must
+    // wait out Retry-After before retrying, not hammer the server.
+    let client = HttpClient::new(
+        &addr.to_string(),
+        ClientConfig {
+            retries: 3,
+            backoff_base: Duration::from_millis(10),
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    let sheds_before = h.server_stats().sheds;
+    let started = Instant::now();
+    let freer = std::thread::spawn(move || {
+        // Free the slot while the client is sleeping out Retry-After:
+        // its retry should then be admitted.
+        std::thread::sleep(Duration::from_millis(300));
+        drop(holder);
+    });
+    let resp = client.get("/xdb/stats").unwrap();
+    let waited = started.elapsed();
+    freer.join().unwrap();
+
+    assert_eq!(resp.status, 200, "{}", resp.body_text());
+    assert!(client.throttles() >= 1, "client never saw the shed");
+    assert!(
+        waited >= Duration::from_secs(1),
+        "client retried before Retry-After elapsed: {waited:?}"
+    );
+    // The shed is visible to operators in the server's own stats…
+    assert!(h.server_stats().sheds > sheds_before);
+    // …and in the served stats document.
+    let doc = resp.body_text();
+    assert!(doc.contains("<server "), "{doc}");
+    assert!(doc.contains("shed=\""), "{doc}");
+    h.stop();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+fn test_router() -> Arc<Router> {
+    let src = ContentOnlySource::new(
+        "llis",
+        vec![("r.txt".to_string(), "# Budget\nremote money\n".to_string())],
+    );
+    let mut router = Router::new();
+    router.register_source(Arc::new(src)).unwrap();
+    router.define_databank("apps", &["llis"]).unwrap();
+    Arc::new(router)
+}
