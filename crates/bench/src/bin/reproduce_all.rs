@@ -19,6 +19,7 @@ const TARGETS: &[&str] = &[
     "fig10_segmented_index",
     "fig11_mvcc_reads",
     "fig12_c10k",
+    "fig13_shard_scaling",
     "sec4_top_employees",
     "ablations",
 ];

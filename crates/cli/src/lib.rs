@@ -11,7 +11,14 @@
 //! netmark --dir DB rm NAME                remove a document
 //! netmark --dir DB serve [--bind ADDR] [--dropbox DIR]
 //! netmark --dir DB stats                  store statistics
+//! netmark --dir DB --shards N ...         shard-per-core store (scatter-gather)
+//! netmark --dir DB shard-rebalance N      offline reshard to N shards
 //! ```
+//!
+//! A store directory created with `--shards` carries a `SHARDMAP`
+//! manifest; later invocations detect it and open the sharded layout
+//! automatically, so `--shards` is only needed at creation time (or to
+//! assert an expected count).
 //!
 //! Argument handling is hand-rolled (std only), in keeping with the
 //! workspace's no-extra-dependencies rule. The logic lives here in the
@@ -19,14 +26,21 @@
 
 #![warn(missing_docs)]
 
-use netmark::{NetMark, QueryOutput};
-use std::path::PathBuf;
+use netmark::{NetMark, QueryOutput, XdbBackend};
+use netmark_shard::{rebalance, ShardManifest, ShardOptions, ShardedStore};
+use netmark_xdb::XdbQuery;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// A parsed invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Invocation {
     /// Database directory (`--dir`, default `./netmark-db`).
     pub dir: PathBuf,
+    /// Shard count (`--shards`): `Some(n)` opens (or creates) the store
+    /// as a sharded layout with `n` shards (`0` = one per core). `None`
+    /// auto-detects from the `SHARDMAP` manifest.
+    pub shards: Option<usize>,
     /// The subcommand.
     pub command: Command,
 }
@@ -53,6 +67,8 @@ pub enum Command {
     },
     /// Print store statistics.
     Stats,
+    /// Offline reshard of a sharded store to a new shard count.
+    ShardRebalance(usize),
     /// Show usage.
     Help,
 }
@@ -71,12 +87,20 @@ COMMANDS:
   serve [--bind ADDR] [--dropbox DIR]
                               HTTP server (default 127.0.0.1:7027)
   stats                       store statistics
+  shard-rebalance N           offline reshard to N shards
+
+OPTIONS:
+  --dir DB                    store directory (default ./netmark-db)
+  --shards N                  open/create as a shard-per-core store with
+                              N shards (0 = one per core); existing
+                              sharded stores are detected automatically
 ";
 
 /// Parses argv (without the program name). Returns `Err(message)` on bad
 /// usage.
 pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
     let mut dir = PathBuf::from("./netmark-db");
+    let mut shards: Option<usize> = None;
     let mut rest: Vec<&str> = Vec::new();
     let mut i = 0usize;
     while i < args.len() {
@@ -86,6 +110,16 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
                 dir = PathBuf::from(
                     args.get(i)
                         .ok_or_else(|| "--dir needs a value".to_string())?,
+                );
+            }
+            "--shards" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| "--shards needs a value".to_string())?;
+                shards = Some(
+                    v.parse()
+                        .map_err(|_| format!("--shards needs a number, got '{v}'"))?,
                 );
             }
             other => rest.push(other),
@@ -117,6 +151,15 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
                 .to_string(),
         ),
         Some((&"stats", _)) => Command::Stats,
+        Some((&"shard-rebalance", n)) => {
+            let v = n
+                .first()
+                .ok_or_else(|| "shard-rebalance needs a shard count".to_string())?;
+            Command::ShardRebalance(
+                v.parse()
+                    .map_err(|_| format!("shard-rebalance needs a number, got '{v}'"))?,
+            )
+        }
         Some((&"serve", opts)) => {
             let mut bind = "127.0.0.1:7027".to_string();
             let mut dropbox = None;
@@ -145,7 +188,31 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
         }
         Some((cmd, _)) => return Err(format!("unknown command '{cmd}'")),
     };
-    Ok(Invocation { dir, command })
+    Ok(Invocation {
+        dir,
+        shards,
+        command,
+    })
+}
+
+/// Opens the store behind `dir` as a backend: sharded when `--shards` was
+/// given or a `SHARDMAP` manifest is present, a single instance
+/// otherwise.
+pub fn open_backend(
+    dir: &Path,
+    shards: Option<usize>,
+) -> Result<Arc<dyn XdbBackend>, Box<dyn std::error::Error>> {
+    match shards {
+        Some(n) => Ok(Arc::new(ShardedStore::open_with(
+            dir,
+            ShardOptions {
+                shards: n,
+                ..ShardOptions::default()
+            },
+        )?)),
+        None if ShardManifest::path(dir).exists() => Ok(Arc::new(ShardedStore::open(dir)?)),
+        None => Ok(Arc::new(NetMark::open(dir)?)),
+    }
 }
 
 /// Executes one invocation, writing human output to `out`. `Serve` runs
@@ -169,9 +236,18 @@ fn run_inner(
         write!(out, "{USAGE}")?;
         return Ok(0);
     }
-    let nm = NetMark::open(&inv.dir)?;
+    if let Command::ShardRebalance(n) = &inv.command {
+        let rep = rebalance(&inv.dir, *n, ShardOptions::default())?;
+        writeln!(
+            out,
+            "rebalanced {} documents: {} -> {} shards",
+            rep.documents, rep.from_shards, rep.to_shards
+        )?;
+        return Ok(0);
+    }
+    let nm = open_backend(&inv.dir, inv.shards)?;
     match &inv.command {
-        Command::Help => unreachable!("handled above"),
+        Command::Help | Command::ShardRebalance(_) => unreachable!("handled above"),
         Command::Ingest(files) => {
             for f in files {
                 let name = f
@@ -197,7 +273,7 @@ fn run_inner(
                 )?;
             }
         }
-        Command::Query(q) => match nm.query_url(q)? {
+        Command::Query(q) => match nm.run(&XdbQuery::from_url(q)?)? {
             QueryOutput::Results(rs) => {
                 writeln!(out, "{}", rs.to_node().to_pretty_xml())?;
             }
@@ -206,37 +282,29 @@ fn run_inner(
             }
         },
         Command::Cat(name) => {
-            let info = nm
-                .document_by_name(name)?
+            let doc = nm
+                .reconstruct_named(name)?
                 .ok_or_else(|| format!("no document named '{name}'"))?;
-            let doc = nm.reconstruct_document(info.doc_id)?;
             writeln!(out, "{}", doc.root.to_pretty_xml())?;
         }
         Command::Rm(name) => {
-            let info = nm
-                .document_by_name(name)?
-                .ok_or_else(|| format!("no document named '{name}'"))?;
-            nm.remove_document(info.doc_id)?;
+            if !nm.remove_named(name)? {
+                return Err(format!("no document named '{name}'").into());
+            }
             nm.flush()?;
-            writeln!(out, "removed {name} (doc #{})", info.doc_id)?;
+            writeln!(out, "removed {name}")?;
         }
         Command::Stats => {
-            let s = nm.stats()?;
-            writeln!(out, "documents:   {}", s.documents)?;
-            writeln!(out, "nodes:       {}", s.nodes)?;
-            writeln!(out, "terms:       {}", s.terms)?;
-            writeln!(out, "index bytes: {}", s.index_bytes)?;
+            writeln!(out, "documents:   {}", nm.list_documents()?.len())?;
+            for child in nm.stats_children() {
+                writeln!(out, "{}", child.to_pretty_xml())?;
+            }
         }
         Command::Serve { bind, dropbox } => {
-            let nm = std::sync::Arc::new(nm);
             let _daemon = dropbox.as_ref().map(|d| {
-                netmark_webdav::watch_folder(
-                    std::sync::Arc::clone(&nm),
-                    d,
-                    std::time::Duration::from_millis(500),
-                )
+                netmark_webdav::watch_folder(nm.clone(), d, std::time::Duration::from_millis(500))
             });
-            let server = netmark_webdav::serve(nm, bind)?;
+            let server = netmark_webdav::serve(nm.clone(), bind)?;
             writeln!(out, "serving on http://{}", server.addr())?;
             if let Some(d) = dropbox {
                 writeln!(out, "watching drop folder {}", d.display())?;
@@ -262,7 +330,14 @@ mod tests {
     fn parse_commands() {
         let inv = parse_args(&argv(&["--dir", "/tmp/x", "ls"])).unwrap();
         assert_eq!(inv.dir, PathBuf::from("/tmp/x"));
+        assert_eq!(inv.shards, None);
         assert_eq!(inv.command, Command::Ls);
+
+        let inv = parse_args(&argv(&["--shards", "4", "ls"])).unwrap();
+        assert_eq!(inv.shards, Some(4));
+
+        let inv = parse_args(&argv(&["shard-rebalance", "8"])).unwrap();
+        assert_eq!(inv.command, Command::ShardRebalance(8));
 
         let inv = parse_args(&argv(&["ingest", "a.txt", "b.wdoc"])).unwrap();
         assert_eq!(
@@ -294,6 +369,9 @@ mod tests {
         assert!(parse_args(&argv(&["bogus"])).is_err());
         assert!(parse_args(&argv(&["--dir"])).is_err());
         assert!(parse_args(&argv(&["serve", "--wat"])).is_err());
+        assert!(parse_args(&argv(&["--shards", "many", "ls"])).is_err());
+        assert!(parse_args(&argv(&["shard-rebalance"])).is_err());
+        assert!(parse_args(&argv(&["shard-rebalance", "x"])).is_err());
     }
 
     #[test]
@@ -308,6 +386,7 @@ mod tests {
         let run_cmd = |cmd: Command| -> (i32, String) {
             let inv = Invocation {
                 dir: dbdir.clone(),
+                shards: None,
                 command: cmd,
             };
             let mut buf = Vec::new();
@@ -348,6 +427,63 @@ mod tests {
         let (code, out) = run_cmd(Command::Help);
         assert_eq!(code, 0);
         assert!(out.contains("USAGE"));
+
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod sharded_tests {
+    use super::*;
+
+    fn run_in(dir: &Path, shards: Option<usize>, cmd: Command) -> (i32, String) {
+        let inv = Invocation {
+            dir: dir.to_path_buf(),
+            shards,
+            command: cmd,
+        };
+        let mut buf = Vec::new();
+        let code = run(&inv, &mut buf);
+        (code, String::from_utf8_lossy(&buf).into_owned())
+    }
+
+    #[test]
+    fn sharded_mode_round_trip_and_auto_detect() {
+        let base = std::env::temp_dir().join(format!("netmark-cli-shard-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let dbdir = base.join("db");
+        let file = base.join("plan.txt");
+        std::fs::write(&file, "# Budget\nsharded money\n").unwrap();
+
+        // Create the store sharded, ingest, query.
+        let (code, out) = run_in(&dbdir, Some(2), Command::Ingest(vec![file.clone()]));
+        assert_eq!(code, 0, "{out}");
+        assert!(ShardManifest::path(&dbdir).exists(), "SHARDMAP persisted");
+
+        // Later invocations need no --shards: the manifest is detected.
+        let (code, out) = run_in(&dbdir, None, Command::Query("Context=Budget".into()));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("sharded money"));
+
+        // Stats include the per-shard element in sharded mode.
+        let (code, out) = run_in(&dbdir, None, Command::Stats);
+        assert_eq!(code, 0);
+        assert!(out.contains("documents:   1"));
+        assert!(out.contains("<shards"));
+
+        // Offline reshard 2 -> 3, then query again without --shards.
+        let (code, out) = run_in(&dbdir, None, Command::ShardRebalance(3));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("2 -> 3 shards"));
+        let (code, out) = run_in(&dbdir, None, Command::Query("Context=Budget".into()));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("sharded money"));
+
+        // A conflicting explicit count is refused, not silently honored.
+        let (code, out) = run_in(&dbdir, Some(5), Command::Ls);
+        assert_eq!(code, 1);
+        assert!(out.contains("rebalance"), "{out}");
 
         std::fs::remove_dir_all(&base).unwrap();
     }

@@ -1,0 +1,181 @@
+//! [`XdbBackend`]: the store contract behind every server and tool.
+//!
+//! The WebDAV server, the federation server's local arm, the drop-folder
+//! daemon, and the CLI all speak to "a store" through this trait, so a
+//! single [`NetMark`] instance and an N-way sharded store (`netmark-shard`)
+//! are interchangeable deployments: same routes, same ingest pipeline,
+//! same stats document — the only difference is what `stats_children`
+//! chooses to render.
+//!
+//! Document identity at this boundary is the *name*, not the row id:
+//! `DocId`s are local to one store (and, under sharding, to one shard), so
+//! the trait's lookup/removal surface is name-keyed. `DocInfo.doc_id`
+//! remains visible for diagnostics but is only meaningful store-locally.
+
+use crate::error::Result;
+use crate::metrics::{IngestMetrics, QueryStats};
+use crate::netmark::{NetMark, QueryOutput};
+use crate::store::{DocInfo, IngestReport};
+use netmark_docformats::upmark;
+use netmark_model::{Document, Node};
+use netmark_relstore::WalStats;
+use netmark_xdb::XdbQuery;
+
+/// A queryable, ingestable XDB store. See the module docs.
+pub trait XdbBackend: Send + Sync {
+    /// Runs a parsed XDB query, composing with the named stylesheet when
+    /// the query carries `xslt=`.
+    fn run(&self, q: &XdbQuery) -> Result<QueryOutput>;
+
+    /// Ingests one upmarked document.
+    fn insert_document(&self, doc: &Document) -> Result<IngestReport>;
+
+    /// Ingests a batch of upmarked documents. Results are identical to
+    /// inserting them sequentially in order.
+    fn ingest_batch(&self, docs: &[Document]) -> Result<Vec<IngestReport>>;
+
+    /// Upmarks and ingests a raw file (the drop-a-file pathway).
+    fn insert_file(&self, name: &str, content: &str) -> Result<IngestReport> {
+        self.insert_document(&upmark(name, content))
+    }
+
+    /// Stored document list, in ingest order.
+    fn list_documents(&self) -> Result<Vec<DocInfo>>;
+
+    /// Document metadata by name.
+    fn document_by_name(&self, name: &str) -> Result<Option<DocInfo>>;
+
+    /// Reconstructs a stored document by name (`None` if absent).
+    fn reconstruct_named(&self, name: &str) -> Result<Option<Document>>;
+
+    /// Removes a document by name. Returns `false` if no such document.
+    fn remove_named(&self, name: &str) -> Result<bool>;
+
+    /// Registers (or replaces) a named stylesheet for `xslt=` composition.
+    fn register_stylesheet(&self, name: &str, source: &str) -> Result<()>;
+
+    /// Cumulative read-path counters (aggregated across shards when the
+    /// backend is sharded — see `QueryStats::merge` for the rules).
+    fn query_stats(&self) -> QueryStats;
+
+    /// The child elements of the `GET /xdb/stats` document: `<query/>`,
+    /// `<index/>`, `<mvcc/>`, and — for sharded backends — `<shards/>`.
+    fn stats_children(&self) -> Vec<Node>;
+
+    /// Cumulative ingest instrumentation (upmark timings, batch sizes,
+    /// queue depths) shared by the pipeline and the HTTP PUT path.
+    fn ingest_metrics(&self) -> &IngestMetrics;
+
+    /// WAL commit/fsync counters (summed across shards when sharded).
+    fn wal_stats(&self) -> WalStats;
+
+    /// Forces any buffered WAL bytes to disk.
+    fn sync_wal(&self) -> Result<()>;
+
+    /// Persists indexes and checkpoints the store(s).
+    fn flush(&self) -> Result<()>;
+}
+
+impl XdbBackend for NetMark {
+    fn run(&self, q: &XdbQuery) -> Result<QueryOutput> {
+        NetMark::run(self, q)
+    }
+
+    fn insert_document(&self, doc: &Document) -> Result<IngestReport> {
+        NetMark::insert_document(self, doc)
+    }
+
+    fn ingest_batch(&self, docs: &[Document]) -> Result<Vec<IngestReport>> {
+        NetMark::ingest_batch(self, docs)
+    }
+
+    fn insert_file(&self, name: &str, content: &str) -> Result<IngestReport> {
+        NetMark::insert_file(self, name, content)
+    }
+
+    fn list_documents(&self) -> Result<Vec<DocInfo>> {
+        NetMark::list_documents(self)
+    }
+
+    fn document_by_name(&self, name: &str) -> Result<Option<DocInfo>> {
+        NetMark::document_by_name(self, name)
+    }
+
+    fn reconstruct_named(&self, name: &str) -> Result<Option<Document>> {
+        match NetMark::document_by_name(self, name)? {
+            Some(info) => Ok(Some(NetMark::reconstruct_document(self, info.doc_id)?)),
+            None => Ok(None),
+        }
+    }
+
+    fn remove_named(&self, name: &str) -> Result<bool> {
+        match NetMark::document_by_name(self, name)? {
+            Some(info) => {
+                NetMark::remove_document(self, info.doc_id)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    fn register_stylesheet(&self, name: &str, source: &str) -> Result<()> {
+        NetMark::register_stylesheet(self, name, source)
+    }
+
+    fn query_stats(&self) -> QueryStats {
+        NetMark::query_stats(self)
+    }
+
+    fn stats_children(&self) -> Vec<Node> {
+        vec![
+            self.query_stats().to_node(),
+            crate::metrics::index_stats_node(&self.text_index().stats()),
+            crate::metrics::mvcc_stats_node(&self.store().database().mvcc_stats()),
+        ]
+    }
+
+    fn ingest_metrics(&self) -> &IngestMetrics {
+        self.metrics()
+    }
+
+    fn wal_stats(&self) -> WalStats {
+        NetMark::wal_stats(self)
+    }
+
+    fn sync_wal(&self) -> Result<()> {
+        self.store().database().sync_wal()?;
+        Ok(())
+    }
+
+    fn flush(&self) -> Result<()> {
+        NetMark::flush(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn netmark_implements_the_backend_contract() {
+        let dir = std::env::temp_dir().join(format!("netmark-backend-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let nm = NetMark::open(&dir).unwrap();
+        let be: &dyn XdbBackend = &nm;
+        be.insert_file("a.txt", "# Budget\ntwo million\n").unwrap();
+        assert_eq!(be.list_documents().unwrap().len(), 1);
+        assert!(be.document_by_name("a.txt").unwrap().is_some());
+        let doc = be.reconstruct_named("a.txt").unwrap().unwrap();
+        assert_eq!(doc.name, "a.txt");
+        let out = be.run(&XdbQuery::context("Budget")).unwrap();
+        assert_eq!(out.results().unwrap().len(), 1);
+        let children = be.stats_children();
+        let names: Vec<&str> = children.iter().map(|n| n.name.as_str()).collect();
+        assert_eq!(names, vec!["query", "index", "mvcc"]);
+        assert!(be.remove_named("a.txt").unwrap());
+        assert!(!be.remove_named("a.txt").unwrap());
+        assert!(be.reconstruct_named("ghost.txt").unwrap().is_none());
+        be.flush().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -217,12 +217,20 @@ impl ResultCache {
 /// `databank=` never reach the engine's execution (composition and routing
 /// happen above it), so queries differing only there share an entry.
 fn cache_key(q: &XdbQuery) -> String {
-    XdbQuery {
+    let mut key = XdbQuery {
         xslt: None,
         databank: None,
         ..q.clone()
     }
-    .to_query_string()
+    .to_query_string();
+    // `exact_contexts` changes execution (it pins the context fallback
+    // decision) but is deliberately absent from the wire format, so it is
+    // appended to the key by hand.
+    for label in &q.exact_contexts {
+        key.push_str("&!exact=");
+        key.push_str(&netmark_xdb::url_encode(label));
+    }
+    key
 }
 
 // ---------------------------------------------------------------------
@@ -436,7 +444,7 @@ impl QueryEngine {
                 trace.context_walk += t.elapsed();
                 out
             }
-            (Some(label), None) => context_rowids(view, &*snap, label, trace)?,
+            (Some(label), None) => context_rowids(view, &*snap, label, &q.exact_contexts, trace)?,
             (None, Some(terms)) => {
                 let (ctxs, cand) =
                     self.content_contexts(view, &snap, terms, q.match_mode, gen, trace)?;
@@ -444,7 +452,7 @@ impl QueryEngine {
                 ctxs
             }
             (Some(label), Some(terms)) => {
-                let labelled = context_rowids(view, &*snap, label, trace)?;
+                let labelled = context_rowids(view, &*snap, label, &q.exact_contexts, trace)?;
                 let (with_content, cand) =
                     self.content_contexts(view, &snap, terms, q.match_mode, gen, trace)?;
                 trace.candidates = cand;
@@ -642,12 +650,13 @@ pub(crate) fn context_rowids<I: TextIndexReader + ?Sized>(
     view: &StoreView,
     index: &I,
     spec: &str,
+    exact_only: &[String],
     trace: &mut QueryTrace,
 ) -> Result<Vec<RowId>> {
     if spec.contains('|') {
         let mut out: Vec<RowId> = Vec::new();
         for label in spec.split('|').map(str::trim).filter(|l| !l.is_empty()) {
-            for rid in context_rowids(view, index, label, trace)? {
+            for rid in context_rowids(view, index, label, exact_only, trace)? {
                 if !out.contains(&rid) {
                     out.push(rid);
                 }
@@ -661,6 +670,14 @@ pub(crate) fn context_rowids<I: TextIndexReader + ?Sized>(
     trace.index_lookup += t.elapsed();
     if !exact.is_empty() {
         return Ok(exact.into_iter().map(|(rid, _)| rid).collect());
+    }
+    // Exact→phrase fallback is a *global* decision: if a sharded/federated
+    // coordinator saw an exact occurrence of this label anywhere, a member
+    // store whose local slice happens to lack it must return nothing here
+    // rather than fall back and invent phrase matches the single-store
+    // execution would never produce.
+    if exact_only.iter().any(|l| l == label) {
+        return Ok(Vec::new());
     }
     // Fallback: phrase match over indexed labels (catches e.g.
     // Context=Budget against a "Budget Overview" heading).

@@ -28,14 +28,17 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod engine;
 pub mod error;
 pub mod metrics;
 pub mod netmark;
 pub mod pipeline;
+pub mod scatter;
 pub mod schema;
 pub mod store;
 
+pub use backend::XdbBackend;
 pub use engine::{QueryEngine, QueryEngineOptions};
 pub use error::{NetmarkError, Result};
 pub use metrics::{
@@ -44,6 +47,7 @@ pub use metrics::{
 };
 pub use netmark::{NetMark, NetMarkOptions, NetMarkStats, QueryOutput};
 pub use pipeline::{ingest_files, BoundedQueue, PipelineConfig, PipelineStats, RawFile};
+pub use scatter::scatter;
 pub use store::{DocId, DocInfo, IngestReport, NodeId, NodeRow, NodeStore, StoreView};
 
 // Re-export the vocabulary types users need at the API surface.

@@ -453,6 +453,29 @@ impl QueryStats {
         }
     }
 
+    /// Folds another store's stats into this one — the sharded-mode
+    /// aggregation. Counters and cumulative durations sum across shards;
+    /// gauges (`store_version`, `live_views`) take the max, because
+    /// summing instantaneous readings from independent stores fabricates
+    /// a value no store ever reported.
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.queries += other.queries;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.parallel_queries += other.parallel_queries;
+        self.candidates += other.candidates;
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
+        self.store_version = self.store_version.max(other.store_version);
+        self.live_views = self.live_views.max(other.live_views);
+        self.views_evicted += other.views_evicted;
+        self.index_time += other.index_time;
+        self.walk_time += other.walk_time;
+        self.intersect_time += other.intersect_time;
+        self.collect_time += other.collect_time;
+        self.total_time += other.total_time;
+    }
+
     /// Renders the `<query …/>` element served under `GET /xdb/stats`.
     /// Durations are microseconds — query stages are routinely sub-ms.
     pub fn to_node(&self) -> Node {
@@ -625,5 +648,63 @@ mod tests {
         assert_eq!(delta.nodes_per_sec(Duration::from_secs(2)), 200.0);
         assert_eq!(IngestStats::default().docs_per_sec(Duration::ZERO), 0.0);
         assert_eq!(IngestStats::default().mean_batch_size(), 0.0);
+    }
+
+    #[test]
+    fn query_stats_merge_sums_counters_and_maxes_gauges() {
+        let a = QueryStats {
+            queries: 10,
+            cache_hits: 4,
+            cache_misses: 6,
+            parallel_queries: 2,
+            candidates: 100,
+            memo_hits: 30,
+            memo_misses: 5,
+            store_version: 7,
+            live_views: 1,
+            views_evicted: 2,
+            index_time: Duration::from_micros(100),
+            walk_time: Duration::from_micros(200),
+            intersect_time: Duration::from_micros(300),
+            collect_time: Duration::from_micros(400),
+            total_time: Duration::from_micros(1000),
+        };
+        let b = QueryStats {
+            queries: 3,
+            cache_hits: 1,
+            cache_misses: 2,
+            parallel_queries: 1,
+            candidates: 50,
+            memo_hits: 10,
+            memo_misses: 8,
+            store_version: 12,
+            live_views: 4,
+            views_evicted: 1,
+            index_time: Duration::from_micros(10),
+            walk_time: Duration::from_micros(20),
+            intersect_time: Duration::from_micros(30),
+            collect_time: Duration::from_micros(40),
+            total_time: Duration::from_micros(100),
+        };
+        let mut merged = a;
+        merged.merge(&b);
+        // Counters sum…
+        assert_eq!(merged.queries, 13);
+        assert_eq!(merged.cache_hits, 5);
+        assert_eq!(merged.cache_misses, 8);
+        assert_eq!(merged.parallel_queries, 3);
+        assert_eq!(merged.candidates, 150);
+        assert_eq!(merged.memo_hits, 40);
+        assert_eq!(merged.memo_misses, 13);
+        assert_eq!(merged.views_evicted, 3);
+        assert_eq!(merged.total_time, Duration::from_micros(1100));
+        assert_eq!(merged.index_time, Duration::from_micros(110));
+        // …gauges take the max, never the sum.
+        assert_eq!(merged.store_version, 12);
+        assert_eq!(merged.live_views, 4);
+        // Merge order must not matter.
+        let mut other = b;
+        other.merge(&a);
+        assert_eq!(merged, other);
     }
 }

@@ -307,6 +307,15 @@ impl NetMark {
         self.engine.execute(q)
     }
 
+    /// True when at least one context row carries exactly this label.
+    /// This is the coordinator-side probe behind sharded context queries:
+    /// the exact→phrase fallback in `Context=` execution is a global
+    /// decision, so a sharded store asks every shard this question first
+    /// and pins the outcome into `XdbQuery::exact_contexts`.
+    pub fn has_exact_context(&self, label: &str) -> Result<bool> {
+        Ok(!self.store.contexts_labeled(label)?.is_empty())
+    }
+
     /// Runs a parsed XDB query and returns the per-stage trace.
     pub fn query_traced(&self, q: &XdbQuery) -> Result<(ResultSet, QueryTrace)> {
         self.engine.execute_traced(q)

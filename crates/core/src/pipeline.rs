@@ -23,9 +23,9 @@
 //! one document at a time, and only the offending documents are dropped
 //! (counted in [`PipelineStats::errors`]).
 
+use crate::backend::XdbBackend;
 use crate::error::Result;
 use crate::metrics::IngestStats;
-use crate::netmark::NetMark;
 use netmark_docformats::upmark;
 use netmark_model::Document;
 use netmark_relstore::WalStats;
@@ -208,13 +208,13 @@ impl<T> BoundedQueue<T> {
 /// stats for the run; per-file failures are counted, not propagated. Ends
 /// with a WAL sync so every reported document is durable.
 pub fn ingest_files(
-    nm: &NetMark,
+    nm: &dyn XdbBackend,
     files: Vec<RawFile>,
     cfg: &PipelineConfig,
 ) -> Result<PipelineStats> {
     let started = Instant::now();
     let files_in = files.len();
-    let metrics_before = nm.metrics().snapshot();
+    let metrics_before = nm.ingest_metrics().snapshot();
     let wal_before = nm.wal_stats();
 
     let input: BoundedQueue<RawFile> = BoundedQueue::new(cfg.queue_capacity);
@@ -230,11 +230,11 @@ pub fn ingest_files(
                     while let Some(file) = input.pop() {
                         let t0 = Instant::now();
                         let doc = upmark(&file.name, &file.content);
-                        nm.metrics().record_upmark(t0.elapsed());
+                        nm.ingest_metrics().record_upmark(t0.elapsed());
                         if !docs.push(doc) {
                             break;
                         }
-                        nm.metrics().observe_queue_depth(docs.len());
+                        nm.ingest_metrics().observe_queue_depth(docs.len());
                     }
                 })
             })
@@ -274,12 +274,12 @@ pub fn ingest_files(
     });
 
     // Every document the stats report as ingested is durable.
-    nm.store().database().sync_wal()?;
+    nm.sync_wal()?;
 
     let wal_after = nm.wal_stats();
     Ok(PipelineStats {
         files_in,
-        ingest: nm.metrics().snapshot().since(&metrics_before),
+        ingest: nm.ingest_metrics().snapshot().since(&metrics_before),
         wal: WalStats {
             commits: wal_after.commits - wal_before.commits,
             syncs: wal_after.syncs - wal_before.syncs,
@@ -290,11 +290,11 @@ pub fn ingest_files(
 
 /// Commits `batch`, falling back to per-document ingestion (error
 /// isolation) if the batch transaction fails. Clears `batch`.
-fn write_batch(nm: &NetMark, batch: &mut Vec<Document>) {
+fn write_batch(nm: &dyn XdbBackend, batch: &mut Vec<Document>) {
     if nm.ingest_batch(batch).is_err() {
         for doc in batch.iter() {
             if nm.insert_document(doc).is_err() {
-                nm.metrics().record_error();
+                nm.ingest_metrics().record_error();
             }
         }
     }
@@ -304,6 +304,7 @@ fn write_batch(nm: &NetMark, batch: &mut Vec<Document>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::NetMark;
     use std::sync::Arc;
 
     #[test]

@@ -10,17 +10,28 @@
 
 use crate::adapter::{Capabilities, SourceAdapter, SourceError};
 use crate::matcher::match_document;
-use netmark::{SourceMetrics, SourceStats};
+use netmark::{scatter, SourceMetrics, SourceStats};
 use netmark_xdb::{Hit, ResultSet, XdbQuery};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Default cap on concurrent source queries per federated query
-/// ([`Router::set_max_fanout`] overrides).
+/// Ceiling on the [`default_max_fanout`] heuristic. Federation latency is
+/// dominated by source round-trips, not local CPU, so past this point more
+/// threads only add contention on the merge.
 pub const DEFAULT_MAX_FANOUT: usize = 8;
+
+/// Default cap on concurrent source queries per federated query:
+/// `min(available_parallelism, `[`DEFAULT_MAX_FANOUT`]`)`, so a 4-core box
+/// does not spawn 8 fan-out threads per query. [`Router::set_max_fanout`]
+/// overrides.
+pub fn default_max_fanout() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(DEFAULT_MAX_FANOUT)
+        .min(DEFAULT_MAX_FANOUT)
+}
 
 /// A declared databank: an application's source list. This — a name and a
 /// list of source names — is the *complete* integration specification; its
@@ -79,6 +90,9 @@ pub enum RouterError {
     NoSuchSource(String),
     /// Name collision on registration.
     Duplicate(String),
+    /// A configuration value outside its valid range (e.g. a fan-out cap
+    /// of zero, which would make every federated query hang).
+    InvalidConfig(String),
 }
 
 impl fmt::Display for RouterError {
@@ -87,6 +101,7 @@ impl fmt::Display for RouterError {
             RouterError::NoSuchDatabank(n) => write!(f, "no databank '{n}'"),
             RouterError::NoSuchSource(n) => write!(f, "no source '{n}'"),
             RouterError::Duplicate(n) => write!(f, "'{n}' already registered"),
+            RouterError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
         }
     }
 }
@@ -146,7 +161,7 @@ impl Default for Router {
             adapters: BTreeMap::new(),
             databanks: BTreeMap::new(),
             metrics: BTreeMap::new(),
-            max_fanout: DEFAULT_MAX_FANOUT,
+            max_fanout: default_max_fanout(),
         }
     }
 }
@@ -157,11 +172,18 @@ impl Router {
         Router::default()
     }
 
-    /// Caps concurrent source queries per federated query (minimum 1). A
-    /// databank can name hundreds of sources; without a cap each query
-    /// would spawn one thread per source.
-    pub fn set_max_fanout(&mut self, n: usize) {
-        self.max_fanout = n.max(1);
+    /// Caps concurrent source queries per federated query. A databank can
+    /// name hundreds of sources; without a cap each query would spawn one
+    /// thread per source. Zero is rejected (it used to clamp to 1
+    /// silently, masking configuration mistakes).
+    pub fn set_max_fanout(&mut self, n: usize) -> Result<(), RouterError> {
+        if n == 0 {
+            return Err(RouterError::InvalidConfig(
+                "max_fanout must be at least 1".to_string(),
+            ));
+        }
+        self.max_fanout = n;
+        Ok(())
     }
 
     /// The current fan-out cap.
@@ -362,41 +384,13 @@ impl Router {
             })
             .collect::<Result<_, _>>()?;
         // Fan out in parallel ("We can access multiple distributed
-        // information sources simultaneously") through a bounded worker
-        // pool: at most `max_fanout` threads pull source indices from a
-        // shared counter, so a databank naming hundreds of sources costs a
-        // fixed number of threads, not one per source. Results land in
-        // index-tagged slots and are reassembled in databank order.
-        let n = adapters.len();
-        let workers = self.max_fanout.min(n);
-        let per_source: Vec<(SourceOutcome, Vec<Hit>)> = if n <= 1 || workers == 1 {
-            adapters
-                .iter()
-                .map(|a| self.query_source(a.as_ref(), q))
-                .collect()
-        } else {
-            type Indexed = Vec<(usize, (SourceOutcome, Vec<Hit>))>;
-            let next = AtomicUsize::new(0);
-            let collected: Mutex<Indexed> = Mutex::new(Vec::with_capacity(n));
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        let r = self.query_source(adapters[i].as_ref(), q);
-                        collected
-                            .lock()
-                            .unwrap_or_else(|e| e.into_inner())
-                            .push((i, r));
-                    });
-                }
+        // information sources simultaneously") through the shared bounded
+        // scatter executor — the same code path the shard-per-core store
+        // uses for local shards, here with a remote-adapter transport.
+        let per_source: Vec<(SourceOutcome, Vec<Hit>)> =
+            scatter(&adapters, self.max_fanout, |_, a| {
+                self.query_source(a.as_ref(), q)
             });
-            let mut slots = collected.into_inner().unwrap_or_else(|e| e.into_inner());
-            slots.sort_unstable_by_key(|(i, _)| *i);
-            slots.into_iter().map(|(_, r)| r).collect()
-        };
         // Merge in databank order; apply the limit once, globally.
         let mut results = ResultSet::new();
         let mut outcomes = Vec::with_capacity(per_source.len());
@@ -421,6 +415,8 @@ mod tests {
     use crate::adapter::{ContentOnlySource, FlakySource, NetmarkSource};
     use netmark::NetMark;
     use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
     fn temp_nm(tag: &str) -> (Arc<NetMark>, PathBuf) {
         let dir = std::env::temp_dir().join(format!("netmark-fed-{tag}-{}", std::process::id()));
@@ -672,7 +668,7 @@ mod tests {
         let live = Arc::new(AtomicUsize::new(0));
         let peak = Arc::new(AtomicUsize::new(0));
         let mut router = Router::new();
-        router.set_max_fanout(FANOUT);
+        router.set_max_fanout(FANOUT).unwrap();
         assert_eq!(router.max_fanout(), FANOUT);
         let names: Vec<String> = (0..SOURCES).map(|i| format!("src{i:03}")).collect();
         for name in &names {
@@ -710,6 +706,31 @@ mod tests {
         let stats = router.source_stats();
         assert_eq!(stats.len(), SOURCES);
         assert!(stats.values().all(|s| s.queries == 1 && s.hits == 1));
+    }
+
+    #[test]
+    fn fanout_defaults_to_cores_capped_at_eight() {
+        let router = Router::new();
+        let expected = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(DEFAULT_MAX_FANOUT)
+            .min(DEFAULT_MAX_FANOUT);
+        assert_eq!(router.max_fanout(), expected);
+        assert!(router.max_fanout() >= 1);
+        assert!(router.max_fanout() <= DEFAULT_MAX_FANOUT);
+    }
+
+    #[test]
+    fn zero_fanout_is_rejected_not_clamped() {
+        let mut router = Router::new();
+        let before = router.max_fanout();
+        assert!(matches!(
+            router.set_max_fanout(0),
+            Err(RouterError::InvalidConfig(_))
+        ));
+        assert_eq!(router.max_fanout(), before, "failed set left cap intact");
+        router.set_max_fanout(3).unwrap();
+        assert_eq!(router.max_fanout(), 3);
     }
 
     #[test]

@@ -316,7 +316,7 @@ mod tests {
         let nm = Arc::new(NetMark::open(&dir).unwrap());
         nm.insert_file("plan.txt", "# Budget\nremote money\n")
             .unwrap();
-        let server = netmark_webdav::serve(Arc::clone(&nm), "127.0.0.1:0").unwrap();
+        let server = netmark_webdav::serve(nm.clone(), "127.0.0.1:0").unwrap();
 
         let src =
             RemoteSource::connect("peer", &server.addr().to_string(), RemoteConfig::default())
@@ -369,7 +369,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let nm = Arc::new(NetMark::open(&dir).unwrap());
         nm.insert_file("p.txt", "# Budget\nmoney\n").unwrap();
-        let server = netmark_webdav::serve(Arc::clone(&nm), "127.0.0.1:0").unwrap();
+        let server = netmark_webdav::serve(nm.clone(), "127.0.0.1:0").unwrap();
         let addr = server.addr();
 
         let src = RemoteSource::connect("peer", &addr.to_string(), tight()).unwrap();
@@ -392,7 +392,7 @@ mod tests {
         // Revive the server on the same port; after the cooldown the
         // half-open probe closes the circuit again.
         std::thread::sleep(Duration::from_millis(150));
-        let revived = netmark_webdav::serve(Arc::clone(&nm), &addr.to_string());
+        let revived = netmark_webdav::serve(nm.clone(), &addr.to_string());
         // The OS may refuse to rebind the port quickly; when it does, the
         // open/half-open transitions above are still fully exercised.
         if let Ok(server2) = revived {

@@ -8,12 +8,12 @@
 //! no mappings.
 
 use crate::databank::Router;
-use netmark::NetMark;
+use netmark::XdbBackend;
 use netmark_model::Node;
 use netmark_netserve::{Frontend, FrontendConfig, FrontendHandle, FrontendStats};
 use netmark_webdav::{
     handle as local_handle, respond_query, server_stats_node, FrontendStatsSnapshot, HttpService,
-    Request, Response,
+    Request, Response, StatsStamp,
 };
 use netmark_xdb::{Capabilities, XdbQuery};
 use std::net::TcpListener;
@@ -44,7 +44,11 @@ impl FederatedServerHandle {
 }
 
 /// Dispatches one request against the router (+ optional local engine).
-pub fn handle_federated(router: &Router, local: Option<&NetMark>, req: &Request) -> Response {
+pub fn handle_federated(
+    router: &Router,
+    local: Option<&dyn XdbBackend>,
+    req: &Request,
+) -> Response {
     // A federated endpoint is a full XDB peer to its own clients: whatever
     // a source cannot evaluate, the router augments. Routers therefore
     // federate transitively — a RemoteSource can point at another router.
@@ -87,7 +91,7 @@ pub fn handle_federated(router: &Router, local: Option<&NetMark>, req: &Request)
 
 /// The `<stats>` document served at `GET /xdb/stats`: per-source router
 /// health plus the local engine's read-path counters (when there is one).
-fn stats_node(router: &Router, local: Option<&NetMark>) -> Node {
+fn stats_node(router: &Router, local: Option<&dyn XdbBackend>) -> Node {
     let mut sources = Node::element("sources");
     for (name, s) in router.source_stats() {
         sources = sources.with_child(
@@ -104,12 +108,9 @@ fn stats_node(router: &Router, local: Option<&NetMark>) -> Node {
     }
     let mut stats = Node::element("stats").with_child(sources);
     if let Some(nm) = local {
-        stats = stats
-            .with_child(nm.query_stats().to_node())
-            .with_child(netmark::index_stats_node(&nm.text_index().stats()))
-            .with_child(netmark::mvcc_stats_node(
-                &nm.store().database().mvcc_stats(),
-            ));
+        for child in nm.stats_children() {
+            stats = stats.with_child(child);
+        }
     }
     stats
 }
@@ -118,7 +119,7 @@ fn stats_node(router: &Router, local: Option<&NetMark>) -> Node {
 /// [`FrontendConfig`].
 pub fn serve_router(
     router: Arc<Router>,
-    local: Option<Arc<NetMark>>,
+    local: Option<Arc<dyn XdbBackend>>,
     bind: &str,
 ) -> std::io::Result<FederatedServerHandle> {
     serve_router_with(router, local, bind, FrontendConfig::default())
@@ -131,17 +132,20 @@ pub fn serve_router(
 /// raw `TcpStream` handlers that never set a read timeout.
 pub fn serve_router_with(
     router: Arc<Router>,
-    local: Option<Arc<NetMark>>,
+    local: Option<Arc<dyn XdbBackend>>,
     bind: &str,
     cfg: FrontendConfig,
 ) -> std::io::Result<FederatedServerHandle> {
     let listener = TcpListener::bind(bind)?;
     let stats = FrontendStats::shared();
     let stats_for_handler = Arc::clone(&stats);
+    let stamp = StatsStamp::new();
     let service = HttpService::new(move |req: &Request| {
         if req.method == "GET" && req.path == "/xdb/stats" {
-            let node = stats_node(&router, local.as_deref())
-                .with_child(server_stats_node(&stats_for_handler.snapshot()));
+            let node = stamp.stamp(
+                stats_node(&router, local.as_deref())
+                    .with_child(server_stats_node(&stats_for_handler.snapshot())),
+            );
             return Response::new(200).with_xml(&node.to_xml());
         }
         handle_federated(&router, local.as_deref(), req)
@@ -154,6 +158,7 @@ pub fn serve_router_with(
 mod tests {
     use super::*;
     use crate::adapter::{ContentOnlySource, NetmarkSource};
+    use netmark::NetMark;
     use std::io::{Read, Write};
     use std::net::TcpStream;
 
@@ -188,7 +193,7 @@ mod tests {
         router.register_source(Arc::new(llis)).unwrap();
         router.define_databank("apps", &["local", "llis"]).unwrap();
 
-        let h = serve_router(Arc::new(router), Some(Arc::clone(&nm)), "127.0.0.1:0").unwrap();
+        let h = serve_router(Arc::new(router), Some(nm.clone() as _), "127.0.0.1:0").unwrap();
 
         // Federated query: both sources answer.
         let resp = request(
@@ -223,6 +228,8 @@ mod tests {
         assert!(resp.contains("name=\"llis\""), "{resp}");
         assert!(resp.contains("name=\"local\""), "{resp}");
         assert!(resp.contains("<query"), "{resp}");
+        assert!(resp.contains("uptime="), "{resp}");
+        assert!(resp.contains("stats-generation=\"1\""), "{resp}");
 
         // Malformed queries get a typed 400 from the shared parser.
         let resp = request(h.addr(), "GET /xdb?databank=apps&limit=x HTTP/1.1\r\n\r\n");

@@ -159,6 +159,24 @@ pub struct MvccStats {
     pub overlay_bytes: u64,
 }
 
+impl MvccStats {
+    /// Folds another database's stats into this one — the sharded-mode
+    /// aggregation. Lifetime counters (`views_opened`, `views_evicted`,
+    /// `publishes`) sum across databases; gauges (`version`, `live_views`,
+    /// `overlay_pages`, `overlay_bytes`) take the max, because summing
+    /// instantaneous readings from independent engines fabricates a value
+    /// no engine ever reported.
+    pub fn merge(&mut self, other: &MvccStats) {
+        self.version = self.version.max(other.version);
+        self.live_views = self.live_views.max(other.live_views);
+        self.views_opened += other.views_opened;
+        self.views_evicted += other.views_evicted;
+        self.publishes += other.publishes;
+        self.overlay_pages = self.overlay_pages.max(other.overlay_pages);
+        self.overlay_bytes = self.overlay_bytes.max(other.overlay_bytes);
+    }
+}
+
 /// Resolves page images for one pinned read view. Never installs buffer
 /// frames or takes a page latch; see the module docs for the three-level
 /// resolution order and its correctness argument.
@@ -429,5 +447,42 @@ mod tests {
             h.join().expect("reader panicked");
         }
         assert_eq!(cell.load().version, 199);
+    }
+
+    #[test]
+    fn mvcc_stats_merge_sums_counters_and_maxes_gauges() {
+        let a = MvccStats {
+            version: 40,
+            live_views: 2,
+            views_opened: 100,
+            views_evicted: 3,
+            publishes: 50,
+            overlay_pages: 8,
+            overlay_bytes: 65536,
+        };
+        let b = MvccStats {
+            version: 25,
+            live_views: 5,
+            views_opened: 10,
+            views_evicted: 1,
+            publishes: 7,
+            overlay_pages: 12,
+            overlay_bytes: 4096,
+        };
+        let mut merged = a;
+        merged.merge(&b);
+        // Lifetime counters sum…
+        assert_eq!(merged.views_opened, 110);
+        assert_eq!(merged.views_evicted, 4);
+        assert_eq!(merged.publishes, 57);
+        // …gauges take the max, never the sum.
+        assert_eq!(merged.version, 40);
+        assert_eq!(merged.live_views, 5);
+        assert_eq!(merged.overlay_pages, 12);
+        assert_eq!(merged.overlay_bytes, 65536);
+        // Merge order must not matter.
+        let mut other = b;
+        other.merge(&a);
+        assert_eq!(merged, other);
     }
 }

@@ -1,0 +1,73 @@
+//! The deterministic document partitioner.
+//!
+//! Documents are placed by hashing their *name* — the only identity that
+//! exists at the [`crate::ShardedStore`] boundary — with FNV-1a 64, a
+//! dependency-free hash whose output is stable across platforms, builds,
+//! and process restarts. Stability is the load-bearing property: the shard
+//! map is persisted (see [`crate::manifest`]), so the function that placed
+//! a document at ingest time must place it identically forever after.
+//! Every ingest, lookup, removal, and doc-routed query goes through
+//! [`shard_of`].
+//!
+//! Same name ⇒ same shard also means all hits of one document come from
+//! one shard in that shard's node order, which is what lets the
+//! scatter-gather merge reproduce single-store hit order with a stable
+//! sort (see `ShardedStore::query`).
+
+/// Version tag persisted in the shard-map manifest. Bump only with a
+/// rebalance path from the old placement, since changing the hash strands
+/// every stored document on the wrong shard.
+pub const PARTITIONER_ID: &str = "fnv1a64/1";
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit hash.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The shard owning a document name, for a store of `shards` shards.
+pub fn shard_of(name: &str, shards: usize) -> usize {
+    debug_assert!(shards > 0, "a sharded store has at least one shard");
+    (fnv1a64(name.as_bytes()) % shards.max(1) as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_in_range() {
+        for shards in 1..9 {
+            for name in ["plan-a.wdoc", "ll-0424.html", "sheet.csv", ""] {
+                let s = shard_of(name, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(name, shards), "stable across calls");
+            }
+        }
+    }
+
+    #[test]
+    fn names_spread_across_shards() {
+        let shards = 4;
+        let mut seen = vec![false; shards];
+        for i in 0..64 {
+            seen[shard_of(&format!("doc-{i}.txt"), shards)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "64 names touch all 4 shards");
+    }
+}

@@ -82,6 +82,30 @@ pub struct IndexStats {
     pub segments_written: u64,
 }
 
+impl IndexStats {
+    /// Folds another index's stats into this one — the sharded-mode
+    /// aggregation. Every field here is extensive (docs, postings, bytes,
+    /// segments, and the lifetime counters all describe disjoint physical
+    /// state), so unlike `QueryStats`/`MvccStats` the merge is a plain
+    /// field-wise sum.
+    pub fn merge(&mut self, other: &IndexStats) {
+        self.docs += other.docs;
+        self.terms += other.terms;
+        self.postings += other.postings;
+        self.bytes += other.bytes;
+        self.segments += other.segments;
+        self.tombstones += other.tombstones;
+        self.commits += other.commits;
+        self.seals += other.seals;
+        self.compactions += other.compactions;
+        self.segments_merged += other.segments_merged;
+        self.postings_purged += other.postings_purged;
+        self.ids_purged += other.ids_purged;
+        self.saves += other.saves;
+        self.segments_written += other.segments_written;
+    }
+}
+
 #[derive(Debug)]
 struct WriterState {
     memtable: MemTable,

@@ -17,7 +17,7 @@
 //! Failures are isolated per file — an unreadable or unparseable document
 //! is counted in [`DaemonStats::errors`] and never blocks its batchmates.
 
-use netmark::{ingest_files, NetMark, PipelineConfig, RawFile};
+use netmark::{ingest_files, PipelineConfig, RawFile, XdbBackend};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -87,7 +87,7 @@ type Seen = HashMap<PathBuf, (u64, std::time::SystemTime)>;
 /// errors are counted and skipped), then run the whole set through the
 /// staged pipeline in batched transactions.
 fn sweep(
-    nm: &NetMark,
+    nm: &dyn XdbBackend,
     folder: &Path,
     seen: &Mutex<Seen>,
     counters: &Counters,
@@ -124,9 +124,7 @@ fn sweep(
         // Re-ingest: drop the stale version first.
         let is_reingest = prior.is_some();
         if is_reingest {
-            if let Ok(Some(info)) = nm.document_by_name(&name) {
-                let _ = nm.remove_document(info.doc_id);
-            }
+            let _ = nm.remove_named(&name);
         }
         files.push(RawFile::new(name.clone(), content));
         kinds.push((name, is_reingest));
@@ -171,14 +169,14 @@ fn sweep(
 
 /// Starts the daemon polling `folder` every `interval` with default
 /// pipeline tuning.
-pub fn watch_folder(nm: Arc<NetMark>, folder: &Path, interval: Duration) -> DaemonHandle {
+pub fn watch_folder(nm: Arc<dyn XdbBackend>, folder: &Path, interval: Duration) -> DaemonHandle {
     watch_folder_with(nm, folder, interval, PipelineConfig::default())
 }
 
 /// Starts the daemon with explicit pipeline tuning (worker count, batch
 /// size, queue bound).
 pub fn watch_folder_with(
-    nm: Arc<NetMark>,
+    nm: Arc<dyn XdbBackend>,
     folder: &Path,
     interval: Duration,
     cfg: PipelineConfig,
@@ -191,7 +189,7 @@ pub fn watch_folder_with(
     let join = std::thread::spawn(move || {
         let seen = Mutex::new(Seen::new());
         while !stop2.load(Ordering::SeqCst) {
-            sweep(&nm, &folder, &seen, &stats2, &cfg);
+            sweep(&*nm, &folder, &seen, &stats2, &cfg);
             // Sleep in small slices so stop() is responsive.
             let mut remaining = interval;
             while !stop2.load(Ordering::SeqCst) && remaining > Duration::ZERO {
@@ -211,6 +209,7 @@ pub fn watch_folder_with(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use netmark::NetMark;
     use netmark_xdb::XdbQuery;
 
     fn wait_until(mut cond: impl FnMut() -> bool, max_ms: u64) -> bool {
@@ -231,7 +230,7 @@ mod tests {
         std::fs::create_dir_all(&drop_dir).unwrap();
         let nm = Arc::new(NetMark::open(&base.join("store")).unwrap());
 
-        let handle = watch_folder(Arc::clone(&nm), &drop_dir, Duration::from_millis(30));
+        let handle = watch_folder(nm.clone(), &drop_dir, Duration::from_millis(30));
         std::fs::write(drop_dir.join("plan.txt"), "# Budget\ntwo million\n").unwrap();
         assert!(
             wait_until(|| handle.stats().ingested >= 1, 3000),

@@ -12,7 +12,7 @@
 //! error response.
 
 use netmark::pipeline::BoundedQueue;
-use netmark::{IngestReport, NetMark, PipelineConfig, RawFile};
+use netmark::{IngestReport, PipelineConfig, RawFile, XdbBackend};
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::Arc;
 use std::time::Instant;
@@ -30,7 +30,7 @@ pub struct IngestService {
 
 impl IngestService {
     /// Starts the writer thread committing into `nm`.
-    pub fn start(nm: Arc<NetMark>, cfg: PipelineConfig) -> IngestService {
+    pub fn start(nm: Arc<dyn XdbBackend>, cfg: PipelineConfig) -> IngestService {
         let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity));
         let q2 = Arc::clone(&queue);
         let batch_docs = cfg.batch_docs.max(1);
@@ -44,7 +44,7 @@ impl IngestService {
                         None => break,
                     }
                 }
-                commit_jobs(&nm, &mut jobs);
+                commit_jobs(&*nm, &mut jobs);
             }
         });
         IngestService {
@@ -85,14 +85,14 @@ impl Drop for IngestService {
 
 /// Upmarks and commits `jobs` as one batch, answering every reply channel.
 /// Falls back to per-document commits if the batch transaction fails.
-fn commit_jobs(nm: &NetMark, jobs: &mut Vec<Job>) {
-    nm.metrics().observe_queue_depth(jobs.len());
+fn commit_jobs(nm: &dyn XdbBackend, jobs: &mut Vec<Job>) {
+    nm.ingest_metrics().observe_queue_depth(jobs.len());
     let t0 = Instant::now();
     let docs: Vec<_> = jobs
         .iter()
         .map(|j| netmark_docformats::upmark(&j.file.name, &j.file.content))
         .collect();
-    nm.metrics().record_upmark(t0.elapsed());
+    nm.ingest_metrics().record_upmark(t0.elapsed());
     match nm.ingest_batch(&docs) {
         Ok(reports) => {
             for (job, report) in jobs.drain(..).zip(reports) {
@@ -105,7 +105,7 @@ fn commit_jobs(nm: &NetMark, jobs: &mut Vec<Job>) {
             for (job, doc) in jobs.drain(..).zip(docs) {
                 let outcome = nm.insert_document(&doc).map_err(|e| e.to_string());
                 if outcome.is_err() {
-                    nm.metrics().record_error();
+                    nm.ingest_metrics().record_error();
                 }
                 let _ = job.reply.send(outcome);
             }
@@ -116,6 +116,7 @@ fn commit_jobs(nm: &NetMark, jobs: &mut Vec<Job>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use netmark::NetMark;
     use netmark_xdb::XdbQuery;
 
     #[test]
@@ -123,10 +124,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("netmark-ingestsvc-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let nm = Arc::new(NetMark::open(&dir).unwrap());
-        let svc = Arc::new(IngestService::start(
-            Arc::clone(&nm),
-            PipelineConfig::default(),
-        ));
+        let svc = Arc::new(IngestService::start(nm.clone(), PipelineConfig::default()));
         let handles: Vec<_> = (0..8)
             .map(|i| {
                 let svc = Arc::clone(&svc);
@@ -159,7 +157,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("netmark-ingestsvc2-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let nm = Arc::new(NetMark::open(&dir).unwrap());
-        let mut svc = IngestService::start(Arc::clone(&nm), PipelineConfig::default());
+        let mut svc = IngestService::start(nm.clone(), PipelineConfig::default());
         assert!(svc.submit("a.txt", "# A\nbody\n").is_ok());
         // Simulate shutdown without dropping (close + join).
         svc.queue.close();

@@ -23,7 +23,7 @@ pub use http::{read_request, read_request_from, Request, RequestError, Response}
 pub use ingest::IngestService;
 pub use server::{
     handle, handle_with, respond_query, serve, serve_with, server_stats_node, HttpService,
-    ServerHandle,
+    ServerHandle, StatsStamp,
 };
 // Front-end tuning/observability types, re-exported so deployments can
 // configure `serve_with` without naming the netserve crate.

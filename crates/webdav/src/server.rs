@@ -20,7 +20,7 @@
 
 use crate::http::{read_request_from, Request, RequestError, Response};
 use crate::ingest::IngestService;
-use netmark::{NetMark, PipelineConfig, QueryOutput};
+use netmark::{PipelineConfig, QueryOutput, XdbBackend};
 use netmark_model::{escape_text, Node};
 use netmark_netserve::{
     Frontend, FrontendConfig, FrontendHandle, FrontendStats, FrontendStatsSnapshot, ServeOutcome,
@@ -29,8 +29,9 @@ use netmark_netserve::{
 use netmark_xdb::{url_decode, Capabilities, XdbQuery};
 use std::io::{BufRead, Write};
 use std::net::TcpListener;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The HTTP/1.1 binding of the front end's [`Service`] contract: one
 /// request parsed off the connection's buffered reader (pipelined bytes
@@ -131,6 +132,43 @@ pub fn server_stats_node(s: &FrontendStatsSnapshot) -> Node {
         .with_attr("panics", &s.panics.to_string())
 }
 
+/// Stamps the `GET /xdb/stats` root element with restart-detection
+/// attributes: `uptime` (whole seconds since the server started) and
+/// `stats-generation`, a counter that increments on every stats request.
+/// A scraper that sees uptime or generation go backwards knows the
+/// process restarted and its lifetime counters reset — without this,
+/// counter resets are indistinguishable from idle periods.
+///
+/// Shared by the NETMARK server and the federation router server.
+pub struct StatsStamp {
+    started: Instant,
+    generation: AtomicU64,
+}
+
+impl Default for StatsStamp {
+    fn default() -> Self {
+        StatsStamp::new()
+    }
+}
+
+impl StatsStamp {
+    /// Starts the uptime clock now, with generation 0.
+    pub fn new() -> StatsStamp {
+        StatsStamp {
+            started: Instant::now(),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `uptime` and `stats-generation` to `node`, bumping the
+    /// generation.
+    pub fn stamp(&self, node: Node) -> Node {
+        let generation = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
+        node.with_attr("uptime", &self.started.elapsed().as_secs().to_string())
+            .with_attr("stats-generation", &generation.to_string())
+    }
+}
+
 /// A running server; dropping the handle stops it.
 pub struct ServerHandle {
     frontend: FrontendHandle,
@@ -162,14 +200,14 @@ impl ServerHandle {
 /// Uploads (`PUT /docs/<name>`) go through a shared [`IngestService`]:
 /// concurrent PUTs are batched into shared store transactions by one
 /// background writer, with backpressure from its bounded work queue.
-pub fn serve(nm: Arc<NetMark>, bind: &str) -> std::io::Result<ServerHandle> {
+pub fn serve(nm: Arc<dyn XdbBackend>, bind: &str) -> std::io::Result<ServerHandle> {
     serve_with(nm, bind, FrontendConfig::default())
 }
 
 /// [`serve`] with explicit front-end tuning (worker count, queue depth,
 /// admission caps, idle/read budgets — see [`FrontendConfig`]).
 pub fn serve_with(
-    nm: Arc<NetMark>,
+    nm: Arc<dyn XdbBackend>,
     bind: &str,
     cfg: FrontendConfig,
 ) -> std::io::Result<ServerHandle> {
@@ -180,15 +218,18 @@ pub fn serve_with(
     ));
     let stats = FrontendStats::shared();
     let stats_for_handler = Arc::clone(&stats);
+    let stamp = StatsStamp::new();
     let service = HttpService::new(move |req: &Request| {
         // The stats route is answered here rather than in `handle_with`
         // because only the server (not the bare handler) has a front end
-        // whose counters belong in the document.
+        // whose counters belong in the document and an uptime clock.
         if req.method == "GET" && req.path == "/xdb/stats" {
-            let node = stats_node(&nm).with_child(server_stats_node(&stats_for_handler.snapshot()));
+            let node = stamp.stamp(
+                stats_node(&*nm).with_child(server_stats_node(&stats_for_handler.snapshot())),
+            );
             return Response::new(200).with_xml(&node.to_xml());
         }
-        handle_with(&nm, Some(&ingest), req)
+        handle_with(&*nm, Some(&ingest), req)
     });
     let frontend = Frontend::start(listener, service, cfg, stats)?;
     Ok(ServerHandle { frontend })
@@ -203,13 +244,13 @@ fn doc_name(path: &str) -> Option<String> {
 /// Dispatches one request with direct (unbatched) ingestion on PUT.
 /// Exposed for in-process tests; the server routes through
 /// [`handle_with`] and a shared [`IngestService`].
-pub fn handle(nm: &NetMark, req: &Request) -> Response {
+pub fn handle(nm: &dyn XdbBackend, req: &Request) -> Response {
     handle_with(nm, None, req)
 }
 
 /// Dispatches one request. When `ingest` is given, PUT uploads are queued
 /// onto the shared batching service; otherwise they commit directly.
-pub fn handle_with(nm: &NetMark, ingest: Option<&IngestService>, req: &Request) -> Response {
+pub fn handle_with(nm: &dyn XdbBackend, ingest: Option<&IngestService>, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("OPTIONS", _) => Response::new(200)
             .with_header("DAV", "1")
@@ -241,23 +282,17 @@ pub fn handle_with(nm: &NetMark, ingest: Option<&IngestService>, req: &Request) 
             None => Response::new(400).with_text("PUT requires /docs/<name>"),
         },
         ("GET", _) => match doc_name(&req.path) {
-            Some(name) => match nm.document_by_name(&name) {
-                Ok(Some(info)) => match nm.reconstruct_document(info.doc_id) {
-                    Ok(doc) => Response::new(200).with_xml(&doc.root.to_pretty_xml()),
-                    Err(e) => Response::new(500).with_text(&e.to_string()),
-                },
+            Some(name) => match nm.reconstruct_named(&name) {
+                Ok(Some(doc)) => Response::new(200).with_xml(&doc.root.to_pretty_xml()),
                 Ok(None) => Response::new(404).with_text("no such document"),
                 Err(e) => Response::new(500).with_text(&e.to_string()),
             },
             None => Response::new(404).with_text("not found"),
         },
         ("DELETE", _) => match doc_name(&req.path) {
-            Some(name) => match nm.document_by_name(&name) {
-                Ok(Some(info)) => match nm.remove_document(info.doc_id) {
-                    Ok(()) => Response::new(204),
-                    Err(e) => Response::new(500).with_text(&e.to_string()),
-                },
-                Ok(None) => Response::new(404).with_text("no such document"),
+            Some(name) => match nm.remove_named(&name) {
+                Ok(true) => Response::new(204),
+                Ok(false) => Response::new(404).with_text("no such document"),
                 Err(e) => Response::new(500).with_text(&e.to_string()),
             },
             None => Response::new(400).with_text("DELETE requires /docs/<name>"),
@@ -266,7 +301,7 @@ pub fn handle_with(nm: &NetMark, ingest: Option<&IngestService>, req: &Request) 
     }
 }
 
-fn handle_query(nm: &NetMark, req: &Request) -> Response {
+fn handle_query(nm: &dyn XdbBackend, req: &Request) -> Response {
     let qs = req.query.as_deref().unwrap_or("");
     match XdbQuery::from_url(qs) {
         Ok(q) => respond_query(nm, &q),
@@ -279,7 +314,7 @@ fn handle_query(nm: &NetMark, req: &Request) -> Response {
 /// route above and the federation server's no-databank fall-through both
 /// land here, so parsing, capability semantics, and limit handling cannot
 /// drift between them.
-pub fn respond_query(nm: &NetMark, q: &XdbQuery) -> Response {
+pub fn respond_query(nm: &dyn XdbBackend, q: &XdbQuery) -> Response {
     match nm.run(q) {
         Ok(QueryOutput::Results(rs)) => Response::new(200).with_xml(&rs.to_xml()),
         Ok(QueryOutput::Composed(node)) => Response::new(200).with_xml(&node.to_pretty_xml()),
@@ -287,20 +322,22 @@ pub fn respond_query(nm: &NetMark, q: &XdbQuery) -> Response {
     }
 }
 
-/// The `<stats>` document served at `GET /xdb/stats`.
-fn stats_node(nm: &NetMark) -> Node {
+/// The `<stats>` document served at `GET /xdb/stats`. The children come
+/// from the backend ([`XdbBackend::stats_children`]): `<query/>`,
+/// `<index/>`, `<mvcc/>` for a single store, plus `<shards/>` under
+/// sharded mode.
+fn stats_node(nm: &dyn XdbBackend) -> Node {
     let q = nm.query_stats();
-    Node::element("stats")
+    let mut node = Node::element("stats")
         .with_attr("cache-hit-rate", &format!("{:.3}", q.cache_hit_rate()))
-        .with_attr("mean-latency-us", &q.mean_latency().as_micros().to_string())
-        .with_child(q.to_node())
-        .with_child(netmark::index_stats_node(&nm.text_index().stats()))
-        .with_child(netmark::mvcc_stats_node(
-            &nm.store().database().mvcc_stats(),
-        ))
+        .with_attr("mean-latency-us", &q.mean_latency().as_micros().to_string());
+    for child in nm.stats_children() {
+        node = node.with_child(child);
+    }
+    node
 }
 
-fn handle_propfind(nm: &NetMark) -> Response {
+fn handle_propfind(nm: &dyn XdbBackend) -> Response {
     let docs = match nm.list_documents() {
         Ok(d) => d,
         Err(e) => return Response::new(500).with_text(&e.to_string()),
@@ -326,6 +363,7 @@ fn handle_propfind(nm: &NetMark) -> Response {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use netmark::NetMark;
     use std::collections::BTreeMap;
     use std::io::{Read, Write};
     use std::net::TcpStream;
@@ -403,22 +441,22 @@ mod tests {
             headers: BTreeMap::new(),
             body: Vec::new(),
         };
-        assert_eq!(handle(&nm, &mk("OPTIONS", "/", None)).status, 200);
-        assert_eq!(handle(&nm, &mk("MKCOL", "/docs", None)).status, 201);
-        assert_eq!(handle(&nm, &mk("PATCH", "/docs", None)).status, 405);
+        assert_eq!(handle(&*nm, &mk("OPTIONS", "/", None)).status, 200);
+        assert_eq!(handle(&*nm, &mk("MKCOL", "/docs", None)).status, 201);
+        assert_eq!(handle(&*nm, &mk("PATCH", "/docs", None)).status, 405);
         assert_eq!(
-            handle(&nm, &mk("GET", "/xdb", Some("bogus"))).status,
+            handle(&*nm, &mk("GET", "/xdb", Some("bogus"))).status,
             400,
             "malformed query reports 400"
         );
         assert_eq!(
-            handle(&nm, &mk("GET", "/docs/../etc/passwd", None)).status,
+            handle(&*nm, &mk("GET", "/docs/../etc/passwd", None)).status,
             404,
             "path traversal rejected"
         );
-        assert_eq!(handle(&nm, &mk("PUT", "/docs/", None)).status, 400);
+        assert_eq!(handle(&*nm, &mk("PUT", "/docs/", None)).status, 400);
         assert_eq!(
-            handle(&nm, &mk("DELETE", "/docs/none.txt", None)).status,
+            handle(&*nm, &mk("DELETE", "/docs/none.txt", None)).status,
             404
         );
         std::fs::remove_dir_all(&dir).unwrap();
@@ -428,7 +466,7 @@ mod tests {
     fn stats_endpoint_reports_cache_and_stages() {
         let (nm, dir) = temp_nm("stats");
         nm.insert_file("a.txt", "# Budget\ntwo million\n").unwrap();
-        let h = serve(Arc::clone(&nm), "127.0.0.1:0").unwrap();
+        let h = serve(nm.clone(), "127.0.0.1:0").unwrap();
         // Same query twice: the second must be a cache hit.
         for _ in 0..2 {
             let resp = request(h.addr(), "GET /xdb?Context=Budget HTTP/1.1\r\n\r\n");
@@ -442,6 +480,11 @@ mod tests {
         assert!(resp.contains("collect-us="), "{resp}");
         assert!(resp.contains("<mvcc"), "{resp}");
         assert!(resp.contains("live-views=\"0\""), "{resp}");
+        // Restart detection: first scrape of this process is generation 1.
+        assert!(resp.contains("uptime="), "{resp}");
+        assert!(resp.contains("stats-generation=\"1\""), "{resp}");
+        let resp = request(h.addr(), "GET /xdb/stats HTTP/1.1\r\n\r\n");
+        assert!(resp.contains("stats-generation=\"2\""), "{resp}");
         h.stop();
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -462,7 +505,7 @@ mod tests {
             ("limit=abc", "limit"),
             ("bogus=1", "unknown query key"),
         ] {
-            let resp = handle(&nm, &mk(qs));
+            let resp = handle(&*nm, &mk(qs));
             assert_eq!(resp.status, 400, "{qs}");
             let body = String::from_utf8_lossy(&resp.body).into_owned();
             assert!(body.contains(needle), "{qs} → {body}");
@@ -501,7 +544,7 @@ mod encoding_tests {
         let dir = std::env::temp_dir().join(format!("netmark-dav-enc-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let nm = Arc::new(netmark::NetMark::open(&dir).unwrap());
-        let h = serve(Arc::clone(&nm), "127.0.0.1:0").unwrap();
+        let h = serve(nm.clone(), "127.0.0.1:0").unwrap();
         let body = "# Budget\nmoney\n";
         let mut s = TcpStream::connect(h.addr()).unwrap();
         s.write_all(
@@ -535,7 +578,7 @@ mod encoding_tests {
         let dir = std::env::temp_dir().join(format!("netmark-dav-big-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let nm = Arc::new(netmark::NetMark::open(&dir).unwrap());
-        let h = serve(Arc::clone(&nm), "127.0.0.1:0").unwrap();
+        let h = serve(nm.clone(), "127.0.0.1:0").unwrap();
         let mut s = TcpStream::connect(h.addr()).unwrap();
         // Claim a 1 GiB body; the parser must refuse rather than allocate.
         s.write_all(b"PUT /docs/x.txt HTTP/1.1\r\nContent-Length: 1073741824\r\n\r\n")
@@ -553,7 +596,7 @@ mod encoding_tests {
         let dir = std::env::temp_dir().join(format!("netmark-dav-hdr-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let nm = Arc::new(netmark::NetMark::open(&dir).unwrap());
-        let h = serve(Arc::clone(&nm), "127.0.0.1:0").unwrap();
+        let h = serve(nm.clone(), "127.0.0.1:0").unwrap();
         let mut s = TcpStream::connect(h.addr()).unwrap();
         s.write_all(b"GET /xdb?Context=x HTTP/1.1\r\n").unwrap();
         let pad = format!("X-Pad: {}\r\n", "y".repeat(8 << 10));
@@ -576,7 +619,7 @@ mod encoding_tests {
         let _ = std::fs::remove_dir_all(&dir);
         let nm = Arc::new(netmark::NetMark::open(&dir).unwrap());
         nm.insert_file("a.txt", "# Budget\nmoney\n").unwrap();
-        let h = serve(Arc::clone(&nm), "127.0.0.1:0").unwrap();
+        let h = serve(nm.clone(), "127.0.0.1:0").unwrap();
 
         let mut s = TcpStream::connect(h.addr()).unwrap();
         let read_one = |s: &mut TcpStream| {

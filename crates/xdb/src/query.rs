@@ -43,6 +43,15 @@ pub struct XdbQuery {
     pub limit: Option<usize>,
     /// `match=` — content matching mode.
     pub match_mode: MatchMode,
+    /// Shard-coordination hint, never on the wire: context labels already
+    /// known (by the coordinator) to have an exact match *somewhere* in
+    /// the federated/sharded whole. A store executing the query treats a
+    /// listed label as exact-only — it must not fall back to phrase
+    /// matching even when its local slice has no exact occurrence,
+    /// because the fallback decision is global, not per-store. Empty for
+    /// plain single-store queries; [`XdbQuery::from_url`] never sets it
+    /// and [`XdbQuery::to_query_string`] never renders it.
+    pub exact_contexts: Vec<String>,
 }
 
 /// Typed error for malformed query strings and invalid builder states.

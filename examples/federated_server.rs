@@ -56,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         read_budget: Duration::from_secs(5),
         ..FrontendConfig::default()
     };
-    let h = serve_router_with(Arc::new(router), Some(Arc::clone(&nm)), "127.0.0.1:0", cfg)?;
+    let h = serve_router_with(Arc::new(router), Some(nm.clone()), "127.0.0.1:0", cfg)?;
     println!("federated NETMARK router on http://{}", h.addr());
 
     // One URL, two sources, capability augmentation on the weak one.

@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::create_dir_all(&drop_dir)?;
 
     let nm = Arc::new(NetMark::open(&base.join("store"))?);
-    let daemon = watch_folder(Arc::clone(&nm), &drop_dir, Duration::from_millis(50));
+    let daemon = watch_folder(nm.clone(), &drop_dir, Duration::from_millis(50));
     // Production-style front-end tuning: every knob bounded. Defaults
     // are fine too — `serve` uses `FrontendConfig::default()`.
     let cfg = FrontendConfig {
@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         read_budget: Duration::from_secs(5),   // slow-loris kill
         ..FrontendConfig::default()
     };
-    let server = serve_with(Arc::clone(&nm), "127.0.0.1:0", cfg)?;
+    let server = serve_with(nm.clone(), "127.0.0.1:0", cfg)?;
     println!("NETMARK serving on http://{}", server.addr());
     println!("drop folder: {}", drop_dir.display());
 

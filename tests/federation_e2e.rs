@@ -144,7 +144,7 @@ fn matcher_agrees_with_engine_on_stored_documents() {
 fn http_ingest_feeds_federated_query() {
     let base = scratch("http");
     let nm = Arc::new(NetMark::open(&base.join("store")).unwrap());
-    let server = netmark_webdav::serve(Arc::clone(&nm), "127.0.0.1:0").unwrap();
+    let server = netmark_webdav::serve(nm.clone(), "127.0.0.1:0").unwrap();
 
     // Upload over HTTP.
     let body = "# Budget\nuploaded money\n";
@@ -184,8 +184,8 @@ fn daemon_and_server_share_one_store() {
     std::fs::create_dir_all(&drop_dir).unwrap();
     let nm = Arc::new(NetMark::open(&base.join("store")).unwrap());
     let daemon =
-        netmark_webdav::watch_folder(Arc::clone(&nm), &drop_dir, Duration::from_millis(20));
-    let server = netmark_webdav::serve(Arc::clone(&nm), "127.0.0.1:0").unwrap();
+        netmark_webdav::watch_folder(nm.clone(), &drop_dir, Duration::from_millis(20));
+    let server = netmark_webdav::serve(nm.clone(), "127.0.0.1:0").unwrap();
 
     std::fs::write(drop_dir.join("dropped.txt"), "# Budget\nfolder money\n").unwrap();
     let deadline = std::time::Instant::now() + Duration::from_secs(5);

@@ -420,6 +420,7 @@ mod xdb_props {
                 doc: None,
                 limit,
                 match_mode: if phrase { MatchMode::Phrase } else { MatchMode::Keywords },
+                exact_contexts: Vec::new(),
             };
             let back = XdbQuery::from_url(&q.to_query_string()).unwrap();
             prop_assert_eq!(back, q);
