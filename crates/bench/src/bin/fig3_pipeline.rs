@@ -114,8 +114,7 @@ fn main() {
     }
     let nm = Arc::new(NetMark::open(&scratch.join("store")).expect("open"));
     let ((), wall) = time(|| {
-        let daemon =
-            netmark_webdav::watch_folder(nm.clone(), &drop_dir, Duration::from_millis(5));
+        let daemon = netmark_webdav::watch_folder(nm.clone(), &drop_dir, Duration::from_millis(5));
         while daemon.stats().ingested < docs.len() as u64 {
             std::thread::sleep(Duration::from_millis(5));
         }

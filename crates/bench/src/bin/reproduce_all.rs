@@ -20,6 +20,7 @@ const TARGETS: &[&str] = &[
     "fig11_mvcc_reads",
     "fig12_c10k",
     "fig13_shard_scaling",
+    "fig14_ranked_search",
     "sec4_top_employees",
     "ablations",
 ];

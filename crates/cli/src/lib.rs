@@ -81,7 +81,9 @@ USAGE: netmark [--dir DB] <command>
 COMMANDS:
   ingest FILE...              upmark + store documents
   ls                          list stored documents
-  query 'Context=...&...'     run an XDB query string
+  query 'Context=...&...'     run an XDB query string; add rank=bm25 for
+                              relevance-ranked hits with per-hit scores
+                              (rank=none — the default — keeps store order)
   cat NAME                    print a stored document as XML
   rm NAME                     remove a document by name
   serve [--bind ADDR] [--dropbox DIR]
@@ -405,6 +407,18 @@ mod tests {
         let (code, out) = run_cmd(Command::Query("Context=Budget".into()));
         assert_eq!(code, 0);
         assert!(out.contains("cli money"));
+        assert!(!out.contains("score="), "unranked output carries no scores");
+
+        // Ranked query: wire v2 output with per-hit scores.
+        let (code, out) = run_cmd(Command::Query("Content=money&rank=bm25".into()));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("ranked=\"true\""), "{out}");
+        assert!(out.contains("score="), "{out}");
+
+        // A bad rank mode is a typed parse error, not a panic.
+        let (code, out) = run_cmd(Command::Query("Content=money&rank=tfidf".into()));
+        assert_eq!(code, 1);
+        assert!(out.contains("rank"), "{out}");
 
         let (code, out) = run_cmd(Command::Cat("plan.txt".into()));
         assert_eq!(code, 0);

@@ -19,10 +19,18 @@ use crate::store::{DocInfo, IngestReport};
 use netmark_docformats::upmark;
 use netmark_model::{Document, Node};
 use netmark_relstore::WalStats;
-use netmark_xdb::XdbQuery;
+use netmark_xdb::{Capabilities, XdbQuery};
 
 /// A queryable, ingestable XDB store. See the module docs.
 pub trait XdbBackend: Send + Sync {
+    /// What this backend evaluates natively — served verbatim at
+    /// `GET /xdb/capabilities` (wire v2 negotiation, paper §2.1.5). Local
+    /// stores are full peers, ranked search included; adapters fronting
+    /// lesser remotes override this with what the remote advertised.
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::FULL
+    }
+
     /// Runs a parsed XDB query, composing with the named stylesheet when
     /// the query carries `xslt=`.
     fn run(&self, q: &XdbQuery) -> Result<QueryOutput>;

@@ -463,7 +463,20 @@ impl QueryEngine {
                 out
             }
         };
-        collect_hits(view, q, ctx_rowids, trace)
+        // BM25 scores are attached at collect time, not during matching:
+        // the match set is exactly what `rank=none` would produce, ranking
+        // only reorders it. Scoring reuses the same pinned snapshot + view
+        // pair, so scores and matches describe one committed state.
+        let scores = match (&q.content, q.ranked()) {
+            (Some(terms), true) => Some(context_scores(
+                view,
+                &*snap,
+                Some((&self.memo, gen)),
+                terms,
+            )?),
+            _ => None,
+        };
+        collect_hits(view, q, ctx_rowids, scores.as_ref(), trace)
     }
 
     /// Context rowids whose sections contain the content terms. Multi-term
@@ -697,16 +710,51 @@ pub(crate) fn context_rowids<I: TextIndexReader + ?Sized>(
     Ok(out)
 }
 
+/// Node-level BM25 scores rolled up to governing-context rowids: each
+/// matching node's score is attributed to the context that would own its
+/// hit, summing when a section contains several scoring nodes. Uses the
+/// same memoized governing-context walk as the match path, so score
+/// attribution can never disagree with hit attribution.
+pub(crate) fn context_scores<I: TextIndexReader + ?Sized>(
+    view: &StoreView,
+    index: &I,
+    memo: Option<(&CtxMemo, i64)>,
+    terms: &str,
+) -> Result<HashMap<RowId, f64>> {
+    let mut out: HashMap<RowId, f64> = HashMap::new();
+    for (nid, score) in index.search_bm25(terms) {
+        let Some((rid, _)) = view.node_by_id(nid)? else {
+            continue; // tombstoned in index but not in this store view
+        };
+        let ctx = match memo.and_then(|(m, gen)| m.get(gen, rid)) {
+            Some(cached) => cached,
+            None => {
+                let walked = view.governing_context(rid)?.map(|(c, _)| c);
+                if let Some((m, gen)) = memo {
+                    m.put(gen, rid, walked);
+                }
+                walked
+            }
+        };
+        if let Some(c) = ctx {
+            *out.entry(c).or_default() += score;
+        }
+    }
+    Ok(out)
+}
+
 /// Materializes the result set for the surviving context rowids: resolve
 /// document names (once per doc), apply the `doc=` filter, walk each
-/// section's content, order, truncate.
+/// section's content, order, rank (when `rank=bm25`), truncate.
 pub(crate) fn collect_hits(
     view: &StoreView,
     query: &XdbQuery,
     ctx_rowids: Vec<RowId>,
+    scores: Option<&HashMap<RowId, f64>>,
     trace: &mut QueryTrace,
 ) -> Result<ResultSet> {
     let t = Instant::now();
+    let ranked = query.ranked();
     // Resolve document names once per doc. A missing DOC row means the
     // index snapshot led this store view (the document landed after the
     // pin) — skip such hits rather than failing the query.
@@ -739,10 +787,25 @@ pub(crate) fn collect_hits(
                 context: row.data.clone(),
                 content,
                 context_node: row.node_id,
+                // Ranked queries score every hit (0.0 when the section
+                // matched without any scoring node, e.g. a pure Context=
+                // match); unranked hits carry no score at all, keeping the
+                // wire bytes identical to pre-ranking output.
+                score: ranked.then(|| scores.and_then(|m| m.get(&rid)).copied().unwrap_or(0.0)),
             },
         );
     }
     let mut hits: Vec<Hit> = ordered.into_values().collect();
+    if ranked {
+        // Stable sort over the (doc_id, node_id)-ordered vec: equal scores
+        // keep ingest order — the same tie-break rule the sharded and
+        // federated merges apply via `merge_scored`.
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+    }
     let mut truncated = false;
     if let Some(limit) = query.limit {
         if hits.len() > limit {
@@ -755,6 +818,7 @@ pub(crate) fn collect_hits(
         hits,
         candidates: trace.candidates,
         truncated,
+        ranked,
     })
 }
 
@@ -897,6 +961,53 @@ mod tests {
         }
         assert!(parallel.stats().parallel_queries >= 3);
         assert_eq!(serial.stats().parallel_queries, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ranked_queries_score_sort_and_preserve_match_set() {
+        let (store, dir) = temp_store("rank");
+        let index = Arc::new(SegmentedIndex::new());
+        // a: one mention diluted in a long section; b: dense mentions in a
+        // short one — BM25 must put b first, ingest order puts a first.
+        ingest(
+            &store,
+            &index,
+            "a.txt",
+            "# Notes\nthe engine review covered many unrelated topics and ran very long indeed\n",
+        );
+        ingest(
+            &store,
+            &index,
+            "b.txt",
+            "# Faults\nengine engine engine stall\n",
+        );
+        let eng = engine_with(&store, &index, QueryEngineOptions::default());
+        let plain = XdbQuery::content("engine");
+        let ranked_q = plain.clone().with_rank(netmark_xdb::RankMode::Bm25);
+        let unranked = eng.execute(&plain).unwrap();
+        let ranked = eng.execute(&ranked_q).unwrap();
+        assert!(!unranked.ranked);
+        assert!(ranked.ranked);
+        assert!(unranked.hits.iter().all(|h| h.score.is_none()));
+        assert!(ranked.hits.iter().all(|h| h.score.is_some()));
+        let docs =
+            |rs: &ResultSet| -> Vec<String> { rs.hits.iter().map(|h| h.doc.clone()).collect() };
+        assert_eq!(docs(&unranked), vec!["a.txt", "b.txt"], "ingest order");
+        assert_eq!(docs(&ranked), vec!["b.txt", "a.txt"], "score order");
+        assert!(ranked.hits[0].score > ranked.hits[1].score);
+        // rank= is part of the cache key: re-running the unranked form
+        // after the ranked one must serve the unranked entry, not collide.
+        assert_eq!(docs(&eng.execute(&plain).unwrap()), vec!["a.txt", "b.txt"]);
+        assert_eq!(eng.stats().cache_hits, 1);
+        // A ranked Context= query (nothing to score) still answers, every
+        // hit scored 0.0.
+        let ctx = eng
+            .execute(&XdbQuery::context("Faults").with_rank(netmark_xdb::RankMode::Bm25))
+            .unwrap();
+        assert!(ctx.ranked);
+        assert_eq!(ctx.hits.len(), 1);
+        assert_eq!(ctx.hits[0].score, Some(0.0));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

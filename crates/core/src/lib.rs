@@ -47,10 +47,10 @@ pub use metrics::{
 };
 pub use netmark::{NetMark, NetMarkOptions, NetMarkStats, QueryOutput};
 pub use pipeline::{ingest_files, BoundedQueue, PipelineConfig, PipelineStats, RawFile};
-pub use scatter::scatter;
+pub use scatter::{merge_scored, scatter};
 pub use store::{DocId, DocInfo, IngestReport, NodeId, NodeRow, NodeStore, StoreView};
 
 // Re-export the vocabulary types users need at the API surface.
 pub use netmark_model::{Document, Node, NodeType};
 pub use netmark_textindex::{CompactionPolicy, IndexStats, SegmentedIndex};
-pub use netmark_xdb::{Hit, MatchMode, ResultSet, XdbQuery};
+pub use netmark_xdb::{Capabilities, Hit, MatchMode, RankMode, ResultSet, XdbQuery};

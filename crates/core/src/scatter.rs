@@ -56,6 +56,27 @@ where
     slots.into_iter().map(|(_, r)| r).collect()
 }
 
+/// The shared ranked-merge policy for scatter-gather answers: sorts
+/// `(ordinal, hit)` pairs by score descending, breaking ties on the
+/// caller-supplied ordinal ascending — the global ingest sequence for the
+/// sharded store, the databank registration order for the federation
+/// router. The sort is stable, so pairs equal on both keys keep their
+/// concatenation order. A hit without a score (an unranked source's answer
+/// that was not augmented) sorts as 0.0, i.e. after every scored hit.
+///
+/// Both coordinators sharing this one function is what makes a ranked
+/// 4-shard answer and a ranked federated answer order their hits by the
+/// same rule — and what the mixed-capability merge tests pin.
+pub fn merge_scored(keyed: &mut [(u64, netmark_xdb::Hit)]) {
+    keyed.sort_by(|(oa, a), (ob, b)| {
+        let sa = a.score.unwrap_or(0.0);
+        let sb = b.score.unwrap_or(0.0);
+        sb.partial_cmp(&sa)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(oa.cmp(ob))
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,5 +129,33 @@ mod tests {
         let none: Vec<u8> = Vec::new();
         assert!(scatter(&none, 8, |_, &x| x).is_empty());
         assert_eq!(scatter(&[7u8], 8, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn merge_scored_orders_by_score_then_ordinal() {
+        let hit = |doc: &str, score: Option<f64>| netmark_xdb::Hit {
+            source: String::new(),
+            doc: doc.to_string(),
+            context: String::new(),
+            content: netmark_model::Node::element("Content"),
+            context_node: 0,
+            score,
+        };
+        let mut keyed = vec![
+            (3, hit("unscored", None)),
+            (2, hit("low", Some(0.5))),
+            (9, hit("tied-late", Some(2.0))),
+            (1, hit("tied-early", Some(2.0))),
+            (5, hit("top", Some(7.25))),
+            (4, hit("zero", Some(0.0))),
+        ];
+        merge_scored(&mut keyed);
+        let docs: Vec<&str> = keyed.iter().map(|(_, h)| h.doc.as_str()).collect();
+        // Score descending; the 2.0 tie breaks on ordinal; None and 0.0
+        // are the same rank and fall back to ordinal order.
+        assert_eq!(
+            docs,
+            vec!["top", "tied-early", "tied-late", "low", "unscored", "zero"]
+        );
     }
 }

@@ -160,6 +160,7 @@ impl SourceAdapter for ContentOnlySource {
                     content: netmark_model::Node::element("Content")
                         .with_text(&text.chars().take(200).collect::<String>()),
                     context_node: 0,
+                    score: None,
                 });
             }
         }

@@ -9,9 +9,9 @@
 //! schemas and no mappings, only the source lists.
 
 use crate::adapter::{Capabilities, SourceAdapter, SourceError};
-use crate::matcher::match_document;
-use netmark::{scatter, SourceMetrics, SourceStats};
-use netmark_xdb::{Hit, ResultSet, XdbQuery};
+use crate::matcher::{match_document, score_hits};
+use netmark::{merge_scored, scatter, SourceMetrics, SourceStats};
+use netmark_xdb::{Hit, RankMode, ResultSet, XdbQuery};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -267,6 +267,17 @@ impl Router {
             // Unsectioned answers always need local sectioning.
             residual = true;
         }
+        let mut rank_stripped = false;
+        if q.ranked() && !caps.ranked {
+            // The source predates ranking (wire v1, or a content-only
+            // server): push the same match set unranked and score the
+            // answers here. This is not a residual — the *match set* is
+            // fully evaluated at the source — but the limit still cannot
+            // be pushed: an unranked source returns its first `limit`
+            // hits, which need not be its best-scoring ones.
+            pushed.rank = RankMode::None;
+            rank_stripped = true;
+        }
         // Limit pushdown: when the source evaluates the whole query (no
         // local post-processing) the global `limit=` is also a valid
         // per-source upper bound — no merged answer can use more than
@@ -275,7 +286,7 @@ impl Router {
         // residual filter may discard pushed hits, and truncating early
         // would lose answers. Global truncation still happens once, in
         // [`Router::query`].
-        if residual {
+        if residual || rank_stripped {
             pushed.limit = None;
         }
         pushed.xslt = None; // composition happens at the client, once
@@ -322,7 +333,7 @@ impl Router {
                 return (outcome, Vec::new());
             }
         };
-        let hits: Vec<Hit> = if residual {
+        let mut hits: Vec<Hit> = if residual {
             // Fetch each candidate document once; re-evaluate the full
             // query over it locally.
             let mut doc_names: Vec<&str> = Vec::new();
@@ -360,6 +371,13 @@ impl Router {
                 })
                 .collect()
         };
+        if q.ranked() {
+            // Augmentation for the ranking fragment: hits from sources
+            // that could not score (rank stripped, or residual-matched
+            // locally) get a router-side relevance score so the merge
+            // compares every hit on the same axis.
+            score_hits(&mut hits, q);
+        }
         outcome.hits = hits.len();
         outcome.pushed = pushed;
         (outcome, hits)
@@ -391,12 +409,26 @@ impl Router {
             scatter(&adapters, self.max_fanout, |_, a| {
                 self.query_source(a.as_ref(), q)
             });
-        // Merge in databank order; apply the limit once, globally.
+        // Merge; apply the limit once, globally. Unranked queries merge in
+        // databank order (the exact pre-v2 behaviour, byte for byte);
+        // ranked queries merge by score through the same policy the
+        // shard-per-core store uses, tie-breaking on databank order.
         let mut results = ResultSet::new();
         let mut outcomes = Vec::with_capacity(per_source.len());
-        for (o, mut hits) in per_source {
-            results.hits.append(&mut hits);
-            outcomes.push(o);
+        if q.ranked() {
+            let mut keyed: Vec<(u64, Hit)> = Vec::new();
+            for (ordinal, (o, hits)) in per_source.into_iter().enumerate() {
+                keyed.extend(hits.into_iter().map(|h| (ordinal as u64, h)));
+                outcomes.push(o);
+            }
+            merge_scored(&mut keyed);
+            results.hits = keyed.into_iter().map(|(_, h)| h).collect();
+            results.ranked = true;
+        } else {
+            for (o, mut hits) in per_source {
+                results.hits.append(&mut hits);
+                outcomes.push(o);
+            }
         }
         results.candidates = results.hits.len();
         if let Some(limit) = q.limit {
@@ -500,6 +532,99 @@ mod tests {
         let o = fr.outcomes.iter().find(|o| o.source == "ames").unwrap();
         assert!(!o.augmented);
         assert!(o.pushed.context.is_some());
+        cleanup(dirs);
+    }
+
+    #[test]
+    fn mixed_capability_ranked_merge_agrees_on_top_k() {
+        // Deployment A: a ranked NETMARK peer + the unranked Lessons
+        // Learned server. Deployment B: the same corpora as two full
+        // NETMARK peers. Scores come from different scorers (peer BM25,
+        // router TF augmentation, peer-local BM25 over different corpus
+        // statistics), so the cross-deployment guarantee is *set* equality
+        // of the top-k, not byte equality.
+        let heavy = "# Report\nengine engine engine engine engine engine\n";
+        let filler = "# Report\nfiller text only\n";
+        let llis_docs = vec![
+            ("ll-1.txt".to_string(), "# Title\nengine note\n".to_string()),
+            ("ll-2.txt".to_string(), "# Title\nengine memo\n".to_string()),
+        ];
+
+        let (nm1, d1) = temp_nm("mix-a");
+        nm1.insert_file("heavy1.txt", heavy).unwrap();
+        nm1.insert_file("heavy2.txt", heavy).unwrap();
+        for i in 0..6 {
+            nm1.insert_file(&format!("filler{i}.txt"), filler).unwrap();
+        }
+
+        let mut mixed = Router::new();
+        mixed
+            .register_source(Arc::new(NetmarkSource::new("ames", Arc::clone(&nm1))))
+            .unwrap();
+        mixed
+            .register_source(Arc::new(ContentOnlySource::new("llis", llis_docs.clone())))
+            .unwrap();
+        mixed.define_databank("apps", &["ames", "llis"]).unwrap();
+
+        let (nm2, d2) = temp_nm("mix-b");
+        for (n, text) in &llis_docs {
+            nm2.insert_file(n, text).unwrap();
+        }
+        let mut full = Router::new();
+        full.register_source(Arc::new(NetmarkSource::new("ames", Arc::clone(&nm1))))
+            .unwrap();
+        full.register_source(Arc::new(NetmarkSource::new("llis", nm2)))
+            .unwrap();
+        full.define_databank("apps", &["ames", "llis"]).unwrap();
+
+        let q = XdbQuery::content("engine")
+            .with_rank(RankMode::Bm25)
+            .with_limit(2);
+        let a = mixed.query("apps", &q).unwrap();
+        let b = full.query("apps", &q).unwrap();
+        assert!(a.results.ranked && b.results.ranked);
+        assert!(
+            a.results.hits.iter().all(|h| h.score.is_some()),
+            "every merged hit is scored, augmented sources included"
+        );
+        let top = |fr: &FederatedResult| -> std::collections::BTreeSet<String> {
+            fr.results.hits.iter().map(|h| h.doc.clone()).collect()
+        };
+        let expected: std::collections::BTreeSet<String> = ["heavy1.txt", "heavy2.txt"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(top(&a), expected, "high-tf docs win the merged top-k");
+        assert_eq!(
+            top(&a),
+            top(&b),
+            "mixed-capability and all-full deployments agree on the top-k set"
+        );
+
+        // The unranked source had rank= (and therefore the limit) stripped
+        // at pushdown; the ranked peer evaluated both natively.
+        let llis_o = a.outcomes.iter().find(|o| o.source == "llis").unwrap();
+        assert_eq!(llis_o.pushed.rank, RankMode::None);
+        assert!(llis_o.pushed.limit.is_none());
+        let ames_o = a.outcomes.iter().find(|o| o.source == "ames").unwrap();
+        assert_eq!(ames_o.pushed.rank, RankMode::Bm25);
+        assert_eq!(ames_o.pushed.limit, Some(2));
+
+        cleanup(vec![d1, d2]);
+    }
+
+    #[test]
+    fn unranked_federated_answers_keep_v1_bytes_and_order() {
+        // rank=none through the router is the exact pre-ranking pathway:
+        // databank-order merge, no scores, wire-v1 rendering.
+        let (router, dirs) = build_router("v1bytes");
+        let fr = router.query("apps", &XdbQuery::context("Budget")).unwrap();
+        assert!(!fr.results.ranked);
+        assert!(fr.results.hits.iter().all(|h| h.score.is_none()));
+        let xml = fr.results.to_xml();
+        assert!(xml.contains("version=\"1\""), "{xml}");
+        assert!(!xml.contains("score"), "{xml}");
+        assert!(!xml.contains("ranked"), "{xml}");
         cleanup(dirs);
     }
 
@@ -651,6 +776,7 @@ mod tests {
                 context: "Budget".to_string(),
                 content: netmark::Node::text(&self.name),
                 context_node: 0,
+                score: None,
             });
             Ok(rs)
         }

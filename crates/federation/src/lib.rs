@@ -36,7 +36,7 @@ pub use client::{ClientConfig, HttpClient, HttpResponse};
 pub use databank::{
     Databank, FederatedResult, Router, RouterError, SourceOutcome, DEFAULT_MAX_FANOUT,
 };
-pub use matcher::{match_document, sections, Section};
+pub use matcher::{match_document, score_hits, sections, Section};
 pub use remote::{BreakerConfig, BreakerState, RemoteConfig, RemoteSource};
 pub use serve::{handle_federated, serve_router, serve_router_with, FederatedServerHandle};
 // Front-end tuning/observability, re-exported for deployments of

@@ -115,8 +115,30 @@ pub fn match_document(doc: &Document, q: &XdbQuery) -> Vec<Hit> {
             context: s.label,
             content: s.content,
             context_node: 0,
+            score: None,
         })
         .collect()
+}
+
+/// Router-side relevance scoring for hits from sources that cannot score
+/// themselves (wire-v1 peers, content-only servers, residual-matched
+/// sections). Hits that already carry a score — a ranked source's own BM25
+/// answer — are left untouched; the rest get the term frequency of the
+/// query's content terms over heading + body. TF has no corpus statistics
+/// to draw on (the router holds none — *that is the point*), but it is
+/// monotone in relevance on the same axis BM25 orders by, which is what
+/// the score-aware merge needs from an augmented source.
+pub fn score_hits(hits: &mut [Hit], q: &XdbQuery) {
+    let terms: Vec<String> = q.content.as_deref().map(query_terms).unwrap_or_default();
+    for h in hits.iter_mut().filter(|h| h.score.is_none()) {
+        let text = format!("{} {}", h.context, h.content.text_content());
+        let hay = query_terms(&text);
+        let tf: usize = terms
+            .iter()
+            .map(|t| hay.iter().filter(|w| *w == t).count())
+            .sum();
+        h.score = Some(tf as f64);
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +197,19 @@ mod tests {
         let mut q = XdbQuery::context("Title");
         q.doc = Some("other.html".into());
         assert!(match_document(&doc(), &q).is_empty());
+    }
+
+    #[test]
+    fn score_hits_fills_only_missing_scores() {
+        let d = upmark("e.txt", "# Alpha\nengine engine fuel\n# Beta\nengine\n");
+        let q = XdbQuery::content("engine").with_rank(netmark_xdb::RankMode::Bm25);
+        let mut hits = match_document(&d, &q);
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|h| h.score.is_none()));
+        hits[1].score = Some(9.5); // pretend a ranked source scored this one
+        score_hits(&mut hits, &q);
+        assert_eq!(hits[0].score, Some(2.0), "TF over heading + body");
+        assert_eq!(hits[1].score, Some(9.5), "source-scored hits untouched");
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::adapter::{Capabilities, SourceAdapter, SourceError};
 use crate::client::{ClientConfig, HttpClient};
 use netmark_model::Document;
 use netmark_sgml::{parse_xml, NodeTypeConfig};
-use netmark_xdb::{url_encode, ResultSet, XdbQuery, WIRE_VERSION};
+use netmark_xdb::{url_encode, ResultSet, XdbQuery};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -147,8 +147,11 @@ pub struct RemoteSource {
 
 impl RemoteSource {
     /// Connects to `addr` (`host:port`) and negotiates capabilities via
-    /// `GET /xdb/capabilities`. Fails when the server is unreachable,
-    /// does not advertise capabilities, or speaks a newer wire version.
+    /// `GET /xdb/capabilities`. Fails when the server is unreachable or
+    /// does not advertise capabilities. A server speaking a *newer* wire
+    /// version is fine: versions are additive, so negotiation keeps the
+    /// capability bits both sides understand and ignores the rest — a
+    /// peer is never refused over the version number alone.
     pub fn connect(name: &str, addr: &str, cfg: RemoteConfig) -> Result<RemoteSource, SourceError> {
         let client = HttpClient::new(addr, cfg.client)
             .map_err(|e| SourceError::Unavailable(e.to_string()))?;
@@ -163,14 +166,9 @@ impl RemoteSource {
         }
         let node = parse_xml(&resp.body_text(), &NodeTypeConfig::empty())
             .map_err(|e| SourceError::Unsupported(format!("bad capabilities document: {e}")))?;
-        let (caps, version) = Capabilities::from_node(&node).ok_or_else(|| {
+        let (caps, _version) = Capabilities::from_node(&node).ok_or_else(|| {
             SourceError::Unsupported("response is not a capabilities advertisement".into())
         })?;
-        if version > WIRE_VERSION {
-            return Err(SourceError::Unsupported(format!(
-                "server speaks wire version {version}, this client tops out at {WIRE_VERSION}"
-            )));
-        }
         Ok(RemoteSource {
             name: name.to_string(),
             client,
@@ -256,13 +254,9 @@ impl SourceAdapter for RemoteSource {
                     node.name
                 )));
             }
-            if let Some(v) = node.attr("version").and_then(|v| v.parse::<u32>().ok()) {
-                if v > WIRE_VERSION {
-                    return Err(SourceError::Backend(format!(
-                        "results use wire version {v} > {WIRE_VERSION}"
-                    )));
-                }
-            }
+            // No version gate: `<results>` attributes are additive across
+            // wire versions, so a newer server's answer parses with the
+            // fields this build knows and the rest ignored.
             Ok(ResultSet::from_node(&node, &name))
         })
     }
@@ -341,6 +335,68 @@ mod tests {
 
         server.stop();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// One-connection HTTP server answering each request with the next
+    /// canned XML body (keep-alive, Content-Length framed).
+    fn canned_server(responses: Vec<String>) -> std::net::SocketAddr {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            if let Ok((mut conn, _)) = listener.accept() {
+                use std::io::{Read, Write};
+                let mut buf = [0u8; 4096];
+                for body in responses {
+                    let mut req: Vec<u8> = Vec::new();
+                    loop {
+                        match conn.read(&mut buf) {
+                            Ok(0) | Err(_) => return,
+                            Ok(n) => {
+                                req.extend_from_slice(&buf[..n]);
+                                if req.windows(4).any(|w| w == b"\r\n\r\n") {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    let resp = format!(
+                        "HTTP/1.1 200 OK\r\nContent-Type: text/xml\r\nContent-Length: {}\r\n\r\n{}",
+                        body.len(),
+                        body
+                    );
+                    if conn.write_all(resp.as_bytes()).is_err() {
+                        return;
+                    }
+                }
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn tolerates_newer_wire_versions_and_unknown_capability_bits() {
+        // A peer from the future: wire version 7, capability bits this
+        // build has never heard of, extra attributes on <results> and
+        // <hit>. Negotiation keeps the known intersection and the answer
+        // parses with unknown fields ignored — never a refusal.
+        let caps = r#"<capabilities version="7" context-search="true" content-search="true" structured-results="true" ranked="true" hologram-search="true" quantum-join="false"/>"#;
+        let results = r#"<results count="1" version="7" candidates="3" ranked="true" holo-merged="true"><hit doc="p.txt" score="1.500000" holo-rank="9"><Context>Budget</Context><Content>future money</Content></hit></results>"#;
+        let addr = canned_server(vec![caps.to_string(), results.to_string()]);
+        let src = RemoteSource::connect("future", &addr.to_string(), tight()).unwrap();
+        assert_eq!(
+            src.negotiated(),
+            Capabilities::FULL,
+            "unknown bits are masked off, known ones survive"
+        );
+        let rs = src
+            .search(&XdbQuery::content("money").with_rank(netmark_xdb::RankMode::Bm25))
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert!(rs.ranked);
+        assert_eq!(rs.hits[0].doc, "p.txt");
+        assert_eq!(rs.hits[0].score, Some(1.5));
+        assert_eq!(rs.hits[0].source, "future");
+        assert!(rs.hits[0].content_text().contains("future money"));
     }
 
     #[test]

@@ -284,7 +284,14 @@ impl ShardedStore {
     /// re-apply the limit. The per-shard limit pushdown stays correct
     /// because a shard's local order IS the global order restricted to its
     /// documents — its first L hits are its globally-first L hits.
+    ///
+    /// Ranked sets instead sort by score descending with the global ingest
+    /// sequence as the tie-break, via the shared
+    /// [`netmark::merge_scored`] policy. Pushdown stays valid there too:
+    /// every member of the global top-k is in its own shard's top-k, so the
+    /// union of per-shard top-ks contains the global top-k.
     fn merge(&self, sets: Vec<ResultSet>, limit: Option<usize>) -> ResultSet {
+        let ranked = sets.iter().any(|rs| rs.ranked);
         let mut candidates = 0usize;
         let mut truncated = false;
         let mut keyed: Vec<(u64, netmark_xdb::Hit)> = Vec::new();
@@ -300,7 +307,11 @@ impl ShardedStore {
                 }
             }
         });
-        keyed.sort_by_key(|(s, _)| *s);
+        if ranked {
+            netmark::merge_scored(&mut keyed);
+        } else {
+            keyed.sort_by_key(|(s, _)| *s);
+        }
         let mut hits: Vec<netmark_xdb::Hit> = keyed.into_iter().map(|(_, h)| h).collect();
         if let Some(l) = limit {
             if hits.len() > l {
@@ -312,6 +323,7 @@ impl ShardedStore {
             hits,
             candidates,
             truncated,
+            ranked,
         }
     }
 
@@ -575,6 +587,57 @@ mod tests {
             );
         }
         std::fs::remove_dir_all(&sdir).unwrap();
+        std::fs::remove_dir_all(&rdir).unwrap();
+    }
+
+    #[test]
+    fn ranked_merge_agrees_with_single_store_top_k() {
+        let dir4 = scratch("rank-4");
+        let dir1 = scratch("rank-1");
+        let rdir = scratch("rank-ref");
+        let st4 = open_n(&dir4, 4);
+        let st1 = open_n(&dir1, 1);
+        let reference = NetMark::open(&rdir).unwrap();
+        // Three docs mention the term densely in a short section, the rest
+        // once in a long one — the top-3 SET is unambiguous under any
+        // monotone scoring, even though each shard computes BM25 from its
+        // local corpus statistics.
+        for i in 0..16 {
+            let text = if i < 3 {
+                "# Sec\nrocket rocket rocket rocket rocket rocket\n".to_string()
+            } else {
+                "# Sec\nrocket filler filler filler filler filler filler filler filler\n"
+                    .to_string()
+            };
+            let name = format!("d{i}.txt");
+            XdbBackend::insert_file(&st4, &name, &text).unwrap();
+            XdbBackend::insert_file(&st1, &name, &text).unwrap();
+            reference.insert_file(&name, &text).unwrap();
+        }
+        let ranked = XdbQuery::content("rocket")
+            .with_rank(netmark_xdb::RankMode::Bm25)
+            .with_limit(3);
+        let top = |rs: &ResultSet| -> std::collections::HashSet<String> {
+            rs.hits.iter().map(|h| h.doc.clone()).collect()
+        };
+        let want: std::collections::HashSet<String> = (0..3).map(|i| format!("d{i}.txt")).collect();
+        let rs4 = st4.query(&ranked).unwrap();
+        let rs1 = st1.query(&ranked).unwrap();
+        assert!(rs4.ranked && rs1.ranked);
+        assert_eq!(top(&rs4), want, "4-shard top-k set");
+        assert_eq!(top(&rs1), want, "1-shard top-k set");
+        assert!(rs4.hits.iter().all(|h| h.score.is_some()));
+        // A single shard sees global statistics: byte-identical to the
+        // unsharded engine, scores included.
+        assert_eq!(rs1.to_xml(), reference.query(&ranked).unwrap().to_xml());
+        // rank=none stays byte-identical across all three deployments —
+        // ranking is opt-in and leaves the v1 wire untouched.
+        let plain = XdbQuery::content("rocket").with_limit(3);
+        let reference_xml = reference.query(&plain).unwrap().to_xml();
+        assert_eq!(st4.query(&plain).unwrap().to_xml(), reference_xml);
+        assert_eq!(st1.query(&plain).unwrap().to_xml(), reference_xml);
+        std::fs::remove_dir_all(&dir4).unwrap();
+        std::fs::remove_dir_all(&dir1).unwrap();
         std::fs::remove_dir_all(&rdir).unwrap();
     }
 

@@ -65,6 +65,8 @@ pub struct InvertedIndex {
     tombstones: HashSet<u64>,
     /// All indexed ids, ascending (for `All` and `Not`).
     ids: Vec<u64>,
+    /// Token count per id, parallel to `ids` (BM25 length normalization).
+    lengths: Vec<u32>,
     /// Total postings (stats).
     postings: usize,
 }
@@ -85,10 +87,13 @@ impl InvertedIndex {
             }
         }
         let mut per_term: HashMap<String, Vec<u32>> = HashMap::new();
+        let mut tokens = 0u32;
         for tok in tokenize_text(text) {
             per_term.entry(tok.term).or_default().push(tok.position);
+            tokens += 1;
         }
         self.ids.push(id);
+        self.lengths.push(tokens);
         for (term, positions) in per_term {
             let pl = self.terms.entry(term).or_default();
             pl.push(id, &positions);
@@ -264,6 +269,63 @@ impl InvertedIndex {
         out
     }
 
+    /// BM25-ranked search: live ids scored by Okapi BM25, descending
+    /// (score ties break on ascending id). Same constants and corpus-stat
+    /// definitions as
+    /// [`IndexSnapshot::search_bm25`](crate::IndexSnapshot::search_bm25),
+    /// computed from the same integer statistics — the two shapes return
+    /// identical scores over the same documents.
+    pub fn search_bm25(&self, text: &str) -> Vec<(u64, f64)> {
+        const K1: f64 = 1.2;
+        const B: f64 = 0.75;
+        let terms = query_terms(text);
+        let n_live = self.len();
+        if terms.is_empty() || n_live == 0 {
+            return Vec::new();
+        }
+        let mut total_len = 0u64;
+        for (i, id) in self.ids.iter().enumerate() {
+            if !self.tombstones.contains(id) {
+                total_len += self.lengths[i] as u64;
+            }
+        }
+        let avgdl = (total_len as f64 / n_live as f64).max(f64::MIN_POSITIVE);
+        let mut scores: HashMap<u64, f64> = HashMap::new();
+        for term in &terms {
+            let Some(pl) = self.terms.get(term) else {
+                continue;
+            };
+            let mut hits: Vec<(u64, u32, u32)> = Vec::new();
+            for p in pl.iter() {
+                if !self.tombstones.contains(&p.id) {
+                    let dl = self
+                        .ids
+                        .binary_search(&p.id)
+                        .map(|i| self.lengths[i])
+                        .unwrap_or(0);
+                    hits.push((p.id, p.positions.len() as u32, dl));
+                }
+            }
+            if hits.is_empty() {
+                continue;
+            }
+            let df = hits.len() as f64;
+            let idf = (1.0 + (n_live as f64 - df + 0.5) / (df + 0.5)).ln();
+            for (id, tf, dl) in hits {
+                let tf = tf as f64;
+                let norm = K1 * (1.0 - B + B * dl as f64 / avgdl);
+                *scores.entry(id).or_default() += idf * tf * (K1 + 1.0) / (tf + norm);
+            }
+        }
+        let mut out: Vec<(u64, f64)> = scores.into_iter().collect();
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        out
+    }
+
     /// Decomposes the index into its raw parts
     /// `(terms, ids, tombstones, postings)` — used by the segmented index
     /// to migrate a legacy `NMTXIDX1` file into a sealed segment.
@@ -372,10 +434,14 @@ impl InvertedIndex {
             tombstones.insert(id);
             prev = id;
         }
+        // NMTXIDX1 predates stored length stats; rebuild them from the
+        // postings (a doc's token count is the sum of its position counts).
+        let lengths = crate::segment::lengths_from_postings(&terms, &ids);
         Some(InvertedIndex {
             terms,
             tombstones,
             ids,
+            lengths,
             postings,
         })
     }
@@ -506,6 +572,40 @@ mod tests {
         let r = ix.search_ranked("budget");
         assert_eq!(r[0], (2, 3));
         assert_eq!(r[1], (1, 1));
+    }
+
+    #[test]
+    fn bm25_normalizes_by_length_and_rarity() {
+        let mut ix = InvertedIndex::new();
+        ix.add(1, "budget");
+        ix.add(
+            2,
+            "budget budget budget padding padding padding padding padding",
+        );
+        ix.add(3, "padding padding padding");
+        ix.add(4, "padding");
+        let r = ix.search_bm25("budget");
+        // Only docs containing the term score; the short exact doc beats
+        // the long high-tf one (tf saturation + length normalization —
+        // plain TF ranking would invert this).
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].0, 1);
+        assert_eq!(r[1].0, 2);
+        assert!(r[0].1 > r[1].1);
+        assert!(r.iter().all(|(_, s)| *s > 0.0));
+        // Rarity: the rarer term (df 2 of 4) outscores the common one
+        // (df 3 of 4) at its best-matching doc.
+        let common = ix.search_bm25("padding");
+        let rare = ix.search_bm25("budget");
+        assert_eq!(common.len(), 3);
+        assert!(rare[0].1 > common[0].1);
+        // Tombstoned docs neither score nor count toward N/avgdl.
+        ix.remove(1);
+        let r = ix.search_bm25("budget");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].0, 2);
+        assert!(ix.search_bm25("").is_empty());
+        assert!(ix.search_bm25("missing").is_empty());
     }
 
     #[test]

@@ -43,6 +43,10 @@ pub trait TextIndexReader {
 
     /// Ranked search: ids scored by total term frequency, descending.
     fn search_ranked(&self, text: &str) -> Vec<(u64, u32)>;
+
+    /// BM25-ranked search: live ids scored by Okapi BM25 over the corpus
+    /// statistics, descending (ties break on ascending id).
+    fn search_bm25(&self, text: &str) -> Vec<(u64, f64)>;
 }
 
 impl TextIndexReader for InvertedIndex {
@@ -53,6 +57,10 @@ impl TextIndexReader for InvertedIndex {
     fn search_ranked(&self, text: &str) -> Vec<(u64, u32)> {
         InvertedIndex::search_ranked(self, text)
     }
+
+    fn search_bm25(&self, text: &str) -> Vec<(u64, f64)> {
+        InvertedIndex::search_bm25(self, text)
+    }
 }
 
 impl TextIndexReader for IndexSnapshot {
@@ -62,5 +70,9 @@ impl TextIndexReader for IndexSnapshot {
 
     fn search_ranked(&self, text: &str) -> Vec<(u64, u32)> {
         IndexSnapshot::search_ranked(self, text)
+    }
+
+    fn search_bm25(&self, text: &str) -> Vec<(u64, f64)> {
+        IndexSnapshot::search_bm25(self, text)
     }
 }

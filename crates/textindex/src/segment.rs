@@ -21,6 +21,8 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 pub struct MemTable {
     terms: BTreeMap<String, PostingList>,
     ids: Vec<u64>,
+    /// Token count per id, parallel to `ids` (BM25 length normalization).
+    lengths: Vec<u32>,
     postings: usize,
 }
 
@@ -41,10 +43,13 @@ impl MemTable {
             }
         }
         let mut per_term: HashMap<String, Vec<u32>> = HashMap::new();
+        let mut tokens = 0u32;
         for tok in tokenize_text(text) {
             per_term.entry(tok.term).or_default().push(tok.position);
+            tokens += 1;
         }
         self.ids.push(id);
+        self.lengths.push(tokens);
         for (term, positions) in per_term {
             let pl = self.terms.entry(term).or_default();
             pl.push(id, &positions);
@@ -72,10 +77,13 @@ impl MemTable {
     /// leaving the memtable empty.
     pub fn seal(&mut self, seg_id: u64) -> Segment {
         let taken = std::mem::take(self);
+        let length_total = taken.lengths.iter().map(|&l| l as u64).sum();
         Segment {
             id: seg_id,
             terms: taken.terms,
             ids: taken.ids,
+            lengths: taken.lengths,
+            length_total,
             postings: taken.postings,
         }
     }
@@ -89,22 +97,35 @@ pub struct Segment {
     id: u64,
     terms: BTreeMap<String, PostingList>,
     ids: Vec<u64>,
+    /// Token count per id, parallel to `ids`. Stored segment metadata so
+    /// ranked (BM25) search can length-normalize without rescanning
+    /// postings per query.
+    lengths: Vec<u32>,
+    /// Sum of `lengths` (avgdl numerator, precomputed at seal time).
+    length_total: u64,
     postings: usize,
 }
 
 impl Segment {
     /// Builds a segment directly from parts (legacy-index migration and
-    /// compaction merges).
+    /// compaction merges). Length statistics are recomputed from the
+    /// postings: a doc's token count is exactly the sum of its position
+    /// counts across terms, since every token lands as one position entry
+    /// in exactly one term's posting.
     pub(crate) fn from_parts(
         id: u64,
         terms: BTreeMap<String, PostingList>,
         ids: Vec<u64>,
         postings: usize,
     ) -> Segment {
+        let lengths = lengths_from_postings(&terms, &ids);
+        let length_total = lengths.iter().map(|&l| l as u64).sum();
         Segment {
             id,
             terms,
             ids,
+            lengths,
+            length_total,
             postings,
         }
     }
@@ -159,6 +180,21 @@ impl Segment {
     /// True when `id` is covered by this segment.
     pub fn contains(&self, id: u64) -> bool {
         self.ids.binary_search(&id).is_ok()
+    }
+
+    /// Token count of `id`, if this segment covers it.
+    pub fn length_of(&self, id: u64) -> Option<u32> {
+        self.ids.binary_search(&id).ok().map(|i| self.lengths[i])
+    }
+
+    /// Token counts per covered id, parallel to [`Segment::ids`].
+    pub fn lengths(&self) -> &[u32] {
+        &self.lengths
+    }
+
+    /// Total token count across covered ids (the avgdl numerator).
+    pub fn length_total(&self) -> u64 {
+        self.length_total
     }
 
     /// Iterates `(term, posting list)` pairs in term order (compaction and
@@ -338,11 +374,12 @@ impl Segment {
         }
     }
 
-    /// Serializes the segment (`NMTXSEG1`, varint-framed like the legacy
+    /// Serializes the segment (`NMTXSEG2`: the `NMTXSEG1` layout plus a
+    /// trailing per-id token-length section, varint-framed like the legacy
     /// single-file format).
     pub fn serialize(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(self.byte_size() + 1024);
-        buf.extend_from_slice(b"NMTXSEG1");
+        buf.extend_from_slice(b"NMTXSEG2");
         put(&mut buf, self.id);
         put(&mut buf, self.terms.len() as u64);
         for (term, pl) in &self.terms {
@@ -356,14 +393,24 @@ impl Segment {
             put(&mut buf, if i == 0 { id } else { id - prev });
             prev = id;
         }
+        for &l in &self.lengths {
+            put(&mut buf, l as u64);
+        }
         buf
     }
 
     /// Inverse of [`Segment::serialize`]; `None` on corrupt input.
+    ///
+    /// Reads both on-disk versions: `NMTXSEG2` carries the length section;
+    /// a pre-ranking `NMTXSEG1` file lacks it, and the lengths are
+    /// recomputed from the postings on load (see [`Segment::from_parts`]) —
+    /// an existing index upgrades in place without a rebuild.
     pub fn deserialize(buf: &[u8]) -> Option<Segment> {
-        if buf.len() < 8 || &buf[..8] != b"NMTXSEG1" {
-            return None;
-        }
+        let v2 = match buf.get(..8)? {
+            b"NMTXSEG2" => true,
+            b"NMTXSEG1" => false,
+            _ => return None,
+        };
         let mut pos = 8usize;
         let id = get(buf, &mut pos)?;
         let nterms = get(buf, &mut pos)? as usize;
@@ -387,13 +434,44 @@ impl Segment {
             ids.push(idv);
             prev = idv;
         }
+        let lengths = if v2 {
+            let mut lengths = Vec::with_capacity(nids);
+            for _ in 0..nids {
+                lengths.push(u32::try_from(get(buf, &mut pos)?).ok()?);
+            }
+            lengths
+        } else {
+            lengths_from_postings(&terms, &ids)
+        };
+        let length_total = lengths.iter().map(|&l| l as u64).sum();
         Some(Segment {
             id,
             terms,
             ids,
+            lengths,
+            length_total,
             postings,
         })
     }
+}
+
+/// Recovers per-id token counts from postings: every token of a doc is one
+/// position entry in exactly one term's posting list, so the doc length is
+/// the sum of its position counts across terms. Ids with no postings
+/// (empty or all-stopword text) count 0.
+pub(crate) fn lengths_from_postings(
+    terms: &BTreeMap<String, PostingList>,
+    ids: &[u64],
+) -> Vec<u32> {
+    let mut by_id: HashMap<u64, u32> = HashMap::with_capacity(ids.len());
+    for pl in terms.values() {
+        for p in pl.iter() {
+            *by_id.entry(p.id).or_default() += p.positions.len() as u32;
+        }
+    }
+    ids.iter()
+        .map(|id| by_id.get(id).copied().unwrap_or(0))
+        .collect()
 }
 
 /// Internal evaluation result: either a materialized ascending id list or
@@ -509,9 +587,51 @@ mod tests {
     fn serialize_round_trip() {
         let seg = sealed();
         let buf = seg.serialize();
+        assert_eq!(&buf[..8], b"NMTXSEG2");
         let back = Segment::deserialize(&buf).expect("round trip");
         assert_eq!(back, seg);
         assert!(Segment::deserialize(&buf[..buf.len() - 1]).is_none());
         assert!(Segment::deserialize(b"garbage").is_none());
+    }
+
+    #[test]
+    fn length_stats_follow_token_counts() {
+        let mut mt = MemTable::new();
+        mt.add(5, "alpha beta");
+        mt.add(9, "alpha alpha alpha beta gamma");
+        let seg = mt.seal(1);
+        assert_eq!(seg.length_of(5), Some(2));
+        assert_eq!(seg.length_of(9), Some(5));
+        assert_eq!(seg.length_of(6), None);
+        assert_eq!(seg.lengths(), &[2, 5]);
+        assert_eq!(seg.length_total(), 7);
+    }
+
+    #[test]
+    fn from_parts_recomputes_lengths_from_postings() {
+        // The compaction/migration path carries no length section; the
+        // recomputed stats must match what sealing counted directly.
+        let seg = sealed();
+        let rebuilt =
+            Segment::from_parts(seg.id(), seg.terms.clone(), seg.ids.clone(), seg.postings());
+        assert_eq!(rebuilt, seg);
+        assert_eq!(rebuilt.length_total(), seg.length_total());
+    }
+
+    #[test]
+    fn legacy_seg1_files_load_with_recomputed_lengths() {
+        // Strip the trailing length section and downgrade the magic: that
+        // is exactly a pre-ranking NMTXSEG1 file. It must load, with the
+        // lengths rebuilt from postings — no index rebuild on upgrade.
+        let seg = sealed();
+        let mut v1 = seg.serialize();
+        assert!(
+            seg.lengths().iter().all(|&l| l < 0x80),
+            "test relies on single-byte length varints"
+        );
+        v1.truncate(v1.len() - seg.len());
+        v1[..8].copy_from_slice(b"NMTXSEG1");
+        let back = Segment::deserialize(&v1).expect("v1 compat");
+        assert_eq!(back, seg);
     }
 }

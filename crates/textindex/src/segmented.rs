@@ -330,6 +330,11 @@ impl SegmentedIndex {
         self.snapshot().search_ranked(text)
     }
 
+    /// BM25-ranked search against the current snapshot.
+    pub fn search_bm25(&self, text: &str) -> Vec<(u64, f64)> {
+        self.snapshot().search_bm25(text)
+    }
+
     /// Live documents in the current snapshot (committed state only).
     pub fn len(&self) -> usize {
         self.snapshot().len()

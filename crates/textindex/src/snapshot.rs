@@ -136,6 +136,66 @@ impl IndexSnapshot {
         out.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         out
     }
+
+    /// BM25-ranked search: live ids scored by Okapi BM25 over the snapshot's
+    /// corpus statistics, descending (score ties break on ascending id).
+    ///
+    /// N and avgdl come from the segment chain's stored length metadata, df
+    /// from summing a term's live postings across segments — so the score is
+    /// a *global* function of the snapshot, identical no matter how the docs
+    /// are split into segments (see the segmented-vs-legacy property test).
+    pub fn search_bm25(&self, text: &str) -> Vec<(u64, f64)> {
+        const K1: f64 = 1.2;
+        const B: f64 = 0.75;
+        let terms = crate::tokenize::query_terms(text);
+        let n_live = self.len();
+        if terms.is_empty() || n_live == 0 {
+            return Vec::new();
+        }
+        let mut total_len: u64 = self.segments.iter().map(|s| s.length_total()).sum();
+        for &t in self.tombstones.iter() {
+            for seg in &self.segments {
+                if let Some(l) = seg.length_of(t) {
+                    total_len -= l as u64;
+                    break;
+                }
+            }
+        }
+        let avgdl = (total_len as f64 / n_live as f64).max(f64::MIN_POSITIVE);
+        let mut scores: HashMap<u64, f64> = HashMap::new();
+        for term in &terms {
+            // (id, tf, dl) of the term's live postings, gathered first so
+            // df is known before any score lands.
+            let mut hits: Vec<(u64, u32, u32)> = Vec::new();
+            for seg in &self.segments {
+                if let Some(pl) = seg.posting(term) {
+                    for p in pl.iter() {
+                        if !self.tombstones.contains(&p.id) {
+                            let dl = seg.length_of(p.id).unwrap_or(0);
+                            hits.push((p.id, p.positions.len() as u32, dl));
+                        }
+                    }
+                }
+            }
+            if hits.is_empty() {
+                continue;
+            }
+            let df = hits.len() as f64;
+            let idf = (1.0 + (n_live as f64 - df + 0.5) / (df + 0.5)).ln();
+            for (id, tf, dl) in hits {
+                let tf = tf as f64;
+                let norm = K1 * (1.0 - B + B * dl as f64 / avgdl);
+                *scores.entry(id).or_default() += idf * tf * (K1 + 1.0) / (tf + norm);
+            }
+        }
+        let mut out: Vec<(u64, f64)> = scores.into_iter().collect();
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        out
+    }
 }
 
 /// Lock-free snapshot publication: readers pay one atomic version load, a

@@ -170,6 +170,10 @@ proptest! {
         }
         for probe in ["alpha beta", "engine", "budget million"] {
             prop_assert_eq!(seg.search_ranked(probe), oracle.search_ranked(probe));
+            // BM25 scores are a global function of the snapshot's integer
+            // corpus stats, so they are bit-identical no matter how the
+            // history was segmented, compacted, or reloaded.
+            prop_assert_eq!(seg.search_bm25(probe), oracle.search_bm25(probe));
         }
     }
 }

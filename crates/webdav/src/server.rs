@@ -26,7 +26,7 @@ use netmark_netserve::{
     Frontend, FrontendConfig, FrontendHandle, FrontendStats, FrontendStatsSnapshot, ServeOutcome,
     Service,
 };
-use netmark_xdb::{url_decode, Capabilities, XdbQuery};
+use netmark_xdb::{url_decode, XdbQuery};
 use std::io::{BufRead, Write};
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -256,9 +256,10 @@ pub fn handle_with(nm: &dyn XdbBackend, ingest: Option<&IngestService>, req: &Re
             .with_header("DAV", "1")
             .with_header("Allow", "OPTIONS, GET, PUT, DELETE, PROPFIND, MKCOL"),
         ("GET", "/xdb") => handle_query(nm, req),
-        // Capability negotiation for remote federation adapters: a full
-        // NETMARK evaluates every query fragment natively.
-        ("GET", "/xdb/capabilities") => Response::new(200).with_xml(&Capabilities::FULL.to_xml()),
+        // Capability negotiation for remote federation adapters: the
+        // backend says what it evaluates natively (a full NETMARK answers
+        // everything, ranked search included).
+        ("GET", "/xdb/capabilities") => Response::new(200).with_xml(&nm.capabilities().to_xml()),
         // Read-path observability: cache hit rate and per-stage timings.
         ("GET", "/xdb/stats") => Response::new(200).with_xml(&stats_node(nm).to_xml()),
         ("PROPFIND", "/docs") | ("PROPFIND", "/docs/") => handle_propfind(nm),
@@ -659,7 +660,8 @@ mod encoding_tests {
         assert!(head.starts_with("HTTP/1.1 200"), "{head}");
         assert!(head.to_ascii_lowercase().contains("connection: close"));
         assert!(body.contains("capabilities"));
-        assert!(body.contains("version=\"1\""));
+        assert!(body.contains("version=\"2\""));
+        assert!(body.contains("ranked=\"true\""));
 
         h.stop();
         std::fs::remove_dir_all(&dir).unwrap();

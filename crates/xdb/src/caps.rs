@@ -13,16 +13,27 @@
 //! peer:
 //!
 //! ```xml
-//! <capabilities version="1" context-search="true" content-search="true"
-//!               structured-results="true"/>
+//! <capabilities version="2" context-search="true" content-search="true"
+//!               structured-results="true" ranked="true"/>
 //! ```
+//!
+//! Negotiation is forward-compatible by construction: a peer advertising a
+//! *newer* wire version, or capability bits this build does not know, is
+//! still usable — [`Capabilities::from_node`] reads only the bits it
+//! understands, masking the unknown ones off, and the caller pushes down
+//! only what both sides share. Versions and bits are additive, never
+//! repurposed.
 
 use netmark_model::Node;
 
 /// Version of the XDB-over-HTTP wire format (capabilities document and
-/// `<results>` answers). Bumped when the XML shape changes incompatibly; a
-/// client refuses to talk to a server advertising a newer major version.
-pub const WIRE_VERSION: u32 = 1;
+/// `<results>` answers). v2 added relevance ranking: the `ranked`
+/// capability bit, a `ranked` attribute on `<results>`, and a per-hit
+/// `score` attribute. The shape is strictly additive, so v1 documents
+/// parse as v2 with ranking absent, and v1 clients ignore the new
+/// attributes — a client never refuses a peer over the version number
+/// alone.
+pub const WIRE_VERSION: u32 = 2;
 
 /// What a source can evaluate natively.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +44,11 @@ pub struct Capabilities {
     pub content_search: bool,
     /// Returns structured (sectioned) results rather than whole documents.
     pub structured_results: bool,
+    /// Understands `rank=bm25` and returns per-hit relevance scores
+    /// (wire v2). A source without this bit still answers ranked queries:
+    /// the caller strips `rank=` before pushdown and scores the returned
+    /// hits locally.
+    pub ranked: bool,
 }
 
 impl Capabilities {
@@ -41,6 +57,7 @@ impl Capabilities {
         context_search: true,
         content_search: true,
         structured_results: true,
+        ranked: true,
     };
 
     /// A keyword-only server (the Lessons Learned case).
@@ -48,6 +65,7 @@ impl Capabilities {
         context_search: false,
         content_search: true,
         structured_results: false,
+        ranked: false,
     };
 
     /// Renders the capabilities advertisement served at
@@ -58,6 +76,7 @@ impl Capabilities {
             .with_attr("context-search", bool_str(self.context_search))
             .with_attr("content-search", bool_str(self.content_search))
             .with_attr("structured-results", bool_str(self.structured_results))
+            .with_attr("ranked", bool_str(self.ranked))
     }
 
     /// XML text of [`Capabilities::to_node`].
@@ -68,6 +87,11 @@ impl Capabilities {
     /// Parses an advertisement; returns the capabilities and the server's
     /// wire version. `None` when the document is not a capabilities
     /// advertisement at all.
+    ///
+    /// Forward-compatible: bits this build does not know (a newer peer's
+    /// `hologram-search="true"`) are masked off rather than rejected, and
+    /// a missing bit (an older peer that predates it) reads as `false` —
+    /// the negotiated set is always the intersection both sides understand.
     pub fn from_node(node: &Node) -> Option<(Capabilities, u32)> {
         if node.name != "capabilities" {
             return None;
@@ -79,6 +103,7 @@ impl Capabilities {
                 context_search: flag("context-search"),
                 content_search: flag("content-search"),
                 structured_results: flag("structured-results"),
+                ranked: flag("ranked"),
             },
             version,
         ))
@@ -119,12 +144,33 @@ mod tests {
 
     #[test]
     fn missing_flags_default_to_false() {
+        // A v1 advertisement (predates the ranked bit) negotiates cleanly:
+        // absent bits are absent capabilities, not errors.
         let n = Node::element("capabilities")
             .with_attr("version", "1")
             .with_attr("content-search", "true");
-        let (caps, _) = Capabilities::from_node(&n).unwrap();
+        let (caps, version) = Capabilities::from_node(&n).unwrap();
+        assert_eq!(version, 1);
         assert!(caps.content_search);
         assert!(!caps.context_search);
         assert!(!caps.structured_results);
+        assert!(!caps.ranked);
+    }
+
+    #[test]
+    fn unknown_bits_masked_off_not_rejected() {
+        // A newer peer advertising bits (and a version) this build does
+        // not know: the known intersection survives, the rest is masked.
+        let n = Node::element("capabilities")
+            .with_attr("version", "7")
+            .with_attr("context-search", "true")
+            .with_attr("content-search", "true")
+            .with_attr("structured-results", "true")
+            .with_attr("ranked", "true")
+            .with_attr("hologram-search", "true")
+            .with_attr("quantum-join", "false");
+        let (caps, version) = Capabilities::from_node(&n).unwrap();
+        assert_eq!(version, 7);
+        assert_eq!(caps, Capabilities::FULL);
     }
 }

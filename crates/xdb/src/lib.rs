@@ -15,5 +15,7 @@ pub mod query;
 pub mod result;
 
 pub use caps::{Capabilities, WIRE_VERSION};
-pub use query::{url_decode, url_encode, MatchMode, ParseError, XdbQuery, XdbQueryBuilder};
+pub use query::{
+    url_decode, url_encode, MatchMode, ParseError, RankMode, XdbQuery, XdbQueryBuilder,
+};
 pub use result::{Hit, ResultSet};

@@ -10,7 +10,7 @@
 //!
 //! ```text
 //! Context=Technology%20Gap & Content=Shrinking & databank=apps
-//!   & xslt=report & limit=20 & match=keywords|phrase
+//!   & xslt=report & limit=20 & match=keywords|phrase & rank=bm25|none
 //! ```
 
 use std::fmt;
@@ -23,6 +23,19 @@ pub enum MatchMode {
     Keywords,
     /// Terms must occur consecutively.
     Phrase,
+}
+
+/// How hits are ordered (`rank=`). The default, [`RankMode::None`], is the
+/// paper's behaviour: hits in store (ingest) order, byte-identical to every
+/// pre-ranking release. [`RankMode::Bm25`] orders hits by BM25 relevance of
+/// the `Content=` terms, ties broken by store order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RankMode {
+    /// Unranked: store order (the pre-v2 behaviour and the wire default).
+    #[default]
+    None,
+    /// BM25 relevance over the segmented index's length statistics.
+    Bm25,
 }
 
 /// A parsed XDB query.
@@ -43,6 +56,8 @@ pub struct XdbQuery {
     pub limit: Option<usize>,
     /// `match=` — content matching mode.
     pub match_mode: MatchMode,
+    /// `rank=` — hit ordering (unranked store order, or BM25 relevance).
+    pub rank: RankMode,
     /// Shard-coordination hint, never on the wire: context labels already
     /// known (by the coordinator) to have an exact match *somewhere* in
     /// the federated/sharded whole. A store executing the query treats a
@@ -74,6 +89,8 @@ pub enum ParseError {
     BadLimit(String),
     /// `match=` named an unknown mode.
     BadMatchMode(String),
+    /// `rank=` named an unknown ranking mode.
+    BadRank(String),
 }
 
 impl fmt::Display for ParseError {
@@ -85,6 +102,7 @@ impl fmt::Display for ParseError {
             ParseError::EmptyValue(key) => write!(f, "empty value for '{key}'"),
             ParseError::BadLimit(value) => write!(f, "limit must be a number, got '{value}'"),
             ParseError::BadMatchMode(value) => write!(f, "unknown match mode '{value}'"),
+            ParseError::BadRank(value) => write!(f, "unknown rank mode '{value}'"),
         }
     }
 }
@@ -191,6 +209,17 @@ impl XdbQuery {
         self
     }
 
+    /// Builder: set the ranking mode.
+    pub fn with_rank(mut self, rank: RankMode) -> XdbQuery {
+        self.rank = rank;
+        self
+    }
+
+    /// True when the query asks for relevance-ranked hits.
+    pub fn ranked(&self) -> bool {
+        self.rank == RankMode::Bm25
+    }
+
     /// True when the query selects everything (no context, no content).
     pub fn is_unconstrained(&self) -> bool {
         self.context.is_none() && self.content.is_none() && self.doc.is_none()
@@ -250,6 +279,11 @@ impl XdbQuery {
         if self.match_mode == MatchMode::Phrase {
             parts.push("match=phrase".to_string());
         }
+        // `rank=none` is the default and is never rendered, so unranked
+        // queries keep their exact pre-v2 wire bytes (and cache keys).
+        if self.rank == RankMode::Bm25 {
+            parts.push("rank=bm25".to_string());
+        }
         parts.join("&")
     }
 }
@@ -272,6 +306,7 @@ pub struct XdbQueryBuilder {
     query: XdbQuery,
     match_set: bool,
     limit_set: bool,
+    rank_set: bool,
 }
 
 impl XdbQueryBuilder {
@@ -316,6 +351,13 @@ impl XdbQueryBuilder {
     pub fn match_mode(mut self, mode: MatchMode) -> Self {
         self.query.match_mode = mode;
         self.match_set = true;
+        self
+    }
+
+    /// Sets `rank=`.
+    pub fn rank(mut self, rank: RankMode) -> Self {
+        self.query.rank = rank;
+        self.rank_set = true;
         self
     }
 
@@ -367,6 +409,15 @@ impl XdbQueryBuilder {
                     other => return Err(ParseError::BadMatchMode(other.to_string())),
                 };
                 self = self.match_mode(mode);
+            }
+            "rank" => {
+                dup(self.rank_set)?;
+                let rank = match value.to_ascii_lowercase().as_str() {
+                    "none" => RankMode::None,
+                    "bm25" => RankMode::Bm25,
+                    other => return Err(ParseError::BadRank(other.to_string())),
+                };
+                self = self.rank(rank);
             }
             _ => return Err(ParseError::UnknownKey(lkey)),
         }
@@ -442,6 +493,10 @@ mod tests {
             Err(ParseError::BadMatchMode("fuzzy".to_string()))
         );
         assert_eq!(
+            XdbQuery::from_url("rank=tfidf"),
+            Err(ParseError::BadRank("tfidf".to_string()))
+        );
+        assert_eq!(
             XdbQuery::from_url("unknown=1"),
             Err(ParseError::UnknownKey("unknown".to_string()))
         );
@@ -460,6 +515,10 @@ mod tests {
         assert_eq!(
             XdbQuery::from_url("match=phrase&match=phrase"),
             Err(ParseError::DuplicateKey("match".to_string()))
+        );
+        assert_eq!(
+            XdbQuery::from_url("rank=bm25&rank=none"),
+            Err(ParseError::DuplicateKey("rank".to_string()))
         );
     }
 
@@ -505,10 +564,85 @@ mod tests {
             .with_databank("apps")
             .with_xslt("report")
             .with_limit(7)
-            .with_phrase_match();
+            .with_phrase_match()
+            .with_rank(RankMode::Bm25);
         let s = q.to_query_string();
         let back = XdbQuery::from_url(&s).unwrap();
         assert_eq!(back, q);
+    }
+
+    #[test]
+    fn rank_key_parses_and_defaults() {
+        let q = XdbQuery::from_url("Content=engine&rank=bm25").unwrap();
+        assert_eq!(q.rank, RankMode::Bm25);
+        assert!(q.ranked());
+        let q = XdbQuery::from_url("Content=engine&rank=none").unwrap();
+        assert_eq!(q.rank, RankMode::None);
+        let q = XdbQuery::from_url("Content=engine").unwrap();
+        assert_eq!(q.rank, RankMode::None, "rank defaults to unranked");
+        // rank=none is the default and never rendered: unranked queries
+        // keep their exact pre-ranking wire bytes.
+        assert_eq!(
+            XdbQuery::content("engine").to_query_string(),
+            "Content=engine"
+        );
+        assert_eq!(
+            XdbQuery::content("engine")
+                .with_rank(RankMode::Bm25)
+                .to_query_string(),
+            "Content=engine&rank=bm25"
+        );
+    }
+
+    /// Property test for the satellite contract: `from_url` ∘
+    /// `to_query_string` is the identity for *every* combination of query
+    /// keys — the grammar cannot silently drop a field again. Values are
+    /// chosen to need percent/plus encoding so the codec is in the loop.
+    #[test]
+    fn every_key_combination_round_trips() {
+        let contexts = [None, Some("Technology Gap"), Some("Budget & Cost/2")];
+        let contents = [None, Some("100% café engine")];
+        let databanks = [None, Some("apps")];
+        let docs = [None, Some("my plan.txt")];
+        let xslts = [None, Some("report")];
+        let limits = [None, Some(0usize), Some(42)];
+        let modes = [MatchMode::Keywords, MatchMode::Phrase];
+        let ranks = [RankMode::None, RankMode::Bm25];
+        let mut cases = 0usize;
+        for ctx in contexts {
+            for con in &contents {
+                for db in &databanks {
+                    for doc in &docs {
+                        for xslt in &xslts {
+                            for limit in &limits {
+                                for mode in modes {
+                                    for rank in ranks {
+                                        let q = XdbQuery {
+                                            context: ctx.map(String::from),
+                                            content: con.map(String::from),
+                                            databank: db.map(String::from),
+                                            xslt: xslt.map(String::from),
+                                            doc: doc.map(String::from),
+                                            limit: *limit,
+                                            match_mode: mode,
+                                            rank,
+                                            exact_contexts: Vec::new(),
+                                        };
+                                        let s = q.to_query_string();
+                                        let back = XdbQuery::from_url(&s).unwrap_or_else(|e| {
+                                            panic!("'{s}' failed to re-parse: {e}")
+                                        });
+                                        assert_eq!(back, q, "round trip of '{s}'");
+                                        cases += 1;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(cases, 3 * 2 * 2 * 2 * 2 * 3 * 2 * 2);
     }
 
     #[test]

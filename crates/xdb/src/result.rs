@@ -21,6 +21,10 @@ pub struct Hit {
     /// Store-internal id of the context node (0 when not applicable,
     /// e.g. hits reconstructed from a remote source's XML).
     pub context_node: u64,
+    /// Relevance score (wire v2). `None` for unranked queries and for hits
+    /// parsed from a pre-v2 `<results>` document; rendered as the per-hit
+    /// `score` attribute when present.
+    pub score: Option<f64>,
 }
 
 impl Hit {
@@ -28,6 +32,14 @@ impl Hit {
     pub fn content_text(&self) -> String {
         self.content.text_content()
     }
+}
+
+/// Renders a relevance score for the wire. Fixed precision keeps the
+/// rendering deterministic and stable across a parse/re-render cycle
+/// (`format → parse → format` is the identity at this precision), which is
+/// what lets federated merges compare scores that crossed the wire.
+pub fn format_score(score: f64) -> String {
+    format!("{score:.6}")
 }
 
 /// An ordered set of hits plus query diagnostics.
@@ -39,6 +51,10 @@ pub struct ResultSet {
     pub candidates: usize,
     /// Whether a `limit=` truncated the hits.
     pub truncated: bool,
+    /// Whether the hits are relevance-ordered (wire v2: the `ranked`
+    /// attribute on `<results>`). `false` means store order — the exact
+    /// pre-v2 rendering, byte for byte.
+    pub ranked: bool,
 }
 
 impl ResultSet {
@@ -68,17 +84,34 @@ impl ResultSet {
     /// </results>
     /// ```
     pub fn to_node(&self) -> Node {
+        // The stamped version is the lowest one that can represent this
+        // document: unranked sets use no v2 feature, so they render as v1 —
+        // byte-identical to every pre-ranking release — while ranked sets
+        // carry `version="2" ranked="true"` and per-hit scores.
+        let version = if self.ranked {
+            crate::caps::WIRE_VERSION
+        } else {
+            1
+        };
         let mut root = Node::element("results")
             .with_attr("count", &self.hits.len().to_string())
-            .with_attr("version", &crate::caps::WIRE_VERSION.to_string())
+            .with_attr("version", &version.to_string())
             .with_attr("candidates", &self.candidates.to_string());
         if self.truncated {
             root = root.with_attr("truncated", "true");
+        }
+        if self.ranked {
+            root = root.with_attr("ranked", "true");
         }
         for h in &self.hits {
             let mut hit = Node::element("hit").with_attr("doc", &h.doc);
             if !h.source.is_empty() {
                 hit = hit.with_attr("source", &h.source);
+            }
+            if self.ranked {
+                if let Some(score) = h.score {
+                    hit = hit.with_attr("score", &format_score(score));
+                }
             }
             hit.children.push(Node::context("Context", &h.context));
             hit.children.push(h.content.clone());
@@ -98,6 +131,11 @@ impl ResultSet {
     pub fn from_node(node: &Node, source: &str) -> ResultSet {
         let mut rs = ResultSet::new();
         rs.truncated = node.attr("truncated") == Some("true");
+        // v2 attributes parse when present and read as absent otherwise, so
+        // one parser covers both wire versions: a v1 document yields an
+        // unranked set, and a v1-era parser pointed at this document simply
+        // never looked for these attributes.
+        rs.ranked = node.attr("ranked") == Some("true");
         for hit in node.children_named("hit") {
             let doc = hit.attr("doc").unwrap_or("").to_string();
             let context = hit
@@ -119,6 +157,7 @@ impl ResultSet {
                 context,
                 content,
                 context_node: 0,
+                score: hit.attr("score").and_then(|s| s.parse().ok()),
             });
         }
         // Remote diagnostics survive the wire when advertised; otherwise
@@ -157,6 +196,7 @@ mod tests {
                     context: "Budget".into(),
                     content: Node::element("Content").with_text("two dollars"),
                     context_node: 11,
+                    score: None,
                 },
                 Hit {
                     source: "llis".into(),
@@ -164,10 +204,12 @@ mod tests {
                     context: "Recommendation".into(),
                     content: Node::element("Content").with_text("replace harness"),
                     context_node: 0,
+                    score: None,
                 },
             ],
             candidates: 9,
             truncated: false,
+            ranked: false,
         }
     }
 
@@ -212,6 +254,97 @@ mod tests {
         assert_eq!(rs.to_node().attr("count"), Some("0"));
         let back = ResultSet::from_node(&rs.to_node(), "s");
         assert!(back.is_empty());
+    }
+
+    #[test]
+    fn ranked_sets_render_and_round_trip_scores() {
+        let mut rs = sample();
+        rs.ranked = true;
+        rs.hits[0].score = Some(2.5);
+        rs.hits[1].score = Some(0.125);
+        let node = rs.to_node();
+        assert_eq!(node.attr("ranked"), Some("true"));
+        assert_eq!(node.attr("version"), Some("2"));
+        let hits = node.children_named("hit");
+        assert_eq!(hits[0].attr("score"), Some("2.500000"));
+        assert_eq!(hits[1].attr("score"), Some("0.125000"));
+        let back = ResultSet::from_node(&node, "local");
+        assert!(back.ranked);
+        assert_eq!(back.hits[0].score, Some(2.5));
+        assert_eq!(back.hits[1].score, Some(0.125));
+    }
+
+    #[test]
+    fn unranked_sets_render_as_wire_v1_bytes() {
+        // The rank=none rendering is pinned to the exact pre-v2 bytes: a
+        // version-1 stamp, no `ranked` attribute, no per-hit scores. This
+        // is the back-compat half of the wire bump — old clients see a
+        // document indistinguishable from what a v1 server sent.
+        let xml = sample().to_xml();
+        assert!(xml.contains("version=\"1\""), "{xml}");
+        assert!(!xml.contains("ranked"), "{xml}");
+        assert!(!xml.contains("score"), "{xml}");
+    }
+
+    #[test]
+    fn canned_v1_results_bytes_still_parse() {
+        // A v2 client (this build) pointed at canned bytes captured from a
+        // v1 server: everything parses, ranking reads as absent.
+        let v1_bytes = "<results count=\"2\" version=\"1\" candidates=\"5\">\
+             <hit doc=\"plan-a.wdoc\"><Context>Budget</Context>\
+             <Content>two dollars</Content></hit>\
+             <hit doc=\"ll-0424.html\" source=\"llis\">\
+             <Context>Recommendation</Context>\
+             <Content>replace harness</Content></hit></results>";
+        let node = netmark_sgml::parse_xml(v1_bytes, &netmark_sgml::NodeTypeConfig::empty())
+            .expect("canned v1 bytes parse");
+        let rs = ResultSet::from_node(&node, "remote");
+        assert_eq!(rs.len(), 2);
+        assert!(!rs.ranked);
+        assert_eq!(rs.candidates, 5);
+        assert!(rs.hits.iter().all(|h| h.score.is_none()));
+        assert_eq!(rs.hits[0].source, "remote");
+        assert_eq!(rs.hits[1].source, "llis");
+        assert_eq!(rs.hits[0].content_text(), "two dollars");
+    }
+
+    #[test]
+    fn v1_client_ignores_v2_score_attributes_gracefully() {
+        // The other direction: canned bytes from a v2 server answering a
+        // ranked query, read by a parser that predates ranking. We emulate
+        // the v1 parser's exact field set (doc/source/Context/Content —
+        // score and ranked were unknown attributes to it, and unknown
+        // attributes were always skipped). Nothing breaks, hit order and
+        // contents survive.
+        let v2_bytes = "<results count=\"2\" version=\"2\" candidates=\"7\" ranked=\"true\">\
+             <hit doc=\"b.txt\" score=\"3.250000\"><Context>Budget</Context>\
+             <Content>engine engine engine</Content></hit>\
+             <hit doc=\"a.txt\" score=\"1.000000\"><Context>Budget</Context>\
+             <Content>engine</Content></hit></results>";
+        let node = netmark_sgml::parse_xml(v2_bytes, &netmark_sgml::NodeTypeConfig::empty())
+            .expect("canned v2 bytes parse");
+        // The v1 field set, extracted exactly as the v1 parser did.
+        let mut v1_hits = Vec::new();
+        for hit in node.children_named("hit") {
+            let doc = hit.attr("doc").unwrap_or("").to_string();
+            let context = hit
+                .find("Context")
+                .map(|c| c.text_content())
+                .unwrap_or_default();
+            v1_hits.push((doc, context));
+        }
+        assert_eq!(
+            v1_hits,
+            vec![
+                ("b.txt".to_string(), "Budget".to_string()),
+                ("a.txt".to_string(), "Budget".to_string()),
+            ],
+            "v1 clients read v2 responses in score order with scores ignored"
+        );
+        // And this build reads the same bytes with full fidelity.
+        let rs = ResultSet::from_node(&node, "remote");
+        assert!(rs.ranked);
+        assert_eq!(rs.hits[0].score, Some(3.25));
     }
 
     #[test]

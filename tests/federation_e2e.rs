@@ -183,8 +183,7 @@ fn daemon_and_server_share_one_store() {
     let drop_dir = base.join("dropbox");
     std::fs::create_dir_all(&drop_dir).unwrap();
     let nm = Arc::new(NetMark::open(&base.join("store")).unwrap());
-    let daemon =
-        netmark_webdav::watch_folder(nm.clone(), &drop_dir, Duration::from_millis(20));
+    let daemon = netmark_webdav::watch_folder(nm.clone(), &drop_dir, Duration::from_millis(20));
     let server = netmark_webdav::serve(nm.clone(), "127.0.0.1:0").unwrap();
 
     std::fs::write(drop_dir.join("dropped.txt"), "# Budget\nfolder money\n").unwrap();

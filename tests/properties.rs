@@ -389,7 +389,7 @@ mod index_props {
 
 mod xdb_props {
     use super::*;
-    use netmark_xdb::{url_decode, url_encode, MatchMode, XdbQuery};
+    use netmark_xdb::{url_decode, url_encode, MatchMode, RankMode, XdbQuery};
 
     proptest! {
         /// URL encode/decode round-trips arbitrary strings.
@@ -406,6 +406,7 @@ mod xdb_props {
             databank in proptest::option::of("[a-z]{1,10}"),
             limit in proptest::option::of(0usize..10000),
             phrase in any::<bool>(),
+            ranked in any::<bool>(),
         ) {
             // The fallible parser rejects values that trim to nothing —
             // only queries it would accept can round-trip.
@@ -421,6 +422,7 @@ mod xdb_props {
                 limit,
                 match_mode: if phrase { MatchMode::Phrase } else { MatchMode::Keywords },
                 exact_contexts: Vec::new(),
+                rank: if ranked { RankMode::Bm25 } else { RankMode::None },
             };
             let back = XdbQuery::from_url(&q.to_query_string()).unwrap();
             prop_assert_eq!(back, q);
@@ -450,8 +452,9 @@ mod wire_props {
             "[a-zA-Z0-9._-]{1,12}",   // document name
             wire_text("[ -~]{1,16}"), // context label
             proptest::option::of(wire_text("[ -~]{1,24}")),
+            proptest::option::of(0u32..1_000_000),
         )
-            .prop_map(|(source, doc, context, text)| Hit {
+            .prop_map(|(source, doc, context, text, score)| Hit {
                 source,
                 doc,
                 context,
@@ -461,6 +464,9 @@ mod wire_props {
                 },
                 // Node ids are store-internal; they never cross the wire.
                 context_node: 0,
+                // Eighths print exactly under the wire's `{:.6}` format,
+                // so float rendering cannot defeat the round-trip.
+                score: score.map(|n| f64::from(n) / 8.0),
             })
     }
 
@@ -472,15 +478,24 @@ mod wire_props {
         /// unchanged.
         #[test]
         fn results_wire_round_trip(
-            hits in proptest::collection::vec(hit_strategy(), 0..8),
+            mut hits in proptest::collection::vec(hit_strategy(), 0..8),
             candidates in 0usize..100_000,
             truncated in any::<bool>(),
+            ranked in any::<bool>(),
         ) {
-            let rs = ResultSet { hits, candidates, truncated };
+            if !ranked {
+                // v1 answers carry no score attributes: only ranked sets
+                // round-trip scores through the wire.
+                for h in &mut hits {
+                    h.score = None;
+                }
+            }
+            let rs = ResultSet { hits, candidates, truncated, ranked };
             let xml = rs.to_xml();
             let node = parse_xml(&xml, &NodeTypeConfig::empty()).unwrap();
+            let want = if ranked { WIRE_VERSION } else { 1 };
             prop_assert_eq!(node.attr("version"),
-                            Some(WIRE_VERSION.to_string().as_str()));
+                            Some(want.to_string().as_str()));
             let back = ResultSet::from_node(&node, "fallback");
             prop_assert_eq!(back, rs);
         }
