@@ -234,6 +234,7 @@ fn main() {
                 workers: 0,
                 cache_capacity: 0,
                 memo_capacity: 0,
+                ..QueryEngineOptions::default()
             },
             ..NetMarkOptions::default()
         },

@@ -21,6 +21,7 @@ const TARGETS: &[&str] = &[
     "fig12_c10k",
     "fig13_shard_scaling",
     "fig14_ranked_search",
+    "fig15_topk_pruning",
     "sec4_top_employees",
     "ablations",
 ];

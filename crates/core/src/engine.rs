@@ -55,6 +55,13 @@ pub struct QueryEngineOptions {
     pub cache_capacity: usize,
     /// Context-memo entries. `0` disables the rowid→context memo.
     pub memo_capacity: usize,
+    /// Bounded top-k collection for limited queries. When set, a query
+    /// carrying `limit=k` keeps a k-entry heap of the best candidates and
+    /// materializes section content only for the survivors, instead of
+    /// building and sorting every hit first. Results are identical either
+    /// way; `false` restores the collect-everything-then-truncate path
+    /// (the exhaustive baseline benchmarks compare against).
+    pub topk_pruning: bool,
 }
 
 impl Default for QueryEngineOptions {
@@ -65,6 +72,7 @@ impl Default for QueryEngineOptions {
                 .unwrap_or(2),
             cache_capacity: 256,
             memo_capacity: 1 << 16,
+            topk_pruning: true,
         }
     }
 }
@@ -325,6 +333,7 @@ pub struct QueryEngine {
     /// serve) a pre-index-update result under a current-looking stamp.
     epoch: AtomicU64,
     pool: Option<WorkerPool>,
+    topk_pruning: bool,
     metrics: QueryMetrics,
 }
 
@@ -342,6 +351,7 @@ impl QueryEngine {
             cache: Mutex::new(ResultCache::new(options.cache_capacity)),
             epoch: AtomicU64::new(0),
             pool: (options.workers > 0).then(|| WorkerPool::new(options.workers)),
+            topk_pruning: options.topk_pruning,
             metrics: QueryMetrics::default(),
         }
     }
@@ -429,6 +439,33 @@ impl QueryEngine {
         // store side is pinned the same way by `view`.
         let snap = self.index.snapshot();
         let gen = view.generation();
+        // Bounded top-k fast path for a ranked single-keyword content
+        // query: the match set IS the score map's key set. Both are "the
+        // governing contexts of the live nodes containing the term" — the
+        // match walk resolves exactly the node ids the scoring pass walks,
+        // through the same memoized governing-context lookup — so running
+        // the scoring pass alone halves the per-match store work. Scores
+        // are bit-identical by construction (same `context_scores` body),
+        // and the bounded collector is insensitive to candidate order, so
+        // the answer is byte-identical to the general path.
+        if self.topk_pruning
+            && q.limit.is_some()
+            && q.ranked()
+            && q.context.is_none()
+            && q.match_mode == MatchMode::Keywords
+        {
+            if let Some(terms) = &q.content {
+                if netmark_textindex::query_terms(terms).len() == 1 {
+                    let t = Instant::now();
+                    let (scores, candidates) =
+                        context_scores_counted(view, &*snap, Some((&self.memo, gen)), terms)?;
+                    trace.index_lookup += t.elapsed();
+                    trace.candidates = candidates;
+                    let ctx_rowids: Vec<RowId> = scores.keys().copied().collect();
+                    return collect_hits(view, q, ctx_rowids, Some(&scores), true, trace);
+                }
+            }
+        }
         let ctx_rowids: Vec<RowId> = match (&q.context, &q.content) {
             (None, None) => {
                 // Unconstrained: every context in the store (bounded below
@@ -476,7 +513,14 @@ impl QueryEngine {
             )?),
             _ => None,
         };
-        collect_hits(view, q, ctx_rowids, scores.as_ref(), trace)
+        collect_hits(
+            view,
+            q,
+            ctx_rowids,
+            scores.as_ref(),
+            self.topk_pruning,
+            trace,
+        )
     }
 
     /// Context rowids whose sections contain the content terms. Multi-term
@@ -721,8 +765,23 @@ pub(crate) fn context_scores<I: TextIndexReader + ?Sized>(
     memo: Option<(&CtxMemo, i64)>,
     terms: &str,
 ) -> Result<HashMap<RowId, f64>> {
+    Ok(context_scores_counted(view, index, memo, terms)?.0)
+}
+
+/// [`context_scores`] plus the scored-node count — for the single-term
+/// fast path, which reports it as the candidate count the match walk
+/// would have reported (one scored node per term posting, both paths
+/// filtered by the same index tombstones).
+pub(crate) fn context_scores_counted<I: TextIndexReader + ?Sized>(
+    view: &StoreView,
+    index: &I,
+    memo: Option<(&CtxMemo, i64)>,
+    terms: &str,
+) -> Result<(HashMap<RowId, f64>, usize)> {
     let mut out: HashMap<RowId, f64> = HashMap::new();
-    for (nid, score) in index.search_bm25(terms) {
+    let scored = index.search_bm25(terms);
+    let candidates = scored.len();
+    for (nid, score) in scored {
         let Some((rid, _)) = view.node_by_id(nid)? else {
             continue; // tombstoned in index but not in this store view
         };
@@ -740,21 +799,77 @@ pub(crate) fn context_scores<I: TextIndexReader + ?Sized>(
             *out.entry(c).or_default() += score;
         }
     }
-    Ok(out)
+    Ok((out, candidates))
 }
+
+/// A kept candidate in the bounded collection heap, ordered so the heap
+/// root (the max) is always the *weakest* entry — the one the next
+/// stronger candidate evicts. Stronger means higher score, ties broken by
+/// smaller `(doc_id, node_id)` key, exactly the order the exhaustive
+/// stable-sort-then-truncate path produces.
+struct Weakest {
+    score: f64,
+    key: (DocId, u64),
+    rid: RowId,
+    doc: String,
+}
+
+impl Ord for Weakest {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Greater = weaker: lower score first, then larger key. Scores are
+        // finite BM25 sums (or 0.0), so total_cmp agrees with partial_cmp.
+        other
+            .score
+            .total_cmp(&self.score)
+            .then_with(|| self.key.cmp(&other.key))
+    }
+}
+
+impl PartialOrd for Weakest {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for Weakest {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for Weakest {}
 
 /// Materializes the result set for the surviving context rowids: resolve
 /// document names (once per doc), apply the `doc=` filter, walk each
 /// section's content, order, rank (when `rank=bm25`), truncate.
+///
+/// With `topk_pruning` and a `limit`, collection is bounded: candidates
+/// stream through a `limit`-entry heap keyed on (score, doc, node) and
+/// only the survivors are materialized — section content is never walked
+/// and `Hit`s are never built for rows the truncation would drop. Unranked
+/// queries take the same path with every score 0.0, which reduces the
+/// order to the plain (doc, node) document order. Hit-for-hit identical
+/// to the exhaustive path in content, order, and `truncated`.
 pub(crate) fn collect_hits(
     view: &StoreView,
     query: &XdbQuery,
     ctx_rowids: Vec<RowId>,
     scores: Option<&HashMap<RowId, f64>>,
+    topk_pruning: bool,
     trace: &mut QueryTrace,
 ) -> Result<ResultSet> {
     let t = Instant::now();
     let ranked = query.ranked();
+    // The score floor is defined over ranked scores only; on an unranked
+    // query there is nothing to compare, so a stray `min_score=` is inert.
+    let floor = if ranked { query.min_score } else { None };
+    if topk_pruning {
+        if let Some(limit) = query.limit {
+            let rs = collect_hits_bounded(view, query, ctx_rowids, scores, limit, floor, trace)?;
+            trace.collection += t.elapsed();
+            return Ok(rs);
+        }
+    }
     // Resolve document names once per doc. A missing DOC row means the
     // index snapshot led this store view (the document landed after the
     // pin) — skip such hits rather than failing the query.
@@ -806,6 +921,12 @@ pub(crate) fn collect_hits(
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
     }
+    if let Some(floor) = floor {
+        // The floor cuts before the limit: a coordinator pushing
+        // `limit=k&min_score=θ` wants the best k hits *above* θ, not the
+        // above-θ remainder of an unfiltered top k.
+        hits.retain(|h| h.score.map(|s| s > floor).unwrap_or(false));
+    }
     let mut truncated = false;
     if let Some(limit) = query.limit {
         if hits.len() > limit {
@@ -818,6 +939,98 @@ pub(crate) fn collect_hits(
         hits,
         candidates: trace.candidates,
         truncated,
+        ranked,
+    })
+}
+
+/// The bounded collection path: one pass over the candidates resolving
+/// only row + document name (no content walk, no `Hit` allocation), a
+/// `limit`-entry [`Weakest`]-rooted heap tracking the current top k, then
+/// materialization of the survivors alone.
+fn collect_hits_bounded(
+    view: &StoreView,
+    query: &XdbQuery,
+    ctx_rowids: Vec<RowId>,
+    scores: Option<&HashMap<RowId, f64>>,
+    limit: usize,
+    floor: Option<f64>,
+    trace: &mut QueryTrace,
+) -> Result<ResultSet> {
+    let ranked = query.ranked();
+    let mut doc_names: HashMap<DocId, Option<String>> = HashMap::new();
+    let mut seen: HashSet<(DocId, u64)> = HashSet::new();
+    let mut heap: std::collections::BinaryHeap<Weakest> = std::collections::BinaryHeap::new();
+    let mut qualifying = 0usize;
+    for rid in ctx_rowids {
+        let Ok(row) = view.node(rid) else {
+            continue;
+        };
+        let doc_name = match doc_names.get(&row.doc_id) {
+            Some(cached) => cached.clone(),
+            None => {
+                let n = view.doc_info(row.doc_id).ok().map(|i| i.file_name);
+                doc_names.insert(row.doc_id, n.clone());
+                n
+            }
+        };
+        let Some(doc_name) = doc_name else { continue };
+        if let Some(wanted) = &query.doc {
+            if &doc_name != wanted {
+                continue;
+            }
+        }
+        let score = if ranked {
+            scores.and_then(|m| m.get(&rid)).copied().unwrap_or(0.0)
+        } else {
+            0.0
+        };
+        if let Some(floor) = floor {
+            if score <= floor {
+                continue;
+            }
+        }
+        let key = (row.doc_id, row.node_id);
+        if !seen.insert(key) {
+            continue;
+        }
+        qualifying += 1;
+        let cand = Weakest {
+            score,
+            key,
+            rid,
+            doc: doc_name,
+        };
+        if heap.len() < limit {
+            heap.push(cand);
+        } else if heap.peek().map(|weakest| cand < *weakest).unwrap_or(false) {
+            // `cand < weakest` in Weakest order means strictly stronger:
+            // higher score, or the same score with a smaller key — the
+            // exact condition under which the exhaustive sort would have
+            // placed it inside the truncation boundary.
+            heap.pop();
+            heap.push(cand);
+            trace.topk.heap_evictions += 1;
+        }
+    }
+    let mut winners = heap.into_vec();
+    winners.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.key.cmp(&b.key)));
+    let mut hits = Vec::with_capacity(winners.len());
+    for w in winners {
+        let row = view.node(w.rid)?;
+        let content = view.section_content(w.rid)?;
+        hits.push(Hit {
+            source: String::new(),
+            doc: w.doc,
+            context: row.data.clone(),
+            content,
+            context_node: row.node_id,
+            score: ranked.then_some(w.score),
+        });
+    }
+    Ok(ResultSet {
+        truncated: qualifying > hits.len(),
+        hits,
+        candidates: trace.candidates,
         ranked,
     })
 }
@@ -938,6 +1151,7 @@ mod tests {
                 workers: 3,
                 cache_capacity: 0,
                 memo_capacity: 0,
+                topk_pruning: true,
             },
         );
         let serial = engine_with(
@@ -947,6 +1161,7 @@ mod tests {
                 workers: 0,
                 cache_capacity: 0,
                 memo_capacity: 0,
+                topk_pruning: true,
             },
         );
         for q in [
@@ -1012,6 +1227,124 @@ mod tests {
     }
 
     #[test]
+    fn bounded_collection_matches_exhaustive() {
+        let (store, dir) = temp_store("topk");
+        let index = Arc::new(SegmentedIndex::new());
+        // Distinct densities so scores differ, plus equal-score ties (the
+        // pure-Context hits all score 0.0) to exercise the key tie-break.
+        for i in 0..8 {
+            ingest(
+                &store,
+                &index,
+                &format!("d{i}.txt"),
+                &format!(
+                    "# Part{i}\nengine {} filler words here\n# Empty{i}\nnothing relevant\n",
+                    "engine ".repeat(i)
+                ),
+            );
+        }
+        let pruned = engine_with(
+            &store,
+            &index,
+            QueryEngineOptions {
+                topk_pruning: true,
+                cache_capacity: 0,
+                ..QueryEngineOptions::default()
+            },
+        );
+        let exhaustive = engine_with(
+            &store,
+            &index,
+            QueryEngineOptions {
+                topk_pruning: false,
+                cache_capacity: 0,
+                ..QueryEngineOptions::default()
+            },
+        );
+        for limit in [0, 1, 3, 8, 100] {
+            for q in [
+                XdbQuery::content("engine")
+                    .with_rank(netmark_xdb::RankMode::Bm25)
+                    .with_limit(limit),
+                XdbQuery::content("engine").with_limit(limit),
+                XdbQuery::context("Part3")
+                    .with_rank(netmark_xdb::RankMode::Bm25)
+                    .with_limit(limit),
+            ] {
+                let p = pruned.execute(&q).unwrap();
+                let e = exhaustive.execute(&q).unwrap();
+                assert_eq!(p, e, "query {q} limit {limit}");
+            }
+        }
+        // Unlimited queries bypass the bounded path entirely — same object
+        // either way.
+        let q = XdbQuery::content("engine").with_rank(netmark_xdb::RankMode::Bm25);
+        assert_eq!(pruned.execute(&q).unwrap(), exhaustive.execute(&q).unwrap());
+        assert!(
+            pruned.stats().topk.heap_evictions > 0,
+            "k=1 over 8 docs evicts"
+        );
+        assert_eq!(exhaustive.stats().topk.heap_evictions, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn min_score_floor_filters_before_limit() {
+        let (store, dir) = temp_store("floor");
+        let index = Arc::new(SegmentedIndex::new());
+        ingest(
+            &store,
+            &index,
+            "hot.txt",
+            "# Faults\nengine engine engine stall\n",
+        );
+        ingest(
+            &store,
+            &index,
+            "cold.txt",
+            "# Notes\nthe engine review covered many unrelated topics and ran very long indeed\n",
+        );
+        let eng = engine_with(&store, &index, QueryEngineOptions::default());
+        let base = XdbQuery::content("engine").with_rank(netmark_xdb::RankMode::Bm25);
+        let all = eng.execute(&base).unwrap();
+        assert_eq!(all.hits.len(), 2);
+        let (hi, lo) = (all.hits[0].score.unwrap(), all.hits[1].score.unwrap());
+        assert!(hi > lo);
+        // A floor between the two scores drops the weak hit — and with
+        // limit=1 the strong hit still arrives (filter cuts before limit).
+        let floored = eng
+            .execute(&base.clone().with_limit(1).with_min_score((hi + lo) / 2.0))
+            .unwrap();
+        assert_eq!(floored.hits.len(), 1);
+        assert_eq!(floored.hits[0].doc, "hot.txt");
+        assert!(!floored.truncated, "the floor, not the limit, cut cold.txt");
+        // A floor at or above every score yields nothing: the comparison
+        // is strict, so a hit scoring exactly the floor is dropped.
+        let none = eng.execute(&base.clone().with_min_score(hi)).unwrap();
+        assert!(none.hits.is_empty());
+        // Exhaustive collection applies the same floor.
+        let exhaustive = engine_with(
+            &store,
+            &index,
+            QueryEngineOptions {
+                topk_pruning: false,
+                cache_capacity: 0,
+                ..QueryEngineOptions::default()
+            },
+        );
+        let e = exhaustive
+            .execute(&base.clone().with_limit(1).with_min_score((hi + lo) / 2.0))
+            .unwrap();
+        assert_eq!(e, floored);
+        // min_score on an unranked query is inert: no scores to compare.
+        let unranked = eng
+            .execute(&XdbQuery::content("engine").with_min_score(1000.0))
+            .unwrap();
+        assert_eq!(unranked.hits.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn trace_records_stage_times() {
         let (store, dir) = temp_store("trace");
         let index = Arc::new(SegmentedIndex::new());
@@ -1039,6 +1372,7 @@ mod tests {
                 workers: 0,
                 cache_capacity: 0, // force re-execution
                 memo_capacity: 1024,
+                topk_pruning: true,
             },
         );
         let q = XdbQuery::content("million");

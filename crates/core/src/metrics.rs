@@ -22,7 +22,7 @@
 
 use netmark_model::Node;
 use netmark_relstore::MvccStats;
-use netmark_textindex::IndexStats;
+use netmark_textindex::{IndexStats, TopkStats};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -36,7 +36,8 @@ pub fn index_stats_node(s: &IndexStats) -> Node {
         .with_attr("docs", &s.docs.to_string())
         .with_attr("terms", &s.terms.to_string())
         .with_attr("postings", &s.postings.to_string())
-        .with_attr("bytes", &s.bytes.to_string())
+        .with_attr("postings-bytes", &s.bytes.to_string())
+        .with_attr("blocks-total", &s.blocks_total.to_string())
         .with_attr("segments", &s.segments.to_string())
         .with_attr("tombstones", &s.tombstones.to_string())
         .with_attr("commits", &s.commits.to_string())
@@ -308,6 +309,8 @@ pub struct QueryTrace {
     pub candidates: usize,
     /// Terms fanned out across the worker pool (0 = executed serially).
     pub fanout: usize,
+    /// Top-k pruning counters (all zero on unranked or unpruned paths).
+    pub topk: TopkStats,
 }
 
 /// Cumulative read-path counters (lock-free; shared across server
@@ -319,6 +322,10 @@ pub struct QueryMetrics {
     cache_misses: AtomicU64,
     parallel_queries: AtomicU64,
     candidates: AtomicU64,
+    blocks_skipped: AtomicU64,
+    postings_decoded: AtomicU64,
+    postings_total: AtomicU64,
+    heap_evictions: AtomicU64,
     index_nanos: AtomicU64,
     walk_nanos: AtomicU64,
     intersect_nanos: AtomicU64,
@@ -339,6 +346,14 @@ impl QueryMetrics {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
         self.candidates
             .fetch_add(trace.candidates as u64, Ordering::Relaxed);
+        self.blocks_skipped
+            .fetch_add(trace.topk.blocks_skipped, Ordering::Relaxed);
+        self.postings_decoded
+            .fetch_add(trace.topk.postings_decoded, Ordering::Relaxed);
+        self.postings_total
+            .fetch_add(trace.topk.postings_total, Ordering::Relaxed);
+        self.heap_evictions
+            .fetch_add(trace.topk.heap_evictions, Ordering::Relaxed);
         if trace.fanout > 0 {
             self.parallel_queries.fetch_add(1, Ordering::Relaxed);
         }
@@ -361,6 +376,12 @@ impl QueryMetrics {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             parallel_queries: self.parallel_queries.load(Ordering::Relaxed),
             candidates: self.candidates.load(Ordering::Relaxed),
+            topk: TopkStats {
+                blocks_skipped: self.blocks_skipped.load(Ordering::Relaxed),
+                postings_decoded: self.postings_decoded.load(Ordering::Relaxed),
+                postings_total: self.postings_total.load(Ordering::Relaxed),
+                heap_evictions: self.heap_evictions.load(Ordering::Relaxed),
+            },
             memo_hits: 0,
             memo_misses: 0,
             store_version: 0,
@@ -388,6 +409,9 @@ pub struct QueryStats {
     pub parallel_queries: u64,
     /// Cumulative text-index candidates examined.
     pub candidates: u64,
+    /// Cumulative top-k pruning counters (blocks skipped, postings decoded
+    /// vs total, bounded-heap evictions).
+    pub topk: TopkStats,
     /// rowid→context walks answered by the memo.
     pub memo_hits: u64,
     /// rowid→context walks computed (and memoized).
@@ -438,6 +462,12 @@ impl QueryStats {
             cache_misses: self.cache_misses - earlier.cache_misses,
             parallel_queries: self.parallel_queries - earlier.parallel_queries,
             candidates: self.candidates - earlier.candidates,
+            topk: TopkStats {
+                blocks_skipped: self.topk.blocks_skipped - earlier.topk.blocks_skipped,
+                postings_decoded: self.topk.postings_decoded - earlier.topk.postings_decoded,
+                postings_total: self.topk.postings_total - earlier.topk.postings_total,
+                heap_evictions: self.topk.heap_evictions - earlier.topk.heap_evictions,
+            },
             memo_hits: self.memo_hits - earlier.memo_hits,
             memo_misses: self.memo_misses - earlier.memo_misses,
             // Version and live-view counts are gauges, not counters: a
@@ -464,6 +494,7 @@ impl QueryStats {
         self.cache_misses += other.cache_misses;
         self.parallel_queries += other.parallel_queries;
         self.candidates += other.candidates;
+        self.topk.merge(&other.topk);
         self.memo_hits += other.memo_hits;
         self.memo_misses += other.memo_misses;
         self.store_version = self.store_version.max(other.store_version);
@@ -476,9 +507,15 @@ impl QueryStats {
         self.total_time += other.total_time;
     }
 
-    /// Renders the `<query …/>` element served under `GET /xdb/stats`.
+    /// Renders the `<query …/>` element served under `GET /xdb/stats`,
+    /// with the top-k pruning counters as a nested `<topk/>` child.
     /// Durations are microseconds — query stages are routinely sub-ms.
     pub fn to_node(&self) -> Node {
+        let topk = Node::element("topk")
+            .with_attr("blocks-skipped", &self.topk.blocks_skipped.to_string())
+            .with_attr("postings-decoded", &self.topk.postings_decoded.to_string())
+            .with_attr("postings-total", &self.topk.postings_total.to_string())
+            .with_attr("heap-evictions", &self.topk.heap_evictions.to_string());
         Node::element("query")
             .with_attr("queries", &self.queries.to_string())
             .with_attr("cache-hits", &self.cache_hits.to_string())
@@ -498,6 +535,7 @@ impl QueryStats {
             )
             .with_attr("collect-us", &(self.collect_time.as_micros()).to_string())
             .with_attr("total-us", &(self.total_time.as_micros()).to_string())
+            .with_child(topk)
     }
 }
 
@@ -568,6 +606,12 @@ mod tests {
             total: Duration::from_micros(400),
             candidates: 7,
             fanout: 3,
+            topk: TopkStats {
+                blocks_skipped: 5,
+                postings_decoded: 20,
+                postings_total: 660,
+                heap_evictions: 2,
+            },
         });
         m.record(&QueryTrace {
             cache_hit: true,
@@ -585,10 +629,20 @@ mod tests {
         assert_eq!(s.total_time, Duration::from_micros(402));
         assert_eq!(s.cache_hit_rate(), 0.5);
         assert_eq!(s.mean_latency(), Duration::from_micros(201));
+        assert_eq!(s.topk.blocks_skipped, 5);
+        assert_eq!(s.topk.postings_decoded, 20);
+        assert_eq!(s.topk.postings_total, 660);
+        assert_eq!(s.topk.heap_evictions, 2);
         let node = s.to_node();
         assert_eq!(node.name, "query");
         assert_eq!(node.attr("cache-hits"), Some("1"));
         assert_eq!(node.attr("walk-us"), Some("200"));
+        let topk = node.children_named("topk");
+        assert_eq!(topk.len(), 1, "topk counters nest under <query/>");
+        assert_eq!(topk[0].attr("blocks-skipped"), Some("5"));
+        assert_eq!(topk[0].attr("postings-decoded"), Some("20"));
+        assert_eq!(topk[0].attr("postings-total"), Some("660"));
+        assert_eq!(topk[0].attr("heap-evictions"), Some("2"));
         assert_eq!(QueryStats::default().cache_hit_rate(), 0.0);
         assert_eq!(QueryStats::default().mean_latency(), Duration::ZERO);
         let delta = s.since(&s);
@@ -601,6 +655,8 @@ mod tests {
         let s = IndexStats {
             docs: 10,
             terms: 40,
+            bytes: 4096,
+            blocks_total: 17,
             segments: 3,
             tombstones: 2,
             compactions: 1,
@@ -610,6 +666,8 @@ mod tests {
         let node = index_stats_node(&s);
         assert_eq!(node.name, "index");
         assert_eq!(node.attr("docs"), Some("10"));
+        assert_eq!(node.attr("postings-bytes"), Some("4096"));
+        assert_eq!(node.attr("blocks-total"), Some("17"));
         assert_eq!(node.attr("segments"), Some("3"));
         assert_eq!(node.attr("tombstones"), Some("2"));
         assert_eq!(node.attr("compactions"), Some("1"));
@@ -658,6 +716,12 @@ mod tests {
             cache_misses: 6,
             parallel_queries: 2,
             candidates: 100,
+            topk: TopkStats {
+                blocks_skipped: 8,
+                postings_decoded: 40,
+                postings_total: 100,
+                heap_evictions: 3,
+            },
             memo_hits: 30,
             memo_misses: 5,
             store_version: 7,
@@ -675,6 +739,12 @@ mod tests {
             cache_misses: 2,
             parallel_queries: 1,
             candidates: 50,
+            topk: TopkStats {
+                blocks_skipped: 2,
+                postings_decoded: 10,
+                postings_total: 30,
+                heap_evictions: 1,
+            },
             memo_hits: 10,
             memo_misses: 8,
             store_version: 12,
@@ -694,6 +764,10 @@ mod tests {
         assert_eq!(merged.cache_misses, 8);
         assert_eq!(merged.parallel_queries, 3);
         assert_eq!(merged.candidates, 150);
+        assert_eq!(merged.topk.blocks_skipped, 10);
+        assert_eq!(merged.topk.postings_decoded, 50);
+        assert_eq!(merged.topk.postings_total, 130);
+        assert_eq!(merged.topk.heap_evictions, 4);
         assert_eq!(merged.memo_hits, 40);
         assert_eq!(merged.memo_misses, 13);
         assert_eq!(merged.views_evicted, 3);

@@ -289,6 +289,16 @@ impl Router {
         if residual || rank_stripped {
             pushed.limit = None;
         }
+        // Score-floor pushdown (negotiated behind the `min-score`
+        // capability bit): only a source that ranks natively and knows the
+        // key gets it — an older peer's parser would reject the unknown
+        // query key outright, and a residual-weakened or rank-stripped
+        // query scores on a different axis than the floor describes. When
+        // it cannot travel, the floor is applied router-side after
+        // [`score_hits`] instead.
+        if pushed.min_score.is_some() && !(caps.min_score && !rank_stripped && !residual) {
+            pushed.min_score = None;
+        }
         pushed.xslt = None; // composition happens at the client, once
         pushed.databank = None;
         (pushed, residual)
@@ -377,6 +387,13 @@ impl Router {
             // locally) get a router-side relevance score so the merge
             // compares every hit on the same axis.
             score_hits(&mut hits, q);
+            if let Some(floor) = q.min_score {
+                if pushed.min_score.is_none() {
+                    // The source never saw the floor; enforce it here with
+                    // the same strict cut a capable peer applies.
+                    hits.retain(|h| h.score.map(|s| s > floor).unwrap_or(false));
+                }
+            }
         }
         outcome.hits = hits.len();
         outcome.pushed = pushed;
@@ -611,6 +628,39 @@ mod tests {
         assert_eq!(ames_o.pushed.limit, Some(2));
 
         cleanup(vec![d1, d2]);
+    }
+
+    #[test]
+    fn min_score_pushes_to_capable_peers_and_filters_the_rest() {
+        let (router, dirs) = build_router("floor");
+        let base = XdbQuery::content("Engine").with_rank(RankMode::Bm25);
+        // A floor of 0.0 keeps everything scoring positive — both the
+        // NETMARK hit and the router-scored llis hit survive.
+        let fr = router
+            .query("apps", &base.clone().with_min_score(0.0))
+            .unwrap();
+        let sources: Vec<&str> = fr.results.hits.iter().map(|h| h.source.as_str()).collect();
+        assert!(sources.contains(&"ames"));
+        assert!(sources.contains(&"llis"));
+        let ames = fr.outcomes.iter().find(|o| o.source == "ames").unwrap();
+        assert_eq!(
+            ames.pushed.min_score,
+            Some(0.0),
+            "negotiated peer evaluates the floor natively"
+        );
+        let llis = fr.outcomes.iter().find(|o| o.source == "llis").unwrap();
+        assert!(
+            llis.pushed.min_score.is_none(),
+            "the floor key never reaches a peer that has not negotiated it"
+        );
+        // An unreachable floor filters every source's hits — the ranked
+        // peer at the source, llis at the router after scoring.
+        let fr = router
+            .query("apps", &base.clone().with_min_score(1e9))
+            .unwrap();
+        assert!(fr.results.hits.is_empty());
+        assert!(!fr.degraded());
+        cleanup(dirs);
     }
 
     #[test]

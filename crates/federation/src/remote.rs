@@ -379,7 +379,7 @@ mod tests {
         // build has never heard of, extra attributes on <results> and
         // <hit>. Negotiation keeps the known intersection and the answer
         // parses with unknown fields ignored — never a refusal.
-        let caps = r#"<capabilities version="7" context-search="true" content-search="true" structured-results="true" ranked="true" hologram-search="true" quantum-join="false"/>"#;
+        let caps = r#"<capabilities version="7" context-search="true" content-search="true" structured-results="true" ranked="true" min-score="true" hologram-search="true" quantum-join="false"/>"#;
         let results = r#"<results count="1" version="7" candidates="3" ranked="true" holo-merged="true"><hit doc="p.txt" score="1.500000" holo-rank="9"><Context>Budget</Context><Content>future money</Content></hit></results>"#;
         let addr = canned_server(vec![caps.to_string(), results.to_string()]);
         let src = RemoteSource::connect("future", &addr.to_string(), tight()).unwrap();

@@ -267,6 +267,13 @@ impl ShardedStore {
                 return self.shards[s].query(&q);
             }
         }
+        if q.ranked() && self.shards.len() > 1 {
+            if let Some(k) = q.limit {
+                if k > 0 {
+                    return self.query_two_wave(&q, k);
+                }
+            }
+        }
         let per_shard: Vec<Result<ResultSet>> =
             scatter(&self.shards, self.shards.len(), |i, nm| {
                 self.shard_queries[i].fetch_add(1, Ordering::Relaxed);
@@ -275,6 +282,73 @@ impl ShardedStore {
         let mut sets = Vec::with_capacity(per_shard.len());
         for r in per_shard {
             sets.push(r?);
+        }
+        Ok(self.merge(sets, q.limit))
+    }
+
+    /// Ranked `limit=k` scatter in two waves with a refined score floor.
+    ///
+    /// Wave 1 queries the first ⌈n/2⌉ shards as-is. If they return at
+    /// least k hits, the kth best score θ becomes a floor for wave 2:
+    /// any hit scoring strictly below θ provably cannot enter the merged
+    /// top-k (the k wave-1 hits at or above θ all outrank it), so wave-2
+    /// shards push `min_score` into their bounded collectors and never
+    /// materialize such hits. The floor is `θ.next_down()` — `min_score`
+    /// is a strict cut, and a wave-2 hit tying θ exactly must survive to
+    /// lose (or win) on the global-sequence tie-break in [`Self::merge`].
+    ///
+    /// One boundary needs repair: a wave-2 hit *between* the user's floor
+    /// and θ is invisible under the raised floor, yet it counts toward
+    /// `truncated` ("more qualifying hits existed than the limit"). That
+    /// can only change the answer when nothing else already proves
+    /// truncation — merged hits at the limit exactly and no shard locally
+    /// truncated — so only in that rare case wave 2 is re-asked with the
+    /// user's own floor.
+    fn query_two_wave(&self, q: &XdbQuery, k: usize) -> Result<ResultSet> {
+        let split = self.shards.len().div_ceil(2);
+        let (wave1, wave2) = self.shards.split_at(split);
+        let r1: Vec<Result<ResultSet>> = scatter(wave1, wave1.len(), |i, nm| {
+            self.shard_queries[i].fetch_add(1, Ordering::Relaxed);
+            nm.query(q)
+        });
+        let mut sets = Vec::with_capacity(self.shards.len());
+        for r in r1 {
+            sets.push(r?);
+        }
+        let mut scores: Vec<f64> = sets
+            .iter()
+            .flat_map(|rs| rs.hits.iter().filter_map(|h| h.score))
+            .collect();
+        let theta = (scores.len() >= k).then(|| {
+            scores.sort_by(|a, b| b.total_cmp(a));
+            scores[k - 1]
+        });
+        let mut q2 = q.clone();
+        let mut raised = false;
+        if let Some(t) = theta {
+            let refined = t.next_down();
+            if q.min_score.map(|u| refined > u).unwrap_or(true) {
+                q2.min_score = Some(refined);
+                raised = true;
+            }
+        }
+        let r2: Vec<Result<ResultSet>> = scatter(wave2, wave2.len(), |i, nm| {
+            self.shard_queries[split + i].fetch_add(1, Ordering::Relaxed);
+            nm.query(&q2)
+        });
+        for r in r2 {
+            sets.push(r?);
+        }
+        let total: usize = sets.iter().map(|rs| rs.hits.len()).sum();
+        if raised && total <= k && !sets.iter().any(|rs| rs.truncated) {
+            sets.truncate(split);
+            let r2: Vec<Result<ResultSet>> = scatter(wave2, wave2.len(), |i, nm| {
+                self.shard_queries[split + i].fetch_add(1, Ordering::Relaxed);
+                nm.query(q)
+            });
+            for r in r2 {
+                sets.push(r?);
+            }
         }
         Ok(self.merge(sets, q.limit))
     }
@@ -639,6 +713,56 @@ mod tests {
         std::fs::remove_dir_all(&dir4).unwrap();
         std::fs::remove_dir_all(&dir1).unwrap();
         std::fs::remove_dir_all(&rdir).unwrap();
+    }
+
+    #[test]
+    fn two_wave_ranked_scatter_is_exact() {
+        let dir = scratch("twowave");
+        let st = open_n(&dir, 4);
+        // Mixed densities plus a run of identical documents: the identical
+        // ones score exactly equal *within* any shard holding several, and
+        // across shards whenever local statistics coincide — exercising
+        // the θ tie boundary the next_down floor must keep alive.
+        for i in 0..6 {
+            let text = format!(
+                "# Sec\nrocket {}filler filler filler\n",
+                "rocket ".repeat(i)
+            );
+            XdbBackend::insert_file(&st, &format!("var{i}.txt"), &text).unwrap();
+        }
+        for i in 0..8 {
+            XdbBackend::insert_file(
+                &st,
+                &format!("same{i}.txt"),
+                "# Sec\nrocket payload checklist\n",
+            )
+            .unwrap();
+        }
+        let base = XdbQuery::content("rocket").with_rank(netmark_xdb::RankMode::Bm25);
+        // The oracle: full scatter with no limit, merged by the same
+        // policy — its prefix is what any limited query must return.
+        let all = st.query(&base).unwrap();
+        assert_eq!(all.hits.len(), 14);
+        for k in [1, 2, 3, 7, 13, 14, 50] {
+            let rs = st.query(&base.clone().with_limit(k)).unwrap();
+            let want: Vec<_> = all.hits.iter().take(k).cloned().collect();
+            assert_eq!(rs.hits, want, "k={k}");
+            assert_eq!(rs.truncated, all.hits.len() > k, "truncated at k={k}");
+        }
+        // A user floor combines with the refined one and stays strict.
+        let floor = all.hits[5].score.unwrap();
+        let rs = st
+            .query(&base.clone().with_limit(3).with_min_score(floor))
+            .unwrap();
+        let want: Vec<_> = all
+            .hits
+            .iter()
+            .filter(|h| h.score.unwrap() > floor)
+            .take(3)
+            .cloned()
+            .collect();
+        assert_eq!(rs.hits, want);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub use index::{InvertedIndex, TextQuery};
 pub use postings::{Posting, PostingList};
 pub use segment::{MemTable, Segment};
 pub use segmented::{IndexStats, SaveReport, SegmentedIndex};
-pub use snapshot::{IndexSnapshot, SnapshotCell};
+pub use snapshot::{IndexSnapshot, SnapshotCell, TopkStats};
 pub use tokenize::{query_terms, tokenize_text, TextToken};
 
 /// Read-side query interface shared by the legacy single-map index and
@@ -47,6 +47,16 @@ pub trait TextIndexReader {
     /// BM25-ranked search: live ids scored by Okapi BM25 over the corpus
     /// statistics, descending (ties break on ascending id).
     fn search_bm25(&self, text: &str) -> Vec<(u64, f64)>;
+
+    /// Per-node BM25 scores ascending by id: the same documents with
+    /// bit-identical scores as [`TextIndexReader::search_bm25`], reordered
+    /// for streaming aggregation. The default reorders the ranked output;
+    /// implementations may provide a direct path.
+    fn bm25_node_scores(&self, text: &str) -> Vec<(u64, f64)> {
+        let mut out = self.search_bm25(text);
+        out.sort_unstable_by_key(|&(id, _)| id);
+        out
+    }
 }
 
 impl TextIndexReader for InvertedIndex {
@@ -74,5 +84,9 @@ impl TextIndexReader for IndexSnapshot {
 
     fn search_bm25(&self, text: &str) -> Vec<(u64, f64)> {
         IndexSnapshot::search_bm25(self, text)
+    }
+
+    fn bm25_node_scores(&self, text: &str) -> Vec<(u64, f64)> {
+        IndexSnapshot::bm25_node_scores(self, text)
     }
 }

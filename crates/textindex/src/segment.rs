@@ -172,6 +172,12 @@ impl Segment {
         self.terms.values().map(|p| p.byte_size()).sum()
     }
 
+    /// Total skip blocks across posting lists (zero for a legacy v2/v1
+    /// segment that has not been rewritten by compaction yet).
+    pub fn blocks_total(&self) -> usize {
+        self.terms.values().map(|p| p.blocks().len()).sum()
+    }
+
     /// All node ids covered, ascending.
     pub fn ids(&self) -> &[u64] {
         &self.ids
@@ -374,10 +380,28 @@ impl Segment {
         }
     }
 
-    /// Serializes the segment (`NMTXSEG2`: the `NMTXSEG1` layout plus a
-    /// trailing per-id token-length section, varint-framed like the legacy
-    /// single-file format).
+    /// Serializes the segment (`NMTXSEG3`: the `NMTXSEG2` layout with each
+    /// term's posting list carrying its skip-block metadata — block byte
+    /// offsets, last ids, entry counts, and per-block max term frequency —
+    /// so ranked search can bound and skip whole blocks without decoding).
     pub fn serialize(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.byte_size() + 1024);
+        buf.extend_from_slice(b"NMTXSEG3");
+        put(&mut buf, self.id);
+        put(&mut buf, self.terms.len() as u64);
+        for (term, pl) in &self.terms {
+            put(&mut buf, term.len() as u64);
+            buf.extend_from_slice(term.as_bytes());
+            pl.serialize_with_blocks(&mut buf);
+        }
+        self.serialize_tail(&mut buf);
+        buf
+    }
+
+    /// Serializes in the pre-block `NMTXSEG2` layout — kept callable so
+    /// compatibility tests can fabricate the files older installs left
+    /// behind.
+    pub fn serialize_legacy(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(self.byte_size() + 1024);
         buf.extend_from_slice(b"NMTXSEG2");
         put(&mut buf, self.id);
@@ -387,28 +411,37 @@ impl Segment {
             buf.extend_from_slice(term.as_bytes());
             pl.serialize(&mut buf);
         }
-        put(&mut buf, self.ids.len() as u64);
+        self.serialize_tail(&mut buf);
+        buf
+    }
+
+    /// The id + length sections shared by every segment version.
+    fn serialize_tail(&self, buf: &mut Vec<u8>) {
+        put(buf, self.ids.len() as u64);
         let mut prev = 0u64;
         for (i, &id) in self.ids.iter().enumerate() {
-            put(&mut buf, if i == 0 { id } else { id - prev });
+            put(buf, if i == 0 { id } else { id - prev });
             prev = id;
         }
         for &l in &self.lengths {
-            put(&mut buf, l as u64);
+            put(buf, l as u64);
         }
-        buf
     }
 
     /// Inverse of [`Segment::serialize`]; `None` on corrupt input.
     ///
-    /// Reads both on-disk versions: `NMTXSEG2` carries the length section;
-    /// a pre-ranking `NMTXSEG1` file lacks it, and the lengths are
-    /// recomputed from the postings on load (see [`Segment::from_parts`]) —
-    /// an existing index upgrades in place without a rebuild.
+    /// Reads all three on-disk versions: `NMTXSEG3` carries skip blocks,
+    /// `NMTXSEG2` lacks them (its lists load blockless and ranked search
+    /// falls back to exhaustive scoring until compaction rewrites the
+    /// segment), and a pre-ranking `NMTXSEG1` file additionally lacks the
+    /// length section, which is recomputed from the postings on load (see
+    /// [`Segment::from_parts`]) — an existing index upgrades in place
+    /// without a rebuild.
     pub fn deserialize(buf: &[u8]) -> Option<Segment> {
-        let v2 = match buf.get(..8)? {
-            b"NMTXSEG2" => true,
-            b"NMTXSEG1" => false,
+        let (v2, v3) = match buf.get(..8)? {
+            b"NMTXSEG3" => (true, true),
+            b"NMTXSEG2" => (true, false),
+            b"NMTXSEG1" => (false, false),
             _ => return None,
         };
         let mut pos = 8usize;
@@ -421,7 +454,11 @@ impl Segment {
             let end = pos.checked_add(tlen).filter(|&e| e <= buf.len())?;
             let term = std::str::from_utf8(&buf[pos..end]).ok()?.to_string();
             pos = end;
-            let pl = PostingList::deserialize(buf, &mut pos)?;
+            let pl = if v3 {
+                PostingList::deserialize_with_blocks(buf, &mut pos)?
+            } else {
+                PostingList::deserialize(buf, &mut pos)?
+            };
             postings += pl.len();
             terms.insert(term, pl);
         }
@@ -587,11 +624,34 @@ mod tests {
     fn serialize_round_trip() {
         let seg = sealed();
         let buf = seg.serialize();
-        assert_eq!(&buf[..8], b"NMTXSEG2");
+        assert_eq!(&buf[..8], b"NMTXSEG3");
         let back = Segment::deserialize(&buf).expect("round trip");
         assert_eq!(back, seg);
+        for (term, pl) in &seg.terms {
+            let loaded = back.posting(term).expect("term survives");
+            assert_eq!(loaded.blocks(), pl.blocks(), "skip blocks survive {term}");
+            assert!(loaded.has_blocks(), "v3 lists stay skippable: {term}");
+        }
         assert!(Segment::deserialize(&buf[..buf.len() - 1]).is_none());
         assert!(Segment::deserialize(b"garbage").is_none());
+    }
+
+    #[test]
+    fn legacy_seg2_files_load_blockless() {
+        // A pre-block NMTXSEG2 file must load with identical postings and
+        // lengths; its lists carry no skip metadata, which is what routes
+        // ranked search to the exhaustive fallback until compaction
+        // rewrites the segment as v3.
+        let seg = sealed();
+        let v2 = seg.serialize_legacy();
+        assert_eq!(&v2[..8], b"NMTXSEG2");
+        let back = Segment::deserialize(&v2).expect("v2 compat");
+        assert_eq!(back, seg);
+        assert_eq!(back.length_total(), seg.length_total());
+        for term in seg.terms.keys() {
+            let loaded = back.posting(term).expect("term survives");
+            assert!(loaded.blocks().is_empty(), "v2 lists load blockless");
+        }
     }
 
     #[test]
@@ -624,7 +684,7 @@ mod tests {
         // is exactly a pre-ranking NMTXSEG1 file. It must load, with the
         // lengths rebuilt from postings — no index rebuild on upgrade.
         let seg = sealed();
-        let mut v1 = seg.serialize();
+        let mut v1 = seg.serialize_legacy();
         assert!(
             seg.lengths().iter().all(|&l| l < 0x80),
             "test relies on single-byte length varints"

@@ -60,6 +60,9 @@ pub struct IndexStats {
     pub postings: u64,
     /// Compressed posting bytes.
     pub bytes: u64,
+    /// Skip blocks across posting lists (zero until compaction or sealing
+    /// produces v3 segments — the observable lazy-migration progress).
+    pub blocks_total: u64,
     /// Sealed segments in the live chain.
     pub segments: u64,
     /// Outstanding tombstones awaiting physical purge.
@@ -93,6 +96,7 @@ impl IndexStats {
         self.terms += other.terms;
         self.postings += other.postings;
         self.bytes += other.bytes;
+        self.blocks_total += other.blocks_total;
         self.segments += other.segments;
         self.tombstones += other.tombstones;
         self.commits += other.commits;
@@ -570,6 +574,7 @@ impl SegmentedIndex {
             terms: snap.term_count() as u64,
             postings: snap.posting_count() as u64,
             bytes: snap.byte_size() as u64,
+            blocks_total: snap.block_count() as u64,
             segments: snap.segment_count() as u64,
             tombstones: snap.tombstones().len() as u64,
             commits: self.commits.load(Ordering::Relaxed),

@@ -49,6 +49,11 @@ pub struct Capabilities {
     /// the caller strips `rank=` before pushdown and scores the returned
     /// hits locally.
     pub ranked: bool,
+    /// Understands the `min_score=` floor on ranked queries (additive bit
+    /// within wire v2). Lets a coordinator push `limit=` down together
+    /// with a score threshold; a peer without the bit simply never sees
+    /// the key — the coordinator keeps limiting and filtering locally.
+    pub min_score: bool,
 }
 
 impl Capabilities {
@@ -58,6 +63,7 @@ impl Capabilities {
         content_search: true,
         structured_results: true,
         ranked: true,
+        min_score: true,
     };
 
     /// A keyword-only server (the Lessons Learned case).
@@ -66,6 +72,7 @@ impl Capabilities {
         content_search: true,
         structured_results: false,
         ranked: false,
+        min_score: false,
     };
 
     /// Renders the capabilities advertisement served at
@@ -77,6 +84,7 @@ impl Capabilities {
             .with_attr("content-search", bool_str(self.content_search))
             .with_attr("structured-results", bool_str(self.structured_results))
             .with_attr("ranked", bool_str(self.ranked))
+            .with_attr("min-score", bool_str(self.min_score))
     }
 
     /// XML text of [`Capabilities::to_node`].
@@ -104,6 +112,7 @@ impl Capabilities {
                 content_search: flag("content-search"),
                 structured_results: flag("structured-results"),
                 ranked: flag("ranked"),
+                min_score: flag("min-score"),
             },
             version,
         ))
@@ -155,6 +164,7 @@ mod tests {
         assert!(!caps.context_search);
         assert!(!caps.structured_results);
         assert!(!caps.ranked);
+        assert!(!caps.min_score);
     }
 
     #[test]
@@ -167,6 +177,7 @@ mod tests {
             .with_attr("content-search", "true")
             .with_attr("structured-results", "true")
             .with_attr("ranked", "true")
+            .with_attr("min-score", "true")
             .with_attr("hologram-search", "true")
             .with_attr("quantum-join", "false");
         let (caps, version) = Capabilities::from_node(&n).unwrap();

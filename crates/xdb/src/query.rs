@@ -58,6 +58,15 @@ pub struct XdbQuery {
     pub match_mode: MatchMode,
     /// `rank=` — hit ordering (unranked store order, or BM25 relevance).
     pub rank: RankMode,
+    /// `min_score=` — drop ranked hits scoring at or below this floor.
+    /// A coordinator that already holds k candidates scoring above θ can
+    /// push `limit=k&min_score=θ` to a capable peer: any hit at or below
+    /// θ provably cannot enter the merged top-k, so the peer neither
+    /// scores deeply nor ships it. Meaningless without `rank=bm25`
+    /// (unranked hits carry no score) and never rendered when unset, so
+    /// both unranked and plain ranked queries keep their exact prior wire
+    /// bytes.
+    pub min_score: Option<f64>,
     /// Shard-coordination hint, never on the wire: context labels already
     /// known (by the coordinator) to have an exact match *somewhere* in
     /// the federated/sharded whole. A store executing the query treats a
@@ -91,6 +100,8 @@ pub enum ParseError {
     BadMatchMode(String),
     /// `rank=` named an unknown ranking mode.
     BadRank(String),
+    /// `min_score=` was not a finite non-negative number.
+    BadMinScore(String),
 }
 
 impl fmt::Display for ParseError {
@@ -103,6 +114,12 @@ impl fmt::Display for ParseError {
             ParseError::BadLimit(value) => write!(f, "limit must be a number, got '{value}'"),
             ParseError::BadMatchMode(value) => write!(f, "unknown match mode '{value}'"),
             ParseError::BadRank(value) => write!(f, "unknown rank mode '{value}'"),
+            ParseError::BadMinScore(value) => {
+                write!(
+                    f,
+                    "min_score must be a finite non-negative number, got '{value}'"
+                )
+            }
         }
     }
 }
@@ -215,6 +232,12 @@ impl XdbQuery {
         self
     }
 
+    /// Builder: set the ranked score floor (`min_score=`).
+    pub fn with_min_score(mut self, floor: f64) -> XdbQuery {
+        self.min_score = Some(floor);
+        self
+    }
+
     /// True when the query asks for relevance-ranked hits.
     pub fn ranked(&self) -> bool {
         self.rank == RankMode::Bm25
@@ -284,6 +307,11 @@ impl XdbQuery {
         if self.rank == RankMode::Bm25 {
             parts.push("rank=bm25".to_string());
         }
+        // Rust's f64 Display is the shortest round-tripping decimal, so
+        // the floor survives a render → parse cycle exactly.
+        if let Some(floor) = self.min_score {
+            parts.push(format!("min_score={floor}"));
+        }
         parts.join("&")
     }
 }
@@ -307,6 +335,7 @@ pub struct XdbQueryBuilder {
     match_set: bool,
     limit_set: bool,
     rank_set: bool,
+    min_score_set: bool,
 }
 
 impl XdbQueryBuilder {
@@ -358,6 +387,13 @@ impl XdbQueryBuilder {
     pub fn rank(mut self, rank: RankMode) -> Self {
         self.query.rank = rank;
         self.rank_set = true;
+        self
+    }
+
+    /// Sets `min_score=`.
+    pub fn min_score(mut self, floor: f64) -> Self {
+        self.query.min_score = Some(floor);
+        self.min_score_set = true;
         self
     }
 
@@ -418,6 +454,15 @@ impl XdbQueryBuilder {
                     other => return Err(ParseError::BadRank(other.to_string())),
                 };
                 self = self.rank(rank);
+            }
+            "min_score" => {
+                dup(self.min_score_set)?;
+                let floor: f64 = value
+                    .parse()
+                    .ok()
+                    .filter(|v: &f64| v.is_finite() && *v >= 0.0)
+                    .ok_or_else(|| ParseError::BadMinScore(value.to_string()))?;
+                self = self.min_score(floor);
             }
             _ => return Err(ParseError::UnknownKey(lkey)),
         }
@@ -608,6 +653,7 @@ mod tests {
         let limits = [None, Some(0usize), Some(42)];
         let modes = [MatchMode::Keywords, MatchMode::Phrase];
         let ranks = [RankMode::None, RankMode::Bm25];
+        let floors = [None, Some(0.0f64), Some(2.625)];
         let mut cases = 0usize;
         for ctx in contexts {
             for con in &contents {
@@ -617,23 +663,26 @@ mod tests {
                             for limit in &limits {
                                 for mode in modes {
                                     for rank in ranks {
-                                        let q = XdbQuery {
-                                            context: ctx.map(String::from),
-                                            content: con.map(String::from),
-                                            databank: db.map(String::from),
-                                            xslt: xslt.map(String::from),
-                                            doc: doc.map(String::from),
-                                            limit: *limit,
-                                            match_mode: mode,
-                                            rank,
-                                            exact_contexts: Vec::new(),
-                                        };
-                                        let s = q.to_query_string();
-                                        let back = XdbQuery::from_url(&s).unwrap_or_else(|e| {
-                                            panic!("'{s}' failed to re-parse: {e}")
-                                        });
-                                        assert_eq!(back, q, "round trip of '{s}'");
-                                        cases += 1;
+                                        for floor in floors {
+                                            let q = XdbQuery {
+                                                context: ctx.map(String::from),
+                                                content: con.map(String::from),
+                                                databank: db.map(String::from),
+                                                xslt: xslt.map(String::from),
+                                                doc: doc.map(String::from),
+                                                limit: *limit,
+                                                match_mode: mode,
+                                                rank,
+                                                min_score: floor,
+                                                exact_contexts: Vec::new(),
+                                            };
+                                            let s = q.to_query_string();
+                                            let back = XdbQuery::from_url(&s).unwrap_or_else(|e| {
+                                                panic!("'{s}' failed to re-parse: {e}")
+                                            });
+                                            assert_eq!(back, q, "round trip of '{s}'");
+                                            cases += 1;
+                                        }
                                     }
                                 }
                             }
@@ -642,7 +691,43 @@ mod tests {
                 }
             }
         }
-        assert_eq!(cases, 3 * 2 * 2 * 2 * 2 * 3 * 2 * 2);
+        assert_eq!(cases, 3 * 2 * 2 * 2 * 2 * 3 * 2 * 2 * 3);
+    }
+
+    #[test]
+    fn min_score_parses_validates_and_round_trips() {
+        let q = XdbQuery::from_url("Content=engine&rank=bm25&min_score=1.25").unwrap();
+        assert_eq!(q.min_score, Some(1.25));
+        let q = XdbQuery::from_url("Content=engine").unwrap();
+        assert_eq!(q.min_score, None, "min_score defaults to unset");
+        // Unset floors are never rendered: plain ranked (and unranked)
+        // queries keep their exact prior wire bytes.
+        assert_eq!(
+            XdbQuery::content("engine")
+                .with_rank(RankMode::Bm25)
+                .to_query_string(),
+            "Content=engine&rank=bm25"
+        );
+        // An exact f64 survives the render → parse cycle bit-for-bit.
+        let q = XdbQuery::content("engine")
+            .with_rank(RankMode::Bm25)
+            .with_min_score(3.0614318088503584);
+        let back = XdbQuery::from_url(&q.to_query_string()).unwrap();
+        assert_eq!(
+            back.min_score.unwrap().to_bits(),
+            3.0614318088503584f64.to_bits()
+        );
+        for bad in ["abc", "-1", "inf", "NaN"] {
+            assert_eq!(
+                XdbQuery::from_url(&format!("Content=a&min_score={bad}")),
+                Err(ParseError::BadMinScore(bad.to_string())),
+                "{bad}"
+            );
+        }
+        assert_eq!(
+            XdbQuery::from_url("Content=a&min_score=1&min_score=2"),
+            Err(ParseError::DuplicateKey("min_score".to_string()))
+        );
     }
 
     #[test]

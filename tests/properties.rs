@@ -407,6 +407,7 @@ mod xdb_props {
             limit in proptest::option::of(0usize..10000),
             phrase in any::<bool>(),
             ranked in any::<bool>(),
+            floor in proptest::option::of(0.0f64..1e12),
         ) {
             // The fallible parser rejects values that trim to nothing —
             // only queries it would accept can round-trip.
@@ -423,6 +424,9 @@ mod xdb_props {
                 match_mode: if phrase { MatchMode::Phrase } else { MatchMode::Keywords },
                 exact_contexts: Vec::new(),
                 rank: if ranked { RankMode::Bm25 } else { RankMode::None },
+                // `{}` prints the shortest representation that parses back
+                // to the same f64, so any valid floor round-trips exactly.
+                min_score: floor,
             };
             let back = XdbQuery::from_url(&q.to_query_string()).unwrap();
             prop_assert_eq!(back, q);
